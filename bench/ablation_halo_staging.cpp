@@ -1,0 +1,85 @@
+// Ablation: host-staged halo exchange (what the paper ran — "We did not
+// experiment with GPU-aware MPI", Sec. 3.3) vs. the GPU-aware path over
+// Infinity Fabric. Quantifies what the paper left on the table.
+//
+// Two measurements:
+//   1. functional: per-step exchange time on the simulated device clock
+//      from real Simulation runs at several local grid sizes;
+//   2. at-scale: the Figure 6 weak-scaling sweep re-run with gpu_aware=on.
+#include <algorithm>
+#include <cstdio>
+
+#include "common/format.h"
+#include "core/sim.h"
+#include "mpi/runtime.h"
+#include "perf/weak_scaling.h"
+
+namespace {
+
+double measure_exchange(std::int64_t L, bool gpu_aware) {
+  double t_exchange = 0.0;
+  gs::mpi::run(1, [&](gs::mpi::Comm& world) {
+    gs::Settings s;
+    s.L = L;
+    s.noise = 0.0;
+    s.backend = gs::KernelBackend::hip;
+    s.gpu_aware_mpi = gpu_aware;
+    gs::core::Simulation sim(s, world);
+    sim.step();  // warm
+    t_exchange = sim.step().exchange;
+  });
+  return t_exchange;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("==============================================================\n");
+  std::printf("Ablation — halo exchange staging: host-staged (paper) vs.\n");
+  std::printf("GPU-aware over Infinity Fabric (unexplored by the paper)\n");
+  std::printf("==============================================================\n\n");
+
+  std::printf("Functional per-step exchange cost (1 rank, device clock):\n");
+  gs::TableFormatter t({"local grid", "host-staged", "GPU-aware",
+                        "speedup"});
+  for (const std::int64_t L : {16LL, 32LL, 64LL}) {
+    const double staged = measure_exchange(L, false);
+    const double aware = measure_exchange(L, true);
+    t.row({std::to_string(L) + "^3", gs::format_seconds(staged),
+           gs::format_seconds(aware),
+           gs::format_fixed(staged / aware, 2) + "x"});
+  }
+  std::printf("%s\n", t.str().c_str());
+
+  std::printf("At-scale (1024^3/GPU, 20 steps, weak-scaling model):\n");
+  gs::perf::WeakScalingConfig staged_cfg;
+  gs::perf::WeakScalingConfig aware_cfg;
+  aware_cfg.gpu_aware = true;
+  gs::perf::WeakScalingConfig overlap_cfg;
+  overlap_cfg.overlap = true;
+  gs::perf::WeakScalingSimulator staged(staged_cfg);
+  gs::perf::WeakScalingSimulator aware(aware_cfg);
+  gs::perf::WeakScalingSimulator overlapped(overlap_cfg);
+
+  gs::TableFormatter t2({"GPUs", "staged (s)", "GPU-aware (s)",
+                         "overlapped (s)", "best saving"});
+  for (const std::int64_t p : {8LL, 512LL, 4096LL}) {
+    const auto ts = gs::perf::WeakScalingSimulator::wall_times(
+        staged.simulate(p));
+    const auto ta = gs::perf::WeakScalingSimulator::wall_times(
+        aware.simulate(p));
+    const auto to = gs::perf::WeakScalingSimulator::wall_times(
+        overlapped.simulate(p));
+    const double best = std::min(ta.mean(), to.mean());
+    t2.row({std::to_string(p), gs::format_fixed(ts.mean(), 3),
+            gs::format_fixed(ta.mean(), 3), gs::format_fixed(to.mean(), 3),
+            gs::format_fixed(100.0 * (1.0 - best / ts.mean()), 1) + " %"});
+  }
+  std::printf("%s\n", t2.str().c_str());
+  std::printf("Interpretation: at 1024^3 per GPU the kernel dominates, so\n");
+  std::printf("the paper's host staging costs only a few %% of step time —\n");
+  std::printf("supporting their choice — but the saving grows as the\n");
+  std::printf("per-GPU block shrinks (strong scaling) since staged copies\n");
+  std::printf("are latency-bound at 12 copies/variable/step.\n");
+  return 0;
+}

@@ -1,0 +1,132 @@
+// Ablation of the kernel performance model — what would close the
+// paper's ~50% Julia-vs-HIP gap ("performance gaps still exist and must
+// be closed as we look forward to future versions of the actively
+// developed AMDGPU.jl", paper Conclusions).
+//
+// Part 1 sweeps hypothetical AMDGPU.jl codegen fixes through the
+// occupancy model. Part 2 sweeps the L2 capacity through the cache
+// simulator to show where the 3x stencil fetch amplification (the
+// Table 2 effective-vs-total gap) comes from and what a plane-blocked
+// kernel would recover.
+#include <cstdio>
+
+#include <vector>
+
+#include "common/format.h"
+#include "core/kernels.h"
+#include "gpu/cache_sim.h"
+#include "gpu/device_props.h"
+
+namespace {
+
+void part1_occupancy() {
+  std::printf("Part 1 — codegen ablation through the occupancy model\n");
+  std::printf("(2-variable application kernel at 1024^3, with RNG)\n\n");
+
+  struct Variant {
+    const char* label;
+    gs::gpu::BackendProfile backend;
+    bool rng;
+  };
+  std::vector<Variant> variants;
+  variants.push_back({"AMDGPU.jl v0.4.15 as measured (paper)",
+                      gs::gpu::julia_amdgpu_backend(), true});
+
+  auto v = gs::gpu::julia_amdgpu_backend();
+  v.rng_bandwidth_penalty = 1.0;
+  variants.push_back({"+ vectorized device RNG (no scalar RNG drag)", v,
+                      false});
+
+  v.scratch_per_item = 0;
+  variants.push_back({"+ no scratch spills (scr 0)", v, false});
+
+  auto lds_fixed = v;
+  lds_fixed.lds_per_workgroup = 0;
+  variants.push_back({"+ no runtime LDS footprint (lds 0)", lds_fixed,
+                      false});
+
+  auto wg256 = lds_fixed;
+  wg256.workgroup = {256, 1, 1};
+  variants.push_back({"+ workgroup 256 (HIP launch shape)", wg256, false});
+
+  variants.push_back({"native HIP reference", gs::gpu::hip_backend(),
+                      false});
+
+  const gs::gpu::DeviceProps dev;
+  gs::TableFormatter t({"codegen variant", "occupancy", "total BW (GB/s)",
+                        "vs HIP"});
+  const double hip_bw =
+      gs::gpu::achieved_bandwidth(dev, gs::gpu::hip_backend(), false);
+  for (const auto& var : variants) {
+    const auto occ = gs::gpu::compute_occupancy(dev, var.backend);
+    const double bw =
+        gs::gpu::achieved_bandwidth(dev, var.backend, var.rng);
+    t.row({var.label,
+           gs::format_fixed(100.0 * occ.fraction, 0) + " %",
+           gs::format_fixed(bw / 1e9, 0),
+           gs::format_fixed(100.0 * bw / hip_bw, 0) + " %"});
+  }
+  std::printf("%s\n", t.str().c_str());
+  std::printf("Finding: the LDS footprint is the whole 2x gap — removing\n");
+  std::printf("the runtime's 29,184 B/workgroup restores full occupancy\n");
+  std::printf("and HIP-level bandwidth; scratch and the scalarized RNG\n");
+  std::printf("are second-order. This matches the paper's hypothesis that\n");
+  std::printf("the difference is 'beyond the IR level'.\n\n");
+}
+
+void part2_cache_sweep() {
+  std::printf("Part 2 — stencil fetch amplification vs. L2 capacity\n");
+  std::printf("(7-point sweep over a 96^2 x 48 grid; k-plane = 72 KiB)\n\n");
+
+  const gs::Index3 ext{96, 96, 48};
+  std::vector<double> grid(static_cast<std::size_t>(ext.volume()));
+  const auto base = reinterpret_cast<std::uintptr_t>(grid.data());
+  const auto addr = [&](std::int64_t i, std::int64_t j, std::int64_t k) {
+    return base +
+           static_cast<std::uintptr_t>(gs::linear_index({i, j, k}, ext) * 8);
+  };
+  const double minimal = static_cast<double>(ext.volume()) * 8.0;
+
+  gs::TableFormatter t({"L2 size", "planes resident", "FETCH amplification"});
+  for (const std::uint64_t l2 : {16ull << 10, 64ull << 10, 128ull << 10,
+                                 256ull << 10, 1ull << 20, 4ull << 20}) {
+    gs::gpu::CacheSim cache(l2, 64, 16);
+    for (std::int64_t k = 1; k < ext.k - 1; ++k) {
+      for (std::int64_t j = 1; j < ext.j - 1; ++j) {
+        for (std::int64_t i = 1; i < ext.i - 1; ++i) {
+          cache.read(addr(i - 1, j, k), 8);
+          cache.read(addr(i + 1, j, k), 8);
+          cache.read(addr(i, j - 1, k), 8);
+          cache.read(addr(i, j + 1, k), 8);
+          cache.read(addr(i, j, k - 1), 8);
+          cache.read(addr(i, j, k + 1), 8);
+          cache.read(addr(i, j, k), 8);
+        }
+      }
+    }
+    cache.flush();
+    const double amp =
+        static_cast<double>(cache.counters().fetch_bytes) / minimal;
+    const double planes = static_cast<double>(l2) / (96.0 * 96.0 * 8.0);
+    t.row({gs::format_bytes(l2), gs::format_fixed(planes, 2),
+           gs::format_fixed(amp, 2) + "x"});
+  }
+  std::printf("%s\n", t.str().c_str());
+  std::printf("Finding: amplification sits at ~3x while fewer than three\n");
+  std::printf("k-planes fit (each line is refetched for the k-1/k/k+1\n");
+  std::printf("passes) and collapses toward 1x once they do — the regime\n");
+  std::printf("the MI250x sits in at L=1024 (25.08 GB fetched vs the 8.59\n");
+  std::printf("GB minimum, Table 3), and the source of the Table 2\n");
+  std::printf("effective-vs-total bandwidth split.\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("==============================================================\n");
+  std::printf("Ablation — closing the Julia/HIP kernel gap\n");
+  std::printf("==============================================================\n\n");
+  part1_occupancy();
+  part2_cache_sweep();
+  return 0;
+}

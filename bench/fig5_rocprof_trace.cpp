@@ -1,0 +1,58 @@
+// Reproduces paper Figure 5: a rocprof-style trace of the Gray-Scott
+// simulation showing kernel activity on the GPU interleaved with memory
+// transfers to the CPU for MPI communication staging.
+//
+// Runs a short functional simulation with the profiler attached, prints
+// an ASCII rendering of the timeline, and writes a Chrome-trace JSON
+// (open in chrome://tracing or ui.perfetto.dev for the Figure 5 view).
+#include <cstdio>
+#include <fstream>
+
+#include "common/format.h"
+#include "core/sim.h"
+#include "mpi/runtime.h"
+
+int main() {
+  std::printf("==============================================================\n");
+  std::printf("Figure 5 — rocprof-mini trace of the Gray-Scott workflow\n");
+  std::printf("==============================================================\n\n");
+
+  gs::Settings settings;
+  settings.L = 48;
+  settings.steps = 4;
+  settings.noise = 0.1;
+  settings.backend = gs::KernelBackend::julia_amdgpu;
+
+  gs::prof::Profiler profiler;
+  gs::mpi::run(1, [&](gs::mpi::Comm& world) {
+    gs::core::Simulation sim(settings, world, &profiler);
+    sim.device().set_cache_sim_enabled(true);  // real TCC counters
+    // First step absorbs the JIT warm-up (analyzed in Figure 7); the
+    // trace below shows the optimized steady-state loop, like Figure 5.
+    sim.step();
+    profiler.clear();
+    sim.run_steps(settings.steps);
+  });
+
+  std::printf("Simulated-device timeline (4 warm steps, 1 rank):\n");
+  std::printf("  # = busy. Lanes: kernel / JIT / H2D / D2H copies.\n\n");
+  std::printf("%s\n", profiler.ascii_timeline(90).c_str());
+
+  std::printf("Per-kernel counters:\n%s\n", profiler.report().c_str());
+
+  std::printf("Span summary:\n");
+  for (const auto kind :
+       {gs::prof::SpanKind::kernel, gs::prof::SpanKind::jit_compile,
+        gs::prof::SpanKind::memcpy_d2h, gs::prof::SpanKind::memcpy_h2d}) {
+    std::printf("  %-12s %s\n", gs::prof::to_string(kind),
+                gs::format_seconds(profiler.total_time(kind)).c_str());
+  }
+
+  const std::string trace_path = "fig5_trace.json";
+  std::ofstream out(trace_path);
+  out << profiler.chrome_trace_json();
+  std::printf("\nChrome trace written to ./%s (%zu spans) — the paper's\n",
+              trace_path.c_str(), profiler.spans().size());
+  std::printf("Figure 5 view: load it in chrome://tracing.\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Reproduces paper Figure 6: weak scaling with per-MPI-process wall-clock
+// variability, 1,024^3 cells per GPU, factor-8 job growth up to 4,096
+// GPUs (512 nodes) — plus the Section 5.2 32,768-GPU attempt, which the
+// paper reports failing in the MPI layer during ghost exchange.
+#include <cstdio>
+
+#include "common/format.h"
+#include "perf/weak_scaling.h"
+
+int main() {
+  std::printf("==============================================================\n");
+  std::printf("Figure 6 — Weak scaling, wall-clock per MPI process\n");
+  std::printf("(1024^3 cells/GPU, 20 steps, Julia AMDGPU.jl backend)\n");
+  std::printf("==============================================================\n\n");
+
+  gs::perf::WeakScalingSimulator sim;
+
+  gs::TableFormatter t({"GPUs", "nodes", "min (s)", "mean (s)", "max (s)",
+                        "spread %"});
+  for (const std::int64_t p : {1LL, 8LL, 64LL, 512LL, 4096LL}) {
+    const auto samples = sim.simulate(p);
+    const auto times = gs::perf::WeakScalingSimulator::wall_times(samples);
+    t.row({std::to_string(p), std::to_string((p + 7) / 8),
+           gs::format_fixed(times.min(), 3),
+           gs::format_fixed(times.mean(), 3),
+           gs::format_fixed(times.max(), 3),
+           gs::format_fixed(times.spread_percent(), 1)});
+  }
+  std::printf("%s\n", t.str().c_str());
+  std::printf("Paper shape: 2-3%% variability up to 512 processes, 12-15%%\n");
+  std::printf("at 4,096; the slowest process dictates the job time.\n\n");
+
+  std::printf("Per-step breakdown at 4,096 ranks:\n");
+  std::printf("  kernel        %s\n",
+              gs::format_seconds(sim.base_kernel_time()).c_str());
+  std::printf("  host staging  %s\n",
+              gs::format_seconds(sim.base_staging_time_per_step()).c_str());
+  std::printf("  MPI halo      %s\n",
+              gs::format_seconds(sim.base_halo_time_per_step(4096)).c_str());
+
+  std::printf("\n--- Section 5.2: the factor-8 step to 32,768 GPUs ---\n");
+  for (const std::int64_t p : {4096LL, 32768LL}) {
+    const auto outcome = sim.run(p);
+    if (outcome.completed) {
+      const auto times =
+          gs::perf::WeakScalingSimulator::wall_times(outcome.samples);
+      std::printf("%6lld GPUs: completed, mean %s (P(fail) = %.3f)\n",
+                  static_cast<long long>(p),
+                  gs::format_seconds(times.mean()).c_str(),
+                  sim.failure_probability(p));
+    } else {
+      std::printf("%6lld GPUs: FAILED — %s (P(fail) = %.3f)\n",
+                  static_cast<long long>(p), outcome.failure.c_str(),
+                  sim.failure_probability(p));
+      // The paper notes all 32,768 GPUs still showed initial kernels at
+      // the expected ~312 GB/s effective bandwidth before the failure.
+      const auto initial = sim.simulate(64);  // any sample is representative
+      double bw = 0.0;
+      for (const auto& s : initial) bw += s.warm_bandwidth;
+      bw /= static_cast<double>(initial.size());
+      std::printf("        initial kernels still ran at ~%.0f GB/s "
+                  "effective (paper: ~312)\n", bw / 1e9);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Reproduces paper Figure 8: parallel-I/O weak scaling — wall-clock and
+// aggregate bandwidth of writing one output step (2 x 1024^3 doubles per
+// rank, 8 ranks per node, one BP5 subfile per node) on the modeled
+// Lustre/Orion file system, up to 512 nodes.
+//
+// Also runs a small FUNCTIONAL sweep through the real BP-mini writer on
+// local disk to demonstrate that the format layer itself adds negligible
+// overhead (the paper's claim for the ADIOS2.jl bindings).
+#include <cstdio>
+
+#include "bp/writer.h"
+#include "common/clock.h"
+#include "common/format.h"
+#include "grid/decomp.h"
+#include "mpi/runtime.h"
+#include "perf/io_scaling.h"
+
+namespace {
+
+void functional_binding_check() {
+  std::printf("--- Functional check: BP-mini writer on local disk ---\n");
+  const std::int64_t L = 64;
+  const std::string path = "/tmp/gs_fig8_check.bp";
+  gs::mpi::run(4, [&](gs::mpi::Comm& world) {
+    const gs::Decomposition d = gs::Decomposition::cube(L, world.size());
+    const gs::Box3 box = d.local_box(world.rank());
+    std::vector<double> block(static_cast<std::size_t>(box.volume()), 0.5);
+
+    gs::bp::Writer w(path, world, 2);
+    gs::WallTimer timer;
+    w.begin_step();
+    w.put("U", {L, L, L}, box, block);
+    w.put("V", {L, L, L}, box, block);
+    const auto stats = w.end_step();
+    w.close();
+    if (world.rank() == 0) {
+      const double total_mb =
+          2.0 * static_cast<double>(L * L * L) * 8.0 / 1e6;
+      std::printf("4 ranks wrote %.1f MB in %s (%s aggregate)\n", total_mb,
+                  gs::format_seconds(timer.seconds()).c_str(),
+                  gs::format_bandwidth_gbps(total_mb * 1e6 /
+                                            timer.seconds())
+                      .c_str());
+      (void)stats;
+    }
+  });
+  std::remove((path + "/md.idx").c_str());
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("==============================================================\n");
+  std::printf("Figure 8 — Parallel I/O weak scaling (ADIOS2-style BP5, one\n");
+  std::printf("subfile per node, Lustre/Orion model)\n");
+  std::printf("==============================================================\n\n");
+
+  gs::perf::IoScalingSimulator sim;
+  std::printf("Per-node payload: %s (8 GCDs x 2 vars x 1024^3 doubles)\n\n",
+              gs::format_bytes(sim.bytes_per_node()).c_str());
+
+  gs::TableFormatter t({"nodes", "GPUs", "total data", "write time",
+                        "aggregate BW", "% of 5.5 TB/s peak"});
+  for (const auto& p : sim.sweep(512)) {
+    t.row({std::to_string(p.nodes), std::to_string(p.ranks),
+           gs::format_bytes(p.bytes_total),
+           gs::format_seconds(p.seconds),
+           gs::format_bandwidth_gbps(p.aggregate_bw),
+           gs::format_fixed(100.0 * p.peak_fraction, 1)});
+  }
+  std::printf("%s\n", t.str().c_str());
+  std::printf("Paper shape: write wall-clock stays fairly flat under weak\n");
+  std::printf("scaling while aggregate bandwidth climbs to ~434 GB/s at 512\n");
+  std::printf("nodes — 8%% of the file-system peak from 5%% of the machine.\n\n");
+
+  functional_binding_check();
+  return 0;
+}

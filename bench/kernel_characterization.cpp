@@ -1,0 +1,147 @@
+#include "bench/kernel_characterization.h"
+
+#include <cmath>
+
+#include "core/kernels.h"
+#include "perf/calibration.h"
+
+namespace gs::bench {
+
+namespace {
+
+using gs::gpu::Device;
+using gs::gpu::DeviceProps;
+using gs::gpu::View3;
+
+struct RunResult {
+  prof::CounterSet counters;
+  std::int64_t cells = 0;
+};
+
+/// Runs one kernel variant once over an L^3 array with cache simulation.
+RunResult run_scaled(const gs::gpu::BackendProfile& backend, int nvars,
+                     bool uses_rng, std::int64_t L,
+                     std::uint64_t l2_bytes) {
+  DeviceProps props;
+  props.l2_bytes = l2_bytes;
+  Device dev(props, /*seed=*/1);
+  dev.set_cache_sim_enabled(true);
+
+  const Index3 ext{L, L, L};
+  const auto n = static_cast<std::size_t>(ext.volume());
+
+  gs::gpu::KernelInfo info;
+  info.uses_rng = uses_rng;
+
+  RunResult out;
+  out.cells = ext.volume();
+
+  if (nvars == 2) {
+    auto u = dev.alloc(n, "u");
+    auto v = dev.alloc(n, "v");
+    auto ut = dev.alloc(n, "u_temp");
+    auto vt = dev.alloc(n, "v_temp");
+    // Realistic field contents (mid-reaction state).
+    for (std::size_t i = 0; i < n; ++i) {
+      u.data()[i] = 0.8;
+      v.data()[i] = 0.1;
+    }
+    const View3 uv = dev.view(u, ext);
+    const View3 vv = dev.view(v, ext);
+    const View3 utv = dev.view(ut, ext);
+    const View3 vtv = dev.view(vt, ext);
+    gs::core::GsParams p;
+    p.noise = uses_rng ? 0.1 : 0.0;
+    info.name = "_kernel_gs_2var";
+    const auto r = dev.launch(info, backend, ext, [&](const Index3& idx) {
+      if (gs::core::is_boundary_item(idx, ext)) return;
+      const double noise =
+          p.noise != 0.0
+              ? gs::core::noise_at(1, 0, linear_index(idx, ext))
+              : 0.0;
+      gs::core::grayscott_cell(uv, vv, utv, vtv, idx.i, idx.j, idx.k, p,
+                               noise);
+    });
+    out.counters = r.counters;
+  } else {
+    auto u = dev.alloc(n, "u");
+    auto ut = dev.alloc(n, "u_temp");
+    for (std::size_t i = 0; i < n; ++i) u.data()[i] = 0.8;
+    const View3 uv = dev.view(u, ext);
+    const View3 utv = dev.view(ut, ext);
+    info.name = "_kernel_diffusion_1var";
+    const auto r = dev.launch(info, backend, ext, [&](const Index3& idx) {
+      if (gs::core::is_boundary_item(idx, ext)) return;
+      gs::core::diffusion_cell(uv, utv, idx.i, idx.j, idx.k, 0.2, 1.0);
+    });
+    out.counters = r.counters;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<KernelCharacterization> characterize_kernels(
+    std::int64_t scaled_edge, std::uint64_t scaled_l2_bytes) {
+  struct Variant {
+    const char* label;
+    gs::gpu::BackendProfile backend;
+    int nvars;
+    bool rng;
+  };
+  const Variant variants[] = {
+      {"Julia GrayScott.jl 2-variable (application)",
+       gs::gpu::julia_amdgpu_backend(), 2, true},
+      {"Julia 1-variable no random", gs::gpu::julia_amdgpu_backend(), 1,
+       false},
+      {"HIP single variable", gs::gpu::hip_backend(), 1, false},
+  };
+
+  const DeviceProps real;  // the actual MI250x-GCD parameters
+  constexpr std::int64_t kPaperEdge = 1024;
+  const double cells_1024 = std::pow(static_cast<double>(kPaperEdge), 3);
+
+  std::vector<KernelCharacterization> out;
+  for (const auto& var : variants) {
+    KernelCharacterization c;
+    c.label = var.label;
+    c.backend = var.backend;
+    c.nvars = var.nvars;
+    c.uses_rng = var.rng;
+    c.scaled_edge = scaled_edge;
+
+    const RunResult r = run_scaled(var.backend, var.nvars, var.rng,
+                                   scaled_edge, scaled_l2_bytes);
+    c.counters = r.counters;
+    const auto cells = static_cast<double>(r.cells);
+    c.fetch_per_cell = static_cast<double>(r.counters.fetch_bytes) / cells;
+    c.write_per_cell = static_cast<double>(r.counters.write_bytes) / cells;
+    c.hit_rate = r.counters.hit_rate();
+
+    // Project to L=1024 on the real GCD.
+    c.fetch_1024 = c.fetch_per_cell * cells_1024;
+    c.write_1024 = c.write_per_cell * cells_1024;
+    const double accesses_per_cell =
+        static_cast<double>(r.counters.tcc_hits + r.counters.tcc_misses) /
+        cells;
+    c.tcc_misses_1024 =
+        (c.fetch_1024 / real.l2_line_bytes);  // misses fetch one line each
+    c.tcc_hits_1024 = accesses_per_cell * cells_1024 - c.tcc_misses_1024;
+
+    const double bw = gs::gpu::achieved_bandwidth(real, var.backend,
+                                                  var.rng);
+    const double traffic = c.fetch_1024 + c.write_1024;
+    c.duration_1024 = real.launch_overhead + traffic / bw;
+    c.bw_total = traffic / c.duration_1024;
+
+    const double eff_traffic =
+        static_cast<double>(var.nvars) *
+        static_cast<double>(gs::perf::fetch_size_effective(kPaperEdge) +
+                            gs::perf::write_size_effective(kPaperEdge));
+    c.bw_effective = eff_traffic / c.duration_1024;
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+}  // namespace gs::bench

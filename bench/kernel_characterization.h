@@ -1,0 +1,56 @@
+// Shared harness for the single-GCD kernel experiments (Tables 2 and 3).
+//
+// Methodology: the paper measures three kernels on one MI250x GCD at
+// L=1024 with rocprof. We cannot hold 1024^3 doubles here, so we run the
+// cache-simulated functional kernels at a SCALED geometry that preserves
+// the regime that controls L2 behavior: at L=1024 on the GCD the three
+// k-planes a stencil sweep touches (~25 MB) far exceed the 8 MiB L2, so
+// neighbor reuse across k fails (~3x fetch amplification, the measured
+// 25.08/8.59 GB), while rows reuse within a plane. We pick L and a scaled
+// L2 so one plane fits but three do not (192^2*8 B = 288 KiB vs 512 KiB),
+// reproducing the same reuse structure. (Exactly plane==L2 over-thrashes
+// under strict LRU, which real pseudo-random-replacement caches avoid.)
+// Per-cell traffic measured at the scaled geometry is then projected to
+// the paper's L=1024 and fed to the calibrated duration model.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gpu/device.h"
+#include "prof/profiler.h"
+
+namespace gs::bench {
+
+/// One characterized kernel variant (a row of Tables 2/3).
+struct KernelCharacterization {
+  std::string label;           ///< e.g. "Julia GrayScott.jl 2-variable"
+  gs::gpu::BackendProfile backend;
+  int nvars = 2;
+  bool uses_rng = false;
+
+  // Measured at the scaled geometry:
+  std::int64_t scaled_edge = 0;
+  prof::CounterSet counters;   ///< cache-sim counters for the scaled run
+  double fetch_per_cell = 0.0; ///< bytes
+  double write_per_cell = 0.0; ///< bytes
+  double hit_rate = 0.0;
+
+  // Projected to the paper's L=1024 on the real GCD parameters:
+  double fetch_1024 = 0.0;       ///< bytes (FETCH_SIZE)
+  double write_1024 = 0.0;       ///< bytes (WRITE_SIZE)
+  double duration_1024 = 0.0;    ///< s (Avg Duration)
+  double bw_total = 0.0;         ///< B/s (Table 2 "Total")
+  double bw_effective = 0.0;     ///< B/s (Table 2 "Effective")
+  double tcc_hits_1024 = 0.0;    ///< projected counts
+  double tcc_misses_1024 = 0.0;
+};
+
+/// Runs the three paper kernels (Julia 2-var, Julia 1-var no-random,
+/// HIP 1-var) at the scaled geometry and projects to L=1024.
+/// `scaled_edge` must keep plane/L2 ratio near 1 with `scaled_l2_bytes`.
+std::vector<KernelCharacterization> characterize_kernels(
+    std::int64_t scaled_edge = 192,
+    std::uint64_t scaled_l2_bytes = 512 * 1024);
+
+}  // namespace gs::bench

@@ -1,0 +1,79 @@
+// Interactive-style exploration of the calibrated performance models:
+// answers "what would this run cost on the modeled Frontier?" for any
+// rank count, grid size, backend, and output cadence — the planning tool
+// a workflow engineer would actually use before burning an allocation.
+//
+//   $ ./scaling_explorer [ranks] [edge_per_rank] [backend]
+//   $ ./scaling_explorer 4096 1024 julia_amdgpu
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/format.h"
+#include "perf/io_scaling.h"
+#include "perf/weak_scaling.h"
+
+int main(int argc, char** argv) {
+  std::int64_t ranks = 512;
+  std::int64_t edge = 1024;
+  gs::KernelBackend backend = gs::KernelBackend::julia_amdgpu;
+  try {
+    if (argc > 1) ranks = std::atoll(argv[1]);
+    if (argc > 2) edge = std::atoll(argv[2]);
+    if (argc > 3) backend = gs::backend_from_string(argv[3]);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "usage: %s [ranks] [edge_per_rank] "
+                 "[hip|julia_amdgpu]\n%s\n", argv[0], e.what());
+    return 1;
+  }
+
+  gs::perf::WeakScalingConfig cfg;
+  cfg.cells_per_rank_edge = edge;
+  cfg.backend = backend;
+  gs::perf::WeakScalingSimulator sim(cfg);
+
+  std::printf("Plan: %lld ranks (GCDs), %lld^3 cells each, backend %s\n\n",
+              (long long)ranks, (long long)edge, gs::to_string(backend));
+
+  const double p_fail = sim.failure_probability(ranks);
+  std::printf("predicted MPI-layer failure probability: %.1f %%%s\n\n",
+              100.0 * p_fail,
+              p_fail > 0.5 ? "  << DO NOT SUBMIT (see paper Sec. 5.2)" : "");
+
+  std::printf("per-step cost model:\n");
+  std::printf("  kernel        %s\n",
+              gs::format_seconds(sim.base_kernel_time()).c_str());
+  std::printf("  host staging  %s\n",
+              gs::format_seconds(sim.base_staging_time_per_step()).c_str());
+  std::printf("  MPI halo      %s\n",
+              gs::format_seconds(sim.base_halo_time_per_step(ranks)).c_str());
+  std::printf("  total/step    %s\n\n",
+              gs::format_seconds(sim.base_step_time(ranks)).c_str());
+
+  const auto outcome = sim.run(ranks);
+  if (!outcome.completed) {
+    std::printf("simulated submission FAILED: %s\n", outcome.failure.c_str());
+    return 0;
+  }
+  const auto times =
+      gs::perf::WeakScalingSimulator::wall_times(outcome.samples);
+  std::printf("20-step run, per-process wall clock across %zu ranks:\n",
+              outcome.samples.size());
+  std::printf("  min %.3f s   mean %.3f s   max %.3f s   spread %.1f %%\n\n",
+              times.min(), times.mean(), times.max(),
+              times.spread_percent());
+
+  // I/O cost of one output step at this scale.
+  gs::perf::IoScalingConfig io_cfg;
+  io_cfg.cells_per_rank_edge = edge;
+  gs::perf::IoScalingSimulator io(io_cfg);
+  const std::int64_t nodes = (ranks + io_cfg.ranks_per_node - 1) /
+                             io_cfg.ranks_per_node;
+  const auto pt = io.simulate(nodes);
+  std::printf("one output step (%s total) on the Lustre model:\n",
+              gs::format_bytes(pt.bytes_total).c_str());
+  std::printf("  write time %.1f s at %s aggregate (%.1f %% of peak)\n",
+              pt.seconds, gs::format_bandwidth_gbps(pt.aggregate_bw).c_str(),
+              100.0 * pt.peak_fraction);
+  return 0;
+}

@@ -1,0 +1,181 @@
+#include "analysis/pattern.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/error.h"
+
+namespace gs::analysis {
+
+namespace {
+
+/// Union-find over the slice cells.
+class DisjointSet {
+ public:
+  explicit DisjointSet(std::size_t n) : parent_(n), size_(n, 1) {
+    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+  }
+
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];  // path halving
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void unite(std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+  }
+
+  std::size_t component_size(std::size_t x) { return size_[find(x)]; }
+
+ private:
+  std::vector<std::size_t> parent_;
+  std::vector<std::size_t> size_;
+};
+
+}  // namespace
+
+std::size_t count_components(const Slice2D& slice, double threshold) {
+  return analyze_pattern(slice, threshold).component_count;
+}
+
+PatternMetrics analyze_pattern(const Slice2D& slice, double threshold) {
+  GS_REQUIRE(slice.nx > 0 && slice.ny > 0 && !slice.values.empty(),
+             "pattern analysis needs a non-empty slice");
+  const auto n = static_cast<std::size_t>(slice.nx * slice.ny);
+  const auto above = [&](std::int64_t x, std::int64_t y) {
+    return slice.at(x, y) > threshold;
+  };
+
+  DisjointSet ds(n);
+  std::size_t covered = 0;
+  std::size_t interface_cells = 0;
+  for (std::int64_t y = 0; y < slice.ny; ++y) {
+    for (std::int64_t x = 0; x < slice.nx; ++x) {
+      if (!above(x, y)) continue;
+      ++covered;
+      const auto idx = static_cast<std::size_t>(x + slice.nx * y);
+      if (x + 1 < slice.nx && above(x + 1, y)) {
+        ds.unite(idx, idx + 1);
+      }
+      if (y + 1 < slice.ny && above(x, y + 1)) {
+        ds.unite(idx, idx + static_cast<std::size_t>(slice.nx));
+      }
+      // Interface: any 4-neighbor below threshold (or domain edge counts
+      // as interior, not interface).
+      const bool boundary =
+          (x > 0 && !above(x - 1, y)) ||
+          (x + 1 < slice.nx && !above(x + 1, y)) ||
+          (y > 0 && !above(x, y - 1)) ||
+          (y + 1 < slice.ny && !above(x, y + 1));
+      if (boundary) ++interface_cells;
+    }
+  }
+
+  PatternMetrics m;
+  m.threshold = threshold;
+  m.covered_fraction = static_cast<double>(covered) / static_cast<double>(n);
+  m.interface_fraction =
+      static_cast<double>(interface_cells) / static_cast<double>(n);
+
+  // Count component roots among above-threshold cells.
+  std::size_t components = 0;
+  std::size_t largest = 0;
+  for (std::int64_t y = 0; y < slice.ny; ++y) {
+    for (std::int64_t x = 0; x < slice.nx; ++x) {
+      if (!above(x, y)) continue;
+      const auto idx = static_cast<std::size_t>(x + slice.nx * y);
+      if (ds.find(idx) == idx) {
+        ++components;
+        largest = std::max(largest, ds.component_size(idx));
+      }
+    }
+  }
+  m.component_count = components;
+  m.largest_component = largest;
+  return m;
+}
+
+const char* to_string(PatternClass c) {
+  switch (c) {
+    case PatternClass::uniform: return "uniform";
+    case PatternClass::spots: return "spots";
+    case PatternClass::stripes: return "stripes";
+    case PatternClass::mixed: return "mixed";
+  }
+  return "?";
+}
+
+double dominant_wavelength(const Slice2D& slice) {
+  GS_REQUIRE(slice.nx > 1 && slice.ny > 1, "slice too small for spectrum");
+  const auto n = static_cast<std::size_t>(slice.nx * slice.ny);
+  double mean = 0.0;
+  for (const double v : slice.values) mean += v;
+  mean /= static_cast<double>(n);
+
+  double var = 0.0;
+  for (const double v : slice.values) var += (v - mean) * (v - mean);
+  if (var / static_cast<double>(n) < 1e-18) return 0.0;  // uniform
+
+  constexpr double two_pi = 6.283185307179586476925286766559;
+  double best_power = 0.0;
+  double best_freq2 = 0.0;  // (kx/nx)^2 + (ky/ny)^2
+  // ky spans negative to positive so diagonal patterns of either slope
+  // are seen; kx >= 0 suffices by Hermitian symmetry of real input.
+  for (std::int64_t kx = 0; kx <= slice.nx / 2; ++kx) {
+    for (std::int64_t ky = -slice.ny / 2; ky <= slice.ny / 2; ++ky) {
+      if (kx == 0 && ky <= 0) continue;  // skip DC and mirror duplicates
+      double re = 0.0, im = 0.0;
+      for (std::int64_t y = 0; y < slice.ny; ++y) {
+        for (std::int64_t x = 0; x < slice.nx; ++x) {
+          const double phase =
+              two_pi * (static_cast<double>(kx * x) /
+                            static_cast<double>(slice.nx) +
+                        static_cast<double>(ky * y) /
+                            static_cast<double>(slice.ny));
+          const double v = slice.at(x, y) - mean;
+          re += v * std::cos(phase);
+          im -= v * std::sin(phase);
+        }
+      }
+      const double power = re * re + im * im;
+      if (power > best_power) {
+        best_power = power;
+        const double fx = static_cast<double>(kx) /
+                          static_cast<double>(slice.nx);
+        const double fy = static_cast<double>(ky) /
+                          static_cast<double>(slice.ny);
+        best_freq2 = fx * fx + fy * fy;
+      }
+    }
+  }
+  return best_freq2 > 0.0 ? 1.0 / std::sqrt(best_freq2) : 0.0;
+}
+
+PatternClass classify_pattern(const PatternMetrics& m) {
+  if (m.covered_fraction < 0.01) return PatternClass::uniform;
+  const auto n_total =
+      m.covered_fraction > 0.0
+          ? static_cast<double>(m.largest_component) / m.covered_fraction
+          : 1.0;
+  const double largest_frac =
+      n_total > 0.0 ? static_cast<double>(m.largest_component) / n_total : 0;
+  if (m.component_count >= 5 && largest_frac < 0.5) {
+    return PatternClass::spots;
+  }
+  if (m.component_count <= 4 && m.covered_fraction > 0.15) {
+    return PatternClass::stripes;
+  }
+  return PatternClass::mixed;
+}
+
+}  // namespace gs::analysis

@@ -1,0 +1,54 @@
+// Quantitative pattern metrics for Gray-Scott solutions.
+//
+// The application the paper runs is Pearson's classic pattern-forming
+// system (Science 1993, the paper's reference [33]): depending on (F, k)
+// the V field self-organizes into spots, stripes/labyrinths, or decays to
+// the trivial state. These metrics turn a rendered slice into numbers a
+// test or parameter sweep can assert on: thresholded coverage, connected
+// components (spot count), and interface density.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "analysis/analysis.h"
+
+namespace gs::analysis {
+
+struct PatternMetrics {
+  double threshold = 0.0;      ///< the V level used for segmentation
+  double covered_fraction = 0.0;   ///< cells above threshold / all cells
+  std::size_t component_count = 0; ///< 4-connected regions above threshold
+  std::size_t largest_component = 0;  ///< cells in the biggest region
+  double interface_fraction = 0.0; ///< above-threshold cells with a
+                                   ///< below-threshold 4-neighbor / all
+};
+
+/// Counts 4-connected components of `slice.values > threshold`
+/// (union-find, no recursion — safe for large slices).
+std::size_t count_components(const Slice2D& slice, double threshold);
+
+/// Computes the full metric set for a slice at a threshold.
+PatternMetrics analyze_pattern(const Slice2D& slice, double threshold);
+
+/// Coarse morphology classes of the Pearson phase diagram.
+enum class PatternClass {
+  uniform,   ///< (near) nothing above threshold — trivial state
+  spots,     ///< many small disconnected regions
+  stripes,   ///< few large connected high-coverage regions
+  mixed,     ///< in between / transitional
+};
+
+const char* to_string(PatternClass c);
+
+/// Heuristic classification from the metrics.
+PatternClass classify_pattern(const PatternMetrics& m);
+
+/// Dominant spatial wavelength of the slice's fluctuation field, in cell
+/// units, from the peak of a (naive) 2-D DFT power spectrum — the
+/// characteristic pattern length Pearson's phase diagram organizes by.
+/// Returns 0 for a (near-)uniform slice. O(n^2 * modes): intended for
+/// the modest slice sizes of analysis sessions.
+double dominant_wavelength(const Slice2D& slice);
+
+}  // namespace gs::analysis

@@ -1,0 +1,171 @@
+#include "bp/compress.h"
+
+#include <bit>
+#include <cstring>
+
+#include "common/error.h"
+
+namespace gs::bp {
+
+// -------------------------------------------------------------- BitWriter
+
+void BitWriter::put_bit(bool bit) {
+  current_ = static_cast<std::uint8_t>((current_ << 1) | (bit ? 1 : 0));
+  if (++filled_ == 8) {
+    bytes_.push_back(static_cast<std::byte>(current_));
+    current_ = 0;
+    filled_ = 0;
+  }
+  ++bit_count_;
+}
+
+void BitWriter::put_bits(std::uint64_t value, int n_bits) {
+  GS_ASSERT(n_bits >= 0 && n_bits <= 64, "put_bits width out of range");
+  for (int b = n_bits - 1; b >= 0; --b) {
+    put_bit(((value >> b) & 1ULL) != 0);
+  }
+}
+
+std::vector<std::byte> BitWriter::finish() {
+  if (filled_ > 0) {
+    bytes_.push_back(
+        static_cast<std::byte>(current_ << (8 - filled_)));
+    current_ = 0;
+    filled_ = 0;
+  }
+  return std::move(bytes_);
+}
+
+// -------------------------------------------------------------- BitReader
+
+bool BitReader::get_bit() {
+  const std::size_t byte_idx = pos_ / 8;
+  GS_REQUIRE(byte_idx < data_.size(), "bit stream exhausted");
+  const int bit_idx = 7 - static_cast<int>(pos_ % 8);
+  ++pos_;
+  return (static_cast<std::uint8_t>(data_[byte_idx]) >> bit_idx) & 1;
+}
+
+std::uint64_t BitReader::get_bits(int n_bits) {
+  GS_ASSERT(n_bits >= 0 && n_bits <= 64, "get_bits width out of range");
+  std::uint64_t v = 0;
+  for (int b = 0; b < n_bits; ++b) {
+    v = (v << 1) | (get_bit() ? 1ULL : 0ULL);
+  }
+  return v;
+}
+
+// ------------------------------------------------------------------ codec
+
+namespace {
+
+std::uint64_t to_bits(double d) {
+  std::uint64_t u;
+  std::memcpy(&u, &d, sizeof(d));
+  return u;
+}
+
+double from_bits(std::uint64_t u) {
+  double d;
+  std::memcpy(&d, &u, sizeof(d));
+  return d;
+}
+
+}  // namespace
+
+std::vector<std::byte> compress_doubles(std::span<const double> values) {
+  BitWriter out;
+  // Header: value count as 64 raw bits.
+  out.put_bits(values.size(), 64);
+
+  std::uint64_t prev = 0;
+  int prev_lead = -1;  // invalid: forces a window on first XOR
+  int prev_len = 0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const std::uint64_t bits = to_bits(values[i]);
+    if (i == 0) {
+      out.put_bits(bits, 64);
+      prev = bits;
+      continue;
+    }
+    const std::uint64_t x = bits ^ prev;
+    prev = bits;
+    if (x == 0) {
+      out.put_bit(false);
+      continue;
+    }
+    out.put_bit(true);
+    int lead = std::countl_zero(x);
+    const int trail = std::countr_zero(x);
+    if (lead > 31) lead = 31;  // 5-bit field
+    const int len = 64 - lead - trail;
+
+    if (prev_lead >= 0 && lead >= prev_lead &&
+        trail >= 64 - prev_lead - prev_len) {
+      // Fits the previous window: '0' + prev_len bits.
+      out.put_bit(false);
+      out.put_bits(x >> (64 - prev_lead - prev_len), prev_len);
+    } else {
+      // New window: '1' + 5-bit lead + 6-bit (len-1) + len bits.
+      out.put_bit(true);
+      out.put_bits(static_cast<std::uint64_t>(lead), 5);
+      out.put_bits(static_cast<std::uint64_t>(len - 1), 6);
+      out.put_bits(x >> trail, len);
+      prev_lead = lead;
+      prev_len = len;
+    }
+  }
+  return out.finish();
+}
+
+std::vector<double> decompress_doubles(std::span<const std::byte> data) {
+  BitReader in(data);
+  const std::uint64_t count = in.get_bits(64);
+  // Sanity bound: the stream must plausibly hold `count` values (>= 1 bit
+  // each after the first).
+  GS_REQUIRE(count <= data.size() * 8,
+             "corrupt compressed stream: count " << count
+                                                 << " exceeds stream bits");
+  std::vector<double> out;
+  out.reserve(count);
+
+  std::uint64_t prev = 0;
+  int prev_lead = 0;
+  int prev_len = 0;
+  bool have_window = false;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    if (i == 0) {
+      prev = in.get_bits(64);
+      out.push_back(from_bits(prev));
+      continue;
+    }
+    if (!in.get_bit()) {  // identical
+      out.push_back(from_bits(prev));
+      continue;
+    }
+    std::uint64_t x = 0;
+    if (!in.get_bit()) {
+      GS_REQUIRE(have_window, "corrupt stream: window reuse before set");
+      x = in.get_bits(prev_len) << (64 - prev_lead - prev_len);
+    } else {
+      prev_lead = static_cast<int>(in.get_bits(5));
+      prev_len = static_cast<int>(in.get_bits(6)) + 1;
+      have_window = true;
+      const int trail = 64 - prev_lead - prev_len;
+      GS_REQUIRE(trail >= 0, "corrupt stream: bad window");
+      x = in.get_bits(prev_len) << trail;
+    }
+    prev ^= x;
+    out.push_back(from_bits(prev));
+  }
+  return out;
+}
+
+double compression_ratio(std::span<const double> values) {
+  if (values.empty()) return 1.0;
+  const auto compressed = compress_doubles(values);
+  return static_cast<double>(values.size_bytes()) /
+         static_cast<double>(compressed.size());
+}
+
+}  // namespace gs::bp

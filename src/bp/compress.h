@@ -1,0 +1,67 @@
+// Lossless floating-point compression for BP blocks — the counterpart of
+// ADIOS2's compression operators (Blosc/zfp) in the paper's I/O stack.
+//
+// Codec: Gorilla-style XOR compression (Pelkonen et al., VLDB 2015),
+// which exploits the bit-level similarity of consecutive values. Smooth
+// PDE fields like the Gray-Scott U/V arrays compress well because
+// neighboring (column-major-adjacent) cells differ in few mantissa bits;
+// incompressible data degrades gracefully to ~101% of input size.
+//
+// Wire format per value:
+//   '0'                             -> identical to previous value
+//   '10' + meaningful bits          -> XOR fits the previous leading/
+//                                      trailing-zero window
+//   '11' + 5b lead + 6b len + bits  -> new window
+// The first value is stored verbatim (64 bits).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace gs::bp {
+
+/// Append-only bit stream writer (MSB-first within bytes).
+class BitWriter {
+ public:
+  void put_bit(bool bit);
+  void put_bits(std::uint64_t value, int n_bits);  // low n_bits, MSB first
+
+  /// Flushes partial byte (zero-padded) and returns the buffer.
+  std::vector<std::byte> finish();
+
+  std::size_t bit_count() const { return bit_count_; }
+
+ private:
+  std::vector<std::byte> bytes_;
+  std::uint8_t current_ = 0;
+  int filled_ = 0;
+  std::size_t bit_count_ = 0;
+};
+
+/// Sequential bit stream reader.
+class BitReader {
+ public:
+  explicit BitReader(std::span<const std::byte> data) : data_(data) {}
+
+  bool get_bit();
+  std::uint64_t get_bits(int n_bits);
+
+  std::size_t bits_consumed() const { return pos_; }
+
+ private:
+  std::span<const std::byte> data_;
+  std::size_t pos_ = 0;  // bit position
+};
+
+/// Compresses a double array. Output layout: u64 count, then the bit
+/// stream.
+std::vector<std::byte> compress_doubles(std::span<const double> values);
+
+/// Exact inverse of compress_doubles. Throws gs::Error on malformed input.
+std::vector<double> decompress_doubles(std::span<const std::byte> data);
+
+/// Compression ratio helper (input bytes / output bytes).
+double compression_ratio(std::span<const double> values);
+
+}  // namespace gs::bp

@@ -1,0 +1,166 @@
+#include "bp/format.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace gs::bp {
+
+namespace {
+
+json::Value index3_to_json(const Index3& v) {
+  json::Array a;
+  a.emplace_back(v.i);
+  a.emplace_back(v.j);
+  a.emplace_back(v.k);
+  return json::Value(std::move(a));
+}
+
+Index3 index3_from_json(const json::Value& v) {
+  const auto& a = v.as_array();
+  GS_REQUIRE(a.size() == 3, "expected 3-element index array");
+  return {a[0].as_int(), a[1].as_int(), a[2].as_int()};
+}
+
+}  // namespace
+
+json::Value BlockRecord::to_json() const {
+  json::Object o;
+  o["rank"] = json::Value(static_cast<std::int64_t>(rank));
+  o["start"] = index3_to_json(box.start);
+  o["count"] = index3_to_json(box.count);
+  o["min"] = json::Value(min);
+  o["max"] = json::Value(max);
+  o["subfile"] = json::Value(static_cast<std::int64_t>(subfile));
+  o["offset"] = json::Value(static_cast<std::int64_t>(offset));
+  o["crc"] = json::Value(static_cast<std::int64_t>(crc));
+  if (!codec.empty()) o["codec"] = json::Value(codec);
+  o["stored_bytes"] = json::Value(static_cast<std::int64_t>(stored_bytes));
+  return json::Value(std::move(o));
+}
+
+BlockRecord BlockRecord::from_json(const json::Value& v) {
+  BlockRecord b;
+  b.rank = static_cast<int>(v.at("rank").as_int());
+  b.box.start = index3_from_json(v.at("start"));
+  b.box.count = index3_from_json(v.at("count"));
+  b.min = v.at("min").as_double();
+  b.max = v.at("max").as_double();
+  b.subfile = static_cast<int>(v.at("subfile").as_int());
+  b.offset = static_cast<std::uint64_t>(v.at("offset").as_int());
+  b.crc = static_cast<std::uint32_t>(v.get_or("crc", std::int64_t{0}));
+  b.codec = v.get_or("codec", std::string());
+  b.stored_bytes = static_cast<std::uint64_t>(v.get_or(
+      "stored_bytes",
+      static_cast<std::int64_t>(b.box.volume() * 8)));
+  return b;
+}
+
+double VarRecord::global_min() const {
+  double m = 0.0;
+  bool first = true;
+  for (const auto& step : steps) {
+    for (const auto& blk : step) {
+      m = first ? blk.min : std::min(m, blk.min);
+      first = false;
+    }
+  }
+  return m;
+}
+
+double VarRecord::global_max() const {
+  double m = 0.0;
+  bool first = true;
+  for (const auto& step : steps) {
+    for (const auto& blk : step) {
+      m = first ? blk.max : std::max(m, blk.max);
+      first = false;
+    }
+  }
+  return m;
+}
+
+json::Value VarRecord::to_json() const {
+  json::Object o;
+  o["name"] = json::Value(name);
+  o["type"] = json::Value(type);
+  o["shape"] = index3_to_json(shape);
+  if (is_scalar()) {
+    json::Array vals;
+    for (const auto s : scalar_steps) vals.emplace_back(s);
+    o["values"] = json::Value(std::move(vals));
+  } else {
+    json::Array steps_json;
+    for (const auto& step : steps) {
+      json::Array blocks_json;
+      for (const auto& blk : step) blocks_json.push_back(blk.to_json());
+      steps_json.emplace_back(std::move(blocks_json));
+    }
+    o["steps"] = json::Value(std::move(steps_json));
+  }
+  return json::Value(std::move(o));
+}
+
+VarRecord VarRecord::from_json(const json::Value& v) {
+  VarRecord r;
+  r.name = v.at("name").as_string();
+  r.type = v.at("type").as_string();
+  r.shape = index3_from_json(v.at("shape"));
+  if (r.is_scalar()) {
+    for (const auto& val : v.at("values").as_array()) {
+      r.scalar_steps.push_back(val.as_int());
+    }
+  } else {
+    for (const auto& step : v.at("steps").as_array()) {
+      std::vector<BlockRecord> blocks;
+      for (const auto& blk : step.as_array()) {
+        blocks.push_back(BlockRecord::from_json(blk));
+      }
+      r.steps.push_back(std::move(blocks));
+    }
+  }
+  return r;
+}
+
+VarRecord* Index::find(const std::string& name) {
+  for (auto& v : variables) {
+    if (v.name == name) return &v;
+  }
+  return nullptr;
+}
+
+const VarRecord* Index::find(const std::string& name) const {
+  for (const auto& v : variables) {
+    if (v.name == name) return &v;
+  }
+  return nullptr;
+}
+
+json::Value Index::to_json() const {
+  json::Object o;
+  o["format"] = json::Value("bp-mini/1");
+  o["n_steps"] = json::Value(n_steps);
+  o["attributes"] = json::Value(attributes);
+  json::Array vars;
+  for (const auto& v : variables) vars.push_back(v.to_json());
+  o["variables"] = json::Value(std::move(vars));
+  return json::Value(std::move(o));
+}
+
+Index Index::from_json(const json::Value& v) {
+  GS_REQUIRE(v.get_or("format", std::string()) == "bp-mini/1",
+             "not a bp-mini dataset (bad or missing format tag)");
+  Index idx;
+  idx.n_steps = v.at("n_steps").as_int();
+  idx.attributes = v.at("attributes").as_object();
+  for (const auto& var : v.at("variables").as_array()) {
+    idx.variables.push_back(VarRecord::from_json(var));
+  }
+  return idx;
+}
+
+std::string subfile_name(int node_id) {
+  return "data." + std::to_string(node_id);
+}
+
+}  // namespace gs::bp

@@ -1,0 +1,78 @@
+// BP-mini: a self-describing, step-based, block-structured parallel data
+// format modeled on ADIOS2's BP5 engine (paper Section 3.4 / 5.3).
+//
+// Layout of a dataset directory `<name>.bp/`:
+//   md.idx     JSON metadata index: attributes, variable declarations, and
+//              per-step, per-block records (owning rank, box, min/max,
+//              subfile id, byte offset).
+//   data.<n>   raw little-endian doubles, one subfile per NODE — ranks on
+//              a node funnel their blocks through a node aggregator,
+//              BP5's default one-subfile-per-node aggregation that the
+//              paper's Figure 8 measurements rely on.
+//
+// Supported contents (what GrayScott.jl writes, Listing 1): global 3-D
+// double arrays written as per-rank blocks, int64 scalars (the `step`
+// series), and JSON-typed attributes (physics constants, schema names).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "config/json.h"
+#include "grid/box.h"
+
+namespace gs::bp {
+
+/// One rank's contribution to a variable at one step.
+struct BlockRecord {
+  int rank = 0;
+  Box3 box;             ///< global (start, count) selection
+  double min = 0.0;
+  double max = 0.0;
+  int subfile = 0;      ///< data.<subfile>
+  std::uint64_t offset = 0;  ///< byte offset of the block in the subfile
+  std::uint32_t crc = 0;     ///< CRC-32 of the (uncompressed) payload
+  std::string codec;         ///< "" = raw doubles, "gorilla" = compressed
+  std::uint64_t stored_bytes = 0;  ///< bytes on disk (== payload if raw)
+
+  json::Value to_json() const;
+  static BlockRecord from_json(const json::Value& v);
+};
+
+/// A declared variable.
+struct VarRecord {
+  std::string name;
+  std::string type;  ///< "double" (3-D array) or "int64" (scalar)
+  Index3 shape;      ///< global extent; {1,1,1} for scalars
+  /// blocks[step] -> contributions at that step.
+  std::vector<std::vector<BlockRecord>> steps;
+  /// Scalar value per step (type == "int64").
+  std::vector<std::int64_t> scalar_steps;
+
+  bool is_scalar() const { return type == "int64"; }
+  double global_min() const;
+  double global_max() const;
+
+  json::Value to_json() const;
+  static VarRecord from_json(const json::Value& v);
+};
+
+/// The full metadata index (contents of md.idx).
+struct Index {
+  std::int64_t n_steps = 0;
+  json::Object attributes;
+  std::vector<VarRecord> variables;
+
+  VarRecord* find(const std::string& name);
+  const VarRecord* find(const std::string& name) const;
+
+  json::Value to_json() const;
+  static Index from_json(const json::Value& v);
+};
+
+/// Subfile name for a node id.
+std::string subfile_name(int node_id);
+inline constexpr const char* kIndexFile = "md.idx";
+
+}  // namespace gs::bp

@@ -1,0 +1,275 @@
+#include "bp/reader.h"
+
+#include "bp/compress.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/checksum.h"
+#include "common/error.h"
+#include "common/format.h"
+#include "grid/field.h"
+
+namespace gs::bp {
+
+namespace fs = std::filesystem;
+
+Reader::Reader(std::string path) : path_(std::move(path)) {
+  const fs::path idx = fs::path(path_) / kIndexFile;
+  if (!fs::exists(idx)) {
+    GS_THROW(IoError, "not a bp-mini dataset (missing " << idx.string()
+                                                        << ")");
+  }
+  index_ = Index::from_json(json::parse_file(idx.string()));
+}
+
+std::vector<std::string> Reader::variable_names() const {
+  std::vector<std::string> out;
+  out.reserve(index_.variables.size());
+  for (const auto& v : index_.variables) out.push_back(v.name);
+  return out;
+}
+
+std::vector<std::string> Reader::attribute_names() const {
+  std::vector<std::string> out;
+  out.reserve(index_.attributes.size());
+  for (const auto& [k, v] : index_.attributes) {
+    (void)v;
+    out.push_back(k);
+  }
+  return out;
+}
+
+bool Reader::has_variable(const std::string& name) const {
+  return index_.find(name) != nullptr;
+}
+
+const json::Value& Reader::attribute(const std::string& name) const {
+  const auto it = index_.attributes.find(name);
+  if (it == index_.attributes.end()) {
+    GS_THROW(IoError, "dataset has no attribute \"" << name << "\"");
+  }
+  return it->second;
+}
+
+const VarRecord& Reader::var(const std::string& name) const {
+  const VarRecord* v = index_.find(name);
+  if (v == nullptr) {
+    GS_THROW(IoError, "dataset has no variable \"" << name << "\"");
+  }
+  return *v;
+}
+
+Reader::VarInfo Reader::info(const std::string& name) const {
+  const VarRecord& v = var(name);
+  VarInfo out;
+  out.name = v.name;
+  out.type = v.type;
+  out.shape = v.shape;
+  if (v.is_scalar()) {
+    out.steps = static_cast<std::int64_t>(v.scalar_steps.size());
+    if (!v.scalar_steps.empty()) {
+      auto [mn, mx] = std::minmax_element(v.scalar_steps.begin(),
+                                          v.scalar_steps.end());
+      out.min = static_cast<double>(*mn);
+      out.max = static_cast<double>(*mx);
+    }
+  } else {
+    out.steps = static_cast<std::int64_t>(v.steps.size());
+    out.min = v.global_min();
+    out.max = v.global_max();
+  }
+  return out;
+}
+
+std::vector<BlockRecord> Reader::blocks(const std::string& name,
+                                        std::int64_t step) const {
+  const VarRecord& v = var(name);
+  GS_REQUIRE(!v.is_scalar(), "\"" << name << "\" is a scalar");
+  GS_REQUIRE(step >= 0 && step < static_cast<std::int64_t>(v.steps.size()),
+             "step " << step << " out of range for \"" << name << "\"");
+  return v.steps[static_cast<std::size_t>(step)];
+}
+
+std::vector<double> Reader::load_block(const BlockRecord& block,
+                                       const std::string& type) const {
+  const fs::path file = fs::path(path_) / subfile_name(block.subfile);
+  std::ifstream in(file, std::ios::binary);
+  if (!in) {
+    GS_THROW(IoError, "cannot open subfile " << file.string());
+  }
+  in.seekg(static_cast<std::streamoff>(block.offset));
+  std::vector<double> data;
+  if (type == "float") {
+    // Single-precision storage: read raw floats, verify, widen.
+    GS_REQUIRE(block.codec.empty(), "compressed float blocks unsupported");
+    std::vector<float> raw(static_cast<std::size_t>(block.box.volume()));
+    in.read(reinterpret_cast<char*>(raw.data()),
+            static_cast<std::streamsize>(raw.size() * sizeof(float)));
+    GS_REQUIRE(in.gcount() ==
+                   static_cast<std::streamsize>(raw.size() * sizeof(float)),
+               "short read from " << file.string() << " at offset "
+                                  << block.offset);
+    if (block.crc != 0 &&
+        gs::crc32_of(std::span<const float>(raw.data(), raw.size())) !=
+            block.crc) {
+      GS_THROW(IoError, "CRC mismatch in " << file.string() << " at offset "
+                                           << block.offset
+                                           << ": data is corrupted");
+    }
+    data.assign(raw.begin(), raw.end());
+    return data;
+  }
+  if (block.codec.empty()) {
+    data.resize(static_cast<std::size_t>(block.box.volume()));
+    in.read(reinterpret_cast<char*>(data.data()),
+            static_cast<std::streamsize>(data.size() * sizeof(double)));
+    GS_REQUIRE(
+        in.gcount() ==
+            static_cast<std::streamsize>(data.size() * sizeof(double)),
+        "short read from " << file.string() << " at offset "
+                           << block.offset);
+  } else {
+    GS_REQUIRE(block.codec == "gorilla",
+               "unknown codec \"" << block.codec << "\"");
+    std::vector<std::byte> packed(block.stored_bytes);
+    in.read(reinterpret_cast<char*>(packed.data()),
+            static_cast<std::streamsize>(packed.size()));
+    GS_REQUIRE(in.gcount() == static_cast<std::streamsize>(packed.size()),
+               "short read from " << file.string() << " at offset "
+                                  << block.offset);
+    data = decompress_doubles(packed);
+    GS_REQUIRE(data.size() == static_cast<std::size_t>(block.box.volume()),
+               "decompressed size mismatch in " << file.string());
+  }
+  // Integrity: verify the stored CRC-32 (0 = legacy block without one).
+  if (block.crc != 0) {
+    const std::uint32_t actual =
+        gs::crc32_of(std::span<const double>(data.data(), data.size()));
+    if (actual != block.crc) {
+      GS_THROW(IoError, "CRC mismatch in " << file.string() << " at offset "
+                                           << block.offset
+                                           << ": data is corrupted");
+    }
+  }
+  return data;
+}
+
+std::vector<double> Reader::read(const std::string& name, std::int64_t step,
+                                 const Box3& selection) const {
+  GS_REQUIRE(!selection.empty(), "empty selection");
+  const VarRecord& v = var(name);
+  GS_REQUIRE(!v.is_scalar(), "\"" << name << "\" is a scalar");
+  GS_REQUIRE(selection.start.i >= 0 && selection.start.j >= 0 &&
+                 selection.start.k >= 0 &&
+                 selection.end().i <= v.shape.i &&
+                 selection.end().j <= v.shape.j &&
+                 selection.end().k <= v.shape.k,
+             "selection " << selection << " outside shape " << v.shape);
+
+  std::vector<double> out(static_cast<std::size_t>(selection.volume()), 0.0);
+  for (const BlockRecord& block : blocks(name, step)) {
+    const Box3 overlap = block.box.intersect(selection);
+    if (overlap.empty()) continue;
+    const std::vector<double> data = load_block(block, v.type);
+    // Copy row-runs from the block frame into the selection frame.
+    for (std::int64_t k = overlap.start.k; k < overlap.end().k; ++k) {
+      for (std::int64_t j = overlap.start.j; j < overlap.end().j; ++j) {
+        const Index3 src_local{overlap.start.i - block.box.start.i,
+                               j - block.box.start.j, k - block.box.start.k};
+        const Index3 dst_local{overlap.start.i - selection.start.i,
+                               j - selection.start.j, k - selection.start.k};
+        const auto src_off = static_cast<std::size_t>(
+            linear_index(src_local, block.box.count));
+        const auto dst_off = static_cast<std::size_t>(
+            linear_index(dst_local, selection.count));
+        std::copy_n(data.begin() + static_cast<std::ptrdiff_t>(src_off),
+                    overlap.count.i,
+                    out.begin() + static_cast<std::ptrdiff_t>(dst_off));
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<double> Reader::read_full(const std::string& name,
+                                      std::int64_t step) const {
+  const VarRecord& v = var(name);
+  return read(name, step, Box3{{0, 0, 0}, v.shape});
+}
+
+std::int64_t Reader::read_scalar(const std::string& name,
+                                 std::int64_t step) const {
+  const VarRecord& v = var(name);
+  GS_REQUIRE(v.is_scalar(), "\"" << name << "\" is not a scalar");
+  GS_REQUIRE(step >= 0 &&
+                 step < static_cast<std::int64_t>(v.scalar_steps.size()),
+             "step " << step << " out of range for scalar \"" << name
+                     << "\"");
+  return v.scalar_steps[static_cast<std::size_t>(step)];
+}
+
+std::vector<double> Reader::read_block(const std::string& name,
+                                       std::int64_t step,
+                                       std::size_t block_index) const {
+  const auto blks = blocks(name, step);
+  GS_REQUIRE(block_index < blks.size(),
+             "block index " << block_index << " out of " << blks.size());
+  return load_block(blks[block_index], var(name).type);
+}
+
+// ----------------------------------------------------------------- dump
+
+std::string dump(const Reader& reader) {
+  std::ostringstream oss;
+  const auto fmt_double = [](double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%g", v);
+    return std::string(buf);
+  };
+
+  // Attributes first, Listing 1 style:
+  //   double   Du    attr   = 0.2
+  for (const auto& name : reader.attribute_names()) {
+    const auto& v = reader.attribute(name);
+    if (v.is_number()) {
+      char line[128];
+      std::snprintf(line, sizeof(line), "  double   %-8s attr   = %s",
+                    name.c_str(), fmt_double(v.as_double()).c_str());
+      oss << line << "\n";
+    } else if (v.is_string()) {
+      oss << "  string   " << name << " attr   = \"" << v.as_string()
+          << "\"\n";
+    } else {
+      oss << "  attr     " << name << " = " << v.dump() << "\n";
+    }
+  }
+
+  // Variables:
+  //   double   U   100*{64, 64, 64} = Min/Max -0.12 / 1.47
+  //   int64_t  step 50*scalar = 20 / 1000
+  for (const auto& name : reader.variable_names()) {
+    const auto info = reader.info(name);
+    if (info.type == "int64") {
+      oss << "  int64_t  " << info.name << "  " << info.steps
+          << "*scalar = " << static_cast<std::int64_t>(info.min) << " / "
+          << static_cast<std::int64_t>(info.max) << "\n";
+    } else {
+      char type_col[16];
+      std::snprintf(type_col, sizeof(type_col), "%-8s",
+                    info.type.c_str());
+      oss << "  " << type_col << " " << info.name << "  " << info.steps << "*{"
+          << info.shape.i << ", " << info.shape.j << ", " << info.shape.k
+          << "}  Min/Max " << fmt_double(info.min) << " / "
+          << fmt_double(info.max) << "\n";
+    }
+  }
+  return oss.str();
+}
+
+std::string dump(const std::string& path) { return dump(Reader(path)); }
+
+}  // namespace gs::bp

@@ -1,0 +1,81 @@
+// BP-mini reader: the data-analysis side of the workflow (paper Figure 9,
+// where a Jupyter/Makie session consumes the ADIOS2 dataset).
+//
+// Serial API (any process can open a finished dataset): introspect
+// variables/attributes/steps, read whole steps or arbitrary box
+// selections — a selection read visits only the blocks that intersect it,
+// exactly how ADIOS2 serves a reader a sub-volume without touching the
+// rest of the file.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bp/format.h"
+
+namespace gs::bp {
+
+class Reader {
+ public:
+  /// Opens a dataset directory (throws gs::IoError if absent/corrupt).
+  explicit Reader(std::string path);
+
+  // ---- introspection ---------------------------------------------------
+  std::int64_t n_steps() const { return index_.n_steps; }
+  std::vector<std::string> variable_names() const;
+  std::vector<std::string> attribute_names() const;
+  bool has_variable(const std::string& name) const;
+  const json::Value& attribute(const std::string& name) const;
+
+  struct VarInfo {
+    std::string name;
+    std::string type;
+    Index3 shape;
+    std::int64_t steps = 0;
+    double min = 0.0;  ///< global over all steps (Listing 1's Min/Max)
+    double max = 0.0;
+  };
+  VarInfo info(const std::string& name) const;
+
+  /// Block layout of an array variable at one step.
+  std::vector<BlockRecord> blocks(const std::string& name,
+                                  std::int64_t step) const;
+
+  // ---- data ------------------------------------------------------------
+  /// Reads `selection` (global coordinates) of an array variable at one
+  /// step into a column-major buffer of selection.count cells.
+  std::vector<double> read(const std::string& name, std::int64_t step,
+                           const Box3& selection) const;
+
+  /// Reads the full global array at one step.
+  std::vector<double> read_full(const std::string& name,
+                                std::int64_t step) const;
+
+  /// Reads an int64 scalar at one step.
+  std::int64_t read_scalar(const std::string& name, std::int64_t step) const;
+
+  /// Reads one block's raw payload (block-level access, bpls -D style);
+  /// `block_index` indexes the step's blocks() list.
+  std::vector<double> read_block(const std::string& name, std::int64_t step,
+                                 std::size_t block_index) const;
+
+  const Index& index() const { return index_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  Index index_;
+
+  const VarRecord& var(const std::string& name) const;
+  /// Loads one block from its subfile as doubles (widening float
+  /// storage), verifying the CRC.
+  std::vector<double> load_block(const BlockRecord& block,
+                                 const std::string& type) const;
+};
+
+/// bpls-style provenance dump of a dataset (reproduces paper Listing 1).
+std::string dump(const std::string& path);
+std::string dump(const Reader& reader);
+
+}  // namespace gs::bp

@@ -1,0 +1,256 @@
+#include "bp/stream.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "grid/field.h"
+
+namespace gs::bp {
+
+// ------------------------------------------------------------ StreamStep
+
+std::vector<double> StreamStep::assemble(const std::string& name) const {
+  const auto it = arrays.find(name);
+  GS_REQUIRE(it != arrays.end(), "stream step has no array \"" << name
+                                                               << "\"");
+  return read(name, Box3{{0, 0, 0}, it->second.shape});
+}
+
+std::vector<double> StreamStep::read(const std::string& name,
+                                     const Box3& selection) const {
+  const auto it = arrays.find(name);
+  GS_REQUIRE(it != arrays.end(), "stream step has no array \"" << name
+                                                               << "\"");
+  GS_REQUIRE(!selection.empty(), "empty selection");
+  const ArrayVar& var = it->second;
+  std::vector<double> out(static_cast<std::size_t>(selection.volume()),
+                          0.0);
+  for (const Block& block : var.blocks) {
+    const Box3 overlap = block.box.intersect(selection);
+    if (overlap.empty()) continue;
+    for (std::int64_t k = overlap.start.k; k < overlap.end().k; ++k) {
+      for (std::int64_t j = overlap.start.j; j < overlap.end().j; ++j) {
+        const Index3 src_local{overlap.start.i - block.box.start.i,
+                               j - block.box.start.j,
+                               k - block.box.start.k};
+        const Index3 dst_local{overlap.start.i - selection.start.i,
+                               j - selection.start.j,
+                               k - selection.start.k};
+        std::copy_n(
+            block.data.begin() +
+                static_cast<std::ptrdiff_t>(
+                    linear_index(src_local, block.box.count)),
+            overlap.count.i,
+            out.begin() + static_cast<std::ptrdiff_t>(
+                              linear_index(dst_local, selection.count)));
+      }
+    }
+  }
+  return out;
+}
+
+// ----------------------------------------------------------------- Stream
+
+Stream::Stream(std::size_t capacity) : capacity_(capacity) {
+  GS_REQUIRE(capacity_ > 0, "stream capacity must be positive");
+}
+
+std::size_t Stream::pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+void Stream::push(StreamStep step) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  GS_REQUIRE(!closed_, "push() on a closed stream");
+  not_full_.wait(lock, [&] { return queue_.size() < capacity_; });
+  queue_.push_back(std::move(step));
+  max_depth_ = std::max(max_depth_, queue_.size());
+  lock.unlock();
+  not_empty_.notify_one();
+}
+
+void Stream::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  not_empty_.notify_all();
+}
+
+bool Stream::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+std::optional<StreamStep> Stream::next() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  not_empty_.wait(lock, [&] { return !queue_.empty() || closed_; });
+  if (queue_.empty()) return std::nullopt;  // closed and drained
+  StreamStep step = std::move(queue_.front());
+  queue_.pop_front();
+  lock.unlock();
+  not_full_.notify_one();
+  return step;
+}
+
+void Stream::set_attributes(json::Object attributes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  attributes_ = std::move(attributes);
+}
+
+json::Object Stream::attributes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return attributes_;
+}
+
+std::size_t Stream::max_depth_seen() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return max_depth_;
+}
+
+// ----------------------------------------------------------- StreamWriter
+
+namespace {
+constexpr int kTagStreamCount = 9101;
+constexpr int kTagStreamMeta = 9102;
+constexpr int kTagStreamData = 9103;
+
+std::vector<std::byte> to_bytes(const std::string& s) {
+  const auto* p = reinterpret_cast<const std::byte*>(s.data());
+  return std::vector<std::byte>(p, p + s.size());
+}
+}  // namespace
+
+StreamWriter::StreamWriter(Stream& stream, mpi::Comm& comm)
+    : stream_(stream), comm_(comm.dup()) {}
+
+StreamWriter::~StreamWriter() {
+  // Best effort; an explicit close() surfaces errors and synchronizes.
+  if (!closed_ && comm_.rank() == 0 && !stream_.closed()) {
+    stream_.close();
+  }
+}
+
+void StreamWriter::define_attribute(const std::string& name,
+                                    json::Value value) {
+  GS_REQUIRE(!closed_, "stream writer is closed");
+  if (comm_.rank() == 0) attributes_[name] = std::move(value);
+}
+
+void StreamWriter::begin_step() {
+  GS_REQUIRE(!closed_, "stream writer is closed");
+  GS_REQUIRE(!in_step_, "begin_step() while a step is open");
+  in_step_ = true;
+  pending_ = StreamStep{};
+  pending_.sequence = sequence_;
+}
+
+void StreamWriter::put(const std::string& name, const Index3& global_shape,
+                       const Box3& local_box,
+                       std::span<const double> data) {
+  GS_REQUIRE(in_step_, "put() outside a step");
+  GS_REQUIRE(data.size() == static_cast<std::size_t>(local_box.volume()),
+             "put(\"" << name << "\") size mismatch");
+  auto& var = pending_.arrays[name];
+  if (var.blocks.empty()) {
+    var.shape = global_shape;
+  } else {
+    GS_REQUIRE(var.shape == global_shape,
+               "inconsistent shape for \"" << name << "\"");
+  }
+  StreamStep::Block b;
+  b.rank = comm_.rank();
+  b.box = local_box;
+  b.data.assign(data.begin(), data.end());
+  var.blocks.push_back(std::move(b));
+}
+
+void StreamWriter::put_scalar(const std::string& name, std::int64_t value) {
+  GS_REQUIRE(in_step_, "put_scalar() outside a step");
+  if (comm_.rank() == 0) pending_.scalars[name] = value;
+}
+
+void StreamWriter::end_step() {
+  GS_REQUIRE(in_step_, "end_step() without begin_step()");
+  in_step_ = false;
+
+  if (comm_.rank() != 0) {
+    // Ship each array block (metadata JSON + payload) to rank 0.
+    std::int64_t n_blocks = 0;
+    for (const auto& [name, var] : pending_.arrays) {
+      n_blocks += static_cast<std::int64_t>(var.blocks.size());
+    }
+    comm_.send_value(n_blocks, 0, kTagStreamCount);
+    for (const auto& [name, var] : pending_.arrays) {
+      for (const auto& block : var.blocks) {
+        json::Object meta;
+        meta["name"] = json::Value(name);
+        json::Array shape, start, count;
+        for (const auto v :
+             {var.shape.i, var.shape.j, var.shape.k}) {
+          shape.emplace_back(v);
+        }
+        for (const auto v :
+             {block.box.start.i, block.box.start.j, block.box.start.k}) {
+          start.emplace_back(v);
+        }
+        for (const auto v :
+             {block.box.count.i, block.box.count.j, block.box.count.k}) {
+          count.emplace_back(v);
+        }
+        meta["shape"] = json::Value(std::move(shape));
+        meta["start"] = json::Value(std::move(start));
+        meta["count"] = json::Value(std::move(count));
+        comm_.send_bytes(to_bytes(json::Value(std::move(meta)).dump()), 0,
+                         kTagStreamMeta);
+        comm_.send(std::span<const double>(block.data), 0, kTagStreamData);
+      }
+    }
+  } else {
+    // Collect every member's blocks into the pending step.
+    for (int member = 1; member < comm_.size(); ++member) {
+      const auto n_blocks =
+          comm_.recv_value<std::int64_t>(member, kTagStreamCount);
+      for (std::int64_t b = 0; b < n_blocks; ++b) {
+        const auto meta_bytes = comm_.recv_blob(member, kTagStreamMeta);
+        const json::Value meta = json::parse(std::string(
+            reinterpret_cast<const char*>(meta_bytes.data()),
+            meta_bytes.size()));
+        const auto idx3 = [](const json::Value& v) {
+          const auto& a = v.as_array();
+          return Index3{a[0].as_int(), a[1].as_int(), a[2].as_int()};
+        };
+        StreamStep::Block block;
+        block.rank = member;
+        block.box = Box3{idx3(meta.at("start")), idx3(meta.at("count"))};
+        block.data.resize(static_cast<std::size_t>(block.box.volume()));
+        comm_.recv(std::span<double>(block.data), member, kTagStreamData);
+
+        auto& var = pending_.arrays[meta.at("name").as_string()];
+        if (var.blocks.empty()) var.shape = idx3(meta.at("shape"));
+        var.blocks.push_back(std::move(block));
+      }
+    }
+    if (!attributes_published_) {
+      stream_.set_attributes(attributes_);
+      attributes_published_ = true;
+    }
+    stream_.push(std::move(pending_));
+  }
+
+  ++sequence_;
+  pending_ = StreamStep{};
+  // Step boundary: backpressure on rank 0 propagates to all producers.
+  comm_.barrier();
+}
+
+void StreamWriter::close() {
+  if (closed_) return;
+  GS_REQUIRE(!in_step_, "close() with an open step");
+  closed_ = true;
+  comm_.barrier();
+  if (comm_.rank() == 0) stream_.close();
+}
+
+}  // namespace gs::bp

@@ -1,0 +1,155 @@
+// In-memory streaming data pipeline — the paper's stated future work
+// ("trade-offs for in-memory streaming data pipelines", Sec. 5.3, citing
+// the openPMD/ADIOS2 SST transition paper [34]).
+//
+// Instead of landing every output step on the parallel file system and
+// reading it back, a producer (the simulation) streams complete steps
+// through a bounded in-memory queue to a concurrent consumer (the
+// analysis), with backpressure when the consumer lags — the semantics of
+// ADIOS2's SST engine with its rendezvous reader queue.
+//
+//   Stream stream(/*capacity=*/2);
+//   // producer ranks:               // consumer thread:
+//   StreamWriter w(stream, comm);    StreamReader r(stream);
+//   w.begin_step();                  while (auto s = r.next_step()) {
+//   w.put("U", shape, box, data);      auto u = s->assemble("U");
+//   w.end_step();                      ...analyze live...
+//   w.close();                       }
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "config/json.h"
+#include "grid/box.h"
+#include "mpi/comm.h"
+
+namespace gs::bp {
+
+/// One complete global step in flight.
+struct StreamStep {
+  std::int64_t sequence = 0;  ///< 0-based output step index
+
+  struct Block {
+    int rank = 0;
+    Box3 box;
+    std::vector<double> data;  ///< column-major over box.count
+  };
+  struct ArrayVar {
+    Index3 shape;
+    std::vector<Block> blocks;
+  };
+  std::map<std::string, ArrayVar> arrays;
+  std::map<std::string, std::int64_t> scalars;
+
+  /// Assembles the full global array from its blocks.
+  std::vector<double> assemble(const std::string& name) const;
+
+  /// Reads a box selection (global coordinates) from the blocks.
+  std::vector<double> read(const std::string& name,
+                           const Box3& selection) const;
+};
+
+/// Bounded step queue connecting one producer group to one consumer.
+/// Thread-safe; push blocks when `capacity` steps are queued
+/// (backpressure), next() blocks until a step or end-of-stream.
+class Stream {
+ public:
+  explicit Stream(std::size_t capacity = 2);
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t pending() const;
+
+  /// Producer: enqueue a completed step; blocks while the queue is full.
+  void push(StreamStep step);
+
+  /// Producer: signal end-of-stream (idempotent).
+  void close();
+  bool closed() const;
+
+  /// Consumer: dequeue the next step in order; blocks; nullopt once the
+  /// stream is closed and drained.
+  std::optional<StreamStep> next();
+
+  /// Stream-wide attributes (set once by the producer's rank 0 before the
+  /// first step; readable any time after).
+  void set_attributes(json::Object attributes);
+  json::Object attributes() const;
+
+  /// High-water mark of queued steps (observability for the backpressure
+  /// trade-off study).
+  std::size_t max_depth_seen() const;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<StreamStep> queue_;
+  bool closed_ = false;
+  json::Object attributes_;
+  std::size_t max_depth_ = 0;
+};
+
+/// Collective producer with the same call shape as bp::Writer, targeting
+/// a Stream instead of the file system. All ranks call collectively;
+/// rank 0 assembles and pushes the step.
+class StreamWriter {
+ public:
+  StreamWriter(Stream& stream, mpi::Comm& comm);
+
+  /// Rank 0's attributes are published to the stream at the first
+  /// end_step().
+  void define_attribute(const std::string& name, json::Value value);
+
+  void begin_step();
+  void put(const std::string& name, const Index3& global_shape,
+           const Box3& local_box, std::span<const double> data);
+  void put_scalar(const std::string& name, std::int64_t value);
+
+  /// Gathers every rank's blocks to rank 0 and pushes the complete step
+  /// (collective; rank 0 blocks under backpressure).
+  void end_step();
+
+  /// Signals end-of-stream (collective; idempotent, also run by the
+  /// destructor).
+  void close();
+  ~StreamWriter();
+
+  StreamWriter(const StreamWriter&) = delete;
+  StreamWriter& operator=(const StreamWriter&) = delete;
+
+  std::int64_t steps_pushed() const { return sequence_; }
+
+ private:
+  Stream& stream_;
+  mpi::Comm comm_;
+  bool in_step_ = false;
+  bool closed_ = false;
+  bool attributes_published_ = false;
+  std::int64_t sequence_ = 0;
+  json::Object attributes_;
+  StreamStep pending_;
+};
+
+/// Consumer handle (serial; typically owned by an analysis thread).
+class StreamReader {
+ public:
+  explicit StreamReader(Stream& stream) : stream_(stream) {}
+
+  /// Next step, in production order; nullopt at end-of-stream.
+  std::optional<StreamStep> next_step() { return stream_.next(); }
+
+  json::Object attributes() const { return stream_.attributes(); }
+
+ private:
+  Stream& stream_;
+};
+
+}  // namespace gs::bp

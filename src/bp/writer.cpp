@@ -1,0 +1,391 @@
+#include "bp/writer.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+#include "bp/compress.h"
+
+#include "common/checksum.h"
+#include "common/clock.h"
+#include "common/error.h"
+
+namespace gs::bp {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr int kTagBlockCount = 9001;
+constexpr int kTagBlockMeta = 9002;
+constexpr int kTagBlockData = 9003;
+constexpr int kTagStepMeta = 9004;
+
+json::Value index3_json(const Index3& v) {
+  json::Array a;
+  a.emplace_back(v.i);
+  a.emplace_back(v.j);
+  a.emplace_back(v.k);
+  return json::Value(std::move(a));
+}
+
+Index3 index3_of(const json::Value& v) {
+  const auto& a = v.as_array();
+  return {a[0].as_int(), a[1].as_int(), a[2].as_int()};
+}
+
+std::vector<std::byte> to_bytes(const std::string& s) {
+  const auto* p = reinterpret_cast<const std::byte*>(s.data());
+  return std::vector<std::byte>(p, p + s.size());
+}
+
+std::string to_string(std::span<const std::byte> b) {
+  return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+}
+
+}  // namespace
+
+Writer::Writer(std::string path, mpi::Comm& comm, int ranks_per_node,
+               prof::Profiler* profiler, Mode mode)
+    : path_(std::move(path)),
+      comm_(comm.dup()),
+      node_comm_(comm_.split(comm_.rank() / std::max(1, ranks_per_node),
+                             comm_.rank())),
+      node_id_(comm_.rank() / std::max(1, ranks_per_node)),
+      profiler_(profiler) {
+  GS_REQUIRE(ranks_per_node > 0, "ranks_per_node must be positive");
+  const fs::path idx = fs::path(path_) / kIndexFile;
+  if (mode == Mode::append && fs::exists(idx)) {
+    // Continue the existing dataset: every rank learns the step count,
+    // rank 0 keeps the full index, aggregators resume at their subfile's
+    // current end.
+    const json::Value doc = json::parse_file(idx.string());
+    const Index existing = Index::from_json(doc);
+    step_ = existing.n_steps - 1;
+    if (comm_.rank() == 0) index_ = existing;
+    if (node_comm_.rank() == 0) {
+      const fs::path subfile = fs::path(path_) / subfile_name(node_id_);
+      std::error_code ec;
+      const auto size = fs::file_size(subfile, ec);
+      subfile_bytes_ = ec ? 0 : size;
+    }
+  } else {
+    if (comm_.rank() == 0) {
+      std::error_code ec;
+      fs::remove_all(path_, ec);  // truncate our own dataset dir
+      fs::create_directories(path_);
+      GS_REQUIRE(fs::is_directory(path_), "cannot create dataset " << path_);
+    }
+  }
+  comm_.barrier();  // directory exists before aggregators touch subfiles
+}
+
+Writer::~Writer() {
+  if (!closed_) {
+    try {
+      close();
+    } catch (...) {
+      // Destructor must not throw; an explicit close() surfaces errors.
+    }
+  }
+}
+
+void Writer::define_attribute(const std::string& name, json::Value value) {
+  GS_REQUIRE(!closed_, "writer is closed");
+  if (comm_.rank() == 0) {
+    index_.attributes[name] = std::move(value);
+  }
+}
+
+void Writer::begin_step() {
+  GS_REQUIRE(!closed_, "writer is closed");
+  GS_REQUIRE(!in_step_, "begin_step() while a step is open");
+  in_step_ = true;
+  ++step_;
+  pending_.clear();
+  pending_scalars_.clear();
+}
+
+void Writer::put_impl(const std::string& name, const Index3& global_shape,
+                      const Box3& local_box, std::string type,
+                      std::vector<std::byte> raw, double mn, double mx,
+                      std::size_t n_values) {
+  GS_REQUIRE(in_step_, "put() outside begin_step()/end_step()");
+  GS_REQUIRE(n_values == static_cast<std::size_t>(local_box.volume()),
+             "put(\"" << name << "\"): data has " << n_values
+                      << " values, box needs " << local_box.volume());
+  GS_REQUIRE(local_box.end().i <= global_shape.i &&
+                 local_box.end().j <= global_shape.j &&
+                 local_box.end().k <= global_shape.k &&
+                 local_box.start.i >= 0 && local_box.start.j >= 0 &&
+                 local_box.start.k >= 0,
+             "put(\"" << name << "\"): box " << local_box
+                      << " outside global shape " << global_shape);
+  for (const auto& p : pending_) {
+    GS_REQUIRE(p.name != name,
+               "variable \"" << name << "\" put twice in one step");
+  }
+
+  PendingBlock b;
+  b.name = name;
+  b.shape = global_shape;
+  b.box = local_box;
+  b.min = mn;
+  b.max = mx;
+  b.type = std::move(type);
+  b.raw = std::move(raw);
+  pending_.push_back(std::move(b));
+}
+
+void Writer::put(const std::string& name, const Index3& global_shape,
+                 const Box3& local_box, std::span<const double> data) {
+  double mn = data.empty() ? 0.0 : data[0];
+  double mx = mn;
+  for (const double v : data) {
+    mn = std::min(mn, v);
+    mx = std::max(mx, v);
+  }
+  const auto bytes = std::as_bytes(data);
+  put_impl(name, global_shape, local_box, "double",
+           std::vector<std::byte>(bytes.begin(), bytes.end()), mn, mx,
+           data.size());
+}
+
+void Writer::put_float(const std::string& name, const Index3& global_shape,
+                       const Box3& local_box,
+                       std::span<const float> data) {
+  double mn = data.empty() ? 0.0 : data[0];
+  double mx = mn;
+  for (const float v : data) {
+    mn = std::min(mn, static_cast<double>(v));
+    mx = std::max(mx, static_cast<double>(v));
+  }
+  const auto bytes = std::as_bytes(data);
+  put_impl(name, global_shape, local_box, "float",
+           std::vector<std::byte>(bytes.begin(), bytes.end()), mn, mx,
+           data.size());
+}
+
+void Writer::put_scalar(const std::string& name, std::int64_t value) {
+  GS_REQUIRE(in_step_, "put_scalar() outside a step");
+  if (comm_.rank() != 0) return;  // global value: rank 0 authoritative
+  pending_scalars_.push_back({name, value});
+}
+
+void Writer::flush_to_aggregator(StepIoStats& stats) {
+  // Members ship (metadata, data) pairs to node rank 0.
+  const auto n_blocks = static_cast<std::int64_t>(pending_.size());
+  node_comm_.send_value(n_blocks, 0, kTagBlockCount);
+  for (const auto& b : pending_) {
+    json::Object meta;
+    meta["name"] = json::Value(b.name);
+    meta["shape"] = index3_json(b.shape);
+    meta["start"] = index3_json(b.box.start);
+    meta["count"] = index3_json(b.box.count);
+    meta["min"] = json::Value(b.min);
+    meta["max"] = json::Value(b.max);
+    meta["world_rank"] = json::Value(
+        static_cast<std::int64_t>(comm_.rank()));
+    meta["type"] = json::Value(b.type);
+    const std::string meta_str = json::Value(std::move(meta)).dump();
+    node_comm_.send_bytes(to_bytes(meta_str), 0, kTagBlockMeta);
+    node_comm_.send_bytes(b.raw, 0, kTagBlockData);
+    stats.local_bytes += b.raw.size();
+  }
+}
+
+void Writer::aggregate_and_write(StepIoStats& stats) {
+  // Node rank 0: append every member's blocks (own first, then members in
+  // node-rank order) to the node subfile, recording offsets.
+  const fs::path subfile = fs::path(path_) / subfile_name(node_id_);
+  std::ofstream out(subfile, std::ios::binary | std::ios::app);
+  GS_REQUIRE(out.good(), "cannot open subfile " << subfile.string());
+
+  std::vector<BlockRecord> records;
+  std::vector<std::string> names;
+  std::vector<Index3> shapes;
+
+  std::vector<std::string> types;
+  auto append_block = [&](const std::string& name, const Index3& shape,
+                          const Box3& box, double mn, double mx,
+                          const std::string& type,
+                          std::span<const std::byte> raw, int world_rank) {
+    BlockRecord rec;
+    rec.rank = world_rank;
+    rec.box = box;
+    rec.min = mn;
+    rec.max = mx;
+    rec.subfile = node_id_;
+    rec.offset = subfile_bytes_;
+    rec.crc = gs::crc32(raw);
+    if (compress_ && type == "double") {
+      // The Gorilla codec is double-specific; float blocks store raw.
+      const std::span<const double> values(
+          reinterpret_cast<const double*>(raw.data()),
+          raw.size() / sizeof(double));
+      const auto packed = compress_doubles(values);
+      rec.codec = "gorilla";
+      rec.stored_bytes = packed.size();
+      out.write(reinterpret_cast<const char*>(packed.data()),
+                static_cast<std::streamsize>(packed.size()));
+    } else {
+      rec.stored_bytes = raw.size();
+      out.write(reinterpret_cast<const char*>(raw.data()),
+                static_cast<std::streamsize>(rec.stored_bytes));
+    }
+    subfile_bytes_ += rec.stored_bytes;
+    stats.node_bytes += rec.stored_bytes;
+    records.push_back(rec);
+    names.push_back(name);
+    shapes.push_back(shape);
+    types.push_back(type);
+  };
+
+  for (const auto& b : pending_) {
+    append_block(b.name, b.shape, b.box, b.min, b.max, b.type, b.raw,
+                 comm_.rank());
+    stats.local_bytes += b.raw.size();
+  }
+  for (int member = 1; member < node_comm_.size(); ++member) {
+    const auto n_blocks =
+        node_comm_.recv_value<std::int64_t>(member, kTagBlockCount);
+    for (std::int64_t i = 0; i < n_blocks; ++i) {
+      const auto meta_bytes = node_comm_.recv_blob(member, kTagBlockMeta);
+      const json::Value meta = json::parse(to_string(meta_bytes));
+      const Box3 box{index3_of(meta.at("start")), index3_of(meta.at("count"))};
+      const auto raw = node_comm_.recv_blob(member, kTagBlockData);
+      append_block(meta.at("name").as_string(), index3_of(meta.at("shape")),
+                   box, meta.at("min").as_double(),
+                   meta.at("max").as_double(),
+                   meta.get_or("type", std::string("double")), raw,
+                   static_cast<int>(meta.at("world_rank").as_int()));
+    }
+  }
+  out.flush();
+  GS_REQUIRE(out.good(), "write to subfile " << subfile.string()
+                                             << " failed");
+  out.close();
+
+  forward_metadata_to_root(records, names, shapes, types);
+}
+
+void Writer::forward_metadata_to_root(
+    const std::vector<BlockRecord>& records,
+    const std::vector<std::string>& names,
+    const std::vector<Index3>& shapes,
+    const std::vector<std::string>& types) {
+  json::Array arr;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    json::Value rec = records[i].to_json();
+    rec.set("name", json::Value(names[i]));
+    rec.set("shape", index3_json(shapes[i]));
+    rec.set("type", json::Value(types[i]));
+    arr.push_back(std::move(rec));
+  }
+  const std::string payload = json::Value(std::move(arr)).dump();
+  // Rank 0 is itself the node-0 aggregator; its blob arrives by self-send
+  // so the root's collection loop treats every aggregator uniformly.
+  comm_.send_bytes(to_bytes(payload), 0, kTagStepMeta);
+}
+
+StepIoStats Writer::end_step() {
+  GS_REQUIRE(in_step_, "end_step() without begin_step()");
+  in_step_ = false;
+
+  WallTimer timer;
+  StepIoStats stats;
+
+  if (node_comm_.rank() == 0) {
+    aggregate_and_write(stats);
+  } else {
+    flush_to_aggregator(stats);
+  }
+
+  // Rank 0 collects one metadata blob from every aggregator and extends
+  // the index.
+  if (comm_.rank() == 0) {
+    for (const auto& s : pending_scalars_) {
+      VarRecord* var = index_.find(s.name);
+      if (var == nullptr) {
+        VarRecord v;
+        v.name = s.name;
+        v.type = "int64";
+        v.shape = {1, 1, 1};
+        index_.variables.push_back(std::move(v));
+        var = index_.find(s.name);
+      }
+      GS_REQUIRE(var->is_scalar(),
+                 "variable \"" << s.name << "\" is not a scalar");
+      var->scalar_steps.push_back(s.value);
+    }
+
+    const int n_nodes =
+        (comm_.size() + node_comm_.size() - 1) / node_comm_.size();
+    // Aggregator world ranks are node_id * ranks_per_node; but with a
+    // comm split by contiguous chunks, aggregator of node n is the lowest
+    // world rank of that node. Receive one blob per aggregator.
+    for (int n = 0; n < n_nodes; ++n) {
+      mpi::Status st;
+      const auto blob = comm_.recv_blob(mpi::kAnySource, kTagStepMeta, &st);
+      const json::Value step_meta = json::parse(to_string(blob));
+      for (const auto& rec_json : step_meta.as_array()) {
+        const std::string name = rec_json.at("name").as_string();
+        const Index3 shape = index3_of(rec_json.at("shape"));
+        const std::string type =
+            rec_json.get_or("type", std::string("double"));
+        VarRecord* var = index_.find(name);
+        if (var == nullptr) {
+          VarRecord v;
+          v.name = name;
+          v.type = type;
+          v.shape = shape;
+          index_.variables.push_back(std::move(v));
+          var = index_.find(name);
+        }
+        GS_REQUIRE(var->type == type, "variable \"" << name
+                       << "\" re-declared with a different type");
+        GS_REQUIRE(var->shape == shape, "variable \""
+                                            << name
+                                            << "\" re-declared with a "
+                                               "different global shape");
+        while (static_cast<std::int64_t>(var->steps.size()) <= step_) {
+          var->steps.emplace_back();
+        }
+        var->steps[static_cast<std::size_t>(step_)].push_back(
+            BlockRecord::from_json(rec_json));
+      }
+    }
+    index_.n_steps = step_ + 1;
+  }
+
+  comm_.barrier();  // step boundary: all data durable before proceeding
+  stats.seconds = timer.seconds();
+
+  if (profiler_ != nullptr && stats.node_bytes > 0) {
+    prof::Span span;
+    span.name = "bp_write:" + path_;
+    span.kind = prof::SpanKind::io_write;
+    span.t0 = 0.0;
+    span.t1 = stats.seconds;
+    profiler_->record(std::move(span));
+  }
+  pending_.clear();
+  pending_scalars_.clear();
+  return stats;
+}
+
+void Writer::close() {
+  if (closed_) return;
+  GS_REQUIRE(!in_step_, "close() with an open step");
+  closed_ = true;
+  if (comm_.rank() == 0) {
+    const fs::path idx = fs::path(path_) / kIndexFile;
+    std::ofstream out(idx);
+    GS_REQUIRE(out.good(), "cannot write index " << idx.string());
+    out << index_.to_json().dump(2) << "\n";
+    GS_REQUIRE(out.good(), "index write failed: " << idx.string());
+  }
+  comm_.barrier();
+}
+
+}  // namespace gs::bp

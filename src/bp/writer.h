@@ -1,0 +1,146 @@
+// Parallel BP-mini writer with BP5-style node aggregation.
+//
+// Collective usage, mirroring the ADIOS2.jl calls in GrayScott.jl:
+//
+//   bp::Writer w("gs.bp", world, /*ranks_per_node=*/8);
+//   w.define_attribute("Du", json::Value(0.2));          // rank 0 wins
+//   for (...) {
+//     w.begin_step();
+//     w.put("U", global_shape, my_box, my_u_block);
+//     w.put("V", global_shape, my_box, my_v_block);
+//     w.put_scalar("step", step);                        // rank 0 only
+//     w.end_step();    // blocks flow to node aggregators -> subfiles
+//   }
+//   w.close();         // rank 0 writes md.idx
+//
+// Aggregation: world ranks are grouped into "nodes" of `ranks_per_node`
+// consecutive ranks (Frontier: 8 GCDs per node). The lowest rank of each
+// node is the aggregator: it owns `data.<node>` and appends every member's
+// blocks, so the file-system sees one writing stream per node — the BP5
+// default the paper's Figure 8 measures.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bp/format.h"
+#include "mpi/comm.h"
+#include "prof/profiler.h"
+
+namespace gs::bp {
+
+/// Timing/volume record of one end_step() flush on this rank.
+struct StepIoStats {
+  double seconds = 0.0;          ///< wall-clock spent in the flush
+  std::uint64_t local_bytes = 0; ///< payload this rank contributed
+  std::uint64_t node_bytes = 0;  ///< payload the aggregator wrote (0 on
+                                 ///< non-aggregators)
+};
+
+/// Open mode: `write` truncates; `append` continues an existing dataset
+/// (steps are added after the last one; variable shapes must match).
+enum class Mode { write, append };
+
+class Writer {
+ public:
+  /// Collective over `comm`. Creates/truncates the dataset directory
+  /// (Mode::write) or extends it in place (Mode::append).
+  Writer(std::string path, mpi::Comm& comm, int ranks_per_node = 8,
+         prof::Profiler* profiler = nullptr, Mode mode = Mode::write);
+  ~Writer();
+
+  Writer(const Writer&) = delete;
+  Writer& operator=(const Writer&) = delete;
+
+  /// Declares a dataset attribute (any JSON value). Rank 0's definitions
+  /// are authoritative; other ranks' calls are ignored (ADIOS semantics:
+  /// attributes are global).
+  void define_attribute(const std::string& name, json::Value value);
+
+  /// Enables Gorilla XOR compression for subsequently written blocks
+  /// (the ADIOS2-operator analog). Collective consistency is the
+  /// caller's job: call it identically on every rank, before begin_step.
+  void set_compression(bool enabled) { compress_ = enabled; }
+  bool compression() const { return compress_; }
+
+  void begin_step();
+
+  /// Contributes this rank's block of a global double array. `data` is
+  /// column-major over `local_box.count` cells.
+  void put(const std::string& name, const Index3& global_shape,
+           const Box3& local_box, std::span<const double> data);
+
+  /// Single-precision variant (the settings file's `precision: single`):
+  /// the variable is stored as 4-byte floats, halving the I/O volume;
+  /// readers transparently widen back to double.
+  void put_float(const std::string& name, const Index3& global_shape,
+                 const Box3& local_box, std::span<const float> data);
+
+  /// Contributes a global int64 scalar (written by rank 0; other ranks'
+  /// values are ignored, matching ADIOS global-value semantics).
+  void put_scalar(const std::string& name, std::int64_t value);
+
+  /// Flushes the step: data to subfiles, metadata to rank 0. Collective.
+  /// Returns this rank's I/O stats for the step.
+  StepIoStats end_step();
+
+  /// Finalizes the dataset (writes md.idx). Collective; implicit in the
+  /// destructor, but calling it explicitly surfaces errors.
+  void close();
+
+  int node_id() const { return node_id_; }
+  bool is_aggregator() const { return node_comm_.rank() == 0; }
+  std::int64_t current_step() const { return step_; }
+
+ private:
+  std::string path_;
+  mpi::Comm comm_;       // dup of the caller's comm (isolated traffic)
+  mpi::Comm node_comm_;  // split by node
+  int node_id_;
+  prof::Profiler* profiler_;
+
+  bool in_step_ = false;
+  bool closed_ = false;
+  std::int64_t step_ = -1;
+
+  /// Pending contributions of the current step on this rank.
+  struct PendingBlock {
+    std::string name;
+    Index3 shape;
+    Box3 box;
+    double min, max;
+    std::string type;             // "double" | "float"
+    std::vector<std::byte> raw;   // column-major payload bytes
+  };
+
+  /// Shared implementation of put/put_float.
+  void put_impl(const std::string& name, const Index3& global_shape,
+                const Box3& local_box, std::string type,
+                std::vector<std::byte> raw, double mn, double mx,
+                std::size_t n_values);
+  std::vector<PendingBlock> pending_;
+  struct PendingScalar {
+    std::string name;
+    std::int64_t value;
+  };
+  std::vector<PendingScalar> pending_scalars_;
+
+  bool compress_ = false;
+
+  /// Rank-0 accumulated state.
+  Index index_;
+  /// Aggregator state: current byte size of the owned subfile.
+  std::uint64_t subfile_bytes_ = 0;
+
+  void flush_to_aggregator(StepIoStats& stats);
+  void aggregate_and_write(StepIoStats& stats);
+  void forward_metadata_to_root(const std::vector<BlockRecord>& records,
+                                const std::vector<std::string>& names,
+                                const std::vector<Index3>& shapes,
+                                const std::vector<std::string>& types);
+};
+
+}  // namespace gs::bp

@@ -1,0 +1,39 @@
+#include "common/checksum.h"
+
+#include <array>
+
+namespace gs {
+
+namespace {
+
+/// Table for the reflected ISO-HDLC polynomial 0xEDB88320, built once.
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t n = 0; n < 256; ++n) {
+    std::uint32_t c = n;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[n] = c;
+  }
+  return table;
+}
+
+constexpr auto kTable = make_table();
+
+}  // namespace
+
+std::uint32_t crc32_update(std::uint32_t crc,
+                           std::span<const std::byte> data) {
+  std::uint32_t c = crc ^ 0xFFFFFFFFu;
+  for (const std::byte b : data) {
+    c = kTable[(c ^ static_cast<std::uint32_t>(b)) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::uint32_t crc32(std::span<const std::byte> data) {
+  return crc32_update(0, data);
+}
+
+}  // namespace gs

@@ -1,0 +1,26 @@
+// CRC-32 (ISO-HDLC polynomial, the zlib/gzip crc32) for data-integrity
+// verification of BP blocks: computed at write, stored in the metadata
+// index, verified at read. A corrupted subfile is detected instead of
+// silently feeding bad science downstream.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace gs {
+
+/// One-shot CRC-32 of a byte range.
+std::uint32_t crc32(std::span<const std::byte> data);
+
+/// Incremental form: pass the previous value to continue a stream
+/// (crc32_update(crc32_update(0, a), b) == crc32(a+b)).
+std::uint32_t crc32_update(std::uint32_t crc, std::span<const std::byte> data);
+
+/// Convenience for typed buffers.
+template <typename T>
+std::uint32_t crc32_of(std::span<const T> data) {
+  return crc32(std::as_bytes(data));
+}
+
+}  // namespace gs

@@ -1,0 +1,60 @@
+// Time sources.
+//
+// Two clocks coexist in this codebase:
+//  * WallTimer — real elapsed time, used when we genuinely measure host work
+//    (functional kernel sweeps, BP file writes to the local disk).
+//  * SimClock — a virtual clock advanced by the performance models, used for
+//    everything the paper measured on hardware we are simulating (kernel
+//    durations on the modeled MI250x, network transfers, Lustre writes).
+// Keeping them as distinct types prevents accidentally mixing measured and
+// modeled durations.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace gs {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(now()) {}
+
+  void reset() { start_ = now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  static clock::time_point now() { return clock::now(); }
+  clock::time_point start_;
+};
+
+/// Virtual clock for the simulated device/network/filesystem timelines.
+/// Time is a double in seconds; advancing never goes backwards.
+class SimClock {
+ public:
+  double now() const { return t_; }
+
+  /// Advances by dt seconds (dt must be non-negative) and returns new time.
+  double advance(double dt) {
+    if (dt > 0.0) t_ += dt;
+    return t_;
+  }
+
+  /// Moves the clock to at least t (used to model waiting on a resource
+  /// that frees up at absolute time t).
+  void advance_to(double t) {
+    if (t > t_) t_ = t;
+  }
+
+  void reset() { t_ = 0.0; }
+
+ private:
+  double t_ = 0.0;
+};
+
+}  // namespace gs

@@ -1,0 +1,26 @@
+#include "common/error.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace gs::detail {
+
+std::string assert_message(std::string_view file, int line,
+                           std::string_view cond, std::string_view msg) {
+  std::ostringstream oss;
+  oss << file << ":" << line << ": assertion failed: " << cond;
+  if (!msg.empty()) {
+    oss << " (" << msg << ")";
+  }
+  return oss.str();
+}
+
+void assert_fail(std::string_view file, int line, std::string_view cond,
+                 std::string_view msg) {
+  const std::string full = assert_message(file, line, cond, msg);
+  std::fprintf(stderr, "[gs fatal] %s\n", full.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace gs::detail

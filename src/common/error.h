@@ -1,0 +1,84 @@
+// Error-handling primitives shared by every grayscott-cpp module.
+//
+// Design: recoverable failures that a caller can reasonably handle travel as
+// gs::Error exceptions carrying a formatted message; programming errors
+// (violated preconditions) abort through GS_ASSERT so they are never silently
+// swallowed in Release builds.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace gs {
+
+/// Base exception for all recoverable grayscott-cpp failures.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Failure while parsing configuration or data files.
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error(what) {}
+};
+
+/// Failure in the I/O subsystem (file system, BP format).
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
+/// Failure in the message-passing substrate (bad rank, type mismatch, ...).
+class MpiError : public Error {
+ public:
+  explicit MpiError(const std::string& what) : Error(what) {}
+};
+
+/// Failure in the simulated GPU runtime (bad launch configuration, OOB, ...).
+class GpuError : public Error {
+ public:
+  explicit GpuError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+
+/// Builds "<file>:<line>: <cond>: <msg>" for assertion failures.
+std::string assert_message(std::string_view file, int line,
+                           std::string_view cond, std::string_view msg);
+
+[[noreturn]] void assert_fail(std::string_view file, int line,
+                              std::string_view cond, std::string_view msg);
+
+}  // namespace detail
+
+/// Stream-compose a message and throw the given exception type.
+///
+///   GS_THROW(IoError, "cannot open " << path << ": " << errno);
+#define GS_THROW(ExcType, streamed)        \
+  do {                                     \
+    std::ostringstream gs_throw_oss_;      \
+    gs_throw_oss_ << streamed;             \
+    throw ExcType(gs_throw_oss_.str());    \
+  } while (0)
+
+/// Precondition check active in all build types. On failure prints
+/// file:line and aborts; never throws (programming error, not input error).
+#define GS_ASSERT(cond, msg)                                            \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::gs::detail::assert_fail(__FILE__, __LINE__, #cond, (msg));      \
+    }                                                                   \
+  } while (0)
+
+/// Check that throws gs::Error (used for user-input validation).
+#define GS_REQUIRE(cond, streamed)                                      \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      GS_THROW(::gs::Error, "requirement failed (" #cond "): " << streamed); \
+    }                                                                   \
+  } while (0)
+
+}  // namespace gs

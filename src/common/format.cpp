@@ -1,0 +1,108 @@
+#include "common/format.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace gs {
+
+namespace {
+
+std::string snprintf_str(const char* fmt, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  return buf;
+}
+
+}  // namespace
+
+std::string format_bytes(std::uint64_t bytes) {
+  static constexpr const char* kUnits[] = {"B", "KB", "MB", "GB", "TB", "PB"};
+  double v = static_cast<double>(bytes);
+  int unit = 0;
+  while (v >= 1024.0 && unit < 5) {
+    v /= 1024.0;
+    ++unit;
+  }
+  if (unit == 0) {
+    return std::to_string(bytes) + " B";
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f %s", v, kUnits[unit]);
+  return buf;
+}
+
+std::string format_bandwidth_gbps(double bytes_per_second) {
+  return snprintf_str("%.1f GB/s", bytes_per_second / 1e9);
+}
+
+std::string format_seconds(double seconds) {
+  const double abs = seconds < 0 ? -seconds : seconds;
+  if (abs >= 1.0) return snprintf_str("%.3f s", seconds);
+  if (abs >= 1e-3) return snprintf_str("%.2f ms", seconds * 1e3);
+  if (abs >= 1e-6) return snprintf_str("%.2f us", seconds * 1e6);
+  return snprintf_str("%.1f ns", seconds * 1e9);
+}
+
+std::string format_count(std::uint64_t n) {
+  std::string digits = std::to_string(n);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  int from_end = static_cast<int>(digits.size());
+  for (const char c : digits) {
+    out.push_back(c);
+    --from_end;
+    if (from_end > 0 && from_end % 3 == 0) out.push_back(',');
+  }
+  return out;
+}
+
+std::string format_fixed(double v, int decimals) {
+  char fmt[16];
+  std::snprintf(fmt, sizeof(fmt), "%%.%df", decimals);
+  return snprintf_str(fmt, v);
+}
+
+TableFormatter::TableFormatter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  GS_REQUIRE(!headers_.empty(), "table needs at least one column");
+}
+
+void TableFormatter::row(std::vector<std::string> cells) {
+  GS_REQUIRE(cells.size() == headers_.size(),
+             "row has " << cells.size() << " cells, table has "
+                        << headers_.size() << " columns");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TableFormatter::str() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = headers_[c].size();
+  }
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      width[c] = std::max(width[c], r[c].size());
+    }
+  }
+  std::ostringstream oss;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      oss << cells[c];
+      if (c + 1 < cells.size()) {
+        oss << std::string(width[c] - cells[c].size() + 2, ' ');
+      }
+    }
+    oss << "\n";
+  };
+  emit(headers_);
+  std::size_t total = 0;
+  for (const std::size_t w : width) total += w + 2;
+  oss << std::string(total > 2 ? total - 2 : total, '-') << "\n";
+  for (const auto& r : rows_) emit(r);
+  return oss.str();
+}
+
+}  // namespace gs

@@ -1,0 +1,47 @@
+// Human-readable formatting helpers and a simple aligned-table printer.
+// The benchmark binaries use TableFormatter to print the paper's tables
+// (Table 2, Table 3, the Figure 6/8 series) in a stable textual layout.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gs {
+
+/// "25.08 GB", "1.50 MB", "512 B" — powers of 1024, two decimals above KB.
+std::string format_bytes(std::uint64_t bytes);
+
+/// "434.0 GB/s" style bandwidth formatting (decimal GB = 1e9 bytes, as used
+/// by the paper and by vendor bandwidth specs).
+std::string format_bandwidth_gbps(double bytes_per_second);
+
+/// "28.74 ms", "1.23 s", "512 us" — picks a sensible unit.
+std::string format_seconds(double seconds);
+
+/// "1,073,741,824" — thousands separators for cell counts.
+std::string format_count(std::uint64_t n);
+
+/// Fixed-point with the given number of decimals.
+std::string format_fixed(double v, int decimals);
+
+/// Minimal column-aligned table printer.
+///
+///   TableFormatter t({"Kernel", "Effective", "Total"});
+///   t.row({"HIP single variable", "599", "1163"});
+///   std::cout << t.str();
+class TableFormatter {
+ public:
+  explicit TableFormatter(std::vector<std::string> headers);
+
+  void row(std::vector<std::string> cells);
+
+  /// Renders with a header underline and two-space column gaps.
+  std::string str() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace gs

@@ -1,0 +1,34 @@
+// Minimal leveled logging to stderr. Off by default above `warn` so test
+// output stays clean; benches and examples raise the level explicitly.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace gs {
+
+enum class LogLevel { debug = 0, info = 1, warn = 2, error = 3, off = 4 };
+
+/// Global log threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& msg);
+}
+
+#define GS_LOG(level, streamed)                                       \
+  do {                                                                \
+    if (static_cast<int>(level) >= static_cast<int>(::gs::log_level())) { \
+      std::ostringstream gs_log_oss_;                                 \
+      gs_log_oss_ << streamed;                                        \
+      ::gs::detail::log_emit(level, gs_log_oss_.str());               \
+    }                                                                 \
+  } while (0)
+
+#define GS_DEBUG(streamed) GS_LOG(::gs::LogLevel::debug, streamed)
+#define GS_INFO(streamed) GS_LOG(::gs::LogLevel::info, streamed)
+#define GS_WARN(streamed) GS_LOG(::gs::LogLevel::warn, streamed)
+#define GS_ERROR(streamed) GS_LOG(::gs::LogLevel::error, streamed)
+
+}  // namespace gs

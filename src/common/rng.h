@@ -1,0 +1,105 @@
+// Deterministic pseudo-random number generation.
+//
+// The simulation (noise source term), the performance models (jitter), and
+// property tests all need reproducible randomness that is identical across
+// platforms and independent of the standard library's unspecified
+// distributions. We implement xoshiro256** (Blackman & Vigna, 2018) seeded
+// via SplitMix64, plus the handful of distributions the project needs.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+
+namespace gs {
+
+/// SplitMix64: used to expand a single 64-bit seed into generator state.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: fast, high-quality 64-bit generator with jump support.
+///
+/// Satisfies the essentials of UniformRandomBitGenerator so it can also be
+/// fed to <random> utilities if ever needed, but the member distributions
+/// below are the supported (deterministic) path.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full 256-bit state from one 64-bit seed via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  std::uint64_t operator()() { return next_u64(); }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double uniform01() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform01(); }
+
+  /// Uniform integer in [0, n) without modulo bias (Lemire's method).
+  std::uint64_t uniform_below(std::uint64_t n);
+
+  /// Standard normal via Box-Muller (deterministic, no cached spare so the
+  /// stream position is a pure function of call count).
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Lognormal with given parameters of the underlying normal.
+  double lognormal(double mu, double sigma) {
+    return std::exp(normal(mu, sigma));
+  }
+
+  /// Creates an independent stream: equivalent to 2^128 calls to next_u64().
+  /// Used to give each MPI rank / GPU its own decorrelated substream.
+  Rng split() {
+    Rng child = *this;
+    jump();
+    return child;
+  }
+
+  /// Advances this generator by 2^128 steps (xoshiro256** jump polynomial).
+  void jump();
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> s_{};
+};
+
+}  // namespace gs

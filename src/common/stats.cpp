@@ -1,0 +1,151 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace gs {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::cv() const {
+  return mean_ != 0.0 ? stddev() / mean_ : 0.0;
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto n = static_cast<double>(n_);
+  const auto m = static_cast<double>(other.n_);
+  const double combined = n + m;
+  m2_ += other.m2_ + delta * delta * n * m / combined;
+  mean_ = (n * mean_ + m * other.mean_) / combined;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
+const std::vector<double>& Samples::sorted() const {
+  if (!sorted_valid_) {
+    sorted_ = values_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+  return sorted_;
+}
+
+double Samples::mean() const {
+  if (values_.empty()) return 0.0;
+  double s = 0.0;
+  for (const double v : values_) s += v;
+  return s / static_cast<double>(values_.size());
+}
+
+double Samples::stddev() const {
+  if (values_.size() < 2) return 0.0;
+  const double m = mean();
+  double s = 0.0;
+  for (const double v : values_) s += (v - m) * (v - m);
+  return std::sqrt(s / static_cast<double>(values_.size() - 1));
+}
+
+double Samples::min() const {
+  GS_REQUIRE(!values_.empty(), "min() of empty sample set");
+  return sorted().front();
+}
+
+double Samples::max() const {
+  GS_REQUIRE(!values_.empty(), "max() of empty sample set");
+  return sorted().back();
+}
+
+double Samples::percentile(double p) const {
+  GS_REQUIRE(!values_.empty(), "percentile() of empty sample set");
+  GS_REQUIRE(p >= 0.0 && p <= 100.0, "percentile " << p << " out of [0,100]");
+  const auto& s = sorted();
+  if (s.size() == 1) return s.front();
+  const double pos = p / 100.0 * static_cast<double>(s.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, s.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return s[lo] * (1.0 - frac) + s[hi] * frac;
+}
+
+double Samples::spread_percent() const {
+  const double m = mean();
+  if (m == 0.0) return 0.0;
+  return (max() - min()) / m * 100.0;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  GS_REQUIRE(bins > 0, "histogram needs at least one bin");
+  GS_REQUIRE(hi > lo, "histogram range [" << lo << "," << hi << ") empty");
+}
+
+void Histogram::add(double x) {
+  const double scaled =
+      (x - lo_) / (hi_ - lo_) * static_cast<double>(counts_.size());
+  auto bin = static_cast<long>(std::floor(scaled));
+  bin = std::clamp<long>(bin, 0, static_cast<long>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+void Histogram::add_all(const std::vector<double>& xs) {
+  for (const double x : xs) add(x);
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(bin) /
+                   static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_hi(std::size_t bin) const { return bin_lo(bin + 1); }
+
+double Histogram::bin_center(std::size_t bin) const {
+  return 0.5 * (bin_lo(bin) + bin_hi(bin));
+}
+
+std::string Histogram::ascii(int width) const {
+  std::size_t peak = 1;
+  for (const std::size_t c : counts_) peak = std::max(peak, c);
+  std::ostringstream oss;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const auto bar = static_cast<int>(
+        static_cast<double>(counts_[b]) / static_cast<double>(peak) * width);
+    char line[64];
+    std::snprintf(line, sizeof(line), "[%10.2f, %10.2f) %8zu |",
+                  bin_lo(b), bin_hi(b), counts_[b]);
+    oss << line << std::string(static_cast<std::size_t>(bar), '#') << "\n";
+  }
+  return oss.str();
+}
+
+}  // namespace gs

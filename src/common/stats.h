@@ -1,0 +1,97 @@
+// Descriptive statistics used by the benchmark harnesses and the
+// weak-scaling performance simulator: streaming moments, percentiles over
+// stored samples, and fixed-bin histograms (Figure 7 is a histogram of
+// per-GPU bandwidths).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace gs {
+
+/// Streaming mean/variance/min/max (Welford). O(1) memory.
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+  /// Coefficient of variation (stddev/mean), 0 if mean is 0.
+  double cv() const;
+
+  /// Merges another accumulator into this one (parallel reduction).
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Sample container with percentile queries (keeps all values).
+class Samples {
+ public:
+  void add(double x) { values_.push_back(x); }
+  void reserve(std::size_t n) { values_.reserve(n); }
+
+  std::size_t count() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+  const std::vector<double>& values() const { return values_; }
+
+  double mean() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  /// Linear-interpolated percentile, p in [0, 100].
+  double percentile(double p) const;
+  double median() const { return percentile(50.0); }
+
+  /// (max - min) / mean as a percentage; the paper's "variability" metric
+  /// for per-process wall-clock times (Figure 6 discussion).
+  double spread_percent() const;
+
+ private:
+  std::vector<double> values_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+
+  const std::vector<double>& sorted() const;
+};
+
+/// Fixed-width-bin histogram over [lo, hi); out-of-range values clamp into
+/// the first/last bin so no sample is dropped.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  void add_all(const std::vector<double>& xs);
+
+  std::size_t bins() const { return counts_.size(); }
+  std::size_t count(std::size_t bin) const { return counts_.at(bin); }
+  std::size_t total() const { return total_; }
+  double bin_lo(std::size_t bin) const;
+  double bin_hi(std::size_t bin) const;
+  double bin_center(std::size_t bin) const;
+
+  /// Multi-line ASCII rendering (one row per bin, '#' bars), used by the
+  /// Figure 7 bench to print the two bandwidth distributions.
+  std::string ascii(int width = 50) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace gs

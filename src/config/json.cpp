@@ -1,0 +1,523 @@
+#include "config/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace gs::json {
+
+Type Value::type() const {
+  switch (data_.index()) {
+    case 0: return Type::null;
+    case 1: return Type::boolean;
+    case 2: return Type::number;
+    case 3: return Type::number;
+    case 4: return Type::string;
+    case 5: return Type::array;
+    default: return Type::object;
+  }
+}
+
+namespace {
+const char* type_name(Type t) {
+  switch (t) {
+    case Type::null: return "null";
+    case Type::boolean: return "boolean";
+    case Type::number: return "number";
+    case Type::string: return "string";
+    case Type::array: return "array";
+    case Type::object: return "object";
+  }
+  return "?";
+}
+
+[[noreturn]] void type_mismatch(Type want, Type got) {
+  GS_THROW(ParseError, "JSON type mismatch: wanted " << type_name(want)
+                                                     << ", value is "
+                                                     << type_name(got));
+}
+}  // namespace
+
+bool Value::as_bool() const {
+  if (const auto* b = std::get_if<bool>(&data_)) return *b;
+  type_mismatch(Type::boolean, type());
+}
+
+double Value::as_double() const {
+  if (const auto* d = std::get_if<double>(&data_)) return *d;
+  if (const auto* i = std::get_if<std::int64_t>(&data_)) {
+    return static_cast<double>(*i);
+  }
+  type_mismatch(Type::number, type());
+}
+
+std::int64_t Value::as_int() const {
+  if (const auto* i = std::get_if<std::int64_t>(&data_)) return *i;
+  if (const auto* d = std::get_if<double>(&data_)) {
+    if (std::floor(*d) == *d && std::abs(*d) < 9.0e18) {
+      return static_cast<std::int64_t>(*d);
+    }
+    GS_THROW(ParseError, "JSON number " << *d << " is not an integer");
+  }
+  type_mismatch(Type::number, type());
+}
+
+const std::string& Value::as_string() const {
+  if (const auto* s = std::get_if<std::string>(&data_)) return *s;
+  type_mismatch(Type::string, type());
+}
+
+const Array& Value::as_array() const {
+  if (const auto* a = std::get_if<Array>(&data_)) return *a;
+  type_mismatch(Type::array, type());
+}
+
+const Object& Value::as_object() const {
+  if (const auto* o = std::get_if<Object>(&data_)) return *o;
+  type_mismatch(Type::object, type());
+}
+
+Array& Value::as_array() {
+  if (auto* a = std::get_if<Array>(&data_)) return *a;
+  type_mismatch(Type::array, type());
+}
+
+Object& Value::as_object() {
+  if (auto* o = std::get_if<Object>(&data_)) return *o;
+  type_mismatch(Type::object, type());
+}
+
+const Value& Value::at(const std::string& key) const {
+  const auto& obj = as_object();
+  const auto it = obj.find(key);
+  if (it == obj.end()) {
+    GS_THROW(ParseError, "JSON object has no member \"" << key << "\"");
+  }
+  return it->second;
+}
+
+bool Value::contains(const std::string& key) const {
+  const auto* o = std::get_if<Object>(&data_);
+  return o != nullptr && o->count(key) > 0;
+}
+
+bool Value::get_or(const std::string& key, bool fallback) const {
+  return contains(key) ? at(key).as_bool() : fallback;
+}
+
+double Value::get_or(const std::string& key, double fallback) const {
+  return contains(key) ? at(key).as_double() : fallback;
+}
+
+std::int64_t Value::get_or(const std::string& key,
+                           std::int64_t fallback) const {
+  return contains(key) ? at(key).as_int() : fallback;
+}
+
+std::string Value::get_or(const std::string& key,
+                          const std::string& fallback) const {
+  return contains(key) ? at(key).as_string() : fallback;
+}
+
+Value& Value::set(const std::string& key, Value v) {
+  if (is_null()) data_ = Object{};
+  as_object()[key] = std::move(v);
+  return *this;
+}
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(static_cast<char>(c));
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void dump_number(std::string& out, double d) {
+  if (std::isnan(d) || std::isinf(d)) {
+    // JSON has no NaN/Inf; emit null like most tolerant encoders.
+    out += "null";
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", d);
+  // Trim to shortest round-trip representation.
+  double parsed;
+  for (int prec = 1; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof(buf), "%.*g", prec, d);
+    std::sscanf(buf, "%lf", &parsed);
+    if (parsed == d) break;
+  }
+  out += buf;
+}
+
+}  // namespace
+
+void Value::dump_impl(std::string& out, int indent, int depth) const {
+  const auto newline_pad = [&](int d) {
+    if (indent >= 0) {
+      out.push_back('\n');
+      out.append(static_cast<std::size_t>(indent * d), ' ');
+    }
+  };
+  switch (data_.index()) {
+    case 0: out += "null"; break;
+    case 1: out += std::get<bool>(data_) ? "true" : "false"; break;
+    case 2: dump_number(out, std::get<double>(data_)); break;
+    case 3: out += std::to_string(std::get<std::int64_t>(data_)); break;
+    case 4:
+      out.push_back('"');
+      out += escape(std::get<std::string>(data_));
+      out.push_back('"');
+      break;
+    case 5: {
+      const auto& arr = std::get<Array>(data_);
+      if (arr.empty()) {
+        out += "[]";
+        break;
+      }
+      out.push_back('[');
+      bool first = true;
+      for (const auto& v : arr) {
+        if (!first) out.push_back(',');
+        first = false;
+        newline_pad(depth + 1);
+        v.dump_impl(out, indent, depth + 1);
+      }
+      newline_pad(depth);
+      out.push_back(']');
+      break;
+    }
+    default: {
+      const auto& obj = std::get<Object>(data_);
+      if (obj.empty()) {
+        out += "{}";
+        break;
+      }
+      out.push_back('{');
+      bool first = true;
+      for (const auto& [k, v] : obj) {
+        if (!first) out.push_back(',');
+        first = false;
+        newline_pad(depth + 1);
+        out.push_back('"');
+        out += escape(k);
+        out += indent >= 0 ? "\": " : "\":";
+        v.dump_impl(out, indent, depth + 1);
+      }
+      newline_pad(depth);
+      out.push_back('}');
+      break;
+    }
+  }
+}
+
+std::string Value::dump(int indent) const {
+  std::string out;
+  dump_impl(out, indent, 0);
+  return out;
+}
+
+namespace {
+
+/// Recursive-descent parser tracking line/column for error messages.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value parse_document() {
+    skip_ws();
+    Value v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) {
+      fail("trailing characters after JSON document");
+    }
+    return v;
+  }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+  int depth_ = 0;
+  // Containers nest on the call stack; bound them so hostile documents
+  // fail with a ParseError instead of a stack overflow.
+  static constexpr int kMaxDepth = 192;
+
+  [[noreturn]] void fail(const std::string& msg) const {
+    GS_THROW(ParseError,
+             "JSON parse error at " << line_ << ":" << col_ << ": " << msg);
+  }
+
+  bool eof() const { return pos_ >= text_.size(); }
+
+  char peek() const {
+    if (eof()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  char advance() {
+    const char c = peek();
+    ++pos_;
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    return c;
+  }
+
+  void expect(char c) {
+    if (eof() || peek() != c) {
+      fail(std::string("expected '") + c + "'");
+    }
+    advance();
+  }
+
+  void skip_ws() {
+    while (!eof()) {
+      const char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        advance();
+      } else {
+        break;
+      }
+    }
+  }
+
+  Value parse_value() {
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Value(parse_string());
+      case 't': parse_literal("true"); return Value(true);
+      case 'f': parse_literal("false"); return Value(false);
+      case 'n': parse_literal("null"); return Value(nullptr);
+      default: return parse_number();
+    }
+  }
+
+  void parse_literal(std::string_view lit) {
+    for (const char c : lit) {
+      if (eof() || peek() != c) fail("invalid literal");
+      advance();
+    }
+  }
+
+  Value parse_object() {
+    if (++depth_ > kMaxDepth) fail("nesting deeper than 192 levels");
+    expect('{');
+    Object obj;
+    skip_ws();
+    if (!eof() && peek() == '}') {
+      advance();
+      return Value(std::move(obj));
+    }
+    while (true) {
+      skip_ws();
+      if (peek() != '"') fail("expected string key in object");
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      skip_ws();
+      obj[std::move(key)] = parse_value();
+      skip_ws();
+      const char c = advance();
+      if (c == '}') break;
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+    --depth_;
+    return Value(std::move(obj));
+  }
+
+  Value parse_array() {
+    if (++depth_ > kMaxDepth) fail("nesting deeper than 192 levels");
+    expect('[');
+    Array arr;
+    skip_ws();
+    if (!eof() && peek() == ']') {
+      advance();
+      return Value(std::move(arr));
+    }
+    while (true) {
+      skip_ws();
+      arr.push_back(parse_value());
+      skip_ws();
+      const char c = advance();
+      if (c == ']') break;
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+    --depth_;
+    return Value(std::move(arr));
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (eof()) fail("unterminated string");
+      const char c = advance();
+      if (c == '"') break;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("raw control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      const char esc = advance();
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': append_unicode_escape(out); break;
+        default: fail("invalid escape sequence");
+      }
+    }
+    return out;
+  }
+
+  unsigned parse_hex4() {
+    unsigned v = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = advance();
+      v <<= 4;
+      if (c >= '0' && c <= '9') {
+        v |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        v |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        fail("invalid \\u escape");
+      }
+    }
+    return v;
+  }
+
+  void append_unicode_escape(std::string& out) {
+    unsigned cp = parse_hex4();
+    if (cp >= 0xD800 && cp <= 0xDBFF) {
+      // High surrogate must be followed by a low surrogate escape.
+      if (eof() || advance() != '\\' || advance() != 'u') {
+        fail("unpaired high surrogate");
+      }
+      const unsigned low = parse_hex4();
+      if (low < 0xDC00 || low > 0xDFFF) fail("invalid low surrogate");
+      cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+    } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+      fail("unpaired low surrogate");
+    }
+    // Encode UTF-8.
+    if (cp < 0x80) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  Value parse_number() {
+    const std::size_t start = pos_;
+    bool is_double = false;
+    if (!eof() && peek() == '-') advance();
+    if (eof() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+      fail("invalid number");
+    }
+    while (!eof() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      advance();
+    }
+    if (!eof() && text_[pos_] == '.') {
+      is_double = true;
+      advance();
+      if (eof() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+        fail("digit expected after decimal point");
+      }
+      while (!eof() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        advance();
+      }
+    }
+    if (!eof() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      is_double = true;
+      advance();
+      if (!eof() && (peek() == '+' || peek() == '-')) advance();
+      if (eof() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+        fail("digit expected in exponent");
+      }
+      while (!eof() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        advance();
+      }
+    }
+    const std::string_view tok = text_.substr(start, pos_ - start);
+    if (!is_double) {
+      std::int64_t iv = 0;
+      const auto [p, ec] =
+          std::from_chars(tok.data(), tok.data() + tok.size(), iv);
+      if (ec == std::errc() && p == tok.data() + tok.size()) {
+        return Value(iv);
+      }
+      // Fall through for integers that overflow int64.
+    }
+    double dv = 0;
+    const auto [p, ec] = std::from_chars(tok.data(), tok.data() + tok.size(),
+                                         dv);
+    if (ec != std::errc() || p != tok.data() + tok.size()) {
+      fail("invalid number");
+    }
+    return Value(dv);
+  }
+};
+
+}  // namespace
+
+Value parse(std::string_view text) { return Parser(text).parse_document(); }
+
+Value parse_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    GS_THROW(IoError, "cannot open JSON file: " << path);
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return parse(ss.str());
+}
+
+}  // namespace gs::json

@@ -1,0 +1,100 @@
+// A small, dependency-free JSON implementation (RFC 8259 subset).
+//
+// GrayScott.jl drives its runs from JSON settings files
+// (examples/settings-files.json in the paper's artifact); we reproduce that
+// configuration path, so the project needs to parse and emit JSON without
+// external dependencies. Numbers are stored as double plus an exact int64
+// when representable, strings support the standard escapes including \uXXXX
+// for the Basic Multilingual Plane.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/error.h"
+
+namespace gs::json {
+
+class Value;
+
+using Array = std::vector<Value>;
+/// std::map keeps object keys ordered, which makes serialization
+/// deterministic — important for golden tests and reproducible metadata.
+using Object = std::map<std::string, Value>;
+
+enum class Type { null, boolean, number, string, array, object };
+
+/// A JSON document node.
+class Value {
+ public:
+  Value() : data_(nullptr) {}
+  Value(std::nullptr_t) : data_(nullptr) {}
+  Value(bool b) : data_(b) {}
+  Value(double d) : data_(d) {}
+  Value(int i) : data_(static_cast<std::int64_t>(i)) {}
+  Value(std::int64_t i) : data_(i) {}
+  Value(std::uint64_t u) : data_(static_cast<std::int64_t>(u)) {}
+  Value(const char* s) : data_(std::string(s)) {}
+  Value(std::string s) : data_(std::move(s)) {}
+  Value(Array a) : data_(std::move(a)) {}
+  Value(Object o) : data_(std::move(o)) {}
+
+  Type type() const;
+  bool is_null() const { return type() == Type::null; }
+  bool is_bool() const { return type() == Type::boolean; }
+  bool is_number() const { return type() == Type::number; }
+  bool is_string() const { return type() == Type::string; }
+  bool is_array() const { return type() == Type::array; }
+  bool is_object() const { return type() == Type::object; }
+
+  /// Typed accessors; throw gs::ParseError on type mismatch so configuration
+  /// errors carry a readable message instead of a variant exception.
+  bool as_bool() const;
+  double as_double() const;
+  std::int64_t as_int() const;
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  const Object& as_object() const;
+  Array& as_array();
+  Object& as_object();
+
+  /// Object member access; `at` throws if missing, `get` returns fallback.
+  const Value& at(const std::string& key) const;
+  bool contains(const std::string& key) const;
+  bool get_or(const std::string& key, bool fallback) const;
+  double get_or(const std::string& key, double fallback) const;
+  std::int64_t get_or(const std::string& key, std::int64_t fallback) const;
+  std::string get_or(const std::string& key, const std::string& fallback) const;
+
+  /// Insert/overwrite an object member (value must be an object or null;
+  /// null promotes to an empty object).
+  Value& set(const std::string& key, Value v);
+
+  /// Serializes; indent < 0 means compact single-line output.
+  std::string dump(int indent = -1) const;
+
+  bool operator==(const Value& rhs) const { return data_ == rhs.data_; }
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::int64_t, std::string, Array,
+               Object>
+      data_;
+
+  void dump_impl(std::string& out, int indent, int depth) const;
+};
+
+/// Parses a complete JSON document; trailing non-whitespace is an error.
+/// Throws gs::ParseError with line:column context on malformed input.
+Value parse(std::string_view text);
+
+/// Reads and parses a JSON file.
+Value parse_file(const std::string& path);
+
+/// Escapes a string for embedding in JSON output.
+std::string escape(const std::string& s);
+
+}  // namespace gs::json

@@ -1,0 +1,122 @@
+#include "config/settings.h"
+
+#include <set>
+
+namespace gs {
+
+const char* to_string(KernelBackend backend) {
+  switch (backend) {
+    case KernelBackend::host_reference: return "host_reference";
+    case KernelBackend::hip: return "hip";
+    case KernelBackend::julia_amdgpu: return "julia_amdgpu";
+  }
+  return "?";
+}
+
+KernelBackend backend_from_string(const std::string& name) {
+  if (name == "host_reference") return KernelBackend::host_reference;
+  if (name == "hip") return KernelBackend::hip;
+  if (name == "julia_amdgpu") return KernelBackend::julia_amdgpu;
+  GS_THROW(ParseError, "unknown kernel backend \"" << name
+                       << "\" (expected host_reference | hip | julia_amdgpu)");
+}
+
+Settings Settings::from_json(const json::Value& v) {
+  static const std::set<std::string> kKnown = {
+      "L",          "steps",          "plotgap",
+      "Du",         "Dv",             "F",
+      "k",          "dt",             "noise",
+      "seed",       "backend",        "output",
+      "checkpoint", "checkpoint_freq", "checkpoint_output",
+      "restart",    "restart_input",  "ranks_per_node",
+      "gpu_aware_mpi", "aot",  "compress", "precision",
+  };
+  for (const auto& [key, value] : v.as_object()) {
+    (void)value;
+    if (!kKnown.count(key)) {
+      GS_THROW(ParseError, "unknown settings key \"" << key << "\"");
+    }
+  }
+
+  Settings s;
+  s.L = v.get_or("L", s.L);
+  s.steps = v.get_or("steps", s.steps);
+  s.plotgap = v.get_or("plotgap", s.plotgap);
+  s.Du = v.get_or("Du", s.Du);
+  s.Dv = v.get_or("Dv", s.Dv);
+  s.F = v.get_or("F", s.F);
+  s.k = v.get_or("k", s.k);
+  s.dt = v.get_or("dt", s.dt);
+  s.noise = v.get_or("noise", s.noise);
+  s.seed = static_cast<std::uint64_t>(
+      v.get_or("seed", static_cast<std::int64_t>(s.seed)));
+  s.backend = backend_from_string(
+      v.get_or("backend", std::string(to_string(s.backend))));
+  s.output = v.get_or("output", s.output);
+  s.checkpoint = v.get_or("checkpoint", s.checkpoint);
+  s.checkpoint_freq = v.get_or("checkpoint_freq", s.checkpoint_freq);
+  s.checkpoint_output = v.get_or("checkpoint_output", s.checkpoint_output);
+  s.restart = v.get_or("restart", s.restart);
+  s.restart_input = v.get_or("restart_input", s.restart_input);
+  s.ranks_per_node = v.get_or("ranks_per_node", s.ranks_per_node);
+  s.gpu_aware_mpi = v.get_or("gpu_aware_mpi", s.gpu_aware_mpi);
+  s.aot = v.get_or("aot", s.aot);
+  s.compress = v.get_or("compress", s.compress);
+  s.precision = v.get_or("precision", s.precision);
+  s.validate();
+  return s;
+}
+
+Settings Settings::from_file(const std::string& path) {
+  return from_json(json::parse_file(path));
+}
+
+json::Value Settings::to_json() const {
+  json::Object obj;
+  obj["L"] = json::Value(L);
+  obj["steps"] = json::Value(steps);
+  obj["plotgap"] = json::Value(plotgap);
+  obj["Du"] = json::Value(Du);
+  obj["Dv"] = json::Value(Dv);
+  obj["F"] = json::Value(F);
+  obj["k"] = json::Value(k);
+  obj["dt"] = json::Value(dt);
+  obj["noise"] = json::Value(noise);
+  obj["seed"] = json::Value(static_cast<std::int64_t>(seed));
+  obj["backend"] = json::Value(to_string(backend));
+  obj["output"] = json::Value(output);
+  obj["checkpoint"] = json::Value(checkpoint);
+  obj["checkpoint_freq"] = json::Value(checkpoint_freq);
+  obj["checkpoint_output"] = json::Value(checkpoint_output);
+  obj["restart"] = json::Value(restart);
+  obj["restart_input"] = json::Value(restart_input);
+  obj["ranks_per_node"] = json::Value(ranks_per_node);
+  obj["gpu_aware_mpi"] = json::Value(gpu_aware_mpi);
+  obj["aot"] = json::Value(aot);
+  obj["compress"] = json::Value(compress);
+  obj["precision"] = json::Value(precision);
+  return json::Value(std::move(obj));
+}
+
+void Settings::validate() const {
+  GS_REQUIRE(L >= 4, "grid edge L=" << L << " too small (minimum 4)");
+  GS_REQUIRE(steps >= 0, "steps must be non-negative");
+  GS_REQUIRE(plotgap > 0, "plotgap must be positive");
+  GS_REQUIRE(Du >= 0.0 && Dv >= 0.0, "diffusion rates must be non-negative");
+  GS_REQUIRE(dt > 0.0, "dt must be positive");
+  GS_REQUIRE(noise >= 0.0, "noise amplitude must be non-negative");
+  GS_REQUIRE(ranks_per_node > 0, "ranks_per_node must be positive");
+  GS_REQUIRE(checkpoint_freq > 0, "checkpoint_freq must be positive");
+  GS_REQUIRE(!output.empty(), "output name must not be empty");
+  GS_REQUIRE(precision == "double" || precision == "single",
+             "precision must be \"double\" or \"single\", got \""
+                 << precision << "\"");
+  // Forward-Euler diffusion stability bound for the normalized 7-point
+  // Laplacian (coefficient 1/6 per neighbor): dt * D <= ~4 is the hard
+  // blow-up boundary; warn-level validation uses the safe bound.
+  GS_REQUIRE(dt * std::max(Du, Dv) <= 4.0,
+             "dt*max(Du,Dv)=" << dt * std::max(Du, Dv)
+                              << " violates explicit stability bound");
+}
+
+}  // namespace gs

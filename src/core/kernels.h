@@ -1,0 +1,108 @@
+// Gray-Scott stencil kernel bodies (paper Listing 2, Equations 1-3).
+//
+// The bodies are templates over a view type so the SAME numerical code runs
+// in every execution mode:
+//   * gs::gpu::View3      — simulated-device launch (with/without L2 tracing)
+//   * gs::ir::TracedView3 — IR-level memory-op verification (Listing 4)
+//   * plain HostView3     — reference host solver
+//
+// Noise is counter-based: the uniform draw for a cell depends only on
+// (seed, step, global cell id), never on traversal order or the domain
+// decomposition — which is what makes "serial run == N-rank run" an exact
+// testable property even with noise enabled.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "grid/box.h"
+
+namespace gs::core {
+
+/// Physics constants of Equations (1a)/(1b).
+struct GsParams {
+  double Du = 0.2;
+  double Dv = 0.1;
+  double F = 0.02;
+  double k = 0.048;
+  double dt = 1.0;
+  double noise = 0.1;
+};
+
+/// Deterministic uniform draw in [-1, 1) for one (seed, step, cell).
+/// One SplitMix64 mixing chain — cheap enough to model the device RNG and
+/// fully order-independent.
+inline double noise_at(std::uint64_t seed, std::int64_t step,
+                       std::int64_t global_cell) {
+  SplitMix64 sm(seed ^ (0x9E3779B97F4A7C15ULL * static_cast<std::uint64_t>(
+                                                    step + 1)) ^
+                (0xBF58476D1CE4E5B9ULL *
+                 static_cast<std::uint64_t>(global_cell + 1)));
+  const double u01 =
+      static_cast<double>(sm.next() >> 11) * 0x1.0p-53;  // [0, 1)
+  return 2.0 * u01 - 1.0;
+}
+
+/// Normalized 7-point Laplacian (Equation 3): 7 loads of `var`.
+template <typename View>
+inline double laplacian(const View& var, std::int64_t i, std::int64_t j,
+                        std::int64_t k) {
+  const double l = var.load(i - 1, j, k) + var.load(i + 1, j, k) +
+                   var.load(i, j - 1, k) + var.load(i, j + 1, k) +
+                   var.load(i, j, k - 1) + var.load(i, j, k + 1) -
+                   6.0 * var.load(i, j, k);
+  return l / 6.0;
+}
+
+/// Fused 2-variable update of one cell (the application kernel of
+/// Listing 2): 14 unique loads, 2 stores.
+/// `noise_value` is the pre-drawn r for this (cell, step); pass 0 when the
+/// noise amplitude is 0 so the arithmetic is identical across modes.
+template <typename View>
+inline void grayscott_cell(const View& u, const View& v, const View& u_temp,
+                           const View& v_temp, std::int64_t i, std::int64_t j,
+                           std::int64_t k, const GsParams& p,
+                           double noise_value) {
+  const double u_ijk = u.load(i, j, k);
+  const double v_ijk = v.load(i, j, k);
+
+  const double du = p.Du * laplacian(u, i, j, k) - u_ijk * v_ijk * v_ijk +
+                    p.F * (1.0 - u_ijk) + p.noise * noise_value;
+  const double dv = p.Dv * laplacian(v, i, j, k) + u_ijk * v_ijk * v_ijk -
+                    (p.F + p.k) * v_ijk;
+
+  u_temp.store(i, j, k, u_ijk + du * p.dt);
+  v_temp.store(i, j, k, v_ijk + dv * p.dt);
+}
+
+/// Single-variable diffusion-only kernel ("1-variable no random" row of
+/// Tables 2-3): 7 unique loads, 1 store.
+template <typename View>
+inline void diffusion_cell(const View& u, const View& u_temp, std::int64_t i,
+                           std::int64_t j, std::int64_t k, double D,
+                           double dt) {
+  const double u_ijk = u.load(i, j, k);
+  u_temp.store(i, j, k, u_ijk + dt * D * laplacian(u, i, j, k));
+}
+
+/// Launch-guard matching Listing 2: true for cells the kernel must skip
+/// (the outermost plane of the allocated array, i.e. the ghost layer).
+/// `alloc` is the allocated extent (interior + 2 per axis); idx is 0-based.
+inline bool is_boundary_item(const Index3& idx, const Index3& alloc) {
+  return idx.i == 0 || idx.i >= alloc.i - 1 || idx.j == 0 ||
+         idx.j >= alloc.j - 1 || idx.k == 0 || idx.k >= alloc.k - 1;
+}
+
+/// FP64 work per cell for the roofline model: 2x (7-point Laplacian: 7
+/// adds + 1 mul) + reaction terms + Euler update.
+inline constexpr double kGrayScottFlopsPerCell = 36.0;
+/// Extra ALU ops for the counter-based RNG draw.
+inline constexpr double kNoiseFlopsPerCell = 24.0;
+/// DRAM bytes per cell for the fast (no cache-sim) duration model,
+/// calibrated to the paper's measured totals: (50.80+16.78) GB / 1024^3
+/// cells = 62.9 B/cell for the 2-variable kernel.
+inline constexpr double kGrayScottBytesPerCell = 62.9;
+/// Same for the single-variable kernel: (25.40+8.38) GB / 1024^3.
+inline constexpr double kDiffusionBytesPerCell = 31.5;
+
+}  // namespace gs::core

@@ -1,0 +1,111 @@
+#include "core/reference.h"
+
+#include <utility>
+
+namespace gs::core {
+
+void apply_periodic_ghosts(Field3& f) {
+  const Index3 n = f.interior();
+  // Faces (edges/corners are irrelevant to the 7-point stencil).
+  for (std::int64_t k = 1; k <= n.k; ++k) {
+    for (std::int64_t j = 1; j <= n.j; ++j) {
+      f.at(0, j, k) = f.at(n.i, j, k);
+      f.at(n.i + 1, j, k) = f.at(1, j, k);
+    }
+  }
+  for (std::int64_t k = 1; k <= n.k; ++k) {
+    for (std::int64_t i = 1; i <= n.i; ++i) {
+      f.at(i, 0, k) = f.at(i, n.j, k);
+      f.at(i, n.j + 1, k) = f.at(i, 1, k);
+    }
+  }
+  for (std::int64_t j = 1; j <= n.j; ++j) {
+    for (std::int64_t i = 1; i <= n.i; ++i) {
+      f.at(i, j, 0) = f.at(i, j, n.k);
+      f.at(i, j, n.k + 1) = f.at(i, j, 1);
+    }
+  }
+}
+
+std::int64_t default_perturbation_halfwidth(std::int64_t L) {
+  return std::max<std::int64_t>(1, L / 16);
+}
+
+void initialize_fields(Field3& u, Field3& v, const Box3& local,
+                       std::int64_t L) {
+  GS_REQUIRE(u.interior() == local.count && v.interior() == local.count,
+             "field extents must match the local box");
+  const std::int64_t w = default_perturbation_halfwidth(L);
+  const std::int64_t c = L / 2;
+  const Box3 seed_box{{c - w, c - w, c - w}, {2 * w, 2 * w, 2 * w}};
+
+  const Index3 n = local.count;
+  for (std::int64_t k = 1; k <= n.k; ++k) {
+    for (std::int64_t j = 1; j <= n.j; ++j) {
+      for (std::int64_t i = 1; i <= n.i; ++i) {
+        // Global coordinates of this interior cell.
+        const Index3 g{local.start.i + i - 1, local.start.j + j - 1,
+                       local.start.k + k - 1};
+        if (seed_box.contains(g)) {
+          u.at(i, j, k) = 0.25;
+          v.at(i, j, k) = 0.33;
+        } else {
+          u.at(i, j, k) = 1.0;
+          v.at(i, j, k) = 0.0;
+        }
+      }
+    }
+  }
+}
+
+void reference_step(Field3& u, Field3& v, Field3& u_next, Field3& v_next,
+                    const GsParams& params, std::uint64_t seed,
+                    std::int64_t step, std::int64_t L) {
+  apply_periodic_ghosts(u);
+  apply_periodic_ghosts(v);
+
+  const Index3 n = u.interior();
+  const Index3 global{L, L, L};
+  for (std::int64_t k = 1; k <= n.k; ++k) {
+    for (std::int64_t j = 1; j <= n.j; ++j) {
+      for (std::int64_t i = 1; i <= n.i; ++i) {
+        const double lap_u =
+            (u.at(i - 1, j, k) + u.at(i + 1, j, k) + u.at(i, j - 1, k) +
+             u.at(i, j + 1, k) + u.at(i, j, k - 1) + u.at(i, j, k + 1) -
+             6.0 * u.at(i, j, k)) /
+            6.0;
+        const double lap_v =
+            (v.at(i - 1, j, k) + v.at(i + 1, j, k) + v.at(i, j - 1, k) +
+             v.at(i, j + 1, k) + v.at(i, j, k - 1) + v.at(i, j, k + 1) -
+             6.0 * v.at(i, j, k)) /
+            6.0;
+        const double uc = u.at(i, j, k);
+        const double vc = v.at(i, j, k);
+        // The serial domain is the whole global domain (local box == global).
+        const std::int64_t cell =
+            linear_index({i - 1, j - 1, k - 1}, global);
+        const double r =
+            params.noise != 0.0 ? noise_at(seed, step, cell) : 0.0;
+        const double du = params.Du * lap_u - uc * vc * vc +
+                          params.F * (1.0 - uc) + params.noise * r;
+        const double dv = params.Dv * lap_v + uc * vc * vc -
+                          (params.F + params.k) * vc;
+        u_next.at(i, j, k) = uc + du * params.dt;
+        v_next.at(i, j, k) = vc + dv * params.dt;
+      }
+    }
+  }
+}
+
+void reference_run(Field3& u, Field3& v, const GsParams& params,
+                   std::uint64_t seed, std::int64_t n_steps, std::int64_t L) {
+  Field3 u_next(u.interior());
+  Field3 v_next(v.interior());
+  for (std::int64_t s = 0; s < n_steps; ++s) {
+    reference_step(u, v, u_next, v_next, params, seed, s, L);
+    std::swap(u, u_next);
+    std::swap(v, v_next);
+  }
+}
+
+}  // namespace gs::core

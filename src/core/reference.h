@@ -1,0 +1,39 @@
+// Serial host reference solver — ground truth for every other path.
+//
+// Deliberately written as plain triple loops over gs::Field3 (no view
+// templates, no device, no MPI) so that agreement between this code and
+// the simulated-GPU/MPI paths is meaningful validation rather than
+// comparing a function with itself.
+#pragma once
+
+#include <cstdint>
+
+#include "core/kernels.h"
+#include "grid/field.h"
+
+namespace gs::core {
+
+/// Applies periodic ghost values on a single-domain field (the serial
+/// equivalent of the 6-face halo exchange with periodic topology).
+void apply_periodic_ghosts(Field3& f);
+
+/// Standard Gray-Scott initial condition: U=1, V=0 background with a
+/// perturbed cube (U=0.25, V=0.33) of half-width `w` centered in the
+/// GLOBAL domain. The field holds the local box `local` of a global cube
+/// of edge L; ghost cells are left untouched.
+void initialize_fields(Field3& u, Field3& v, const Box3& local,
+                       std::int64_t L);
+std::int64_t default_perturbation_halfwidth(std::int64_t L);
+
+/// One forward-Euler step on a single (serial) periodic domain of edge L.
+/// `step` feeds the counter-based noise. Reads u/v, writes u_next/v_next
+/// (interiors only); ghosts of u/v are refreshed internally first.
+void reference_step(Field3& u, Field3& v, Field3& u_next, Field3& v_next,
+                    const GsParams& params, std::uint64_t seed,
+                    std::int64_t step, std::int64_t L);
+
+/// Runs `n_steps` of the serial solver in place.
+void reference_run(Field3& u, Field3& v, const GsParams& params,
+                   std::uint64_t seed, std::int64_t n_steps, std::int64_t L);
+
+}  // namespace gs::core

@@ -1,0 +1,299 @@
+#include "core/sim.h"
+
+#include <utility>
+
+#include "core/reference.h"
+
+namespace gs::core {
+
+namespace {
+
+gpu::BackendProfile backend_for(KernelBackend b) {
+  switch (b) {
+    case KernelBackend::hip: return gpu::hip_backend();
+    case KernelBackend::julia_amdgpu: return gpu::julia_amdgpu_backend();
+    case KernelBackend::host_reference: return gpu::host_backend();
+  }
+  return gpu::host_backend();
+}
+
+}  // namespace
+
+Simulation::Simulation(const Settings& settings, mpi::Comm& comm,
+                       prof::Profiler* profiler)
+    : settings_(settings),
+      decomp_({settings.L, settings.L, settings.L},
+              balanced_dims(comm.size())),
+      profiler_(profiler),
+      backend_(backend_for(settings.backend)),
+      u_h_({1, 1, 1}),
+      v_h_({1, 1, 1}) {
+  settings_.validate();
+  params_ = GsParams{settings_.Du, settings_.Dv, settings_.F,
+                     settings_.k,  settings_.dt, settings_.noise};
+
+  cart_ = std::make_unique<mpi::CartComm>(comm, decomp_.process_grid(),
+                                          std::array<bool, 3>{true, true,
+                                                              true});
+  local_ = decomp_.local_box(cart_->rank());
+
+  // One simulated GCD per rank, with a rank-decorrelated RNG stream for
+  // the JIT-time draw.
+  device_ = std::make_unique<gpu::Device>(
+      gpu::DeviceProps{},
+      settings_.seed * 0x9E3779B97F4A7C15ULL +
+          static_cast<std::uint64_t>(cart_->rank()),
+      profiler_);
+
+  const Index3 n = local_.count;
+  u_h_ = Field3(n);
+  v_h_ = Field3(n);
+  initialize_fields(u_h_, v_h_, local_, settings_.L);
+
+  const auto cells = static_cast<std::size_t>(u_h_.alloc_extent().volume());
+  u_d_ = device_->alloc(cells, "u");
+  v_d_ = device_->alloc(cells, "v");
+  u_new_d_ = device_->alloc(cells, "u_temp");
+  v_new_d_ = device_->alloc(cells, "v_temp");
+
+  // Upload initial interiors (ghosts are populated by the first exchange).
+  device_->memcpy_h2d(u_d_, u_h_.data());
+  device_->memcpy_h2d(v_d_, v_h_.data());
+
+  // Ahead-of-time compilation (paper Sec. 5.2's unexplored mechanism):
+  // pay the (small) system-image load cost now instead of the first-
+  // launch JIT cost.
+  if (settings_.aot && backend_.jit) {
+    device_->precompile(kernel_info(), backend_);
+  }
+}
+
+void Simulation::exchange_variable(Field3& f, int variable_id) {
+  const Index3 alloc = f.alloc_extent();
+  const Index3 n = f.interior();
+  gpu::DeviceBuffer& dev = variable_id == 0 ? u_d_ : v_d_;
+
+  // The host-reference backend computes from the host mirrors, whose
+  // ghosts only the staged path refreshes; GPU-aware exchange applies to
+  // the device backends.
+  if (settings_.gpu_aware_mpi &&
+      settings_.backend != KernelBackend::host_reference) {
+    exchange_variable_gpu_aware(dev, variable_id);
+    return;
+  }
+
+  // Stage: pull the 6 interior face planes of the current device state
+  // into the host mirror (strided d2h, Listing 3's staging step).
+  for (const Face& face : all_faces()) {
+    device_->memcpy_d2h_box(f.data(), dev, alloc, send_plane(n, face));
+  }
+
+  // Exchange with the 6 Cartesian neighbors using strided datatypes over
+  // the host mirror. Periodic topology: every rank has all neighbors.
+  // Tag is derived from the SENDER's face so a low-side send matches the
+  // receiver's high-side ghost receive.
+  for (int axis = 0; axis < 3; ++axis) {
+    const auto [src, dst] = cart_->shift(axis, 1);
+    // Send my high face to dst; receive into my low ghost from src.
+    const Face high{axis, +1};
+    const Face low{axis, -1};
+    const auto send_high = mpi::Datatype::subarray(
+        alloc, send_plane(n, high), sizeof(double));
+    const auto recv_low = mpi::Datatype::subarray(
+        alloc, recv_plane(n, low), sizeof(double));
+    cart_->comm().send_typed(f.data().data(), send_high, dst,
+                             face_tag(variable_id, high));
+    cart_->comm().recv_typed(f.data().data(), recv_low, src,
+                             face_tag(variable_id, high));
+
+    // Send my low face to src; receive into my high ghost from dst.
+    const auto send_low = mpi::Datatype::subarray(
+        alloc, send_plane(n, low), sizeof(double));
+    const auto recv_high = mpi::Datatype::subarray(
+        alloc, recv_plane(n, high), sizeof(double));
+    cart_->comm().send_typed(f.data().data(), send_low, src,
+                             face_tag(variable_id, low));
+    cart_->comm().recv_typed(f.data().data(), recv_high, dst,
+                             face_tag(variable_id, low));
+  }
+
+  // Upload the freshly received ghost planes to the device.
+  for (const Face& face : all_faces()) {
+    device_->memcpy_h2d_box(dev, f.data(), alloc, recv_plane(n, face));
+  }
+}
+
+void Simulation::exchange_variable_gpu_aware(gpu::DeviceBuffer& dev,
+                                             int variable_id) {
+  // GPU-aware path: the NIC reads/writes device memory directly over
+  // Infinity Fabric; no host staging copies. Functionally we pack from
+  // the device shadow with the same strided datatypes; the time cost is
+  // one peer transfer per face at the GPU-GPU link rate.
+  const Index3 alloc = u_h_.alloc_extent();
+  const Index3 n = u_h_.interior();
+
+  for (int axis = 0; axis < 3; ++axis) {
+    const auto [src, dst] = cart_->shift(axis, 1);
+    const Face high{axis, +1};
+    const Face low{axis, -1};
+    const auto bytes = static_cast<std::uint64_t>(face_cells(n, high)) *
+                       sizeof(double);
+
+    const auto send_high =
+        mpi::Datatype::subarray(alloc, send_plane(n, high), sizeof(double));
+    const auto recv_low =
+        mpi::Datatype::subarray(alloc, recv_plane(n, low), sizeof(double));
+    cart_->comm().send_typed(dev.data(), send_high, dst,
+                             face_tag(variable_id, high));
+    cart_->comm().recv_typed(dev.data(), recv_low, src,
+                             face_tag(variable_id, high));
+    device_->peer_transfer(bytes, "halo_axis" + std::to_string(axis));
+
+    const auto send_low =
+        mpi::Datatype::subarray(alloc, send_plane(n, low), sizeof(double));
+    const auto recv_high =
+        mpi::Datatype::subarray(alloc, recv_plane(n, high), sizeof(double));
+    cart_->comm().send_typed(dev.data(), send_low, src,
+                             face_tag(variable_id, low));
+    cart_->comm().recv_typed(dev.data(), recv_high, dst,
+                             face_tag(variable_id, low));
+    device_->peer_transfer(bytes, "halo_axis" + std::to_string(axis));
+  }
+}
+
+void Simulation::exchange_halos() {
+  exchange_variable(u_h_, 0);
+  exchange_variable(v_h_, 1);
+}
+
+gpu::KernelInfo Simulation::kernel_info() const {
+  gpu::KernelInfo info;
+  info.name = "_kernel_gs_2var";
+  info.uses_rng = settings_.noise != 0.0;
+  info.flops_per_item =
+      kGrayScottFlopsPerCell + (info.uses_rng ? kNoiseFlopsPerCell : 0.0);
+  info.est_bytes_per_item = kGrayScottBytesPerCell;
+  return info;
+}
+
+StepTiming Simulation::launch_kernel() {
+  StepTiming t;
+  const Index3 alloc = u_h_.alloc_extent();
+  const Index3 global{settings_.L, settings_.L, settings_.L};
+  const Box3 local = local_;
+  const std::uint64_t seed = settings_.seed;
+  const std::int64_t step_now = step_;
+  const double noise_amp = params_.noise;
+
+  if (settings_.backend == KernelBackend::host_reference) {
+    // Host path: compute directly on the host mirrors (interiors of the
+    // mirrors are authoritative in this mode).
+    Field3 u_next(u_h_.interior());
+    Field3 v_next(v_h_.interior());
+    const Index3 n = u_h_.interior();
+    for (std::int64_t k = 1; k <= n.k; ++k) {
+      for (std::int64_t j = 1; j <= n.j; ++j) {
+        for (std::int64_t i = 1; i <= n.i; ++i) {
+          const Index3 g{local.start.i + i - 1, local.start.j + j - 1,
+                         local.start.k + k - 1};
+          const double r =
+              noise_amp != 0.0
+                  ? noise_at(seed, step_now, linear_index(g, global))
+                  : 0.0;
+          // Plain host views over the mirror fields.
+          struct HostView {
+            Field3* f;
+            double load(std::int64_t a, std::int64_t b,
+                        std::int64_t c) const {
+              return f->at(a, b, c);
+            }
+            void store(std::int64_t a, std::int64_t b, std::int64_t c,
+                       double v) const {
+              f->at(a, b, c) = v;
+            }
+          };
+          const HostView uv{&u_h_}, vv{&v_h_}, un{&u_next}, vn{&v_next};
+          grayscott_cell(uv, vv, un, vn, i, j, k, params_, r);
+        }
+      }
+    }
+    // Copy interiors back (ghosts refresh next exchange).
+    u_h_.interior_assign(u_next.interior_copy());
+    v_h_.interior_assign(v_next.interior_copy());
+    // Keep device mirrors in sync so sync_host() stays a no-op source of
+    // truth in this mode.
+    device_->memcpy_h2d(u_d_, u_h_.data());
+    device_->memcpy_h2d(v_d_, v_h_.data());
+    return t;
+  }
+
+  const gpu::View3 u = device_->view(u_d_, alloc);
+  const gpu::View3 v = device_->view(v_d_, alloc);
+  const gpu::View3 u_new = device_->view(u_new_d_, alloc);
+  const gpu::View3 v_new = device_->view(v_new_d_, alloc);
+  const GsParams p = params_;
+
+  const auto result = device_->launch(
+      kernel_info(), backend_, alloc, [&](const Index3& idx) {
+        if (is_boundary_item(idx, alloc)) return;
+        const Index3 g{local.start.i + idx.i - 1, local.start.j + idx.j - 1,
+                       local.start.k + idx.k - 1};
+        const double r =
+            noise_amp != 0.0
+                ? noise_at(seed, step_now, linear_index(g, global))
+                : 0.0;
+        grayscott_cell(u, v, u_new, v_new, idx.i, idx.j, idx.k, p, r);
+      });
+  t.kernel = result.duration;
+  t.jit = result.jit_time;
+
+  std::swap(u_d_, u_new_d_);
+  std::swap(v_d_, v_new_d_);
+  return t;
+}
+
+StepTiming Simulation::step() {
+  const double t_before = device_->clock().now();
+  exchange_halos();
+  const double t_exchanged = device_->clock().now();
+
+  StepTiming t = launch_kernel();
+  t.exchange = t_exchanged - t_before;
+  ++step_;
+  return t;
+}
+
+void Simulation::run_steps(std::int64_t n) {
+  for (std::int64_t s = 0; s < n; ++s) step();
+}
+
+void Simulation::restore(std::span<const double> u_interior,
+                         std::span<const double> v_interior,
+                         std::int64_t step) {
+  GS_REQUIRE(step >= 0, "restore step must be non-negative");
+  u_h_.interior_assign(u_interior);
+  v_h_.interior_assign(v_interior);
+  device_->memcpy_h2d(u_d_, u_h_.data());
+  device_->memcpy_h2d(v_d_, v_h_.data());
+  step_ = step;
+}
+
+void Simulation::sync_host() {
+  device_->memcpy_d2h(u_h_.data(), u_d_);
+  device_->memcpy_d2h(v_h_.data(), v_d_);
+}
+
+Simulation::GlobalStats Simulation::global_stats() {
+  sync_host();
+  GlobalStats s{};
+  auto& comm = cart_->comm();
+  s.u_min = comm.allreduce(u_h_.interior_min(), mpi::ReduceOp::min);
+  s.u_max = comm.allreduce(u_h_.interior_max(), mpi::ReduceOp::max);
+  s.u_sum = comm.allreduce(u_h_.interior_sum(), mpi::ReduceOp::sum);
+  s.v_min = comm.allreduce(v_h_.interior_min(), mpi::ReduceOp::min);
+  s.v_max = comm.allreduce(v_h_.interior_max(), mpi::ReduceOp::max);
+  s.v_sum = comm.allreduce(v_h_.interior_sum(), mpi::ReduceOp::sum);
+  return s;
+}
+
+}  // namespace gs::core

@@ -1,0 +1,70 @@
+// End-to-end Gray-Scott workflow (paper Figure 1): simulate -> write BP
+// output every `plotgap` steps (with the Listing 1 provenance attributes
+// and visualization-schema tags) -> optionally checkpoint/restart.
+//
+// This is the C++ equivalent of GrayScott.jl's main loop: the single
+// entry point the examples and benches drive.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "bp/writer.h"
+#include "config/settings.h"
+#include "core/sim.h"
+
+namespace gs::core {
+
+/// Aggregate outcome of a workflow run (per rank; identical fields like
+/// steps/outputs are globally consistent).
+struct RunReport {
+  std::int64_t steps_run = 0;
+  std::int64_t outputs_written = 0;
+  std::int64_t checkpoints_written = 0;
+  bool restarted = false;
+  std::int64_t first_step = 0;       ///< 0, or the restored step
+  double device_seconds = 0.0;       ///< simulated device time
+  double io_seconds = 0.0;           ///< wall time in BP end_step flushes
+  std::uint64_t io_bytes_local = 0;  ///< payload contributed by this rank
+  StepTiming accumulated;            ///< summed step timings
+};
+
+class Workflow {
+ public:
+  /// Collective over `comm`.
+  Workflow(const Settings& settings, mpi::Comm& comm,
+           prof::Profiler* profiler = nullptr);
+
+  /// Runs the full configured workflow: restart (if enabled and the
+  /// checkpoint exists), then `steps` iterations with output every
+  /// `plotgap` steps and checkpoints every `checkpoint_freq`.
+  RunReport run();
+
+  Simulation& simulation() { return sim_; }
+
+  /// Writes the current state as a checkpoint dataset (U, V, step).
+  void write_checkpoint();
+
+  /// Loads state from `restart_input` (each rank reads its own box via a
+  /// selection read). Returns the restored step, or nullopt if the
+  /// dataset does not exist.
+  std::optional<std::int64_t> try_restart();
+
+ private:
+  Settings settings_;
+  mpi::Comm comm_;
+  Simulation sim_;
+  prof::Profiler* profiler_;
+
+  /// Attaches the Listing 1 provenance attributes to a writer.
+  void add_provenance(bp::Writer& writer) const;
+
+  /// Writes one output step (U, V interiors + step scalar).
+  /// `force_double` overrides the precision setting — checkpoints must
+  /// hold the exact double state for bitwise restart.
+  bp::StepIoStats write_output(bp::Writer& writer,
+                               bool force_double = false);
+};
+
+}  // namespace gs::core

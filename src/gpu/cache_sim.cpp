@@ -1,0 +1,108 @@
+#include "gpu/cache_sim.h"
+
+#include "common/error.h"
+
+namespace gs::gpu {
+
+namespace {
+bool is_pow2(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+}  // namespace
+
+CacheSim::CacheSim(std::uint64_t capacity_bytes, std::uint32_t line_bytes,
+                   std::uint32_t ways)
+    : capacity_(capacity_bytes), line_bytes_(line_bytes), ways_(ways) {
+  GS_REQUIRE(line_bytes_ > 0 && is_pow2(line_bytes_),
+             "cache line size must be a power of two");
+  GS_REQUIRE(ways_ > 0, "cache needs at least one way");
+  GS_REQUIRE(capacity_ % (static_cast<std::uint64_t>(line_bytes_) * ways_) ==
+                 0,
+             "capacity " << capacity_ << " not divisible by line*ways");
+  n_sets_ = capacity_ / (static_cast<std::uint64_t>(line_bytes_) * ways_);
+  GS_REQUIRE(n_sets_ > 0 && is_pow2(n_sets_),
+             "number of sets must be a power of two, got " << n_sets_);
+  lines_.resize(n_sets_ * ways_);
+}
+
+bool CacheSim::access_line(std::uintptr_t line_addr, bool is_write) {
+  const std::uint64_t set = (line_addr / line_bytes_) & (n_sets_ - 1);
+  Line* base = &lines_[set * ways_];
+  ++tick_;
+
+  // Hit path.
+  for (std::uint32_t w = 0; w < ways_; ++w) {
+    Line& l = base[w];
+    if (l.valid && l.tag == line_addr) {
+      l.lru = tick_;
+      l.dirty = l.dirty || is_write;
+      return true;
+    }
+  }
+
+  // Miss: fill (write-allocate). Prefer an invalid way; otherwise evict
+  // the least recently used line, writing it back if dirty.
+  Line* victim = nullptr;
+  for (std::uint32_t w = 0; w < ways_; ++w) {
+    Line& l = base[w];
+    if (!l.valid) {
+      victim = &l;
+      break;
+    }
+    if (victim == nullptr || l.lru < victim->lru) victim = &l;
+  }
+  if (victim->valid && victim->dirty) {
+    counters_.write_bytes += line_bytes_;
+  }
+  // Write misses allocate without fetching: GPU L2s coalesce full-line
+  // stores and do not read-for-ownership (rocprof's FETCH_SIZE for the
+  // stencil shows no store-side fetch traffic).
+  if (!is_write) {
+    counters_.fetch_bytes += line_bytes_;
+  }
+  victim->valid = true;
+  victim->tag = line_addr;
+  victim->dirty = is_write;
+  victim->lru = tick_;
+  return false;
+}
+
+void CacheSim::read(std::uintptr_t address, std::uint32_t n_bytes) {
+  ++counters_.loads;
+  const std::uintptr_t first = address & ~static_cast<std::uintptr_t>(
+                                             line_bytes_ - 1);
+  const std::uintptr_t last =
+      (address + n_bytes - 1) & ~static_cast<std::uintptr_t>(line_bytes_ - 1);
+  for (std::uintptr_t a = first; a <= last; a += line_bytes_) {
+    if (access_line(a, /*is_write=*/false)) {
+      ++counters_.tcc_hits;
+    } else {
+      ++counters_.tcc_misses;
+    }
+  }
+}
+
+void CacheSim::write(std::uintptr_t address, std::uint32_t n_bytes) {
+  ++counters_.stores;
+  const std::uintptr_t first = address & ~static_cast<std::uintptr_t>(
+                                             line_bytes_ - 1);
+  const std::uintptr_t last =
+      (address + n_bytes - 1) & ~static_cast<std::uintptr_t>(line_bytes_ - 1);
+  for (std::uintptr_t a = first; a <= last; a += line_bytes_) {
+    if (access_line(a, /*is_write=*/true)) {
+      ++counters_.tcc_hits;
+    } else {
+      ++counters_.tcc_misses;
+    }
+  }
+}
+
+void CacheSim::flush() {
+  for (auto& l : lines_) {
+    if (l.valid && l.dirty) {
+      counters_.write_bytes += line_bytes_;
+    }
+    l = Line{};
+  }
+  tick_ = 0;
+}
+
+}  // namespace gs::gpu

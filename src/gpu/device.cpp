@@ -1,0 +1,242 @@
+#include "gpu/device.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "grid/field.h"
+
+namespace gs::gpu {
+
+// ------------------------------------------------------------ DeviceBuffer
+
+DeviceBuffer::DeviceBuffer(Device* device, std::size_t n, std::string label)
+    : device_(device), data_(n, 0.0), label_(std::move(label)) {}
+
+DeviceBuffer::DeviceBuffer(DeviceBuffer&& o) noexcept
+    : device_(o.device_), data_(std::move(o.data_)),
+      label_(std::move(o.label_)) {
+  o.device_ = nullptr;
+  o.data_.clear();
+}
+
+DeviceBuffer& DeviceBuffer::operator=(DeviceBuffer&& o) noexcept {
+  if (this != &o) {
+    if (device_ != nullptr) {
+      device_->allocated_bytes_ -= bytes();
+    }
+    device_ = o.device_;
+    data_ = std::move(o.data_);
+    label_ = std::move(o.label_);
+    o.device_ = nullptr;
+    o.data_.clear();
+  }
+  return *this;
+}
+
+DeviceBuffer::~DeviceBuffer() {
+  if (device_ != nullptr) {
+    device_->allocated_bytes_ -= bytes();
+  }
+}
+
+// ------------------------------------------------------------------ Device
+
+Device::Device(DeviceProps props, std::uint64_t seed,
+               prof::Profiler* profiler)
+    : props_(std::move(props)),
+      profiler_(profiler),
+      rng_(seed),
+      cache_(props_.l2_bytes, props_.l2_line_bytes, props_.l2_ways) {}
+
+void Device::set_cache_sim_enabled(bool enabled) {
+  cache_enabled_ = enabled;
+  cache_.reset_counters();
+  cache_.flush();
+  cache_.reset_counters();
+}
+
+DeviceBuffer Device::alloc(std::size_t n_doubles, std::string label) {
+  const std::uint64_t bytes = n_doubles * sizeof(double);
+  GS_REQUIRE(allocated_bytes_ + bytes <= props_.memory_bytes,
+             "device OOM allocating " << bytes << " B for \"" << label
+                                      << "\" (used " << allocated_bytes_
+                                      << " of " << props_.memory_bytes
+                                      << ")");
+  allocated_bytes_ += bytes;
+  return DeviceBuffer(this, n_doubles, std::move(label));
+}
+
+void Device::record_span(const std::string& name, prof::SpanKind kind,
+                         double t0, double t1, prof::CounterSet counters) {
+  if (profiler_ == nullptr) return;
+  prof::Span s;
+  s.name = name;
+  s.kind = kind;
+  s.t0 = t0;
+  s.t1 = t1;
+  s.counters = counters;
+  profiler_->record(std::move(s));
+}
+
+void Device::memcpy_h2d(DeviceBuffer& dst, std::span<const double> src,
+                        std::size_t dst_offset) {
+  GS_REQUIRE(dst_offset + src.size() <= dst.size(),
+             "h2d copy overflows buffer \"" << dst.label() << "\"");
+  const double t0 = clock_.now();
+  std::copy(src.begin(), src.end(), dst.data_.begin() +
+                                        static_cast<std::ptrdiff_t>(
+                                            dst_offset));
+  const double dt = props_.host_link_latency +
+                    static_cast<double>(src.size_bytes()) /
+                        props_.host_link_bandwidth;
+  clock_.advance(dt);
+  record_span("h2d:" + dst.label(), prof::SpanKind::memcpy_h2d, t0,
+              clock_.now());
+}
+
+void Device::memcpy_d2h(std::span<double> dst, const DeviceBuffer& src,
+                        std::size_t src_offset) {
+  GS_REQUIRE(src_offset + dst.size() <= src.size(),
+             "d2h copy overruns buffer \"" << src.label() << "\"");
+  const double t0 = clock_.now();
+  std::copy_n(src.data_.begin() + static_cast<std::ptrdiff_t>(src_offset),
+              dst.size(), dst.begin());
+  const double dt = props_.host_link_latency +
+                    static_cast<double>(dst.size_bytes()) /
+                        props_.host_link_bandwidth;
+  clock_.advance(dt);
+  record_span("d2h:" + src.label(), prof::SpanKind::memcpy_d2h, t0,
+              clock_.now());
+}
+
+void Device::memcpy_d2h_box(std::span<double> host, const DeviceBuffer& src,
+                            const Index3& extent, const Box3& box) {
+  GS_REQUIRE(static_cast<std::size_t>(extent.volume()) <= src.size() &&
+                 host.size() >= static_cast<std::size_t>(extent.volume()),
+             "d2h_box extent mismatch for buffer \"" << src.label() << "\"");
+  const double t0 = clock_.now();
+  std::vector<double> staging(static_cast<std::size_t>(box.volume()));
+  pack_box(std::span<const double>(src.data(), src.size()), extent, box,
+           staging);
+  unpack_box(host, extent, box, staging);
+  const double bytes = static_cast<double>(box.volume()) * sizeof(double);
+  clock_.advance(props_.host_link_latency + bytes /
+                                                props_.host_link_bandwidth);
+  record_span("d2h_box:" + src.label(), prof::SpanKind::memcpy_d2h, t0,
+              clock_.now());
+}
+
+void Device::memcpy_h2d_box(DeviceBuffer& dst, std::span<const double> host,
+                            const Index3& extent, const Box3& box) {
+  GS_REQUIRE(static_cast<std::size_t>(extent.volume()) <= dst.size() &&
+                 host.size() >= static_cast<std::size_t>(extent.volume()),
+             "h2d_box extent mismatch for buffer \"" << dst.label() << "\"");
+  const double t0 = clock_.now();
+  std::vector<double> staging(static_cast<std::size_t>(box.volume()));
+  pack_box(host, extent, box, staging);
+  unpack_box(std::span<double>(dst.data(), dst.size()), extent, box,
+             staging);
+  const double bytes = static_cast<double>(box.volume()) * sizeof(double);
+  clock_.advance(props_.host_link_latency + bytes /
+                                                props_.host_link_bandwidth);
+  record_span("h2d_box:" + dst.label(), prof::SpanKind::memcpy_h2d, t0,
+              clock_.now());
+}
+
+double Device::precompile(const KernelInfo& info,
+                          const BackendProfile& backend) {
+  if (!backend.jit) return 0.0;
+  const std::string key = backend.name + "/" + info.name;
+  if (std::find(compiled_kernels_.begin(), compiled_kernels_.end(), key) !=
+      compiled_kernels_.end()) {
+    return 0.0;
+  }
+  compiled_kernels_.push_back(key);
+  // The compile itself happened offline (system image); at runtime only
+  // the image load/relocation cost remains — a small fraction of JIT.
+  const double load = 0.05 * backend.jit_compile_mean;
+  const double t0 = clock_.now();
+  clock_.advance(load);
+  record_span("aot_load:" + info.name, prof::SpanKind::jit_compile, t0,
+              clock_.now());
+  return load;
+}
+
+void Device::peer_transfer(std::uint64_t bytes, const std::string& label) {
+  const double t0 = clock_.now();
+  clock_.advance(props_.peer_latency +
+                 static_cast<double>(bytes) / props_.peer_bandwidth);
+  record_span("peer:" + label, prof::SpanKind::other, t0, clock_.now());
+}
+
+View3 Device::view(DeviceBuffer& buf, const Index3& extent) {
+  GS_REQUIRE(static_cast<std::size_t>(extent.volume()) <= buf.size(),
+             "view extent " << extent << " exceeds buffer \"" << buf.label()
+                            << "\" of " << buf.size() << " doubles");
+  return View3(buf.data(), extent, cache_enabled_ ? &cache_ : nullptr);
+}
+
+double Device::begin_launch(const KernelInfo& info,
+                            const BackendProfile& backend) {
+  if (!backend.jit) return 0.0;
+  const std::string key = backend.name + "/" + info.name;
+  if (std::find(compiled_kernels_.begin(), compiled_kernels_.end(), key) !=
+      compiled_kernels_.end()) {
+    return 0.0;
+  }
+  compiled_kernels_.push_back(key);
+  // Compile time is lognormal around the calibrated mean: compilation is a
+  // host-side task with multiplicative variability (I/O, inference).
+  const double mu = std::log(backend.jit_compile_mean) -
+                    0.5 * backend.jit_compile_sigma *
+                        backend.jit_compile_sigma;
+  const double t = rng_.lognormal(mu, backend.jit_compile_sigma);
+  const double t0 = clock_.now();
+  clock_.advance(t);
+  record_span("jit:" + info.name, prof::SpanKind::jit_compile, t0,
+              clock_.now());
+  return t;
+}
+
+LaunchResult Device::end_launch(const KernelInfo& info,
+                                const BackendProfile& backend,
+                                const Index3& items, double jit_time) {
+  const auto n_items = static_cast<double>(items.volume());
+
+  prof::CounterSet counters;
+  double traffic = 0.0;
+  if (cache_enabled_) {
+    cache_.flush();  // end-of-kernel writeback of dirty lines
+    counters = cache_.counters();
+    traffic = static_cast<double>(counters.fetch_bytes +
+                                  counters.write_bytes);
+  } else {
+    traffic = n_items * info.est_bytes_per_item;
+    counters.fetch_bytes = static_cast<std::uint64_t>(traffic);
+  }
+  counters.workgroup_size = backend.workgroup_size();
+  counters.lds_bytes = backend.lds_per_workgroup;
+  counters.scratch_bytes = backend.scratch_per_item;
+
+  const Occupancy occ = compute_occupancy(props_, backend);
+  const double bw = achieved_bandwidth(props_, backend, info.uses_rng);
+  const double mem_time = traffic / bw;
+  const double compute_time =
+      n_items * info.flops_per_item /
+      (props_.fp64_flops * std::min(1.0, occ.fraction));
+  const double duration =
+      props_.launch_overhead + std::max(mem_time, compute_time);
+
+  const double t0 = clock_.now();
+  clock_.advance(duration);
+  record_span(info.name, prof::SpanKind::kernel, t0, clock_.now(), counters);
+
+  LaunchResult r;
+  r.duration = duration;
+  r.jit_time = jit_time;
+  r.counters = counters;
+  return r;
+}
+
+}  // namespace gs::gpu

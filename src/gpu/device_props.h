@@ -1,0 +1,102 @@
+// Simulated device and codegen-backend descriptions.
+//
+// DeviceProps captures the Frontier MI250x GCD parameters from the paper's
+// Table 1 plus the microarchitectural constants the performance model needs.
+// BackendProfile captures what differs between the two codegen paths the
+// paper compares on that device (Section 5.1 / Tables 2-3):
+//
+//   * native HIP       — workgroup 256, no LDS, no scratch, AOT compiled
+//   * Julia AMDGPU.jl  — workgroup 512, 29,184 B LDS per workgroup and
+//                        8,192 B scratch per workitem emitted by the Julia
+//                        runtime ABI, JIT compiled on first launch
+//
+// The occupancy model below explains the paper's headline ~2x bandwidth
+// gap mechanistically: the Julia kernel's LDS footprint caps a compute
+// unit at 2 workgroups (16 waves of the 32-wave budget, 50% occupancy),
+// and a memory-latency-bound stencil loses achievable bandwidth roughly
+// linearly with occupancy (Little's law: bytes in flight = latency x BW).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/error.h"
+#include "grid/box.h"
+
+namespace gs::gpu {
+
+/// One MI250x Graphics Compute Die (the paper's unit of "1 GPU").
+struct DeviceProps {
+  std::string name = "AMD MI250X GCD (simulated)";
+  double hbm_bandwidth = 1.6e12;      ///< B/s, Table 1: 1,600 GB/s per GCD
+  double host_link_bandwidth = 36e9;  ///< B/s, Table 1: GPU-CPU 36 GB/s
+  double host_link_latency = 10e-6;   ///< s, per-transfer setup cost
+  /// GPU-to-GPU Infinity Fabric (Table 1: 50-100 GB/s; conservative end).
+  /// Used by the GPU-aware exchange path the paper left unexplored.
+  double peer_bandwidth = 50e9;
+  double peer_latency = 5e-6;
+  std::uint64_t memory_bytes = 64ull << 30;  ///< HBM2E 64 GB
+  std::uint64_t l2_bytes = 8ull << 20;       ///< TCC (L2) capacity
+  std::uint32_t l2_line_bytes = 64;
+  std::uint32_t l2_ways = 16;
+  double launch_overhead = 6e-6;      ///< s per kernel launch
+  double fp64_flops = 24e12;          ///< vector FP64 peak (approx.)
+  int num_cu = 110;                   ///< compute units per GCD
+  std::uint32_t max_waves_per_cu = 32;
+  std::uint32_t wave_size = 64;
+  std::uint32_t lds_per_cu = 65536;   ///< bytes
+  std::uint32_t max_workgroups_per_cu = 16;
+
+  /// Fraction of HBM peak a well-tuned streaming kernel achieves at full
+  /// occupancy. Calibrated so the HIP 7-point stencil reproduces the
+  /// paper's measured 1,163 GB/s total bandwidth (Table 2): 1163/1600.
+  double streaming_efficiency = 0.727;
+};
+
+/// Static properties of one codegen path on the device.
+struct BackendProfile {
+  std::string name;
+  Index3 workgroup{256, 1, 1};        ///< workitems per workgroup (wgr shape)
+  std::uint32_t lds_per_workgroup = 0;   ///< bytes (Table 3 "lds")
+  std::uint32_t scratch_per_item = 0;    ///< bytes (Table 3 "scr")
+  bool jit = false;                   ///< pays compile cost on first launch
+  double jit_compile_mean = 0.0;      ///< s, mean first-launch compile time
+  double jit_compile_sigma = 0.0;     ///< lognormal sigma of compile time
+  /// Multiplier (<1) on achieved bandwidth when the kernel body draws
+  /// device-side random numbers through a scalarized RNG path.
+  double rng_bandwidth_penalty = 1.0;
+
+  std::uint32_t workgroup_size() const {
+    return static_cast<std::uint32_t>(workgroup.volume());
+  }
+};
+
+/// The native HIP path of Table 2/3.
+BackendProfile hip_backend();
+
+/// The Julia AMDGPU.jl path of Table 2/3 (v0.4.15-era characteristics).
+BackendProfile julia_amdgpu_backend();
+
+/// A host-reference pseudo-backend used for validation; not modeled.
+BackendProfile host_backend();
+
+/// Occupancy analysis of a backend on a device.
+struct Occupancy {
+  std::uint32_t waves_per_workgroup = 0;
+  std::uint32_t workgroups_per_cu = 0;
+  std::uint32_t active_waves = 0;
+  double fraction = 0.0;  ///< active_waves / max_waves_per_cu
+};
+
+/// Computes achievable occupancy from LDS and wave-slot limits, the same
+/// arithmetic the rocm occupancy calculator performs.
+Occupancy compute_occupancy(const DeviceProps& dev,
+                            const BackendProfile& backend);
+
+/// Achieved streaming bandwidth (B/s) of a memory-latency-bound kernel:
+/// peak x streaming_efficiency x occupancy fraction (linear latency-hiding
+/// regime), with the backend's RNG penalty applied when `uses_rng`.
+double achieved_bandwidth(const DeviceProps& dev,
+                          const BackendProfile& backend, bool uses_rng);
+
+}  // namespace gs::gpu

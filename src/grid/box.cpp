@@ -1,0 +1,29 @@
+#include "grid/box.h"
+
+#include <algorithm>
+
+namespace gs {
+
+std::ostream& operator<<(std::ostream& os, const Index3& v) {
+  return os << "(" << v.i << "," << v.j << "," << v.k << ")";
+}
+
+Box3 Box3::intersect(const Box3& o) const {
+  Box3 out;
+  for (int a = 0; a < 3; ++a) {
+    const std::int64_t lo = std::max(start[a], o.start[a]);
+    const std::int64_t hi = std::min(end()[a], o.end()[a]);
+    out.start.axis(a) = lo;
+    out.count.axis(a) = std::max<std::int64_t>(0, hi - lo);
+  }
+  if (out.empty()) {
+    out.count = {0, 0, 0};
+  }
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Box3& b) {
+  return os << "[start=" << b.start << " count=" << b.count << "]";
+}
+
+}  // namespace gs

@@ -1,0 +1,82 @@
+// Index and box arithmetic for 3-D regular grids.
+//
+// Layout convention follows the paper's Julia implementation: arrays are
+// column-major, i.e. the FIRST index (i / x) is fastest in memory
+// (Section 4: "Julia arrays are column-major ... the fastest index, being
+// the first one"). linear = i + nx*(j + ny*k).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <ostream>
+
+#include "common/error.h"
+
+namespace gs {
+
+/// Integer 3-vector (i fastest, then j, then k).
+struct Index3 {
+  std::int64_t i = 0;
+  std::int64_t j = 0;
+  std::int64_t k = 0;
+
+  friend constexpr bool operator==(const Index3&, const Index3&) = default;
+
+  constexpr Index3 operator+(const Index3& o) const {
+    return {i + o.i, j + o.j, k + o.k};
+  }
+  constexpr Index3 operator-(const Index3& o) const {
+    return {i - o.i, j - o.j, k - o.k};
+  }
+
+  constexpr std::int64_t operator[](int axis) const {
+    return axis == 0 ? i : (axis == 1 ? j : k);
+  }
+
+  std::int64_t& axis(int a) { return a == 0 ? i : (a == 1 ? j : k); }
+
+  /// Product of components; the cell count of a box with this extent.
+  constexpr std::int64_t volume() const { return i * j * k; }
+};
+
+std::ostream& operator<<(std::ostream& os, const Index3& v);
+
+/// Half-open axis-aligned box: cells with start <= x < start + count.
+/// This is exactly the (start, count) selection model of ADIOS2 variables.
+struct Box3 {
+  Index3 start;
+  Index3 count;
+
+  friend constexpr bool operator==(const Box3&, const Box3&) = default;
+
+  constexpr std::int64_t volume() const { return count.volume(); }
+  constexpr bool empty() const {
+    return count.i <= 0 || count.j <= 0 || count.k <= 0;
+  }
+
+  constexpr Index3 end() const { return start + count; }
+
+  constexpr bool contains(const Index3& p) const {
+    return p.i >= start.i && p.i < start.i + count.i && p.j >= start.j &&
+           p.j < start.j + count.j && p.k >= start.k && p.k < start.k + count.k;
+  }
+
+  /// Intersection; empty() box when disjoint.
+  Box3 intersect(const Box3& o) const;
+};
+
+std::ostream& operator<<(std::ostream& os, const Box3& b);
+
+/// Column-major linear offset of (i,j,k) inside an extent.
+constexpr std::int64_t linear_index(const Index3& p, const Index3& extent) {
+  return p.i + extent.i * (p.j + extent.j * p.k);
+}
+
+/// Inverse of linear_index.
+constexpr Index3 delinearize(std::int64_t lin, const Index3& extent) {
+  const std::int64_t i = lin % extent.i;
+  const std::int64_t rest = lin / extent.i;
+  return {i, rest % extent.j, rest / extent.j};
+}
+
+}  // namespace gs

@@ -1,0 +1,101 @@
+#include "grid/decomp.h"
+
+#include <algorithm>
+
+namespace gs {
+
+Index3 balanced_dims(std::int64_t nranks) {
+  GS_REQUIRE(nranks > 0, "nranks must be positive, got " << nranks);
+  // Greedy: repeatedly split off the largest prime factor onto the currently
+  // smallest dimension, then sort non-increasing. This matches the balance
+  // contract of MPI_Dims_create (not necessarily its exact output for all
+  // inputs, which the standard leaves implementation-defined).
+  std::vector<std::int64_t> factors;
+  std::int64_t n = nranks;
+  for (std::int64_t p = 2; p * p <= n; ++p) {
+    while (n % p == 0) {
+      factors.push_back(p);
+      n /= p;
+    }
+  }
+  if (n > 1) factors.push_back(n);
+  std::sort(factors.rbegin(), factors.rend());
+
+  std::array<std::int64_t, 3> dims = {1, 1, 1};
+  for (const std::int64_t f : factors) {
+    auto it = std::min_element(dims.begin(), dims.end());
+    *it *= f;
+  }
+  std::sort(dims.rbegin(), dims.rend());
+  return {dims[0], dims[1], dims[2]};
+}
+
+Decomposition::Decomposition(Index3 global_extent, Index3 process_grid)
+    : global_(global_extent), grid_(process_grid) {
+  GS_REQUIRE(grid_.i > 0 && grid_.j > 0 && grid_.k > 0,
+             "process grid must be positive: " << grid_.i << "x" << grid_.j
+                                               << "x" << grid_.k);
+  GS_REQUIRE(global_.i >= grid_.i && global_.j >= grid_.j &&
+                 global_.k >= grid_.k,
+             "global extent smaller than process grid");
+}
+
+Decomposition Decomposition::cube(std::int64_t L, std::int64_t nranks) {
+  return Decomposition({L, L, L}, balanced_dims(nranks));
+}
+
+std::int64_t Decomposition::coords_to_rank(const Index3& coords) const {
+  GS_REQUIRE(coords.i >= 0 && coords.i < grid_.i && coords.j >= 0 &&
+                 coords.j < grid_.j && coords.k >= 0 && coords.k < grid_.k,
+             "coords out of process grid");
+  return linear_index(coords, grid_);
+}
+
+Index3 Decomposition::rank_to_coords(std::int64_t rank) const {
+  GS_REQUIRE(rank >= 0 && rank < nranks(), "rank " << rank << " out of range");
+  return delinearize(rank, grid_);
+}
+
+std::int64_t Decomposition::axis_count(int axis, std::int64_t c) const {
+  const std::int64_t cells = global_[axis];
+  const std::int64_t procs = grid_[axis];
+  const std::int64_t base = cells / procs;
+  const std::int64_t extra = cells % procs;
+  return base + (c < extra ? 1 : 0);
+}
+
+std::int64_t Decomposition::axis_start(int axis, std::int64_t c) const {
+  const std::int64_t cells = global_[axis];
+  const std::int64_t procs = grid_[axis];
+  const std::int64_t base = cells / procs;
+  const std::int64_t extra = cells % procs;
+  // First `extra` coordinates own (base+1) cells.
+  return c * base + std::min(c, extra);
+}
+
+Box3 Decomposition::local_box(std::int64_t rank) const {
+  const Index3 c = rank_to_coords(rank);
+  Box3 b;
+  for (int a = 0; a < 3; ++a) {
+    b.start.axis(a) = axis_start(a, c[a]);
+    b.count.axis(a) = axis_count(a, c[a]);
+  }
+  return b;
+}
+
+std::int64_t Decomposition::neighbor(std::int64_t rank, int axis, int dir,
+                                     bool periodic) const {
+  GS_REQUIRE(axis >= 0 && axis < 3, "axis out of range");
+  GS_REQUIRE(dir == -1 || dir == 1, "dir must be -1 or +1");
+  Index3 c = rank_to_coords(rank);
+  std::int64_t v = c[axis] + dir;
+  const std::int64_t n = grid_[axis];
+  if (v < 0 || v >= n) {
+    if (!periodic) return -1;
+    v = (v + n) % n;
+  }
+  c.axis(axis) = v;
+  return coords_to_rank(c);
+}
+
+}  // namespace gs

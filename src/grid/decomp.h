@@ -1,0 +1,60 @@
+// Regular-grid domain decomposition.
+//
+// The paper decomposes the global 3-D domain over an MPI Cartesian
+// communicator (Section 3.3); each rank owns one box of the grid and
+// exchanges ghost-cell faces with its 6 neighbors. This header provides the
+// deterministic decomposition math: balanced process-grid factorization
+// (the MPI_Dims_create contract) and rank-to-box maps.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "grid/box.h"
+
+namespace gs {
+
+/// Picks a balanced 3-D process grid for `nranks`, MPI_Dims_create-style:
+/// the factors are as close to each other as possible and sorted in
+/// non-increasing order (px >= py >= pz).
+Index3 balanced_dims(std::int64_t nranks);
+
+/// Maps ranks to sub-boxes of a global box over a px*py*pz process grid.
+class Decomposition {
+ public:
+  /// Global extent (cells per dimension) and process grid. The remainder
+  /// cells of a non-divisible extent go to the lowest-coordinate ranks,
+  /// so |max block - min block| <= 1 per axis.
+  Decomposition(Index3 global_extent, Index3 process_grid);
+
+  /// Convenience: global cube of edge L over balanced_dims(nranks).
+  static Decomposition cube(std::int64_t L, std::int64_t nranks);
+
+  std::int64_t nranks() const { return grid_.volume(); }
+  const Index3& process_grid() const { return grid_; }
+  const Index3& global_extent() const { return global_; }
+
+  /// Row-major-in-process-grid rank numbering matching the Cartesian
+  /// communicator: rank = pk + pz*(pj + py*pi)? No — we use column-major to
+  /// match the grid layout: rank = pi + px*(pj + py*pk).
+  std::int64_t coords_to_rank(const Index3& coords) const;
+  Index3 rank_to_coords(std::int64_t rank) const;
+
+  /// The half-open cell box owned by `rank` in global coordinates.
+  Box3 local_box(std::int64_t rank) const;
+
+  /// Neighbor rank across `axis` (0..2) in direction `dir` (-1 or +1);
+  /// -1 when the neighbor would fall outside a non-periodic grid.
+  std::int64_t neighbor(std::int64_t rank, int axis, int dir,
+                        bool periodic = false) const;
+
+ private:
+  Index3 global_;
+  Index3 grid_;
+
+  /// Cells along `axis` owned by process-coordinate c.
+  std::int64_t axis_count(int axis, std::int64_t c) const;
+  std::int64_t axis_start(int axis, std::int64_t c) const;
+};
+
+}  // namespace gs

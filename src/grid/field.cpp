@@ -1,0 +1,105 @@
+#include "grid/field.h"
+
+#include <algorithm>
+
+namespace gs {
+
+double& Field3::checked_at(std::int64_t i, std::int64_t j, std::int64_t k) {
+  GS_REQUIRE(i >= 0 && i < alloc_.i && j >= 0 && j < alloc_.j && k >= 0 &&
+                 k < alloc_.k,
+             "index (" << i << "," << j << "," << k
+                       << ") out of allocated extent " << alloc_);
+  return at(i, j, k);
+}
+
+void Field3::fill_interior(double v) {
+  for (std::int64_t k = 1; k <= interior_.k; ++k) {
+    for (std::int64_t j = 1; j <= interior_.j; ++j) {
+      for (std::int64_t i = 1; i <= interior_.i; ++i) {
+        at(i, j, k) = v;
+      }
+    }
+  }
+}
+
+std::vector<double> Field3::interior_copy() const {
+  std::vector<double> out(static_cast<std::size_t>(interior_.volume()));
+  pack_box(data_, alloc_, interior_box(), out);
+  return out;
+}
+
+void Field3::interior_assign(std::span<const double> values) {
+  GS_REQUIRE(values.size() == static_cast<std::size_t>(interior_.volume()),
+             "interior_assign size mismatch: " << values.size() << " vs "
+                                               << interior_.volume());
+  unpack_box(data_, alloc_, interior_box(), values);
+}
+
+double Field3::interior_sum() const {
+  double s = 0.0;
+  for (std::int64_t k = 1; k <= interior_.k; ++k) {
+    for (std::int64_t j = 1; j <= interior_.j; ++j) {
+      for (std::int64_t i = 1; i <= interior_.i; ++i) {
+        s += at(i, j, k);
+      }
+    }
+  }
+  return s;
+}
+
+double Field3::interior_min() const {
+  double m = at(1, 1, 1);
+  for (std::int64_t k = 1; k <= interior_.k; ++k) {
+    for (std::int64_t j = 1; j <= interior_.j; ++j) {
+      for (std::int64_t i = 1; i <= interior_.i; ++i) {
+        m = std::min(m, at(i, j, k));
+      }
+    }
+  }
+  return m;
+}
+
+double Field3::interior_max() const {
+  double m = at(1, 1, 1);
+  for (std::int64_t k = 1; k <= interior_.k; ++k) {
+    for (std::int64_t j = 1; j <= interior_.j; ++j) {
+      for (std::int64_t i = 1; i <= interior_.i; ++i) {
+        m = std::max(m, at(i, j, k));
+      }
+    }
+  }
+  return m;
+}
+
+void pack_box(std::span<const double> src, const Index3& extent,
+              const Box3& box, std::span<double> dst) {
+  GS_REQUIRE(dst.size() >= static_cast<std::size_t>(box.volume()),
+             "pack_box destination too small");
+  std::size_t out = 0;
+  for (std::int64_t k = box.start.k; k < box.end().k; ++k) {
+    for (std::int64_t j = box.start.j; j < box.end().j; ++j) {
+      // The i-run is contiguous in column-major layout; copy as a block.
+      const std::int64_t base =
+          linear_index({box.start.i, j, k}, extent);
+      std::copy_n(src.begin() + base, box.count.i, dst.begin() + out);
+      out += static_cast<std::size_t>(box.count.i);
+    }
+  }
+}
+
+void unpack_box(std::span<double> dst, const Index3& extent, const Box3& box,
+                std::span<const double> src) {
+  GS_REQUIRE(src.size() >= static_cast<std::size_t>(box.volume()),
+             "unpack_box source too small");
+  std::size_t in = 0;
+  for (std::int64_t k = box.start.k; k < box.end().k; ++k) {
+    for (std::int64_t j = box.start.j; j < box.end().j; ++j) {
+      const std::int64_t base =
+          linear_index({box.start.i, j, k}, extent);
+      std::copy_n(src.begin() + in, box.count.i, dst.begin() + base);
+      in += static_cast<std::size_t>(box.count.i);
+    }
+  }
+}
+
+}  // namespace gs

@@ -1,0 +1,79 @@
+// 3-D scalar field with a one-cell ghost layer, column-major storage.
+//
+// Matches the memory layout of the paper's Julia arrays (Figure 3): one
+// contiguous allocation per variable, first index fastest. Interior cells
+// live at indices [1, n] per axis; index 0 and n+1 are the ghost planes
+// populated by the halo exchange (or by the physical boundary condition).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "grid/box.h"
+
+namespace gs {
+
+class Field3 {
+ public:
+  /// Constructs with the given INTERIOR extent; allocates extent+2 per axis.
+  explicit Field3(Index3 interior, double fill = 0.0)
+      : interior_(interior),
+        alloc_{interior.i + 2, interior.j + 2, interior.k + 2},
+        data_(static_cast<std::size_t>(alloc_.volume()), fill) {
+    GS_REQUIRE(interior.i > 0 && interior.j > 0 && interior.k > 0,
+               "field interior extent must be positive, got " << interior);
+  }
+
+  const Index3& interior() const { return interior_; }
+  const Index3& alloc_extent() const { return alloc_; }
+
+  /// Access over the ALLOCATED extent, 0-based (0 and n+1 are ghosts).
+  double& at(std::int64_t i, std::int64_t j, std::int64_t k) {
+    return data_[static_cast<std::size_t>(linear_index({i, j, k}, alloc_))];
+  }
+  double at(std::int64_t i, std::int64_t j, std::int64_t k) const {
+    return data_[static_cast<std::size_t>(linear_index({i, j, k}, alloc_))];
+  }
+
+  /// Bounds-checked access (tests, debugging).
+  double& checked_at(std::int64_t i, std::int64_t j, std::int64_t k);
+
+  std::span<double> data() { return data_; }
+  std::span<const double> data() const { return data_; }
+
+  /// The interior region expressed as a box in allocated coordinates.
+  Box3 interior_box() const { return {{1, 1, 1}, interior_}; }
+
+  void fill(double v) { data_.assign(data_.size(), v); }
+  void fill_interior(double v);
+
+  /// Copies the interior cells (without ghosts) into a contiguous buffer in
+  /// column-major order — the layout written to the BP dataset.
+  std::vector<double> interior_copy() const;
+
+  /// Overwrites interior cells from a contiguous column-major buffer.
+  void interior_assign(std::span<const double> values);
+
+  /// Sum / min / max over interior cells only.
+  double interior_sum() const;
+  double interior_min() const;
+  double interior_max() const;
+
+ private:
+  Index3 interior_;
+  Index3 alloc_;
+  std::vector<double> data_;
+};
+
+/// Copies the cells of `box` (allocated coordinates) out of a column-major
+/// array of extent `extent` into a contiguous buffer. This is the
+/// functional equivalent of committing an MPI_Type_vector/subarray and is
+/// used for both halo faces and BP block staging.
+void pack_box(std::span<const double> src, const Index3& extent,
+              const Box3& box, std::span<double> dst);
+
+/// Inverse of pack_box.
+void unpack_box(std::span<double> dst, const Index3& extent, const Box3& box,
+                std::span<const double> src);
+
+}  // namespace gs

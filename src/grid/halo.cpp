@@ -1,0 +1,50 @@
+#include "grid/halo.h"
+
+namespace gs {
+
+std::array<Face, 6> all_faces() {
+  return {{{0, -1}, {0, +1}, {1, -1}, {1, +1}, {2, -1}, {2, +1}}};
+}
+
+namespace {
+
+/// Face plane at the given allocated-frame coordinate along face.axis;
+/// spans the full interior extent on the other two axes.
+Box3 plane_at(const Index3& interior, const Face& face,
+              std::int64_t axis_coord) {
+  Box3 b;
+  b.start = {1, 1, 1};
+  b.count = interior;
+  b.start.axis(face.axis) = axis_coord;
+  b.count.axis(face.axis) = 1;
+  return b;
+}
+
+}  // namespace
+
+Box3 send_plane(const Index3& interior, const Face& face) {
+  GS_REQUIRE(face.axis >= 0 && face.axis < 3, "bad face axis");
+  GS_REQUIRE(face.side == -1 || face.side == 1, "bad face side");
+  // Low side sends interior plane 1; high side sends interior plane n.
+  const std::int64_t coord = face.side < 0 ? 1 : interior[face.axis];
+  return plane_at(interior, face, coord);
+}
+
+Box3 recv_plane(const Index3& interior, const Face& face) {
+  GS_REQUIRE(face.axis >= 0 && face.axis < 3, "bad face axis");
+  GS_REQUIRE(face.side == -1 || face.side == 1, "bad face side");
+  // Low side receives into ghost plane 0; high side into plane n+1.
+  const std::int64_t coord = face.side < 0 ? 0 : interior[face.axis] + 1;
+  return plane_at(interior, face, coord);
+}
+
+std::int64_t face_cells(const Index3& interior, const Face& face) {
+  return send_plane(interior, face).volume();
+}
+
+int face_tag(int variable, const Face& face) {
+  const int face_id = face.axis * 2 + (face.side > 0 ? 1 : 0);
+  return 100 + variable * 8 + face_id;
+}
+
+}  // namespace gs

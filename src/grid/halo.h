@@ -1,0 +1,39 @@
+// Ghost-cell (halo) face descriptors for the 7-point stencil exchange.
+//
+// Each rank sends its outermost INTERIOR plane on a face and receives the
+// neighbor's plane into its GHOST layer (paper Figure 4). The x faces are
+// memory-strided (non-contiguous), which is why the paper builds
+// MPI_Type_vector datatypes; our pack_box handles any face uniformly.
+#pragma once
+
+#include "grid/box.h"
+
+namespace gs {
+
+/// One of the six faces of a box: axis 0..2, side -1 (low) or +1 (high).
+struct Face {
+  int axis = 0;
+  int side = -1;
+
+  friend constexpr bool operator==(const Face&, const Face&) = default;
+};
+
+/// All six faces in a deterministic order (x-, x+, y-, y+, z-, z+).
+std::array<Face, 6> all_faces();
+
+/// The one-cell-thick interior plane adjacent to `face` — what a rank SENDS.
+/// `interior` is the field's interior extent; coordinates are in the
+/// allocated frame (interior cells at [1, n]).
+Box3 send_plane(const Index3& interior, const Face& face);
+
+/// The ghost plane behind `face` — where a rank RECEIVES the neighbor data.
+Box3 recv_plane(const Index3& interior, const Face& face);
+
+/// Number of cells in a face plane (equal for send and recv).
+std::int64_t face_cells(const Index3& interior, const Face& face);
+
+/// Deterministic MPI tag for a (variable, face) pair so concurrent U/V
+/// exchanges never cross-match.
+int face_tag(int variable, const Face& face);
+
+}  // namespace gs

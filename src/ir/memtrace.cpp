@@ -1,0 +1,75 @@
+#include "ir/memtrace.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace gs::ir {
+
+void MemTrace::record(const std::string& buffer, const Index3& index,
+                      bool is_store) {
+  ops_.push_back(MemOp{buffer, index, is_store});
+}
+
+std::size_t MemTrace::total_loads() const {
+  return static_cast<std::size_t>(
+      std::count_if(ops_.begin(), ops_.end(),
+                    [](const MemOp& op) { return !op.is_store; }));
+}
+
+std::size_t MemTrace::total_stores() const {
+  return ops_.size() - total_loads();
+}
+
+std::vector<MemOp> MemTrace::unique_ops() const {
+  std::vector<MemOp> out;
+  for (const auto& op : ops_) {
+    if (std::find(out.begin(), out.end(), op) == out.end()) {
+      out.push_back(op);
+    }
+  }
+  return out;
+}
+
+std::size_t MemTrace::unique_loads() const {
+  const auto u = unique_ops();
+  return static_cast<std::size_t>(std::count_if(
+      u.begin(), u.end(), [](const MemOp& op) { return !op.is_store; }));
+}
+
+std::size_t MemTrace::unique_stores() const {
+  return unique_ops().size() - unique_loads();
+}
+
+std::string MemTrace::llvm_like_listing(const Index3& center) const {
+  std::ostringstream oss;
+  int vreg = 100;
+  for (const auto& raw : unique_ops()) {
+    MemOp op = raw;
+    op.index = op.index - center;
+    // Symbolic pointer operand describing the neighbor offset, e.g.
+    // %u_im1 for u[i-1,j,k]; %u_c for the center.
+    std::ostringstream ptr;
+    ptr << "%" << op.buffer;
+    const auto suffix = [](const char* axis, std::int64_t d) {
+      std::ostringstream s;
+      if (d != 0) s << "_" << axis << (d > 0 ? "p" : "m") << std::abs(d);
+      return s.str();
+    };
+    // Offsets are relative to the traced center cell stored in index;
+    // listing consumers pass center-relative indices already.
+    ptr << suffix("i", op.index.i) << suffix("j", op.index.j)
+        << suffix("k", op.index.k);
+    if (op.index.i == 0 && op.index.j == 0 && op.index.k == 0) ptr << "_c";
+
+    if (op.is_store) {
+      oss << "store double %val" << vreg++ << ", double addrspace(1)* "
+          << ptr.str() << ", align 8\n";
+    } else {
+      oss << "%" << vreg++ << " = load double, double addrspace(1)* "
+          << ptr.str() << ", align 8\n";
+    }
+  }
+  return oss.str();
+}
+
+}  // namespace gs::ir

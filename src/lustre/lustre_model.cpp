@@ -1,0 +1,66 @@
+#include "lustre/lustre_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace gs::lustre {
+
+double LustreModel::aggregate_write_bandwidth(std::int64_t n_nodes) const {
+  GS_REQUIRE(n_nodes > 0, "n_nodes must be positive");
+  const double offered =
+      static_cast<double>(n_nodes) * params_.client_bw;
+  const double agg = offered / (1.0 + offered / params_.saturation_bw);
+  // Physically bounded by the file system peak regardless of calibration.
+  return std::min(agg, params_.peak_write);
+}
+
+double LustreModel::aggregate_read_bandwidth(std::int64_t n_clients) const {
+  GS_REQUIRE(n_clients > 0, "n_clients must be positive");
+  const double ratio = params_.peak_read / params_.peak_write;
+  const double offered =
+      static_cast<double>(n_clients) * params_.client_bw * ratio;
+  const double agg =
+      offered / (1.0 + offered / (params_.saturation_bw * ratio));
+  return std::min(agg, params_.peak_read);
+}
+
+double LustreModel::mean_read_time(std::int64_t n_clients,
+                                   std::uint64_t bytes_per_client) const {
+  const double per_client =
+      aggregate_read_bandwidth(n_clients) / static_cast<double>(n_clients);
+  return params_.open_latency +
+         static_cast<double>(bytes_per_client) / per_client;
+}
+
+double LustreModel::mean_write_time(std::int64_t n_nodes,
+                                    std::uint64_t bytes_per_node) const {
+  const double per_node_bw =
+      aggregate_write_bandwidth(n_nodes) / static_cast<double>(n_nodes);
+  return params_.open_latency +
+         static_cast<double>(bytes_per_node) / per_node_bw;
+}
+
+LustreModel::WriteSample LustreModel::simulate_write(
+    std::int64_t n_nodes, std::uint64_t bytes_per_node, Rng& rng) const {
+  const double mean = mean_write_time(n_nodes, bytes_per_node);
+  const double sigma = params_.node_jitter_sigma;
+  const double mu = -0.5 * sigma * sigma;
+
+  WriteSample s;
+  s.fastest_node = mean * 1e9;
+  s.slowest_node = 0.0;
+  for (std::int64_t n = 0; n < n_nodes; ++n) {
+    const double t = mean * rng.lognormal(mu, sigma);
+    s.fastest_node = std::min(s.fastest_node, t);
+    s.slowest_node = std::max(s.slowest_node, t);
+  }
+  s.seconds = s.slowest_node;  // collective completes with the last node
+  const double total_bytes =
+      static_cast<double>(bytes_per_node) * static_cast<double>(n_nodes);
+  s.aggregate_bw = total_bytes / s.seconds;
+  return s;
+}
+
+}  // namespace gs::lustre

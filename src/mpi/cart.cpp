@@ -1,0 +1,54 @@
+#include "mpi/cart.h"
+
+namespace gs::mpi {
+
+CartComm::CartComm(Comm& parent, const Index3& dims,
+                   const std::array<bool, 3>& periodic)
+    : comm_(parent.dup()), dims_(dims), periodic_(periodic) {
+  GS_REQUIRE(dims.volume() == parent.size(),
+             "cartesian dims " << dims << " do not cover comm size "
+                               << parent.size());
+}
+
+Index3 CartComm::coords(int rank) const {
+  GS_REQUIRE(rank >= 0 && rank < size(), "rank out of range");
+  return delinearize(rank, dims_);
+}
+
+int CartComm::cart_rank(const Index3& c) const {
+  Index3 wrapped = c;
+  for (int a = 0; a < 3; ++a) {
+    std::int64_t v = wrapped[a];
+    const std::int64_t n = dims_[a];
+    if (v < 0 || v >= n) {
+      GS_REQUIRE(periodic_[static_cast<std::size_t>(a)],
+                 "coordinate " << v << " outside non-periodic axis " << a);
+      v = ((v % n) + n) % n;
+    }
+    wrapped.axis(a) = v;
+  }
+  return static_cast<int>(linear_index(wrapped, dims_));
+}
+
+ShiftPair CartComm::shift(int axis, int displacement) const {
+  GS_REQUIRE(axis >= 0 && axis < 3, "axis out of range");
+  const Index3 me = coords();
+  ShiftPair out;
+
+  auto resolve = [&](std::int64_t target) -> int {
+    const std::int64_t n = dims_[axis];
+    if (target < 0 || target >= n) {
+      if (!periodic_[static_cast<std::size_t>(axis)]) return kProcNull;
+      target = ((target % n) + n) % n;
+    }
+    Index3 c = me;
+    c.axis(axis) = target;
+    return static_cast<int>(linear_index(c, dims_));
+  };
+
+  out.dest = resolve(me[axis] + displacement);
+  out.source = resolve(me[axis] - displacement);
+  return out;
+}
+
+}  // namespace gs::mpi

@@ -1,0 +1,54 @@
+// Cartesian topology (MPI_Cart_create family).
+//
+// The paper decomposes the Gray-Scott domain over an MPI Cartesian
+// communicator and finds each face neighbor with MPI_Cart_shift
+// (Section 3.3, Figure 4). CartComm wraps a duplicated Comm with the
+// process-grid geometry and provides the same queries.
+#pragma once
+
+#include "grid/box.h"
+#include "mpi/comm.h"
+
+namespace gs::mpi {
+
+/// Result of a shift query: source (who sends to me) and destination
+/// (whom I send to). -1 (`kProcNull`) at non-periodic boundaries.
+inline constexpr int kProcNull = -1;
+
+struct ShiftPair {
+  int source = kProcNull;
+  int dest = kProcNull;
+};
+
+class CartComm {
+ public:
+  /// Collective. `dims` must multiply to comm.size(). Rank order is
+  /// preserved (reorder=false semantics): cart rank == comm rank, with
+  /// column-major coordinate numbering (first axis fastest) to match the
+  /// grid decomposition in gs::Decomposition.
+  CartComm(Comm& parent, const Index3& dims,
+           const std::array<bool, 3>& periodic);
+
+  Comm& comm() { return comm_; }
+  const Comm& comm() const { return comm_; }
+  int rank() const { return comm_.rank(); }
+  int size() const { return comm_.size(); }
+
+  const Index3& dims() const { return dims_; }
+  const std::array<bool, 3>& periodic() const { return periodic_; }
+
+  /// MPI_Cart_coords / MPI_Cart_rank.
+  Index3 coords(int rank) const;
+  Index3 coords() const { return coords(rank()); }
+  int cart_rank(const Index3& coords) const;
+
+  /// MPI_Cart_shift along `axis` by `displacement` (usually 1).
+  ShiftPair shift(int axis, int displacement = 1) const;
+
+ private:
+  Comm comm_;
+  Index3 dims_;
+  std::array<bool, 3> periodic_;
+};
+
+}  // namespace gs::mpi

@@ -1,0 +1,410 @@
+#include "mpi/comm.h"
+
+#include <algorithm>
+#include <map>
+
+#include "mpi/runtime.h"
+
+namespace gs::mpi {
+
+// ---------------------------------------------------------------- Request
+
+void Request::State::deliver(Message&& msg) {
+  status.source = msg.src;
+  status.tag = msg.tag;
+  status.bytes = msg.payload.size();
+  if (type != nullptr) {
+    GS_REQUIRE(msg.payload.size() == type->size(),
+               "typed receive size mismatch: got " << msg.payload.size()
+                                                   << " bytes, type packs "
+                                                   << type->size());
+    type->unpack(typed_base, msg.payload);
+  } else {
+    GS_REQUIRE(msg.payload.size() <= raw_capacity,
+               "receive buffer too small: " << raw_capacity << " < "
+                                            << msg.payload.size());
+    std::memcpy(raw_dst, msg.payload.data(), msg.payload.size());
+  }
+  done = true;
+}
+
+void Request::wait(Status* status) {
+  GS_REQUIRE(state_ != nullptr, "wait() on an empty Request");
+  if (!state_->done) {
+    Message msg = state_->universe->mailbox(state_->mailbox_world_rank)
+                      .pop(state_->match_comm_id, state_->src, state_->tag);
+    state_->deliver(std::move(msg));
+  }
+  if (status != nullptr) *status = state_->status;
+}
+
+bool Request::test(Status* status) {
+  GS_REQUIRE(state_ != nullptr, "test() on an empty Request");
+  if (!state_->done) {
+    auto msg = state_->universe->mailbox(state_->mailbox_world_rank)
+                   .try_pop(state_->match_comm_id, state_->src, state_->tag);
+    if (!msg.has_value()) return false;
+    state_->deliver(std::move(*msg));
+  }
+  if (status != nullptr) *status = state_->status;
+  return true;
+}
+
+// ------------------------------------------------------------------- Comm
+
+Comm::Comm(Universe* universe, std::uint64_t comm_id, int rank,
+           std::vector<int> members)
+    : universe_(universe),
+      comm_id_(comm_id),
+      rank_(rank),
+      members_(std::move(members)) {
+  GS_ASSERT(universe_ != nullptr, "comm needs a universe");
+  GS_ASSERT(rank_ >= 0 && rank_ < static_cast<int>(members_.size()),
+            "rank outside group");
+}
+
+void Comm::push_to(int dest, int tag, std::uint64_t space,
+                   std::vector<std::byte> payload) {
+  GS_REQUIRE(dest >= 0 && dest < size(),
+             "destination rank " << dest << " out of comm size " << size());
+  Message msg;
+  msg.src = rank_;
+  msg.tag = tag;
+  msg.comm_id = space;
+  msg.payload = std::move(payload);
+  universe_->mailbox(members_[static_cast<std::size_t>(dest)])
+      .push(std::move(msg));
+}
+
+Message Comm::pop_from(int src, int tag, std::uint64_t space) {
+  GS_REQUIRE(src == kAnySource || (src >= 0 && src < size()),
+             "source rank " << src << " out of comm size " << size());
+  return universe_->mailbox(members_[static_cast<std::size_t>(rank_)])
+      .pop(space, src, tag);
+}
+
+void Comm::send_bytes(std::span<const std::byte> data, int dest, int tag) {
+  GS_REQUIRE(tag >= 0, "user message tags must be non-negative");
+  push_to(dest, tag, p2p_space(),
+          std::vector<std::byte>(data.begin(), data.end()));
+}
+
+Status Comm::recv_bytes(std::span<std::byte> buffer, int src, int tag) {
+  Message msg = pop_from(src, tag, p2p_space());
+  GS_REQUIRE(msg.payload.size() <= buffer.size(),
+             "receive buffer too small: " << buffer.size() << " < "
+                                          << msg.payload.size());
+  std::memcpy(buffer.data(), msg.payload.data(), msg.payload.size());
+  return Status{msg.src, msg.tag, msg.payload.size()};
+}
+
+std::vector<std::byte> Comm::recv_blob(int src, int tag, Status* status) {
+  Message msg = pop_from(src, tag, p2p_space());
+  if (status != nullptr) {
+    *status = Status{msg.src, msg.tag, msg.payload.size()};
+  }
+  return std::move(msg.payload);
+}
+
+void Comm::send_typed(const void* base, const Datatype& type, int dest,
+                      int tag) {
+  GS_REQUIRE(tag >= 0, "user message tags must be non-negative");
+  push_to(dest, tag, p2p_space(), type.pack(base));
+}
+
+Status Comm::recv_typed(void* base, const Datatype& type, int src, int tag) {
+  Message msg = pop_from(src, tag, p2p_space());
+  GS_REQUIRE(msg.payload.size() == type.size(),
+             "typed receive size mismatch: got " << msg.payload.size()
+                                                 << " bytes, type packs "
+                                                 << type.size());
+  type.unpack(base, msg.payload);
+  return Status{msg.src, msg.tag, msg.payload.size()};
+}
+
+Request Comm::isend(std::span<const std::byte> data, int dest, int tag) {
+  // Eager buffered send: complete at return, like a small-message MPI_Isend.
+  send_bytes(data, dest, tag);
+  auto state = std::make_shared<Request::State>();
+  state->done = true;
+  state->status = Status{rank_, tag, data.size()};
+  return Request(std::move(state));
+}
+
+Request Comm::irecv_bytes(std::span<std::byte> buffer, int src, int tag) {
+  auto state = std::make_shared<Request::State>();
+  state->universe = universe_;
+  state->mailbox_world_rank = members_[static_cast<std::size_t>(rank_)];
+  state->match_comm_id = p2p_space();
+  state->src = src;
+  state->tag = tag;
+  state->raw_dst = buffer.data();
+  state->raw_capacity = buffer.size();
+  return Request(std::move(state));
+}
+
+Request Comm::irecv_typed(void* base, const Datatype& type, int src, int tag) {
+  auto state = std::make_shared<Request::State>();
+  state->universe = universe_;
+  state->mailbox_world_rank = members_[static_cast<std::size_t>(rank_)];
+  state->match_comm_id = p2p_space();
+  state->src = src;
+  state->tag = tag;
+  state->typed_base = base;
+  state->type = std::make_unique<Datatype>(type);
+  return Request(std::move(state));
+}
+
+void Comm::wait_all(std::span<Request> requests) {
+  for (auto& r : requests) {
+    if (r.valid()) r.wait();
+  }
+}
+
+Status Comm::sendrecv_bytes(std::span<const std::byte> send_data, int dest,
+                            int send_tag, std::span<std::byte> recv_buffer,
+                            int src, int recv_tag) {
+  send_bytes(send_data, dest, send_tag);
+  return recv_bytes(recv_buffer, src, recv_tag);
+}
+
+bool Comm::iprobe(int src, int tag, Status* status) {
+  return universe_->mailbox(members_[static_cast<std::size_t>(rank_)])
+      .probe(p2p_space(), src, tag, status);
+}
+
+// -------------------------------------------------------------- collectives
+
+void Comm::coll_send(const void* data, std::size_t bytes, int dest, int tag) {
+  const auto* p = static_cast<const std::byte*>(data);
+  push_to(dest, tag, coll_space(), std::vector<std::byte>(p, p + bytes));
+}
+
+void Comm::coll_recv(void* data, std::size_t bytes, int src, int tag) {
+  Message msg = pop_from(src, tag, coll_space());
+  GS_REQUIRE(msg.payload.size() == bytes,
+             "collective size mismatch: " << msg.payload.size() << " vs "
+                                          << bytes);
+  std::memcpy(data, msg.payload.data(), bytes);
+}
+
+void Comm::barrier() {
+  // Dissemination barrier: log2(P) rounds, works for any size.
+  const int n = size();
+  const int tag = next_coll_tag();
+  char token = 0;
+  for (int k = 1; k < n; k <<= 1) {
+    const int to = (rank_ + k) % n;
+    const int from = (rank_ - k % n + n) % n;
+    coll_send(&token, 1, to, tag);
+    coll_recv(&token, 1, from, tag);
+  }
+}
+
+void Comm::bcast_bytes(std::span<std::byte> data, int root) {
+  GS_REQUIRE(root >= 0 && root < size(), "bcast root out of range");
+  const int n = size();
+  const int tag = next_coll_tag();
+  // Binomial tree rooted at `root` (MPICH algorithm): a node receives from
+  // vrank minus its lowest set bit, then forwards to vrank + mask for every
+  // mask below the bit it received on.
+  const int vrank = (rank_ - root + n) % n;
+  int mask = 1;
+  while (mask < n) {
+    if ((vrank & mask) != 0) {
+      const int parent = (vrank - mask + root) % n;
+      coll_recv(data.data(), data.size(), parent, tag);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (vrank + mask < n) {
+      const int child = (vrank + mask + root) % n;
+      coll_send(data.data(), data.size(), child, tag);
+    }
+    mask >>= 1;
+  }
+}
+
+void Comm::reduce_impl(void* value, std::size_t bytes,
+                       const Combiner& combine) {
+  // Binomial tree reduction to rank 0.
+  const int n = size();
+  const int tag = next_coll_tag();
+  std::vector<std::byte> incoming(bytes);
+  int mask = 1;
+  while (mask < n) {
+    if ((rank_ & mask) == 0) {
+      const int partner = rank_ | mask;
+      if (partner < n) {
+        coll_recv(incoming.data(), bytes, partner, tag);
+        combine(static_cast<std::byte*>(value), incoming.data());
+      }
+    } else {
+      const int partner = rank_ & ~mask;
+      coll_send(value, bytes, partner, tag);
+      break;
+    }
+    mask <<= 1;
+  }
+}
+
+void Comm::gather_bytes(std::span<const std::byte> contribution,
+                        std::vector<std::byte>& out, int root) {
+  GS_REQUIRE(root >= 0 && root < size(), "gather root out of range");
+  const int n = size();
+  const int tag = next_coll_tag();
+  if (rank_ == root) {
+    out.assign(contribution.size() * static_cast<std::size_t>(n),
+               std::byte{0});
+    std::memcpy(out.data() + contribution.size() *
+                                 static_cast<std::size_t>(root),
+                contribution.data(), contribution.size());
+    for (int r = 0; r < n; ++r) {
+      if (r == root) continue;
+      Message msg = pop_from(r, tag, coll_space());
+      GS_REQUIRE(msg.payload.size() == contribution.size(),
+                 "gather contributions must be equal-sized");
+      std::memcpy(out.data() +
+                      contribution.size() * static_cast<std::size_t>(r),
+                  msg.payload.data(), msg.payload.size());
+    }
+  } else {
+    out.clear();
+    coll_send(contribution.data(), contribution.size(), root, tag);
+  }
+}
+
+void Comm::alltoall_bytes(std::span<const std::byte> send_blocks,
+                          std::span<std::byte> recv_blocks) {
+  const auto n = static_cast<std::size_t>(size());
+  GS_REQUIRE(send_blocks.size() % n == 0 && recv_blocks.size() % n == 0,
+             "alltoall buffers must hold one equal block per rank");
+  GS_REQUIRE(send_blocks.size() == recv_blocks.size(),
+             "alltoall send/recv sizes differ");
+  const std::size_t block = send_blocks.size() / n;
+  const int tag = next_coll_tag();
+  // Eager sends first, then receives — no ordering hazard with buffering.
+  for (std::size_t d = 0; d < n; ++d) {
+    coll_send(send_blocks.data() + d * block, block, static_cast<int>(d),
+              tag);
+  }
+  for (std::size_t s = 0; s < n; ++s) {
+    coll_recv(recv_blocks.data() + s * block, block, static_cast<int>(s),
+              tag);
+  }
+}
+
+void Comm::gatherv_bytes(std::span<const std::byte> contribution,
+                         std::vector<std::byte>& out,
+                         std::vector<std::size_t>& offsets, int root) {
+  GS_REQUIRE(root >= 0 && root < size(), "gatherv root out of range");
+  const int n = size();
+  const int tag = next_coll_tag();
+  if (rank_ == root) {
+    out.clear();
+    offsets.assign(static_cast<std::size_t>(n), 0);
+    // Receive in rank order; own contribution in place.
+    std::vector<std::vector<std::byte>> parts(
+        static_cast<std::size_t>(n));
+    parts[static_cast<std::size_t>(root)]
+        .assign(contribution.begin(), contribution.end());
+    for (int r = 0; r < n; ++r) {
+      if (r == root) continue;
+      Message msg = pop_from(r, tag, coll_space());
+      parts[static_cast<std::size_t>(r)] = std::move(msg.payload);
+    }
+    std::size_t total = 0;
+    for (int r = 0; r < n; ++r) {
+      offsets[static_cast<std::size_t>(r)] = total;
+      total += parts[static_cast<std::size_t>(r)].size();
+    }
+    out.reserve(total);
+    for (const auto& p : parts) {
+      out.insert(out.end(), p.begin(), p.end());
+    }
+  } else {
+    out.clear();
+    offsets.clear();
+    coll_send(contribution.data(), contribution.size(), root, tag);
+  }
+}
+
+void Comm::scatter_bytes(std::span<const std::byte> send_blocks,
+                         std::span<std::byte> recv, int root) {
+  GS_REQUIRE(root >= 0 && root < size(), "scatter root out of range");
+  const auto n = static_cast<std::size_t>(size());
+  const int tag = next_coll_tag();
+  if (rank_ == root) {
+    GS_REQUIRE(send_blocks.size() == recv.size() * n,
+               "scatter send buffer must hold one block per rank");
+    for (std::size_t r = 0; r < n; ++r) {
+      if (static_cast<int>(r) == root) {
+        std::memcpy(recv.data(), send_blocks.data() + r * recv.size(),
+                    recv.size());
+      } else {
+        coll_send(send_blocks.data() + r * recv.size(), recv.size(),
+                  static_cast<int>(r), tag);
+      }
+    }
+  } else {
+    coll_recv(recv.data(), recv.size(), root, tag);
+  }
+}
+
+// ----------------------------------------------------- comm management
+
+Comm Comm::dup() {
+  std::uint64_t new_id = 0;
+  if (rank_ == 0) new_id = universe_->allocate_comm_ids(1);
+  bcast(std::span<std::uint64_t>(&new_id, 1), 0);
+  return Comm(universe_, new_id, rank_, members_);
+}
+
+Comm Comm::split(int color, int key) {
+  struct Entry {
+    int color;
+    int key;
+    int rank;
+  };
+  const Entry mine{color, key, rank_};
+  const std::vector<Entry> all = allgather(mine);
+
+  // Distinct colors in ascending order get consecutive fresh comm ids.
+  std::map<int, std::vector<Entry>> groups;
+  for (const auto& e : all) groups[e.color].push_back(e);
+
+  std::uint64_t base_id = 0;
+  if (rank_ == 0) {
+    base_id = universe_->allocate_comm_ids(groups.size());
+  }
+  bcast(std::span<std::uint64_t>(&base_id, 1), 0);
+
+  std::uint64_t my_id = 0;
+  std::vector<int> my_members;
+  int my_new_rank = -1;
+  std::uint64_t offset = 0;
+  for (auto& [c, entries] : groups) {
+    if (c == color) {
+      std::stable_sort(entries.begin(), entries.end(),
+                       [](const Entry& a, const Entry& b) {
+                         return a.key != b.key ? a.key < b.key
+                                               : a.rank < b.rank;
+                       });
+      my_id = base_id + offset;
+      for (std::size_t i = 0; i < entries.size(); ++i) {
+        my_members.push_back(
+            members_[static_cast<std::size_t>(entries[i].rank)]);
+        if (entries[i].rank == rank_) my_new_rank = static_cast<int>(i);
+      }
+      break;
+    }
+    ++offset;
+  }
+  GS_ASSERT(my_new_rank >= 0, "split lost the calling rank");
+  return Comm(universe_, my_id, my_new_rank, std::move(my_members));
+}
+
+}  // namespace gs::mpi

@@ -1,0 +1,307 @@
+// Communicators and operations: the public face of the simmpi substrate.
+//
+// Semantics follow MPI: ranks are threads of one process (see runtime.h),
+// each holding its own Comm handle. Point-to-point messages are eager and
+// buffered; collectives are implemented over point-to-point with an
+// internal tag space so they never interfere with user traffic.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "mpi/datatype.h"
+#include "mpi/message.h"
+
+namespace gs::mpi {
+
+class Universe;
+
+/// Reduction operations (subset used by HPC codes; extend as needed).
+enum class ReduceOp { sum, min, max, prod };
+
+namespace detail {
+template <typename T>
+T apply_op(ReduceOp op, T a, T b) {
+  switch (op) {
+    case ReduceOp::sum: return a + b;
+    case ReduceOp::min: return b < a ? b : a;
+    case ReduceOp::max: return a < b ? b : a;
+    case ReduceOp::prod: return a * b;
+  }
+  return a;
+}
+}  // namespace detail
+
+/// Handle for a nonblocking operation. Sends complete immediately (eager
+/// buffering); receives match lazily at wait()/test().
+class Request {
+ public:
+  Request() = default;
+
+  /// Blocks until the operation completes; fills `status` if given.
+  void wait(Status* status = nullptr);
+
+  /// Non-blocking completion check.
+  bool test(Status* status = nullptr);
+
+  bool valid() const { return state_ != nullptr; }
+
+ private:
+  friend class Comm;
+
+  struct State {
+    // Completed operations have done=true. Pending receives carry the
+    // matching spec and the destination, exactly one of the two targets.
+    bool done = false;
+    Status status;
+
+    Universe* universe = nullptr;
+    int mailbox_world_rank = -1;
+    std::uint64_t match_comm_id = 0;
+    int src = kAnySource;
+    int tag = kAnyTag;
+
+    std::byte* raw_dst = nullptr;   // plain typed receive
+    std::size_t raw_capacity = 0;
+    void* typed_base = nullptr;     // datatype receive
+    std::unique_ptr<Datatype> type;
+
+    void deliver(Message&& msg);
+  };
+
+  explicit Request(std::shared_ptr<State> state) : state_(std::move(state)) {}
+
+  std::shared_ptr<State> state_;
+};
+
+/// A communicator handle owned by one rank (thread). Copyable; copies share
+/// the underlying group but keep independent collective sequence counters,
+/// so a copied handle must not be used for collectives concurrently with
+/// the original (same rule as MPI: one collective call sequence per comm).
+class Comm {
+ public:
+  int rank() const { return rank_; }
+  int size() const { return static_cast<int>(members_.size()); }
+  std::uint64_t id() const { return comm_id_; }
+
+  // ---- point-to-point (byte spans) ----------------------------------
+  void send_bytes(std::span<const std::byte> data, int dest, int tag);
+  Status recv_bytes(std::span<std::byte> buffer, int src, int tag);
+
+  // ---- point-to-point (typed spans) ----------------------------------
+  template <typename T>
+  void send(std::span<const T> data, int dest, int tag) {
+    send_bytes(std::as_bytes(data), dest, tag);
+  }
+  template <typename T>
+  Status recv(std::span<T> data, int src, int tag) {
+    return recv_bytes(std::as_writable_bytes(data), src, tag);
+  }
+  /// Scalar convenience.
+  template <typename T>
+  void send_value(const T& v, int dest, int tag) {
+    send(std::span<const T>(&v, 1), dest, tag);
+  }
+  template <typename T>
+  T recv_value(int src, int tag) {
+    T v{};
+    recv(std::span<T>(&v, 1), src, tag);
+    return v;
+  }
+
+  /// Receives a message of a-priori-unknown size (probe-free: the payload
+  /// arrives with its length). Used for variable-length metadata blobs.
+  std::vector<std::byte> recv_blob(int src, int tag, Status* status = nullptr);
+
+  // ---- point-to-point (derived datatypes, paper Listing 3) -----------
+  /// Packs `type` from `base` and sends; the receiver may use a different
+  /// type of equal size (MPI's type-signature rule, relaxed to byte count).
+  void send_typed(const void* base, const Datatype& type, int dest, int tag);
+  Status recv_typed(void* base, const Datatype& type, int src, int tag);
+
+  // ---- nonblocking ----------------------------------------------------
+  Request isend(std::span<const std::byte> data, int dest, int tag);
+  Request irecv_bytes(std::span<std::byte> buffer, int src, int tag);
+  template <typename T>
+  Request irecv(std::span<T> data, int src, int tag) {
+    return irecv_bytes(std::as_writable_bytes(data), src, tag);
+  }
+  Request irecv_typed(void* base, const Datatype& type, int src, int tag);
+  static void wait_all(std::span<Request> requests);
+
+  /// Combined send+recv that can never deadlock (sends are eager).
+  Status sendrecv_bytes(std::span<const std::byte> send_data, int dest,
+                        int send_tag, std::span<std::byte> recv_buffer,
+                        int src, int recv_tag);
+
+  /// Non-destructive availability check.
+  bool iprobe(int src, int tag, Status* status = nullptr);
+
+  // ---- collectives ----------------------------------------------------
+  void barrier();
+
+  void bcast_bytes(std::span<std::byte> data, int root);
+  template <typename T>
+  void bcast(std::span<T> data, int root) {
+    bcast_bytes(std::as_writable_bytes(data), root);
+  }
+
+  template <typename T>
+  T allreduce(T value, ReduceOp op) {
+    reduce_impl(&value, sizeof(T), make_combiner<T>(op));
+    T out = value;
+    bcast(std::span<T>(&out, 1), 0);
+    return out;
+  }
+
+  template <typename T>
+  T reduce(T value, ReduceOp op, int root) {
+    // Reduce to rank 0 then forward; root!=0 costs one extra hop, which is
+    // fine for a functional substrate.
+    reduce_impl(&value, sizeof(T), make_combiner<T>(op));
+    if (root != 0) {
+      const int tag = next_coll_tag();
+      if (rank_ == 0) coll_send(&value, sizeof(T), root, tag);
+      if (rank_ == root) coll_recv(&value, sizeof(T), 0, tag);
+    }
+    return rank_ == root ? value : T{};
+  }
+
+  /// Gathers equal-size contributions to root; out is resized at root and
+  /// left empty elsewhere.
+  template <typename T>
+  void gather(std::span<const T> contribution, std::vector<T>& out, int root) {
+    std::vector<std::byte> bytes;
+    gather_bytes(std::as_bytes(contribution), bytes, root);
+    out.clear();
+    if (rank_ == root) {
+      out.resize(bytes.size() / sizeof(T));
+      std::memcpy(out.data(), bytes.data(), bytes.size());
+    }
+  }
+
+  template <typename T>
+  std::vector<T> allgather(const T& value) {
+    std::vector<T> all(static_cast<std::size_t>(size()));
+    std::vector<std::byte> bytes;
+    gather_bytes(std::as_bytes(std::span<const T>(&value, 1)), bytes, 0);
+    if (rank_ == 0) std::memcpy(all.data(), bytes.data(), bytes.size());
+    bcast(std::span<T>(all.data(), all.size()), 0);
+    return all;
+  }
+
+  /// Personalized all-to-all of equal-size blocks: send block d of
+  /// `send_blocks` to rank d, receive into block s of `recv_blocks`.
+  void alltoall_bytes(std::span<const std::byte> send_blocks,
+                      std::span<std::byte> recv_blocks);
+
+  /// Variable-size gather (MPI_Gatherv): contributions may differ per
+  /// rank; root receives them concatenated in rank order, with
+  /// `offsets[r]` marking where rank r's bytes start. Non-roots leave
+  /// both outputs empty.
+  void gatherv_bytes(std::span<const std::byte> contribution,
+                     std::vector<std::byte>& out,
+                     std::vector<std::size_t>& offsets, int root);
+
+  /// Typed gatherv convenience.
+  template <typename T>
+  void gatherv(std::span<const T> contribution, std::vector<T>& out,
+               std::vector<std::size_t>& element_offsets, int root) {
+    std::vector<std::byte> bytes;
+    std::vector<std::size_t> byte_offsets;
+    gatherv_bytes(std::as_bytes(contribution), bytes, byte_offsets, root);
+    out.clear();
+    element_offsets.clear();
+    if (rank() == root) {
+      out.resize(bytes.size() / sizeof(T));
+      std::memcpy(out.data(), bytes.data(), bytes.size());
+      element_offsets.reserve(byte_offsets.size());
+      for (const auto b : byte_offsets) {
+        element_offsets.push_back(b / sizeof(T));
+      }
+    }
+  }
+
+  /// MPI_Scatter of equal blocks: root's `send_blocks` holds one block of
+  /// `recv.size()` bytes per rank; every rank receives its block.
+  void scatter_bytes(std::span<const std::byte> send_blocks,
+                     std::span<std::byte> recv, int root);
+
+  /// Element-wise allreduce over arrays (MPI_Allreduce with count > 1):
+  /// every rank contributes `values`; all ranks receive the element-wise
+  /// reduction.
+  template <typename T>
+  void allreduce_inplace(std::span<T> values, ReduceOp op) {
+    const Combiner combine = [op, n = values.size()](std::byte* acc,
+                                                     const std::byte* other) {
+      for (std::size_t i = 0; i < n; ++i) {
+        T a, b;
+        std::memcpy(&a, acc + i * sizeof(T), sizeof(T));
+        std::memcpy(&b, other + i * sizeof(T), sizeof(T));
+        a = detail::apply_op(op, a, b);
+        std::memcpy(acc + i * sizeof(T), &a, sizeof(T));
+      }
+    };
+    reduce_impl(values.data(), values.size_bytes(), combine);
+    bcast(values, 0);
+  }
+
+  // ---- communicator management ---------------------------------------
+  /// Duplicate: same group, fresh isolated message context (collective).
+  Comm dup();
+
+  /// MPI_Comm_split (collective): groups by color, orders by (key, rank).
+  Comm split(int color, int key);
+
+  // ---- construction (used by the runtime and Cartesian layer) ---------
+  Comm(Universe* universe, std::uint64_t comm_id, int rank,
+       std::vector<int> members);
+
+  Universe* universe() const { return universe_; }
+  const std::vector<int>& members() const { return members_; }
+
+ private:
+  Universe* universe_ = nullptr;
+  std::uint64_t comm_id_ = 0;
+  int rank_ = -1;
+  std::vector<int> members_;  // comm rank -> world rank
+  std::uint64_t coll_seq_ = 0;
+
+  /// Collectives run in a parallel comm_id space (2*id+1) with sequenced
+  /// tags, fully isolated from user point-to-point traffic (2*id).
+  std::uint64_t p2p_space() const { return comm_id_ * 2; }
+  std::uint64_t coll_space() const { return comm_id_ * 2 + 1; }
+  int next_coll_tag() { return static_cast<int>(coll_seq_++ % 1000000); }
+
+  void push_to(int dest, int tag, std::uint64_t space,
+               std::vector<std::byte> payload);
+  Message pop_from(int src, int tag, std::uint64_t space);
+
+  /// Fixed-size transfers in the collective tag space.
+  void coll_send(const void* data, std::size_t bytes, int dest, int tag);
+  void coll_recv(void* data, std::size_t bytes, int src, int tag);
+
+  void gather_bytes(std::span<const std::byte> contribution,
+                    std::vector<std::byte>& out, int root);
+
+  using Combiner =
+      std::function<void(std::byte* acc, const std::byte* other)>;
+  template <typename T>
+  static Combiner make_combiner(ReduceOp op) {
+    return [op](std::byte* acc, const std::byte* other) {
+      T a, b;
+      std::memcpy(&a, acc, sizeof(T));
+      std::memcpy(&b, other, sizeof(T));
+      a = detail::apply_op(op, a, b);
+      std::memcpy(acc, &a, sizeof(T));
+    };
+  }
+  /// Binomial-tree reduction of a fixed-size value to rank 0, in place.
+  void reduce_impl(void* value, std::size_t bytes, const Combiner& combine);
+};
+
+}  // namespace gs::mpi

@@ -1,0 +1,132 @@
+#include "mpi/datatype.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/error.h"
+
+namespace gs::mpi {
+
+void Datatype::add_segment(std::size_t offset, std::size_t length) {
+  if (length == 0) return;
+  // Coalesce with the previous segment when adjacent (common for
+  // contiguous-in-i face runs); keeps pack loops short.
+  if (!segments_.empty()) {
+    Segment& last = segments_.back();
+    if (last.offset + last.length == offset) {
+      last.length += length;
+      size_ += length;
+      extent_ = std::max(extent_, offset + length);
+      return;
+    }
+  }
+  segments_.push_back({offset, length});
+  size_ += length;
+  extent_ = std::max(extent_, offset + length);
+}
+
+void Datatype::normalize() {
+  std::sort(segments_.begin(), segments_.end(),
+            [](const Segment& a, const Segment& b) {
+              return a.offset < b.offset;
+            });
+}
+
+Datatype Datatype::basic(std::size_t elem_size) {
+  GS_REQUIRE(elem_size > 0, "basic datatype needs positive size");
+  Datatype t;
+  t.add_segment(0, elem_size);
+  return t;
+}
+
+Datatype Datatype::contiguous(std::size_t count, const Datatype& inner) {
+  Datatype t;
+  for (std::size_t c = 0; c < count; ++c) {
+    const std::size_t base = c * inner.extent_bytes();
+    for (const auto& seg : inner.segments_) {
+      t.add_segment(base + seg.offset, seg.length);
+    }
+  }
+  t.normalize();
+  return t;
+}
+
+Datatype Datatype::vector(std::size_t count, std::size_t blocklength,
+                          std::size_t stride, const Datatype& inner) {
+  GS_REQUIRE(stride >= blocklength,
+             "vector stride " << stride << " < blocklength " << blocklength
+                              << " would overlap blocks");
+  Datatype t;
+  const std::size_t elem = inner.extent_bytes();
+  for (std::size_t b = 0; b < count; ++b) {
+    const std::size_t block_base = b * stride * elem;
+    for (std::size_t e = 0; e < blocklength; ++e) {
+      const std::size_t base = block_base + e * elem;
+      for (const auto& seg : inner.segments_) {
+        t.add_segment(base + seg.offset, seg.length);
+      }
+    }
+  }
+  t.normalize();
+  return t;
+}
+
+Datatype Datatype::subarray(const Index3& extent, const Box3& box,
+                            std::size_t elem_size) {
+  GS_REQUIRE(!box.empty(), "subarray selection is empty");
+  GS_REQUIRE(box.start.i >= 0 && box.start.j >= 0 && box.start.k >= 0 &&
+                 box.end().i <= extent.i && box.end().j <= extent.j &&
+                 box.end().k <= extent.k,
+             "subarray " << box << " exceeds extent " << extent);
+  Datatype t;
+  for (std::int64_t k = box.start.k; k < box.end().k; ++k) {
+    for (std::int64_t j = box.start.j; j < box.end().j; ++j) {
+      const std::int64_t lin = linear_index({box.start.i, j, k}, extent);
+      t.add_segment(static_cast<std::size_t>(lin) * elem_size,
+                    static_cast<std::size_t>(box.count.i) * elem_size);
+    }
+  }
+  t.normalize();
+  return t;
+}
+
+void Datatype::pack(const void* base, std::span<std::byte> out) const {
+  GS_REQUIRE(out.size() >= size_, "pack buffer too small: " << out.size()
+                                                            << " < " << size_);
+  const auto* src = static_cast<const std::byte*>(base);
+  std::size_t pos = 0;
+  for (const auto& seg : segments_) {
+    // Fast path for the dominant case: strided element-wide segments
+    // (e.g. an x-face with blocklength 1). A constant-size memcpy is
+    // inlined to a single load/store instead of a libc call.
+    if (seg.length == sizeof(double)) {
+      std::memcpy(out.data() + pos, src + seg.offset, sizeof(double));
+    } else {
+      std::memcpy(out.data() + pos, src + seg.offset, seg.length);
+    }
+    pos += seg.length;
+  }
+}
+
+void Datatype::unpack(void* base, std::span<const std::byte> in) const {
+  GS_REQUIRE(in.size() >= size_, "unpack buffer too small: " << in.size()
+                                                             << " < " << size_);
+  auto* dst = static_cast<std::byte*>(base);
+  std::size_t pos = 0;
+  for (const auto& seg : segments_) {
+    if (seg.length == sizeof(double)) {
+      std::memcpy(dst + seg.offset, in.data() + pos, sizeof(double));
+    } else {
+      std::memcpy(dst + seg.offset, in.data() + pos, seg.length);
+    }
+    pos += seg.length;
+  }
+}
+
+std::vector<std::byte> Datatype::pack(const void* base) const {
+  std::vector<std::byte> out(size_);
+  pack(base, out);
+  return out;
+}
+
+}  // namespace gs::mpi

@@ -1,0 +1,75 @@
+#include "mpi/message.h"
+
+namespace gs::mpi {
+
+void Mailbox::push(Message msg) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(msg));
+  }
+  cv_.notify_all();
+}
+
+std::deque<Message>::iterator Mailbox::find_match(std::uint64_t comm_id,
+                                                  int src, int tag) {
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (it->comm_id != comm_id) continue;
+    if (src != kAnySource && it->src != src) continue;
+    if (tag != kAnyTag && it->tag != tag) continue;
+    return it;
+  }
+  return queue_.end();
+}
+
+Message Mailbox::pop(std::uint64_t comm_id, int src, int tag) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    if (aborted_) {
+      throw MpiError("mailbox aborted while waiting for message");
+    }
+    const auto it = find_match(comm_id, src, tag);
+    if (it != queue_.end()) {
+      Message msg = std::move(*it);
+      queue_.erase(it);
+      return msg;
+    }
+    cv_.wait(lock);
+  }
+}
+
+std::optional<Message> Mailbox::try_pop(std::uint64_t comm_id, int src,
+                                        int tag) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = find_match(comm_id, src, tag);
+  if (it == queue_.end()) return std::nullopt;
+  Message msg = std::move(*it);
+  queue_.erase(it);
+  return msg;
+}
+
+bool Mailbox::probe(std::uint64_t comm_id, int src, int tag, Status* status) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = find_match(comm_id, src, tag);
+  if (it == queue_.end()) return false;
+  if (status != nullptr) {
+    status->source = it->src;
+    status->tag = it->tag;
+    status->bytes = it->payload.size();
+  }
+  return true;
+}
+
+void Mailbox::abort() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    aborted_ = true;
+  }
+  cv_.notify_all();
+}
+
+std::size_t Mailbox::pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+}  // namespace gs::mpi

@@ -1,0 +1,74 @@
+// Message transport: per-rank mailboxes with MPI matching semantics.
+//
+// Sends are eager and buffered (the payload is copied into the receiver's
+// mailbox immediately), which matches how small/medium messages behave in
+// real MPI implementations and guarantees the classic send/recv halo
+// pattern cannot deadlock. Matching follows the MPI non-overtaking rule:
+// messages from the same (source, tag, comm) are received in send order.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "common/error.h"
+
+namespace gs::mpi {
+
+/// Wildcards, matching MPI_ANY_SOURCE / MPI_ANY_TAG.
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+/// Receive result metadata (MPI_Status equivalent).
+struct Status {
+  int source = kAnySource;
+  int tag = kAnyTag;
+  std::size_t bytes = 0;
+};
+
+struct Message {
+  int src = 0;
+  int tag = 0;
+  std::uint64_t comm_id = 0;
+  std::vector<std::byte> payload;
+};
+
+/// Thread-safe mailbox for one rank. Messages for all communicators share
+/// the box; matching is scoped by comm_id.
+class Mailbox {
+ public:
+  void push(Message msg);
+
+  /// Blocks until a message matching (comm, src, tag) is available, then
+  /// removes and returns it. Honors wildcards. Throws MpiError if the
+  /// universe aborts while waiting (see abort()).
+  Message pop(std::uint64_t comm_id, int src, int tag);
+
+  /// Non-blocking variant.
+  std::optional<Message> try_pop(std::uint64_t comm_id, int src, int tag);
+
+  /// Non-destructive check; fills `status` on match (MPI_Iprobe).
+  bool probe(std::uint64_t comm_id, int src, int tag, Status* status);
+
+  /// Wakes all waiters with an error: another rank threw. Prevents the
+  /// whole job from hanging on a dead peer.
+  void abort();
+
+  /// Count of queued messages (diagnostics/tests).
+  std::size_t pending() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Message> queue_;
+  bool aborted_ = false;
+
+  // Requires lock held. Returns iterator to first match or end().
+  std::deque<Message>::iterator find_match(std::uint64_t comm_id, int src,
+                                           int tag);
+};
+
+}  // namespace gs::mpi

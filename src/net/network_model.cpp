@@ -1,0 +1,54 @@
+#include "net/network_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "grid/halo.h"
+
+namespace gs::net {
+
+double NetworkModel::message_time(std::uint64_t bytes) const {
+  return link_.latency + static_cast<double>(bytes) / link_.bandwidth;
+}
+
+double NetworkModel::contention_factor(std::int64_t nranks) const {
+  GS_REQUIRE(nranks > 0, "nranks must be positive");
+  return 1.0 + link_.contention_base *
+                   std::log2(static_cast<double>(std::max<std::int64_t>(
+                       nranks, 1)));
+}
+
+double NetworkModel::halo_time(const Index3& local, int nvars,
+                               std::int64_t nranks) const {
+  double t = 0.0;
+  for (const Face& f : all_faces()) {
+    const std::uint64_t bytes =
+        static_cast<std::uint64_t>(face_cells(local, f)) * sizeof(double);
+    t += message_time(bytes);
+  }
+  // Send and matching receive overlap pairwise: count one direction.
+  return t * nvars * contention_factor(nranks);
+}
+
+double NetworkModel::jitter_sigma(std::int64_t nranks) const {
+  GS_REQUIRE(nranks > 0, "nranks must be positive");
+  if (nranks <= jitter_.knee_ranks) return jitter_.base_sigma;
+  // Log-linear ramp from the knee to full scale, then flat.
+  const double t =
+      (std::log2(static_cast<double>(nranks)) -
+       std::log2(static_cast<double>(jitter_.knee_ranks))) /
+      (std::log2(static_cast<double>(jitter_.full_scale_ranks)) -
+       std::log2(static_cast<double>(jitter_.knee_ranks)));
+  const double clamped = std::min(t, 1.5);  // mild extrapolation past 4k
+  return jitter_.base_sigma +
+         (jitter_.large_scale_sigma - jitter_.base_sigma) * clamped;
+}
+
+double NetworkModel::jitter_multiplier(std::int64_t nranks, Rng& rng) const {
+  const double sigma = jitter_sigma(nranks);
+  // Lognormal with mean 1: mu = -sigma^2/2.
+  return rng.lognormal(-0.5 * sigma * sigma, sigma);
+}
+
+}  // namespace gs::net

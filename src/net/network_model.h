@@ -1,0 +1,69 @@
+// Analytic interconnect model (Slingshot-class) for at-scale timing.
+//
+// The functional simmpi substrate moves real bytes between rank threads
+// but cannot reproduce Frontier's *timing* at 4,096 ranks on one core.
+// This model supplies that: Hockney-style point-to-point cost, a
+// contention factor that grows with job size, and per-process wall-clock
+// jitter calibrated to the variability the paper reports in Figure 6
+// (2-3% spread up to 512 ranks, 12-15% at 4,096).
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "grid/box.h"
+
+namespace gs::net {
+
+struct LinkParams {
+  double latency = 2e-6;          ///< s per message (NIC + switch)
+  double bandwidth = 25e9;        ///< B/s effective per-NIC p2p stream
+  /// Extra latency per hop-group crossing at large scale; folded into the
+  /// contention factor rather than modeled per-route.
+  double contention_base = 0.02;  ///< fractional slowdown per log2 scale
+};
+
+/// Jitter calibration (Figure 6): lognormal per-process multiplicative
+/// noise whose sigma grows once the job spans multiple switch groups.
+struct JitterParams {
+  double base_sigma = 0.0035;        ///< <= 512 ranks: 2-3% min-max spread
+  double large_scale_sigma = 0.017;  ///< at 4,096 ranks: 12-15% spread
+  std::int64_t knee_ranks = 512;     ///< where contention regime changes
+  std::int64_t full_scale_ranks = 4096;
+};
+
+class NetworkModel {
+ public:
+  explicit NetworkModel(LinkParams link = {}, JitterParams jitter = {})
+      : link_(link), jitter_(jitter) {}
+
+  const LinkParams& link() const { return link_; }
+  const JitterParams& jitter() const { return jitter_; }
+
+  /// Time for one point-to-point message of `bytes`.
+  double message_time(std::uint64_t bytes) const;
+
+  /// Multiplier (>= 1) on message time from network contention in a job
+  /// of `nranks`; grows logarithmically (fat-tree/dragonfly sharing).
+  double contention_factor(std::int64_t nranks) const;
+
+  /// One rank's halo-exchange cost per step: 6 face messages per variable
+  /// (send+recv overlap assumed 2x deep), through host-staged buffers.
+  /// `local` is the per-rank interior extent; `nvars` the exchanged
+  /// variables (2 for Gray-Scott).
+  double halo_time(const Index3& local, int nvars,
+                   std::int64_t nranks) const;
+
+  /// Lognormal jitter multiplier for one process in a job of `nranks`.
+  /// Mean 1; sigma interpolates between the calibrated regimes.
+  double jitter_multiplier(std::int64_t nranks, Rng& rng) const;
+
+  /// The sigma used by jitter_multiplier (exposed for tests/benches).
+  double jitter_sigma(std::int64_t nranks) const;
+
+ private:
+  LinkParams link_;
+  JitterParams jitter_;
+};
+
+}  // namespace gs::net

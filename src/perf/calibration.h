@@ -1,0 +1,52 @@
+// Central registry of every model constant calibrated against a number
+// the paper reports, with the exact provenance. The constants themselves
+// live with their models (DeviceProps / BackendProfile / JitterParams /
+// LustreParams defaults); this header documents the mapping and provides
+// the analytic traffic formulas of the paper's Section 5.1.
+//
+// | Constant                                  | Paper evidence            |
+// |-------------------------------------------|---------------------------|
+// | DeviceProps::hbm_bandwidth = 1.6e12       | Table 1: 1,600 GB/s/GCD   |
+// | DeviceProps::host_link_bandwidth = 36e9   | Table 1: GPU-CPU 36 GB/s  |
+// | DeviceProps::streaming_efficiency = .727  | Table 2: HIP 1,163 GB/s   |
+// | BackendProfile(hip): wgr 256, lds 0       | Table 3 column "HIP"      |
+// | BackendProfile(julia): wgr 512, lds 29184,| Table 3 "GrayScott.jl"    |
+// |   scr 8192                                |                           |
+// | occupancy(julia) = 0.5 via LDS limit      | Table 2: 570 vs 1,163 GB/s|
+// | julia rng_bandwidth_penalty = 0.95        | Table 2: 570 vs 625 GB/s  |
+// | jit_compile_mean = 1.28 s                 | Fig 7: JIT run ~8% of     |
+// |                                           | optimized bandwidth       |
+// | JitterParams::base_sigma = 0.0035         | Fig 6: 2-3% spread <=512  |
+// | JitterParams::large_scale_sigma = 0.017   | Fig 6: 12-15% at 4,096    |
+// | LustreParams::peak_write = 5.5e12         | Table 1                   |
+// | LustreParams::client_bw/saturation_bw     | Fig 8: 434 GB/s at 512    |
+// | kFailureScaleRanks/kFailureExponent       | Sec 5.2: 4,096 OK, 32,768 |
+// |                                           | fails in MPI ghost exch.  |
+#pragma once
+
+#include <cstdint>
+
+namespace gs::perf {
+
+/// Equation (4a): minimal bytes fetched for one variable on an L^3 grid —
+/// every cell once, minus the reduced stencil at the 8 corners and 12
+/// edges (AMD lab-notes accounting, as used by the paper).
+constexpr std::uint64_t fetch_size_effective(std::int64_t L,
+                                             std::size_t elem = 8) {
+  return static_cast<std::uint64_t>(L * L * L - 8 - 12 * (L - 2)) * elem;
+}
+
+/// Equation (4b): minimal bytes written for one variable — the interior.
+constexpr std::uint64_t write_size_effective(std::int64_t L,
+                                             std::size_t elem = 8) {
+  return static_cast<std::uint64_t>((L - 2) * (L - 2) * (L - 2)) * elem;
+}
+
+/// Section 5.2: runs at 4,096 GPUs completed; the factor-8 step to 32,768
+/// hit "unpredictable failures ... at the underlying MPI layers during the
+/// ghost cell exchange". Modeled as a sharp Weibull-style hazard in job
+/// size: P(fail) = 1 - exp(-(ranks/scale)^k).
+constexpr double kFailureScaleRanks = 16384.0;
+constexpr double kFailureExponent = 6.0;
+
+}  // namespace gs::perf

@@ -1,0 +1,51 @@
+#include "perf/io_scaling.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace gs::perf {
+
+IoScalingSimulator::IoScalingSimulator(IoScalingConfig config,
+                                       lustre::LustreModel model)
+    : config_(config), model_(model) {
+  GS_REQUIRE(config_.cells_per_rank_edge > 0, "edge must be positive");
+  GS_REQUIRE(config_.ranks_per_node > 0, "ranks_per_node must be positive");
+  GS_REQUIRE(config_.nvars > 0, "nvars must be positive");
+}
+
+std::uint64_t IoScalingSimulator::bytes_per_node() const {
+  const auto L = static_cast<std::uint64_t>(config_.cells_per_rank_edge);
+  return L * L * L * sizeof(double) *
+         static_cast<std::uint64_t>(config_.nvars) *
+         static_cast<std::uint64_t>(config_.ranks_per_node);
+}
+
+IoPoint IoScalingSimulator::simulate(std::int64_t nodes) const {
+  GS_REQUIRE(nodes > 0, "nodes must be positive");
+  Rng rng(config_.seed ^
+          (0x9E3779B97F4A7C15ULL * static_cast<std::uint64_t>(nodes)));
+  IoPoint p;
+  p.nodes = nodes;
+  p.ranks = nodes * config_.ranks_per_node;
+  p.bytes_per_node = bytes_per_node();
+  p.bytes_total = p.bytes_per_node * static_cast<std::uint64_t>(nodes);
+  const auto sample = model_.simulate_write(nodes, p.bytes_per_node, rng);
+  p.seconds = sample.seconds;
+  p.aggregate_bw = sample.aggregate_bw;
+  p.peak_fraction = p.aggregate_bw / model_.params().peak_write;
+  return p;
+}
+
+std::vector<IoPoint> IoScalingSimulator::sweep(std::int64_t max_nodes) const {
+  std::vector<IoPoint> out;
+  std::int64_t n = 1;
+  while (n < max_nodes) {
+    out.push_back(simulate(n));
+    n *= 8;
+  }
+  out.push_back(simulate(max_nodes));
+  return out;
+}
+
+}  // namespace gs::perf

@@ -1,0 +1,57 @@
+// Parallel-I/O weak-scaling simulator (Figure 8).
+//
+// One output step of the Figure 6 runs: every rank contributes its
+// 1,024^3 x 2-variable block; BP5-style aggregation funnels 8 ranks (one
+// node) into one subfile; the Lustre model supplies the timing. Produces
+// the wall-clock and aggregate-bandwidth series of Figure 8.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lustre/lustre_model.h"
+
+namespace gs::perf {
+
+struct IoScalingConfig {
+  std::int64_t cells_per_rank_edge = 1024;
+  int nvars = 2;
+  int ranks_per_node = 8;     ///< GCDs per Frontier node
+  std::uint64_t seed = 77;
+};
+
+struct IoPoint {
+  std::int64_t nodes = 0;
+  std::int64_t ranks = 0;
+  std::uint64_t bytes_per_node = 0;
+  std::uint64_t bytes_total = 0;
+  double seconds = 0.0;        ///< collective write wall-clock
+  double aggregate_bw = 0.0;   ///< B/s achieved
+  double peak_fraction = 0.0;  ///< aggregate_bw / Lustre peak
+};
+
+class IoScalingSimulator {
+ public:
+  explicit IoScalingSimulator(IoScalingConfig config = {},
+                              lustre::LustreModel model = lustre::LustreModel{});
+
+  const IoScalingConfig& config() const { return config_; }
+  const lustre::LustreModel& lustre() const { return model_; }
+
+  /// Bytes one node's aggregator writes per output step.
+  std::uint64_t bytes_per_node() const;
+
+  /// Simulates writing one output step from `nodes` nodes.
+  IoPoint simulate(std::int64_t nodes) const;
+
+  /// The full Figure 8 sweep: nodes = 1, 8, 64, ..., up to `max_nodes`
+  /// by factors of 8 (the paper's factor-8 experiment design), plus
+  /// max_nodes itself if the progression skips it.
+  std::vector<IoPoint> sweep(std::int64_t max_nodes = 512) const;
+
+ private:
+  IoScalingConfig config_;
+  lustre::LustreModel model_;
+};
+
+}  // namespace gs::perf

@@ -1,0 +1,93 @@
+// Discrete-ensemble weak-scaling simulator (Figures 6 and 7).
+//
+// Reproduces the paper's scaling experiments for job sizes no laptop can
+// run functionally: for P ranks it samples, per rank, the simulated-device
+// kernel time, host-staging copies, network halo cost, JIT warm-up, and a
+// scale-dependent wall-clock jitter — all from the same calibrated models
+// the functional path uses. Deterministic for a given (seed, nranks).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "config/settings.h"
+#include "gpu/device_props.h"
+#include "net/network_model.h"
+
+namespace gs::perf {
+
+struct WeakScalingConfig {
+  std::int64_t cells_per_rank_edge = 1024;  ///< nx=ny=nz per GPU (paper)
+  int steps = 20;                           ///< simulation steps (Fig 7)
+  int nvars = 2;
+  KernelBackend backend = KernelBackend::julia_amdgpu;
+  std::uint64_t seed = 20230712;
+  /// Relative spread of per-GPU kernel times (silicon/thermal variation).
+  double kernel_sigma = 0.002;
+
+  /// GPU-aware MPI: no host staging copies (the paper's runs staged
+  /// through the CPU; this models the alternative for the ablation).
+  bool gpu_aware = false;
+
+  /// Computation/communication overlap: the interior update (which needs
+  /// no ghosts) runs while faces are in flight; only the one-cell shell
+  /// waits. step = max(kernel_interior, staging+halo) + kernel_shell.
+  /// GrayScott.jl does not overlap; modeled for the ablation.
+  bool overlap = false;
+};
+
+/// Per-rank outcome of one simulated run.
+struct RankSample {
+  double wall_time = 0.0;      ///< total run time on this rank (s)
+  double kernel_time = 0.0;    ///< one warm kernel invocation (s)
+  double jit_time = 0.0;       ///< first-launch compile cost (s)
+  /// Effective bandwidths (Eq. 4/5a) per GPU, the Figure 7 quantities:
+  double warm_bandwidth = 0.0; ///< optimized kernel (B/s)
+  double jit_bandwidth = 0.0;  ///< first launch including compile (B/s)
+};
+
+class WeakScalingSimulator {
+ public:
+  explicit WeakScalingSimulator(
+      WeakScalingConfig config = {}, gpu::DeviceProps device = {},
+      net::NetworkModel network = net::NetworkModel());
+
+  const WeakScalingConfig& config() const { return config_; }
+
+  /// Samples all ranks of a P-rank run (no failure injection).
+  std::vector<RankSample> simulate(std::int64_t nranks) const;
+
+  /// Deterministic components (no jitter), exposed for tests/benches.
+  double base_kernel_time() const;
+  double base_staging_time_per_step() const;
+  double base_halo_time_per_step(std::int64_t nranks) const;
+  double base_step_time(std::int64_t nranks) const;
+
+  /// Section 5.2 failure injection: probability that a P-rank run dies in
+  /// the MPI layer during ghost exchange.
+  double failure_probability(std::int64_t nranks) const;
+
+  struct RunOutcome {
+    bool completed = false;
+    std::string failure;            ///< empty when completed
+    std::vector<RankSample> samples;  ///< filled only when completed
+  };
+  /// Simulates a full run attempt (deterministic per seed+nranks).
+  RunOutcome run(std::int64_t nranks) const;
+
+  /// Convenience: wall-time sample set of a run.
+  static Samples wall_times(const std::vector<RankSample>& samples);
+
+ private:
+  WeakScalingConfig config_;
+  gpu::DeviceProps device_;
+  net::NetworkModel network_;
+  gpu::BackendProfile backend_;
+
+  /// Effective (Eq. 4) bytes for all variables of one kernel invocation.
+  double effective_traffic() const;
+};
+
+}  // namespace gs::perf

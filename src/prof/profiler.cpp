@@ -1,0 +1,162 @@
+#include "prof/profiler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/error.h"
+#include "common/format.h"
+
+namespace gs::prof {
+
+const char* to_string(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kernel: return "kernel";
+    case SpanKind::jit_compile: return "jit_compile";
+    case SpanKind::memcpy_h2d: return "memcpy_h2d";
+    case SpanKind::memcpy_d2h: return "memcpy_d2h";
+    case SpanKind::io_write: return "io_write";
+    case SpanKind::io_read: return "io_read";
+    case SpanKind::other: return "other";
+  }
+  return "?";
+}
+
+CounterSet& CounterSet::operator+=(const CounterSet& o) {
+  fetch_bytes += o.fetch_bytes;
+  write_bytes += o.write_bytes;
+  tcc_hits += o.tcc_hits;
+  tcc_misses += o.tcc_misses;
+  loads += o.loads;
+  stores += o.stores;
+  // Static launch attributes: keep the last non-zero values.
+  if (o.workgroup_size != 0) workgroup_size = o.workgroup_size;
+  if (o.lds_bytes != 0) lds_bytes = o.lds_bytes;
+  if (o.scratch_bytes != 0) scratch_bytes = o.scratch_bytes;
+  return *this;
+}
+
+double CounterSet::hit_rate() const {
+  const std::uint64_t total = tcc_hits + tcc_misses;
+  return total == 0 ? 0.0
+                    : static_cast<double>(tcc_hits) /
+                          static_cast<double>(total);
+}
+
+void Profiler::record(Span span) {
+  GS_REQUIRE(span.t1 >= span.t0,
+             "span \"" << span.name << "\" ends before it starts");
+  spans_.push_back(std::move(span));
+}
+
+std::vector<KernelStats> Profiler::kernel_stats() const {
+  std::vector<KernelStats> out;
+  auto find = [&out](const std::string& name) -> KernelStats& {
+    for (auto& s : out) {
+      if (s.name == name) return s;
+    }
+    out.push_back(KernelStats{});
+    out.back().name = name;
+    return out.back();
+  };
+  for (const auto& sp : spans_) {
+    if (sp.kind != SpanKind::kernel) continue;
+    KernelStats& ks = find(sp.name);
+    const double d = sp.duration();
+    if (ks.calls == 0) {
+      ks.min_time = ks.max_time = d;
+    } else {
+      ks.min_time = std::min(ks.min_time, d);
+      ks.max_time = std::max(ks.max_time, d);
+    }
+    ++ks.calls;
+    ks.total_time += d;
+    ks.total += sp.counters;
+  }
+  return out;
+}
+
+double Profiler::total_time(SpanKind kind) const {
+  double t = 0.0;
+  for (const auto& sp : spans_) {
+    if (sp.kind == kind) t += sp.duration();
+  }
+  return t;
+}
+
+std::string Profiler::chrome_trace_json() const {
+  std::ostringstream oss;
+  oss << "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& sp : spans_) {
+    if (!first) oss << ",";
+    first = false;
+    // Chrome trace: X (complete) events with microsecond timestamps.
+    oss << "{\"name\":\"" << sp.name << "\",\"cat\":\"" << to_string(sp.kind)
+        << "\",\"ph\":\"X\",\"ts\":" << sp.t0 * 1e6
+        << ",\"dur\":" << sp.duration() * 1e6 << ",\"pid\":0,\"tid\":"
+        << static_cast<int>(sp.kind) << ",\"args\":{\"fetch_bytes\":"
+        << sp.counters.fetch_bytes << ",\"write_bytes\":"
+        << sp.counters.write_bytes << "}}";
+  }
+  oss << "]}";
+  return oss.str();
+}
+
+std::string Profiler::report() const {
+  gs::TableFormatter t({"kernel", "calls", "wgr", "lds", "scr",
+                        "FETCH_SIZE", "WRITE_SIZE", "TCC_HIT", "TCC_MISS",
+                        "AvgDur"});
+  for (const auto& ks : kernel_stats()) {
+    t.row({ks.name, std::to_string(ks.calls),
+           std::to_string(ks.total.workgroup_size),
+           std::to_string(ks.total.lds_bytes),
+           std::to_string(ks.total.scratch_bytes),
+           gs::format_bytes(ks.total.fetch_bytes),
+           gs::format_bytes(ks.total.write_bytes),
+           gs::format_count(ks.total.tcc_hits),
+           gs::format_count(ks.total.tcc_misses),
+           gs::format_seconds(ks.avg_time())});
+  }
+  return t.str();
+}
+
+std::string Profiler::ascii_timeline(int width) const {
+  if (spans_.empty()) return "(empty timeline)\n";
+  double t_min = spans_.front().t0;
+  double t_max = spans_.front().t1;
+  for (const auto& sp : spans_) {
+    t_min = std::min(t_min, sp.t0);
+    t_max = std::max(t_max, sp.t1);
+  }
+  const double range = std::max(t_max - t_min, 1e-12);
+
+  // One lane per span kind, in enum order, showing occupancy with '#'.
+  std::ostringstream oss;
+  for (int k = 0; k <= static_cast<int>(SpanKind::other); ++k) {
+    const auto kind = static_cast<SpanKind>(k);
+    std::string lane(static_cast<std::size_t>(width), '.');
+    bool any = false;
+    for (const auto& sp : spans_) {
+      if (sp.kind != kind) continue;
+      any = true;
+      auto c0 = static_cast<int>((sp.t0 - t_min) / range * width);
+      auto c1 = static_cast<int>((sp.t1 - t_min) / range * width);
+      c0 = std::clamp(c0, 0, width - 1);
+      c1 = std::clamp(c1, c0, width - 1);
+      for (int c = c0; c <= c1; ++c) {
+        lane[static_cast<std::size_t>(c)] = '#';
+      }
+    }
+    if (any) {
+      char label[16];
+      std::snprintf(label, sizeof(label), "%-12s", to_string(kind));
+      oss << label << "|" << lane << "|\n";
+    }
+  }
+  oss << "time: " << gs::format_seconds(t_min) << " .. "
+      << gs::format_seconds(t_max) << "\n";
+  return oss.str();
+}
+
+}  // namespace gs::prof

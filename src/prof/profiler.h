@@ -1,0 +1,101 @@
+// rocprof-mini: span/counter profiler for the simulated device timeline.
+//
+// The paper's Figure 5 is a rocprof trace of kernel activity interleaved
+// with device-to-host copies, and Table 3 is a rocprof counter dump
+// (FETCH_SIZE, WRITE_SIZE, TCC_HIT, TCC_MISS, durations). This module
+// records the same information from the simulated device: timestamped
+// spans with per-kernel hardware counters, exportable as a Chrome trace
+// (chrome://tracing / Perfetto JSON) and as formatted report tables.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gs::prof {
+
+enum class SpanKind {
+  kernel,
+  jit_compile,
+  memcpy_h2d,
+  memcpy_d2h,
+  io_write,
+  io_read,
+  other,
+};
+
+const char* to_string(SpanKind kind);
+
+/// Hardware counters accumulated over one kernel launch (Table 3 schema).
+struct CounterSet {
+  std::uint64_t fetch_bytes = 0;    ///< bytes read from HBM (FETCH_SIZE)
+  std::uint64_t write_bytes = 0;    ///< bytes written back to HBM (WRITE_SIZE)
+  std::uint64_t tcc_hits = 0;       ///< L2 (TCC) hits
+  std::uint64_t tcc_misses = 0;     ///< L2 (TCC) misses
+  std::uint64_t loads = 0;          ///< workitem-level load instructions
+  std::uint64_t stores = 0;         ///< workitem-level store instructions
+  std::uint32_t workgroup_size = 0; ///< wgr
+  std::uint32_t lds_bytes = 0;      ///< LDS allocated per workgroup
+  std::uint32_t scratch_bytes = 0;  ///< scratch (spill) bytes per workitem
+
+  CounterSet& operator+=(const CounterSet& o);
+  double hit_rate() const;
+};
+
+/// One timed region on a device (or host-side I/O) timeline.
+struct Span {
+  std::string name;
+  SpanKind kind = SpanKind::other;
+  double t0 = 0.0;  ///< simulated seconds
+  double t1 = 0.0;
+  int device_id = 0;
+  CounterSet counters;
+
+  double duration() const { return t1 - t0; }
+};
+
+/// Aggregate over all launches of one kernel symbol.
+struct KernelStats {
+  std::string name;
+  std::size_t calls = 0;
+  double total_time = 0.0;
+  double min_time = 0.0;
+  double max_time = 0.0;
+  CounterSet total;
+
+  double avg_time() const {
+    return calls > 0 ? total_time / static_cast<double>(calls) : 0.0;
+  }
+};
+
+class Profiler {
+ public:
+  void record(Span span);
+
+  const std::vector<Span>& spans() const { return spans_; }
+  void clear() { spans_.clear(); }
+  bool empty() const { return spans_.empty(); }
+
+  /// Per-kernel aggregates in first-seen order (kernel spans only).
+  std::vector<KernelStats> kernel_stats() const;
+
+  /// Total simulated time covered by spans of `kind`.
+  double total_time(SpanKind kind) const;
+
+  /// Chrome-trace JSON ("traceEvents" array of X events, microseconds).
+  /// Viewable in chrome://tracing or https://ui.perfetto.dev.
+  std::string chrome_trace_json() const;
+
+  /// Human-readable per-kernel counter table (rocprof-style, Table 3).
+  std::string report() const;
+
+  /// Text Gantt rendering of the timeline, one row per span kind
+  /// (the Figure 5 analog for terminals).
+  std::string ascii_timeline(int width = 100) const;
+
+ private:
+  std::vector<Span> spans_;
+};
+
+}  // namespace gs::prof

@@ -1,0 +1,585 @@
+// Tests for the BP-mini parallel data format: round-trips across rank
+// counts and aggregation layouts, steps, selections, attributes, scalars,
+// min/max statistics, subfile-per-node invariants, bpls-style dump.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <numeric>
+
+#include "bp/reader.h"
+#include "bp/writer.h"
+#include "grid/decomp.h"
+#include "mpi/runtime.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+using gs::Box3;
+using gs::Decomposition;
+using gs::Index3;
+using gs::bp::Reader;
+using gs::bp::Writer;
+using gs::json::Value;
+
+std::string temp_dataset(const std::string& name) {
+  return (fs::path(testing::TempDir()) / (name + ".bp")).string();
+}
+
+/// Value of the synthetic global field at a global cell: unique per cell
+/// and per step.
+double cell_value(const Index3& g, const Index3& shape, std::int64_t step) {
+  return static_cast<double>(gs::linear_index(g, shape)) +
+         1e6 * static_cast<double>(step);
+}
+
+/// Writes `n_steps` of a global L^3 "U" (and optionally "V") with the
+/// given rank count and aggregation.
+void write_dataset(const std::string& path, int nranks, std::int64_t L,
+                   int n_steps, int ranks_per_node, bool with_v = false) {
+  gs::mpi::run(nranks, [&](gs::mpi::Comm& world) {
+    const Decomposition d = Decomposition::cube(L, world.size());
+    const Box3 box = d.local_box(world.rank());
+    const Index3 shape{L, L, L};
+
+    Writer w(path, world, ranks_per_node);
+    w.define_attribute("Du", Value(0.2));
+    w.define_attribute("Dv", Value(0.1));
+    w.define_attribute("schema", Value("VTX"));
+
+    for (int s = 0; s < n_steps; ++s) {
+      std::vector<double> block(static_cast<std::size_t>(box.volume()));
+      std::size_t n = 0;
+      for (std::int64_t k = box.start.k; k < box.end().k; ++k) {
+        for (std::int64_t j = box.start.j; j < box.end().j; ++j) {
+          for (std::int64_t i = box.start.i; i < box.end().i; ++i) {
+            block[n++] = cell_value({i, j, k}, shape, s);
+          }
+        }
+      }
+      w.begin_step();
+      w.put("U", shape, box, block);
+      if (with_v) {
+        std::vector<double> vblock(block.size());
+        for (std::size_t m = 0; m < block.size(); ++m) {
+          vblock[m] = -block[m];
+        }
+        w.put("V", shape, box, vblock);
+      }
+      w.put_scalar("step", 10 * s);
+      w.end_step();
+    }
+    w.close();
+  });
+}
+
+class BpRoundTrip
+    : public testing::TestWithParam<std::tuple<int, int>> {};  // ranks, rpn
+
+TEST_P(BpRoundTrip, FullReadMatchesAcrossLayouts) {
+  const auto [nranks, rpn] = GetParam();
+  const std::int64_t L = 8;
+  const std::string path = temp_dataset(
+      "rt_" + std::to_string(nranks) + "_" + std::to_string(rpn));
+  write_dataset(path, nranks, L, 2, rpn);
+
+  Reader r(path);
+  EXPECT_EQ(r.n_steps(), 2);
+  const Index3 shape{L, L, L};
+  for (std::int64_t s = 0; s < 2; ++s) {
+    const auto full = r.read_full("U", s);
+    ASSERT_EQ(full.size(), static_cast<std::size_t>(L * L * L));
+    for (std::int64_t k = 0; k < L; ++k) {
+      for (std::int64_t j = 0; j < L; ++j) {
+        for (std::int64_t i = 0; i < L; ++i) {
+          const auto lin = static_cast<std::size_t>(
+              gs::linear_index({i, j, k}, shape));
+          ASSERT_DOUBLE_EQ(full[lin], cell_value({i, j, k}, shape, s))
+              << nranks << " ranks, rpn " << rpn << ", cell " << i << ","
+              << j << "," << k;
+        }
+      }
+    }
+  }
+  fs::remove_all(path);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Layouts, BpRoundTrip,
+    testing::Values(std::make_tuple(1, 1), std::make_tuple(2, 1),
+                    std::make_tuple(4, 2), std::make_tuple(8, 8),
+                    std::make_tuple(8, 4), std::make_tuple(8, 3),
+                    std::make_tuple(6, 2)));
+
+TEST(Bp, SubfilePerNodeLayout) {
+  const std::string path = temp_dataset("subfiles");
+  write_dataset(path, 8, 8, 1, /*ranks_per_node=*/4);
+  // 8 ranks / 4 per node -> exactly 2 subfiles.
+  EXPECT_TRUE(fs::exists(fs::path(path) / "data.0"));
+  EXPECT_TRUE(fs::exists(fs::path(path) / "data.1"));
+  EXPECT_FALSE(fs::exists(fs::path(path) / "data.2"));
+  EXPECT_TRUE(fs::exists(fs::path(path) / "md.idx"));
+  // All payload bytes present: 8^3 doubles + nothing else.
+  const auto bytes = fs::file_size(fs::path(path) / "data.0") +
+                     fs::file_size(fs::path(path) / "data.1");
+  EXPECT_EQ(bytes, 8u * 8u * 8u * sizeof(double));
+  fs::remove_all(path);
+}
+
+TEST(Bp, SelectionReadsOnlyRequestedBox) {
+  const std::int64_t L = 8;
+  const std::string path = temp_dataset("selection");
+  write_dataset(path, 8, L, 1, 4);
+  Reader r(path);
+  const Index3 shape{L, L, L};
+  // A box deliberately straddling the 2x2x2 rank decomposition.
+  const Box3 sel{{2, 3, 1}, {5, 4, 6}};
+  const auto data = r.read("U", 0, sel);
+  ASSERT_EQ(data.size(), static_cast<std::size_t>(sel.volume()));
+  for (std::int64_t k = 0; k < sel.count.k; ++k) {
+    for (std::int64_t j = 0; j < sel.count.j; ++j) {
+      for (std::int64_t i = 0; i < sel.count.i; ++i) {
+        const Index3 g = sel.start + Index3{i, j, k};
+        const auto lin = static_cast<std::size_t>(
+            gs::linear_index({i, j, k}, sel.count));
+        ASSERT_DOUBLE_EQ(data[lin], cell_value(g, shape, 0));
+      }
+    }
+  }
+  fs::remove_all(path);
+}
+
+TEST(Bp, CenterPlaneSliceSelection) {
+  // The analysis workflow's typical read: one 2-D slice (Figure 9).
+  const std::int64_t L = 8;
+  const std::string path = temp_dataset("slice");
+  write_dataset(path, 4, L, 1, 2);
+  Reader r(path);
+  const Box3 slice{{0, 0, L / 2}, {L, L, 1}};
+  const auto data = r.read("U", 0, slice);
+  ASSERT_EQ(data.size(), static_cast<std::size_t>(L * L));
+  const Index3 shape{L, L, L};
+  for (std::int64_t j = 0; j < L; ++j) {
+    for (std::int64_t i = 0; i < L; ++i) {
+      ASSERT_DOUBLE_EQ(data[static_cast<std::size_t>(i + L * j)],
+                       cell_value({i, j, L / 2}, shape, 0));
+    }
+  }
+  fs::remove_all(path);
+}
+
+TEST(Bp, AttributesRoundTrip) {
+  const std::string path = temp_dataset("attrs");
+  write_dataset(path, 2, 8, 1, 2);
+  Reader r(path);
+  EXPECT_DOUBLE_EQ(r.attribute("Du").as_double(), 0.2);
+  EXPECT_DOUBLE_EQ(r.attribute("Dv").as_double(), 0.1);
+  EXPECT_EQ(r.attribute("schema").as_string(), "VTX");
+  const auto names = r.attribute_names();
+  EXPECT_EQ(names.size(), 3u);
+  EXPECT_THROW(r.attribute("nope"), gs::IoError);
+  fs::remove_all(path);
+}
+
+TEST(Bp, ScalarStepSeries) {
+  const std::string path = temp_dataset("scalars");
+  write_dataset(path, 4, 8, 3, 2);
+  Reader r(path);
+  const auto info = r.info("step");
+  EXPECT_EQ(info.type, "int64");
+  EXPECT_EQ(info.steps, 3);
+  EXPECT_EQ(r.read_scalar("step", 0), 0);
+  EXPECT_EQ(r.read_scalar("step", 1), 10);
+  EXPECT_EQ(r.read_scalar("step", 2), 20);
+  EXPECT_THROW(r.read_scalar("step", 3), gs::Error);
+  EXPECT_THROW(r.read_scalar("U", 0), gs::Error);
+  fs::remove_all(path);
+}
+
+TEST(Bp, MinMaxStatistics) {
+  const std::int64_t L = 8;
+  const std::string path = temp_dataset("minmax");
+  write_dataset(path, 8, L, 2, 4, /*with_v=*/true);
+  Reader r(path);
+  const Index3 shape{L, L, L};
+  // U values: lin + 1e6*step; min at step 0 cell 0, max at step 1 last.
+  const auto u = r.info("U");
+  EXPECT_DOUBLE_EQ(u.min, 0.0);
+  EXPECT_DOUBLE_EQ(u.max, cell_value({L - 1, L - 1, L - 1}, shape, 1));
+  const auto v = r.info("V");
+  EXPECT_DOUBLE_EQ(v.max, 0.0);
+  EXPECT_DOUBLE_EQ(v.min, -cell_value({L - 1, L - 1, L - 1}, shape, 1));
+  fs::remove_all(path);
+}
+
+TEST(Bp, BlockMetadataMatchesDecomposition) {
+  const std::int64_t L = 8;
+  const std::string path = temp_dataset("blocks");
+  write_dataset(path, 8, L, 1, 4);
+  Reader r(path);
+  const auto blocks = r.blocks("U", 0);
+  ASSERT_EQ(blocks.size(), 8u);
+  const Decomposition d = Decomposition::cube(L, 8);
+  std::int64_t covered = 0;
+  for (const auto& b : blocks) {
+    EXPECT_EQ(b.box, d.local_box(b.rank));
+    EXPECT_GE(b.subfile, 0);
+    EXPECT_LE(b.subfile, 1);
+    covered += b.box.volume();
+  }
+  EXPECT_EQ(covered, L * L * L);
+  fs::remove_all(path);
+}
+
+TEST(Bp, DumpLooksLikeListing1) {
+  const std::string path = temp_dataset("dump");
+  write_dataset(path, 4, 8, 2, 2, /*with_v=*/true);
+  const std::string text = gs::bp::dump(path);
+  EXPECT_NE(text.find("double   Du       attr   = 0.2"), std::string::npos);
+  EXPECT_NE(text.find("U  2*{8, 8, 8}"), std::string::npos);
+  EXPECT_NE(text.find("Min/Max"), std::string::npos);
+  EXPECT_NE(text.find("int64_t  step  2*scalar = 0 / 10"),
+            std::string::npos);
+  EXPECT_NE(text.find("schema"), std::string::npos);
+  fs::remove_all(path);
+}
+
+TEST(Bp, WriterApiMisuseRejected) {
+  const std::string path = temp_dataset("misuse");
+  gs::mpi::run(1, [&](gs::mpi::Comm& world) {
+    Writer w(path, world, 1);
+    std::vector<double> data(8, 1.0);
+    const Box3 box{{0, 0, 0}, {2, 2, 2}};
+    // put outside a step
+    EXPECT_THROW(w.put("U", {2, 2, 2}, box, data), gs::Error);
+    w.begin_step();
+    EXPECT_THROW(w.begin_step(), gs::Error);  // nested step
+    // wrong data size
+    EXPECT_THROW(w.put("U", {2, 2, 2}, box,
+                       std::span<const double>(data.data(), 4)),
+                 gs::Error);
+    // box outside shape
+    EXPECT_THROW(w.put("U", {2, 2, 2}, Box3{{1, 0, 0}, {2, 2, 2}}, data),
+                 gs::Error);
+    w.put("U", {2, 2, 2}, box, data);
+    // same variable twice in one step
+    EXPECT_THROW(w.put("U", {2, 2, 2}, box, data), gs::Error);
+    // close with open step
+    EXPECT_THROW(w.close(), gs::Error);
+    w.end_step();
+    w.close();
+    // closed writer
+    EXPECT_THROW(w.begin_step(), gs::Error);
+  });
+  fs::remove_all(path);
+}
+
+TEST(Bp, ReaderRejectsMissingOrCorrupt) {
+  EXPECT_THROW(Reader("/nonexistent/path.bp"), gs::IoError);
+  const std::string corrupt = temp_dataset("corrupt");
+  fs::create_directories(corrupt);
+  {
+    std::ofstream bad(fs::path(corrupt) / "md.idx");
+    bad << "{\"format\": \"something-else\"}";
+  }
+  EXPECT_THROW(Reader{corrupt}, gs::Error);
+  fs::remove_all(corrupt);
+}
+
+TEST(Bp, ReaderValidatesSelections) {
+  const std::string path = temp_dataset("badsel");
+  write_dataset(path, 1, 8, 1, 1);
+  Reader r(path);
+  EXPECT_THROW(r.read("U", 0, Box3{{0, 0, 0}, {9, 8, 8}}), gs::Error);
+  EXPECT_THROW(r.read("U", 0, Box3{{0, 0, 0}, {0, 0, 0}}), gs::Error);
+  EXPECT_THROW(r.read("U", 5, Box3{{0, 0, 0}, {8, 8, 8}}), gs::Error);
+  EXPECT_THROW(r.read("missing", 0, Box3{{0, 0, 0}, {1, 1, 1}}), gs::Error);
+  fs::remove_all(path);
+}
+
+TEST(Bp, RewriteTruncatesPreviousDataset) {
+  const std::string path = temp_dataset("trunc");
+  write_dataset(path, 4, 8, 3, 2);
+  write_dataset(path, 2, 8, 1, 1);  // rewrite with different layout
+  Reader r(path);
+  EXPECT_EQ(r.n_steps(), 1);
+  EXPECT_EQ(r.blocks("U", 0).size(), 2u);
+  // Old subfiles from the 2-node layout are gone.
+  EXPECT_FALSE(fs::exists(fs::path(path) / "data.1") &&
+               r.blocks("U", 0).at(0).subfile == 0 &&
+               fs::exists(fs::path(path) / "data.2"));
+  fs::remove_all(path);
+}
+
+TEST(Bp, AppendModeContinuesDataset) {
+  const std::int64_t L = 8;
+  const std::string path = temp_dataset("append");
+  write_dataset(path, 4, L, 2, 2);  // steps 0, 1
+
+  // Append two more steps through a second writer session.
+  gs::mpi::run(4, [&](gs::mpi::Comm& world) {
+    const Decomposition d = Decomposition::cube(L, world.size());
+    const Box3 box = d.local_box(world.rank());
+    const Index3 shape{L, L, L};
+    Writer w(path, world, 2, nullptr, gs::bp::Mode::append);
+    for (int s = 2; s < 4; ++s) {
+      std::vector<double> block(static_cast<std::size_t>(box.volume()));
+      std::size_t n = 0;
+      for (std::int64_t k = box.start.k; k < box.end().k; ++k) {
+        for (std::int64_t j = box.start.j; j < box.end().j; ++j) {
+          for (std::int64_t i = box.start.i; i < box.end().i; ++i) {
+            block[n++] = cell_value({i, j, k}, shape, s);
+          }
+        }
+      }
+      w.begin_step();
+      w.put("U", shape, box, block);
+      w.put_scalar("step", 10 * s);
+      w.end_step();
+    }
+    w.close();
+  });
+
+  Reader r(path);
+  EXPECT_EQ(r.n_steps(), 4);
+  // Old steps intact...
+  EXPECT_EQ(r.read_scalar("step", 1), 10);
+  const Index3 shape{L, L, L};
+  const auto old_step = r.read_full("U", 1);
+  EXPECT_DOUBLE_EQ(old_step[0], cell_value({0, 0, 0}, shape, 1));
+  // ...and appended steps readable.
+  EXPECT_EQ(r.read_scalar("step", 3), 30);
+  const auto new_step = r.read_full("U", 3);
+  EXPECT_DOUBLE_EQ(new_step[5], cell_value({5, 0, 0}, shape, 3));
+  // Attributes survive the append session.
+  EXPECT_DOUBLE_EQ(r.attribute("Du").as_double(), 0.2);
+  fs::remove_all(path);
+}
+
+TEST(Bp, AppendOnMissingDatasetActsAsWrite) {
+  const std::string path = temp_dataset("append_fresh");
+  gs::mpi::run(1, [&](gs::mpi::Comm& world) {
+    Writer w(path, world, 1, nullptr, gs::bp::Mode::append);
+    std::vector<double> data(8, 2.0);
+    w.begin_step();
+    w.put("U", {2, 2, 2}, Box3{{0, 0, 0}, {2, 2, 2}}, data);
+    w.end_step();
+    w.close();
+  });
+  Reader r(path);
+  EXPECT_EQ(r.n_steps(), 1);
+  fs::remove_all(path);
+}
+
+TEST(Bp, BlocksCarryChecksums) {
+  const std::string path = temp_dataset("crc");
+  write_dataset(path, 2, 8, 1, 1);
+  Reader r(path);
+  for (const auto& b : r.blocks("U", 0)) {
+    EXPECT_NE(b.crc, 0u);
+  }
+  fs::remove_all(path);
+}
+
+TEST(Bp, CorruptedSubfileDetectedOnRead) {
+  const std::string path = temp_dataset("corrupt_data");
+  write_dataset(path, 2, 8, 1, 1);
+  // Flip one byte in the middle of a data subfile.
+  {
+    std::fstream f(fs::path(path) / "data.0",
+                   std::ios::binary | std::ios::in | std::ios::out);
+    ASSERT_TRUE(f.good());
+    f.seekg(100);
+    char c;
+    f.read(&c, 1);
+    c = static_cast<char>(c ^ 0x40);
+    f.seekp(100);
+    f.write(&c, 1);
+  }
+  Reader r(path);
+  EXPECT_THROW(r.read_full("U", 0), gs::IoError);
+  fs::remove_all(path);
+}
+
+TEST(Bp, MetadataOnlyQueriesSurviveCorruptData) {
+  // Index-level introspection never touches the payload, so it still
+  // works on a dataset with a corrupt subfile (bpls semantics).
+  const std::string path = temp_dataset("corrupt_meta_ok");
+  write_dataset(path, 2, 8, 1, 1);
+  {
+    std::ofstream f(fs::path(path) / "data.0",
+                    std::ios::binary | std::ios::trunc);
+    f << "garbage";
+  }
+  Reader r(path);
+  EXPECT_EQ(r.info("U").shape, (Index3{8, 8, 8}));
+  EXPECT_NO_THROW(gs::bp::dump(r));
+  fs::remove_all(path);
+}
+
+TEST(Bp, StepIoStatsAccounting) {
+  const std::int64_t L = 8;
+  const std::string path = temp_dataset("stats");
+  gs::mpi::run(4, [&](gs::mpi::Comm& world) {
+    const Decomposition d = Decomposition::cube(L, world.size());
+    const Box3 box = d.local_box(world.rank());
+    std::vector<double> block(static_cast<std::size_t>(box.volume()), 1.0);
+    Writer w(path, world, 2);
+    w.begin_step();
+    w.put("U", {L, L, L}, box, block);
+    const auto stats = w.end_step();
+    EXPECT_EQ(stats.local_bytes, block.size() * sizeof(double));
+    if (w.is_aggregator()) {
+      // Two ranks per node: each aggregator writes 2 blocks.
+      EXPECT_EQ(stats.node_bytes, 2 * block.size() * sizeof(double));
+    } else {
+      EXPECT_EQ(stats.node_bytes, 0u);
+    }
+    EXPECT_GE(stats.seconds, 0.0);
+    w.close();
+  });
+  fs::remove_all(path);
+}
+
+TEST(Bp, FloatStorageRoundTripAndHalvedBytes) {
+  const std::int64_t L = 8;
+  const std::string path = temp_dataset("float");
+  gs::mpi::run(4, [&](gs::mpi::Comm& world) {
+    const Decomposition d = Decomposition::cube(L, world.size());
+    const Box3 box = d.local_box(world.rank());
+    std::vector<float> block(static_cast<std::size_t>(box.volume()));
+    std::size_t n = 0;
+    for (std::int64_t k = box.start.k; k < box.end().k; ++k) {
+      for (std::int64_t j = box.start.j; j < box.end().j; ++j) {
+        for (std::int64_t i = box.start.i; i < box.end().i; ++i) {
+          block[n++] = static_cast<float>(
+              gs::linear_index({i, j, k}, {L, L, L}));
+        }
+      }
+    }
+    Writer w(path, world, 2);
+    w.begin_step();
+    w.put_float("U", {L, L, L}, box, block);
+    w.end_step();
+    w.close();
+  });
+
+  Reader r(path);
+  EXPECT_EQ(r.info("U").type, "float");
+  // Stored bytes: 4 per cell, not 8.
+  std::uint64_t stored = 0;
+  for (const auto& b : r.blocks("U", 0)) stored += b.stored_bytes;
+  EXPECT_EQ(stored, static_cast<std::uint64_t>(L * L * L) * 4);
+  // Values widen back exactly (they are small integers).
+  const auto full = r.read_full("U", 0);
+  for (std::size_t i = 0; i < full.size(); ++i) {
+    ASSERT_DOUBLE_EQ(full[i], static_cast<double>(i));
+  }
+  // min/max stats present.
+  EXPECT_DOUBLE_EQ(r.info("U").min, 0.0);
+  EXPECT_DOUBLE_EQ(r.info("U").max, static_cast<double>(L * L * L - 1));
+  // Dump shows the type.
+  EXPECT_NE(gs::bp::dump(r).find("float"), std::string::npos);
+  fs::remove_all(path);
+}
+
+TEST(Bp, FloatStorageCrcDetectsCorruption) {
+  const std::string path = temp_dataset("float_crc");
+  gs::mpi::run(1, [&](gs::mpi::Comm& world) {
+    std::vector<float> block(64, 1.25f);
+    Writer w(path, world, 1);
+    w.begin_step();
+    w.put_float("U", {4, 4, 4}, Box3{{0, 0, 0}, {4, 4, 4}}, block);
+    w.end_step();
+    w.close();
+  });
+  {
+    std::fstream f(fs::path(path) / "data.0",
+                   std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(17);
+    const char c = 0x7F;
+    f.write(&c, 1);
+  }
+  Reader r(path);
+  EXPECT_THROW(r.read_full("U", 0), gs::IoError);
+  fs::remove_all(path);
+}
+
+TEST(Bp, MixedTypeVariablesInOneStep) {
+  const std::string path = temp_dataset("mixedtype");
+  gs::mpi::run(2, [&](gs::mpi::Comm& world) {
+    const Decomposition d = Decomposition::cube(8, world.size());
+    const Box3 box = d.local_box(world.rank());
+    const auto n = static_cast<std::size_t>(box.volume());
+    std::vector<double> dbl(n, 0.5);
+    std::vector<float> flt(n, 0.25f);
+    Writer w(path, world, 1);
+    w.begin_step();
+    w.put("U", {8, 8, 8}, box, dbl);
+    w.put_float("V", {8, 8, 8}, box, flt);
+    w.end_step();
+    w.close();
+  });
+  Reader r(path);
+  EXPECT_EQ(r.info("U").type, "double");
+  EXPECT_EQ(r.info("V").type, "float");
+  for (const double v : r.read_full("U", 0)) ASSERT_DOUBLE_EQ(v, 0.5);
+  for (const double v : r.read_full("V", 0)) ASSERT_DOUBLE_EQ(v, 0.25);
+  fs::remove_all(path);
+}
+
+TEST(Bp, TypeRedeclarationRejected) {
+  const std::string path = temp_dataset("retype");
+  gs::mpi::run(1, [&](gs::mpi::Comm& world) {
+    std::vector<double> dbl(64, 1.0);
+    std::vector<float> flt(64, 1.0f);
+    Writer w(path, world, 1);
+    const Box3 box{{0, 0, 0}, {4, 4, 4}};
+    w.begin_step();
+    w.put("U", {4, 4, 4}, box, dbl);
+    w.end_step();
+    w.begin_step();
+    w.put_float("U", {4, 4, 4}, box, flt);
+    EXPECT_THROW(w.end_step(), gs::Error);
+  });
+  fs::remove_all(path);
+}
+
+TEST(Bp, BlockLevelRead) {
+  const std::int64_t L = 8;
+  const std::string path = temp_dataset("blockread");
+  write_dataset(path, 4, L, 1, 2);
+  Reader r(path);
+  const auto blks = r.blocks("U", 0);
+  const Index3 shape{L, L, L};
+  for (std::size_t b = 0; b < blks.size(); ++b) {
+    const auto data = r.read_block("U", 0, b);
+    ASSERT_EQ(data.size(), static_cast<std::size_t>(blks[b].box.volume()));
+    // First value of the block is the cell at its start corner.
+    EXPECT_DOUBLE_EQ(data[0], cell_value(blks[b].box.start, shape, 0));
+  }
+  EXPECT_THROW(r.read_block("U", 0, blks.size()), gs::Error);
+  fs::remove_all(path);
+}
+
+TEST(Bp, UnevenBlocksAcrossRanks) {
+  // L=7 over 2 ranks: blocks 4 and 3 wide.
+  const std::int64_t L = 7;
+  const std::string path = temp_dataset("uneven");
+  write_dataset(path, 2, L, 1, 2);
+  Reader r(path);
+  const auto full = r.read_full("U", 0);
+  const Index3 shape{L, L, L};
+  for (std::int64_t k = 0; k < L; ++k) {
+    for (std::int64_t j = 0; j < L; ++j) {
+      for (std::int64_t i = 0; i < L; ++i) {
+        const auto lin = static_cast<std::size_t>(
+            gs::linear_index({i, j, k}, shape));
+        ASSERT_DOUBLE_EQ(full[lin], cell_value({i, j, k}, shape, 0));
+      }
+    }
+  }
+  fs::remove_all(path);
+}
+
+}  // namespace

@@ -1,0 +1,461 @@
+// Tests for the simulated GPU: occupancy model, cache simulator,
+// buffers/copies, launch semantics, JIT warm-up, profiler plumbing.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/kernels.h"
+#include "gpu/cache_sim.h"
+#include "gpu/device.h"
+#include "gpu/device_props.h"
+
+namespace {
+
+using gs::Box3;
+using gs::Index3;
+using gs::gpu::BackendProfile;
+using gs::gpu::CacheSim;
+using gs::gpu::compute_occupancy;
+using gs::gpu::Device;
+using gs::gpu::DeviceProps;
+using gs::gpu::KernelInfo;
+
+// ----------------------------------------------------------- occupancy
+
+TEST(Occupancy, HipBackendRunsAtFullOccupancy) {
+  const DeviceProps dev;
+  const auto occ = compute_occupancy(dev, gs::gpu::hip_backend());
+  // wgr 256 -> 4 waves/wg; no LDS limit; 32/4 = 8 workgroups -> 32 waves.
+  EXPECT_EQ(occ.waves_per_workgroup, 4u);
+  EXPECT_EQ(occ.workgroups_per_cu, 8u);
+  EXPECT_DOUBLE_EQ(occ.fraction, 1.0);
+}
+
+TEST(Occupancy, JuliaBackendIsLdsLimitedToHalf) {
+  const DeviceProps dev;
+  const auto occ = compute_occupancy(dev, gs::gpu::julia_amdgpu_backend());
+  // wgr 512 -> 8 waves/wg; LDS 29184 -> floor(65536/29184) = 2 workgroups
+  // -> 16 of 32 waves = 50%: the paper's ~2x bandwidth gap.
+  EXPECT_EQ(occ.waves_per_workgroup, 8u);
+  EXPECT_EQ(occ.workgroups_per_cu, 2u);
+  EXPECT_DOUBLE_EQ(occ.fraction, 0.5);
+}
+
+TEST(Occupancy, OversizedLdsRejected) {
+  const DeviceProps dev;
+  BackendProfile b = gs::gpu::julia_amdgpu_backend();
+  b.lds_per_workgroup = 100000;  // > 64 KiB per CU
+  EXPECT_THROW(compute_occupancy(dev, b), gs::Error);
+}
+
+TEST(Bandwidth, HipMatchesPaperTable2) {
+  const DeviceProps dev;
+  const double bw =
+      gs::gpu::achieved_bandwidth(dev, gs::gpu::hip_backend(), false);
+  // Table 2: HIP total bandwidth 1,163 GB/s.
+  EXPECT_NEAR(bw / 1e9, 1163.0, 5.0);
+}
+
+TEST(Bandwidth, JuliaIsAboutHalfOfHip) {
+  const DeviceProps dev;
+  const double hip =
+      gs::gpu::achieved_bandwidth(dev, gs::gpu::hip_backend(), false);
+  const double julia = gs::gpu::achieved_bandwidth(
+      dev, gs::gpu::julia_amdgpu_backend(), false);
+  EXPECT_NEAR(julia / hip, 0.5, 0.02);
+}
+
+TEST(Bandwidth, RngPenaltyOnlyWithRng) {
+  const DeviceProps dev;
+  const auto b = gs::gpu::julia_amdgpu_backend();
+  const double no_rng = gs::gpu::achieved_bandwidth(dev, b, false);
+  const double rng = gs::gpu::achieved_bandwidth(dev, b, true);
+  EXPECT_LT(rng, no_rng);
+  EXPECT_NEAR(rng / no_rng, b.rng_bandwidth_penalty, 1e-12);
+}
+
+// ------------------------------------------------------------ cache sim
+
+TEST(CacheSim, ColdMissesThenHits) {
+  CacheSim c(64 * 1024, 64, 16);
+  std::vector<double> data(64);
+  const auto addr = reinterpret_cast<std::uintptr_t>(data.data());
+  c.read(addr, 8);
+  EXPECT_EQ(c.counters().tcc_misses, 1u);
+  EXPECT_EQ(c.counters().fetch_bytes, 64u);
+  c.read(addr, 8);
+  c.read(addr + 8, 8);  // same line
+  EXPECT_EQ(c.counters().tcc_hits, 2u);
+  EXPECT_EQ(c.counters().tcc_misses, 1u);
+}
+
+TEST(CacheSim, StraddlingAccessTouchesTwoLines) {
+  CacheSim c(64 * 1024, 64, 16);
+  c.read(60, 8);  // crosses the 64-byte boundary
+  EXPECT_EQ(c.counters().tcc_misses, 2u);
+  EXPECT_EQ(c.counters().fetch_bytes, 128u);
+}
+
+TEST(CacheSim, LruEvictionWithinSet) {
+  // Direct-mapped-ish: 1 way, 2 sets, line 64 -> capacity 128.
+  CacheSim c(128, 64, 1);
+  c.read(0, 8);     // set 0
+  c.read(128, 8);   // set 0, evicts line 0
+  c.read(0, 8);     // miss again
+  EXPECT_EQ(c.counters().tcc_misses, 3u);
+  EXPECT_EQ(c.counters().tcc_hits, 0u);
+}
+
+TEST(CacheSim, AssociativityPreventsConflict) {
+  // 2 ways, 1 set: both conflicting lines fit.
+  CacheSim c(128, 64, 2);
+  c.read(0, 8);
+  c.read(128, 8);
+  c.read(0, 8);
+  c.read(128, 8);
+  EXPECT_EQ(c.counters().tcc_misses, 2u);
+  EXPECT_EQ(c.counters().tcc_hits, 2u);
+}
+
+TEST(CacheSim, DirtyEvictionWritesBack) {
+  CacheSim c(128, 64, 1);
+  c.write(0, 8);    // dirty line in set 0
+  EXPECT_EQ(c.counters().write_bytes, 0u);
+  c.read(128, 8);   // evicts dirty line -> writeback
+  EXPECT_EQ(c.counters().write_bytes, 64u);
+}
+
+TEST(CacheSim, FlushWritesBackAllDirty) {
+  CacheSim c(64 * 1024, 64, 16);
+  std::vector<double> data(32);  // 256 B -> 4 lines
+  const auto addr = reinterpret_cast<std::uintptr_t>(data.data());
+  for (int i = 0; i < 32; ++i) {
+    c.write(addr + static_cast<std::uintptr_t>(i) * 8, 8);
+  }
+  c.flush();
+  // All four (or five, if the allocation straddles) dirty lines written.
+  EXPECT_GE(c.counters().write_bytes, 4u * 64u);
+  EXPECT_LE(c.counters().write_bytes, 5u * 64u);
+  // After flush the cache is cold again.
+  const auto misses_before = c.counters().tcc_misses;
+  c.read(addr, 8);
+  EXPECT_EQ(c.counters().tcc_misses, misses_before + 1);
+}
+
+TEST(CacheSim, InvalidGeometryRejected) {
+  EXPECT_THROW(CacheSim(100, 64, 16), gs::Error);      // not divisible
+  EXPECT_THROW(CacheSim(64 * 2 * 3, 64, 2), gs::Error);  // 3 sets: not pow2
+  EXPECT_THROW(CacheSim(0, 64, 16), gs::Error);
+  EXPECT_THROW(CacheSim(1024, 48, 4), gs::Error);      // line not pow2
+}
+
+// The experiment behind Table 2's effective-vs-total gap: a 7-point
+// stencil sweep fetches each cell ~3x when three k-planes exceed the
+// cache, ~1x when they fit.
+TEST(CacheSim, StencilFetchAmplificationDependsOnPlaneFit) {
+  const Index3 ext{48, 48, 12};
+  std::vector<double> grid(static_cast<std::size_t>(ext.volume()));
+  const auto base = reinterpret_cast<std::uintptr_t>(grid.data());
+  const auto addr = [&](std::int64_t i, std::int64_t j, std::int64_t k) {
+    return base + static_cast<std::uintptr_t>(
+                      gs::linear_index({i, j, k}, ext) * 8);
+  };
+
+  auto sweep = [&](CacheSim& c) {
+    for (std::int64_t k = 1; k < ext.k - 1; ++k) {
+      for (std::int64_t j = 1; j < ext.j - 1; ++j) {
+        for (std::int64_t i = 1; i < ext.i - 1; ++i) {
+          c.read(addr(i - 1, j, k), 8);
+          c.read(addr(i + 1, j, k), 8);
+          c.read(addr(i, j - 1, k), 8);
+          c.read(addr(i, j + 1, k), 8);
+          c.read(addr(i, j, k - 1), 8);
+          c.read(addr(i, j, k + 1), 8);
+          c.read(addr(i, j, k), 8);
+        }
+      }
+    }
+    c.flush();
+  };
+
+  const double minimal =
+      static_cast<double>(ext.volume()) * 8.0;  // each cell once
+
+  // Small cache: one k-plane is 48*48*8 = 18,432 B > 16 KiB cache.
+  CacheSim small(16 * 1024, 64, 16);
+  sweep(small);
+  const double amp_small =
+      static_cast<double>(small.counters().fetch_bytes) / minimal;
+  EXPECT_GT(amp_small, 2.0);
+  EXPECT_LT(amp_small, 3.6);
+
+  // Large cache: whole grid fits (48*48*12*8 = 216 KiB < 1 MiB).
+  CacheSim large(1024 * 1024, 64, 16);
+  sweep(large);
+  const double amp_large =
+      static_cast<double>(large.counters().fetch_bytes) / minimal;
+  EXPECT_LT(amp_large, 1.2);
+}
+
+// ---------------------------------------------------------------- device
+
+TEST(Device, AllocAccountingAndOom) {
+  DeviceProps props;
+  props.memory_bytes = 1024;  // 128 doubles
+  Device dev(props);
+  auto b1 = dev.alloc(64, "a");
+  EXPECT_EQ(dev.allocated_bytes(), 512u);
+  {
+    auto b2 = dev.alloc(64, "b");
+    EXPECT_EQ(dev.allocated_bytes(), 1024u);
+    EXPECT_THROW(dev.alloc(1, "c"), gs::Error);
+  }
+  // b2 freed on scope exit.
+  EXPECT_EQ(dev.allocated_bytes(), 512u);
+  auto b3 = dev.alloc(64, "c");
+  EXPECT_EQ(dev.allocated_bytes(), 1024u);
+}
+
+TEST(Device, MemcpyRoundTripAndClockAdvance) {
+  Device dev;
+  auto buf = dev.alloc(1000, "x");
+  std::vector<double> src(1000);
+  std::iota(src.begin(), src.end(), 0.0);
+  const double t0 = dev.clock().now();
+  dev.memcpy_h2d(buf, src);
+  EXPECT_GT(dev.clock().now(), t0);
+  std::vector<double> dst(1000, -1.0);
+  dev.memcpy_d2h(dst, buf);
+  EXPECT_EQ(dst, src);
+  // 8000 B at 36 GB/s plus 10 us latency each way.
+  const double expected = 2 * (10e-6 + 8000.0 / 36e9);
+  EXPECT_NEAR(dev.clock().now() - t0, expected, 1e-9);
+}
+
+TEST(Device, MemcpyBoundsChecked) {
+  Device dev;
+  auto buf = dev.alloc(10, "x");
+  std::vector<double> big(11);
+  EXPECT_THROW(dev.memcpy_h2d(buf, big), gs::Error);
+  std::vector<double> out(5);
+  EXPECT_THROW(dev.memcpy_d2h(out, buf, 6), gs::Error);
+  EXPECT_NO_THROW(dev.memcpy_d2h(out, buf, 5));
+}
+
+TEST(Device, BoxCopiesMoveOnlyTheBox) {
+  Device dev;
+  const Index3 ext{4, 4, 4};
+  auto buf = dev.alloc(64, "f");
+  std::vector<double> host(64, 0.0);
+  // Fill device with known pattern via full h2d.
+  std::vector<double> pattern(64);
+  std::iota(pattern.begin(), pattern.end(), 100.0);
+  dev.memcpy_h2d(buf, pattern);
+
+  const Box3 box{{1, 1, 1}, {2, 2, 2}};
+  dev.memcpy_d2h_box(host, buf, ext, box);
+  for (std::int64_t k = 0; k < 4; ++k) {
+    for (std::int64_t j = 0; j < 4; ++j) {
+      for (std::int64_t i = 0; i < 4; ++i) {
+        const auto lin = static_cast<std::size_t>(
+            gs::linear_index({i, j, k}, ext));
+        if (box.contains({i, j, k})) {
+          EXPECT_DOUBLE_EQ(host[lin], pattern[lin]);
+        } else {
+          EXPECT_DOUBLE_EQ(host[lin], 0.0);
+        }
+      }
+    }
+  }
+
+  // And back: modify host box, upload, read device.
+  for (auto& v : host) v += 1000.0;
+  dev.memcpy_h2d_box(buf, host, ext, box);
+  std::vector<double> out(64);
+  dev.memcpy_d2h(out, buf);
+  for (std::int64_t k = 0; k < 4; ++k) {
+    for (std::int64_t j = 0; j < 4; ++j) {
+      for (std::int64_t i = 0; i < 4; ++i) {
+        const auto lin = static_cast<std::size_t>(
+            gs::linear_index({i, j, k}, ext));
+        if (box.contains({i, j, k})) {
+          EXPECT_DOUBLE_EQ(out[lin], pattern[lin] + 1000.0);
+        } else {
+          EXPECT_DOUBLE_EQ(out[lin], pattern[lin]);
+        }
+      }
+    }
+  }
+}
+
+TEST(Device, LaunchCoversAllItemsOnce) {
+  Device dev;
+  const Index3 items{10, 7, 5};
+  auto buf = dev.alloc(static_cast<std::size_t>(items.volume()), "c");
+  auto view = dev.view(buf, items);
+  KernelInfo info;
+  info.name = "count";
+  dev.launch(info, gs::gpu::hip_backend(), items, [&](const Index3& idx) {
+    view.store(idx.i, idx.j, idx.k,
+               view.load(idx.i, idx.j, idx.k) + 1.0);
+  });
+  std::vector<double> out(static_cast<std::size_t>(items.volume()));
+  dev.memcpy_d2h(out, buf);
+  for (const double v : out) {
+    EXPECT_DOUBLE_EQ(v, 1.0);
+  }
+}
+
+TEST(Device, LaunchAdvancesClockProportionallyToWork) {
+  Device dev;
+  KernelInfo info;
+  info.name = "k";
+  info.est_bytes_per_item = 64.0;
+  auto run = [&](std::int64_t n) {
+    const double t0 = dev.clock().now();
+    dev.launch(info, gs::gpu::hip_backend(), {n, 1, 1},
+               [](const Index3&) {});
+    return dev.clock().now() - t0;
+  };
+  const double t_small = run(1000);
+  const double t_big = run(100000);
+  EXPECT_GT(t_big, t_small);
+}
+
+TEST(Device, JitPaidOnceForJuliaBackendOnly) {
+  gs::prof::Profiler prof;
+  Device dev(DeviceProps{}, 1, &prof);
+  KernelInfo info;
+  info.name = "stencil";
+  const auto julia = gs::gpu::julia_amdgpu_backend();
+
+  const auto r1 = dev.launch(info, julia, {8, 8, 8}, [](const Index3&) {});
+  EXPECT_GT(r1.jit_time, 0.0);
+  // Calibrated around 1.28 s mean: generous bounds.
+  EXPECT_GT(r1.jit_time, 0.3);
+  EXPECT_LT(r1.jit_time, 5.0);
+
+  const auto r2 = dev.launch(info, julia, {8, 8, 8}, [](const Index3&) {});
+  EXPECT_DOUBLE_EQ(r2.jit_time, 0.0);
+
+  // A different kernel symbol pays its own compile.
+  KernelInfo other;
+  other.name = "stencil_1var";
+  const auto r3 = dev.launch(other, julia, {8, 8, 8}, [](const Index3&) {});
+  EXPECT_GT(r3.jit_time, 0.0);
+
+  // HIP never JITs.
+  const auto r4 = dev.launch(info, gs::gpu::hip_backend(), {8, 8, 8},
+                             [](const Index3&) {});
+  EXPECT_DOUBLE_EQ(r4.jit_time, 0.0);
+
+  // Profiler saw exactly two jit spans.
+  int jit_spans = 0;
+  for (const auto& s : prof.spans()) {
+    if (s.kind == gs::prof::SpanKind::jit_compile) ++jit_spans;
+  }
+  EXPECT_EQ(jit_spans, 2);
+}
+
+TEST(Device, CacheSimProducesCountersInLaunch) {
+  Device dev;
+  dev.set_cache_sim_enabled(true);
+  const Index3 items{16, 16, 16};
+  auto buf = dev.alloc(static_cast<std::size_t>(items.volume()), "g");
+  auto view = dev.view(buf, items);
+  KernelInfo info;
+  info.name = "touch";
+  const auto r = dev.launch(info, gs::gpu::hip_backend(), items,
+                            [&](const Index3& idx) {
+                              view.store(idx.i, idx.j, idx.k, 1.0);
+                            });
+  // Store-only kernel: no read-for-ownership fetches, only writebacks.
+  EXPECT_EQ(r.counters.fetch_bytes, 0u);
+  EXPECT_GT(r.counters.write_bytes, 0u);   // end-of-kernel flush
+  EXPECT_EQ(r.counters.stores, static_cast<std::uint64_t>(items.volume()));
+  // All 4096 cells * 8 B written back, line-rounded.
+  EXPECT_NEAR(static_cast<double>(r.counters.write_bytes),
+              static_cast<double>(items.volume()) * 8.0,
+              static_cast<double>(items.volume()) * 8.0 * 0.1);
+}
+
+TEST(Device, DurationScalesInverselyWithOccupancy) {
+  // Same traffic, julia backend (50% occupancy) should take ~2x longer
+  // than hip (100%).
+  Device dev;
+  KernelInfo info;
+  info.name = "k";
+  info.est_bytes_per_item = 64.0;
+  info.flops_per_item = 1.0;  // stay memory-bound
+  const auto rh = dev.launch(info, gs::gpu::hip_backend(), {4096, 1, 1},
+                             [](const Index3&) {});
+  const auto rj = dev.launch(info, gs::gpu::julia_amdgpu_backend(),
+                             {4096, 1, 1}, [](const Index3&) {});
+  // Subtract launch overhead before comparing.
+  const double oh = dev.props().launch_overhead;
+  EXPECT_NEAR((rj.duration - oh) / (rh.duration - oh), 2.0, 0.1);
+}
+
+TEST(Device, PeerTransferAdvancesClockAtFabricRate) {
+  gs::prof::Profiler prof;
+  Device dev(DeviceProps{}, 1, &prof);
+  const double t0 = dev.clock().now();
+  dev.peer_transfer(50'000'000'000ull, "halo");  // 1 s at 50 GB/s
+  EXPECT_NEAR(dev.clock().now() - t0, 1.0 + dev.props().peer_latency,
+              1e-9);
+  ASSERT_EQ(prof.spans().size(), 1u);
+  EXPECT_EQ(prof.spans()[0].name, "peer:halo");
+}
+
+TEST(Device, PrecompileReplacesJit) {
+  Device dev;
+  KernelInfo info;
+  info.name = "k";
+  const auto julia = gs::gpu::julia_amdgpu_backend();
+  const double load = dev.precompile(info, julia);
+  // Image load: a small fraction of the 1.28 s JIT mean.
+  EXPECT_NEAR(load, 0.05 * julia.jit_compile_mean, 1e-12);
+  // Second precompile is a no-op; subsequent launch pays nothing.
+  EXPECT_DOUBLE_EQ(dev.precompile(info, julia), 0.0);
+  const auto r = dev.launch(info, julia, {8, 8, 8}, [](const Index3&) {});
+  EXPECT_DOUBLE_EQ(r.jit_time, 0.0);
+  // AOT on a non-JIT backend is free.
+  EXPECT_DOUBLE_EQ(dev.precompile(info, gs::gpu::hip_backend()), 0.0);
+}
+
+TEST(Device, CacheTogglePreservesFunctionalResults) {
+  // Same kernel, cache sim on and off: identical numerics, different
+  // counters.
+  auto run = [](bool cache_on) {
+    Device dev;
+    dev.set_cache_sim_enabled(cache_on);
+    const Index3 items{8, 8, 8};
+    auto buf = dev.alloc(512, "f");
+    auto view = dev.view(buf, items);
+    KernelInfo info;
+    info.name = "fill";
+    dev.launch(info, gs::gpu::hip_backend(), items,
+               [&](const Index3& idx) {
+                 view.store(idx.i, idx.j, idx.k,
+                            static_cast<double>(
+                                gs::linear_index(idx, items)));
+               });
+    std::vector<double> out(512);
+    dev.memcpy_d2h(out, buf);
+    return out;
+  };
+  EXPECT_EQ(run(true), run(false));
+}
+
+TEST(Device, WorkgroupMetadataInCounters) {
+  Device dev;
+  KernelInfo info;
+  info.name = "k";
+  const auto r = dev.launch(info, gs::gpu::julia_amdgpu_backend(),
+                            {16, 1, 1}, [](const Index3&) {});
+  EXPECT_EQ(r.counters.workgroup_size, 512u);
+  EXPECT_EQ(r.counters.lds_bytes, 29184u);
+  EXPECT_EQ(r.counters.scratch_bytes, 8192u);
+}
+
+}  // namespace

@@ -1,0 +1,334 @@
+// Tests for src/grid: index math, boxes, decomposition properties,
+// ghost-cell fields, face descriptors, pack/unpack inverses.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "grid/box.h"
+#include "grid/decomp.h"
+#include "grid/field.h"
+#include "grid/halo.h"
+
+namespace {
+
+using gs::balanced_dims;
+using gs::Box3;
+using gs::Decomposition;
+using gs::Face;
+using gs::Field3;
+using gs::Index3;
+
+// ---------------------------------------------------------------- box
+
+TEST(Index3, LinearIndexIsColumnMajor) {
+  const Index3 extent{4, 3, 2};
+  // i fastest: (1,0,0) -> 1; (0,1,0) -> 4; (0,0,1) -> 12.
+  EXPECT_EQ(gs::linear_index({1, 0, 0}, extent), 1);
+  EXPECT_EQ(gs::linear_index({0, 1, 0}, extent), 4);
+  EXPECT_EQ(gs::linear_index({0, 0, 1}, extent), 12);
+  EXPECT_EQ(gs::linear_index({3, 2, 1}, extent), 23);
+}
+
+TEST(Index3, DelinearizeInvertsLinearIndex) {
+  const Index3 extent{5, 7, 3};
+  for (std::int64_t lin = 0; lin < extent.volume(); ++lin) {
+    EXPECT_EQ(gs::linear_index(gs::delinearize(lin, extent), extent), lin);
+  }
+}
+
+TEST(Box3, ContainsAndVolume) {
+  const Box3 b{{1, 2, 3}, {4, 5, 6}};
+  EXPECT_EQ(b.volume(), 120);
+  EXPECT_TRUE(b.contains({1, 2, 3}));
+  EXPECT_TRUE(b.contains({4, 6, 8}));
+  EXPECT_FALSE(b.contains({5, 2, 3}));
+  EXPECT_FALSE(b.contains({0, 2, 3}));
+  EXPECT_EQ(b.end(), (Index3{5, 7, 9}));
+}
+
+TEST(Box3, IntersectOverlapping) {
+  const Box3 a{{0, 0, 0}, {10, 10, 10}};
+  const Box3 b{{5, 5, 5}, {10, 10, 10}};
+  const Box3 c = a.intersect(b);
+  EXPECT_EQ(c.start, (Index3{5, 5, 5}));
+  EXPECT_EQ(c.count, (Index3{5, 5, 5}));
+  // Intersection is commutative.
+  EXPECT_EQ(b.intersect(a), c);
+}
+
+TEST(Box3, IntersectDisjointIsEmpty) {
+  const Box3 a{{0, 0, 0}, {2, 2, 2}};
+  const Box3 b{{5, 0, 0}, {2, 2, 2}};
+  EXPECT_TRUE(a.intersect(b).empty());
+  EXPECT_EQ(a.intersect(b).volume(), 0);
+}
+
+TEST(Box3, IntersectTouchingFacesIsEmpty) {
+  const Box3 a{{0, 0, 0}, {2, 2, 2}};
+  const Box3 b{{2, 0, 0}, {2, 2, 2}};  // shares the x=2 plane only
+  EXPECT_TRUE(a.intersect(b).empty());
+}
+
+// -------------------------------------------------------------- decomp
+
+TEST(BalancedDims, ExactCubes) {
+  EXPECT_EQ(balanced_dims(1), (Index3{1, 1, 1}));
+  EXPECT_EQ(balanced_dims(8), (Index3{2, 2, 2}));
+  EXPECT_EQ(balanced_dims(64), (Index3{4, 4, 4}));
+  EXPECT_EQ(balanced_dims(512), (Index3{8, 8, 8}));
+  EXPECT_EQ(balanced_dims(4096), (Index3{16, 16, 16}));
+  EXPECT_EQ(balanced_dims(32768), (Index3{32, 32, 32}));
+}
+
+TEST(BalancedDims, ProductAlwaysMatches) {
+  for (std::int64_t n = 1; n <= 200; ++n) {
+    const Index3 d = balanced_dims(n);
+    EXPECT_EQ(d.volume(), n) << "n=" << n;
+    EXPECT_GE(d.i, d.j);
+    EXPECT_GE(d.j, d.k);
+  }
+}
+
+TEST(BalancedDims, PrimesDegradeGracefully) {
+  EXPECT_EQ(balanced_dims(7), (Index3{7, 1, 1}));
+  EXPECT_EQ(balanced_dims(6), (Index3{3, 2, 1}));
+  EXPECT_EQ(balanced_dims(12), (Index3{3, 2, 2}));
+}
+
+// Property: a decomposition covers the global box exactly once.
+class DecompositionCoverage : public testing::TestWithParam<std::int64_t> {};
+
+TEST_P(DecompositionCoverage, BoxesPartitionTheGlobalGrid) {
+  const std::int64_t nranks = GetParam();
+  const std::int64_t L = 12;
+  const Decomposition d = Decomposition::cube(L, nranks);
+
+  std::int64_t total = 0;
+  std::set<std::int64_t> seen;  // linearized global cells
+  for (std::int64_t r = 0; r < nranks; ++r) {
+    const Box3 b = d.local_box(r);
+    EXPECT_FALSE(b.empty());
+    total += b.volume();
+    for (std::int64_t k = b.start.k; k < b.end().k; ++k) {
+      for (std::int64_t j = b.start.j; j < b.end().j; ++j) {
+        for (std::int64_t i = b.start.i; i < b.end().i; ++i) {
+          const auto lin = gs::linear_index({i, j, k}, {L, L, L});
+          EXPECT_TRUE(seen.insert(lin).second)
+              << "cell (" << i << "," << j << "," << k << ") owned twice";
+        }
+      }
+    }
+  }
+  EXPECT_EQ(total, L * L * L);
+  EXPECT_EQ(static_cast<std::int64_t>(seen.size()), L * L * L);
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, DecompositionCoverage,
+                         testing::Values<std::int64_t>(1, 2, 3, 4, 5, 6, 7, 8,
+                                                       12, 27, 64));
+
+TEST(Decomposition, BlockSizesDifferByAtMostOne) {
+  // 13 cells over 4 procs per axis: blocks of 4,3,3,3.
+  const Decomposition d({13, 13, 13}, {4, 4, 4});
+  std::int64_t mn = 1 << 30, mx = 0;
+  for (std::int64_t r = 0; r < d.nranks(); ++r) {
+    const Box3 b = d.local_box(r);
+    for (int a = 0; a < 3; ++a) {
+      mn = std::min(mn, b.count[a]);
+      mx = std::max(mx, b.count[a]);
+    }
+  }
+  EXPECT_EQ(mn, 3);
+  EXPECT_EQ(mx, 4);
+}
+
+TEST(Decomposition, RankCoordsRoundTrip) {
+  const Decomposition d({16, 16, 16}, {4, 2, 2});
+  for (std::int64_t r = 0; r < d.nranks(); ++r) {
+    EXPECT_EQ(d.coords_to_rank(d.rank_to_coords(r)), r);
+  }
+}
+
+TEST(Decomposition, NeighborsAreMutual) {
+  const Decomposition d({16, 16, 16}, {2, 2, 2});
+  for (std::int64_t r = 0; r < d.nranks(); ++r) {
+    for (int axis = 0; axis < 3; ++axis) {
+      for (const int dir : {-1, +1}) {
+        const std::int64_t n = d.neighbor(r, axis, dir);
+        if (n >= 0) {
+          EXPECT_EQ(d.neighbor(n, axis, -dir), r);
+        }
+      }
+    }
+  }
+}
+
+TEST(Decomposition, NonPeriodicBoundaryHasNoNeighbor) {
+  const Decomposition d({8, 8, 8}, {2, 1, 1});
+  EXPECT_EQ(d.neighbor(0, 0, -1), -1);
+  EXPECT_EQ(d.neighbor(1, 0, +1), -1);
+  EXPECT_EQ(d.neighbor(0, 0, +1), 1);
+}
+
+TEST(Decomposition, PeriodicWrapsAround) {
+  const Decomposition d({8, 8, 8}, {2, 1, 1});
+  EXPECT_EQ(d.neighbor(0, 0, -1, /*periodic=*/true), 1);
+  EXPECT_EQ(d.neighbor(1, 0, +1, /*periodic=*/true), 0);
+}
+
+TEST(Decomposition, TooSmallGlobalRejected) {
+  EXPECT_THROW(Decomposition({2, 8, 8}, {4, 1, 1}), gs::Error);
+}
+
+// --------------------------------------------------------------- field
+
+TEST(Field3, AllocatesGhostLayer) {
+  const Field3 f({4, 5, 6});
+  EXPECT_EQ(f.interior(), (Index3{4, 5, 6}));
+  EXPECT_EQ(f.alloc_extent(), (Index3{6, 7, 8}));
+  EXPECT_EQ(f.data().size(), 6u * 7u * 8u);
+}
+
+TEST(Field3, FillInteriorLeavesGhostsAlone) {
+  Field3 f({3, 3, 3}, 9.0);
+  f.fill_interior(1.0);
+  EXPECT_DOUBLE_EQ(f.at(0, 0, 0), 9.0);   // ghost corner
+  EXPECT_DOUBLE_EQ(f.at(1, 1, 1), 1.0);   // interior corner
+  EXPECT_DOUBLE_EQ(f.at(3, 3, 3), 1.0);
+  EXPECT_DOUBLE_EQ(f.at(4, 2, 2), 9.0);   // ghost face
+  EXPECT_DOUBLE_EQ(f.interior_sum(), 27.0);
+}
+
+TEST(Field3, InteriorCopyAssignRoundTrip) {
+  Field3 f({3, 4, 2});
+  int v = 0;
+  for (std::int64_t k = 1; k <= 2; ++k) {
+    for (std::int64_t j = 1; j <= 4; ++j) {
+      for (std::int64_t i = 1; i <= 3; ++i) {
+        f.at(i, j, k) = ++v;
+      }
+    }
+  }
+  const auto copy = f.interior_copy();
+  ASSERT_EQ(copy.size(), 24u);
+  // Column-major: first run over i.
+  EXPECT_DOUBLE_EQ(copy[0], 1.0);
+  EXPECT_DOUBLE_EQ(copy[1], 2.0);
+  EXPECT_DOUBLE_EQ(copy[3], 4.0);  // j advanced
+
+  Field3 g({3, 4, 2});
+  g.interior_assign(copy);
+  for (std::int64_t k = 1; k <= 2; ++k) {
+    for (std::int64_t j = 1; j <= 4; ++j) {
+      for (std::int64_t i = 1; i <= 3; ++i) {
+        EXPECT_DOUBLE_EQ(g.at(i, j, k), f.at(i, j, k));
+      }
+    }
+  }
+}
+
+TEST(Field3, MinMaxSum) {
+  Field3 f({2, 2, 2});
+  f.fill(100.0);  // ghosts too — must not leak into interior stats
+  f.fill_interior(2.0);
+  f.at(1, 1, 1) = -3.0;
+  f.at(2, 2, 2) = 7.0;
+  EXPECT_DOUBLE_EQ(f.interior_min(), -3.0);
+  EXPECT_DOUBLE_EQ(f.interior_max(), 7.0);
+  EXPECT_DOUBLE_EQ(f.interior_sum(), 2.0 * 6 - 3.0 + 7.0);
+}
+
+TEST(Field3, CheckedAtThrowsOutOfBounds) {
+  Field3 f({2, 2, 2});
+  EXPECT_NO_THROW(f.checked_at(0, 0, 0));
+  EXPECT_NO_THROW(f.checked_at(3, 3, 3));
+  EXPECT_THROW(f.checked_at(4, 0, 0), gs::Error);
+  EXPECT_THROW(f.checked_at(-1, 0, 0), gs::Error);
+}
+
+TEST(Field3, ZeroExtentRejected) {
+  EXPECT_THROW(Field3({0, 2, 2}), gs::Error);
+}
+
+TEST(PackBox, PackUnpackInverse) {
+  const Index3 extent{5, 4, 3};
+  std::vector<double> src(60);
+  for (std::size_t n = 0; n < src.size(); ++n) src[n] = static_cast<double>(n);
+
+  const Box3 box{{1, 1, 0}, {3, 2, 3}};
+  std::vector<double> packed(static_cast<std::size_t>(box.volume()));
+  gs::pack_box(src, extent, box, packed);
+
+  std::vector<double> dst(60, -1.0);
+  gs::unpack_box(dst, extent, box, packed);
+  for (std::int64_t k = 0; k < 3; ++k) {
+    for (std::int64_t j = 0; j < 4; ++j) {
+      for (std::int64_t i = 0; i < 5; ++i) {
+        const auto lin =
+            static_cast<std::size_t>(gs::linear_index({i, j, k}, extent));
+        if (box.contains({i, j, k})) {
+          EXPECT_DOUBLE_EQ(dst[lin], src[lin]);
+        } else {
+          EXPECT_DOUBLE_EQ(dst[lin], -1.0);
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------- halo
+
+TEST(Halo, SendRecvPlanesAreAdjacent) {
+  const Index3 interior{4, 5, 6};
+  for (const Face& f : gs::all_faces()) {
+    const Box3 send = gs::send_plane(interior, f);
+    const Box3 recv = gs::recv_plane(interior, f);
+    EXPECT_EQ(send.volume(), recv.volume());
+    EXPECT_EQ(send.count[f.axis], 1);
+    EXPECT_EQ(recv.count[f.axis], 1);
+    // Recv plane sits exactly one cell outside the send plane.
+    EXPECT_EQ(recv.start[f.axis] - send.start[f.axis], f.side == -1 ? -1 : 1);
+    // Other axes span the interior.
+    for (int a = 0; a < 3; ++a) {
+      if (a == f.axis) continue;
+      EXPECT_EQ(send.start[a], 1);
+      EXPECT_EQ(send.count[a], interior[a]);
+    }
+  }
+}
+
+TEST(Halo, FaceCellCounts) {
+  const Index3 interior{4, 5, 6};
+  EXPECT_EQ(gs::face_cells(interior, {0, -1}), 30);  // 5*6
+  EXPECT_EQ(gs::face_cells(interior, {1, -1}), 24);  // 4*6
+  EXPECT_EQ(gs::face_cells(interior, {2, +1}), 20);  // 4*5
+}
+
+TEST(Halo, LowHighPlanesDistinct) {
+  const Index3 interior{4, 4, 4};
+  EXPECT_EQ(gs::send_plane(interior, {0, -1}).start.i, 1);
+  EXPECT_EQ(gs::send_plane(interior, {0, +1}).start.i, 4);
+  EXPECT_EQ(gs::recv_plane(interior, {0, -1}).start.i, 0);
+  EXPECT_EQ(gs::recv_plane(interior, {0, +1}).start.i, 5);
+}
+
+TEST(Halo, TagsUniquePerVariableAndFace) {
+  std::set<int> tags;
+  for (int var = 0; var < 2; ++var) {
+    for (const Face& f : gs::all_faces()) {
+      EXPECT_TRUE(tags.insert(gs::face_tag(var, f)).second);
+    }
+  }
+  EXPECT_EQ(tags.size(), 12u);
+}
+
+TEST(Halo, OppositeFaceTagsMatchExchangePattern) {
+  // A rank sending its low-x face must use the tag its neighbor expects
+  // when receiving into the neighbor's high-x ghost: by convention both
+  // sides derive the tag from the SENDER's face.
+  const Face low{0, -1};
+  const Face high{0, +1};
+  EXPECT_NE(gs::face_tag(0, low), gs::face_tag(0, high));
+}
+
+}  // namespace

@@ -1,0 +1,136 @@
+// Tests for the IR memory-op tracing (paper Listing 4): the kernels touch
+// exactly the minimal set of global-memory locations per cell.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/kernels.h"
+#include "ir/memtrace.h"
+
+namespace {
+
+using gs::Index3;
+using gs::core::GsParams;
+using gs::ir::MemTrace;
+using gs::ir::TracedView3;
+
+/// Runs the fused 2-variable kernel body for one interior cell against
+/// tracing views over real storage.
+MemTrace trace_grayscott_cell() {
+  const Index3 ext{4, 4, 4};
+  std::vector<double> u(64, 1.0), v(64, 0.5), ut(64), vt(64);
+  MemTrace trace;
+  const TracedView3 uv("u", u.data(), ext, &trace);
+  const TracedView3 vv("v", v.data(), ext, &trace);
+  const TracedView3 utv("u_temp", ut.data(), ext, &trace);
+  const TracedView3 vtv("v_temp", vt.data(), ext, &trace);
+  gs::core::grayscott_cell(uv, vv, utv, vtv, 2, 2, 2, GsParams{}, 0.1);
+  return trace;
+}
+
+TEST(IrTrace, GrayScottKernelHas14UniqueLoadsAnd2Stores) {
+  const MemTrace t = trace_grayscott_cell();
+  // Listing 4: 14 unique loads (7 stencil points x 2 variables, with the
+  // center value register-reused) and 2 stores.
+  EXPECT_EQ(t.unique_loads(), 14u);
+  EXPECT_EQ(t.unique_stores(), 2u);
+}
+
+TEST(IrTrace, GrayScottKernelExecutes16LoadInstructions) {
+  const MemTrace t = trace_grayscott_cell();
+  // Section 5.1: "16 loads and 2 stores" at the access-operation level —
+  // the center cell of each variable is read once for the Laplacian and
+  // once for the reaction term (the compiler later folds these).
+  EXPECT_EQ(t.total_loads(), 16u);
+  EXPECT_EQ(t.total_stores(), 2u);
+}
+
+TEST(IrTrace, DiffusionKernelHas7LoadsOneStore) {
+  const Index3 ext{4, 4, 4};
+  std::vector<double> u(64, 1.0), ut(64);
+  MemTrace trace;
+  const TracedView3 uv("u", u.data(), ext, &trace);
+  const TracedView3 utv("u_temp", ut.data(), ext, &trace);
+  gs::core::diffusion_cell(uv, utv, 2, 2, 2, 0.2, 1.0);
+  EXPECT_EQ(trace.unique_loads(), 7u);
+  EXPECT_EQ(trace.unique_stores(), 1u);
+}
+
+TEST(IrTrace, LoadsTouchOnlyTheSevenPointStencil) {
+  const MemTrace t = trace_grayscott_cell();
+  const Index3 center{2, 2, 2};
+  for (const auto& op : t.ops()) {
+    const Index3 d = op.index - center;
+    const std::int64_t manhattan =
+        std::abs(d.i) + std::abs(d.j) + std::abs(d.k);
+    EXPECT_LE(manhattan, 1) << "access outside 7-point stencil at "
+                            << op.index;
+  }
+}
+
+TEST(IrTrace, StoresGoToTempBuffersOnly) {
+  const MemTrace t = trace_grayscott_cell();
+  for (const auto& op : t.ops()) {
+    if (op.is_store) {
+      EXPECT_TRUE(op.buffer == "u_temp" || op.buffer == "v_temp");
+      EXPECT_EQ(op.index, (Index3{2, 2, 2}));
+    } else {
+      EXPECT_TRUE(op.buffer == "u" || op.buffer == "v");
+    }
+  }
+}
+
+TEST(IrTrace, TracedExecutionComputesRealValues) {
+  const Index3 ext{4, 4, 4};
+  std::vector<double> u(64, 1.0), v(64, 0.0), ut(64), vt(64);
+  MemTrace trace;
+  const TracedView3 uv("u", u.data(), ext, &trace);
+  const TracedView3 vv("v", v.data(), ext, &trace);
+  const TracedView3 utv("u_temp", ut.data(), ext, &trace);
+  const TracedView3 vtv("v_temp", vt.data(), ext, &trace);
+  // Uniform steady state with zero noise: u stays 1, v stays 0.
+  GsParams p;
+  gs::core::grayscott_cell(uv, vv, utv, vtv, 2, 2, 2, p, 0.0);
+  const auto lin = static_cast<std::size_t>(
+      gs::linear_index({2, 2, 2}, ext));
+  EXPECT_DOUBLE_EQ(ut[lin], 1.0);
+  EXPECT_DOUBLE_EQ(vt[lin], 0.0);
+}
+
+TEST(IrTrace, ListingRendersLoadsAndStores) {
+  MemTrace t;
+  // Record center-relative offsets like the listing consumers do.
+  t.record("u", {-1, 0, 0}, false);
+  t.record("u", {0, 0, 0}, false);
+  t.record("u_temp", {0, 0, 0}, true);
+  const std::string ir = t.llvm_like_listing();
+  EXPECT_NE(ir.find("load double"), std::string::npos);
+  EXPECT_NE(ir.find("store double"), std::string::npos);
+  EXPECT_NE(ir.find("addrspace(1)"), std::string::npos);
+  EXPECT_NE(ir.find("%u_im1"), std::string::npos);
+  EXPECT_NE(ir.find("%u_c"), std::string::npos);
+  EXPECT_NE(ir.find("%u_temp_c"), std::string::npos);
+}
+
+TEST(IrTrace, UniqueOpsDeduplicatePreservingOrder) {
+  MemTrace t;
+  t.record("u", {0, 0, 0}, false);
+  t.record("v", {0, 0, 0}, false);
+  t.record("u", {0, 0, 0}, false);  // dup
+  const auto u = t.unique_ops();
+  ASSERT_EQ(u.size(), 2u);
+  EXPECT_EQ(u[0].buffer, "u");
+  EXPECT_EQ(u[1].buffer, "v");
+  EXPECT_EQ(t.total_loads(), 3u);
+  EXPECT_EQ(t.unique_loads(), 2u);
+}
+
+TEST(IrTrace, ClearResets) {
+  MemTrace t;
+  t.record("u", {0, 0, 0}, false);
+  t.clear();
+  EXPECT_EQ(t.total_loads(), 0u);
+  EXPECT_TRUE(t.ops().empty());
+}
+
+}  // namespace

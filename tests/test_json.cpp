@@ -1,0 +1,227 @@
+// Tests for the from-scratch JSON parser/serializer in src/config/json.h.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "config/json.h"
+
+namespace {
+
+using gs::json::Array;
+using gs::json::Object;
+using gs::json::parse;
+using gs::json::Type;
+using gs::json::Value;
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(parse("null").is_null());
+  EXPECT_EQ(parse("true").as_bool(), true);
+  EXPECT_EQ(parse("false").as_bool(), false);
+  EXPECT_EQ(parse("42").as_int(), 42);
+  EXPECT_EQ(parse("-17").as_int(), -17);
+  EXPECT_DOUBLE_EQ(parse("3.25").as_double(), 3.25);
+  EXPECT_DOUBLE_EQ(parse("1e3").as_double(), 1000.0);
+  EXPECT_DOUBLE_EQ(parse("-2.5E-2").as_double(), -0.025);
+  EXPECT_EQ(parse("\"hello\"").as_string(), "hello");
+}
+
+TEST(JsonParse, IntegerPreservedExactly) {
+  // 2^53+1 is not representable as double; int64 storage keeps it exact.
+  EXPECT_EQ(parse("9007199254740993").as_int(), 9007199254740993LL);
+}
+
+TEST(JsonParse, IntPromotesToDouble) {
+  EXPECT_DOUBLE_EQ(parse("7").as_double(), 7.0);
+}
+
+TEST(JsonParse, DoubleToIntWhenIntegral) {
+  EXPECT_EQ(parse("5.0").as_int(), 5);
+  EXPECT_THROW(parse("5.5").as_int(), gs::ParseError);
+}
+
+TEST(JsonParse, Whitespace) {
+  EXPECT_EQ(parse("  \n\t 1 \r\n ").as_int(), 1);
+}
+
+TEST(JsonParse, Arrays) {
+  const Value v = parse("[1, 2.5, \"x\", true, null, []]");
+  const auto& a = v.as_array();
+  ASSERT_EQ(a.size(), 6u);
+  EXPECT_EQ(a[0].as_int(), 1);
+  EXPECT_DOUBLE_EQ(a[1].as_double(), 2.5);
+  EXPECT_EQ(a[2].as_string(), "x");
+  EXPECT_TRUE(a[3].as_bool());
+  EXPECT_TRUE(a[4].is_null());
+  EXPECT_TRUE(a[5].as_array().empty());
+}
+
+TEST(JsonParse, NestedObjects) {
+  const Value v = parse(R"({"a": {"b": {"c": [1, 2, 3]}}, "d": 4})");
+  EXPECT_EQ(v.at("a").at("b").at("c").as_array()[2].as_int(), 3);
+  EXPECT_EQ(v.at("d").as_int(), 4);
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(parse(R"("a\"b")").as_string(), "a\"b");
+  EXPECT_EQ(parse(R"("a\\b")").as_string(), "a\\b");
+  EXPECT_EQ(parse(R"("a\nb\tc")").as_string(), "a\nb\tc");
+  EXPECT_EQ(parse(R"("A")").as_string(), "A");
+  EXPECT_EQ(parse(R"("é")").as_string(), "\xc3\xa9");      // é
+  EXPECT_EQ(parse(R"("€")").as_string(), "\xe2\x82\xac");  // €
+}
+
+TEST(JsonParse, SurrogatePair) {
+  // U+1F600 as a surrogate pair.
+  EXPECT_EQ(parse(R"("😀")").as_string(), "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonParse, UnpairedSurrogateFails) {
+  EXPECT_THROW(parse(R"("\ud83d")"), gs::ParseError);
+  EXPECT_THROW(parse(R"("\ude00")"), gs::ParseError);
+}
+
+TEST(JsonParse, Errors) {
+  EXPECT_THROW(parse(""), gs::ParseError);
+  EXPECT_THROW(parse("{"), gs::ParseError);
+  EXPECT_THROW(parse("[1,]"), gs::ParseError);
+  EXPECT_THROW(parse("{\"a\" 1}"), gs::ParseError);
+  EXPECT_THROW(parse("{\"a\": 1,}"), gs::ParseError);
+  EXPECT_THROW(parse("tru"), gs::ParseError);
+  EXPECT_THROW(parse("01x"), gs::ParseError);
+  EXPECT_THROW(parse("1 2"), gs::ParseError);
+  EXPECT_THROW(parse("\"unterminated"), gs::ParseError);
+  EXPECT_THROW(parse("{1: 2}"), gs::ParseError);
+  EXPECT_THROW(parse("[1 2]"), gs::ParseError);
+  EXPECT_THROW(parse("-"), gs::ParseError);
+  EXPECT_THROW(parse("1."), gs::ParseError);
+  EXPECT_THROW(parse("1e"), gs::ParseError);
+}
+
+TEST(JsonParse, ErrorMessageHasLineColumn) {
+  try {
+    parse("{\n  \"a\": ???\n}");
+    FAIL();
+  } catch (const gs::ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("2:"), std::string::npos);
+  }
+}
+
+TEST(JsonParse, RawControlCharacterInStringFails) {
+  EXPECT_THROW(parse("\"a\nb\""), gs::ParseError);
+}
+
+TEST(JsonDump, CompactRoundTrip) {
+  const std::string doc =
+      R"({"arr":[1,2.5,"s"],"flag":true,"nested":{"x":null}})";
+  const Value v = parse(doc);
+  EXPECT_EQ(parse(v.dump()), v);
+  EXPECT_EQ(v.dump(), doc);
+}
+
+TEST(JsonDump, PrettyRoundTrip) {
+  const Value v = parse(R"({"a": [1, {"b": 2}], "c": "d"})");
+  const std::string pretty = v.dump(2);
+  EXPECT_NE(pretty.find('\n'), std::string::npos);
+  EXPECT_EQ(parse(pretty), v);
+}
+
+TEST(JsonDump, DoubleRoundTripsExactly) {
+  Object o;
+  o["x"] = Value(0.1);
+  o["y"] = Value(1.0 / 3.0);
+  o["z"] = Value(1.5e300);
+  const Value v{o};
+  const Value re = parse(v.dump());
+  EXPECT_DOUBLE_EQ(re.at("x").as_double(), 0.1);
+  EXPECT_DOUBLE_EQ(re.at("y").as_double(), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(re.at("z").as_double(), 1.5e300);
+}
+
+TEST(JsonDump, EscapesControlAndQuotes) {
+  const Value v{std::string("a\"b\\c\nd\x01")};
+  const std::string out = v.dump();
+  EXPECT_EQ(parse(out).as_string(), v.as_string());
+  EXPECT_NE(out.find("\\u0001"), std::string::npos);
+}
+
+TEST(JsonValue, TypeQueries) {
+  EXPECT_EQ(Value().type(), Type::null);
+  EXPECT_EQ(Value(true).type(), Type::boolean);
+  EXPECT_EQ(Value(1.5).type(), Type::number);
+  EXPECT_EQ(Value(1).type(), Type::number);
+  EXPECT_EQ(Value("s").type(), Type::string);
+  EXPECT_EQ(Value(Array{}).type(), Type::array);
+  EXPECT_EQ(Value(Object{}).type(), Type::object);
+}
+
+TEST(JsonValue, TypeMismatchThrows) {
+  EXPECT_THROW(Value(1).as_string(), gs::ParseError);
+  EXPECT_THROW(Value("s").as_int(), gs::ParseError);
+  EXPECT_THROW(Value(true).as_array(), gs::ParseError);
+  EXPECT_THROW(Value().at("k"), gs::ParseError);
+}
+
+TEST(JsonValue, GetOrDefaults) {
+  const Value v = parse(R"({"i": 3, "d": 2.5, "s": "x", "b": false})");
+  EXPECT_EQ(v.get_or("i", std::int64_t{9}), 3);
+  EXPECT_EQ(v.get_or("missing", std::int64_t{9}), 9);
+  EXPECT_DOUBLE_EQ(v.get_or("d", 0.0), 2.5);
+  EXPECT_EQ(v.get_or("s", std::string("y")), "x");
+  EXPECT_EQ(v.get_or("missing", std::string("y")), "y");
+  EXPECT_EQ(v.get_or("b", true), false);
+  EXPECT_EQ(v.get_or("missing", true), true);
+}
+
+TEST(JsonValue, SetBuildsObjects) {
+  Value v;
+  v.set("a", Value(1)).set("b", Value("x"));
+  EXPECT_EQ(v.at("a").as_int(), 1);
+  EXPECT_EQ(v.at("b").as_string(), "x");
+}
+
+TEST(JsonFile, ParseFileAndMissingFile) {
+  const std::string path = testing::TempDir() + "/gs_json_test.json";
+  {
+    std::ofstream out(path);
+    out << R"({"L": 64})";
+  }
+  EXPECT_EQ(gs::json::parse_file(path).at("L").as_int(), 64);
+  std::remove(path.c_str());
+  EXPECT_THROW(gs::json::parse_file(path), gs::IoError);
+}
+
+TEST(JsonParse, DeepNestingWithinLimitParses) {
+  const int depth = 150;
+  std::string doc(depth, '[');
+  doc += "1";
+  doc += std::string(depth, ']');
+  const Value v = parse(doc);
+  const Value* p = &v;
+  for (int i = 0; i < depth; ++i) p = &p->as_array()[0];
+  EXPECT_EQ(p->as_int(), 1);
+}
+
+TEST(JsonParse, HostileNestingRejectedNotCrashed) {
+  // A 100k-deep document must fail with a ParseError, not a stack
+  // overflow (md.idx files come from disk and could be hostile).
+  const int depth = 100000;
+  std::string doc(depth, '[');
+  doc += "1";
+  doc += std::string(depth, ']');
+  EXPECT_THROW(parse(doc), gs::ParseError);
+  std::string obj_doc;
+  for (int i = 0; i < depth; ++i) obj_doc += "{\"a\":";
+  obj_doc += "1";
+  obj_doc += std::string(depth, '}');
+  EXPECT_THROW(parse(obj_doc), gs::ParseError);
+}
+
+TEST(JsonDump, ObjectKeysSortedDeterministically) {
+  const Value v = parse(R"({"zebra":1,"alpha":2,"mid":3})");
+  const std::string out = v.dump();
+  EXPECT_LT(out.find("alpha"), out.find("mid"));
+  EXPECT_LT(out.find("mid"), out.find("zebra"));
+}
+
+}  // namespace

@@ -1,0 +1,118 @@
+// Tests for gs::Settings — the GrayScott.jl settings-files.json equivalent.
+#include <gtest/gtest.h>
+
+#include "config/settings.h"
+
+namespace {
+
+using gs::KernelBackend;
+using gs::Settings;
+
+TEST(Settings, DefaultsMatchPaperListing1) {
+  const Settings s;
+  // Listing 1 provenance: Du=0.2 Dv=0.1 F=0.02 k=0.048 dt=1 noise=0.1.
+  EXPECT_DOUBLE_EQ(s.Du, 0.2);
+  EXPECT_DOUBLE_EQ(s.Dv, 0.1);
+  EXPECT_DOUBLE_EQ(s.F, 0.02);
+  EXPECT_DOUBLE_EQ(s.k, 0.048);
+  EXPECT_DOUBLE_EQ(s.dt, 1.0);
+  EXPECT_DOUBLE_EQ(s.noise, 0.1);
+  EXPECT_NO_THROW(s.validate());
+}
+
+TEST(Settings, FromJsonOverrides) {
+  const auto v = gs::json::parse(R"({
+    "L": 128, "steps": 50, "plotgap": 5,
+    "Du": 0.3, "Dv": 0.15, "F": 0.03, "k": 0.06, "dt": 0.5,
+    "noise": 0.0, "seed": 7, "backend": "hip",
+    "output": "run.bp", "ranks_per_node": 4
+  })");
+  const Settings s = Settings::from_json(v);
+  EXPECT_EQ(s.L, 128);
+  EXPECT_EQ(s.steps, 50);
+  EXPECT_EQ(s.plotgap, 5);
+  EXPECT_DOUBLE_EQ(s.Du, 0.3);
+  EXPECT_DOUBLE_EQ(s.dt, 0.5);
+  EXPECT_EQ(s.seed, 7u);
+  EXPECT_EQ(s.backend, KernelBackend::hip);
+  EXPECT_EQ(s.output, "run.bp");
+  EXPECT_EQ(s.ranks_per_node, 4);
+}
+
+TEST(Settings, PartialJsonKeepsDefaults) {
+  const Settings s = Settings::from_json(gs::json::parse(R"({"L": 32})"));
+  EXPECT_EQ(s.L, 32);
+  EXPECT_DOUBLE_EQ(s.Du, 0.2);
+  EXPECT_EQ(s.backend, KernelBackend::julia_amdgpu);
+}
+
+TEST(Settings, UnknownKeyRejected) {
+  EXPECT_THROW(Settings::from_json(gs::json::parse(R"({"Lsize": 32})")),
+               gs::ParseError);
+}
+
+TEST(Settings, UnknownBackendRejected) {
+  EXPECT_THROW(
+      Settings::from_json(gs::json::parse(R"({"backend": "cuda"})")),
+      gs::ParseError);
+}
+
+TEST(Settings, BackendRoundTrip) {
+  for (const auto b : {KernelBackend::host_reference, KernelBackend::hip,
+                       KernelBackend::julia_amdgpu}) {
+    EXPECT_EQ(gs::backend_from_string(gs::to_string(b)), b);
+  }
+}
+
+TEST(Settings, JsonRoundTrip) {
+  Settings s;
+  s.L = 96;
+  s.steps = 123;
+  s.noise = 0.05;
+  s.backend = KernelBackend::hip;
+  s.checkpoint = true;
+  const Settings back = Settings::from_json(s.to_json());
+  EXPECT_EQ(back.L, s.L);
+  EXPECT_EQ(back.steps, s.steps);
+  EXPECT_DOUBLE_EQ(back.noise, s.noise);
+  EXPECT_EQ(back.backend, s.backend);
+  EXPECT_EQ(back.checkpoint, s.checkpoint);
+  EXPECT_EQ(back.to_json().dump(), s.to_json().dump());
+}
+
+TEST(Settings, ValidationCatchesBadValues) {
+  Settings s;
+  s.L = 2;
+  EXPECT_THROW(s.validate(), gs::Error);
+  s = Settings{};
+  s.dt = 0.0;
+  EXPECT_THROW(s.validate(), gs::Error);
+  s = Settings{};
+  s.plotgap = 0;
+  EXPECT_THROW(s.validate(), gs::Error);
+  s = Settings{};
+  s.Du = -0.1;
+  EXPECT_THROW(s.validate(), gs::Error);
+  s = Settings{};
+  s.noise = -1.0;
+  EXPECT_THROW(s.validate(), gs::Error);
+  s = Settings{};
+  s.output = "";
+  EXPECT_THROW(s.validate(), gs::Error);
+}
+
+TEST(Settings, StabilityBoundEnforced) {
+  Settings s;
+  s.Du = 3.0;
+  s.dt = 2.0;  // dt * Du = 6 > 4
+  EXPECT_THROW(s.validate(), gs::Error);
+  s.dt = 1.0;  // dt * Du = 3 <= 4
+  EXPECT_NO_THROW(s.validate());
+}
+
+TEST(Settings, FromJsonValidates) {
+  EXPECT_THROW(Settings::from_json(gs::json::parse(R"({"dt": -1.0})")),
+               gs::Error);
+}
+
+}  // namespace

@@ -1,0 +1,277 @@
+// Tests for the SST-style in-memory streaming pipeline: queue semantics
+// (FIFO, backpressure, end-of-stream), step assembly/selection, the
+// collective StreamWriter gather, and a live producer/consumer workflow.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "bp/stream.h"
+#include "core/sim.h"
+#include "grid/decomp.h"
+#include "mpi/runtime.h"
+
+namespace {
+
+using gs::Box3;
+using gs::Decomposition;
+using gs::Index3;
+using gs::bp::Stream;
+using gs::bp::StreamReader;
+using gs::bp::StreamStep;
+using gs::bp::StreamWriter;
+
+StreamStep make_step(std::int64_t seq, double fill = 1.0) {
+  StreamStep s;
+  s.sequence = seq;
+  auto& var = s.arrays["U"];
+  var.shape = {2, 2, 2};
+  StreamStep::Block b;
+  b.box = Box3{{0, 0, 0}, {2, 2, 2}};
+  b.data.assign(8, fill);
+  var.blocks.push_back(std::move(b));
+  return s;
+}
+
+// ----------------------------------------------------------------- queue
+
+TEST(Stream, FifoOrder) {
+  Stream st(8);
+  for (int i = 0; i < 5; ++i) st.push(make_step(i));
+  st.close();
+  for (int i = 0; i < 5; ++i) {
+    const auto s = st.next();
+    ASSERT_TRUE(s.has_value());
+    EXPECT_EQ(s->sequence, i);
+  }
+  EXPECT_FALSE(st.next().has_value());
+}
+
+TEST(Stream, NextBlocksUntilPush) {
+  Stream st(2);
+  std::atomic<bool> got{false};
+  std::thread consumer([&] {
+    const auto s = st.next();
+    EXPECT_TRUE(s.has_value());
+    got = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(got.load());
+  st.push(make_step(0));
+  consumer.join();
+  EXPECT_TRUE(got.load());
+  st.close();
+}
+
+TEST(Stream, BackpressureBlocksProducer) {
+  Stream st(1);
+  st.push(make_step(0));
+  std::atomic<bool> second_pushed{false};
+  std::thread producer([&] {
+    st.push(make_step(1));  // must block until a pop
+    second_pushed = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(second_pushed.load());
+  EXPECT_EQ(st.next()->sequence, 0);
+  producer.join();
+  EXPECT_TRUE(second_pushed.load());
+  EXPECT_EQ(st.next()->sequence, 1);
+  st.close();
+}
+
+TEST(Stream, CloseDrainsThenEnds) {
+  Stream st(4);
+  st.push(make_step(0));
+  st.push(make_step(1));
+  st.close();
+  EXPECT_TRUE(st.next().has_value());
+  EXPECT_TRUE(st.next().has_value());
+  EXPECT_FALSE(st.next().has_value());
+  EXPECT_FALSE(st.next().has_value());  // stays ended
+}
+
+TEST(Stream, PushAfterCloseRejected) {
+  Stream st(2);
+  st.close();
+  EXPECT_THROW(st.push(make_step(0)), gs::Error);
+}
+
+TEST(Stream, MaxDepthTracksHighWater) {
+  Stream st(4);
+  st.push(make_step(0));
+  st.push(make_step(1));
+  st.push(make_step(2));
+  EXPECT_EQ(st.max_depth_seen(), 3u);
+  (void)st.next();
+  (void)st.next();
+  EXPECT_EQ(st.max_depth_seen(), 3u);  // high-water, not current
+  EXPECT_EQ(st.pending(), 1u);
+  st.close();
+}
+
+TEST(Stream, ZeroCapacityRejected) {
+  EXPECT_THROW(Stream{0}, gs::Error);
+}
+
+TEST(Stream, AttributesVisibleToConsumer) {
+  Stream st(2);
+  gs::json::Object attrs;
+  attrs["Du"] = gs::json::Value(0.2);
+  st.set_attributes(attrs);
+  EXPECT_DOUBLE_EQ(st.attributes().at("Du").as_double(), 0.2);
+}
+
+// ------------------------------------------------------------ step access
+
+TEST(StreamStep, AssembleFromBlocks) {
+  StreamStep s;
+  auto& var = s.arrays["U"];
+  var.shape = {4, 2, 1};
+  StreamStep::Block left, right;
+  left.box = Box3{{0, 0, 0}, {2, 2, 1}};
+  left.data = {1, 2, 3, 4};
+  right.box = Box3{{2, 0, 0}, {2, 2, 1}};
+  right.data = {5, 6, 7, 8};
+  var.blocks = {left, right};
+  const auto full = s.assemble("U");
+  // Column-major global: row j=0 is [1,2,5,6], row j=1 is [3,4,7,8].
+  EXPECT_EQ(full, (std::vector<double>{1, 2, 5, 6, 3, 4, 7, 8}));
+}
+
+TEST(StreamStep, SelectionRead) {
+  StreamStep s;
+  auto& var = s.arrays["U"];
+  var.shape = {4, 2, 1};
+  StreamStep::Block b;
+  b.box = Box3{{0, 0, 0}, {4, 2, 1}};
+  b.data = {1, 2, 3, 4, 5, 6, 7, 8};
+  var.blocks.push_back(b);
+  const auto sel = s.read("U", Box3{{1, 0, 0}, {2, 2, 1}});
+  EXPECT_EQ(sel, (std::vector<double>{2, 3, 6, 7}));
+}
+
+TEST(StreamStep, MissingArrayThrows) {
+  const StreamStep s;
+  EXPECT_THROW(s.assemble("nope"), gs::Error);
+}
+
+// ----------------------------------------------------------- StreamWriter
+
+TEST(StreamWriter, CollectiveGatherAssemblesGlobalStep) {
+  const std::int64_t L = 8;
+  Stream stream(4);
+  gs::mpi::run(4, [&](gs::mpi::Comm& world) {
+    const Decomposition d = Decomposition::cube(L, world.size());
+    const Box3 box = d.local_box(world.rank());
+    std::vector<double> block(static_cast<std::size_t>(box.volume()));
+    std::size_t n = 0;
+    for (std::int64_t k = box.start.k; k < box.end().k; ++k) {
+      for (std::int64_t j = box.start.j; j < box.end().j; ++j) {
+        for (std::int64_t i = box.start.i; i < box.end().i; ++i) {
+          block[n++] = static_cast<double>(
+              gs::linear_index({i, j, k}, {L, L, L}));
+        }
+      }
+    }
+    StreamWriter w(stream, world);
+    w.define_attribute("F", gs::json::Value(0.02));
+    for (int s = 0; s < 2; ++s) {
+      w.begin_step();
+      w.put("U", {L, L, L}, box, block);
+      w.put_scalar("step", 10 * s);
+      w.end_step();
+    }
+    w.close();
+  });
+
+  StreamReader reader(stream);
+  EXPECT_DOUBLE_EQ(reader.attributes().at("F").as_double(), 0.02);
+  for (int expected = 0; expected < 2; ++expected) {
+    const auto step = reader.next_step();
+    ASSERT_TRUE(step.has_value());
+    EXPECT_EQ(step->sequence, expected);
+    EXPECT_EQ(step->scalars.at("step"), 10 * expected);
+    ASSERT_EQ(step->arrays.at("U").blocks.size(), 4u);
+    const auto full = step->assemble("U");
+    for (std::size_t i = 0; i < full.size(); ++i) {
+      ASSERT_DOUBLE_EQ(full[i], static_cast<double>(i));
+    }
+  }
+  EXPECT_FALSE(reader.next_step().has_value());
+}
+
+TEST(StreamWriter, MisuseRejected) {
+  Stream stream(2);
+  gs::mpi::run(1, [&](gs::mpi::Comm& world) {
+    StreamWriter w(stream, world);
+    std::vector<double> data(8, 0.0);
+    EXPECT_THROW(w.put("U", {2, 2, 2}, Box3{{0, 0, 0}, {2, 2, 2}}, data),
+                 gs::Error);  // outside a step
+    w.begin_step();
+    EXPECT_THROW(w.begin_step(), gs::Error);
+    EXPECT_THROW(
+        w.put("U", {2, 2, 2}, Box3{{0, 0, 0}, {2, 2, 2}},
+              std::span<const double>(data.data(), 3)),
+        gs::Error);  // size mismatch
+    EXPECT_THROW(w.close(), gs::Error);  // open step
+    w.end_step();
+    w.close();
+    EXPECT_THROW(w.begin_step(), gs::Error);  // closed
+  });
+}
+
+// ------------------------------------------------- live in-situ pipeline
+
+TEST(StreamPipeline, SimulationToLiveConsumer) {
+  // The paper's future-work workflow: simulation ranks produce steps into
+  // the stream while an analysis thread consumes them concurrently, no
+  // file system involved. Consumer verifies physics invariants live.
+  const std::int64_t L = 8;
+  const int n_outputs = 4;
+  Stream stream(/*capacity=*/1);  // maximal backpressure
+
+  std::atomic<int> consumed{0};
+  std::thread consumer([&] {
+    StreamReader reader(stream);
+    std::int64_t expected_seq = 0;
+    while (auto step = reader.next_step()) {
+      EXPECT_EQ(step->sequence, expected_seq++);
+      const auto u = step->assemble("U");
+      const auto v = step->assemble("V");
+      ASSERT_EQ(u.size(), static_cast<std::size_t>(L * L * L));
+      for (const double x : v) {
+        EXPECT_GE(x, 0.0);  // V stays non-negative
+      }
+      ++consumed;
+    }
+  });
+
+  gs::mpi::run(4, [&](gs::mpi::Comm& world) {
+    gs::Settings settings;
+    settings.L = L;
+    settings.steps = 8;
+    settings.noise = 0.0;
+    settings.backend = gs::KernelBackend::hip;
+    gs::core::Simulation sim(settings, world);
+    StreamWriter writer(stream, world);
+    for (int out = 0; out < n_outputs; ++out) {
+      sim.run_steps(2);
+      sim.sync_host();
+      writer.begin_step();
+      writer.put("U", {L, L, L}, sim.local_box(),
+                 sim.u_host().interior_copy());
+      writer.put("V", {L, L, L}, sim.local_box(),
+                 sim.v_host().interior_copy());
+      writer.put_scalar("step", sim.current_step());
+      writer.end_step();
+    }
+    writer.close();
+  });
+
+  consumer.join();
+  EXPECT_EQ(consumed.load(), n_outputs);
+  EXPECT_LE(stream.max_depth_seen(), 1u);  // capacity respected
+}
+
+}  // namespace

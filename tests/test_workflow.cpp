@@ -1,0 +1,379 @@
+// End-to-end workflow tests: simulate -> BP output -> read back; the
+// Listing 1 provenance record; checkpoint/restart equivalence.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "analysis/analysis.h"
+#include "bp/reader.h"
+#include "core/workflow.h"
+#include "mpi/runtime.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+using gs::Settings;
+using gs::core::Workflow;
+
+Settings workflow_settings(const std::string& tag, std::int64_t L = 8,
+                           std::int64_t steps = 6, std::int64_t plotgap = 2) {
+  Settings s;
+  s.L = L;
+  s.steps = steps;
+  s.plotgap = plotgap;
+  s.noise = 0.05;
+  s.seed = 7;
+  s.backend = gs::KernelBackend::hip;  // no JIT noise in timings
+  s.output = testing::TempDir() + "/wf_" + tag + ".bp";
+  s.checkpoint_output = testing::TempDir() + "/wf_" + tag + "_ckpt.bp";
+  s.restart_input = s.checkpoint_output;
+  s.ranks_per_node = 2;
+  return s;
+}
+
+TEST(Workflow, RunWritesExpectedSteps) {
+  const Settings s = workflow_settings("basic");
+  gs::mpi::run(4, [&](gs::mpi::Comm& world) {
+    Workflow wf(s, world);
+    const auto report = wf.run();
+    EXPECT_EQ(report.steps_run, 6);
+    EXPECT_EQ(report.outputs_written, 3);  // steps 2, 4, 6
+    EXPECT_EQ(report.checkpoints_written, 0);
+    EXPECT_GT(report.device_seconds, 0.0);
+    EXPECT_GT(report.io_bytes_local, 0u);
+  });
+
+  gs::bp::Reader r(s.output);
+  EXPECT_EQ(r.n_steps(), 3);
+  EXPECT_EQ(r.read_scalar("step", 0), 2);
+  EXPECT_EQ(r.read_scalar("step", 2), 6);
+  const auto u = r.info("U");
+  EXPECT_EQ(u.shape, (gs::Index3{8, 8, 8}));
+  EXPECT_EQ(u.steps, 3);
+  fs::remove_all(s.output);
+}
+
+TEST(Workflow, ProvenanceMatchesListing1) {
+  const Settings s = workflow_settings("prov");
+  gs::mpi::run(2, [&](gs::mpi::Comm& world) {
+    Workflow wf(s, world);
+    wf.run();
+  });
+  gs::bp::Reader r(s.output);
+  EXPECT_DOUBLE_EQ(r.attribute("Du").as_double(), 0.2);
+  EXPECT_DOUBLE_EQ(r.attribute("Dv").as_double(), 0.1);
+  EXPECT_DOUBLE_EQ(r.attribute("F").as_double(), 0.02);
+  EXPECT_DOUBLE_EQ(r.attribute("k").as_double(), 0.048);
+  EXPECT_DOUBLE_EQ(r.attribute("dt").as_double(), 1.0);
+  EXPECT_DOUBLE_EQ(r.attribute("noise").as_double(), 0.05);
+  // Visualization schema attributes (FIDES + VTX readers).
+  EXPECT_NO_THROW(r.attribute("Fides_Data_Model"));
+  EXPECT_NO_THROW(r.attribute("vtk.xml"));
+
+  const std::string text = gs::bp::dump(s.output);
+  EXPECT_NE(text.find("Du"), std::string::npos);
+  EXPECT_NE(text.find("Min/Max"), std::string::npos);
+  fs::remove_all(s.output);
+}
+
+TEST(Workflow, FieldValuesInDatasetMatchSimulation) {
+  const Settings s = workflow_settings("values", 8, 4, 4);
+  gs::mpi::run(1, [&](gs::mpi::Comm& world) {
+    Workflow wf(s, world);
+    wf.run();
+    // After run(), the simulation state is at step 4 == the last output.
+    wf.simulation().sync_host();
+    gs::bp::Reader r(s.output);
+    const auto u = r.read_full("U", r.n_steps() - 1);
+    const auto& host = wf.simulation().u_host();
+    std::size_t n = 0;
+    for (std::int64_t k = 1; k <= 8; ++k) {
+      for (std::int64_t j = 1; j <= 8; ++j) {
+        for (std::int64_t i = 1; i <= 8; ++i) {
+          ASSERT_EQ(u[n++], host.at(i, j, k));
+        }
+      }
+    }
+  });
+  fs::remove_all(s.output);
+}
+
+TEST(Workflow, CheckpointRestartReproducesUninterruptedRun) {
+  // Run A: 6 straight steps. Run B: 3 steps + checkpoint, then restart
+  // and finish. Final fields must agree bitwise.
+  const Settings full = workflow_settings("full", 8, 6, 6);
+
+  std::vector<double> u_full;
+  gs::mpi::run(4, [&](gs::mpi::Comm& world) {
+    Workflow wf(full, world);
+    wf.run();
+  });
+  {
+    gs::bp::Reader r(full.output);
+    u_full = r.read_full("U", r.n_steps() - 1);
+  }
+
+  Settings part1 = workflow_settings("part1", 8, 3, 3);
+  part1.seed = full.seed;
+  part1.checkpoint = true;
+  part1.checkpoint_freq = 3;
+  gs::mpi::run(4, [&](gs::mpi::Comm& world) {
+    Workflow wf(part1, world);
+    const auto report = wf.run();
+    EXPECT_EQ(report.checkpoints_written, 1);
+  });
+
+  Settings part2 = workflow_settings("part2", 8, 6, 6);
+  part2.seed = full.seed;
+  part2.restart = true;
+  part2.restart_input = part1.checkpoint_output;
+  gs::mpi::run(4, [&](gs::mpi::Comm& world) {
+    Workflow wf(part2, world);
+    const auto report = wf.run();
+    EXPECT_TRUE(report.restarted);
+    EXPECT_EQ(report.first_step, 3);
+    EXPECT_EQ(report.steps_run, 3);  // only steps 4..6
+  });
+
+  gs::bp::Reader r(part2.output);
+  const auto u_restarted = r.read_full("U", r.n_steps() - 1);
+  ASSERT_EQ(u_restarted.size(), u_full.size());
+  for (std::size_t i = 0; i < u_full.size(); ++i) {
+    ASSERT_EQ(u_restarted[i], u_full[i]) << "cell " << i;
+  }
+
+  fs::remove_all(full.output);
+  fs::remove_all(part1.output);
+  fs::remove_all(part1.checkpoint_output);
+  fs::remove_all(part2.output);
+}
+
+TEST(Workflow, RestartOnDifferentRankCount) {
+  // Elastic restart: the checkpoint's block decomposition (4 ranks) is
+  // independent of the restarting job's (2 ranks) because each rank does
+  // a box-selection read — a capability real BP restart files provide.
+  const std::int64_t L = 8;
+  Settings full = workflow_settings("elastic_full", L, 6, 6);
+  gs::mpi::run(4, [&](gs::mpi::Comm& world) {
+    Workflow wf(full, world);
+    wf.run();
+  });
+  std::vector<double> u_full;
+  {
+    gs::bp::Reader r(full.output);
+    u_full = r.read_full("U", r.n_steps() - 1);
+  }
+
+  Settings part1 = workflow_settings("elastic_p1", L, 3, 3);
+  part1.checkpoint = true;
+  part1.checkpoint_freq = 3;
+  gs::mpi::run(4, [&](gs::mpi::Comm& world) {
+    Workflow wf(part1, world);
+    wf.run();
+  });
+
+  Settings part2 = workflow_settings("elastic_p2", L, 6, 6);
+  part2.restart = true;
+  part2.restart_input = part1.checkpoint_output;
+  gs::mpi::run(2, [&](gs::mpi::Comm& world) {  // DIFFERENT rank count
+    Workflow wf(part2, world);
+    const auto report = wf.run();
+    EXPECT_TRUE(report.restarted);
+    EXPECT_EQ(report.first_step, 3);
+  });
+
+  gs::bp::Reader r(part2.output);
+  const auto u = r.read_full("U", r.n_steps() - 1);
+  ASSERT_EQ(u.size(), u_full.size());
+  for (std::size_t i = 0; i < u.size(); ++i) {
+    ASSERT_EQ(u[i], u_full[i]) << "cell " << i;
+  }
+  fs::remove_all(full.output);
+  fs::remove_all(part1.output);
+  fs::remove_all(part1.checkpoint_output);
+  fs::remove_all(part2.output);
+}
+
+TEST(Workflow, SixRankNonCubicDecomposition) {
+  // 6 ranks -> 3x2x1 process grid; L=12 divides as 4/6/12 per axis.
+  Settings s = workflow_settings("noncubic", 12, 2, 2);
+  gs::mpi::run(6, [&](gs::mpi::Comm& world) {
+    Workflow wf(s, world);
+    const auto report = wf.run();
+    EXPECT_EQ(report.steps_run, 2);
+  });
+  gs::bp::Reader r(s.output);
+  EXPECT_EQ(r.blocks("U", 0).size(), 6u);
+  // Blocks tile the domain exactly.
+  std::int64_t covered = 0;
+  for (const auto& b : r.blocks("U", 0)) covered += b.box.volume();
+  EXPECT_EQ(covered, 12 * 12 * 12);
+  fs::remove_all(s.output);
+}
+
+TEST(Workflow, GpuAwareWorkflowEndToEnd) {
+  Settings s = workflow_settings("gpuaware", 8, 4, 2);
+  s.gpu_aware_mpi = true;
+  s.backend = gs::KernelBackend::julia_amdgpu;
+  s.aot = true;
+  gs::mpi::run(4, [&](gs::mpi::Comm& world) {
+    Workflow wf(s, world);
+    const auto report = wf.run();
+    EXPECT_EQ(report.steps_run, 4);
+    EXPECT_DOUBLE_EQ(report.accumulated.jit, 0.0);  // AOT precompiled
+  });
+  gs::bp::Reader r(s.output);
+  EXPECT_EQ(r.n_steps(), 2);  // outputs at steps 2 and 4
+  fs::remove_all(s.output);
+}
+
+TEST(Workflow, SinglePrecisionOutputHalvesBytesButKeepsDoubleCheckpoints) {
+  Settings s = workflow_settings("single", 8, 3, 3);
+  s.precision = "single";
+  s.checkpoint = true;
+  s.checkpoint_freq = 3;
+  gs::mpi::run(4, [&](gs::mpi::Comm& world) {
+    Workflow wf(s, world);
+    wf.run();
+  });
+  gs::bp::Reader out(s.output);
+  EXPECT_EQ(out.info("U").type, "float");
+  std::uint64_t stored = 0;
+  for (const auto& b : out.blocks("U", 0)) stored += b.stored_bytes;
+  EXPECT_EQ(stored, 8ull * 8 * 8 * 4);  // half of double storage
+  // Values track the double state to float precision.
+  gs::mpi::run(4, [&](gs::mpi::Comm& world) {
+    Workflow wf(workflow_settings("single_ref", 8, 3, 3), world);
+    wf.run();
+  });
+  gs::bp::Reader ref(workflow_settings("single_ref", 8, 3, 3).output);
+  const auto a = out.read_full("U", 0);
+  const auto b = ref.read_full("U", 0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_NEAR(a[i], b[i], 1e-6);
+    ASSERT_EQ(a[i], static_cast<double>(static_cast<float>(b[i])));
+  }
+  // The checkpoint stays full double for bitwise restart.
+  gs::bp::Reader ckpt(s.checkpoint_output);
+  EXPECT_EQ(ckpt.info("U").type, "double");
+  fs::remove_all(s.output);
+  fs::remove_all(s.checkpoint_output);
+  fs::remove_all(workflow_settings("single_ref", 8, 3, 3).output);
+}
+
+TEST(Workflow, RestartWithoutCheckpointFallsBackToFreshRun) {
+  Settings s = workflow_settings("nockpt", 8, 2, 2);
+  s.restart = true;
+  s.restart_input = testing::TempDir() + "/does_not_exist.bp";
+  gs::mpi::run(2, [&](gs::mpi::Comm& world) {
+    Workflow wf(s, world);
+    const auto report = wf.run();
+    EXPECT_FALSE(report.restarted);
+    EXPECT_EQ(report.steps_run, 2);
+  });
+  fs::remove_all(s.output);
+}
+
+TEST(Workflow, CompressedOutputReadsBackExactly) {
+  Settings plain = workflow_settings("nocomp", 8, 4, 4);
+  Settings comp = workflow_settings("comp", 8, 4, 4);
+  comp.compress = true;
+  for (const Settings* s : {&plain, &comp}) {
+    gs::mpi::run(4, [&](gs::mpi::Comm& world) {
+      Workflow wf(*s, world);
+      wf.run();
+    });
+  }
+  gs::bp::Reader a(plain.output), b(comp.output);
+  EXPECT_EQ(b.blocks("U", 0).at(0).codec, "gorilla");
+  const auto ua = a.read_full("U", 0);
+  const auto ub = b.read_full("U", 0);
+  ASSERT_EQ(ua.size(), ub.size());
+  for (std::size_t i = 0; i < ua.size(); ++i) {
+    ASSERT_EQ(ua[i], ub[i]);  // lossless: bitwise equal
+  }
+  // Compressed dataset occupies fewer payload bytes.
+  std::uint64_t raw_bytes = 0, comp_bytes = 0;
+  for (const auto& blk : a.blocks("U", 0)) raw_bytes += blk.stored_bytes;
+  for (const auto& blk : b.blocks("U", 0)) comp_bytes += blk.stored_bytes;
+  EXPECT_LT(comp_bytes, raw_bytes);
+  fs::remove_all(plain.output);
+  fs::remove_all(comp.output);
+}
+
+TEST(Workflow, DeviceCacheSimDuringFullWorkflow) {
+  // The profiler-visible counters stay consistent when the cache sim is
+  // enabled mid-workflow (analysis-grade tracing of a production run).
+  Settings s = workflow_settings("cachesim", 8, 2, 2);
+  s.backend = gs::KernelBackend::julia_amdgpu;
+  gs::prof::Profiler prof;
+  gs::mpi::run(1, [&](gs::mpi::Comm& world) {
+    Workflow wf(s, world, &prof);
+    wf.simulation().device().set_cache_sim_enabled(true);
+    wf.run();
+  });
+  const auto stats = prof.kernel_stats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].calls, 2u);
+  EXPECT_GT(stats[0].total.fetch_bytes, 0u);
+  EXPECT_GT(stats[0].total.write_bytes, 0u);
+  EXPECT_GT(stats[0].total.hit_rate(), 0.5);
+  fs::remove_all(s.output);
+}
+
+TEST(Workflow, FinalPartialIntervalAlwaysWritten) {
+  // steps=5, plotgap=2: outputs at 2, 4, and the final state at 5.
+  Settings s = workflow_settings("partial", 8, 5, 2);
+  gs::mpi::run(2, [&](gs::mpi::Comm& world) {
+    Workflow wf(s, world);
+    const auto report = wf.run();
+    EXPECT_EQ(report.outputs_written, 3);
+  });
+  gs::bp::Reader r(s.output);
+  ASSERT_EQ(r.n_steps(), 3);
+  EXPECT_EQ(r.read_scalar("step", 0), 2);
+  EXPECT_EQ(r.read_scalar("step", 1), 4);
+  EXPECT_EQ(r.read_scalar("step", 2), 5);
+  fs::remove_all(s.output);
+}
+
+TEST(Workflow, ZeroStepsProducesEmptyDataset) {
+  Settings s = workflow_settings("zerosteps", 8, 0, 2);
+  gs::mpi::run(2, [&](gs::mpi::Comm& world) {
+    Workflow wf(s, world);
+    const auto report = wf.run();
+    EXPECT_EQ(report.steps_run, 0);
+    EXPECT_EQ(report.outputs_written, 0);
+  });
+  gs::bp::Reader r(s.output);
+  EXPECT_EQ(r.n_steps(), 0);
+  // Attributes are still recorded (provenance without data).
+  EXPECT_DOUBLE_EQ(r.attribute("Du").as_double(), 0.2);
+  EXPECT_NO_THROW(gs::bp::dump(r));
+  fs::remove_all(s.output);
+}
+
+TEST(Workflow, AnalysisConsumesWorkflowOutput) {
+  // The full Figure 1 loop: simulate -> write -> read -> slice -> render.
+  const Settings s = workflow_settings("viz", 16, 2, 2);
+  gs::mpi::run(4, [&](gs::mpi::Comm& world) {
+    Workflow wf(s, world);
+    wf.run();
+  });
+  gs::bp::Reader r(s.output);
+  const auto slice = gs::analysis::slice_from_reader(r, "V", 0, 2, 8);
+  EXPECT_EQ(slice.nx, 16);
+  EXPECT_EQ(slice.ny, 16);
+  // The seeded center perturbation must be visible in V at step 2.
+  EXPECT_GT(slice.max, 0.0);
+  const std::string art = gs::analysis::ascii_render(slice, 16);
+  EXPECT_FALSE(art.empty());
+  const auto stats = gs::analysis::compute_stats(r.read_full("U", 0));
+  EXPECT_GT(stats.mean, 0.5);
+  // Noise can push U slightly above 1 (paper Listing 1 reports a global
+  // max of 1.47 over 1,000 steps).
+  EXPECT_LE(stats.max, 1.3);
+  fs::remove_all(s.output);
+}
+
+}  // namespace
