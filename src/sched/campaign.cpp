@@ -1,0 +1,217 @@
+#include "sched/campaign.h"
+
+#include <map>
+#include <set>
+
+#include "common/error.h"
+#include "sched/payload.h"
+
+namespace gs::sched {
+
+namespace {
+
+ModeledPayload modeled_from_json(const json::Value& v) {
+  static const std::set<std::string> kKnown = {
+      "steps",     "cells_per_rank_edge", "output_steps", "nvars",
+      "backend",   "gpu_aware",           "aot",          "read_bytes",
+  };
+  for (const auto& [key, value] : v.as_object()) {
+    (void)value;
+    if (!kKnown.count(key)) {
+      GS_THROW(ParseError, "unknown modeled-payload key \"" << key << "\"");
+    }
+  }
+  ModeledPayload p;
+  p.steps = v.get_or("steps", p.steps);
+  p.cells_per_rank_edge =
+      v.get_or("cells_per_rank_edge", p.cells_per_rank_edge);
+  p.output_steps = v.get_or("output_steps", p.output_steps);
+  p.nvars = static_cast<int>(
+      v.get_or("nvars", static_cast<std::int64_t>(p.nvars)));
+  p.backend = backend_from_string(
+      v.get_or("backend", std::string(to_string(p.backend))));
+  p.gpu_aware = v.get_or("gpu_aware", p.gpu_aware);
+  p.aot = v.get_or("aot", p.aot);
+  p.read_bytes = static_cast<std::uint64_t>(
+      v.get_or("read_bytes", static_cast<std::int64_t>(p.read_bytes)));
+  return p;
+}
+
+JobSpec job_from_json(const json::Value& v, const std::string& user,
+                      const std::map<std::string, std::size_t>& earlier) {
+  static const std::set<std::string> kKnown = {
+      "name",     "kind",    "nodes",   "ranks_per_node",
+      "walltime", "priority", "max_retries", "depends",
+      "duration", "modeled", "settings",
+  };
+  for (const auto& [key, value] : v.as_object()) {
+    (void)value;
+    if (!kKnown.count(key)) {
+      GS_THROW(ParseError, "unknown campaign job key \"" << key << "\"");
+    }
+  }
+  JobSpec spec;
+  spec.name = v.get_or("name", spec.name);
+  spec.user = user;
+  spec.nodes = v.get_or("nodes", spec.nodes);
+  spec.ranks_per_node = static_cast<int>(v.get_or(
+      "ranks_per_node", static_cast<std::int64_t>(spec.ranks_per_node)));
+  spec.walltime_limit = v.get_or("walltime", spec.walltime_limit);
+  spec.priority = v.get_or("priority", spec.priority);
+  spec.max_retries = static_cast<int>(v.get_or(
+      "max_retries", static_cast<std::int64_t>(spec.max_retries)));
+
+  spec.payload.kind =
+      payload_kind_from_string(v.get_or("kind", std::string("fixed")));
+  switch (spec.payload.kind) {
+    case PayloadKind::fixed:
+      spec.payload.fixed_duration =
+          v.get_or("duration", spec.payload.fixed_duration);
+      break;
+    case PayloadKind::modeled:
+      if (v.contains("modeled")) {
+        spec.payload.modeled = modeled_from_json(v.at("modeled"));
+      }
+      break;
+    case PayloadKind::functional:
+      GS_REQUIRE(v.contains("settings"),
+                 "functional job '" << spec.name
+                                    << "' needs a \"settings\" object");
+      spec.payload.settings = Settings::from_json(v.at("settings"));
+      break;
+  }
+
+  if (v.contains("depends")) {
+    for (const auto& dep : v.at("depends").as_array()) {
+      const std::string parent = dep.at("job").as_string();
+      const auto it = earlier.find(parent);
+      if (it == earlier.end()) {
+        GS_THROW(ParseError,
+                 "job '" << spec.name << "' depends on '" << parent
+                         << "', which is not an earlier job in the campaign");
+      }
+      Dependency d;
+      d.job = static_cast<JobId>(it->second);
+      d.type = dep_type_from_string(
+          dep.get_or("type", std::string("afterok")));
+      spec.deps.push_back(d);
+    }
+  }
+  return spec;
+}
+
+}  // namespace
+
+Campaign campaign_from_json(const json::Value& v) {
+  static const std::set<std::string> kKnown = {"name", "user", "jobs"};
+  for (const auto& [key, value] : v.as_object()) {
+    (void)value;
+    if (!kKnown.count(key)) {
+      GS_THROW(ParseError, "unknown campaign key \"" << key << "\"");
+    }
+  }
+  Campaign c;
+  c.name = v.get_or("name", c.name);
+  c.user = v.get_or("user", c.user);
+  GS_REQUIRE(v.contains("jobs"), "campaign '" << c.name
+                                              << "' has no \"jobs\" array");
+
+  std::map<std::string, std::size_t> by_name;
+  for (const auto& jv : v.at("jobs").as_array()) {
+    JobSpec spec = job_from_json(jv, c.user, by_name);
+    if (by_name.count(spec.name)) {
+      GS_THROW(ParseError, "campaign '" << c.name
+                                        << "' has two jobs named '"
+                                        << spec.name << "'");
+    }
+    by_name[spec.name] = c.jobs.size();
+    c.names.push_back(spec.name);
+    c.jobs.push_back(std::move(spec));
+  }
+  GS_REQUIRE(!c.jobs.empty(), "campaign '" << c.name << "' is empty");
+  return c;
+}
+
+Campaign campaign_from_file(const std::string& path) {
+  return campaign_from_json(json::parse_file(path));
+}
+
+std::vector<JobId> submit_campaign(Scheduler& sched, const Campaign& c,
+                                   double submit_at) {
+  std::vector<JobId> ids;
+  ids.reserve(c.jobs.size());
+  for (const JobSpec& spec : c.jobs) {
+    JobSpec remapped = spec;  // deps hold campaign indices -> real ids
+    for (auto& d : remapped.deps) {
+      GS_ASSERT(d.job >= 0 &&
+                    d.job < static_cast<JobId>(ids.size()),
+                "campaign dependency must point at an earlier job");
+      d.job = ids[static_cast<std::size_t>(d.job)];
+    }
+    ids.push_back(sched.submit(std::move(remapped), submit_at));
+  }
+  return ids;
+}
+
+Campaign pipeline_campaign(const std::string& name, const std::string& user,
+                           std::int64_t nodes, std::int64_t steps,
+                           std::int64_t output_steps,
+                           std::int64_t cells_per_rank_edge) {
+  Campaign c;
+  c.name = name;
+  c.user = user;
+
+  JobSpec sim;
+  sim.name = name + ".sim";
+  sim.user = user;
+  sim.nodes = nodes;
+  sim.payload.kind = PayloadKind::modeled;
+  sim.payload.modeled.steps = steps;
+  sim.payload.modeled.output_steps = output_steps;
+  sim.payload.modeled.cells_per_rank_edge = cells_per_rank_edge;
+  // Generous limit: 4x the jitter-free estimate keeps TIMEOUT a genuine
+  // anomaly while still giving backfill a finite window to pack against.
+  sim.walltime_limit =
+      4.0 * modeled_mean_duration(sim.payload.modeled, nodes,
+                                  sim.ranks_per_node);
+
+  const std::uint64_t dataset_bytes =
+      static_cast<std::uint64_t>(output_steps) *
+      static_cast<std::uint64_t>(nodes) * sim.ranks_per_node *
+      static_cast<std::uint64_t>(cells_per_rank_edge *
+                                 cells_per_rank_edge *
+                                 cells_per_rank_edge) *
+      sizeof(double) * 2;
+
+  JobSpec analysis;
+  analysis.name = name + ".analysis";
+  analysis.user = user;
+  analysis.nodes = 1;
+  analysis.payload.kind = PayloadKind::modeled;
+  analysis.payload.modeled.steps = 0;
+  // The Figure 9 notebook stage reads slices, not the full dataset:
+  // charge ~1% of the volume (still far beyond one slice).
+  analysis.payload.modeled.read_bytes =
+      std::max<std::uint64_t>(dataset_bytes / 100, 1u << 20);
+  analysis.walltime_limit =
+      4.0 * modeled_mean_duration(analysis.payload.modeled, 1,
+                                  analysis.ranks_per_node);
+  analysis.deps.push_back({0, DepType::afterok});
+
+  JobSpec cleanup;
+  cleanup.name = name + ".cleanup";
+  cleanup.user = user;
+  cleanup.nodes = 1;
+  cleanup.payload.kind = PayloadKind::fixed;
+  cleanup.payload.fixed_duration = 30.0;
+  cleanup.walltime_limit = 300.0;
+  cleanup.deps.push_back({1, DepType::afterany});
+
+  c.names = {sim.name, analysis.name, cleanup.name};
+  c.jobs.push_back(std::move(sim));
+  c.jobs.push_back(std::move(analysis));
+  c.jobs.push_back(std::move(cleanup));
+  return c;
+}
+
+}  // namespace gs::sched

@@ -1,0 +1,67 @@
+// Campaign DAG: a named set of dependent jobs submitted as one unit.
+//
+// This is the end-to-end-workflow layer the paper's title promises: the
+// simulate -> BP-write -> analysis pipeline expressed as Slurm jobs wired
+// with afterok dependencies, loaded from a campaign JSON (the scheduling
+// analog of GrayScott.jl's settings-files.json). A campaign can mix
+// payload kinds freely — a functional 2-node smoke simulation and a
+// modeled 512-node production run are both just jobs.
+//
+// Campaign JSON shape:
+//
+//   {
+//     "name": "gray-scott",
+//     "user": "godoy",
+//     "jobs": [
+//       { "name": "sim", "kind": "functional", "nodes": 1,
+//         "ranks_per_node": 2, "walltime": 600,
+//         "settings": { "L": 16, "steps": 8, "plotgap": 4,
+//                       "output": "campaign.bp", "ranks_per_node": 2 } },
+//       { "name": "analysis", "kind": "modeled", "nodes": 1,
+//         "walltime": 600,
+//         "depends": [ { "job": "sim", "type": "afterok" } ],
+//         "modeled": { "steps": 0, "read_bytes": 1048576 } }
+//     ]
+//   }
+//
+// Dependencies reference earlier jobs *by name* within the campaign;
+// forward references are rejected, which keeps every campaign a DAG by
+// construction.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "config/json.h"
+#include "sched/scheduler.h"
+
+namespace gs::sched {
+
+struct Campaign {
+  std::string name = "campaign";
+  std::string user = "user";
+  std::vector<JobSpec> jobs;        ///< deps hold *indices into this list*
+  std::vector<std::string> names;   ///< per-job names, parallel to jobs
+};
+
+/// Parses a campaign document; unknown keys are rejected so typos in
+/// campaign files fail loudly (same contract as Settings::from_json).
+Campaign campaign_from_json(const json::Value& v);
+Campaign campaign_from_file(const std::string& path);
+
+/// Submits every job of the campaign at `submit_at`, remapping the
+/// intra-campaign dependency indices to scheduler job ids. Returns the
+/// ids in campaign order.
+std::vector<JobId> submit_campaign(Scheduler& sched, const Campaign& c,
+                                   double submit_at = 0.0);
+
+/// The paper's canonical three-stage pipeline as a modeled campaign:
+/// a `nodes`-node simulation writing `output_steps` BP steps, followed by
+/// an analysis job (afterok) reading a slice of the dataset back, followed
+/// by a cleanup/verification job (afterany).
+Campaign pipeline_campaign(const std::string& name, const std::string& user,
+                           std::int64_t nodes, std::int64_t steps,
+                           std::int64_t output_steps,
+                           std::int64_t cells_per_rank_edge = 256);
+
+}  // namespace gs::sched

@@ -1,0 +1,86 @@
+#include "sched/cluster.h"
+
+#include "common/error.h"
+
+namespace gs::sched {
+
+Cluster::Cluster(ClusterConfig cfg) : cfg_(cfg) {
+  GS_REQUIRE(cfg.nodes > 0, "cluster must have at least one node");
+  GS_REQUIRE(cfg.gcds_per_node > 0, "gcds_per_node must be positive");
+  nodes_.resize(static_cast<std::size_t>(cfg.nodes));
+}
+
+std::int64_t Cluster::free_nodes(double now) const {
+  std::int64_t n = 0;
+  for (const auto& node : nodes_) {
+    if (node.job < 0 && now >= node.up_at) ++n;
+  }
+  return n;
+}
+
+std::int64_t Cluster::busy_nodes() const {
+  std::int64_t n = 0;
+  for (const auto& node : nodes_) {
+    if (node.job >= 0) ++n;
+  }
+  return n;
+}
+
+double Cluster::next_repair_after(double now) const {
+  double best = -1.0;
+  for (const auto& node : nodes_) {
+    if (node.job < 0 && node.up_at > now) {
+      if (best < 0.0 || node.up_at < best) best = node.up_at;
+    }
+  }
+  return best;
+}
+
+std::vector<double> Cluster::repair_times(double now) const {
+  std::vector<double> out;
+  for (const auto& node : nodes_) {
+    if (node.job < 0 && node.up_at > now) out.push_back(node.up_at);
+  }
+  return out;
+}
+
+std::vector<int> Cluster::allocate(std::int64_t n, JobId job, double now) {
+  GS_REQUIRE(n > 0 && n <= total_nodes(),
+             "allocation of " << n << " node(s) exceeds cluster size "
+                              << total_nodes());
+  std::vector<int> alloc;
+  alloc.reserve(static_cast<std::size_t>(n));
+  for (std::size_t i = 0; i < nodes_.size() && alloc.size() < static_cast<std::size_t>(n);
+       ++i) {
+    if (nodes_[i].job < 0 && now >= nodes_[i].up_at) {
+      nodes_[i].job = job;
+      alloc.push_back(static_cast<int>(i));
+    }
+  }
+  GS_ASSERT(alloc.size() == static_cast<std::size_t>(n),
+            "allocate called without enough free nodes");
+  return alloc;
+}
+
+void Cluster::release(const std::vector<int>& alloc) {
+  for (int i : alloc) {
+    GS_ASSERT(i >= 0 && i < static_cast<int>(nodes_.size()), "bad node index");
+    nodes_[static_cast<std::size_t>(i)].job = -1;
+  }
+}
+
+void Cluster::mark_down(int node, double up_at) {
+  GS_ASSERT(node >= 0 && node < static_cast<int>(nodes_.size()),
+            "bad node index");
+  auto& n = nodes_[static_cast<std::size_t>(node)];
+  n.job = -1;
+  if (up_at > n.up_at) n.up_at = up_at;
+}
+
+bool Cluster::node_up(int node, double now) const {
+  GS_ASSERT(node >= 0 && node < static_cast<int>(nodes_.size()),
+            "bad node index");
+  return now >= nodes_[static_cast<std::size_t>(node)].up_at;
+}
+
+}  // namespace gs::sched

@@ -1,0 +1,73 @@
+// Cluster model: N Frontier-like nodes of 8 GCDs each, with allocation
+// tracking and node-failure fault injection.
+//
+// The scheduler allocates whole nodes (the paper's runs were node-granular:
+// 8 ranks per node, one BP subfile per node), so the unit of accounting
+// here is the node. Failed nodes go down for a repair interval and return
+// to the free pool, mirroring Frontier's drain/return cycle that the
+// paper's Section 5.2 failures at 32,768 ranks ran into.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sched/job.h"
+
+namespace gs::sched {
+
+struct ClusterConfig {
+  std::int64_t nodes = 64;
+  int gcds_per_node = 8;  ///< Table 1: 4 MI250x = 8 GCDs per node
+};
+
+/// Fault-injection knobs. Failures are sampled deterministically per
+/// (seed, job, attempt), bounded by a total injection budget so tests and
+/// benches can say "exactly K node failures happen in this run".
+struct FaultConfig {
+  double node_fail_prob = 0.0;  ///< P(one node dies during a job attempt)
+  double repair_time = 120.0;   ///< seconds a failed node stays down
+  int max_failures = 0;         ///< total injection budget (0 = off)
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterConfig cfg = {});
+
+  const ClusterConfig& config() const { return cfg_; }
+  std::int64_t total_nodes() const {
+    return static_cast<std::int64_t>(nodes_.size());
+  }
+
+  /// Nodes that are up at `now` and not allocated to any job.
+  std::int64_t free_nodes(double now) const;
+
+  /// Nodes currently allocated to jobs.
+  std::int64_t busy_nodes() const;
+
+  /// Earliest future time a down node returns, or -1 if none are down.
+  double next_repair_after(double now) const;
+
+  /// Return times (each > now) of every down node, one entry per node.
+  std::vector<double> repair_times(double now) const;
+
+  /// Allocates `n` free nodes to `job`; requires free_nodes(now) >= n.
+  std::vector<int> allocate(std::int64_t n, JobId job, double now);
+
+  /// Returns an allocation to the free pool.
+  void release(const std::vector<int>& alloc);
+
+  /// Marks one node as failed: deallocated and down until `up_at`.
+  void mark_down(int node, double up_at);
+
+  bool node_up(int node, double now) const;
+
+ private:
+  ClusterConfig cfg_;
+  struct Node {
+    JobId job = -1;     ///< -1 = unallocated
+    double up_at = 0.0; ///< node is down before this time
+  };
+  std::vector<Node> nodes_;
+};
+
+}  // namespace gs::sched

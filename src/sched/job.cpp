@@ -1,0 +1,74 @@
+#include "sched/job.h"
+
+#include "common/error.h"
+
+namespace gs::sched {
+
+const char* to_string(JobState s) {
+  switch (s) {
+    case JobState::pending: return "PENDING";
+    case JobState::running: return "RUNNING";
+    case JobState::completed: return "COMPLETED";
+    case JobState::failed: return "FAILED";
+    case JobState::timeout: return "TIMEOUT";
+    case JobState::requeued: return "REQUEUED";
+    case JobState::cancelled: return "CANCELLED";
+  }
+  return "?";
+}
+
+bool is_terminal(JobState s) {
+  return s == JobState::completed || s == JobState::failed ||
+         s == JobState::timeout || s == JobState::cancelled;
+}
+
+bool valid_transition(JobState from, JobState to) {
+  switch (from) {
+    case JobState::pending:
+      return to == JobState::running || to == JobState::cancelled;
+    case JobState::running:
+      return to == JobState::completed || to == JobState::failed ||
+             to == JobState::timeout;
+    case JobState::failed:
+      // Node-failure retries pull a failed attempt back into the queue.
+      return to == JobState::requeued;
+    case JobState::requeued:
+      return to == JobState::running || to == JobState::cancelled;
+    case JobState::completed:
+    case JobState::timeout:
+    case JobState::cancelled:
+      return false;  // terminal
+  }
+  return false;
+}
+
+const char* to_string(DepType t) {
+  return t == DepType::afterok ? "afterok" : "afterany";
+}
+
+DepType dep_type_from_string(const std::string& name) {
+  if (name == "afterok") return DepType::afterok;
+  if (name == "afterany") return DepType::afterany;
+  GS_THROW(ParseError, "unknown dependency type '"
+                           << name << "' (expected afterok|afterany)");
+}
+
+const char* to_string(PayloadKind k) {
+  switch (k) {
+    case PayloadKind::fixed: return "fixed";
+    case PayloadKind::modeled: return "modeled";
+    case PayloadKind::functional: return "functional";
+  }
+  return "?";
+}
+
+PayloadKind payload_kind_from_string(const std::string& name) {
+  if (name == "fixed") return PayloadKind::fixed;
+  if (name == "modeled") return PayloadKind::modeled;
+  if (name == "functional") return PayloadKind::functional;
+  GS_THROW(ParseError, "unknown payload kind '"
+                           << name
+                           << "' (expected fixed|modeled|functional)");
+}
+
+}  // namespace gs::sched

@@ -1,0 +1,126 @@
+// Slurm-style job model for the campaign scheduler (gs::sched).
+//
+// Frontier workflows do not run bare: every campaign of the paper is a
+// sequence of `sbatch` submissions strung together with `--dependency`
+// flags, scheduled by Slurm onto 8-GCD nodes. This module models that
+// resource-manager layer: a JobSpec mirrors the sbatch knobs the paper's
+// runs needed (node count, ranks/node, walltime limit, priority,
+// afterok/afterany dependencies), and the state machine mirrors Slurm's
+// job lifecycle (PENDING -> RUNNING -> COMPLETED/FAILED/TIMEOUT, with
+// REQUEUE on node failure and CANCELLED for unsatisfiable work).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "config/settings.h"
+
+namespace gs::sched {
+
+using JobId = std::int64_t;
+
+/// Slurm job lifecycle states (squeue/sacct vocabulary).
+enum class JobState {
+  pending,    ///< queued, waiting for dependencies and/or nodes
+  running,    ///< allocated and executing
+  completed,  ///< payload finished within the walltime limit
+  failed,     ///< payload or node failure (permanent once retries exhaust)
+  timeout,    ///< killed at the walltime limit
+  requeued,   ///< failed attempt returned to the queue (retry budget left)
+  cancelled,  ///< removed without running (dependency never satisfiable)
+};
+
+const char* to_string(JobState s);
+
+/// True for states a job never leaves (dependency resolution looks at
+/// these). `requeued` is not terminal: the job will run again.
+bool is_terminal(JobState s);
+
+/// Legal edges of the job state machine; Scheduler asserts every
+/// transition through this so an illegal move is a programming error,
+/// not a silent accounting corruption.
+bool valid_transition(JobState from, JobState to);
+
+/// Slurm --dependency flavors the campaign DAG uses.
+enum class DepType {
+  afterok,   ///< parent must reach COMPLETED
+  afterany,  ///< parent must reach any terminal state
+};
+
+const char* to_string(DepType t);
+DepType dep_type_from_string(const std::string& name);
+
+struct Dependency {
+  JobId job = -1;
+  DepType type = DepType::afterok;
+};
+
+/// What a job executes once it gets nodes.
+enum class PayloadKind {
+  fixed,       ///< known duration (the `sleep N` of this substrate; tests)
+  modeled,     ///< priced through gs::perf weak-scaling + gs::lustre models
+  functional,  ///< really runs the Gray-Scott workflow in-process
+};
+
+const char* to_string(PayloadKind k);
+PayloadKind payload_kind_from_string(const std::string& name);
+
+/// Parameters of a modeled job: a Figure-6-style run whose duration is
+/// computed from the calibrated substrate models instead of executed.
+struct ModeledPayload {
+  std::int64_t steps = 100;                ///< simulation steps
+  std::int64_t cells_per_rank_edge = 256;  ///< per-GCD cube edge
+  std::int64_t output_steps = 0;           ///< collective BP writes
+  int nvars = 2;
+  KernelBackend backend = KernelBackend::julia_amdgpu;
+  bool gpu_aware = false;
+  bool aot = false;
+  /// Analysis-stage jobs read back instead of computing: total bytes
+  /// pulled from Lustre across the allocation (0 = no read stage).
+  std::uint64_t read_bytes = 0;
+};
+
+struct Payload {
+  PayloadKind kind = PayloadKind::fixed;
+  double fixed_duration = 60.0;  ///< kind == fixed: seconds of node time
+  ModeledPayload modeled;        ///< kind == modeled
+  Settings settings;             ///< kind == functional: full workflow config
+};
+
+/// The sbatch request: everything the user states up front.
+struct JobSpec {
+  std::string name = "job";
+  std::string user = "user";
+  std::int64_t nodes = 1;
+  int ranks_per_node = 8;        ///< GCDs driven per node (<= 8 on Frontier)
+  double walltime_limit = 3600;  ///< seconds; RUNNING past this => TIMEOUT
+  double priority = 0.0;         ///< base priority (higher schedules first)
+  int max_retries = 2;           ///< requeue budget after node failures
+  std::vector<Dependency> deps;
+  Payload payload;
+};
+
+/// One tracked job: the spec plus everything the scheduler learned.
+struct Job {
+  JobId id = -1;
+  JobSpec spec;
+  JobState state = JobState::pending;
+  double submit_time = 0.0;
+  double start_time = -1.0;  ///< last attempt's start (-1 = never started)
+  double end_time = -1.0;    ///< terminal time (-1 = not terminal)
+  int attempts = 0;          ///< times the job reached RUNNING
+  int requeues = 0;
+  std::string reason;        ///< human-readable cause for failed/cancelled
+  std::vector<int> alloc;    ///< node indices while RUNNING
+  double duration = -1.0;    ///< resolved payload runtime of this attempt
+
+  std::int64_t ranks() const {
+    return spec.nodes * static_cast<std::int64_t>(spec.ranks_per_node);
+  }
+  double queue_wait() const {
+    return start_time >= 0.0 ? start_time - submit_time : -1.0;
+  }
+};
+
+}  // namespace gs::sched

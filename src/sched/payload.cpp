@@ -1,0 +1,152 @@
+#include "sched/payload.h"
+
+#include <algorithm>
+#include <mutex>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "core/workflow.h"
+#include "gpu/device_props.h"
+#include "lustre/lustre_model.h"
+#include "mpi/runtime.h"
+#include "net/network_model.h"
+#include "perf/weak_scaling.h"
+
+namespace gs::sched {
+
+namespace {
+
+/// Per-attempt deterministic stream: independent of submission order.
+Rng attempt_rng(std::uint64_t seed, JobId id, int attempt) {
+  return Rng(seed ^ (0x9E3779B97F4A7C15ULL * static_cast<std::uint64_t>(id + 1)) ^
+             (0xBF58476D1CE4E5B9ULL * static_cast<std::uint64_t>(attempt + 1)));
+}
+
+std::uint64_t modeled_bytes_per_node(const ModeledPayload& p,
+                                     int ranks_per_node) {
+  const auto edge = static_cast<std::uint64_t>(p.cells_per_rank_edge);
+  return edge * edge * edge * sizeof(double) *
+         static_cast<std::uint64_t>(p.nvars) *
+         static_cast<std::uint64_t>(ranks_per_node);
+}
+
+PayloadResult run_modeled(const Job& job, std::uint64_t seed) {
+  const ModeledPayload& p = job.spec.payload.modeled;
+  PayloadResult r;
+  r.duration = modeled_mean_duration(p, job.spec.nodes,
+                                     job.spec.ranks_per_node);
+  r.io_bytes = static_cast<std::uint64_t>(p.output_steps) *
+               modeled_bytes_per_node(p, job.spec.ranks_per_node) *
+               static_cast<std::uint64_t>(job.spec.nodes);
+  // Scale-dependent wall-clock jitter (Figure 6): the whole job slows by
+  // one lognormal factor sampled per attempt, so retries do not replay
+  // the identical runtime.
+  const net::NetworkModel network;
+  Rng rng = attempt_rng(seed, job.id, job.attempts);
+  r.duration *= network.jitter_multiplier(std::max<std::int64_t>(job.ranks(), 1),
+                                          rng);
+  return r;
+}
+
+PayloadResult run_functional(const Job& job, std::uint64_t seed) {
+  (void)seed;  // the workflow's own noise is seeded from its Settings
+  const Settings& settings = job.spec.payload.settings;
+  const int nranks = static_cast<int>(job.ranks());
+
+  struct RankReport {
+    core::RunReport report;
+  };
+  std::vector<RankReport> reports(static_cast<std::size_t>(nranks));
+  std::mutex mu;
+
+  PayloadResult r;
+  try {
+    mpi::run(nranks, [&](mpi::Comm& world) {
+      core::Workflow workflow(settings, world);
+      const auto report = workflow.run();
+      std::lock_guard<std::mutex> lock(mu);
+      reports[static_cast<std::size_t>(world.rank())].report = report;
+    });
+  } catch (const std::exception& e) {
+    r.ok = false;
+    r.error = e.what();
+    return r;
+  }
+
+  // The job's charged duration is deterministic: the slowest rank's
+  // simulated device time plus the output volume priced through the
+  // Lustre model (the measured local-disk flush time is not Frontier's).
+  double device = 0.0;
+  std::uint64_t bytes_total = 0;
+  for (const auto& rr : reports) {
+    device = std::max(device, rr.report.device_seconds);
+    bytes_total += rr.report.io_bytes_local;
+  }
+  r.io_bytes = bytes_total;
+  r.duration = device;
+  if (bytes_total > 0) {
+    const lustre::LustreModel lustre;
+    r.duration += lustre.mean_write_time(
+        job.spec.nodes, bytes_total / static_cast<std::uint64_t>(
+                                          std::max<std::int64_t>(
+                                              job.spec.nodes, 1)));
+  }
+  return r;
+}
+
+}  // namespace
+
+double modeled_mean_duration(const ModeledPayload& payload,
+                             std::int64_t nodes, int ranks_per_node) {
+  GS_REQUIRE(nodes > 0, "nodes must be positive");
+  GS_REQUIRE(ranks_per_node > 0, "ranks_per_node must be positive");
+  const std::int64_t nranks =
+      nodes * static_cast<std::int64_t>(ranks_per_node);
+
+  perf::WeakScalingConfig cfg;
+  cfg.cells_per_rank_edge = payload.cells_per_rank_edge;
+  cfg.steps = 1;
+  cfg.nvars = payload.nvars;
+  cfg.backend = payload.backend;
+  cfg.gpu_aware = payload.gpu_aware;
+  const perf::WeakScalingSimulator sim(cfg);
+
+  double t = static_cast<double>(payload.steps) * sim.base_step_time(nranks);
+
+  // One-time JIT warm-up (Figure 7), unless AOT removes it.
+  if (payload.backend == KernelBackend::julia_amdgpu && !payload.aot) {
+    t += gpu::julia_amdgpu_backend().jit_compile_mean;
+  }
+
+  const lustre::LustreModel lustre;
+  if (payload.output_steps > 0) {
+    t += static_cast<double>(payload.output_steps) *
+         lustre.mean_write_time(nodes,
+                                modeled_bytes_per_node(payload,
+                                                       ranks_per_node));
+  }
+  if (payload.read_bytes > 0) {
+    t += lustre.mean_read_time(
+        nodes, payload.read_bytes / static_cast<std::uint64_t>(nodes));
+  }
+  return t;
+}
+
+PayloadResult run_payload(const Job& job, std::uint64_t seed) {
+  switch (job.spec.payload.kind) {
+    case PayloadKind::fixed: {
+      PayloadResult r;
+      r.duration = job.spec.payload.fixed_duration;
+      return r;
+    }
+    case PayloadKind::modeled: return run_modeled(job, seed);
+    case PayloadKind::functional: return run_functional(job, seed);
+  }
+  PayloadResult r;
+  r.ok = false;
+  r.error = "unknown payload kind";
+  return r;
+}
+
+}  // namespace gs::sched

@@ -1,0 +1,39 @@
+// Payload execution/pricing: turns a Job's payload into a runtime.
+//
+// Two substantive kinds coexist in one campaign, exactly the mix the
+// paper's workflow implies: small *functional* jobs really execute the
+// Gray-Scott workflow in-process (gs::core::Workflow over gs::mpi rank
+// threads, writing a real BP dataset), while wide *modeled* jobs are
+// priced through the calibrated gs::perf weak-scaling and gs::lustre I/O
+// models — so a 512-node Figure-6 run and a 2-rank smoke run can sit in
+// the same queue.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sched/job.h"
+
+namespace gs::sched {
+
+/// Outcome of resolving one job attempt's payload.
+struct PayloadResult {
+  bool ok = true;         ///< false: the payload itself failed
+  std::string error;      ///< failure detail when !ok
+  double duration = 0.0;  ///< node wall-clock seconds of the attempt
+  std::uint64_t io_bytes = 0;  ///< total bytes written to storage
+};
+
+/// Resolves the runtime of one attempt. Deterministic for a given
+/// (seed, job id, attempt): modeled jobs re-sample their scale-dependent
+/// jitter per attempt, functional jobs actually run (their BP output is a
+/// side effect on the local file system).
+PayloadResult run_payload(const Job& job, std::uint64_t seed);
+
+/// The deterministic (jitter-free) duration of a modeled payload on
+/// `nodes` x `ranks_per_node` GCDs; exposed for tests and benches that
+/// need to reason about backfill windows exactly.
+double modeled_mean_duration(const ModeledPayload& payload,
+                             std::int64_t nodes, int ranks_per_node);
+
+}  // namespace gs::sched

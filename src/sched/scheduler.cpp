@@ -1,0 +1,516 @@
+#include "sched/scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "common/error.h"
+#include "common/format.h"
+#include "common/rng.h"
+#include "sched/payload.h"
+
+namespace gs::sched {
+
+namespace {
+
+/// Decorrelated from the payload streams: failures must not change the
+/// sampled runtimes of unaffected jobs.
+Rng fault_rng(std::uint64_t seed, JobId id, int attempt) {
+  return Rng(seed ^ 0xF417F417F417F417ULL ^
+             (0x9E3779B97F4A7C15ULL * static_cast<std::uint64_t>(id + 1)) ^
+             (0x94D049BB133111EBULL * static_cast<std::uint64_t>(attempt)));
+}
+
+std::string fmt_time(double t) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", t);
+  return buf;
+}
+
+/// Stepwise node-availability profile used by conservative backfill:
+/// avail[i] nodes are free during [times[i], times[i+1]), and the last
+/// segment extends to infinity (every running job releases its nodes at
+/// its walltime limit, every down node comes back after repair).
+struct Profile {
+  std::map<double, std::int64_t> delta;
+  std::vector<double> times;
+  std::vector<std::int64_t> avail;
+
+  void build() {
+    times.clear();
+    avail.clear();
+    std::int64_t level = 0;
+    for (const auto& [t, d] : delta) {
+      level += d;
+      if (!times.empty() && times.back() == t) {
+        avail.back() = level;
+      } else {
+        times.push_back(t);
+        avail.push_back(level);
+      }
+    }
+  }
+
+  /// Earliest t >= times.front() with >= n nodes free over [t, t+d).
+  /// Returns -1 only if even the steady state cannot fit n nodes.
+  double earliest(std::int64_t n, double d) const {
+    for (std::size_t i = 0; i < times.size(); ++i) {
+      const double t = times[i];
+      bool fits = true;
+      for (std::size_t j = i; j < times.size() && times[j] < t + d; ++j) {
+        if (avail[j] < n) {
+          fits = false;
+          break;
+        }
+      }
+      if (fits) return t;
+    }
+    return -1.0;
+  }
+
+  void reserve(double t, double d, std::int64_t n) {
+    delta[t] -= n;
+    delta[t + d] += n;
+    build();
+  }
+};
+
+}  // namespace
+
+const char* to_string(Policy p) {
+  switch (p) {
+    case Policy::fifo: return "fifo";
+    case Policy::backfill: return "backfill";
+    case Policy::fair_share: return "fair_share";
+  }
+  return "?";
+}
+
+Policy policy_from_string(const std::string& name) {
+  if (name == "fifo") return Policy::fifo;
+  if (name == "backfill") return Policy::backfill;
+  if (name == "fair_share" || name == "fairshare") return Policy::fair_share;
+  GS_THROW(ParseError, "unknown scheduling policy '"
+                           << name
+                           << "' (expected fifo|backfill|fair_share)");
+}
+
+Scheduler::Scheduler(SchedulerConfig cfg)
+    : cfg_(cfg), cluster_(cfg.cluster) {}
+
+void Scheduler::push_event(double time, Event e) {
+  events_.emplace(std::make_pair(time, next_seq_++), e);
+}
+
+void Scheduler::advance_to(double t) {
+  if (t > clock_.now()) {
+    busy_integral_ +=
+        static_cast<double>(cluster_.busy_nodes()) * (t - clock_.now());
+    clock_.advance_to(t);
+  }
+}
+
+void Scheduler::log_event(JobId job, std::string event, std::string detail) {
+  log_.push_back({now(), job, std::move(event), std::move(detail)});
+}
+
+void Scheduler::set_state(Job& job, JobState to) {
+  GS_ASSERT(valid_transition(job.state, to),
+            "illegal job state transition");
+  job.state = to;
+}
+
+bool Scheduler::queued(const Job& job) const {
+  return job.state == JobState::pending || job.state == JobState::requeued;
+}
+
+JobId Scheduler::submit(JobSpec spec, double submit_at) {
+  GS_REQUIRE(spec.nodes > 0, "job '" << spec.name
+                                     << "': nodes must be positive");
+  GS_REQUIRE(spec.ranks_per_node > 0 &&
+                 spec.ranks_per_node <= cluster_.config().gcds_per_node,
+             "job '" << spec.name << "': ranks_per_node must be in [1, "
+                     << cluster_.config().gcds_per_node << "]");
+  GS_REQUIRE(spec.walltime_limit > 0.0,
+             "job '" << spec.name << "': walltime_limit must be positive");
+  for (const auto& d : spec.deps) {
+    GS_REQUIRE(d.job >= 0 && d.job < static_cast<JobId>(jobs_.size()),
+               "job '" << spec.name << "': dependency on unknown job "
+                       << d.job);
+  }
+  Job job;
+  job.id = static_cast<JobId>(jobs_.size());
+  job.spec = std::move(spec);
+  job.submit_time = std::max(now(), submit_at);
+  jobs_.push_back(std::move(job));
+  const Job& j = jobs_.back();
+  log_.push_back({j.submit_time, j.id, "SUBMIT",
+                  "user=" + j.spec.user + " nodes=" +
+                      std::to_string(j.spec.nodes) + " name=" + j.spec.name});
+  push_event(j.submit_time, Event{});
+  return j.id;
+}
+
+const Job& Scheduler::job(JobId id) const {
+  GS_REQUIRE(id >= 0 && id < static_cast<JobId>(jobs_.size()),
+             "unknown job id " << id);
+  return jobs_[static_cast<std::size_t>(id)];
+}
+
+double Scheduler::user_usage(const std::string& user) const {
+  const auto it = usage_.find(user);
+  return it == usage_.end() ? 0.0 : it->second;
+}
+
+bool Scheduler::deps_satisfied(const Job& job, bool* doomed) const {
+  bool ok = true;
+  for (const auto& d : job.spec.deps) {
+    const Job& p = jobs_[static_cast<std::size_t>(d.job)];
+    if (d.type == DepType::afterok) {
+      if (p.state == JobState::completed) continue;
+      if (p.state == JobState::failed || p.state == JobState::timeout ||
+          p.state == JobState::cancelled) {
+        *doomed = true;
+        return false;
+      }
+      ok = false;
+    } else {  // afterany
+      if (is_terminal(p.state)) continue;
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+double Scheduler::effective_priority(const Job& job) const {
+  double p = job.spec.priority;
+  if (cfg_.policy == Policy::fair_share) {
+    p += cfg_.fair_share_weight /
+         (1.0 + user_usage(job.spec.user) / cfg_.fair_share_norm);
+  }
+  return p;
+}
+
+std::vector<JobId> Scheduler::order_queue(
+    const std::vector<JobId>& eligible) const {
+  std::vector<JobId> ordered = eligible;
+  std::sort(ordered.begin(), ordered.end(), [this](JobId a, JobId b) {
+    const Job& ja = jobs_[static_cast<std::size_t>(a)];
+    const Job& jb = jobs_[static_cast<std::size_t>(b)];
+    const double pa = effective_priority(ja);
+    const double pb = effective_priority(jb);
+    if (pa != pb) return pa > pb;
+    if (ja.submit_time != jb.submit_time)
+      return ja.submit_time < jb.submit_time;
+    return a < b;
+  });
+  return ordered;
+}
+
+void Scheduler::charge_usage(const Job& job) {
+  usage_[job.spec.user] += static_cast<double>(job.spec.nodes) *
+                           (now() - job.start_time);
+}
+
+void Scheduler::cancel_job(Job& job, const std::string& reason) {
+  set_state(job, JobState::cancelled);
+  job.end_time = now();
+  job.reason = reason;
+  log_event(job.id, "CANCELLED", reason);
+}
+
+void Scheduler::start_job(Job& job) {
+  job.alloc = cluster_.allocate(job.spec.nodes, job.id, now());
+  set_state(job, JobState::running);
+  job.start_time = now();
+  ++job.attempts;
+  log_event(job.id, "START",
+            "attempt=" + std::to_string(job.attempts) +
+                " nodes=" + std::to_string(job.spec.nodes));
+
+  const PayloadResult result = run_payload(job, cfg_.seed);
+  if (!result.ok) {
+    cluster_.release(job.alloc);
+    job.alloc.clear();
+    charge_usage(job);
+    set_state(job, JobState::failed);
+    job.end_time = now();
+    job.reason = "payload error: " + result.error;
+    log_event(job.id, "FAILED", job.reason);
+    return;
+  }
+  job.duration = result.duration;
+  total_io_bytes_ += result.io_bytes;
+
+  // Fault injection: one allocated node may die mid-attempt.
+  if (injected_failures_ < cfg_.faults.max_failures &&
+      cfg_.faults.node_fail_prob > 0.0) {
+    Rng rng = fault_rng(cfg_.seed, job.id, job.attempts);
+    if (rng.uniform01() < cfg_.faults.node_fail_prob) {
+      ++injected_failures_;
+      const double horizon =
+          std::min(job.duration, job.spec.walltime_limit);
+      Event e;
+      e.kind = Event::Kind::node_fail;
+      e.job = job.id;
+      e.node = job.alloc[static_cast<std::size_t>(
+          rng.uniform_below(job.alloc.size()))];
+      push_event(now() + rng.uniform01() * horizon, e);
+      return;
+    }
+  }
+
+  Event e;
+  e.kind = Event::Kind::job_end;
+  e.job = job.id;
+  if (job.duration > job.spec.walltime_limit) {
+    e.timeout = true;
+    push_event(now() + job.spec.walltime_limit, e);
+  } else {
+    push_event(now() + job.duration, e);
+  }
+}
+
+void Scheduler::finish_job(Job& job, bool timed_out) {
+  cluster_.release(job.alloc);
+  job.alloc.clear();
+  charge_usage(job);
+  job.end_time = now();
+  if (timed_out) {
+    set_state(job, JobState::timeout);
+    job.reason = "walltime limit reached";
+    log_event(job.id, "TIMEOUT",
+              "limit=" + fmt_time(job.spec.walltime_limit));
+  } else {
+    set_state(job, JobState::completed);
+    log_event(job.id, "COMPLETED",
+              "elapsed=" + fmt_time(job.end_time - job.start_time));
+  }
+}
+
+void Scheduler::handle_node_fail(Job& job, int node) {
+  cluster_.release(job.alloc);
+  job.alloc.clear();
+  cluster_.mark_down(node, now() + cfg_.faults.repair_time);
+  charge_usage(job);
+  log_event(job.id, "NODE_FAIL", "node=" + std::to_string(node));
+  set_state(job, JobState::failed);
+  if (job.requeues < job.spec.max_retries) {
+    set_state(job, JobState::requeued);
+    ++job.requeues;
+    log_event(job.id, "REQUEUE",
+              "retry=" + std::to_string(job.requeues) + "/" +
+                  std::to_string(job.spec.max_retries));
+  } else {
+    job.end_time = now();
+    job.reason = "node failure (retry budget exhausted)";
+    log_event(job.id, "FAILED", job.reason);
+  }
+  push_event(now() + cfg_.faults.repair_time, Event{});  // wake on repair
+}
+
+void Scheduler::schedule_ready() {
+  // Cascade dependency-doomed cancellations to a fixed point first, so a
+  // whole sub-DAG below a failed parent is cleaned up in one pass.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (auto& j : jobs_) {
+      if (!queued(j)) continue;
+      bool doomed = false;
+      deps_satisfied(j, &doomed);
+      if (doomed) {
+        cancel_job(j, "dependency never satisfied");
+        changed = true;
+      }
+    }
+  }
+
+  std::vector<JobId> eligible;
+  for (const auto& j : jobs_) {
+    if (!queued(j) || j.submit_time > now()) continue;
+    bool doomed = false;
+    if (deps_satisfied(j, &doomed)) eligible.push_back(j.id);
+  }
+  const std::vector<JobId> ordered = order_queue(eligible);
+
+  if (cfg_.policy == Policy::fifo) {
+    for (JobId id : ordered) {
+      Job& j = jobs_[static_cast<std::size_t>(id)];
+      if (j.spec.nodes > cluster_.total_nodes()) {
+        cancel_job(j, "requested nodes exceed cluster size");
+        continue;
+      }
+      if (cluster_.free_nodes(now()) >= j.spec.nodes) {
+        start_job(j);
+      } else {
+        break;  // strict order: the queue head blocks everything behind it
+      }
+    }
+    return;
+  }
+
+  // Conservative backfill: walk the queue in priority order, give every
+  // job the earliest reservation that fits the availability profile, and
+  // start the ones whose reservation is "now". A later job can slip in
+  // front only into holes that delay no reservation ahead of it.
+  Profile prof;
+  prof.delta[now()] += cluster_.free_nodes(now());
+  for (const auto& j : jobs_) {
+    if (j.state == JobState::running) {
+      prof.delta[j.start_time + j.spec.walltime_limit] += j.spec.nodes;
+    }
+  }
+  for (double t : cluster_.repair_times(now())) prof.delta[t] += 1;
+  prof.build();
+
+  for (JobId id : ordered) {
+    Job& j = jobs_[static_cast<std::size_t>(id)];
+    if (j.spec.nodes > cluster_.total_nodes()) {
+      cancel_job(j, "requested nodes exceed cluster size");
+      continue;
+    }
+    const double t = prof.earliest(j.spec.nodes, j.spec.walltime_limit);
+    GS_ASSERT(t >= 0.0, "backfill profile must admit every feasible job");
+    prof.reserve(t, j.spec.walltime_limit, j.spec.nodes);
+    if (t <= now()) start_job(j);
+  }
+}
+
+void Scheduler::run_until(double t_stop) {
+  while (true) {
+    schedule_ready();
+    if (events_.empty()) break;
+    const auto it = events_.begin();
+    if (it->first.first > t_stop) break;
+    const Event e = it->second;
+    const double t = it->first.first;
+    events_.erase(it);
+    advance_to(t);
+    switch (e.kind) {
+      case Event::Kind::wake:
+        break;  // schedule_ready at the loop top does the work
+      case Event::Kind::job_end: {
+        Job& j = jobs_[static_cast<std::size_t>(e.job)];
+        if (j.state == JobState::running) finish_job(j, e.timeout);
+        break;
+      }
+      case Event::Kind::node_fail: {
+        Job& j = jobs_[static_cast<std::size_t>(e.job)];
+        if (j.state == JobState::running) handle_node_fail(j, e.node);
+        break;
+      }
+    }
+  }
+  if (std::isfinite(t_stop)) advance_to(t_stop);
+}
+
+void Scheduler::run() {
+  while (true) {
+    run_until(std::numeric_limits<double>::infinity());
+    // Anything still queued can never start (impossible size was already
+    // cancelled; this catches dead-ends like dependents of stuck work).
+    bool any = false;
+    for (auto& j : jobs_) {
+      if (queued(j)) {
+        cancel_job(j, "unschedulable: queue drained with job still pending");
+        any = true;
+      }
+    }
+    if (!any) break;  // everything terminal
+  }
+}
+
+std::string Scheduler::squeue() const {
+  static const auto short_state = [](JobState s) {
+    switch (s) {
+      case JobState::pending: return "PD";
+      case JobState::running: return "R";
+      case JobState::completed: return "CD";
+      case JobState::failed: return "F";
+      case JobState::timeout: return "TO";
+      case JobState::requeued: return "RQ";
+      case JobState::cancelled: return "CA";
+    }
+    return "?";
+  };
+  TableFormatter t({"JOBID", "NAME", "USER", "ST", "NODES", "TIME",
+                    "REASON"});
+  for (const auto& j : jobs_) {
+    std::string time_col = "-";
+    std::string reason;
+    if (j.state == JobState::running) {
+      time_col = fmt_time(now() - j.start_time);
+    } else if (is_terminal(j.state) && j.start_time >= 0.0) {
+      time_col = fmt_time(j.end_time - j.start_time);
+    }
+    if (queued(j)) {
+      bool doomed = false;
+      reason = deps_satisfied(j, &doomed) ? "(Resources)" : "(Dependency)";
+    } else {
+      reason = j.reason;
+    }
+    t.row({std::to_string(j.id), j.spec.name, j.spec.user,
+           short_state(j.state), std::to_string(j.spec.nodes), time_col,
+           reason});
+  }
+  return t.str();
+}
+
+std::string Scheduler::sacct() const {
+  TableFormatter t({"JobID", "JobName", "User", "Nodes", "State", "Submit",
+                    "Start", "End", "Elapsed", "Wait", "Retries"});
+  for (const auto& j : jobs_) {
+    const std::string start =
+        j.start_time >= 0.0 ? fmt_time(j.start_time) : "-";
+    const std::string end = j.end_time >= 0.0 ? fmt_time(j.end_time) : "-";
+    const std::string elapsed =
+        (j.start_time >= 0.0 && j.end_time >= 0.0)
+            ? fmt_time(j.end_time - j.start_time)
+            : "-";
+    const std::string wait =
+        j.start_time >= 0.0 ? fmt_time(j.queue_wait()) : "-";
+    t.row({std::to_string(j.id), j.spec.name, j.spec.user,
+           std::to_string(j.spec.nodes), to_string(j.state),
+           fmt_time(j.submit_time), start, end, elapsed, wait,
+           std::to_string(j.requeues)});
+  }
+  return t.str();
+}
+
+std::string Scheduler::event_log() const {
+  std::string out;
+  for (const auto& e : log_) {
+    out += "t=" + fmt_time(e.time) + " job=" + std::to_string(e.job) + " " +
+           e.event;
+    if (!e.detail.empty()) out += " " + e.detail;
+    out += "\n";
+  }
+  return out;
+}
+
+SchedStats Scheduler::stats() const {
+  SchedStats s;
+  for (const auto& j : jobs_) {
+    if (j.end_time > s.makespan) s.makespan = j.end_time;
+    if (j.start_time >= 0.0) s.queue_waits.add(j.queue_wait());
+    s.requeues += j.requeues;
+    switch (j.state) {
+      case JobState::completed: ++s.completed; break;
+      case JobState::failed: ++s.failed; break;
+      case JobState::timeout: ++s.timeouts; break;
+      case JobState::cancelled: ++s.cancelled; break;
+      default: break;
+    }
+  }
+  if (s.makespan > 0.0) {
+    s.utilization = busy_integral_ /
+                    (static_cast<double>(cluster_.total_nodes()) *
+                     s.makespan);
+  }
+  s.io_bytes = total_io_bytes_;
+  return s;
+}
+
+}  // namespace gs::sched

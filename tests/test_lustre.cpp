@@ -1,0 +1,75 @@
+// gs::lustre edge cases: degenerate volumes, the single-client case, and
+// monotonicity of the modeled bandwidth/time in the node count.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "lustre/lustre_model.h"
+
+using gs::lustre::LustreModel;
+
+TEST(LustreModel, ZeroByteWriteCostsExactlyTheOpenLatency) {
+  const LustreModel lustre;
+  EXPECT_DOUBLE_EQ(lustre.mean_write_time(1, 0),
+                   lustre.params().open_latency);
+  EXPECT_DOUBLE_EQ(lustre.mean_read_time(1, 0),
+                   lustre.params().open_latency);
+}
+
+TEST(LustreModel, SingleClientSeesUncontendedStream) {
+  const LustreModel lustre;
+  // One node's aggregate is its own client bandwidth, bent only by the
+  // (negligible at n=1) saturation term.
+  const double bw = lustre.aggregate_write_bandwidth(1);
+  EXPECT_LE(bw, lustre.params().client_bw);
+  EXPECT_GT(bw, 0.99 * lustre.params().client_bw);
+}
+
+TEST(LustreModel, AggregateBandwidthMonotoneAndBounded) {
+  const LustreModel lustre;
+  double prev = 0.0;
+  for (std::int64_t n : {1, 8, 64, 512, 4096, 32768}) {
+    const double bw = lustre.aggregate_write_bandwidth(n);
+    EXPECT_GT(bw, prev) << "more writers must never lower the aggregate";
+    EXPECT_LE(bw, lustre.params().peak_write);
+    prev = bw;
+  }
+}
+
+TEST(LustreModel, PerNodeWriteTimeMonotoneInNodeCount) {
+  const LustreModel lustre;
+  const std::uint64_t bytes = 1ull << 30;  // 1 GiB per node
+  double prev = 0.0;
+  for (std::int64_t n : {1, 8, 64, 512, 4096}) {
+    const double t = lustre.mean_write_time(n, bytes);
+    EXPECT_GE(t, prev)
+        << "per-node time must not shrink as contention grows";
+    prev = t;
+  }
+}
+
+TEST(LustreModel, ReadBandwidthScaledByPeakRatio) {
+  const LustreModel lustre;
+  double prev = 0.0;
+  for (std::int64_t n : {1, 8, 64, 512}) {
+    const double bw = lustre.aggregate_read_bandwidth(n);
+    EXPECT_GT(bw, prev);
+    EXPECT_LE(bw, lustre.params().peak_read);
+    prev = bw;
+  }
+}
+
+TEST(LustreModel, SimulatedWriteBracketsTheMeanDeterministically) {
+  const LustreModel lustre;
+  gs::Rng rng_a(7), rng_b(7);
+  const auto a = lustre.simulate_write(64, 1ull << 28, rng_a);
+  const auto b = lustre.simulate_write(64, 1ull << 28, rng_b);
+  EXPECT_DOUBLE_EQ(a.seconds, b.seconds);  // same seed, same sample
+  EXPECT_GT(a.fastest_node, 0.0);
+  EXPECT_GE(a.slowest_node, a.fastest_node);
+  EXPECT_DOUBLE_EQ(a.seconds, a.slowest_node);
+  // The collective (slowest-node) time cannot beat the jitter-free mean
+  // by more than the lognormal spread allows; sanity-bracket it.
+  const double mean = lustre.mean_write_time(64, 1ull << 28);
+  EXPECT_GT(a.seconds, 0.8 * mean);
+  EXPECT_LT(a.seconds, 1.5 * mean);
+}

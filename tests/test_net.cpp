@@ -1,0 +1,79 @@
+// gs::net edge cases: degenerate message sizes, the single-rank job, and
+// monotonicity of the modeled cost in message size and job scale.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "net/network_model.h"
+
+using gs::net::LinkParams;
+using gs::net::NetworkModel;
+
+TEST(NetworkModel, ZeroByteMessageCostsExactlyTheLatency) {
+  const NetworkModel net;
+  EXPECT_DOUBLE_EQ(net.message_time(0), net.link().latency);
+}
+
+TEST(NetworkModel, SingleRankJobHasNoContention) {
+  const NetworkModel net;
+  EXPECT_DOUBLE_EQ(net.contention_factor(1), 1.0);
+}
+
+TEST(NetworkModel, ContentionFactorMonotoneInRanks) {
+  const NetworkModel net;
+  double prev = 0.0;
+  for (std::int64_t p : {1, 2, 8, 64, 512, 4096, 32768}) {
+    const double f = net.contention_factor(p);
+    EXPECT_GE(f, 1.0);
+    EXPECT_GT(f, prev);
+    prev = f;
+  }
+}
+
+TEST(NetworkModel, MessageTimeMonotoneInBytes) {
+  const NetworkModel net;
+  double prev = -1.0;
+  for (std::uint64_t bytes : {0ull, 1ull, 1024ull, 1ull << 20, 1ull << 30}) {
+    const double t = net.message_time(bytes);
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(NetworkModel, HaloTimeMonotoneInRanks) {
+  const NetworkModel net;
+  const gs::Index3 local{64, 64, 64};
+  double prev = 0.0;
+  for (std::int64_t p : {1, 8, 64, 512, 4096}) {
+    const double t = net.halo_time(local, /*nvars=*/2, p);
+    EXPECT_GT(t, 0.0);
+    EXPECT_GE(t, prev) << "halo cost must not shrink as the job grows";
+    prev = t;
+  }
+}
+
+TEST(NetworkModel, JitterSigmaMonotoneAndCalibrated) {
+  const NetworkModel net;
+  // Below the knee the paper's 2-3% regime applies uniformly...
+  EXPECT_DOUBLE_EQ(net.jitter_sigma(1), net.jitter_sigma(512));
+  // ...and sigma only grows from there to the 4,096-rank regime.
+  double prev = 0.0;
+  for (std::int64_t p : {1, 512, 1024, 2048, 4096}) {
+    const double s = net.jitter_sigma(p);
+    EXPECT_GE(s, prev);
+    prev = s;
+  }
+  EXPECT_DOUBLE_EQ(net.jitter_sigma(4096), net.jitter().large_scale_sigma);
+}
+
+TEST(NetworkModel, JitterMultiplierIsPositiveAndMeanIsNearOne) {
+  const NetworkModel net;
+  gs::Rng rng(99);
+  double sum = 0.0;
+  const int n = 4000;
+  for (int i = 0; i < n; ++i) {
+    const double m = net.jitter_multiplier(4096, rng);
+    EXPECT_GT(m, 0.0);
+    sum += m;
+  }
+  EXPECT_NEAR(sum / n, 1.0, 0.01);
+}

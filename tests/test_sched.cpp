@@ -1,0 +1,424 @@
+// gs::sched — job state machine, cluster, policies, faults, campaigns.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "bp/reader.h"
+#include "config/json.h"
+#include "sched/campaign.h"
+#include "sched/cluster.h"
+#include "sched/payload.h"
+#include "sched/scheduler.h"
+
+namespace sched = gs::sched;
+using sched::DepType;
+using sched::JobSpec;
+using sched::JobState;
+using sched::PayloadKind;
+using sched::Policy;
+using sched::Scheduler;
+using sched::SchedulerConfig;
+
+namespace {
+
+JobSpec fixed_job(const std::string& name, const std::string& user,
+                  std::int64_t nodes, double duration, double limit) {
+  JobSpec s;
+  s.name = name;
+  s.user = user;
+  s.nodes = nodes;
+  s.walltime_limit = limit;
+  s.payload.kind = PayloadKind::fixed;
+  s.payload.fixed_duration = duration;
+  return s;
+}
+
+SchedulerConfig small_cluster(Policy policy, std::int64_t nodes = 4) {
+  SchedulerConfig cfg;
+  cfg.policy = policy;
+  cfg.cluster.nodes = nodes;
+  return cfg;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- states
+
+TEST(JobStateMachine, LegalAndIllegalTransitions) {
+  EXPECT_TRUE(sched::valid_transition(JobState::pending, JobState::running));
+  EXPECT_TRUE(sched::valid_transition(JobState::pending, JobState::cancelled));
+  EXPECT_TRUE(sched::valid_transition(JobState::running, JobState::completed));
+  EXPECT_TRUE(sched::valid_transition(JobState::running, JobState::failed));
+  EXPECT_TRUE(sched::valid_transition(JobState::running, JobState::timeout));
+  EXPECT_TRUE(sched::valid_transition(JobState::failed, JobState::requeued));
+  EXPECT_TRUE(sched::valid_transition(JobState::requeued, JobState::running));
+
+  EXPECT_FALSE(sched::valid_transition(JobState::pending, JobState::completed));
+  EXPECT_FALSE(sched::valid_transition(JobState::completed, JobState::running));
+  EXPECT_FALSE(sched::valid_transition(JobState::cancelled, JobState::pending));
+  EXPECT_FALSE(sched::valid_transition(JobState::timeout, JobState::requeued));
+}
+
+TEST(JobStateMachine, TerminalStates) {
+  EXPECT_TRUE(sched::is_terminal(JobState::completed));
+  EXPECT_TRUE(sched::is_terminal(JobState::failed));
+  EXPECT_TRUE(sched::is_terminal(JobState::timeout));
+  EXPECT_TRUE(sched::is_terminal(JobState::cancelled));
+  EXPECT_FALSE(sched::is_terminal(JobState::pending));
+  EXPECT_FALSE(sched::is_terminal(JobState::running));
+  EXPECT_FALSE(sched::is_terminal(JobState::requeued));
+}
+
+// --------------------------------------------------------------- cluster
+
+TEST(Cluster, AllocateReleaseRoundTrip) {
+  sched::Cluster cluster({.nodes = 4, .gcds_per_node = 8});
+  EXPECT_EQ(cluster.free_nodes(0.0), 4);
+  const auto alloc = cluster.allocate(3, /*job=*/7, 0.0);
+  EXPECT_EQ(alloc.size(), 3u);
+  EXPECT_EQ(cluster.free_nodes(0.0), 1);
+  EXPECT_EQ(cluster.busy_nodes(), 3);
+  cluster.release(alloc);
+  EXPECT_EQ(cluster.free_nodes(0.0), 4);
+}
+
+TEST(Cluster, DownNodeStaysOutUntilRepair) {
+  sched::Cluster cluster({.nodes = 2, .gcds_per_node = 8});
+  cluster.mark_down(0, /*up_at=*/50.0);
+  EXPECT_EQ(cluster.free_nodes(0.0), 1);
+  EXPECT_FALSE(cluster.node_up(0, 49.0));
+  EXPECT_TRUE(cluster.node_up(0, 50.0));
+  EXPECT_EQ(cluster.free_nodes(50.0), 2);
+  EXPECT_DOUBLE_EQ(cluster.next_repair_after(0.0), 50.0);
+  EXPECT_EQ(cluster.repair_times(0.0).size(), 1u);
+  EXPECT_EQ(cluster.repair_times(50.0).size(), 0u);
+}
+
+// ---------------------------------------------------------- dependencies
+
+TEST(SchedulerDeps, AfterokBlocksUntilParentCompleted) {
+  Scheduler s(small_cluster(Policy::fifo));
+  const auto parent = s.submit(fixed_job("parent", "u", 1, 100.0, 200.0));
+  auto child_spec = fixed_job("child", "u", 1, 10.0, 50.0);
+  child_spec.deps.push_back({parent, DepType::afterok});
+  const auto child = s.submit(child_spec);
+  s.run();
+
+  EXPECT_EQ(s.job(parent).state, JobState::completed);
+  EXPECT_EQ(s.job(child).state, JobState::completed);
+  // The cluster had free nodes the whole time: only the dependency held
+  // the child back until the parent's completion at t=100.
+  EXPECT_DOUBLE_EQ(s.job(parent).end_time, 100.0);
+  EXPECT_DOUBLE_EQ(s.job(child).start_time, 100.0);
+}
+
+TEST(SchedulerDeps, AfterokChildCancelledWhenParentTimesOut) {
+  Scheduler s(small_cluster(Policy::fifo));
+  const auto parent =
+      s.submit(fixed_job("parent", "u", 1, /*duration=*/100.0, /*limit=*/20.0));
+  auto ok_spec = fixed_job("ok-child", "u", 1, 5.0, 50.0);
+  ok_spec.deps.push_back({parent, DepType::afterok});
+  const auto ok_child = s.submit(ok_spec);
+  auto any_spec = fixed_job("any-child", "u", 1, 5.0, 50.0);
+  any_spec.deps.push_back({parent, DepType::afterany});
+  const auto any_child = s.submit(any_spec);
+  s.run();
+
+  EXPECT_EQ(s.job(parent).state, JobState::timeout);
+  EXPECT_EQ(s.job(ok_child).state, JobState::cancelled);
+  EXPECT_EQ(s.job(any_child).state, JobState::completed);
+  // afterany fires at the parent's terminal time, not before.
+  EXPECT_DOUBLE_EQ(s.job(any_child).start_time, 20.0);
+}
+
+// --------------------------------------------------------------- timeout
+
+TEST(SchedulerTimeout, JobKilledAtWalltimeLimit) {
+  Scheduler s(small_cluster(Policy::fifo));
+  const auto id = s.submit(fixed_job("long", "u", 2, 100.0, 40.0));
+  s.run();
+  EXPECT_EQ(s.job(id).state, JobState::timeout);
+  EXPECT_DOUBLE_EQ(s.job(id).end_time - s.job(id).start_time, 40.0);
+  EXPECT_EQ(s.stats().timeouts, 1);
+}
+
+// -------------------------------------------------------------- backfill
+
+TEST(SchedulerBackfill, SmallJobRunsAheadWithoutDelayingWideJob) {
+  // J0 holds 3 of 4 nodes for 100 s; J1 needs all 4 (blocked until 100);
+  // J2 needs 1 node for 50 s and fits entirely inside J1's wait.
+  const auto submit_all = [](Scheduler& s) {
+    s.submit(fixed_job("wide-running", "u", 3, 100.0, 100.0));
+    s.submit(fixed_job("wide-blocked", "u", 4, 50.0, 50.0));
+    s.submit(fixed_job("small", "u", 1, 50.0, 50.0));
+  };
+
+  Scheduler fifo(small_cluster(Policy::fifo));
+  submit_all(fifo);
+  fifo.run();
+  Scheduler bf(small_cluster(Policy::backfill));
+  submit_all(bf);
+  bf.run();
+
+  // FIFO: the blocked wide job stalls the small one behind it.
+  EXPECT_DOUBLE_EQ(fifo.job(1).start_time, 100.0);
+  EXPECT_DOUBLE_EQ(fifo.job(2).start_time, 150.0);
+
+  // Backfill: the small job slips into the hole at t=0, and the wide job
+  // still starts at exactly the same time as under FIFO (conservative:
+  // its reservation was not delayed).
+  EXPECT_DOUBLE_EQ(bf.job(2).start_time, 0.0);
+  EXPECT_DOUBLE_EQ(bf.job(1).start_time, 100.0);
+
+  EXPECT_LT(bf.stats().makespan, fifo.stats().makespan);
+  EXPECT_GT(bf.stats().utilization, fifo.stats().utilization);
+}
+
+// ------------------------------------------------------------ fair share
+
+TEST(SchedulerFairShare, HeavyUserYieldsToFreshUser) {
+  // alice burns 4,000 node-seconds first; then alice and bob each queue a
+  // full-cluster job. alice submitted earlier, bob has no usage: under
+  // fair-share bob goes first.
+  Scheduler s(small_cluster(Policy::fair_share));
+  s.submit(fixed_job("alice-big", "alice", 4, 1000.0, 1000.0));
+  const auto alice2 = s.submit(fixed_job("alice-next", "alice", 4, 10.0, 10.0));
+  const auto bob1 = s.submit(fixed_job("bob-first", "bob", 4, 10.0, 10.0));
+  s.run();
+
+  EXPECT_GT(s.user_usage("alice"), s.user_usage("bob"));
+  EXPECT_DOUBLE_EQ(s.job(bob1).start_time, 1000.0);
+  EXPECT_DOUBLE_EQ(s.job(alice2).start_time, 1010.0);
+  EXPECT_LT(s.job(bob1).start_time, s.job(alice2).start_time);
+}
+
+TEST(SchedulerFairShare, FifoWouldOrderBySubmissionInstead) {
+  Scheduler s(small_cluster(Policy::fifo));
+  s.submit(fixed_job("alice-big", "alice", 4, 1000.0, 1000.0));
+  const auto alice2 = s.submit(fixed_job("alice-next", "alice", 4, 10.0, 10.0));
+  const auto bob1 = s.submit(fixed_job("bob-first", "bob", 4, 10.0, 10.0));
+  s.run();
+  EXPECT_LT(s.job(alice2).start_time, s.job(bob1).start_time);
+}
+
+// ---------------------------------------------------------------- faults
+
+TEST(SchedulerFaults, NodeFailureRequeuesThenSucceeds) {
+  SchedulerConfig cfg = small_cluster(Policy::backfill);
+  cfg.faults.node_fail_prob = 1.0;  // first attempt is guaranteed to die
+  cfg.faults.max_failures = 1;      // ...and the injection budget is spent
+  cfg.faults.repair_time = 60.0;
+  Scheduler s(cfg);
+  auto spec = fixed_job("victim", "u", 2, 100.0, 150.0);
+  spec.max_retries = 2;
+  const auto id = s.submit(spec);
+  s.run();
+
+  const auto& j = s.job(id);
+  EXPECT_EQ(j.state, JobState::completed);
+  EXPECT_EQ(j.attempts, 2);
+  EXPECT_EQ(j.requeues, 1);
+  EXPECT_EQ(s.stats().requeues, 1);
+  EXPECT_EQ(s.stats().completed, 1);
+
+  bool saw_fail = false, saw_requeue = false;
+  for (const auto& e : s.events()) {
+    if (e.event == "NODE_FAIL") saw_fail = true;
+    if (e.event == "REQUEUE") saw_requeue = true;
+  }
+  EXPECT_TRUE(saw_fail);
+  EXPECT_TRUE(saw_requeue);
+}
+
+TEST(SchedulerFaults, RetryBudgetExhaustionFailsPermanently) {
+  SchedulerConfig cfg = small_cluster(Policy::backfill);
+  cfg.faults.node_fail_prob = 1.0;
+  cfg.faults.max_failures = 10;  // every attempt dies
+  Scheduler s(cfg);
+  auto spec = fixed_job("doomed", "u", 1, 50.0, 100.0);
+  spec.max_retries = 1;
+  const auto id = s.submit(spec);
+  s.run();
+
+  EXPECT_EQ(s.job(id).state, JobState::failed);
+  EXPECT_EQ(s.job(id).requeues, 1);
+  EXPECT_EQ(s.job(id).attempts, 2);
+  EXPECT_EQ(s.stats().failed, 1);
+}
+
+// ----------------------------------------------------------- determinism
+
+namespace {
+
+Scheduler run_reference_scenario(std::uint64_t seed) {
+  SchedulerConfig cfg;
+  cfg.policy = Policy::backfill;
+  cfg.cluster.nodes = 8;
+  cfg.seed = seed;
+  cfg.faults.node_fail_prob = 0.4;
+  cfg.faults.max_failures = 3;
+  Scheduler s(cfg);
+  for (int u = 0; u < 3; ++u) {
+    const std::string user = "user" + std::to_string(u);
+    for (int i = 0; i < 3; ++i) {
+      JobSpec spec;
+      spec.name = user + ".job" + std::to_string(i);
+      spec.user = user;
+      spec.nodes = 1 + (u + i) % 4;
+      spec.walltime_limit = 4000.0;
+      spec.payload.kind = PayloadKind::modeled;
+      spec.payload.modeled.steps = 20 + 10 * i;
+      spec.payload.modeled.cells_per_rank_edge = 128;
+      spec.payload.modeled.output_steps = i;
+      s.submit(spec, /*submit_at=*/double(60 * u + 10 * i));
+    }
+  }
+  s.run();
+  return s;
+}
+
+}  // namespace
+
+TEST(SchedulerDeterminism, AccountingLogBitIdenticalForFixedSeed) {
+  const Scheduler a = run_reference_scenario(12345);
+  const Scheduler b = run_reference_scenario(12345);
+  EXPECT_EQ(a.event_log(), b.event_log());
+  EXPECT_EQ(a.sacct(), b.sacct());
+  EXPECT_FALSE(a.event_log().empty());
+}
+
+TEST(SchedulerDeterminism, DifferentSeedChangesModeledOutcomes) {
+  const Scheduler a = run_reference_scenario(12345);
+  const Scheduler b = run_reference_scenario(54321);
+  EXPECT_NE(a.event_log(), b.event_log());
+}
+
+// ----------------------------------------------------------- payloads
+
+TEST(Payload, ModeledDurationMonotoneInNodes) {
+  sched::ModeledPayload p;
+  p.steps = 50;
+  p.cells_per_rank_edge = 256;
+  p.output_steps = 2;
+  double prev = 0.0;
+  for (std::int64_t nodes : {1, 2, 8, 64, 512}) {
+    const double d = sched::modeled_mean_duration(p, nodes, 8);
+    EXPECT_GT(d, 0.0);
+    EXPECT_GE(d, prev) << "duration must not shrink as the job widens";
+    prev = d;
+  }
+}
+
+TEST(Payload, AotRemovesJitCharge) {
+  sched::ModeledPayload jit;
+  jit.steps = 1;
+  sched::ModeledPayload aot = jit;
+  aot.aot = true;
+  EXPECT_GT(sched::modeled_mean_duration(jit, 1, 8),
+            sched::modeled_mean_duration(aot, 1, 8));
+}
+
+TEST(Payload, FunctionalJobWritesReadableDataset) {
+  const std::string out = "test_sched_func.bp";
+  std::filesystem::remove_all(out);
+
+  Scheduler s(small_cluster(Policy::fifo, /*nodes=*/1));
+  JobSpec spec;
+  spec.name = "func";
+  spec.user = "u";
+  spec.nodes = 1;
+  spec.ranks_per_node = 2;
+  spec.walltime_limit = 3600.0;
+  spec.payload.kind = PayloadKind::functional;
+  spec.payload.settings.L = 16;
+  spec.payload.settings.steps = 8;
+  spec.payload.settings.plotgap = 4;
+  spec.payload.settings.output = out;
+  spec.payload.settings.ranks_per_node = 2;
+  const auto id = s.submit(spec);
+  s.run();
+
+  EXPECT_EQ(s.job(id).state, JobState::completed);
+  EXPECT_GT(s.job(id).duration, 0.0);
+  EXPECT_GT(s.stats().io_bytes, 0u);
+
+  const gs::bp::Reader reader(out);
+  EXPECT_GE(reader.n_steps(), 1);
+  const auto info = reader.info("U");
+  EXPECT_EQ(info.type, "double");
+  std::filesystem::remove_all(out);
+}
+
+// ----------------------------------------------------------- campaigns
+
+TEST(Campaign, ParsesDagAndRejectsUnknownKeys) {
+  const auto doc = gs::json::parse(R"({
+    "name": "c", "user": "u",
+    "jobs": [
+      { "name": "a", "kind": "fixed", "duration": 10, "walltime": 20 },
+      { "name": "b", "kind": "fixed", "duration": 5, "walltime": 20,
+        "depends": [ { "job": "a", "type": "afterok" } ] }
+    ]
+  })");
+  const auto c = sched::campaign_from_json(doc);
+  ASSERT_EQ(c.jobs.size(), 2u);
+  ASSERT_EQ(c.jobs[1].deps.size(), 1u);
+  EXPECT_EQ(c.jobs[1].deps[0].job, 0);
+  EXPECT_EQ(c.jobs[1].deps[0].type, DepType::afterok);
+
+  EXPECT_THROW(sched::campaign_from_json(gs::json::parse(
+                   R"({"name":"c","jobs":[{"name":"a","walltime":1,
+                       "typo_key": 3}]})")),
+               gs::ParseError);
+}
+
+TEST(Campaign, RejectsForwardDependency) {
+  EXPECT_THROW(sched::campaign_from_json(gs::json::parse(R"({
+    "name": "c",
+    "jobs": [
+      { "name": "a", "walltime": 10,
+        "depends": [ { "job": "later" } ] },
+      { "name": "later", "walltime": 10 }
+    ]
+  })")),
+               gs::ParseError);
+}
+
+TEST(Campaign, PipelineCampaignRunsInOrder) {
+  Scheduler s(small_cluster(Policy::backfill, /*nodes=*/8));
+  const auto c = sched::pipeline_campaign("pipe", "u", /*nodes=*/4,
+                                          /*steps=*/50, /*output_steps=*/2);
+  const auto ids = sched::submit_campaign(s, c);
+  ASSERT_EQ(ids.size(), 3u);
+  s.run();
+
+  const auto& sim = s.job(ids[0]);
+  const auto& analysis = s.job(ids[1]);
+  const auto& cleanup = s.job(ids[2]);
+  EXPECT_EQ(sim.state, JobState::completed);
+  EXPECT_EQ(analysis.state, JobState::completed);
+  EXPECT_EQ(cleanup.state, JobState::completed);
+  EXPECT_GE(analysis.start_time, sim.end_time);
+  EXPECT_GE(cleanup.start_time, analysis.end_time);
+}
+
+// -------------------------------------------------------------- reports
+
+TEST(Reports, SqueueAndSacctMentionJobs) {
+  Scheduler s(small_cluster(Policy::fifo));
+  s.submit(fixed_job("visible", "carol", 1, 10.0, 20.0));
+  EXPECT_NE(s.squeue().find("visible"), std::string::npos);
+  EXPECT_NE(s.squeue().find("PD"), std::string::npos);
+  s.run();
+  EXPECT_NE(s.sacct().find("COMPLETED"), std::string::npos);
+  EXPECT_NE(s.sacct().find("carol"), std::string::npos);
+}
+
+TEST(Reports, UtilizationWithinUnitInterval) {
+  const Scheduler s = run_reference_scenario(7);
+  const auto st = s.stats();
+  EXPECT_GT(st.makespan, 0.0);
+  EXPECT_GT(st.utilization, 0.0);
+  EXPECT_LE(st.utilization, 1.0);
+  EXPECT_EQ(st.queue_waits.count(), s.jobs().size());
+}

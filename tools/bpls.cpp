@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <string>
 
 #include "analysis/analysis.h"
@@ -19,12 +20,18 @@
 
 namespace {
 
-int usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s <dataset.bp> [-D var | -d var [step] | "
-               "-s var step axis coord | --verify]\n",
+int usage(std::FILE* to, const char* argv0) {
+  std::fprintf(to,
+               "usage: %s <dataset.bp> [options]\n"
+               "  (no option)               listing of variables and steps\n"
+               "  -D <var>                  per-step block decomposition\n"
+               "  -d <var> [step]           per-step statistics of a var\n"
+               "  -s <var> <step> <axis> <coord>\n"
+               "                            ASCII-render one slice\n"
+               "  --verify                  CRC-check every block\n"
+               "  --help                    this message\n",
                argv0);
-  return 2;
+  return to == stdout ? 0 : 2;
 }
 
 int cmd_blocks(const gs::bp::Reader& reader, const std::string& var) {
@@ -95,7 +102,23 @@ int cmd_verify(const gs::bp::Reader& reader) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) return usage(argv[0]);
+  if (argc >= 2 && (std::strcmp(argv[1], "--help") == 0 ||
+                    std::strcmp(argv[1], "-h") == 0)) {
+    return usage(stdout, argv[0]);
+  }
+  if (argc < 2) return usage(stderr, argv[0]);
+  const std::string path = argv[1];
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec)) {
+    std::fprintf(stderr, "bpls: no such dataset: %s\n", path.c_str());
+    return 1;
+  }
+  if (!std::filesystem::exists(path + "/md.idx", ec)) {
+    std::fprintf(stderr,
+                 "bpls: not a bp-mini dataset (missing %s/md.idx)\n",
+                 path.c_str());
+    return 1;
+  }
   try {
     const gs::bp::Reader reader(argv[1]);
     if (argc == 2) {
@@ -114,7 +137,7 @@ int main(int argc, char** argv) {
       return cmd_slice(reader, argv[3], std::atoll(argv[4]),
                        std::atoi(argv[5]), std::atoll(argv[6]));
     }
-    return usage(argv[0]);
+    return usage(stderr, argv[0]);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "bpls: %s\n", e.what());
     return 1;

@@ -1,0 +1,137 @@
+// gsbatch — submit campaign JSON files to the gs::sched batch scheduler
+// and print squeue/sacct-style tables, modeled on the Slurm tools the
+// paper's Frontier workflows are driven with.
+//
+//   gsbatch <campaign.json> [more campaigns...] [options]
+//
+//   --policy fifo|backfill|fair_share   scheduling policy (default backfill)
+//   --nodes N                           cluster size in nodes (default 64)
+//   --seed S                            deterministic seed (default 42)
+//   --fault-prob P                      per-attempt node-failure probability
+//   --max-failures K                    fault-injection budget (default 0)
+//   --events                            also print the raw accounting log
+//   --help                              this message
+//
+// Exit status: 0 when every job COMPLETED, 1 otherwise (any FAILED,
+// TIMEOUT, or CANCELLED job), 2 on usage/config errors.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/format.h"
+#include "sched/campaign.h"
+#include "sched/scheduler.h"
+
+namespace {
+
+int usage(std::FILE* to, const char* argv0) {
+  std::fprintf(to,
+               "usage: %s <campaign.json> [more campaigns...] [options]\n"
+               "  --policy fifo|backfill|fair_share  (default backfill)\n"
+               "  --nodes N        cluster size in nodes (default 64)\n"
+               "  --seed S         deterministic seed (default 42)\n"
+               "  --fault-prob P   node-failure probability per attempt\n"
+               "  --max-failures K fault-injection budget (default 0)\n"
+               "  --events         also print the raw accounting log\n"
+               "  --help           this message\n",
+               argv0);
+  return to == stdout ? 0 : 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> campaign_files;
+  gs::sched::SchedulerConfig cfg;
+  cfg.policy = gs::sched::Policy::backfill;
+  bool print_events = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&](const char* what) -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "gsbatch: %s expects a value\n", what);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") return usage(stdout, argv[0]);
+    if (arg == "--policy") {
+      try {
+        cfg.policy = gs::sched::policy_from_string(next("--policy"));
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "gsbatch: %s\n", e.what());
+        return 2;
+      }
+    } else if (arg == "--nodes") {
+      cfg.cluster.nodes = std::atoll(next("--nodes").c_str());
+    } else if (arg == "--seed") {
+      cfg.seed = static_cast<std::uint64_t>(
+          std::atoll(next("--seed").c_str()));
+    } else if (arg == "--fault-prob") {
+      cfg.faults.node_fail_prob = std::atof(next("--fault-prob").c_str());
+      if (cfg.faults.max_failures == 0) cfg.faults.max_failures = 1 << 20;
+    } else if (arg == "--max-failures") {
+      cfg.faults.max_failures =
+          std::atoi(next("--max-failures").c_str());
+    } else if (arg == "--events") {
+      print_events = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "gsbatch: unknown option %s\n", arg.c_str());
+      return usage(stderr, argv[0]);
+    } else {
+      campaign_files.push_back(arg);
+    }
+  }
+  if (campaign_files.empty()) return usage(stderr, argv[0]);
+
+  try {
+    gs::sched::Scheduler sched(cfg);
+    for (const auto& path : campaign_files) {
+      const auto campaign = gs::sched::campaign_from_file(path);
+      const auto ids = gs::sched::submit_campaign(sched, campaign);
+      std::printf("submitted campaign '%s' (user %s): %zu job(s), ids %lld..%lld\n",
+                  campaign.name.c_str(), campaign.user.c_str(), ids.size(),
+                  (long long)ids.front(), (long long)ids.back());
+    }
+
+    std::printf("\n== squeue (t=%.1f, policy %s, %lld nodes) ==\n%s\n",
+                sched.now(), gs::sched::to_string(cfg.policy),
+                (long long)cfg.cluster.nodes, sched.squeue().c_str());
+
+    sched.run();
+
+    std::printf("== sacct ==\n%s\n", sched.sacct().c_str());
+    if (print_events) {
+      std::printf("== accounting log ==\n%s\n", sched.event_log().c_str());
+    }
+
+    const auto st = sched.stats();
+    std::printf("== summary ==\n");
+    std::printf("jobs               : %zu (%d completed, %d failed, %d "
+                "timeout, %d cancelled)\n",
+                sched.jobs().size(), st.completed, st.failed, st.timeouts,
+                st.cancelled);
+    std::printf("requeues           : %d\n", st.requeues);
+    std::printf("makespan           : %s\n",
+                gs::format_seconds(st.makespan).c_str());
+    std::printf("node utilization   : %.1f%%\n", 100.0 * st.utilization);
+    if (!st.queue_waits.empty()) {
+      std::printf("queue wait p50/p95 : %s / %s\n",
+                  gs::format_seconds(st.queue_waits.percentile(50)).c_str(),
+                  gs::format_seconds(st.queue_waits.percentile(95)).c_str());
+    }
+    if (st.io_bytes > 0) {
+      std::printf("storage written    : %s\n",
+                  gs::format_bytes(st.io_bytes).c_str());
+    }
+
+    const bool all_ok =
+        st.completed == static_cast<int>(sched.jobs().size());
+    return all_ok ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "gsbatch: %s\n", e.what());
+    return 2;
+  }
+}
