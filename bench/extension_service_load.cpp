@@ -1,0 +1,239 @@
+// extension_service_load — closed-loop load test of the gs::svc
+// dataset-analysis service, the serving-layer extension of the paper's
+// Figure 9 consumer: many analysts hammering one shared Gray-Scott
+// output through the admission queue, worker pool, and block cache.
+//
+// Phases:
+//   1. generate a real solver dataset (8 ranks through the workflow);
+//   2. sweep 1..64 closed-loop clients, measuring throughput and tail
+//      latency on a cold block cache and again on a warm one;
+//   3. admission control: a 64-client burst against a tiny bounded
+//      queue must produce ServerBusy rejects (backpressure) while an
+//      unbounded queue absorbs the same burst with none;
+//   4. accounting: every submitted request is resolved exactly once.
+//
+// Exit status is nonzero if the warm cache fails to beat the cold pass
+// or any request is dropped — this is a regression gate, not a demo.
+//
+// Default scale finishes in seconds (CI smoke); pass a multiplier to
+// scale requests per client, e.g. `extension_service_load 4`.
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/format.h"
+#include "common/stats.h"
+#include "core/workflow.h"
+#include "mpi/runtime.h"
+#include "svc/service.h"
+
+namespace {
+
+constexpr const char* kDataset = "/tmp/gs_svc_load.bp";
+
+/// Deterministic per-client request stream (no global RNG: clients must
+/// not serialize on a shared generator).
+struct Lcg {
+  std::uint64_t state;
+  std::uint64_t next() {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return state >> 33;
+  }
+};
+
+struct PassResult {
+  double elapsed = 0.0;
+  std::uint64_t ok = 0;
+  std::uint64_t busy = 0;
+  std::uint64_t other = 0;
+  gs::Samples latencies;
+  double throughput() const { return elapsed > 0 ? ok / elapsed : 0.0; }
+};
+
+/// One closed-loop pass: `n_clients` threads, each issuing
+/// `reqs_per_client` requests back to back, waiting for each answer.
+PassResult run_pass(gs::svc::Service& service, std::size_t n_clients,
+                    std::size_t reqs_per_client, std::int64_t n_steps,
+                    std::int64_t L) {
+  std::vector<gs::Samples> lat(n_clients);
+  std::vector<std::uint64_t> ok(n_clients, 0), busy(n_clients, 0),
+      other(n_clients, 0);
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(n_clients);
+  for (std::size_t c = 0; c < n_clients; ++c) {
+    threads.emplace_back([&, c] {
+      gs::svc::Client client(service);
+      Lcg rng{0x9e3779b97f4a7c15ull ^ (c + 1)};
+      for (std::size_t r = 0; r < reqs_per_client; ++r) {
+        const std::int64_t step =
+            static_cast<std::int64_t>(rng.next() % n_steps);
+        const auto a = std::chrono::steady_clock::now();
+        gs::svc::Status status;
+        switch (rng.next() % 4) {
+          case 0:
+            status = client.field_stats("U", step).status();
+            break;
+          case 1:
+            status = client.histogram("V", step, 32).status();
+            break;
+          case 2:
+            status = client
+                         .slice2d("U", step, 2,
+                                  static_cast<std::int64_t>(rng.next() %
+                                                            static_cast<
+                                                                std::uint64_t>(
+                                                                L)))
+                         .status();
+            break;
+          default: {
+            const std::int64_t half = L / 2;
+            const gs::Box3 box{{0, 0, static_cast<std::int64_t>(
+                                          rng.next() % half)},
+                               {half, half, half}};
+            status = client.read_box("V", step, box).status();
+            break;
+          }
+        }
+        const auto b = std::chrono::steady_clock::now();
+        if (status.code == gs::svc::StatusCode::ok) {
+          ++ok[c];
+          lat[c].add(std::chrono::duration<double>(b - a).count());
+        } else if (status.code == gs::svc::StatusCode::server_busy) {
+          ++busy[c];
+        } else {
+          ++other[c];
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  PassResult result;
+  result.elapsed = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+  for (std::size_t c = 0; c < n_clients; ++c) {
+    result.ok += ok[c];
+    result.busy += busy[c];
+    result.other += other[c];
+    for (const double x : lat[c].values()) result.latencies.add(x);
+  }
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t scale = argc >= 2 ? std::strtoull(argv[1], nullptr, 10) : 1;
+  const std::size_t reqs_per_client = 16 * (scale ? scale : 1);
+
+  std::printf("==============================================================\n");
+  std::printf("Extension — gs::svc concurrent analysis-service load\n");
+  std::printf("==============================================================\n\n");
+
+  // Phase 1: a real solver dataset, 8 ranks through the workflow.
+  gs::Settings settings;
+  settings.L = 32;
+  settings.steps = 20;
+  settings.plotgap = 4;  // 5 output steps, 8 blocks each
+  settings.noise = 0.1;
+  settings.output = kDataset;
+  settings.ranks_per_node = 4;
+  std::filesystem::remove_all(kDataset);
+  gs::mpi::run(8, [&](gs::mpi::Comm& world) {
+    gs::core::Workflow wf(settings, world);
+    wf.run();
+  });
+  const std::int64_t n_steps = settings.steps / settings.plotgap;
+  std::printf("dataset: %s  (L=%lld, %lld output steps, 8 blocks/step)\n\n",
+              kDataset, (long long)settings.L, (long long)n_steps);
+
+  // Phase 2: client sweep, cold cache then warm cache per point.
+  bool failed = false;
+  double cold_total_ok = 0, cold_total_s = 0;
+  double warm_total_ok = 0, warm_total_s = 0;
+  gs::TableFormatter table({"clients", "pass", "req/s", "p50", "p95", "p99",
+                            "cache hit%"});
+  for (const std::size_t n_clients : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+    gs::svc::ServiceConfig config;
+    config.threads = 4;
+    config.queue_capacity = 0;  // sweep measures service time, not rejects
+    gs::svc::Service service(kDataset, std::move(config));
+    const char* names[2] = {"cold", "warm"};
+    for (int pass = 0; pass < 2; ++pass) {
+      const auto r = run_pass(service, n_clients, reqs_per_client, n_steps,
+                              settings.L);
+      const auto m = service.metrics();
+      table.row({std::to_string(n_clients), names[pass],
+                 gs::format_fixed(r.throughput(), 1),
+                 gs::format_seconds(r.latencies.percentile(50)),
+                 gs::format_seconds(r.latencies.percentile(95)),
+                 gs::format_seconds(r.latencies.percentile(99)),
+                 gs::format_fixed(100.0 * m.cache.hit_rate(), 1)});
+      if (r.ok != n_clients * reqs_per_client || r.busy || r.other) {
+        std::printf("FAIL: sweep pass dropped requests (ok=%llu busy=%llu "
+                    "other=%llu)\n",
+                    (unsigned long long)r.ok, (unsigned long long)r.busy,
+                    (unsigned long long)r.other);
+        failed = true;
+      }
+      if (pass == 0) {
+        cold_total_ok += static_cast<double>(r.ok);
+        cold_total_s += r.elapsed;
+      } else {
+        warm_total_ok += static_cast<double>(r.ok);
+        warm_total_s += r.elapsed;
+      }
+    }
+  }
+  std::printf("%s\n", table.str().c_str());
+
+  const double cold_tput = cold_total_ok / cold_total_s;
+  const double warm_tput = warm_total_ok / warm_total_s;
+  std::printf("aggregate throughput: cold %.1f req/s, warm %.1f req/s "
+              "(x%.2f)\n\n",
+              cold_tput, warm_tput, warm_tput / cold_tput);
+  if (warm_tput <= cold_tput) {
+    std::printf("FAIL: warm cache did not beat cold cache\n");
+    failed = true;
+  }
+
+  // Phase 3: admission control. A 64-client burst against a tiny queue
+  // with few workers must shed load as ServerBusy; the same burst
+  // against an unbounded queue must not reject anything.
+  for (const std::size_t capacity : {8u, 0u}) {
+    gs::svc::ServiceConfig config;
+    config.threads = 2;
+    config.queue_capacity = capacity;
+    gs::svc::Service service(kDataset, std::move(config));
+    const auto r = run_pass(service, 64, reqs_per_client, n_steps,
+                            settings.L);
+    service.shutdown();
+    const auto m = service.metrics();
+    std::printf("burst, queue capacity %zu: ok %llu, busy %llu "
+                "(submitted %llu, accounted %llu)\n",
+                capacity, (unsigned long long)r.ok,
+                (unsigned long long)r.busy, (unsigned long long)m.submitted,
+                (unsigned long long)m.accounted());
+    if (r.other != 0 || m.submitted != m.accounted()) {
+      std::printf("FAIL: requests dropped or unaccounted\n");
+      failed = true;
+    }
+    if (capacity > 0 && r.busy == 0) {
+      std::printf("FAIL: bounded queue under burst produced no "
+                  "ServerBusy rejects\n");
+      failed = true;
+    }
+    if (capacity == 0 && r.busy != 0) {
+      std::printf("FAIL: unbounded queue rejected requests\n");
+      failed = true;
+    }
+  }
+
+  std::filesystem::remove_all(kDataset);
+  std::printf("\n%s\n", failed ? "FAILED" : "OK");
+  return failed ? 1 : 0;
+}

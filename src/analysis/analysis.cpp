@@ -99,6 +99,16 @@ FieldStats compute_stats(std::span<const double> data) {
   return out;
 }
 
+json::Object stats_to_json(const FieldStats& stats) {
+  json::Object o;
+  o["count"] = json::Value(static_cast<std::int64_t>(stats.count));
+  o["min"] = json::Value(stats.min);
+  o["max"] = json::Value(stats.max);
+  o["mean"] = json::Value(stats.mean);
+  o["stddev"] = json::Value(stats.stddev);
+  return o;
+}
+
 Histogram field_histogram(std::span<const double> data, std::size_t bins) {
   GS_REQUIRE(!data.empty(), "histogram of empty field");
   double lo = data[0], hi = data[0];

@@ -15,6 +15,7 @@
 
 #include "bp/reader.h"
 #include "common/stats.h"
+#include "config/json.h"
 #include "grid/box.h"
 
 namespace gs::analysis {
@@ -51,6 +52,11 @@ struct FieldStats {
   double stddev = 0.0;
 };
 FieldStats compute_stats(std::span<const double> data);
+
+/// JSON object {count, min, max, mean, stddev} for machine-readable
+/// output. Shared by `bpls --json` and `gsquery --json` so both tools
+/// emit byte-identical statistics for the same dataset.
+json::Object stats_to_json(const FieldStats& stats);
 
 /// Histogram of field values over [min, max] of the data.
 Histogram field_histogram(std::span<const double> data, std::size_t bins);

@@ -175,24 +175,36 @@ std::vector<double> Reader::read(const std::string& name, std::int64_t step,
     const Box3 overlap = block.box.intersect(selection);
     if (overlap.empty()) continue;
     const std::vector<double> data = load_block(block, v.type);
-    // Copy row-runs from the block frame into the selection frame.
-    for (std::int64_t k = overlap.start.k; k < overlap.end().k; ++k) {
-      for (std::int64_t j = overlap.start.j; j < overlap.end().j; ++j) {
-        const Index3 src_local{overlap.start.i - block.box.start.i,
-                               j - block.box.start.j, k - block.box.start.k};
-        const Index3 dst_local{overlap.start.i - selection.start.i,
-                               j - selection.start.j, k - selection.start.k};
-        const auto src_off = static_cast<std::size_t>(
-            linear_index(src_local, block.box.count));
-        const auto dst_off = static_cast<std::size_t>(
-            linear_index(dst_local, selection.count));
-        std::copy_n(data.begin() + static_cast<std::ptrdiff_t>(src_off),
-                    overlap.count.i,
-                    out.begin() + static_cast<std::ptrdiff_t>(dst_off));
-      }
-    }
+    copy_overlap(data, block.box, selection, out);
   }
   return out;
+}
+
+void copy_overlap(std::span<const double> block_data, const Box3& block_box,
+                  const Box3& selection, std::span<double> out) {
+  GS_REQUIRE(block_data.size() >=
+                 static_cast<std::size_t>(block_box.volume()),
+             "block payload smaller than its box");
+  GS_REQUIRE(out.size() >= static_cast<std::size_t>(selection.volume()),
+             "selection buffer smaller than the selection");
+  const Box3 overlap = block_box.intersect(selection);
+  if (overlap.empty()) return;
+  // Copy row-runs from the block frame into the selection frame.
+  for (std::int64_t k = overlap.start.k; k < overlap.end().k; ++k) {
+    for (std::int64_t j = overlap.start.j; j < overlap.end().j; ++j) {
+      const Index3 src_local{overlap.start.i - block_box.start.i,
+                             j - block_box.start.j, k - block_box.start.k};
+      const Index3 dst_local{overlap.start.i - selection.start.i,
+                             j - selection.start.j, k - selection.start.k};
+      const auto src_off = static_cast<std::size_t>(
+          linear_index(src_local, block_box.count));
+      const auto dst_off = static_cast<std::size_t>(
+          linear_index(dst_local, selection.count));
+      std::copy_n(block_data.begin() + static_cast<std::ptrdiff_t>(src_off),
+                  overlap.count.i,
+                  out.begin() + static_cast<std::ptrdiff_t>(dst_off));
+    }
+  }
 }
 
 std::vector<double> Reader::read_full(const std::string& name,

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -73,6 +74,14 @@ class Reader {
   std::vector<double> load_block(const BlockRecord& block,
                                  const std::string& type) const;
 };
+
+/// Copies the cells where `block_box` and `selection` overlap from a
+/// column-major block payload into a column-major selection buffer
+/// (`out` has selection.count cells). Row-runs along the fast axis are
+/// copied contiguously. Shared by Reader::read and the gs::svc cached
+/// read path, which must assemble bitwise-identical selections.
+void copy_overlap(std::span<const double> block_data, const Box3& block_box,
+                  const Box3& selection, std::span<double> out);
 
 /// bpls-style provenance dump of a dataset (reproduces paper Listing 1).
 std::string dump(const std::string& path);

@@ -1,6 +1,7 @@
 #include "prof/profiler.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <sstream>
 
@@ -43,13 +44,32 @@ double CounterSet::hit_rate() const {
                           static_cast<double>(total);
 }
 
+std::uint64_t this_thread_lane() {
+  static std::atomic<std::uint64_t> next{1};
+  thread_local const std::uint64_t lane = next.fetch_add(1);
+  return lane;
+}
+
 void Profiler::record(Span span) {
   GS_REQUIRE(span.t1 >= span.t0,
              "span \"" << span.name << "\" ends before it starts");
+  if (span.tid == 0) span.tid = this_thread_lane();
+  const std::lock_guard<std::mutex> lock(mu_);
   spans_.push_back(std::move(span));
 }
 
+void Profiler::clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  spans_.clear();
+}
+
+bool Profiler::empty() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return spans_.empty();
+}
+
 std::vector<KernelStats> Profiler::kernel_stats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
   std::vector<KernelStats> out;
   auto find = [&out](const std::string& name) -> KernelStats& {
     for (auto& s : out) {
@@ -77,6 +97,7 @@ std::vector<KernelStats> Profiler::kernel_stats() const {
 }
 
 double Profiler::total_time(SpanKind kind) const {
+  const std::lock_guard<std::mutex> lock(mu_);
   double t = 0.0;
   for (const auto& sp : spans_) {
     if (sp.kind == kind) t += sp.duration();
@@ -85,17 +106,20 @@ double Profiler::total_time(SpanKind kind) const {
 }
 
 std::string Profiler::chrome_trace_json() const {
+  const std::lock_guard<std::mutex> lock(mu_);
   std::ostringstream oss;
   oss << "{\"traceEvents\":[";
   bool first = true;
   for (const auto& sp : spans_) {
     if (!first) oss << ",";
     first = false;
-    // Chrome trace: X (complete) events with microsecond timestamps.
+    // Chrome trace: X (complete) events with microsecond timestamps; tid
+    // is the real recording thread's lane so multi-threaded traces render
+    // one lane per worker.
     oss << "{\"name\":\"" << sp.name << "\",\"cat\":\"" << to_string(sp.kind)
         << "\",\"ph\":\"X\",\"ts\":" << sp.t0 * 1e6
         << ",\"dur\":" << sp.duration() * 1e6 << ",\"pid\":0,\"tid\":"
-        << static_cast<int>(sp.kind) << ",\"args\":{\"fetch_bytes\":"
+        << sp.tid << ",\"args\":{\"fetch_bytes\":"
         << sp.counters.fetch_bytes << ",\"write_bytes\":"
         << sp.counters.write_bytes << "}}";
   }
@@ -122,6 +146,7 @@ std::string Profiler::report() const {
 }
 
 std::string Profiler::ascii_timeline(int width) const {
+  const std::lock_guard<std::mutex> lock(mu_);
   if (spans_.empty()) return "(empty timeline)\n";
   double t_min = spans_.front().t0;
   double t_max = spans_.front().t1;

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -50,10 +51,18 @@ struct Span {
   double t0 = 0.0;  ///< simulated seconds
   double t1 = 0.0;
   int device_id = 0;
+  /// Recording thread's lane id (compact, 1-based). 0 = unset; record()
+  /// stamps it with the calling thread's lane so Chrome traces render one
+  /// lane per worker thread.
+  std::uint64_t tid = 0;
   CounterSet counters;
 
   double duration() const { return t1 - t0; }
 };
+
+/// Compact 1-based id of the calling thread, stable for its lifetime
+/// (threads are numbered in first-record order, not by OS handle).
+std::uint64_t this_thread_lane();
 
 /// Aggregate over all launches of one kernel symbol.
 struct KernelStats {
@@ -71,11 +80,17 @@ struct KernelStats {
 
 class Profiler {
  public:
+  /// Thread-safe: concurrent record() calls from worker threads are
+  /// serialized internally. Stamps span.tid with the caller's lane when
+  /// the span does not carry one already.
   void record(Span span);
 
+  /// Snapshot accessors. spans() returns a reference without locking —
+  /// callers must quiesce recording threads first (the aggregation methods
+  /// below lock internally and are safe at any time).
   const std::vector<Span>& spans() const { return spans_; }
-  void clear() { spans_.clear(); }
-  bool empty() const { return spans_.empty(); }
+  void clear();
+  bool empty() const;
 
   /// Per-kernel aggregates in first-seen order (kernel spans only).
   std::vector<KernelStats> kernel_stats() const;
@@ -95,6 +110,7 @@ class Profiler {
   std::string ascii_timeline(int width = 100) const;
 
  private:
+  mutable std::mutex mu_;
   std::vector<Span> spans_;
 };
 

@@ -1,0 +1,110 @@
+#include "svc/cache.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace gs::svc {
+
+std::size_t BlockKeyHash::operator()(const BlockKey& k) const {
+  // FNV-1a style mix of the string hashes and the integer fields.
+  std::size_t h = std::hash<std::string>{}(k.dataset);
+  const auto mix = [&h](std::size_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  };
+  mix(std::hash<std::string>{}(k.variable));
+  mix(std::hash<std::int64_t>{}(k.step));
+  mix(std::hash<std::int32_t>{}(k.block));
+  return h;
+}
+
+BlockCache::BlockCache(std::uint64_t capacity_bytes, std::size_t shards)
+    : capacity_bytes_(capacity_bytes),
+      n_shards_(std::max<std::size_t>(shards, 1)) {
+  per_shard_budget_ = capacity_bytes_ / n_shards_;
+  shards_ = std::make_unique<Shard[]>(n_shards_);
+}
+
+BlockCache::Shard& BlockCache::shard_of(const BlockKey& key) {
+  return shards_[BlockKeyHash{}(key) % n_shards_];
+}
+
+void BlockCache::evict_to_budget(Shard& shard) {
+  while (shard.bytes > per_shard_budget_ && !shard.lru.empty()) {
+    const Entry& victim = shard.lru.back();
+    shard.bytes -= victim.bytes;
+    shard.map.erase(victim.key);
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+}
+
+BlockData BlockCache::get_or_load(
+    const BlockKey& key, const std::function<std::vector<double>()>& loader,
+    bool* hit) {
+  Shard& shard = shard_of(key);
+  {
+    const std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      // Move to MRU position.
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      ++shard.hits;
+      if (hit != nullptr) *hit = true;
+      return it->second->data;
+    }
+    ++shard.misses;
+  }
+  if (hit != nullptr) *hit = false;
+
+  // Load outside the lock so concurrent misses on different blocks read
+  // their subfiles in parallel.
+  auto data = std::make_shared<const std::vector<double>>(loader());
+  const auto bytes =
+      static_cast<std::uint64_t>(data->size() * sizeof(double));
+
+  const std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.map.find(key);
+  if (it != shard.map.end()) {
+    // A concurrent loader beat us; keep the incumbent entry.
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return it->second->data;
+  }
+  shard.lru.push_front(Entry{key, data, bytes});
+  shard.map.emplace(key, shard.lru.begin());
+  shard.bytes += bytes;
+  ++shard.inserts;
+  // The budget is a hard ceiling: this may evict the entry we just
+  // inserted (callers still hold the shared_ptr).
+  evict_to_budget(shard);
+  return data;
+}
+
+CacheStats BlockCache::stats() const {
+  CacheStats out;
+  out.capacity_bytes = capacity_bytes_;
+  for (std::size_t s = 0; s < n_shards_; ++s) {
+    const Shard& shard = shards_[s];
+    const std::lock_guard<std::mutex> lock(shard.mu);
+    out.hits += shard.hits;
+    out.misses += shard.misses;
+    out.evictions += shard.evictions;
+    out.inserts += shard.inserts;
+    out.bytes += shard.bytes;
+    out.entries += shard.lru.size();
+  }
+  return out;
+}
+
+void BlockCache::clear() {
+  for (std::size_t s = 0; s < n_shards_; ++s) {
+    Shard& shard = shards_[s];
+    const std::lock_guard<std::mutex> lock(shard.mu);
+    shard.evictions += shard.lru.size();
+    shard.lru.clear();
+    shard.map.clear();
+    shard.bytes = 0;
+  }
+}
+
+}  // namespace gs::svc

@@ -1,0 +1,109 @@
+// Sharded LRU block cache for BP-mini datasets.
+//
+// The service's hot path is "load block, copy the overlap": repeated
+// slice/statistics queries against the same steps re-read the same
+// subfile blocks over and over. This cache keeps decoded blocks (as
+// doubles, CRC already verified) keyed on (dataset, variable, step,
+// block) under a global byte budget, sharded so concurrent workers do not
+// serialize on one mutex. Entries are handed out as shared_ptr so an
+// eviction never invalidates a block a worker is still copying from.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace gs::svc {
+
+struct BlockKey {
+  std::string dataset;   ///< dataset path (one service can front several)
+  std::string variable;
+  std::int64_t step = 0;
+  std::int32_t block = 0;  ///< index into Reader::blocks(variable, step)
+
+  bool operator==(const BlockKey&) const = default;
+};
+
+struct BlockKeyHash {
+  std::size_t operator()(const BlockKey& k) const;
+};
+
+/// Monotonic counters plus a point-in-time occupancy snapshot.
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t inserts = 0;
+  std::uint64_t bytes = 0;           ///< current resident payload bytes
+  std::uint64_t capacity_bytes = 0;  ///< configured budget
+  std::size_t entries = 0;
+
+  double hit_rate() const {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
+using BlockData = std::shared_ptr<const std::vector<double>>;
+
+class BlockCache {
+ public:
+  /// `capacity_bytes` is the total budget, split evenly across shards
+  /// (each shard evicts independently, so the global occupancy never
+  /// exceeds the budget).
+  explicit BlockCache(std::uint64_t capacity_bytes, std::size_t shards = 8);
+
+  /// Returns the cached block or runs `loader` (outside any lock — disk
+  /// reads of different blocks proceed in parallel) and caches the result.
+  /// Two threads missing on the same key concurrently may both load; the
+  /// first insert wins and both receive valid data. `hit`, when non-null,
+  /// reports whether this call was served from the cache.
+  BlockData get_or_load(const BlockKey& key,
+                        const std::function<std::vector<double>()>& loader,
+                        bool* hit = nullptr);
+
+  /// Aggregated over all shards.
+  CacheStats stats() const;
+
+  /// Drops every entry (counters are kept; eviction count grows).
+  void clear();
+
+  std::uint64_t capacity_bytes() const { return capacity_bytes_; }
+  std::size_t shards() const { return n_shards_; }
+
+ private:
+  struct Entry {
+    BlockKey key;
+    BlockData data;
+    std::uint64_t bytes = 0;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  ///< front = most recently used
+    std::unordered_map<BlockKey, std::list<Entry>::iterator, BlockKeyHash>
+        map;
+    std::uint64_t bytes = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t inserts = 0;
+  };
+
+  Shard& shard_of(const BlockKey& key);
+  /// Evicts LRU entries until the shard is within its budget. Caller
+  /// holds the shard mutex.
+  void evict_to_budget(Shard& shard);
+
+  std::uint64_t capacity_bytes_;
+  std::uint64_t per_shard_budget_;
+  std::size_t n_shards_;
+  std::unique_ptr<Shard[]> shards_;
+};
+
+}  // namespace gs::svc

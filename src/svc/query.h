@@ -1,0 +1,183 @@
+// gs::svc query model — the typed verbs of the paper's interactive
+// analysis session (Figure 9): a JupyterHub/Makie notebook listing the
+// dataset, pulling per-step statistics and histograms, rendering 2-D
+// slices, and issuing box-selection reads. Each request carries an id and
+// a deadline; each response is a typed Expected that either holds the
+// verb's payload or a Status explaining why the service refused it
+// (admission control, deadline, bad input).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "analysis/analysis.h"
+#include "common/error.h"
+#include "grid/box.h"
+
+namespace gs::svc {
+
+// ---- verbs ---------------------------------------------------------------
+
+enum class Verb {
+  list_variables,
+  field_stats,
+  histogram,
+  slice2d,
+  read_box,
+};
+inline constexpr int kNumVerbs = 5;
+
+const char* to_string(Verb verb);
+
+// ---- status --------------------------------------------------------------
+
+enum class StatusCode {
+  ok,
+  server_busy,        ///< admission queue full — request rejected, not lost
+  deadline_exceeded,  ///< the request's deadline expired before completion
+  bad_request,        ///< invalid variable/step/box/bins
+  shutting_down,      ///< service no longer accepts work
+  internal_error,     ///< unexpected failure while executing
+};
+inline constexpr int kNumStatusCodes = 6;
+
+const char* to_string(StatusCode code);
+
+struct Status {
+  StatusCode code = StatusCode::ok;
+  std::string message;
+
+  bool ok() const { return code == StatusCode::ok; }
+};
+
+/// Either a verb's typed payload or the Status that prevented it.
+template <typename T>
+class Expected {
+ public:
+  Expected(T value) : value_(std::move(value)) {}
+  Expected(Status error) : status_(std::move(error)) {
+    GS_ASSERT(!status_.ok(), "Expected error must carry a non-ok status");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  const Status& status() const { return status_; }
+
+  const T& value() const {
+    GS_ASSERT(ok(), "Expected::value() on error response");
+    return *value_;
+  }
+  T& value() {
+    GS_ASSERT(ok(), "Expected::value() on error response");
+    return *value_;
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+// ---- requests ------------------------------------------------------------
+
+struct ListVariablesQ {};
+
+struct FieldStatsQ {
+  std::string variable;
+  std::int64_t step = 0;
+};
+
+struct HistogramQ {
+  std::string variable;
+  std::int64_t step = 0;
+  std::size_t bins = 32;
+};
+
+struct Slice2DQ {
+  std::string variable;
+  std::int64_t step = 0;
+  int axis = 2;
+  std::int64_t coord = 0;
+};
+
+struct ReadBoxQ {
+  std::string variable;
+  std::int64_t step = 0;
+  Box3 box;
+};
+
+using QueryBody =
+    std::variant<ListVariablesQ, FieldStatsQ, HistogramQ, Slice2DQ, ReadBoxQ>;
+
+Verb verb_of(const QueryBody& body);
+
+struct Request {
+  /// Assigned by the service at submit time (unique per service instance).
+  std::uint64_t id = 0;
+  QueryBody body;
+  /// Relative deadline: > 0 enforces `now + timeout_seconds`; 0 means no
+  /// deadline; < 0 means already expired (callers propagating an exhausted
+  /// budget — the request is admitted but answered DeadlineExceeded).
+  double timeout_seconds = 0.0;
+};
+
+// ---- responses -----------------------------------------------------------
+
+struct VarEntry {
+  std::string name;
+  std::string type;
+  Index3 shape;
+  std::int64_t steps = 0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+struct ListVariablesR {
+  std::int64_t n_steps = 0;
+  std::vector<VarEntry> variables;
+};
+
+struct FieldStatsR {
+  analysis::FieldStats stats;
+};
+
+struct HistogramR {
+  double lo = 0.0;
+  double hi = 0.0;
+  std::vector<std::size_t> counts;
+  std::size_t total = 0;
+};
+
+struct Slice2DR {
+  analysis::Slice2D slice;
+};
+
+struct ReadBoxR {
+  Box3 box;
+  std::vector<double> values;  ///< column-major over box.count
+};
+
+using ResponseBody = std::variant<std::monostate, ListVariablesR, FieldStatsR,
+                                  HistogramR, Slice2DR, ReadBoxR>;
+
+/// The service's answer to one Request. `body` holds the verb's payload
+/// only when `status.ok()`.
+struct Response {
+  std::uint64_t id = 0;
+  Verb verb = Verb::list_variables;
+  Status status;
+  ResponseBody body;
+
+  // Request tracing: where the time went and what the cache did.
+  double queue_seconds = 0.0;    ///< admission queue wait
+  double exec_seconds = 0.0;     ///< execution on the worker
+  double latency_seconds = 0.0;  ///< submit -> completion
+  std::size_t cache_hits = 0;    ///< block fetches served from the cache
+  std::size_t cache_misses = 0;  ///< block fetches that went to disk
+  std::uint64_t disk_bytes = 0;  ///< payload bytes loaded from subfiles
+};
+
+}  // namespace gs::svc

@@ -1,0 +1,482 @@
+#include "svc/service.h"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "common/error.h"
+#include "common/format.h"
+
+namespace gs::svc {
+
+namespace {
+
+template <class... Ts>
+struct overloaded : Ts... {
+  using Ts::operator()...;
+};
+template <class... Ts>
+overloaded(Ts...) -> overloaded<Ts...>;
+
+}  // namespace
+
+const char* to_string(Verb verb) {
+  switch (verb) {
+    case Verb::list_variables: return "ListVariables";
+    case Verb::field_stats: return "FieldStats";
+    case Verb::histogram: return "Histogram";
+    case Verb::slice2d: return "Slice2D";
+    case Verb::read_box: return "ReadBox";
+  }
+  return "?";
+}
+
+const char* to_string(StatusCode code) {
+  switch (code) {
+    case StatusCode::ok: return "ok";
+    case StatusCode::server_busy: return "server_busy";
+    case StatusCode::deadline_exceeded: return "deadline_exceeded";
+    case StatusCode::bad_request: return "bad_request";
+    case StatusCode::shutting_down: return "shutting_down";
+    case StatusCode::internal_error: return "internal_error";
+  }
+  return "?";
+}
+
+Verb verb_of(const QueryBody& body) {
+  return std::visit(
+      overloaded{[](const ListVariablesQ&) { return Verb::list_variables; },
+                 [](const FieldStatsQ&) { return Verb::field_stats; },
+                 [](const HistogramQ&) { return Verb::histogram; },
+                 [](const Slice2DQ&) { return Verb::slice2d; },
+                 [](const ReadBoxQ&) { return Verb::read_box; }},
+      body);
+}
+
+// ------------------------------------------------------------------ Service
+
+Service::Service(std::string path, ServiceConfig config)
+    : path_(std::move(path)),
+      reader_(path_),
+      config_(std::move(config)),
+      epoch_(SteadyClock::now()) {
+  GS_REQUIRE(config_.threads >= 1, "service needs at least one worker");
+  cache_ = std::make_unique<BlockCache>(config_.cache_bytes,
+                                        config_.cache_shards);
+  workers_.reserve(config_.threads);
+  for (std::size_t t = 0; t < config_.threads; ++t) {
+    workers_.emplace_back([this] { worker_main(); });
+  }
+}
+
+Service::~Service() { shutdown(); }
+
+double Service::since_epoch(SteadyClock::time_point tp) const {
+  return std::chrono::duration<double>(tp - epoch_).count();
+}
+
+std::future<Response> Service::submit(Request request) {
+  const auto now = SteadyClock::now();
+  request.id = next_id_.fetch_add(1);
+
+  Job job;
+  job.submitted_at = now;
+  job.has_deadline = request.timeout_seconds != 0.0;
+  if (job.has_deadline) {
+    job.deadline =
+        now + std::chrono::duration_cast<SteadyClock::duration>(
+                  std::chrono::duration<double>(request.timeout_seconds));
+  }
+  job.request = std::move(request);
+
+  auto future = job.promise.get_future();
+  StatusCode reject = StatusCode::ok;
+  {
+    const std::lock_guard<std::mutex> lock(queue_mu_);
+    {
+      const std::lock_guard<std::mutex> mlock(metrics_mu_);
+      ++submitted_;
+    }
+    if (stopping_) {
+      reject = StatusCode::shutting_down;
+    } else if (config_.queue_capacity > 0 &&
+               queue_.size() >= config_.queue_capacity) {
+      reject = StatusCode::server_busy;
+    } else {
+      queue_.push_back(std::move(job));
+      max_queue_depth_ = std::max(max_queue_depth_, queue_.size());
+    }
+  }
+  if (reject == StatusCode::ok) {
+    queue_cv_.notify_one();
+    return future;
+  }
+
+  // Rejection path: resolve immediately — the caller always gets an
+  // answer, backpressure instead of blocking.
+  Response response;
+  response.id = job.request.id;
+  response.verb = verb_of(job.request.body);
+  response.status.code = reject;
+  response.status.message = reject == StatusCode::server_busy
+                                ? "admission queue full"
+                                : "service is shutting down";
+  response.latency_seconds =
+      std::chrono::duration<double>(SteadyClock::now() - now).count();
+  count_outcome(response.verb, reject, 0.0);
+  job.promise.set_value(std::move(response));
+  return future;
+}
+
+Response Service::call(Request request) {
+  return submit(std::move(request)).get();
+}
+
+void Service::shutdown() {
+  const std::lock_guard<std::mutex> slock(shutdown_mu_);
+  {
+    const std::lock_guard<std::mutex> lock(queue_mu_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+  workers_.clear();
+}
+
+void Service::worker_main() {
+  for (;;) {
+    std::unique_lock<std::mutex> lock(queue_mu_);
+    queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) return;  // stopping_ and fully drained
+    Job job = std::move(queue_.front());
+    queue_.pop_front();
+    lock.unlock();
+    process(std::move(job));
+  }
+}
+
+void Service::process(Job job) {
+  const auto dequeued = SteadyClock::now();
+
+  Response response;
+  response.id = job.request.id;
+  response.verb = verb_of(job.request.body);
+  response.queue_seconds =
+      std::chrono::duration<double>(dequeued - job.submitted_at).count();
+
+  if (config_.before_execute) config_.before_execute(job.request);
+
+  const auto exec_start = SteadyClock::now();
+  Status status;
+  if (job.has_deadline && exec_start >= job.deadline) {
+    status = {StatusCode::deadline_exceeded,
+              "deadline expired before execution"};
+  } else {
+    try {
+      response.body = execute(job.request.body, response);
+    } catch (const gs::Error& e) {
+      status = {StatusCode::bad_request, e.what()};
+    } catch (const std::exception& e) {
+      status = {StatusCode::internal_error, e.what()};
+    }
+    if (status.ok() && job.has_deadline && SteadyClock::now() > job.deadline) {
+      status = {StatusCode::deadline_exceeded,
+                "deadline expired during execution"};
+    }
+  }
+  const auto exec_end = SteadyClock::now();
+  if (!status.ok()) response.body = std::monostate{};
+  response.status = std::move(status);
+  response.exec_seconds =
+      std::chrono::duration<double>(exec_end - exec_start).count();
+  response.latency_seconds =
+      std::chrono::duration<double>(exec_end - job.submitted_at).count();
+
+  if (config_.profiler != nullptr) {
+    prof::Span span;
+    span.name = std::string("svc.") + to_string(response.verb);
+    span.kind = prof::SpanKind::io_read;
+    span.t0 = since_epoch(exec_start);
+    span.t1 = since_epoch(exec_end);
+    // Cache behavior mapped onto the counter schema: hits/misses of the
+    // block cache, bytes actually fetched from subfiles.
+    span.counters.tcc_hits = response.cache_hits;
+    span.counters.tcc_misses = response.cache_misses;
+    span.counters.fetch_bytes = response.disk_bytes;
+    config_.profiler->record(std::move(span));
+  }
+
+  count_outcome(response.verb, response.status.code,
+                response.latency_seconds);
+  job.promise.set_value(std::move(response));
+}
+
+ResponseBody Service::execute(const QueryBody& body, Response& response) {
+  return std::visit(
+      overloaded{
+          [&](const ListVariablesQ&) -> ResponseBody {
+            ListVariablesR r;
+            r.n_steps = reader_.n_steps();
+            for (const auto& name : reader_.variable_names()) {
+              const auto info = reader_.info(name);
+              r.variables.push_back(VarEntry{info.name, info.type, info.shape,
+                                             info.steps, info.min, info.max});
+            }
+            return r;
+          },
+          [&](const FieldStatsQ& q) -> ResponseBody {
+            const auto info = reader_.info(q.variable);
+            const auto data = read_selection(
+                q.variable, q.step, Box3{{0, 0, 0}, info.shape}, response);
+            return FieldStatsR{analysis::compute_stats(data)};
+          },
+          [&](const HistogramQ& q) -> ResponseBody {
+            GS_REQUIRE(q.bins >= 1 && q.bins <= (1u << 20),
+                       "histogram bins " << q.bins << " out of range");
+            const auto info = reader_.info(q.variable);
+            const auto data = read_selection(
+                q.variable, q.step, Box3{{0, 0, 0}, info.shape}, response);
+            const Histogram h = analysis::field_histogram(data, q.bins);
+            HistogramR r;
+            r.lo = h.bin_lo(0);
+            r.hi = h.bin_hi(h.bins() - 1);
+            r.total = h.total();
+            r.counts.reserve(h.bins());
+            for (std::size_t b = 0; b < h.bins(); ++b) {
+              r.counts.push_back(h.count(b));
+            }
+            return r;
+          },
+          [&](const Slice2DQ& q) -> ResponseBody {
+            GS_REQUIRE(q.axis >= 0 && q.axis < 3, "axis must be 0..2");
+            const auto info = reader_.info(q.variable);
+            GS_REQUIRE(q.coord >= 0 && q.coord < info.shape[q.axis],
+                       "slice coordinate " << q.coord
+                                           << " outside axis extent "
+                                           << info.shape[q.axis]);
+            Box3 sel{{0, 0, 0}, info.shape};
+            sel.start.axis(q.axis) = q.coord;
+            sel.count.axis(q.axis) = 1;
+            const auto plane =
+                read_selection(q.variable, q.step, sel, response);
+            return Slice2DR{
+                analysis::extract_slice(plane, sel.count, q.axis, 0)};
+          },
+          [&](const ReadBoxQ& q) -> ResponseBody {
+            auto values = read_selection(q.variable, q.step, q.box, response);
+            return ReadBoxR{q.box, std::move(values)};
+          }},
+      body);
+}
+
+std::vector<double> Service::read_selection(const std::string& variable,
+                                            std::int64_t step,
+                                            const Box3& selection,
+                                            Response& response) {
+  GS_REQUIRE(!selection.empty(), "empty selection");
+  const auto info = reader_.info(variable);
+  GS_REQUIRE(selection.start.i >= 0 && selection.start.j >= 0 &&
+                 selection.start.k >= 0 &&
+                 selection.end().i <= info.shape.i &&
+                 selection.end().j <= info.shape.j &&
+                 selection.end().k <= info.shape.k,
+             "selection " << selection << " outside shape " << info.shape);
+  const auto blks = reader_.blocks(variable, step);  // rejects scalars
+
+  std::vector<double> out(static_cast<std::size_t>(selection.volume()), 0.0);
+  for (std::size_t b = 0; b < blks.size(); ++b) {
+    const Box3 overlap = blks[b].box.intersect(selection);
+    if (overlap.empty()) continue;
+    BlockData data;
+    bool hit = false;
+    if (config_.cache_enabled) {
+      data = cache_->get_or_load(
+          BlockKey{path_, variable, step, static_cast<std::int32_t>(b)},
+          [&] { return reader_.read_block(variable, step, b); }, &hit);
+    } else {
+      data = std::make_shared<const std::vector<double>>(
+          reader_.read_block(variable, step, b));
+    }
+    if (hit) {
+      ++response.cache_hits;
+    } else {
+      ++response.cache_misses;
+      response.disk_bytes += data->size() * sizeof(double);
+    }
+    bp::copy_overlap(*data, blks[b].box, selection, out);
+  }
+  return out;
+}
+
+void Service::count_outcome(Verb verb, StatusCode code,
+                            double latency_seconds) {
+  const std::lock_guard<std::mutex> lock(metrics_mu_);
+  ++by_verb_outcome_[static_cast<std::size_t>(verb)]
+                    [static_cast<std::size_t>(code)];
+  if (code == StatusCode::ok) ok_latencies_.add(latency_seconds);
+}
+
+MetricsSnapshot Service::metrics() const {
+  MetricsSnapshot m;
+  m.queue_capacity = config_.queue_capacity;
+  {
+    const std::lock_guard<std::mutex> lock(queue_mu_);
+    m.queue_depth = queue_.size();
+    m.max_queue_depth = max_queue_depth_;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(metrics_mu_);
+    m.submitted = submitted_;
+    m.by_verb_outcome = by_verb_outcome_;
+    m.latency_count = ok_latencies_.count();
+    if (!ok_latencies_.empty()) {
+      m.latency_mean = ok_latencies_.mean();
+      m.latency_p50 = ok_latencies_.percentile(50.0);
+      m.latency_p95 = ok_latencies_.percentile(95.0);
+      m.latency_p99 = ok_latencies_.percentile(99.0);
+    }
+  }
+  for (int v = 0; v < kNumVerbs; ++v) {
+    const auto& row = m.by_verb_outcome[static_cast<std::size_t>(v)];
+    m.completed_ok += row[static_cast<std::size_t>(StatusCode::ok)];
+    m.rejected_busy += row[static_cast<std::size_t>(StatusCode::server_busy)];
+    m.rejected_shutdown +=
+        row[static_cast<std::size_t>(StatusCode::shutting_down)];
+    m.deadline_exceeded +=
+        row[static_cast<std::size_t>(StatusCode::deadline_exceeded)];
+    m.bad_request += row[static_cast<std::size_t>(StatusCode::bad_request)];
+    m.internal_error +=
+        row[static_cast<std::size_t>(StatusCode::internal_error)];
+  }
+  m.cache = cache_->stats();
+  return m;
+}
+
+// --------------------------------------------------------- MetricsSnapshot
+
+json::Value MetricsSnapshot::to_json() const {
+  json::Object o;
+  o["submitted"] = json::Value(submitted);
+  o["completed_ok"] = json::Value(completed_ok);
+  o["rejected_busy"] = json::Value(rejected_busy);
+  o["rejected_shutdown"] = json::Value(rejected_shutdown);
+  o["deadline_exceeded"] = json::Value(deadline_exceeded);
+  o["bad_request"] = json::Value(bad_request);
+  o["internal_error"] = json::Value(internal_error);
+
+  json::Object verbs;
+  for (int v = 0; v < kNumVerbs; ++v) {
+    json::Object outcomes;
+    for (int c = 0; c < kNumStatusCodes; ++c) {
+      const std::uint64_t n = by_verb_outcome[static_cast<std::size_t>(v)]
+                                             [static_cast<std::size_t>(c)];
+      if (n != 0) {
+        outcomes[to_string(static_cast<StatusCode>(c))] = json::Value(n);
+      }
+    }
+    if (!outcomes.empty()) {
+      verbs[to_string(static_cast<Verb>(v))] = json::Value(outcomes);
+    }
+  }
+  o["by_verb"] = json::Value(verbs);
+
+  json::Object queue;
+  queue["depth"] = json::Value(static_cast<std::int64_t>(queue_depth));
+  queue["max_depth"] = json::Value(static_cast<std::int64_t>(max_queue_depth));
+  queue["capacity"] = json::Value(static_cast<std::int64_t>(queue_capacity));
+  o["queue"] = json::Value(queue);
+
+  json::Object lat;
+  lat["count"] = json::Value(static_cast<std::int64_t>(latency_count));
+  lat["mean_s"] = json::Value(latency_mean);
+  lat["p50_s"] = json::Value(latency_p50);
+  lat["p95_s"] = json::Value(latency_p95);
+  lat["p99_s"] = json::Value(latency_p99);
+  o["latency"] = json::Value(lat);
+
+  json::Object c;
+  c["hits"] = json::Value(cache.hits);
+  c["misses"] = json::Value(cache.misses);
+  c["evictions"] = json::Value(cache.evictions);
+  c["bytes"] = json::Value(cache.bytes);
+  c["capacity_bytes"] = json::Value(cache.capacity_bytes);
+  c["entries"] = json::Value(static_cast<std::int64_t>(cache.entries));
+  c["hit_rate"] = json::Value(cache.hit_rate());
+  o["cache"] = json::Value(c);
+  return json::Value(o);
+}
+
+std::string MetricsSnapshot::report() const {
+  TableFormatter t({"verb", "ok", "busy", "deadline", "bad", "shutdown",
+                    "error"});
+  for (int v = 0; v < kNumVerbs; ++v) {
+    const auto& row = by_verb_outcome[static_cast<std::size_t>(v)];
+    const auto cell = [&row](StatusCode c) {
+      return std::to_string(row[static_cast<std::size_t>(c)]);
+    };
+    t.row({to_string(static_cast<Verb>(v)), cell(StatusCode::ok),
+           cell(StatusCode::server_busy), cell(StatusCode::deadline_exceeded),
+           cell(StatusCode::bad_request), cell(StatusCode::shutting_down),
+           cell(StatusCode::internal_error)});
+  }
+  std::ostringstream oss;
+  oss << t.str();
+  oss << "submitted " << submitted << ", accounted " << accounted()
+      << ", queue depth " << queue_depth << " (max " << max_queue_depth
+      << ", capacity "
+      << (queue_capacity == 0 ? std::string("unbounded")
+                              : std::to_string(queue_capacity))
+      << ")\n";
+  oss << "latency (n=" << latency_count
+      << "): p50 " << format_seconds(latency_p50) << ", p95 "
+      << format_seconds(latency_p95) << ", p99 "
+      << format_seconds(latency_p99) << ", mean "
+      << format_seconds(latency_mean) << "\n";
+  oss << "cache: " << cache.hits << " hit / " << cache.misses << " miss ("
+      << format_fixed(cache.hit_rate() * 100.0, 1) << "%), "
+      << format_bytes(cache.bytes) << " resident of "
+      << format_bytes(cache.capacity_bytes) << " budget, " << cache.evictions
+      << " evictions\n";
+  return oss.str();
+}
+
+// ------------------------------------------------------------------ Client
+
+template <typename R>
+Expected<R> Client::roundtrip(QueryBody body) {
+  Request request;
+  request.body = std::move(body);
+  request.timeout_seconds = timeout_;
+  last_ = service_->call(std::move(request));
+  if (!last_.status.ok()) return Expected<R>(last_.status);
+  R* payload = std::get_if<R>(&last_.body);
+  GS_ASSERT(payload != nullptr, "response body does not match verb");
+  return Expected<R>(std::move(*payload));
+}
+
+Expected<ListVariablesR> Client::list_variables() {
+  return roundtrip<ListVariablesR>(ListVariablesQ{});
+}
+
+Expected<FieldStatsR> Client::field_stats(const std::string& variable,
+                                          std::int64_t step) {
+  return roundtrip<FieldStatsR>(FieldStatsQ{variable, step});
+}
+
+Expected<HistogramR> Client::histogram(const std::string& variable,
+                                       std::int64_t step, std::size_t bins) {
+  return roundtrip<HistogramR>(HistogramQ{variable, step, bins});
+}
+
+Expected<Slice2DR> Client::slice2d(const std::string& variable,
+                                   std::int64_t step, int axis,
+                                   std::int64_t coord) {
+  return roundtrip<Slice2DR>(Slice2DQ{variable, step, axis, coord});
+}
+
+Expected<ReadBoxR> Client::read_box(const std::string& variable,
+                                    std::int64_t step, const Box3& box) {
+  return roundtrip<ReadBoxR>(ReadBoxQ{variable, step, box});
+}
+
+}  // namespace gs::svc

@@ -1,0 +1,210 @@
+// gs::svc service core — a concurrent dataset-analysis server over a
+// BP-mini dataset: the consumer side of the paper's workflow (Figure 9)
+// turned into a load-bearing serving layer, the way many analysts hammer
+// one shared simulation output.
+//
+// Architecture:
+//   * a pool of worker threads pulls requests from a bounded admission
+//     queue; when the queue is full, submit() answers ServerBusy
+//     immediately (backpressure — rejects are counted, never lost, and
+//     nobody blocks or crashes);
+//   * every request carries an optional deadline, enforced when a worker
+//     dequeues it and again after execution (DeadlineExceeded);
+//   * block loads go through a sharded LRU BlockCache so repeated
+//     slice/stats queries stop re-reading subfiles from disk; cached and
+//     uncached paths assemble bitwise-identical answers;
+//   * shutdown() drains: queued and in-flight requests complete, new
+//     submissions are refused with ShuttingDown;
+//   * observability: each request is recorded as a span in a shared
+//     gs::prof::Profiler (Chrome trace with one lane per worker thread)
+//     and aggregated into a MetricsSnapshot (per-verb/outcome counts,
+//     p50/p95/p99 latency, queue depth, rejects, cache hit rate).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bp/reader.h"
+#include "common/stats.h"
+#include "config/json.h"
+#include "prof/profiler.h"
+#include "svc/cache.h"
+#include "svc/query.h"
+
+namespace gs::svc {
+
+struct ServiceConfig {
+  std::size_t threads = 2;
+  /// Admission-queue bound; 0 disables admission control (unbounded).
+  std::size_t queue_capacity = 64;
+  std::uint64_t cache_bytes = 64ull << 20;
+  std::size_t cache_shards = 8;
+  bool cache_enabled = true;
+  /// Shared trace sink; may be null. Safe to share across services —
+  /// Profiler::record is thread-safe.
+  prof::Profiler* profiler = nullptr;
+  /// Instrumentation hook, invoked on the worker thread right before an
+  /// admitted request executes (tests use it to park workers; telemetry
+  /// can use it to sample queue states). Must be thread-safe.
+  std::function<void(const Request&)> before_execute;
+};
+
+/// Point-in-time service metrics (counters are cumulative since start).
+struct MetricsSnapshot {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed_ok = 0;
+  std::uint64_t rejected_busy = 0;
+  std::uint64_t rejected_shutdown = 0;
+  std::uint64_t deadline_exceeded = 0;
+  std::uint64_t bad_request = 0;
+  std::uint64_t internal_error = 0;
+
+  /// Requests by verb and final status code.
+  std::array<std::array<std::uint64_t, kNumStatusCodes>, kNumVerbs>
+      by_verb_outcome{};
+
+  std::size_t queue_depth = 0;      ///< at snapshot time
+  std::size_t max_queue_depth = 0;  ///< high-water mark
+  std::size_t queue_capacity = 0;   ///< 0 = unbounded
+
+  /// Latency of successfully completed requests, seconds.
+  std::size_t latency_count = 0;
+  double latency_mean = 0.0;
+  double latency_p50 = 0.0;
+  double latency_p95 = 0.0;
+  double latency_p99 = 0.0;
+
+  CacheStats cache;
+
+  /// Every submitted request is accounted for exactly once.
+  std::uint64_t accounted() const {
+    return completed_ok + rejected_busy + rejected_shutdown +
+           deadline_exceeded + bad_request + internal_error;
+  }
+
+  json::Value to_json() const;
+  std::string report() const;  ///< human-readable table
+};
+
+class Service {
+ public:
+  /// Opens the dataset at `path` (throws gs::IoError if absent/corrupt)
+  /// and starts the worker pool.
+  explicit Service(std::string path, ServiceConfig config = {});
+
+  /// Drains and joins (equivalent to shutdown()).
+  ~Service();
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Admits or rejects the request. Always yields a Response: rejected
+  /// requests (queue full, shutting down) resolve immediately with the
+  /// corresponding status. Never blocks on a full queue.
+  std::future<Response> submit(Request request);
+
+  /// submit() + wait.
+  Response call(Request request);
+
+  /// Stops admission, drains every queued and in-flight request, joins
+  /// the workers. Idempotent; also runs on destruction.
+  void shutdown();
+
+  MetricsSnapshot metrics() const;
+
+  const bp::Reader& reader() const { return reader_; }
+  const std::string& path() const { return path_; }
+  const ServiceConfig& config() const { return config_; }
+  BlockCache& cache() { return *cache_; }
+
+ private:
+  using SteadyClock = std::chrono::steady_clock;
+
+  struct Job {
+    Request request;
+    std::promise<Response> promise;
+    SteadyClock::time_point submitted_at;
+    SteadyClock::time_point deadline;
+    bool has_deadline = false;
+  };
+
+  void worker_main();
+  void process(Job job);
+  /// Executes the verb (cached reads); throws gs::Error for bad input.
+  ResponseBody execute(const QueryBody& body, Response& response);
+  /// Selection read through the block cache; bitwise-identical to
+  /// bp::Reader::read on the same selection.
+  std::vector<double> read_selection(const std::string& variable,
+                                     std::int64_t step, const Box3& selection,
+                                     Response& response);
+  void count_outcome(Verb verb, StatusCode code, double latency_seconds);
+  double since_epoch(SteadyClock::time_point tp) const;
+
+  std::string path_;
+  bp::Reader reader_;
+  ServiceConfig config_;
+  std::unique_ptr<BlockCache> cache_;
+  SteadyClock::time_point epoch_;
+
+  // Admission queue (queue_mu_ also guards the depth high-water mark).
+  mutable std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Job> queue_;
+  bool stopping_ = false;
+  std::size_t max_queue_depth_ = 0;
+  std::vector<std::thread> workers_;
+  std::atomic<std::uint64_t> next_id_{1};
+  std::mutex shutdown_mu_;  ///< serializes concurrent shutdown() calls
+
+  // Metrics (separate lock: workers update while clients snapshot; lock
+  // order where both are held is queue_mu_ then metrics_mu_).
+  mutable std::mutex metrics_mu_;
+  std::uint64_t submitted_ = 0;
+  std::array<std::array<std::uint64_t, kNumStatusCodes>, kNumVerbs>
+      by_verb_outcome_{};
+  Samples ok_latencies_;
+};
+
+/// Typed in-process client: one call per verb, each returning a typed
+/// Expected (the payload, or the Status the service answered with).
+/// Thin and stateless — many clients can share one Service.
+class Client {
+ public:
+  /// `default_timeout_seconds` is attached to every request (0 = none).
+  explicit Client(Service& service, double default_timeout_seconds = 0.0)
+      : service_(&service), timeout_(default_timeout_seconds) {}
+
+  Expected<ListVariablesR> list_variables();
+  Expected<FieldStatsR> field_stats(const std::string& variable,
+                                    std::int64_t step);
+  Expected<HistogramR> histogram(const std::string& variable,
+                                 std::int64_t step, std::size_t bins);
+  Expected<Slice2DR> slice2d(const std::string& variable, std::int64_t step,
+                             int axis, std::int64_t coord);
+  Expected<ReadBoxR> read_box(const std::string& variable, std::int64_t step,
+                              const Box3& box);
+
+  /// The raw Response of the last call (timings, cache counters).
+  const Response& last_response() const { return last_; }
+
+ private:
+  template <typename R>
+  Expected<R> roundtrip(QueryBody body);
+
+  Service* service_;
+  double timeout_;
+  Response last_;
+};
+
+}  // namespace gs::svc

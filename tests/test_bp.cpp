@@ -3,9 +3,11 @@
 // min/max statistics, subfile-per-node invariants, bpls-style dump.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <filesystem>
 #include <fstream>
 #include <numeric>
+#include <thread>
 
 #include "bp/reader.h"
 #include "bp/writer.h"
@@ -559,6 +561,51 @@ TEST(Bp, BlockLevelRead) {
     EXPECT_DOUBLE_EQ(data[0], cell_value(blks[b].box.start, shape, 0));
   }
   EXPECT_THROW(r.read_block("U", 0, blks.size()), gs::Error);
+  fs::remove_all(path);
+}
+
+TEST(Bp, ConcurrentBoxReadsMatchSerialBitwise) {
+  // The Reader is immutable after construction and opens a fresh stream
+  // per block load, so N threads hammering the same dataset must agree
+  // bitwise with a serial read of the same selections.
+  const std::int64_t L = 12;
+  const int n_steps = 2;
+  const std::string path = temp_dataset("concurrent");
+  write_dataset(path, 4, L, n_steps, 2, /*with_v=*/true);
+  const Reader r(path);
+
+  const std::vector<Box3> boxes = {
+      {{0, 0, 0}, {L, L, L}},          // full field
+      {{3, 2, 5}, {7, 9, 4}},          // interior box spanning blocks
+      {{0, 0, L / 2}, {L, L, 1}},      // one plane
+      {{L - 1, L - 1, L - 1}, {1, 1, 1}},  // single corner cell
+  };
+  std::vector<std::vector<double>> serial;
+  for (const auto& box : boxes) {
+    for (std::int64_t s = 0; s < n_steps; ++s) {
+      serial.push_back(r.read("U", s, box));
+      serial.push_back(r.read("V", s, box));
+    }
+  }
+
+  constexpr int kThreads = 8;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int repeat = 0; repeat < 3; ++repeat) {
+        std::size_t n = 0;
+        for (const auto& box : boxes) {
+          for (std::int64_t s = 0; s < n_steps; ++s) {
+            if (r.read("U", s, box) != serial[n++]) mismatches.fetch_add(1);
+            if (r.read("V", s, box) != serial[n++]) mismatches.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
   fs::remove_all(path);
 }
 

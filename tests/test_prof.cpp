@@ -2,6 +2,11 @@
 // Chrome-trace export, report rendering, timeline art.
 #include <gtest/gtest.h>
 
+#include <map>
+#include <set>
+#include <thread>
+#include <vector>
+
 #include "config/json.h"
 #include "prof/profiler.h"
 
@@ -140,6 +145,50 @@ TEST(Profiler, ClearEmpties) {
   p.clear();
   EXPECT_TRUE(p.empty());
   EXPECT_TRUE(p.kernel_stats().empty());
+}
+
+TEST(Profiler, RecordIsThreadSafeAndLanesAreDistinct) {
+  Profiler p;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&p, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        p.record(make_span("t" + std::to_string(t), SpanKind::kernel,
+                           i * 1.0, i * 1.0 + 0.5));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  ASSERT_EQ(p.spans().size(),
+            static_cast<std::size_t>(kThreads) * kPerThread);
+  // Each recording thread gets a stable, nonzero lane, and different
+  // threads get different lanes.
+  std::map<std::string, std::set<std::uint64_t>> lanes_by_name;
+  for (const auto& s : p.spans()) {
+    EXPECT_NE(s.tid, 0u);
+    lanes_by_name[s.name].insert(s.tid);
+  }
+  std::set<std::uint64_t> all_lanes;
+  for (const auto& [name, lanes] : lanes_by_name) {
+    EXPECT_EQ(lanes.size(), 1u) << name << " used multiple lanes";
+    all_lanes.insert(*lanes.begin());
+  }
+  EXPECT_EQ(all_lanes.size(), static_cast<std::size_t>(kThreads));
+}
+
+TEST(Profiler, ChromeTraceCarriesRecordingThreadLane) {
+  Profiler p;
+  Span s = make_span("svc.FieldStats", SpanKind::io_read, 0.0, 0.1);
+  s.tid = 7;  // explicit lane is preserved verbatim
+  p.record(std::move(s));
+  p.record(make_span("k", SpanKind::kernel, 0.1, 0.2));  // lane auto-filled
+  const auto doc = gs::json::parse(p.chrome_trace_json());
+  const auto& events = doc.at("traceEvents").as_array();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].at("tid").as_int(), 7);
+  EXPECT_GT(events[1].at("tid").as_int(), 0);
 }
 
 }  // namespace

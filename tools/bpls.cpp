@@ -8,17 +8,26 @@
 //   bpls <dataset.bp> -s <var> <step> <axis> <coord>
 //                                         ASCII-render one slice
 //   bpls <dataset.bp> --verify            CRC-check every block
+//   --json on the listing and -d paths switches to machine-readable
+//   output (the stats document matches `gsquery stats --json` byte for
+//   byte), so scripts do not have to scrape the human tables.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <string>
+#include <vector>
 
 #include "analysis/analysis.h"
 #include "bp/reader.h"
 #include "common/format.h"
+#include "config/json.h"
 
 namespace {
+
+using gs::json::Array;
+using gs::json::Object;
+using gs::json::Value;
 
 int usage(std::FILE* to, const char* argv0) {
   std::fprintf(to,
@@ -29,9 +38,68 @@ int usage(std::FILE* to, const char* argv0) {
                "  -s <var> <step> <axis> <coord>\n"
                "                            ASCII-render one slice\n"
                "  --verify                  CRC-check every block\n"
+               "  --json                    machine-readable listing/-d output\n"
                "  --help                    this message\n",
                argv0);
   return to == stdout ? 0 : 2;
+}
+
+int cmd_listing_json(const gs::bp::Reader& reader, const std::string& path) {
+  Object doc;
+  doc["path"] = Value(path);
+  doc["steps"] = Value(reader.n_steps());
+  Object attrs;
+  for (const auto& name : reader.attribute_names()) {
+    attrs[name] = reader.attribute(name);
+  }
+  doc["attributes"] = Value(std::move(attrs));
+  Array vars;
+  for (const auto& name : reader.variable_names()) {
+    const auto info = reader.info(name);
+    Object e;
+    e["name"] = Value(info.name);
+    e["type"] = Value(info.type);
+    Array shape;
+    shape.emplace_back(info.shape.i);
+    shape.emplace_back(info.shape.j);
+    shape.emplace_back(info.shape.k);
+    e["shape"] = Value(std::move(shape));
+    e["steps"] = Value(info.steps);
+    e["min"] = Value(info.min);
+    e["max"] = Value(info.max);
+    vars.emplace_back(std::move(e));
+  }
+  doc["variables"] = Value(std::move(vars));
+  std::printf("%s\n", Value(std::move(doc)).dump(2).c_str());
+  return 0;
+}
+
+int cmd_dump_json(const gs::bp::Reader& reader, const std::string& var,
+                  std::int64_t step) {
+  const auto info = reader.info(var);
+  const std::int64_t lo = step >= 0 ? step : 0;
+  const std::int64_t hi = step >= 0 ? step + 1 : info.steps;
+  Array steps;
+  for (std::int64_t s = lo; s < hi; ++s) {
+    if (info.type == "int64") {
+      Object row;
+      row["step"] = Value(s);
+      row["value"] = Value(reader.read_scalar(var, s));
+      steps.emplace_back(std::move(row));
+    } else {
+      const auto stats =
+          gs::analysis::compute_stats(reader.read_full(var, s));
+      Object row = gs::analysis::stats_to_json(stats);
+      row["step"] = Value(s);
+      steps.emplace_back(std::move(row));
+    }
+  }
+  Object doc;
+  doc["variable"] = Value(var);
+  doc["type"] = Value(info.type);
+  doc["steps"] = Value(std::move(steps));
+  std::printf("%s\n", Value(std::move(doc)).dump(2).c_str());
+  return 0;
 }
 
 int cmd_blocks(const gs::bp::Reader& reader, const std::string& var) {
@@ -106,8 +174,17 @@ int main(int argc, char** argv) {
                     std::strcmp(argv[1], "-h") == 0)) {
     return usage(stdout, argv[0]);
   }
-  if (argc < 2) return usage(stderr, argv[0]);
-  const std::string path = argv[1];
+  bool as_json = false;
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      as_json = true;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  if (args.empty()) return usage(stderr, argv[0]);
+  const std::string path = args[0];
   std::error_code ec;
   if (!std::filesystem::exists(path, ec)) {
     std::fprintf(stderr, "bpls: no such dataset: %s\n", path.c_str());
@@ -120,22 +197,27 @@ int main(int argc, char** argv) {
     return 1;
   }
   try {
-    const gs::bp::Reader reader(argv[1]);
-    if (argc == 2) {
-      std::printf("%s, %lld step(s):\n\n%s", argv[1],
+    const gs::bp::Reader reader(path);
+    if (args.size() == 1) {
+      if (as_json) return cmd_listing_json(reader, path);
+      std::printf("%s, %lld step(s):\n\n%s", path.c_str(),
                   (long long)reader.n_steps(),
                   gs::bp::dump(reader).c_str());
       return 0;
     }
-    const std::string flag = argv[2];
+    const std::string flag = args[1];
     if (flag == "--verify") return cmd_verify(reader);
-    if (flag == "-D" && argc >= 4) return cmd_blocks(reader, argv[3]);
-    if (flag == "-d" && argc >= 4) {
-      return cmd_dump(reader, argv[3], argc >= 5 ? std::atoll(argv[4]) : -1);
+    if (flag == "-D" && args.size() >= 3) return cmd_blocks(reader, args[2]);
+    if (flag == "-d" && args.size() >= 3) {
+      const std::int64_t step =
+          args.size() >= 4 ? std::atoll(args[3].c_str()) : -1;
+      return as_json ? cmd_dump_json(reader, args[2], step)
+                     : cmd_dump(reader, args[2], step);
     }
-    if (flag == "-s" && argc >= 7) {
-      return cmd_slice(reader, argv[3], std::atoll(argv[4]),
-                       std::atoi(argv[5]), std::atoll(argv[6]));
+    if (flag == "-s" && args.size() >= 6) {
+      return cmd_slice(reader, args[2], std::atoll(args[3].c_str()),
+                       std::atoi(args[4].c_str()),
+                       std::atoll(args[5].c_str()));
     }
     return usage(stderr, argv[0]);
   } catch (const std::exception& e) {

@@ -1,0 +1,375 @@
+// gsquery — one-shot scripted queries against a BP-mini dataset, issued
+// through the gs::svc service path (admission queue, worker pool, block
+// cache, request tracing) rather than a bare Reader. The scripted twin of
+// the paper's interactive JupyterHub session: what a notebook cell asks
+// interactively, gsquery asks from the command line or a shell script.
+//
+//   gsquery <dataset.bp> ls
+//   gsquery <dataset.bp> stats <var> [step]
+//   gsquery <dataset.bp> hist <var> <step> <bins>
+//   gsquery <dataset.bp> slice <var> <step> <axis> <coord>
+//   gsquery <dataset.bp> read <var> <step> <i0> <j0> <k0> <ni> <nj> <nk>
+//
+// `--json` emits machine-readable output; the stats document is
+// byte-identical to `bpls <dataset.bp> -d <var> --json` (both serialize
+// the same statistics through analysis::stats_to_json).
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "analysis/analysis.h"
+#include "common/format.h"
+#include "config/json.h"
+#include "prof/profiler.h"
+#include "svc/service.h"
+
+namespace {
+
+using gs::json::Array;
+using gs::json::Object;
+using gs::json::Value;
+
+int usage(std::FILE* to, const char* argv0) {
+  std::fprintf(
+      to,
+      "usage: %s <dataset.bp> <command> [args] [options]\n"
+      "commands:\n"
+      "  ls                                  list variables\n"
+      "  stats <var> [step]                  per-step field statistics\n"
+      "  hist <var> <step> <bins>            histogram of field values\n"
+      "  slice <var> <step> <axis> <coord>   render one 2-D slice\n"
+      "  read <var> <step> <i0> <j0> <k0> <ni> <nj> <nk>\n"
+      "                                      box-selection read\n"
+      "options:\n"
+      "  --json           machine-readable output\n"
+      "  --threads <n>    service worker threads (default 2)\n"
+      "  --cache-mb <n>   block cache budget in MB, 0 disables (default 64)\n"
+      "  --timeout <s>    per-request deadline in seconds (default none)\n"
+      "  --metrics        print service metrics to stderr when done\n"
+      "  --trace <file>   write a Chrome trace of the session\n"
+      "  --help           this message\n",
+      argv0);
+  return to == stdout ? 0 : 2;
+}
+
+/// Exits via gs::Error on failure statuses so main's catch prints them.
+/// Returns by value: the argument is usually a temporary, so a reference
+/// into it would dangle at the end of the caller's full expression.
+template <typename T>
+T require_ok(const gs::svc::Expected<T>& result) {
+  if (!result.ok()) {
+    GS_THROW(gs::Error, gs::svc::to_string(result.status().code)
+                            << ": " << result.status().message);
+  }
+  return result.value();
+}
+
+Value shape_json(const gs::Index3& shape) {
+  Array a;
+  a.emplace_back(shape.i);
+  a.emplace_back(shape.j);
+  a.emplace_back(shape.k);
+  return Value(std::move(a));
+}
+
+int cmd_ls(gs::svc::Service& svc, gs::svc::Client& client, bool as_json) {
+  const auto& r = require_ok(client.list_variables());
+  if (as_json) {
+    Object doc;
+    doc["path"] = Value(svc.path());
+    doc["steps"] = Value(r.n_steps);
+    Array vars;
+    for (const auto& v : r.variables) {
+      Object e;
+      e["name"] = Value(v.name);
+      e["type"] = Value(v.type);
+      e["shape"] = shape_json(v.shape);
+      e["steps"] = Value(v.steps);
+      e["min"] = Value(v.min);
+      e["max"] = Value(v.max);
+      vars.emplace_back(std::move(e));
+    }
+    doc["variables"] = Value(std::move(vars));
+    std::printf("%s\n", Value(std::move(doc)).dump(2).c_str());
+    return 0;
+  }
+  gs::TableFormatter t({"variable", "type", "shape", "steps", "min", "max"});
+  for (const auto& v : r.variables) {
+    char shape[64];
+    std::snprintf(shape, sizeof(shape), "{%lld, %lld, %lld}",
+                  (long long)v.shape.i, (long long)v.shape.j,
+                  (long long)v.shape.k);
+    char mn[32], mx[32];
+    std::snprintf(mn, sizeof(mn), "%g", v.min);
+    std::snprintf(mx, sizeof(mx), "%g", v.max);
+    t.row({v.name, v.type, shape, std::to_string(v.steps), mn, mx});
+  }
+  std::printf("%s, %lld step(s):\n%s", svc.path().c_str(),
+              (long long)r.n_steps, t.str().c_str());
+  return 0;
+}
+
+int cmd_stats(gs::svc::Service& svc, gs::svc::Client& client,
+              const std::string& var, std::int64_t step, bool as_json) {
+  const auto& ls = require_ok(client.list_variables());
+  std::string type = "double";
+  std::int64_t n_steps = 0;
+  bool found = false;
+  for (const auto& v : ls.variables) {
+    if (v.name == var) {
+      type = v.type;
+      n_steps = v.steps;
+      found = true;
+    }
+  }
+  if (!found) {
+    GS_THROW(gs::Error, "dataset has no variable \"" << var << "\"");
+  }
+  const std::int64_t lo = step >= 0 ? step : 0;
+  const std::int64_t hi = step >= 0 ? step + 1 : n_steps;
+
+  Array steps;
+  gs::TableFormatter t({"step", "min", "max", "mean", "stddev"});
+  for (std::int64_t s = lo; s < hi; ++s) {
+    const auto& r = require_ok(client.field_stats(var, s));
+    if (as_json) {
+      Object row = gs::analysis::stats_to_json(r.stats);
+      row["step"] = Value(s);
+      steps.emplace_back(std::move(row));
+    } else {
+      char mn[32], mx[32], mean[32], sd[32];
+      std::snprintf(mn, sizeof(mn), "%.6g", r.stats.min);
+      std::snprintf(mx, sizeof(mx), "%.6g", r.stats.max);
+      std::snprintf(mean, sizeof(mean), "%.6g", r.stats.mean);
+      std::snprintf(sd, sizeof(sd), "%.6g", r.stats.stddev);
+      t.row({std::to_string(s), mn, mx, mean, sd});
+    }
+  }
+  if (as_json) {
+    Object doc;
+    doc["variable"] = Value(var);
+    doc["type"] = Value(type);
+    doc["steps"] = Value(std::move(steps));
+    std::printf("%s\n", Value(std::move(doc)).dump(2).c_str());
+  } else {
+    std::printf("%s\n%s", var.c_str(), t.str().c_str());
+  }
+  (void)svc;
+  return 0;
+}
+
+int cmd_hist(gs::svc::Client& client, const std::string& var,
+             std::int64_t step, std::size_t bins, bool as_json) {
+  const auto& r = require_ok(client.histogram(var, step, bins));
+  if (as_json) {
+    Object doc;
+    doc["variable"] = Value(var);
+    doc["step"] = Value(step);
+    doc["lo"] = Value(r.lo);
+    doc["hi"] = Value(r.hi);
+    doc["total"] = Value(static_cast<std::int64_t>(r.total));
+    Array counts;
+    for (const std::size_t c : r.counts) {
+      counts.emplace_back(static_cast<std::int64_t>(c));
+    }
+    doc["counts"] = Value(std::move(counts));
+    std::printf("%s\n", Value(std::move(doc)).dump(2).c_str());
+    return 0;
+  }
+  // Re-render through the common Histogram ASCII path.
+  std::size_t max_count = 1;
+  for (const std::size_t c : r.counts) max_count = std::max(max_count, c);
+  std::printf("%s step %lld: %zu values in [%g, %g)\n", var.c_str(),
+              (long long)step, r.total, r.lo, r.hi);
+  const double width = (r.hi - r.lo) / static_cast<double>(r.counts.size());
+  for (std::size_t b = 0; b < r.counts.size(); ++b) {
+    const int bar = static_cast<int>(
+        40.0 * static_cast<double>(r.counts[b]) /
+        static_cast<double>(max_count));
+    std::printf("  [%9.4g, %9.4g) %8zu |%s\n", r.lo + width * b,
+                r.lo + width * (b + 1), r.counts[b],
+                std::string(static_cast<std::size_t>(bar), '#').c_str());
+  }
+  return 0;
+}
+
+int cmd_slice(gs::svc::Client& client, const std::string& var,
+              std::int64_t step, int axis, std::int64_t coord, bool as_json) {
+  const auto& r = require_ok(client.slice2d(var, step, axis, coord));
+  const auto& s = r.slice;
+  if (as_json) {
+    Object doc;
+    doc["variable"] = Value(var);
+    doc["step"] = Value(step);
+    doc["axis"] = Value(axis);
+    doc["coord"] = Value(coord);
+    doc["nx"] = Value(s.nx);
+    doc["ny"] = Value(s.ny);
+    doc["min"] = Value(s.min);
+    doc["max"] = Value(s.max);
+    Array values;
+    for (const double v : s.values) values.emplace_back(v);
+    doc["values"] = Value(std::move(values));
+    std::printf("%s\n", Value(std::move(doc)).dump(2).c_str());
+    return 0;
+  }
+  std::printf("%s step %lld, axis %d @ %lld  (min %g, max %g)\n\n%s",
+              var.c_str(), (long long)step, axis, (long long)coord, s.min,
+              s.max, gs::analysis::ascii_render(s, 64).c_str());
+  return 0;
+}
+
+int cmd_read(gs::svc::Client& client, const std::string& var,
+             std::int64_t step, const gs::Box3& box, bool as_json) {
+  const auto& r = require_ok(client.read_box(var, step, box));
+  if (as_json) {
+    Object doc;
+    doc["variable"] = Value(var);
+    doc["step"] = Value(step);
+    Object b;
+    b["start"] = shape_json(r.box.start);
+    b["count"] = shape_json(r.box.count);
+    doc["box"] = Value(std::move(b));
+    Array values;
+    for (const double v : r.values) values.emplace_back(v);
+    doc["values"] = Value(std::move(values));
+    std::printf("%s\n", Value(std::move(doc)).dump(2).c_str());
+    return 0;
+  }
+  const auto stats = gs::analysis::compute_stats(r.values);
+  std::printf("%s step %lld, start (%lld,%lld,%lld) count (%lld,%lld,%lld): "
+              "%zu cells, min %.6g max %.6g mean %.6g\n",
+              var.c_str(), (long long)step, (long long)box.start.i,
+              (long long)box.start.j, (long long)box.start.k,
+              (long long)box.count.i, (long long)box.count.j,
+              (long long)box.count.k, stats.count, stats.min, stats.max,
+              stats.mean);
+  if (r.values.size() <= 64) {
+    for (const double v : r.values) std::printf("  %.17g\n", v);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2 && (std::strcmp(argv[1], "--help") == 0 ||
+                    std::strcmp(argv[1], "-h") == 0)) {
+    return usage(stdout, argv[0]);
+  }
+
+  bool as_json = false;
+  bool metrics = false;
+  std::size_t threads = 2;
+  std::uint64_t cache_mb = 64;
+  double timeout = 0.0;
+  std::string trace_file;
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "gsquery: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--json") {
+      as_json = true;
+    } else if (arg == "--metrics") {
+      metrics = true;
+    } else if (arg == "--threads") {
+      threads = static_cast<std::size_t>(std::atoll(next()));
+    } else if (arg == "--cache-mb") {
+      cache_mb = static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (arg == "--timeout") {
+      timeout = std::atof(next());
+    } else if (arg == "--trace") {
+      trace_file = next();
+    } else if (arg == "--help" || arg == "-h") {
+      return usage(stdout, argv[0]);
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "gsquery: unknown option %s\n", arg.c_str());
+      return 2;
+    } else {
+      args.push_back(arg);
+    }
+  }
+  if (args.size() < 2) return usage(stderr, argv[0]);
+
+  const std::string path = args[0];
+  const std::string command = args[1];
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec)) {
+    std::fprintf(stderr, "gsquery: no such dataset: %s\n", path.c_str());
+    return 1;
+  }
+  if (!std::filesystem::exists(path + "/md.idx", ec)) {
+    std::fprintf(stderr, "gsquery: not a bp-mini dataset (missing %s/md.idx)\n",
+                 path.c_str());
+    return 1;
+  }
+
+  gs::prof::Profiler profiler;
+  gs::svc::ServiceConfig config;
+  config.threads = std::max<std::size_t>(threads, 1);
+  config.cache_enabled = cache_mb > 0;
+  config.cache_bytes = cache_mb << 20;
+  config.profiler = &profiler;
+
+  try {
+    gs::svc::Service service(path, std::move(config));
+    gs::svc::Client client(service, timeout);
+    const auto at = [&](std::size_t i) -> const std::string& {
+      if (i >= args.size()) {
+        std::fprintf(stderr, "gsquery: missing argument for %s\n",
+                     command.c_str());
+        std::exit(2);
+      }
+      return args[i];
+    };
+
+    int rc = 2;
+    if (command == "ls" && args.size() == 2) {
+      rc = cmd_ls(service, client, as_json);
+    } else if (command == "stats") {
+      rc = cmd_stats(service, client, at(2),
+                     args.size() >= 4 ? std::atoll(at(3).c_str()) : -1,
+                     as_json);
+    } else if (command == "hist") {
+      rc = cmd_hist(client, at(2), std::atoll(at(3).c_str()),
+                    static_cast<std::size_t>(std::atoll(at(4).c_str())),
+                    as_json);
+    } else if (command == "slice") {
+      rc = cmd_slice(client, at(2), std::atoll(at(3).c_str()),
+                     std::atoi(at(4).c_str()), std::atoll(at(5).c_str()),
+                     as_json);
+    } else if (command == "read") {
+      const gs::Box3 box{{std::atoll(at(4).c_str()), std::atoll(at(5).c_str()),
+                          std::atoll(at(6).c_str())},
+                         {std::atoll(at(7).c_str()), std::atoll(at(8).c_str()),
+                          std::atoll(at(9).c_str())}};
+      rc = cmd_read(client, at(2), std::atoll(at(3).c_str()), box, as_json);
+    } else {
+      return usage(stderr, argv[0]);
+    }
+
+    service.shutdown();
+    if (metrics) {
+      std::fprintf(stderr, "%s", service.metrics().report().c_str());
+    }
+    if (!trace_file.empty()) {
+      std::ofstream out(trace_file);
+      out << profiler.chrome_trace_json();
+    }
+    return rc;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "gsquery: %s\n", e.what());
+    return 1;
+  }
+}
