@@ -1,0 +1,142 @@
+// extension_parallel_speedup — self-gating sweep of the gs::par engine.
+//
+// Runs the end-to-end host workload (host-reference Gray-Scott solver +
+// analysis reductions + checksum) at 1, 2, 4, and hardware_concurrency
+// lanes and enforces the two gs::par contracts:
+//
+//   1. DETERMINISM (always fatal): every observable — field checksum,
+//      analysis mean/stddev bits, histogram mass — must be bitwise
+//      identical to the 1-lane run for every pool size.
+//   2. SPEEDUP (gated): with 4 lanes the workload must run >= 1.8x faster
+//      than 1 lane. Enforced only when the machine actually has >= 4
+//      hardware threads AND GS_SPEEDUP_NONFATAL is unset — shared CI
+//      runners and small containers log the number instead of failing.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "analysis/analysis.h"
+#include "common/clock.h"
+#include "core/sim.h"
+#include "mpi/runtime.h"
+#include "par/par.h"
+
+namespace {
+
+constexpr std::int64_t kL = 96;
+constexpr std::int64_t kSteps = 6;
+constexpr int kReps = 3;
+
+struct Observables {
+  std::uint32_t u_crc = 0;
+  std::uint64_t mean_bits = 0;
+  std::uint64_t stddev_bits = 0;
+  std::size_t histogram_total = 0;
+
+  bool operator==(const Observables&) const = default;
+};
+
+struct SweepPoint {
+  std::size_t lanes = 1;
+  double best_seconds = 0.0;
+  Observables obs;
+};
+
+std::uint64_t bits_of(double v) {
+  std::uint64_t b = 0;
+  std::memcpy(&b, &v, sizeof b);
+  return b;
+}
+
+SweepPoint run_with_lanes(std::size_t lanes) {
+  gs::par::set_global_lanes(lanes);
+  SweepPoint point;
+  point.lanes = lanes;
+  point.best_seconds = 1e300;
+  for (int rep = 0; rep < kReps; ++rep) {
+    gs::mpi::run(1, [&](gs::mpi::Comm& world) {
+      gs::Settings s;
+      s.L = kL;
+      s.steps = kSteps;
+      s.backend = gs::KernelBackend::host_reference;
+      s.noise = 0.1;
+      s.seed = 7;
+      gs::core::Simulation sim(s, world);
+
+      const gs::WallTimer timer;
+      sim.run_steps(kSteps);
+      const auto u = sim.u_host().interior_copy();
+      const auto stats = gs::analysis::compute_stats(u);
+      const auto hist = gs::analysis::field_histogram(u, 32);
+      const std::uint32_t crc =
+          gs::par::crc32(std::as_bytes(std::span<const double>(u)));
+      point.best_seconds = std::min(point.best_seconds, timer.seconds());
+
+      point.obs.u_crc = crc;
+      point.obs.mean_bits = bits_of(stats.mean);
+      point.obs.stddev_bits = bits_of(stats.stddev);
+      point.obs.histogram_total = hist.total();
+    });
+  }
+  gs::par::set_global_lanes(1);
+  return point;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t hw =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  std::printf("gs::par speedup sweep: L=%lld steps=%lld reps=%d "
+              "(hardware threads: %zu)\n",
+              static_cast<long long>(kL), static_cast<long long>(kSteps),
+              kReps, hw);
+
+  std::vector<std::size_t> lane_counts = {1, 2, 4};
+  if (hw > 4) lane_counts.push_back(hw);
+
+  std::vector<SweepPoint> points;
+  for (const std::size_t lanes : lane_counts) {
+    points.push_back(run_with_lanes(lanes));
+    const auto& p = points.back();
+    std::printf("  lanes=%2zu  %8.3f ms  speedup %.2fx  crc %08x\n",
+                p.lanes, p.best_seconds * 1e3,
+                points.front().best_seconds / p.best_seconds, p.obs.u_crc);
+  }
+
+  int status = 0;
+
+  // Gate 1 (always fatal): bitwise identity with the 1-lane run.
+  for (const auto& p : points) {
+    if (!(p.obs == points.front().obs)) {
+      std::printf("FAIL: results with %zu lanes differ from 1 lane "
+                  "(crc %08x vs %08x)\n",
+                  p.lanes, p.obs.u_crc, points.front().obs.u_crc);
+      status = 1;
+    }
+  }
+  if (status == 0) {
+    std::printf("determinism: PASS (all lane counts bitwise identical)\n");
+  }
+
+  // Gate 2: speedup at 4 lanes.
+  const double speedup4 = points.front().best_seconds / points[2].best_seconds;
+  const bool nonfatal = std::getenv("GS_SPEEDUP_NONFATAL") != nullptr;
+  if (hw < 4 || nonfatal) {
+    std::printf("speedup @4 lanes: %.2fx (informational: %s)\n", speedup4,
+                hw < 4 ? "fewer than 4 hardware threads"
+                       : "GS_SPEEDUP_NONFATAL set");
+  } else if (speedup4 < 1.8) {
+    std::printf("FAIL: speedup @4 lanes is %.2fx, need >= 1.8x\n", speedup4);
+    status = 1;
+  } else {
+    std::printf("speedup @4 lanes: %.2fx (>= 1.8x required): PASS\n",
+                speedup4);
+  }
+
+  return status;
+}

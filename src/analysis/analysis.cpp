@@ -6,8 +6,19 @@
 #include <sstream>
 
 #include "common/error.h"
+#include "par/par.h"
 
 namespace gs::analysis {
+
+namespace {
+
+/// Per-cell grain of the analysis reductions: inputs below this size run
+/// as a single tile — i.e. the exact serial algorithm with its historical
+/// floating-point rounding. Larger inputs use the deterministic tile tree
+/// (same tiling and combine order for ANY thread count).
+constexpr std::int64_t kAnalysisGrain = 32768;
+
+}  // namespace
 
 namespace {
 
@@ -88,9 +99,24 @@ Slice2D slice_from_reader(const bp::Reader& reader, const std::string& name,
 }
 
 FieldStats compute_stats(std::span<const double> data) {
+  par::RegionOptions opts;
+  opts.label = "stats";
+  opts.grain = kAnalysisGrain;
+  const RunningStats rs = par::parallel_reduce<RunningStats>(
+      static_cast<std::int64_t>(data.size()),
+      [&](std::int64_t begin, std::int64_t end) {
+        RunningStats tile;
+        for (std::int64_t i = begin; i < end; ++i) {
+          tile.add(data[static_cast<std::size_t>(i)]);
+        }
+        return tile;
+      },
+      [](RunningStats a, const RunningStats& b) {
+        a.merge(b);
+        return a;
+      },
+      opts);
   FieldStats out;
-  RunningStats rs;
-  for (const double v : data) rs.add(v);
   out.count = rs.count();
   out.min = rs.min();
   out.max = rs.max();
@@ -111,15 +137,50 @@ json::Object stats_to_json(const FieldStats& stats) {
 
 Histogram field_histogram(std::span<const double> data, std::size_t bins) {
   GS_REQUIRE(!data.empty(), "histogram of empty field");
-  double lo = data[0], hi = data[0];
-  for (const double v : data) {
-    lo = std::min(lo, v);
-    hi = std::max(hi, v);
-  }
+  const auto n = static_cast<std::int64_t>(data.size());
+
+  // Pass 1: min/max reduction (exact — order-independent).
+  struct MinMax {
+    double lo, hi;
+  };
+  par::RegionOptions opts;
+  opts.label = "histogram";
+  opts.grain = kAnalysisGrain;
+  const MinMax mm = par::parallel_reduce<MinMax>(
+      n,
+      [&](std::int64_t begin, std::int64_t end) {
+        MinMax t{data[static_cast<std::size_t>(begin)],
+                 data[static_cast<std::size_t>(begin)]};
+        for (std::int64_t i = begin; i < end; ++i) {
+          const double v = data[static_cast<std::size_t>(i)];
+          t.lo = std::min(t.lo, v);
+          t.hi = std::max(t.hi, v);
+        }
+        return t;
+      },
+      [](const MinMax& a, const MinMax& b) {
+        return MinMax{std::min(a.lo, b.lo), std::max(a.hi, b.hi)};
+      },
+      opts);
+  double lo = mm.lo, hi = mm.hi;
   if (hi <= lo) hi = lo + 1.0;  // constant field: one degenerate bin range
-  Histogram h(lo, hi, bins);
-  for (const double v : data) h.add(v);
-  return h;
+
+  // Pass 2: per-tile histograms merged by bin-count addition (exact —
+  // integer counts commute).
+  return par::parallel_reduce<Histogram>(
+      n,
+      [&, lo, hi, bins](std::int64_t begin, std::int64_t end) {
+        Histogram tile(lo, hi, bins);
+        for (std::int64_t i = begin; i < end; ++i) {
+          tile.add(data[static_cast<std::size_t>(i)]);
+        }
+        return tile;
+      },
+      [](Histogram a, const Histogram& b) {
+        a.merge(b);
+        return a;
+      },
+      opts);
 }
 
 void write_pgm(const Slice2D& slice, const std::string& path) {

@@ -12,6 +12,7 @@
 #include "common/error.h"
 #include "common/format.h"
 #include "grid/field.h"
+#include "par/par.h"
 
 namespace gs::bp {
 
@@ -114,8 +115,8 @@ std::vector<double> Reader::load_block(const BlockRecord& block,
                "short read from " << file.string() << " at offset "
                                   << block.offset);
     if (block.crc != 0 &&
-        gs::crc32_of(std::span<const float>(raw.data(), raw.size())) !=
-            block.crc) {
+        par::crc32(std::as_bytes(
+            std::span<const float>(raw.data(), raw.size()))) != block.crc) {
       GS_THROW(IoError, "CRC mismatch in " << file.string() << " at offset "
                                            << block.offset
                                            << ": data is corrupted");
@@ -147,8 +148,8 @@ std::vector<double> Reader::load_block(const BlockRecord& block,
   }
   // Integrity: verify the stored CRC-32 (0 = legacy block without one).
   if (block.crc != 0) {
-    const std::uint32_t actual =
-        gs::crc32_of(std::span<const double>(data.data(), data.size()));
+    const std::uint32_t actual = par::crc32(std::as_bytes(
+        std::span<const double>(data.data(), data.size())));
     if (actual != block.crc) {
       GS_THROW(IoError, "CRC mismatch in " << file.string() << " at offset "
                                            << block.offset

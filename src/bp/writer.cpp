@@ -9,6 +9,7 @@
 #include "common/checksum.h"
 #include "common/clock.h"
 #include "common/error.h"
+#include "par/par.h"
 
 namespace gs::bp {
 
@@ -196,54 +197,40 @@ void Writer::flush_to_aggregator(StepIoStats& stats) {
 
 void Writer::aggregate_and_write(StepIoStats& stats) {
   // Node rank 0: append every member's blocks (own first, then members in
-  // node-rank order) to the node subfile, recording offsets.
+  // node-rank order) to the node subfile, recording offsets. Three stages:
+  // gather all blocks, compress/checksum them IN PARALLEL (the CPU-bound
+  // work), then write serially in gather order — so the subfile layout is
+  // byte-identical to the old streaming loop for any pool size.
   const fs::path subfile = fs::path(path_) / subfile_name(node_id_);
   std::ofstream out(subfile, std::ios::binary | std::ios::app);
   GS_REQUIRE(out.good(), "cannot open subfile " << subfile.string());
 
-  std::vector<BlockRecord> records;
-  std::vector<std::string> names;
-  std::vector<Index3> shapes;
-
-  std::vector<std::string> types;
-  auto append_block = [&](const std::string& name, const Index3& shape,
-                          const Box3& box, double mn, double mx,
-                          const std::string& type,
-                          std::span<const std::byte> raw, int world_rank) {
-    BlockRecord rec;
-    rec.rank = world_rank;
-    rec.box = box;
-    rec.min = mn;
-    rec.max = mx;
-    rec.subfile = node_id_;
-    rec.offset = subfile_bytes_;
-    rec.crc = gs::crc32(raw);
-    if (compress_ && type == "double") {
-      // The Gorilla codec is double-specific; float blocks store raw.
-      const std::span<const double> values(
-          reinterpret_cast<const double*>(raw.data()),
-          raw.size() / sizeof(double));
-      const auto packed = compress_doubles(values);
-      rec.codec = "gorilla";
-      rec.stored_bytes = packed.size();
-      out.write(reinterpret_cast<const char*>(packed.data()),
-                static_cast<std::streamsize>(packed.size()));
-    } else {
-      rec.stored_bytes = raw.size();
-      out.write(reinterpret_cast<const char*>(raw.data()),
-                static_cast<std::streamsize>(rec.stored_bytes));
-    }
-    subfile_bytes_ += rec.stored_bytes;
-    stats.node_bytes += rec.stored_bytes;
-    records.push_back(rec);
-    names.push_back(name);
-    shapes.push_back(shape);
-    types.push_back(type);
+  // ---- stage 1: gather ------------------------------------------------
+  struct Gathered {
+    std::string name;
+    Index3 shape;
+    Box3 box;
+    double mn = 0.0, mx = 0.0;
+    std::string type;
+    int world_rank = 0;
+    std::span<const std::byte> raw;  // view into pending_ or `owned`
+    std::vector<std::byte> owned;    // backing store for received blocks
+    std::uint32_t crc = 0;
+    std::vector<std::byte> packed;  // gorilla payload (double blocks only)
   };
-
+  std::vector<Gathered> blocks;
+  blocks.reserve(pending_.size());
   for (const auto& b : pending_) {
-    append_block(b.name, b.shape, b.box, b.min, b.max, b.type, b.raw,
-                 comm_.rank());
+    Gathered g;
+    g.name = b.name;
+    g.shape = b.shape;
+    g.box = b.box;
+    g.mn = b.min;
+    g.mx = b.max;
+    g.type = b.type;
+    g.world_rank = comm_.rank();
+    g.raw = b.raw;  // pending_ outlives this function's write loop
+    blocks.push_back(std::move(g));
     stats.local_bytes += b.raw.size();
   }
   for (int member = 1; member < node_comm_.size(); ++member) {
@@ -252,14 +239,74 @@ void Writer::aggregate_and_write(StepIoStats& stats) {
     for (std::int64_t i = 0; i < n_blocks; ++i) {
       const auto meta_bytes = node_comm_.recv_blob(member, kTagBlockMeta);
       const json::Value meta = json::parse(to_string(meta_bytes));
-      const Box3 box{index3_of(meta.at("start")), index3_of(meta.at("count"))};
-      const auto raw = node_comm_.recv_blob(member, kTagBlockData);
-      append_block(meta.at("name").as_string(), index3_of(meta.at("shape")),
-                   box, meta.at("min").as_double(),
-                   meta.at("max").as_double(),
-                   meta.get_or("type", std::string("double")), raw,
-                   static_cast<int>(meta.at("world_rank").as_int()));
+      Gathered g;
+      g.name = meta.at("name").as_string();
+      g.shape = index3_of(meta.at("shape"));
+      g.box = Box3{index3_of(meta.at("start")), index3_of(meta.at("count"))};
+      g.mn = meta.at("min").as_double();
+      g.mx = meta.at("max").as_double();
+      g.type = meta.get_or("type", std::string("double"));
+      g.world_rank = static_cast<int>(meta.at("world_rank").as_int());
+      g.owned = node_comm_.recv_blob(member, kTagBlockData);
+      g.raw = g.owned;  // heap storage: stable across vector moves
+      blocks.push_back(std::move(g));
     }
+  }
+
+  // ---- stage 2: parallel compress + checksum --------------------------
+  const bool do_compress = compress_;
+  par::RegionOptions opts;
+  opts.label = "bp_compress";
+  opts.profiler = profiler_;
+  par::parallel_for_tiles(
+      static_cast<std::int64_t>(blocks.size()),
+      [&](std::int64_t begin, std::int64_t end, std::int64_t) {
+        for (std::int64_t i = begin; i < end; ++i) {
+          auto& g = blocks[static_cast<std::size_t>(i)];
+          // Nested region: par::crc32 runs inline on this lane.
+          g.crc = par::crc32(g.raw);
+          if (do_compress && g.type == "double") {
+            // The Gorilla codec is double-specific; float blocks store
+            // raw.
+            const std::span<const double> values(
+                reinterpret_cast<const double*>(g.raw.data()),
+                g.raw.size() / sizeof(double));
+            g.packed = compress_doubles(values);
+          }
+        }
+      },
+      opts);
+
+  // ---- stage 3: ordered serial write ----------------------------------
+  std::vector<BlockRecord> records;
+  std::vector<std::string> names;
+  std::vector<Index3> shapes;
+  std::vector<std::string> types;
+  for (auto& g : blocks) {
+    BlockRecord rec;
+    rec.rank = g.world_rank;
+    rec.box = g.box;
+    rec.min = g.mn;
+    rec.max = g.mx;
+    rec.subfile = node_id_;
+    rec.offset = subfile_bytes_;
+    rec.crc = g.crc;
+    if (do_compress && g.type == "double") {
+      rec.codec = "gorilla";
+      rec.stored_bytes = g.packed.size();
+      out.write(reinterpret_cast<const char*>(g.packed.data()),
+                static_cast<std::streamsize>(g.packed.size()));
+    } else {
+      rec.stored_bytes = g.raw.size();
+      out.write(reinterpret_cast<const char*>(g.raw.data()),
+                static_cast<std::streamsize>(rec.stored_bytes));
+    }
+    subfile_bytes_ += rec.stored_bytes;
+    stats.node_bytes += rec.stored_bytes;
+    records.push_back(rec);
+    names.push_back(g.name);
+    shapes.push_back(g.shape);
+    types.push_back(g.type);
   }
   out.flush();
   GS_REQUIRE(out.good(), "write to subfile " << subfile.string()

@@ -36,4 +36,52 @@ std::uint32_t crc32(std::span<const std::byte> data) {
   return crc32_update(0, data);
 }
 
+namespace {
+
+using Gf2Matrix = std::array<std::uint32_t, 32>;
+
+/// mat * vec over GF(2): column n of mat is mat[n], vec selects columns.
+std::uint32_t gf2_matrix_times(const Gf2Matrix& mat, std::uint32_t vec) {
+  std::uint32_t sum = 0;
+  for (int n = 0; vec != 0; vec >>= 1, ++n) {
+    if (vec & 1u) sum ^= mat[n];
+  }
+  return sum;
+}
+
+Gf2Matrix gf2_matrix_square(const Gf2Matrix& mat) {
+  Gf2Matrix sq;
+  for (int n = 0; n < 32; ++n) sq[n] = gf2_matrix_times(mat, mat[n]);
+  return sq;
+}
+
+}  // namespace
+
+std::uint32_t crc32_combine(std::uint32_t crc_a, std::uint32_t crc_b,
+                            std::uint64_t len_b) {
+  if (len_b == 0) return crc_a;
+
+  // Operator for one zero bit appended to the message, in the reflected
+  // representation: shift right, conditionally xor the polynomial.
+  Gf2Matrix odd;
+  odd[0] = 0xEDB88320u;
+  for (int n = 1; n < 32; ++n) odd[n] = 1u << (n - 1);
+  Gf2Matrix even = gf2_matrix_square(odd);  // two zero bits
+  odd = gf2_matrix_square(even);            // four zero bits
+
+  // Advance crc_a over len_b zero BYTES by squaring the operator per bit
+  // of len_b (even/odd alternate as the current power of the matrix).
+  std::uint32_t crc = crc_a;
+  do {
+    even = gf2_matrix_square(odd);  // even = operator^(8 * 2^i)
+    if (len_b & 1u) crc = gf2_matrix_times(even, crc);
+    len_b >>= 1;
+    if (len_b == 0) break;
+    odd = gf2_matrix_square(even);
+    if (len_b & 1u) crc = gf2_matrix_times(odd, crc);
+    len_b >>= 1;
+  } while (len_b != 0);
+  return crc ^ crc_b;
+}
+
 }  // namespace gs

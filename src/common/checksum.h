@@ -17,6 +17,14 @@ std::uint32_t crc32(std::span<const std::byte> data);
 /// (crc32_update(crc32_update(0, a), b) == crc32(a+b)).
 std::uint32_t crc32_update(std::uint32_t crc, std::span<const std::byte> data);
 
+/// Stitches independently computed CRCs: given crc_a = crc32(A) and
+/// crc_b = crc32(B), returns crc32(A ++ B), where len_b = |B| in bytes.
+/// This is what lets gs::par compute block checksums tile-by-tile and
+/// still produce the exact serial value (GF(2) matrix exponentiation,
+/// the zlib crc32_combine construction).
+std::uint32_t crc32_combine(std::uint32_t crc_a, std::uint32_t crc_b,
+                            std::uint64_t len_b);
+
 /// Convenience for typed buffers.
 template <typename T>
 std::uint32_t crc32_of(std::span<const T> data) {

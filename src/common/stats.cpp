@@ -122,6 +122,16 @@ void Histogram::add_all(const std::vector<double>& xs) {
   for (const double x : xs) add(x);
 }
 
+void Histogram::merge(const Histogram& other) {
+  GS_REQUIRE(other.lo_ == lo_ && other.hi_ == hi_ &&
+                 other.counts_.size() == counts_.size(),
+             "merging histograms with different binning");
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    counts_[b] += other.counts_[b];
+  }
+  total_ += other.total_;
+}
+
 double Histogram::bin_lo(std::size_t bin) const {
   return lo_ + (hi_ - lo_) * static_cast<double>(bin) /
                    static_cast<double>(counts_.size());

@@ -76,6 +76,9 @@ class Histogram {
 
   void add(double x);
   void add_all(const std::vector<double>& xs);
+  /// Merges another histogram with the SAME [lo, hi) range and bin count
+  /// (parallel reduction over disjoint sample tiles).
+  void merge(const Histogram& other);
 
   std::size_t bins() const { return counts_.size(); }
   std::size_t count(std::size_t bin) const { return counts_.at(bin); }

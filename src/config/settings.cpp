@@ -30,6 +30,7 @@ Settings Settings::from_json(const json::Value& v) {
       "checkpoint", "checkpoint_freq", "checkpoint_output",
       "restart",    "restart_input",  "ranks_per_node",
       "gpu_aware_mpi", "aot",  "compress", "precision",
+      "threads",
   };
   for (const auto& [key, value] : v.as_object()) {
     (void)value;
@@ -63,6 +64,7 @@ Settings Settings::from_json(const json::Value& v) {
   s.aot = v.get_or("aot", s.aot);
   s.compress = v.get_or("compress", s.compress);
   s.precision = v.get_or("precision", s.precision);
+  s.threads = v.get_or("threads", s.threads);
   s.validate();
   return s;
 }
@@ -95,6 +97,7 @@ json::Value Settings::to_json() const {
   obj["aot"] = json::Value(aot);
   obj["compress"] = json::Value(compress);
   obj["precision"] = json::Value(precision);
+  obj["threads"] = json::Value(threads);
   return json::Value(std::move(obj));
 }
 
@@ -106,6 +109,7 @@ void Settings::validate() const {
   GS_REQUIRE(dt > 0.0, "dt must be positive");
   GS_REQUIRE(noise >= 0.0, "noise amplitude must be non-negative");
   GS_REQUIRE(ranks_per_node > 0, "ranks_per_node must be positive");
+  GS_REQUIRE(threads >= 0, "threads must be non-negative (0 = auto)");
   GS_REQUIRE(checkpoint_freq > 0, "checkpoint_freq must be positive");
   GS_REQUIRE(!output.empty(), "output name must not be empty");
   GS_REQUIRE(precision == "double" || precision == "single",

@@ -77,6 +77,14 @@ struct Settings {
   /// 8 GCDs per node and BP5's one-subfile-per-node default (Section 5.3).
   std::int64_t ranks_per_node = 8;
 
+  // -- host parallelism -------------------------------------------------
+  /// Lanes of the gs::par worker pool that runs every host-side hot loop
+  /// (host-reference kernel, halo packing, analysis reductions, checksums,
+  /// BP compression). 0 = auto: keep the current pool (first use sizes it
+  /// to hardware_concurrency). The GS_NUM_THREADS environment variable
+  /// overrides both. Results are bitwise-independent of this knob.
+  std::int64_t threads = 0;
+
   /// Parses a settings JSON object; unknown keys are rejected so typos in
   /// experiment configs fail loudly.
   static Settings from_json(const json::Value& v);

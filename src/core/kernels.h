@@ -43,6 +43,23 @@ inline double noise_at(std::uint64_t seed, std::int64_t step,
   return 2.0 * u01 - 1.0;
 }
 
+/// Plain host-side accessor over a column-major array (allocated extent,
+/// ghosts included) — the view type of the host-reference solver path.
+/// Constructed ONCE per launch and shared by all tiles; loads/stores are
+/// raw indexed accesses with no cache simulation.
+struct HostView3 {
+  double* data;
+  Index3 extent;
+
+  double load(std::int64_t i, std::int64_t j, std::int64_t k) const {
+    return data[linear_index({i, j, k}, extent)];
+  }
+  void store(std::int64_t i, std::int64_t j, std::int64_t k,
+             double v) const {
+    data[linear_index({i, j, k}, extent)] = v;
+  }
+};
+
 /// Normalized 7-point Laplacian (Equation 3): 7 loads of `var`.
 template <typename View>
 inline double laplacian(const View& var, std::int64_t i, std::int64_t j,

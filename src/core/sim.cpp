@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "core/reference.h"
+#include "par/par.h"
 
 namespace gs::core {
 
@@ -27,8 +28,13 @@ Simulation::Simulation(const Settings& settings, mpi::Comm& comm,
       profiler_(profiler),
       backend_(backend_for(settings.backend)),
       u_h_({1, 1, 1}),
-      v_h_({1, 1, 1}) {
+      v_h_({1, 1, 1}),
+      u_next_({1, 1, 1}),
+      v_next_({1, 1, 1}) {
   settings_.validate();
+  // Size the shared gs::par pool from the run configuration
+  // ($GS_NUM_THREADS > settings.threads > leave-as-is).
+  par::configure_global_pool(settings_.threads);
   params_ = GsParams{settings_.Du, settings_.Dv, settings_.F,
                      settings_.k,  settings_.dt, settings_.noise};
 
@@ -49,6 +55,12 @@ Simulation::Simulation(const Settings& settings, mpi::Comm& comm,
   u_h_ = Field3(n);
   v_h_ = Field3(n);
   initialize_fields(u_h_, v_h_, local_, settings_.L);
+  if (settings_.backend == KernelBackend::host_reference) {
+    // Double buffers of the host solver: allocated once here, reused by
+    // every step (launch_kernel swaps instead of reallocating).
+    u_next_ = Field3(n);
+    v_next_ = Field3(n);
+  }
 
   const auto cells = static_cast<std::size_t>(u_h_.alloc_extent().volume());
   u_d_ = device_->alloc(cells, "u");
@@ -73,19 +85,23 @@ void Simulation::exchange_variable(Field3& f, int variable_id) {
   const Index3 n = f.interior();
   gpu::DeviceBuffer& dev = variable_id == 0 ? u_d_ : v_d_;
 
-  // The host-reference backend computes from the host mirrors, whose
-  // ghosts only the staged path refreshes; GPU-aware exchange applies to
-  // the device backends.
-  if (settings_.gpu_aware_mpi &&
-      settings_.backend != KernelBackend::host_reference) {
+  // The host-reference backend computes directly on the host mirrors —
+  // they ARE the authoritative state, so there is nothing to stage from
+  // the device (and the device shadow is never written during stepping).
+  // GPU-aware exchange applies to the device backends only.
+  const bool device_backed =
+      settings_.backend != KernelBackend::host_reference;
+  if (settings_.gpu_aware_mpi && device_backed) {
     exchange_variable_gpu_aware(dev, variable_id);
     return;
   }
 
   // Stage: pull the 6 interior face planes of the current device state
   // into the host mirror (strided d2h, Listing 3's staging step).
-  for (const Face& face : all_faces()) {
-    device_->memcpy_d2h_box(f.data(), dev, alloc, send_plane(n, face));
+  if (device_backed) {
+    for (const Face& face : all_faces()) {
+      device_->memcpy_d2h_box(f.data(), dev, alloc, send_plane(n, face));
+    }
   }
 
   // Exchange with the 6 Cartesian neighbors using strided datatypes over
@@ -118,8 +134,10 @@ void Simulation::exchange_variable(Field3& f, int variable_id) {
   }
 
   // Upload the freshly received ghost planes to the device.
-  for (const Face& face : all_faces()) {
-    device_->memcpy_h2d_box(dev, f.data(), alloc, recv_plane(n, face));
+  if (device_backed) {
+    for (const Face& face : all_faces()) {
+      device_->memcpy_h2d_box(dev, f.data(), alloc, recv_plane(n, face));
+    }
   }
 }
 
@@ -186,44 +204,51 @@ StepTiming Simulation::launch_kernel() {
   const double noise_amp = params_.noise;
 
   if (settings_.backend == KernelBackend::host_reference) {
-    // Host path: compute directly on the host mirrors (interiors of the
-    // mirrors are authoritative in this mode).
-    Field3 u_next(u_h_.interior());
-    Field3 v_next(v_h_.interior());
+    // Host path: compute directly on the host mirrors (the authoritative
+    // state in this mode) into the persistent double buffers, then swap —
+    // no per-step allocations, no interior copies, no device mirror sync.
     const Index3 n = u_h_.interior();
-    for (std::int64_t k = 1; k <= n.k; ++k) {
-      for (std::int64_t j = 1; j <= n.j; ++j) {
-        for (std::int64_t i = 1; i <= n.i; ++i) {
-          const Index3 g{local.start.i + i - 1, local.start.j + j - 1,
-                         local.start.k + k - 1};
-          const double r =
-              noise_amp != 0.0
-                  ? noise_at(seed, step_now, linear_index(g, global))
-                  : 0.0;
-          // Plain host views over the mirror fields.
-          struct HostView {
-            Field3* f;
-            double load(std::int64_t a, std::int64_t b,
-                        std::int64_t c) const {
-              return f->at(a, b, c);
+    // Views are hoisted out of the loops: one raw-pointer accessor per
+    // field per launch (the old code built four structs per CELL).
+    const HostView3 uv{u_h_.data().data(), alloc};
+    const HostView3 vv{v_h_.data().data(), alloc};
+    const HostView3 un{u_next_.data().data(), alloc};
+    const HostView3 vn{v_next_.data().data(), alloc};
+    const bool noisy = noise_amp != 0.0;
+    const GsParams p = params_;
+
+    par::RegionOptions opts;
+    opts.label = "host_kernel";
+    opts.profiler = profiler_;
+    par::parallel_for_3d(n, [&](const Box3& tile) {
+      // Tile coordinates are 0-based over the interior; field accesses
+      // are 1-based in the allocated frame.
+      for (std::int64_t k = tile.start.k + 1;
+           k <= tile.start.k + tile.count.k; ++k) {
+        for (std::int64_t j = 1; j <= n.j; ++j) {
+          // The noise branch is hoisted out of the inner i loop: the
+          // noiseless row never touches the RNG.
+          if (noisy) {
+            for (std::int64_t i = 1; i <= n.i; ++i) {
+              const Index3 g{local.start.i + i - 1, local.start.j + j - 1,
+                             local.start.k + k - 1};
+              const double r =
+                  noise_at(seed, step_now, linear_index(g, global));
+              grayscott_cell(uv, vv, un, vn, i, j, k, p, r);
             }
-            void store(std::int64_t a, std::int64_t b, std::int64_t c,
-                       double v) const {
-              f->at(a, b, c) = v;
+          } else {
+            for (std::int64_t i = 1; i <= n.i; ++i) {
+              grayscott_cell(uv, vv, un, vn, i, j, k, p, 0.0);
             }
-          };
-          const HostView uv{&u_h_}, vv{&v_h_}, un{&u_next}, vn{&v_next};
-          grayscott_cell(uv, vv, un, vn, i, j, k, params_, r);
+          }
         }
       }
-    }
-    // Copy interiors back (ghosts refresh next exchange).
-    u_h_.interior_assign(u_next.interior_copy());
-    v_h_.interior_assign(v_next.interior_copy());
-    // Keep device mirrors in sync so sync_host() stays a no-op source of
-    // truth in this mode.
-    device_->memcpy_h2d(u_d_, u_h_.data());
-    device_->memcpy_h2d(v_d_, v_h_.data());
+    }, opts);
+
+    // Swap the double buffers (ghosts of the incoming buffer refresh on
+    // the next exchange, exactly like the reference solver).
+    std::swap(u_h_, u_next_);
+    std::swap(v_h_, v_next_);
     return t;
   }
 
@@ -279,6 +304,9 @@ void Simulation::restore(std::span<const double> u_interior,
 }
 
 void Simulation::sync_host() {
+  // Host-reference mode: the mirrors are authoritative and the device
+  // shadow is stale by design — copying it back would clobber the state.
+  if (settings_.backend == KernelBackend::host_reference) return;
   device_->memcpy_d2h(u_h_.data(), u_d_);
   device_->memcpy_d2h(v_h_.data(), v_d_);
 }

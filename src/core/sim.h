@@ -57,7 +57,9 @@ class Simulation {
   gpu::Device& device() { return *device_; }
   mpi::CartComm& cart() { return *cart_; }
 
-  /// Copies the device interiors into the host fields (full d2h).
+  /// Copies the device interiors into the host fields (full d2h). In
+  /// host_reference mode this is a no-op: the host mirrors are the
+  /// authoritative state and the device shadow is never read.
   void sync_host();
 
   /// Restores state from a checkpoint: overwrites the interiors of both
@@ -96,6 +98,10 @@ class Simulation {
   gpu::DeviceBuffer u_d_, v_d_, u_new_d_, v_new_d_;
   // Host mirrors used for halo staging and I/O.
   Field3 u_h_, v_h_;
+  // Persistent double buffers of the host-reference solver path (allocated
+  // once; each step computes into them and swaps — no per-step field
+  // allocations). Sized {1,1,1} placeholders for device backends.
+  Field3 u_next_, v_next_;
 
   std::int64_t step_ = 0;
 

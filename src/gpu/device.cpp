@@ -116,7 +116,11 @@ void Device::memcpy_d2h_box(std::span<double> host, const DeviceBuffer& src,
                  host.size() >= static_cast<std::size_t>(extent.volume()),
              "d2h_box extent mismatch for buffer \"" << src.label() << "\"");
   const double t0 = clock_.now();
-  std::vector<double> staging(static_cast<std::size_t>(box.volume()));
+  if (box_staging_.size() < static_cast<std::size_t>(box.volume())) {
+    box_staging_.resize(static_cast<std::size_t>(box.volume()));
+  }
+  const std::span<double> staging(box_staging_.data(),
+                                  static_cast<std::size_t>(box.volume()));
   pack_box(std::span<const double>(src.data(), src.size()), extent, box,
            staging);
   unpack_box(host, extent, box, staging);
@@ -133,7 +137,11 @@ void Device::memcpy_h2d_box(DeviceBuffer& dst, std::span<const double> host,
                  host.size() >= static_cast<std::size_t>(extent.volume()),
              "h2d_box extent mismatch for buffer \"" << dst.label() << "\"");
   const double t0 = clock_.now();
-  std::vector<double> staging(static_cast<std::size_t>(box.volume()));
+  if (box_staging_.size() < static_cast<std::size_t>(box.volume())) {
+    box_staging_.resize(static_cast<std::size_t>(box.volume()));
+  }
+  const std::span<double> staging(box_staging_.data(),
+                                  static_cast<std::size_t>(box.volume()));
   pack_box(host, extent, box, staging);
   unpack_box(std::span<double>(dst.data(), dst.size()), extent, box,
              staging);
@@ -148,11 +156,7 @@ double Device::precompile(const KernelInfo& info,
                           const BackendProfile& backend) {
   if (!backend.jit) return 0.0;
   const std::string key = backend.name + "/" + info.name;
-  if (std::find(compiled_kernels_.begin(), compiled_kernels_.end(), key) !=
-      compiled_kernels_.end()) {
-    return 0.0;
-  }
-  compiled_kernels_.push_back(key);
+  if (!compiled_kernels_.insert(key).second) return 0.0;
   // The compile itself happened offline (system image); at runtime only
   // the image load/relocation cost remains — a small fraction of JIT.
   const double load = 0.05 * backend.jit_compile_mean;
@@ -181,11 +185,7 @@ double Device::begin_launch(const KernelInfo& info,
                             const BackendProfile& backend) {
   if (!backend.jit) return 0.0;
   const std::string key = backend.name + "/" + info.name;
-  if (std::find(compiled_kernels_.begin(), compiled_kernels_.end(), key) !=
-      compiled_kernels_.end()) {
-    return 0.0;
-  }
-  compiled_kernels_.push_back(key);
+  if (!compiled_kernels_.insert(key).second) return 0.0;
   // Compile time is lognormal around the calibrated mean: compilation is a
   // host-side task with multiplicative variability (I/O, inference).
   const double mu = std::log(backend.jit_compile_mean) -

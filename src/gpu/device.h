@@ -12,6 +12,7 @@
 #include <functional>
 #include <span>
 #include <string>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -19,6 +20,7 @@
 #include "common/rng.h"
 #include "gpu/cache_sim.h"
 #include "gpu/device_props.h"
+#include "par/par.h"
 #include "prof/profiler.h"
 
 namespace gs::gpu {
@@ -163,13 +165,20 @@ class Device {
   /// the backend's workgroup tiling order), advances the simulated clock
   /// by the modeled duration, and records profiler spans. First launches
   /// of a JIT backend pay the compile cost.
+  ///
+  /// Functional execution runs workgroup Z-slabs in parallel on the
+  /// gs::par pool (body must be safe for concurrent DISTINCT idx — true
+  /// for real GPU kernels, whose workitems are independent by contract).
+  /// When the L2 cache simulator is enabled the launch stays serial: the
+  /// simulator is a single sequential machine and its counters are part
+  /// of the deterministic output.
   template <typename Body>
   LaunchResult launch(const KernelInfo& info, const BackendProfile& backend,
                       const Index3& items, Body&& body) {
     const double jit_time = begin_launch(info, backend);
     if (cache_enabled_) cache_.reset_counters();
 
-    execute(backend, items, std::forward<Body>(body));
+    execute(info, backend, items, std::forward<Body>(body));
 
     return end_launch(info, backend, items, jit_time);
   }
@@ -184,7 +193,10 @@ class Device {
   CacheSim cache_;
   bool cache_enabled_ = false;
   std::uint64_t allocated_bytes_ = 0;
-  std::vector<std::string> compiled_kernels_;  // per-backend JIT cache keys
+  std::unordered_set<std::string> compiled_kernels_;  // JIT cache keys
+  /// Scratch arena for strided box copies: grows to the largest face ever
+  /// staged and is reused every step (no per-face allocations).
+  std::vector<double> box_staging_;
 
   /// Handles the JIT warm-up; returns the compile time paid (0 if warm).
   double begin_launch(const KernelInfo& info, const BackendProfile& backend);
@@ -195,8 +207,8 @@ class Device {
                           double jit_time);
 
   template <typename Body>
-  void execute(const BackendProfile& backend, const Index3& items,
-               Body&& body) {
+  void execute(const KernelInfo& info, const BackendProfile& backend,
+               const Index3& items, Body&& body) {
     // Tile the item space with the backend workgroup (cld semantics, as in
     // the paper's launch configuration), iterating workgroups and then
     // workitems x-fastest. With (N,1,1) workgroups this is exactly linear
@@ -205,24 +217,40 @@ class Device {
     const Index3 ngroups{(items.i + wg.i - 1) / wg.i,
                          (items.j + wg.j - 1) / wg.j,
                          (items.k + wg.k - 1) / wg.k};
-    for (std::int64_t gk = 0; gk < ngroups.k; ++gk) {
-      for (std::int64_t gj = 0; gj < ngroups.j; ++gj) {
-        for (std::int64_t gi = 0; gi < ngroups.i; ++gi) {
-          for (std::int64_t tk = 0; tk < wg.k; ++tk) {
-            const std::int64_t k = gk * wg.k + tk;
-            if (k >= items.k) break;
-            for (std::int64_t tj = 0; tj < wg.j; ++tj) {
-              const std::int64_t j = gj * wg.j + tj;
-              if (j >= items.j) break;
-              for (std::int64_t ti = 0; ti < wg.i; ++ti) {
-                const std::int64_t i = gi * wg.i + ti;
-                if (i >= items.i) break;
-                body(Index3{i, j, k});
+    auto run_slabs = [&](std::int64_t gk_begin, std::int64_t gk_end,
+                         std::int64_t) {
+      for (std::int64_t gk = gk_begin; gk < gk_end; ++gk) {
+        for (std::int64_t gj = 0; gj < ngroups.j; ++gj) {
+          for (std::int64_t gi = 0; gi < ngroups.i; ++gi) {
+            for (std::int64_t tk = 0; tk < wg.k; ++tk) {
+              const std::int64_t k = gk * wg.k + tk;
+              if (k >= items.k) break;
+              for (std::int64_t tj = 0; tj < wg.j; ++tj) {
+                const std::int64_t j = gj * wg.j + tj;
+                if (j >= items.j) break;
+                for (std::int64_t ti = 0; ti < wg.i; ++ti) {
+                  const std::int64_t i = gi * wg.i + ti;
+                  if (i >= items.i) break;
+                  body(Index3{i, j, k});
+                }
               }
             }
           }
         }
       }
+    };
+    // Workitems are independent (disjoint stores), so any slab execution
+    // order yields the same memory image — parallel is bitwise-equal to
+    // serial. The cache simulator, however, is one sequential machine:
+    // with it enabled the launch stays on the calling thread so counters
+    // keep their pinned deterministic values.
+    if (!cache_enabled_ && ngroups.k > 1 && par::global_pool().lanes() > 1) {
+      par::RegionOptions opts;
+      opts.label = info.name;
+      opts.profiler = profiler_;
+      par::parallel_for_tiles(ngroups.k, run_slabs, opts);
+    } else {
+      run_slabs(0, ngroups.k, 0);
     }
   }
 

@@ -1,0 +1,139 @@
+#include "par/par.h"
+
+#include <algorithm>
+
+#include "common/clock.h"
+
+namespace gs::par {
+
+namespace {
+
+/// Process-wide epoch for region spans: real (wall) seconds since the
+/// first parallel region, the same convention gs::svc uses for request
+/// spans. Kept separate from the simulated device clock on purpose.
+double region_now() {
+  static const WallTimer epoch;
+  return epoch.seconds();
+}
+
+}  // namespace
+
+std::int64_t plan_tiles(std::int64_t n, const RegionOptions& opts) {
+  if (n <= 0) return 0;
+  const std::int64_t grain = std::max<std::int64_t>(1, opts.grain);
+  const std::int64_t cap =
+      std::clamp<std::int64_t>(opts.max_tiles, 1, kMaxTiles);
+  return std::min(cap, std::max<std::int64_t>(1, n / grain));
+}
+
+void parallel_for_tiles(
+    std::int64_t n,
+    const std::function<void(std::int64_t, std::int64_t, std::int64_t)>& fn,
+    const RegionOptions& opts) {
+  const std::int64_t n_tiles = plan_tiles(n, opts);
+  if (n_tiles <= 0) return;
+  ThreadPool& pool = opts.pool != nullptr ? *opts.pool : global_pool();
+
+  const bool trace = opts.profiler != nullptr && !opts.label.empty();
+  struct TileTiming {
+    std::uint64_t lane = 0;
+    double t0 = 0.0;
+    double t1 = 0.0;
+  };
+  // One slot per tile, written only by the lane that ran the tile — no
+  // synchronization needed beyond the region's own completion barrier.
+  std::vector<TileTiming> timings(
+      trace ? static_cast<std::size_t>(n_tiles) : 0);
+
+  pool.run(static_cast<std::size_t>(n_tiles), [&](std::size_t t) {
+    const auto tile = static_cast<std::int64_t>(t);
+    const std::int64_t begin = tile_begin(n, n_tiles, tile);
+    const std::int64_t end = tile_begin(n, n_tiles, tile + 1);
+    if (trace) {
+      auto& tt = timings[t];
+      tt.lane = prof::this_thread_lane();
+      tt.t0 = region_now();
+      fn(begin, end, tile);
+      tt.t1 = region_now();
+    } else {
+      fn(begin, end, tile);
+    }
+  });
+
+  if (trace) {
+    // One span per participating lane covering its active window, so the
+    // Chrome trace shows the pool's real occupancy for this region.
+    std::sort(timings.begin(), timings.end(),
+              [](const TileTiming& a, const TileTiming& b) {
+                return a.lane < b.lane || (a.lane == b.lane && a.t0 < b.t0);
+              });
+    std::size_t i = 0;
+    while (i < timings.size()) {
+      std::size_t j = i;
+      double t0 = timings[i].t0, t1 = timings[i].t1;
+      while (j + 1 < timings.size() &&
+             timings[j + 1].lane == timings[i].lane) {
+        ++j;
+        t0 = std::min(t0, timings[j].t0);
+        t1 = std::max(t1, timings[j].t1);
+      }
+      prof::Span s;
+      s.name = "par:" + opts.label;
+      s.kind = prof::SpanKind::other;
+      s.t0 = t0;
+      s.t1 = t1;
+      s.tid = timings[i].lane;
+      opts.profiler->record(std::move(s));
+      i = j + 1;
+    }
+  }
+}
+
+void parallel_for_3d(const Index3& extent,
+                     const std::function<void(const Box3&)>& fn,
+                     const RegionOptions& opts) {
+  if (extent.volume() <= 0) return;
+  // Z-slab decomposition: tiles are contiguous runs of column-major
+  // memory, so lanes stream disjoint address ranges.
+  RegionOptions o = opts;
+  // Honor a per-cell grain by converting it to whole Z planes.
+  const std::int64_t cells_per_plane =
+      std::max<std::int64_t>(1, extent.i * extent.j);
+  o.grain = std::max<std::int64_t>(
+      1, (opts.grain + cells_per_plane - 1) / cells_per_plane);
+  parallel_for_tiles(
+      extent.k,
+      [&](std::int64_t z0, std::int64_t z1, std::int64_t) {
+        fn(Box3{{0, 0, z0}, {extent.i, extent.j, z1 - z0}});
+      },
+      o);
+}
+
+std::uint32_t crc32(std::span<const std::byte> data,
+                    const RegionOptions& opts) {
+  if (data.empty()) return gs::crc32(data);
+  struct Partial {
+    std::uint32_t crc = 0;
+    std::uint64_t len = 0;
+  };
+  RegionOptions o = opts;
+  if (o.label.empty()) o.label = "crc32";
+  if (o.grain <= 1) o.grain = 1 << 16;  // below 64 KiB: serial tile
+  const std::int64_t n = static_cast<std::int64_t>(data.size());
+  const Partial total = parallel_reduce<Partial>(
+      n,
+      [&](std::int64_t begin, std::int64_t end) {
+        return Partial{gs::crc32(data.subspan(
+                           static_cast<std::size_t>(begin),
+                           static_cast<std::size_t>(end - begin))),
+                       static_cast<std::uint64_t>(end - begin)};
+      },
+      [](const Partial& a, const Partial& b) {
+        return Partial{gs::crc32_combine(a.crc, b.crc, b.len),
+                       a.len + b.len};
+      },
+      o);
+  return total.crc;
+}
+
+}  // namespace gs::par

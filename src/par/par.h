@@ -1,0 +1,120 @@
+// gs::par — deterministic tiled parallel execution over index spaces.
+//
+// The layer the paper gets from Julia's composable threads and Kokkos gets
+// from parallel_for/parallel_reduce: every hot loop in this codebase
+// (stencil kernel tiles, halo packing, analysis reductions, checksums, BP
+// block compression) runs through these two primitives.
+//
+// Determinism contract (tested, and relied on by the solver tests):
+//   * the tile decomposition of an index space is a pure function of the
+//     space and the options — NEVER of the pool size or of scheduling;
+//   * parallel_for tiles write disjoint data, so any execution order
+//     yields the same memory image;
+//   * parallel_reduce stores per-tile partials into a slot indexed by tile
+//     id and combines them on the calling thread in a fixed binary-tree
+//     order (stride doubling).
+// Together: results are BITWISE IDENTICAL for any thread count, incl. 1.
+//
+// Observability: a region with a label and a profiler records one span
+// per participating lane ("par:<label>", tid = lane id), so the Chrome
+// trace shows the real occupancy of the pool.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/checksum.h"
+#include "grid/box.h"
+#include "par/pool.h"
+#include "prof/profiler.h"
+
+namespace gs::par {
+
+/// Hard cap on tiles per region: enough slots to feed wide pools without
+/// drowning small loops in scheduling overhead. Part of the determinism
+/// contract — changing it changes tile shapes (but never results of
+/// parallel_for, and only rounding of non-associative reductions).
+inline constexpr std::int64_t kMaxTiles = 64;
+
+struct RegionOptions {
+  /// Span label; regions with an empty label or null profiler record
+  /// nothing.
+  std::string label;
+  prof::Profiler* profiler = nullptr;
+  /// Pool override; nullptr = global_pool().
+  ThreadPool* pool = nullptr;
+  /// Minimum items per tile. Work below one grain runs as a single tile —
+  /// exactly the serial loop, so small inputs are bitwise-unchanged from
+  /// the pre-par code paths.
+  std::int64_t grain = 1;
+  /// Tile-count cap for this region (<= kMaxTiles is typical).
+  std::int64_t max_tiles = kMaxTiles;
+};
+
+/// Number of tiles used for n items under opts — pure function of
+/// (n, opts.grain, opts.max_tiles).
+std::int64_t plan_tiles(std::int64_t n, const RegionOptions& opts);
+
+/// Half-open bounds of tile t of n_tiles over [0, n): balanced split,
+/// monotone in t.
+inline std::int64_t tile_begin(std::int64_t n, std::int64_t n_tiles,
+                               std::int64_t t) {
+  return n * t / n_tiles;
+}
+
+/// Runs fn(begin, end, tile) for every tile of the fixed decomposition of
+/// [0, n). fn must be thread-safe for distinct tiles.
+void parallel_for_tiles(
+    std::int64_t n,
+    const std::function<void(std::int64_t, std::int64_t, std::int64_t)>& fn,
+    const RegionOptions& opts = {});
+
+/// Tiled traversal of a 3-D extent, decomposed into Z-slabs (contiguous in
+/// column-major memory). fn receives the tile as a Box3 with start at
+/// {0,0,z0} and full X/Y extent.
+void parallel_for_3d(const Index3& extent,
+                     const std::function<void(const Box3&)>& fn,
+                     const RegionOptions& opts = {});
+
+/// Deterministic reduction: tile_fn(begin, end) computes the partial of
+/// one tile of [0, n) from scratch; combine(a, b) merges two partials
+/// (left operand is the lower tile range). Partials are combined in a
+/// fixed stride-doubling tree on the calling thread. With one tile this
+/// IS the serial algorithm.
+template <typename T, typename TileFn, typename CombineFn>
+T parallel_reduce(std::int64_t n, TileFn&& tile_fn, CombineFn&& combine,
+                  const RegionOptions& opts = {}) {
+  const std::int64_t n_tiles = plan_tiles(n, opts);
+  if (n_tiles <= 1) {
+    return tile_fn(static_cast<std::int64_t>(0), n);
+  }
+  // Optional slots so T need not be default-constructible (e.g.
+  // Histogram); every slot is filled exactly once by its tile.
+  std::vector<std::optional<T>> partials(static_cast<std::size_t>(n_tiles));
+  parallel_for_tiles(
+      n,
+      [&](std::int64_t begin, std::int64_t end, std::int64_t tile) {
+        partials[static_cast<std::size_t>(tile)].emplace(
+            tile_fn(begin, end));
+      },
+      opts);
+  for (std::int64_t stride = 1; stride < n_tiles; stride *= 2) {
+    for (std::int64_t i = 0; i + stride < n_tiles; i += 2 * stride) {
+      partials[static_cast<std::size_t>(i)].emplace(
+          combine(std::move(*partials[static_cast<std::size_t>(i)]),
+                  *partials[static_cast<std::size_t>(i + stride)]));
+    }
+  }
+  return std::move(*partials[0]);
+}
+
+/// Tiled CRC-32 over the pool: per-tile crc32 partials stitched with
+/// gs::crc32_combine. Bitwise-equal to gs::crc32 for every input and
+/// thread count (CRC is exactly combinable, unlike float sums).
+std::uint32_t crc32(std::span<const std::byte> data,
+                    const RegionOptions& opts = {});
+
+}  // namespace gs::par

@@ -45,6 +45,12 @@
 namespace gs::svc {
 
 struct ServiceConfig {
+  /// Request-handling worker threads. These are SERVICE workers (I/O +
+  /// query orchestration); any gs::par data-parallel region a worker
+  /// enters (analysis reductions, checksums) shares the process-global
+  /// gs::par pool — concurrent regions serialize at the region boundary
+  /// and nested regions run inline, so it is safe for every worker to
+  /// use par:: primitives freely.
   std::size_t threads = 2;
   /// Admission-queue bound; 0 disables admission control (unbounded).
   std::size_t queue_capacity = 64;

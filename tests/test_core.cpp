@@ -4,11 +4,15 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
+#include <set>
 
+#include "analysis/analysis.h"
 #include "core/kernels.h"
 #include "core/reference.h"
 #include "core/sim.h"
 #include "mpi/runtime.h"
+#include "par/par.h"
 
 namespace {
 
@@ -557,6 +561,81 @@ TEST(Simulation, CurrentStepAdvances) {
     EXPECT_EQ(sim.current_step(), 0);
     sim.run_steps(3);
     EXPECT_EQ(sim.current_step(), 3);
+  });
+}
+
+// ------------------------------------------------- thread determinism
+
+/// Everything downstream of one run that a user can observe: raw
+/// interiors, a checksum, and analysis statistics.
+struct RunObservables {
+  std::vector<double> u, v;
+  std::uint32_t u_crc = 0;
+  gs::analysis::FieldStats u_stats;
+};
+
+RunObservables run_with_lanes(std::size_t lanes, KernelBackend backend) {
+  gs::par::set_global_lanes(lanes);
+  RunObservables out;
+  gs::mpi::run(1, [&](gs::mpi::Comm& world) {
+    Settings s = small_settings(16, backend, 0.1);
+    s.steps = 3;
+    Simulation sim(s, world);
+    sim.run_steps(3);
+    sim.sync_host();
+    out.u = sim.u_host().interior_copy();
+    out.v = sim.v_host().interior_copy();
+  });
+  out.u_crc =
+      gs::par::crc32(std::as_bytes(std::span<const double>(out.u)));
+  out.u_stats = gs::analysis::compute_stats(out.u);
+  gs::par::set_global_lanes(1);
+  return out;
+}
+
+class ThreadDeterminism
+    : public testing::TestWithParam<KernelBackend> {};
+
+TEST_P(ThreadDeterminism, ResultsBitwiseIdenticalAcrossPoolSizes) {
+  // The whole point of gs::par: thread count is a pure performance knob.
+  // Interiors, checksums, and analysis stats must be BITWISE identical
+  // for pools of 1, 2, and 7 lanes.
+  const RunObservables base = run_with_lanes(1, GetParam());
+  for (const std::size_t lanes : {2u, 7u}) {
+    const RunObservables got = run_with_lanes(lanes, GetParam());
+    ASSERT_EQ(base.u.size(), got.u.size());
+    for (std::size_t i = 0; i < base.u.size(); ++i) {
+      ASSERT_EQ(base.u[i], got.u[i]) << "U differs at " << i << " with "
+                                     << lanes << " lanes";
+      ASSERT_EQ(base.v[i], got.v[i]) << "V differs at " << i << " with "
+                                     << lanes << " lanes";
+    }
+    EXPECT_EQ(base.u_crc, got.u_crc);
+    EXPECT_EQ(base.u_stats.mean, got.u_stats.mean);
+    EXPECT_EQ(base.u_stats.stddev, got.u_stats.stddev);
+    EXPECT_EQ(base.u_stats.min, got.u_stats.min);
+    EXPECT_EQ(base.u_stats.max, got.u_stats.max);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, ThreadDeterminism,
+                         testing::Values(KernelBackend::host_reference,
+                                         KernelBackend::julia_amdgpu));
+
+TEST(Simulation, HostReferenceNeverReallocatesAcrossSteps) {
+  // The host-reference path double-buffers through the persistent
+  // u_next_/v_next_ fields: across many steps the U storage must
+  // alternate between at most two allocations — no per-step Field3.
+  gs::mpi::run(1, [](gs::mpi::Comm& world) {
+    Settings s = small_settings(12, KernelBackend::host_reference, 0.1);
+    s.steps = 8;
+    Simulation sim(s, world);
+    std::set<const double*> seen;
+    for (int step = 0; step < 8; ++step) {
+      sim.step();
+      seen.insert(sim.u_host().data().data());
+    }
+    EXPECT_LE(seen.size(), 2u);
   });
 }
 

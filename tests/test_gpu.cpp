@@ -8,6 +8,7 @@
 #include "gpu/cache_sim.h"
 #include "gpu/device.h"
 #include "gpu/device_props.h"
+#include "par/pool.h"
 
 namespace {
 
@@ -421,6 +422,67 @@ TEST(Device, PrecompileReplacesJit) {
   EXPECT_DOUBLE_EQ(r.jit_time, 0.0);
   // AOT on a non-JIT backend is free.
   EXPECT_DOUBLE_EQ(dev.precompile(info, gs::gpu::hip_backend()), 0.0);
+}
+
+TEST(Device, ParallelLaunchBitwiseEqualToSerialLaunch) {
+  // With the cache sim off, launch tiles Z-slab groups across the gs::par
+  // pool. The result buffer must be bitwise identical to a single-lane
+  // run (disjoint writes + fixed tiling).
+  auto run = [](std::size_t lanes) {
+    gs::par::set_global_lanes(lanes);
+    Device dev;
+    const Index3 items{16, 16, 16};
+    auto buf = dev.alloc(static_cast<std::size_t>(items.volume()), "p");
+    auto view = dev.view(buf, items);
+    KernelInfo info;
+    info.name = "fill";
+    dev.launch(info, gs::gpu::hip_backend(), items,
+               [&](const Index3& idx) {
+                 view.store(idx.i, idx.j, idx.k,
+                            1.0 / (1.0 + static_cast<double>(
+                                             gs::linear_index(idx, items))));
+               });
+    std::vector<double> out(static_cast<std::size_t>(items.volume()));
+    dev.memcpy_d2h(out, buf);
+    gs::par::set_global_lanes(1);
+    return out;
+  };
+  EXPECT_EQ(run(1), run(4));
+}
+
+TEST(Device, CacheSimLaunchStaysSerialWithDeterministicCounters) {
+  // The L2 cache simulator is a sequential state machine: launches with
+  // the cache sim enabled must run SERIAL regardless of pool size, so
+  // the counters are pinned — identical for 1 lane and 4 lanes.
+  auto counters_with_lanes = [](std::size_t lanes) {
+    gs::par::set_global_lanes(lanes);
+    Device dev;
+    dev.set_cache_sim_enabled(true);
+    const Index3 items{16, 16, 8};
+    auto buf = dev.alloc(static_cast<std::size_t>(items.volume()), "c");
+    auto view = dev.view(buf, items);
+    KernelInfo info;
+    info.name = "stencilish";
+    const auto r = dev.launch(info, gs::gpu::hip_backend(), items,
+                              [&](const Index3& idx) {
+                                const double left =
+                                    idx.i > 0
+                                        ? view.load(idx.i - 1, idx.j, idx.k)
+                                        : 0.0;
+                                view.store(idx.i, idx.j, idx.k, left + 1.0);
+                              });
+    gs::par::set_global_lanes(1);
+    return r.counters;
+  };
+  const auto serial = counters_with_lanes(1);
+  const auto pooled = counters_with_lanes(4);
+  EXPECT_EQ(serial.fetch_bytes, pooled.fetch_bytes);
+  EXPECT_EQ(serial.write_bytes, pooled.write_bytes);
+  EXPECT_EQ(serial.tcc_hits, pooled.tcc_hits);
+  EXPECT_EQ(serial.tcc_misses, pooled.tcc_misses);
+  EXPECT_EQ(serial.loads, pooled.loads);
+  EXPECT_EQ(serial.stores, pooled.stores);
+  EXPECT_GT(serial.tcc_hits + serial.tcc_misses, 0u);
 }
 
 TEST(Device, CacheTogglePreservesFunctionalResults) {

@@ -5,6 +5,8 @@
 // budget, and cached reads are bitwise-identical to uncached ones.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
 #include <filesystem>
@@ -32,7 +34,11 @@ constexpr std::int64_t kL = 16;
 constexpr int kSteps = 3;
 
 std::string temp_dataset(const std::string& name) {
-  return (fs::path(testing::TempDir()) / (name + ".bp")).string();
+  // Per-process suffix: ctest -j runs many test processes concurrently,
+  // and Writer truncates its dataset directory — a shared path would race.
+  static const std::string pid = std::to_string(::getpid());
+  return (fs::path(testing::TempDir()) / (name + "." + pid + ".bp"))
+      .string();
 }
 
 double cell_value(const Index3& g, const Index3& shape, std::int64_t step) {
