@@ -1,0 +1,392 @@
+// extension_fault_matrix — kill-point x fault-kind sweep over the
+// crash-consistent workflow, the robustness extension of the paper's
+// end-to-end pipeline: a Frontier campaign treats node loss and Lustre
+// hiccups as routine, so every interrupted commit must recover to a
+// bitwise-identical trajectory.
+//
+// Phases (all seeds and op indices pinned — every scenario replays):
+//   1. probe: one clean run under an empty injection plan records the
+//      per-site op counts and the reference final state (the step-24
+//      checkpoint plus the last output step);
+//   2. kill sweep: for every "bp.writer.*" site and a first/middle/last
+//      op at that site, a run is killed at exactly that operation, both
+//      datasets are recovered (roll back or roll forward), the job is
+//      resumed from its surviving checkpoint, and the final state must
+//      be bitwise identical to the reference;
+//   3. corrupt sweep: a flipped byte injected at a write_block op must
+//      be reported by Reader::verify() as exactly ONE bad block (and no
+//      others) across both datasets;
+//   4. transient sweep: two injected IoError failures at each writer
+//      site (and, composed with a kill, at a restart-read site) must be
+//      absorbed by the bounded retries, again bitwise identical.
+//
+// Exit status is nonzero if any scenario fails to recover exactly —
+// this is a regression gate, not a demo.
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bp/manifest.h"
+#include "bp/reader.h"
+#include "config/settings.h"
+#include "core/workflow.h"
+#include "fault/fault.h"
+#include "mpi/runtime.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+using gs::Settings;
+
+constexpr int kRanks = 4;           // 2 ranks/node -> data.0 and data.1
+constexpr std::int64_t kSteps = 24; // ckpt every 6, output every 6
+
+std::string work_dir() {
+  static const std::string dir =
+      "/tmp/gs_fault_matrix." + std::to_string(::getpid());
+  return dir;
+}
+
+Settings base_settings() {
+  Settings s;
+  s.L = 8;
+  s.steps = kSteps;
+  s.plotgap = 6;
+  s.backend = gs::KernelBackend::host_reference;
+  s.ranks_per_node = 2;
+  s.seed = 42;
+  s.checkpoint = true;
+  s.checkpoint_freq = 6;
+  s.output = work_dir() + "/out.bp";
+  s.checkpoint_output = work_dir() + "/ckpt.bp";
+  s.io_retry_backoff_ms = 0.01;
+  return s;
+}
+
+void wipe(const Settings& s) {
+  fs::remove_all(s.output);
+  fs::remove_all(s.checkpoint_output);
+  fs::remove_all(gs::bp::staging_path(s.output));
+  fs::remove_all(gs::bp::staging_path(s.checkpoint_output));
+}
+
+void run_workflow(const Settings& s) {
+  gs::mpi::run(kRanks, [&](gs::mpi::Comm& world) {
+    gs::core::Workflow workflow(s, world);
+    workflow.run();
+  });
+}
+
+/// The state the sweep compares: the final checkpoint (always step 24 in
+/// a completed run) and the last output step.
+struct FinalState {
+  std::int64_t ckpt_step = -1;
+  std::vector<double> ckpt_u, ckpt_v, out_u;
+};
+
+FinalState read_final_state(const Settings& s) {
+  FinalState f;
+  const gs::bp::Reader ck(s.checkpoint_output);
+  f.ckpt_step = ck.read_scalar("step", ck.n_steps() - 1);
+  f.ckpt_u = ck.read_full("U", ck.n_steps() - 1);
+  f.ckpt_v = ck.read_full("V", ck.n_steps() - 1);
+  const gs::bp::Reader out(s.output);
+  f.out_u = out.read_full("U", out.n_steps() - 1);
+  return f;
+}
+
+bool bitwise_equal(const std::vector<double>& a,
+                   const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+}
+
+bool same_state(const FinalState& a, const FinalState& b,
+                std::string& why) {
+  if (a.ckpt_step != b.ckpt_step) {
+    why = "checkpoint step mismatch";
+    return false;
+  }
+  if (!bitwise_equal(a.ckpt_u, b.ckpt_u)) {
+    why = "checkpoint U differs bitwise";
+    return false;
+  }
+  if (!bitwise_equal(a.ckpt_v, b.ckpt_v)) {
+    why = "checkpoint V differs bitwise";
+    return false;
+  }
+  if (!bitwise_equal(a.out_u, b.out_u)) {
+    why = "final output U differs bitwise";
+    return false;
+  }
+  return true;
+}
+
+/// Both datasets hold exactly one committed, CRC-clean dataset (or do
+/// not exist at all) — never a torn hybrid or a leftover staging dir.
+bool datasets_intact(const Settings& s, std::string& why) {
+  for (const std::string& path : {s.output, s.checkpoint_output}) {
+    if (fs::exists(gs::bp::staging_path(path))) {
+      why = "staging dir left behind for " + path;
+      return false;
+    }
+    if (!fs::exists(path)) continue;
+    const std::string verdict = gs::bp::validate_against_manifest(path);
+    if (!verdict.empty()) {
+      why = path + ": " + verdict;
+      return false;
+    }
+    if (!gs::bp::Reader(path).verify().clean()) {
+      why = path + ": verify() found damaged blocks";
+      return false;
+    }
+  }
+  return true;
+}
+
+struct Scenario {
+  std::string name;
+  bool pass = false;
+  std::string detail;
+};
+
+int report(std::vector<Scenario>& scenarios) {
+  int failures = 0;
+  for (const auto& sc : scenarios) {
+    if (!sc.pass) ++failures;
+    std::printf("  %-58s %s%s%s\n", sc.name.c_str(),
+                sc.pass ? "PASS" : "FAIL",
+                sc.detail.empty() ? "" : "  — ", sc.detail.c_str());
+  }
+  return failures;
+}
+
+}  // namespace
+
+int main() {
+  fs::create_directories(work_dir());
+  auto& injector = gs::fault::Injector::instance();
+  std::vector<Scenario> scenarios;
+
+  // -- phase 1: probe op counts and the reference trajectory ------------
+  const Settings ref = base_settings();
+  wipe(ref);
+  injector.install(gs::fault::Plan{});  // empty plan: counters advance
+  run_workflow(ref);
+  const auto probed = injector.stats();
+  injector.clear();
+  const FinalState want = read_final_state(ref);
+  std::printf("probe: clean run, %zu fault sites reached\n", probed.size());
+  for (const auto& [site, st] : probed) {
+    std::printf("  %-40s %llu ops\n", site.c_str(),
+                (unsigned long long)st.ops);
+  }
+
+  // -- phase 2: kill sweep ----------------------------------------------
+  std::printf("\nkill sweep (recover + resume must be bitwise exact):\n");
+  for (const auto& [site, st] : probed) {
+    if (site.rfind("bp.writer.", 0) != 0) continue;
+    std::vector<std::uint64_t> ops = {0};
+    if (st.ops / 2 > 0) ops.push_back(st.ops / 2);
+    if (st.ops > 1) ops.push_back(st.ops - 1);
+    std::uint64_t prev = ~0ull;
+    for (const std::uint64_t op : ops) {
+      if (op == prev) continue;  // dedup for 1- and 2-op sites
+      prev = op;
+      Scenario sc;
+      sc.name = "kill " + site + " op " + std::to_string(op);
+      const Settings s = base_settings();
+      wipe(s);
+
+      gs::fault::Plan plan;
+      plan.kill_at(site, op);
+      bool killed = false;
+      std::uint64_t fired = 0;
+      injector.install(plan);
+      try {
+        run_workflow(s);
+      } catch (const gs::fault::Kill&) {
+        killed = true;
+      } catch (const std::exception& e) {
+        sc.detail = std::string("unexpected exception: ") + e.what();
+      }
+      fired = injector.injected();
+      injector.clear();
+
+      if (!killed) {
+        if (sc.detail.empty()) {
+          sc.detail = fired == 0 ? "kill point never reached"
+                                 : "Kill did not propagate";
+        }
+        scenarios.push_back(sc);
+        continue;
+      }
+
+      // Recover both datasets, resume from whatever checkpoint survived,
+      // and demand the reference trajectory back.
+      gs::bp::recover(s.output);
+      gs::bp::recover(s.checkpoint_output);
+      Settings resume = s;
+      resume.restart = true;
+      resume.restart_input = s.checkpoint_output;
+      try {
+        run_workflow(resume);
+        std::string why;
+        if (!datasets_intact(s, why)) {
+          sc.detail = why;
+        } else if (same_state(read_final_state(s), want, why)) {
+          sc.pass = true;
+        } else {
+          sc.detail = why;
+        }
+      } catch (const std::exception& e) {
+        sc.detail = std::string("resume failed: ") + e.what();
+      }
+      scenarios.push_back(sc);
+    }
+  }
+
+  // -- phase 3: corrupt sweep -------------------------------------------
+  std::printf("\ncorrupt sweep (verify() must report exactly the injected "
+              "block):\n");
+  for (const std::string subfile : {"data.0", "data.1"}) {
+    const std::string site = "bp.writer.write_block/" + subfile;
+    const auto it = probed.find(site);
+    if (it == probed.end()) continue;
+    for (const std::uint64_t op :
+         {std::uint64_t{0}, it->second.ops / 2, it->second.ops - 1}) {
+      Scenario sc;
+      sc.name = "corrupt " + site + " op " + std::to_string(op);
+      const Settings s = base_settings();
+      wipe(s);
+      gs::fault::Plan plan;
+      plan.corrupt_at(site, op, /*byte_offset=*/8);
+      std::uint64_t fired = 0;
+      injector.install(plan);
+      try {
+        run_workflow(s);  // corruption is silent: the run completes
+        fired = injector.injected();
+      } catch (const std::exception& e) {
+        sc.detail = std::string("run failed: ") + e.what();
+      }
+      injector.clear();
+      if (!sc.detail.empty() || fired != 1) {
+        if (sc.detail.empty()) sc.detail = "corruption did not fire";
+        scenarios.push_back(sc);
+        continue;
+      }
+      // Exactly one damaged block across both datasets, and it must be
+      // a CRC mismatch in the subfile the plan targeted.
+      std::size_t bad = 0;
+      bool right_place = true;
+      for (const std::string& path : {s.output, s.checkpoint_output}) {
+        const auto rep = gs::bp::Reader(path).verify();
+        bad += rep.bad.size();
+        for (const auto& b : rep.bad) {
+          if (b.reason != "crc_mismatch" || b.subfile != subfile) {
+            right_place = false;
+          }
+        }
+      }
+      if (bad != 1) {
+        sc.detail = "expected exactly 1 bad block, verify() found " +
+                    std::to_string(bad);
+      } else if (!right_place) {
+        sc.detail = "damage reported with wrong reason or subfile";
+      } else {
+        sc.pass = true;
+      }
+      scenarios.push_back(sc);
+    }
+  }
+
+  // -- phase 4: transient-fail sweep ------------------------------------
+  std::printf("\ntransient sweep (bounded retries must heal bitwise):\n");
+  for (const auto& [site, st] : probed) {
+    if (site.rfind("bp.writer.", 0) != 0) continue;
+    Scenario sc;
+    sc.name = "transient fail x2 " + site;
+    const Settings s = base_settings();
+    wipe(s);
+    gs::fault::Plan plan;
+    plan.fail_at(site, 0);
+    if (st.ops > 1 || true) plan.fail_at(site, 1);  // retry consumes op 1
+    std::uint64_t fired = 0;
+    injector.install(plan);
+    try {
+      run_workflow(s);
+      fired = injector.injected();
+      injector.clear();
+      std::string why;
+      if (fired == 0) {
+        sc.detail = "no fault fired";
+      } else if (!datasets_intact(s, why)) {
+        sc.detail = why;
+      } else if (same_state(read_final_state(s), want, why)) {
+        sc.pass = true;
+      } else {
+        sc.detail = why;
+      }
+    } catch (const std::exception& e) {
+      injector.clear();
+      sc.detail = std::string("retries did not absorb the fault: ") +
+                  e.what();
+    }
+    scenarios.push_back(sc);
+  }
+
+  // Composed: kill mid-campaign, then transient failures during the
+  // restart read of the resume — retry and recovery stack cleanly.
+  {
+    Scenario sc;
+    sc.name = "kill ckpt@18 + transient restart-read faults";
+    const Settings s = base_settings();
+    wipe(s);
+    gs::fault::Plan kill_plan;
+    kill_plan.kill_at("bp.writer.write_index", 2);  // third ckpt close
+    bool killed = false;
+    injector.install(kill_plan);
+    try {
+      run_workflow(s);
+    } catch (const gs::fault::Kill&) {
+      killed = true;
+    } catch (const std::exception&) {
+    }
+    injector.clear();
+    if (!killed) {
+      sc.detail = "kill did not propagate";
+    } else {
+      gs::bp::recover(s.output);
+      gs::bp::recover(s.checkpoint_output);
+      Settings resume = s;
+      resume.restart = true;
+      resume.restart_input = s.checkpoint_output;
+      gs::fault::Plan retry_plan;
+      retry_plan.fail_at("bp.reader.open_subfile/data.0", 0);
+      retry_plan.fail_at("bp.reader.open_subfile/data.1", 0);
+      injector.install(retry_plan);
+      try {
+        run_workflow(resume);
+        std::string why;
+        sc.pass = same_state(read_final_state(s), want, why);
+        sc.detail = why;
+      } catch (const std::exception& e) {
+        sc.detail = std::string("resume failed: ") + e.what();
+      }
+      injector.clear();
+    }
+    scenarios.push_back(sc);
+  }
+
+  const int failures = report(scenarios);
+  std::printf("\nfault matrix: %zu scenarios, %d failed\n",
+              scenarios.size(), failures);
+  fs::remove_all(work_dir());
+  return failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,220 @@
+#include "bp/manifest.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+#include <vector>
+
+#include "bp/format.h"
+#include "common/checksum.h"
+#include "common/error.h"
+#include "common/log.h"
+#include "fault/fault.h"
+
+namespace fs = std::filesystem;
+
+namespace gs::bp {
+
+namespace {
+
+struct FileSummary {
+  std::uint64_t bytes = 0;
+  std::uint32_t crc = 0;
+};
+
+FileSummary summarize_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    GS_THROW(IoError, "cannot open " << path.string() << " for checksumming");
+  }
+  FileSummary s;
+  std::vector<std::byte> buf(1 << 20);
+  while (in) {
+    in.read(reinterpret_cast<char*>(buf.data()),
+            static_cast<std::streamsize>(buf.size()));
+    const auto got = static_cast<std::size_t>(in.gcount());
+    if (got == 0) break;
+    s.crc = crc32_update(s.crc, std::span<const std::byte>(buf.data(), got));
+    s.bytes += got;
+  }
+  return s;
+}
+
+}  // namespace
+
+std::string staging_path(const std::string& dataset_path) {
+  return dataset_path + kStagingSuffix;
+}
+
+json::Value Manifest::to_json() const {
+  json::Array files_json;
+  for (const auto& f : files) {
+    json::Object o;
+    o["name"] = json::Value(f.name);
+    o["bytes"] = json::Value(static_cast<std::int64_t>(f.bytes));
+    o["crc"] = json::Value(static_cast<std::int64_t>(f.crc));
+    files_json.emplace_back(std::move(o));
+  }
+  json::Object root;
+  root["format"] = json::Value("bp-mini-manifest/1");
+  root["files"] = json::Value(std::move(files_json));
+  return json::Value(std::move(root));
+}
+
+Manifest Manifest::from_json(const json::Value& v) {
+  GS_REQUIRE(v.get_or("format", std::string()) == "bp-mini-manifest/1",
+             "not a bp-mini manifest (bad or missing format tag)");
+  Manifest m;
+  for (const auto& f : v.at("files").as_array()) {
+    ManifestEntry e;
+    e.name = f.at("name").as_string();
+    e.bytes = static_cast<std::uint64_t>(f.at("bytes").as_int());
+    e.crc = static_cast<std::uint32_t>(f.at("crc").as_int());
+    m.files.push_back(std::move(e));
+  }
+  return m;
+}
+
+Manifest manifest_of_dir(const std::string& dir) {
+  Manifest m;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name == kManifestFile) continue;
+    const FileSummary s = summarize_file(entry.path());
+    m.files.push_back(ManifestEntry{name, s.bytes, s.crc});
+  }
+  // directory_iterator order is unspecified; sort for deterministic output.
+  std::sort(m.files.begin(), m.files.end(),
+            [](const ManifestEntry& a, const ManifestEntry& b) {
+              return a.name < b.name;
+            });
+  return m;
+}
+
+void write_manifest(const std::string& dir) {
+  fault::Injector::instance().check("bp.writer.manifest");
+  const Manifest m = manifest_of_dir(dir);
+  const fs::path tmp = fs::path(dir) / (std::string(kManifestFile) + ".tmp");
+  const fs::path final_path = fs::path(dir) / kManifestFile;
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out.good()) {
+      GS_THROW(IoError, "cannot open " << tmp.string() << " for writing");
+    }
+    const std::string text = m.to_json().dump(2);
+    out.write(text.data(), static_cast<std::streamsize>(text.size()));
+    out.flush();
+    if (!out.good()) GS_THROW(IoError, "failed writing " << tmp.string());
+  }
+  // The commit point: once this rename lands, the staged dataset is the
+  // dataset of record and recovery rolls forward instead of back.
+  std::error_code ec;
+  fs::rename(tmp, final_path, ec);
+  if (ec) {
+    GS_THROW(IoError, "failed committing manifest " << final_path.string()
+                                                    << ": " << ec.message());
+  }
+}
+
+std::string validate_against_manifest(const std::string& dir) {
+  const fs::path manifest_path = fs::path(dir) / kManifestFile;
+  if (!fs::exists(manifest_path)) return "no manifest";
+  Manifest m;
+  try {
+    m = Manifest::from_json(json::parse_file(manifest_path.string()));
+  } catch (const gs::Error& e) {
+    return std::string("unreadable manifest: ") + e.what();
+  }
+  bool saw_index = false;
+  for (const auto& f : m.files) {
+    const fs::path p = fs::path(dir) / f.name;
+    if (f.name == kIndexFile) saw_index = true;
+    std::error_code ec;
+    const auto size = fs::file_size(p, ec);
+    if (ec) return "missing file " + f.name;
+    if (size != f.bytes) {
+      return "size mismatch for " + f.name + " (manifest " +
+             std::to_string(f.bytes) + ", on disk " + std::to_string(size) +
+             ")";
+    }
+    FileSummary s;
+    try {
+      s = summarize_file(p);
+    } catch (const gs::Error& e) {
+      return "unreadable file " + f.name + ": " + e.what();
+    }
+    if (s.crc != f.crc) return "crc mismatch for " + f.name;
+  }
+  if (!saw_index) return "manifest lists no index file";
+  return {};
+}
+
+void commit_staging(const std::string& staging,
+                    const std::string& dataset_path) {
+  if (!fs::exists(fs::path(staging) / kManifestFile)) {
+    GS_THROW(IoError, "commit_staging: " << staging << " has no manifest");
+  }
+  fault::Injector::instance().check("bp.writer.promote");
+  std::error_code ec;
+  fs::remove_all(dataset_path, ec);
+  if (ec) {
+    GS_THROW(IoError, "failed removing old dataset " << dataset_path << ": "
+                                                     << ec.message());
+  }
+  fault::Injector::instance().check("bp.writer.rename");
+  fs::rename(staging, dataset_path, ec);
+  if (ec) {
+    GS_THROW(IoError, "failed promoting " << staging << " -> " << dataset_path
+                                          << ": " << ec.message());
+  }
+}
+
+const char* to_string(RecoverAction action) {
+  switch (action) {
+    case RecoverAction::none: return "none";
+    case RecoverAction::rolled_back: return "rolled_back";
+    case RecoverAction::rolled_forward: return "rolled_forward";
+  }
+  return "?";
+}
+
+RecoverResult recover(const std::string& dataset_path) {
+  const std::string staging = staging_path(dataset_path);
+  if (!fs::exists(staging)) return {RecoverAction::none, "no staging dir"};
+
+  const std::string invalid = validate_against_manifest(staging);
+  std::error_code ec;
+  if (invalid.empty()) {
+    // Commit point was passed: the staged dataset is complete and
+    // checksummed — finish the interrupted promotion.
+    fs::remove_all(dataset_path, ec);
+    if (ec) {
+      GS_THROW(IoError, "recover: failed removing old dataset "
+                            << dataset_path << ": " << ec.message());
+    }
+    fs::rename(staging, dataset_path, ec);
+    if (ec) {
+      GS_THROW(IoError, "recover: failed promoting " << staging << ": "
+                                                     << ec.message());
+    }
+    GS_WARN("bp::recover: rolled interrupted commit forward at "
+            << dataset_path);
+    return {RecoverAction::rolled_forward, "completed interrupted commit"};
+  }
+
+  // Pre-commit-point wreckage: discard it; whatever committed dataset
+  // exists at dataset_path (possibly none) is the state of record.
+  fs::remove_all(staging, ec);
+  if (ec) {
+    GS_THROW(IoError, "recover: failed removing stale staging " << staging
+                                                                << ": "
+                                                                << ec.message());
+  }
+  GS_WARN("bp::recover: rolled back stale staging at " << dataset_path << " ("
+                                                       << invalid << ")");
+  return {RecoverAction::rolled_back, invalid};
+}
+
+}  // namespace gs::bp

@@ -1,0 +1,89 @@
+// Crash-consistent dataset commit protocol for BP-mini.
+//
+// A writer never mutates the committed dataset directory in place.
+// Everything — subfiles and the metadata index — is staged in
+// `<dataset>.staging/`; close() then commits in three ordered steps:
+//
+//   1. MANIFEST.json is written (via tmp + atomic rename) into the
+//      staging dir, recording every staged file's byte length and CRC-32.
+//      The manifest rename is the COMMIT POINT.
+//   2. the old committed directory (if any) is removed,
+//   3. the staging directory is renamed onto the dataset path.
+//
+// A crash at any instruction leaves one of two recoverable states:
+//   * staging without a valid manifest  -> the commit never happened;
+//     recover() rolls BACK (deletes staging; the old dataset, if it
+//     still exists, is untouched and fully valid);
+//   * staging with a valid manifest     -> the commit logically
+//     happened; recover() rolls FORWARD (finishes steps 2-3).
+// Either way the dataset path holds exactly one complete dataset — never
+// a torn hybrid of old and new subfiles.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "config/json.h"
+
+namespace gs::bp {
+
+inline constexpr const char* kManifestFile = "MANIFEST.json";
+inline constexpr const char* kStagingSuffix = ".staging";
+
+/// Staging directory of a dataset path.
+std::string staging_path(const std::string& dataset_path);
+
+struct ManifestEntry {
+  std::string name;          ///< file name relative to the dataset dir
+  std::uint64_t bytes = 0;
+  std::uint32_t crc = 0;     ///< CRC-32 of the whole file
+};
+
+struct Manifest {
+  std::vector<ManifestEntry> files;
+
+  json::Value to_json() const;
+  static Manifest from_json(const json::Value& v);
+};
+
+/// Scans `dir` (every regular file except the manifest itself) and
+/// computes per-file lengths and CRCs.
+Manifest manifest_of_dir(const std::string& dir);
+
+/// Writes `dir`'s manifest atomically (tmp file + rename). This is the
+/// commit point of the protocol. Fault site: "bp.writer.manifest".
+void write_manifest(const std::string& dir);
+
+/// Validates `dir` against its manifest. Returns an empty string when
+/// every listed file is present with matching length and CRC (and the
+/// manifest parses); otherwise a description of the first mismatch.
+std::string validate_against_manifest(const std::string& dir);
+
+/// Promotes a fully staged dataset onto `dataset_path`: removes the old
+/// committed directory and renames staging into place. Requires the
+/// manifest to already be written. Fault sites: "bp.writer.promote"
+/// (between removal and rename — the torn window) and
+/// "bp.writer.rename".
+void commit_staging(const std::string& staging, const std::string& dataset_path);
+
+enum class RecoverAction {
+  none,            ///< no staging dir: nothing to do
+  rolled_back,     ///< staging was pre-commit-point garbage: deleted
+  rolled_forward,  ///< staging was committed: promotion completed
+};
+
+const char* to_string(RecoverAction action);
+
+struct RecoverResult {
+  RecoverAction action = RecoverAction::none;
+  std::string detail;
+};
+
+/// Detects and heals an interrupted commit at `dataset_path`. Idempotent;
+/// safe to call on a path with no dataset at all. After it returns, the
+/// path holds either the old or the new dataset in full, and no staging
+/// directory remains.
+RecoverResult recover(const std::string& dataset_path);
+
+}  // namespace gs::bp

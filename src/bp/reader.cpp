@@ -11,6 +11,7 @@
 #include "common/checksum.h"
 #include "common/error.h"
 #include "common/format.h"
+#include "fault/fault.h"
 #include "grid/field.h"
 #include "par/par.h"
 
@@ -95,68 +96,113 @@ std::vector<BlockRecord> Reader::blocks(const std::string& name,
   return v.steps[static_cast<std::size_t>(step)];
 }
 
+Reader::BlockResult Reader::load_block_checked(const BlockRecord& block,
+                                               const std::string& type) const {
+  const std::string fname = subfile_name(block.subfile);
+  const fs::path file = fs::path(path_) / fname;
+  auto& injector = fault::Injector::instance();
+
+  BlockResult res;
+  const auto bad = [&](std::string reason, std::string detail) {
+    res.data.clear();
+    res.reason = std::move(reason);
+    res.detail = std::move(detail);
+    return res;
+  };
+
+  try {
+    injector.check("bp.reader.open_subfile/" + fname);
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+      return bad("open_failed", "cannot open subfile " + file.string());
+    }
+    in.seekg(static_cast<std::streamoff>(block.offset));
+
+    // One contiguous stored payload per block, whatever the encoding.
+    std::vector<std::byte> stored(
+        static_cast<std::size_t>(block.stored_bytes));
+    in.read(reinterpret_cast<char*>(stored.data()),
+            static_cast<std::streamsize>(stored.size()));
+    if (in.gcount() != static_cast<std::streamsize>(stored.size())) {
+      return bad("short_read",
+                 "short read from " + file.string() + " at offset " +
+                     std::to_string(block.offset) + " (wanted " +
+                     std::to_string(stored.size()) + " bytes, got " +
+                     std::to_string(in.gcount()) + ")");
+    }
+    injector.check("bp.reader.read_block/" + fname, stored);
+
+    const auto volume = static_cast<std::size_t>(block.box.volume());
+    if (type == "float") {
+      // Single-precision storage: verify raw floats, widen to double.
+      if (!block.codec.empty()) {
+        return bad("bad_codec", "compressed float blocks unsupported");
+      }
+      if (stored.size() != volume * sizeof(float)) {
+        return bad("size_mismatch",
+                   "stored size mismatch in " + file.string() +
+                       " at offset " + std::to_string(block.offset));
+      }
+      const std::span<const float> raw(
+          reinterpret_cast<const float*>(stored.data()), volume);
+      if (block.crc != 0 && par::crc32(std::as_bytes(raw)) != block.crc) {
+        return bad("crc_mismatch",
+                   "CRC mismatch in " + file.string() + " at offset " +
+                       std::to_string(block.offset) +
+                       ": data is corrupted");
+      }
+      res.data.assign(raw.begin(), raw.end());
+      return res;
+    }
+
+    if (block.codec.empty()) {
+      if (stored.size() != volume * sizeof(double)) {
+        return bad("size_mismatch",
+                   "stored size mismatch in " + file.string() +
+                       " at offset " + std::to_string(block.offset));
+      }
+      const auto* p = reinterpret_cast<const double*>(stored.data());
+      res.data.assign(p, p + volume);
+    } else {
+      if (block.codec != "gorilla") {
+        return bad("bad_codec", "unknown codec \"" + block.codec + "\"");
+      }
+      try {
+        res.data = decompress_doubles(stored);
+      } catch (const gs::Error& e) {
+        return bad("decompress_failed",
+                   "decompress failed in " + file.string() + " at offset " +
+                       std::to_string(block.offset) + ": " + e.what());
+      }
+      if (res.data.size() != volume) {
+        return bad("size_mismatch",
+                   "decompressed size mismatch in " + file.string());
+      }
+    }
+    // Integrity: verify the stored CRC-32 (0 = legacy block without one).
+    if (block.crc != 0) {
+      const std::uint32_t actual = par::crc32(std::as_bytes(
+          std::span<const double>(res.data.data(), res.data.size())));
+      if (actual != block.crc) {
+        return bad("crc_mismatch",
+                   "CRC mismatch in " + file.string() + " at offset " +
+                       std::to_string(block.offset) +
+                       ": data is corrupted");
+      }
+    }
+    return res;
+  } catch (const IoError& e) {
+    // Injected (or real) I/O failure during the read: a damaged block,
+    // not a crashed reader. fault::Kill is not an IoError and propagates.
+    return bad("io_error", e.what());
+  }
+}
+
 std::vector<double> Reader::load_block(const BlockRecord& block,
                                        const std::string& type) const {
-  const fs::path file = fs::path(path_) / subfile_name(block.subfile);
-  std::ifstream in(file, std::ios::binary);
-  if (!in) {
-    GS_THROW(IoError, "cannot open subfile " << file.string());
-  }
-  in.seekg(static_cast<std::streamoff>(block.offset));
-  std::vector<double> data;
-  if (type == "float") {
-    // Single-precision storage: read raw floats, verify, widen.
-    GS_REQUIRE(block.codec.empty(), "compressed float blocks unsupported");
-    std::vector<float> raw(static_cast<std::size_t>(block.box.volume()));
-    in.read(reinterpret_cast<char*>(raw.data()),
-            static_cast<std::streamsize>(raw.size() * sizeof(float)));
-    GS_REQUIRE(in.gcount() ==
-                   static_cast<std::streamsize>(raw.size() * sizeof(float)),
-               "short read from " << file.string() << " at offset "
-                                  << block.offset);
-    if (block.crc != 0 &&
-        par::crc32(std::as_bytes(
-            std::span<const float>(raw.data(), raw.size()))) != block.crc) {
-      GS_THROW(IoError, "CRC mismatch in " << file.string() << " at offset "
-                                           << block.offset
-                                           << ": data is corrupted");
-    }
-    data.assign(raw.begin(), raw.end());
-    return data;
-  }
-  if (block.codec.empty()) {
-    data.resize(static_cast<std::size_t>(block.box.volume()));
-    in.read(reinterpret_cast<char*>(data.data()),
-            static_cast<std::streamsize>(data.size() * sizeof(double)));
-    GS_REQUIRE(
-        in.gcount() ==
-            static_cast<std::streamsize>(data.size() * sizeof(double)),
-        "short read from " << file.string() << " at offset "
-                           << block.offset);
-  } else {
-    GS_REQUIRE(block.codec == "gorilla",
-               "unknown codec \"" << block.codec << "\"");
-    std::vector<std::byte> packed(block.stored_bytes);
-    in.read(reinterpret_cast<char*>(packed.data()),
-            static_cast<std::streamsize>(packed.size()));
-    GS_REQUIRE(in.gcount() == static_cast<std::streamsize>(packed.size()),
-               "short read from " << file.string() << " at offset "
-                                  << block.offset);
-    data = decompress_doubles(packed);
-    GS_REQUIRE(data.size() == static_cast<std::size_t>(block.box.volume()),
-               "decompressed size mismatch in " << file.string());
-  }
-  // Integrity: verify the stored CRC-32 (0 = legacy block without one).
-  if (block.crc != 0) {
-    const std::uint32_t actual = par::crc32(std::as_bytes(
-        std::span<const double>(data.data(), data.size())));
-    if (actual != block.crc) {
-      GS_THROW(IoError, "CRC mismatch in " << file.string() << " at offset "
-                                           << block.offset
-                                           << ": data is corrupted");
-    }
-  }
-  return data;
+  BlockResult res = load_block_checked(block, type);
+  if (!res.ok()) GS_THROW(IoError, res.detail);
+  return std::move(res.data);
 }
 
 std::vector<double> Reader::read(const std::string& name, std::int64_t step,
@@ -232,6 +278,110 @@ std::vector<double> Reader::read_block(const std::string& name,
   GS_REQUIRE(block_index < blks.size(),
              "block index " << block_index << " out of " << blks.size());
   return load_block(blks[block_index], var(name).type);
+}
+
+// -------------------------------------------------------------- salvage
+
+Reader::BlockResult Reader::try_read_block(const std::string& name,
+                                           std::int64_t step,
+                                           std::size_t block_index) const {
+  const auto blks = blocks(name, step);
+  GS_REQUIRE(block_index < blks.size(),
+             "block index " << block_index << " out of " << blks.size());
+  return load_block_checked(blks[block_index], var(name).type);
+}
+
+std::vector<double> Reader::read_salvage(const std::string& name,
+                                         std::int64_t step,
+                                         const Box3& selection,
+                                         SalvageReport& report) const {
+  GS_REQUIRE(!selection.empty(), "empty selection");
+  const VarRecord& v = var(name);
+  GS_REQUIRE(!v.is_scalar(), "\"" << name << "\" is a scalar");
+  GS_REQUIRE(selection.start.i >= 0 && selection.start.j >= 0 &&
+                 selection.start.k >= 0 &&
+                 selection.end().i <= v.shape.i &&
+                 selection.end().j <= v.shape.j &&
+                 selection.end().k <= v.shape.k,
+             "selection " << selection << " outside shape " << v.shape);
+
+  std::vector<double> out(static_cast<std::size_t>(selection.volume()), 0.0);
+  const auto blks = blocks(name, step);
+  for (std::size_t i = 0; i < blks.size(); ++i) {
+    const BlockRecord& block = blks[i];
+    const Box3 overlap = block.box.intersect(selection);
+    if (overlap.empty()) continue;
+    ++report.blocks_checked;
+    BlockResult res = load_block_checked(block, v.type);
+    if (!res.ok()) {
+      // Damaged block: its overlap stays zero; record it and keep going.
+      report.bad.push_back({name, step, i, subfile_name(block.subfile),
+                            block.offset, res.reason, res.detail});
+      continue;
+    }
+    copy_overlap(res.data, block.box, selection, out);
+  }
+  return out;
+}
+
+std::vector<double> Reader::read_full_salvage(const std::string& name,
+                                              std::int64_t step,
+                                              SalvageReport& report) const {
+  const VarRecord& v = var(name);
+  return read_salvage(name, step, Box3{{0, 0, 0}, v.shape}, report);
+}
+
+SalvageReport Reader::verify() const {
+  SalvageReport rep;
+  for (const auto& v : index_.variables) {
+    if (v.is_scalar()) continue;  // scalars live in the index itself
+    for (std::size_t step = 0; step < v.steps.size(); ++step) {
+      const auto& blks = v.steps[step];
+      for (std::size_t i = 0; i < blks.size(); ++i) {
+        ++rep.blocks_checked;
+        const BlockResult res = load_block_checked(blks[i], v.type);
+        if (!res.ok()) {
+          rep.bad.push_back({v.name, static_cast<std::int64_t>(step), i,
+                             subfile_name(blks[i].subfile), blks[i].offset,
+                             res.reason, res.detail});
+        }
+      }
+    }
+  }
+  return rep;
+}
+
+json::Value SalvageReport::to_json() const {
+  json::Array bad_json;
+  for (const auto& b : bad) {
+    json::Object o;
+    o["variable"] = json::Value(b.variable);
+    o["step"] = json::Value(b.step);
+    o["block"] = json::Value(static_cast<std::int64_t>(b.block_index));
+    o["subfile"] = json::Value(b.subfile);
+    o["offset"] = json::Value(static_cast<std::int64_t>(b.offset));
+    o["reason"] = json::Value(b.reason);
+    o["detail"] = json::Value(b.detail);
+    bad_json.emplace_back(std::move(o));
+  }
+  json::Object root;
+  root["blocks_checked"] = json::Value(
+      static_cast<std::int64_t>(blocks_checked));
+  root["blocks_bad"] = json::Value(static_cast<std::int64_t>(bad.size()));
+  root["bad"] = json::Value(std::move(bad_json));
+  return json::Value(std::move(root));
+}
+
+std::string SalvageReport::report() const {
+  std::ostringstream oss;
+  for (const auto& b : bad) {
+    oss << "  BAD " << b.variable << " step " << b.step << " block "
+        << b.block_index << " (" << b.subfile << " @" << b.offset
+        << "): " << b.reason << " — " << b.detail << "\n";
+  }
+  oss << (bad.empty() ? "  OK " : "  FAILED ") << blocks_checked
+      << " blocks checked, " << bad.size() << " bad\n";
+  return oss.str();
 }
 
 // ----------------------------------------------------------------- dump

@@ -17,6 +17,29 @@
 
 namespace gs::bp {
 
+/// Per-block damage record accumulated by the salvage read paths and by
+/// Reader::verify(). A salvage read keeps going past corrupted blocks —
+/// the analysis side of the workflow would rather plot a partial field
+/// than lose the whole campaign to one flipped bit on one OST.
+struct SalvageReport {
+  struct BadBlock {
+    std::string variable;
+    std::int64_t step = 0;
+    std::size_t block_index = 0;  ///< index into blocks(variable, step)
+    std::string subfile;
+    std::uint64_t offset = 0;
+    std::string reason;  ///< machine code: crc_mismatch, short_read, ...
+    std::string detail;  ///< human-readable message
+  };
+  std::vector<BadBlock> bad;
+  std::size_t blocks_checked = 0;
+
+  bool clean() const { return bad.empty(); }
+  json::Value to_json() const;
+  /// Multi-line human-readable summary (bpls --verify output).
+  std::string report() const;
+};
+
 class Reader {
  public:
   /// Opens a dataset directory (throws gs::IoError if absent/corrupt).
@@ -61,6 +84,36 @@ class Reader {
   std::vector<double> read_block(const std::string& name, std::int64_t step,
                                  std::size_t block_index) const;
 
+  // ---- salvage (Expected-style, never throws on data damage) ----------
+  /// Outcome of a checked block load: either the payload, or a reason why
+  /// the block is unusable (corrupted/truncated/unreadable).
+  struct BlockResult {
+    std::vector<double> data;
+    std::string reason;  ///< empty = ok; else crc_mismatch, short_read, ...
+    std::string detail;  ///< human-readable message
+    bool ok() const { return reason.empty(); }
+  };
+
+  /// Checked variant of read_block: damage comes back in the result
+  /// instead of as an exception.
+  BlockResult try_read_block(const std::string& name, std::int64_t step,
+                             std::size_t block_index) const;
+
+  /// Selection read that skips damaged blocks instead of throwing: bad
+  /// blocks leave zeros in their overlap and are recorded in `report`.
+  std::vector<double> read_salvage(const std::string& name, std::int64_t step,
+                                   const Box3& selection,
+                                   SalvageReport& report) const;
+
+  /// Full-array salvage read.
+  std::vector<double> read_full_salvage(const std::string& name,
+                                        std::int64_t step,
+                                        SalvageReport& report) const;
+
+  /// Loads and CRC-checks EVERY block of every array variable at every
+  /// step. The backbone of `bpls --verify`.
+  SalvageReport verify() const;
+
   const Index& index() const { return index_; }
   const std::string& path() const { return path_; }
 
@@ -70,7 +123,11 @@ class Reader {
 
   const VarRecord& var(const std::string& name) const;
   /// Loads one block from its subfile as doubles (widening float
-  /// storage), verifying the CRC.
+  /// storage), verifying the CRC. Damage is reported in the result, not
+  /// thrown (fault::Kill still propagates).
+  BlockResult load_block_checked(const BlockRecord& block,
+                                 const std::string& type) const;
+  /// Throwing wrapper: gs::IoError on any damage.
   std::vector<double> load_block(const BlockRecord& block,
                                  const std::string& type) const;
 };

@@ -1,14 +1,17 @@
 #include "bp/writer.h"
 
 #include <algorithm>
+#include <exception>
 #include <filesystem>
 #include <fstream>
 
 #include "bp/compress.h"
+#include "bp/manifest.h"
 
 #include "common/checksum.h"
 #include "common/clock.h"
 #include "common/error.h"
+#include "common/log.h"
 #include "par/par.h"
 
 namespace gs::bp {
@@ -49,44 +52,89 @@ std::string to_string(std::span<const std::byte> b) {
 Writer::Writer(std::string path, mpi::Comm& comm, int ranks_per_node,
                prof::Profiler* profiler, Mode mode)
     : path_(std::move(path)),
+      staging_(bp::staging_path(path_)),
       comm_(comm.dup()),
       node_comm_(comm_.split(comm_.rank() / std::max(1, ranks_per_node),
                              comm_.rank())),
       node_id_(comm_.rank() / std::max(1, ranks_per_node)),
       profiler_(profiler) {
   GS_REQUIRE(ranks_per_node > 0, "ranks_per_node must be positive");
+  // Heal any interrupted commit from a previous writer before looking at
+  // the committed index: a crashed-but-committed staging dir must be
+  // promoted (or discarded) first so append mode sees the right dataset.
+  if (comm_.rank() == 0) recover(path_);
+  comm_.barrier();
+
   const fs::path idx = fs::path(path_) / kIndexFile;
-  if (mode == Mode::append && fs::exists(idx)) {
+  const bool appending = mode == Mode::append && fs::exists(idx);
+  if (comm_.rank() == 0) {
+    std::error_code ec;
+    fs::remove_all(staging_, ec);  // recover() left none; belt and braces
+    if (ec) {
+      GS_WARN("bp::Writer: failed removing stale staging " << staging_
+                                                           << ": "
+                                                           << ec.message());
+    }
+    if (appending) {
+      // Stage a copy of the committed dataset and extend the copy; the
+      // committed original stays valid until close() commits.
+      fs::copy(path_, staging_, fs::copy_options::recursive);
+      fs::remove(fs::path(staging_) / kManifestFile, ec);
+      if (ec) {
+        GS_WARN("bp::Writer: failed dropping stale manifest in " << staging_
+                                                                 << ": "
+                                                                 << ec.message());
+      }
+    } else {
+      fs::create_directories(staging_);
+      GS_REQUIRE(fs::is_directory(staging_),
+                 "cannot create staging dir " << staging_);
+    }
+  }
+  comm_.barrier();  // staging populated before aggregators touch subfiles
+
+  if (appending) {
     // Continue the existing dataset: every rank learns the step count,
-    // rank 0 keeps the full index, aggregators resume at their subfile's
-    // current end.
+    // rank 0 keeps the full index, aggregators resume at their (staged)
+    // subfile's current end.
     const json::Value doc = json::parse_file(idx.string());
     const Index existing = Index::from_json(doc);
     step_ = existing.n_steps - 1;
     if (comm_.rank() == 0) index_ = existing;
     if (node_comm_.rank() == 0) {
-      const fs::path subfile = fs::path(path_) / subfile_name(node_id_);
+      const fs::path subfile = fs::path(staging_) / subfile_name(node_id_);
       std::error_code ec;
       const auto size = fs::file_size(subfile, ec);
       subfile_bytes_ = ec ? 0 : size;
     }
-  } else {
-    if (comm_.rank() == 0) {
-      std::error_code ec;
-      fs::remove_all(path_, ec);  // truncate our own dataset dir
-      fs::create_directories(path_);
-      GS_REQUIRE(fs::is_directory(path_), "cannot create dataset " << path_);
-    }
   }
-  comm_.barrier();  // directory exists before aggregators touch subfiles
 }
 
 Writer::~Writer() {
   if (!closed_) {
+    // Unwinding after an exception models a crashed/killed process: do
+    // NOT commit — a half-written step must never replace the committed
+    // dataset, and close() is a collective we may no longer be able to
+    // complete. recover() (or the next Writer) rolls the staging back.
+    if (std::uncaught_exceptions() > 0) {
+      GS_WARN("bp::Writer: abandoning uncommitted dataset " << path_
+              << " (exception in flight; staged files left in " << staging_
+              << ")");
+      return;
+    }
     try {
       close();
+    } catch (const std::exception& e) {
+      // Destructor must not throw, but a swallowed close() failure means
+      // the dataset was never committed — say so instead of losing the
+      // error. An explicit close() surfaces it as an exception.
+      GS_WARN("bp::Writer: close() failed in destructor for dataset "
+              << path_ << ": " << e.what() << " (dataset NOT committed; "
+              << "staged files left in " << staging_ << ")");
     } catch (...) {
-      // Destructor must not throw; an explicit close() surfaces errors.
+      GS_WARN("bp::Writer: close() failed in destructor for dataset "
+              << path_ << " with an unknown exception (dataset NOT "
+              << "committed; staged files left in " << staging_ << ")");
     }
   }
 }
@@ -201,9 +249,7 @@ void Writer::aggregate_and_write(StepIoStats& stats) {
   // gather all blocks, compress/checksum them IN PARALLEL (the CPU-bound
   // work), then write serially in gather order — so the subfile layout is
   // byte-identical to the old streaming loop for any pool size.
-  const fs::path subfile = fs::path(path_) / subfile_name(node_id_);
-  std::ofstream out(subfile, std::ios::binary | std::ios::app);
-  GS_REQUIRE(out.good(), "cannot open subfile " << subfile.string());
+  const fs::path subfile = fs::path(staging_) / subfile_name(node_id_);
 
   // ---- stage 1: gather ------------------------------------------------
   struct Gathered {
@@ -278,40 +324,87 @@ void Writer::aggregate_and_write(StepIoStats& stats) {
       opts);
 
   // ---- stage 3: ordered serial write ----------------------------------
+  // Rank-local bounded retry: a transient IoError (real or injected) rolls
+  // the subfile back to its pre-step length and rewrites the whole step.
+  // No collectives happen inside the retried body, so one rank retrying
+  // never deadlocks the others. CRCs come from stage 2 — computed on the
+  // true payload BEFORE any injected corruption — so a corrupt injection
+  // lands on disk with a mismatched index CRC and readers detect it.
   std::vector<BlockRecord> records;
   std::vector<std::string> names;
   std::vector<Index3> shapes;
   std::vector<std::string> types;
-  for (auto& g : blocks) {
-    BlockRecord rec;
-    rec.rank = g.world_rank;
-    rec.box = g.box;
-    rec.min = g.mn;
-    rec.max = g.mx;
-    rec.subfile = node_id_;
-    rec.offset = subfile_bytes_;
-    rec.crc = g.crc;
-    if (do_compress && g.type == "double") {
-      rec.codec = "gorilla";
-      rec.stored_bytes = g.packed.size();
-      out.write(reinterpret_cast<const char*>(g.packed.data()),
-                static_cast<std::streamsize>(g.packed.size()));
-    } else {
-      rec.stored_bytes = g.raw.size();
-      out.write(reinterpret_cast<const char*>(g.raw.data()),
-                static_cast<std::streamsize>(rec.stored_bytes));
+  const std::uint64_t base_bytes = subfile_bytes_;
+  const std::string name_of_subfile = subfile_name(node_id_);
+  const std::string open_site = "bp.writer.open_subfile/" + name_of_subfile;
+  const std::string write_site = "bp.writer.write_block/" + name_of_subfile;
+  auto& injector = fault::Injector::instance();
+
+  fault::with_retries(retry_, "subfile write " + subfile.string(), [&] {
+    records.clear();
+    names.clear();
+    shapes.clear();
+    types.clear();
+    subfile_bytes_ = base_bytes;
+    stats.node_bytes = 0;
+
+    std::error_code ec;
+    if (fs::exists(subfile)) {
+      // Drop any partial bytes a failed attempt left behind.
+      fs::resize_file(subfile, base_bytes, ec);
+      if (ec) {
+        GS_THROW(IoError, "cannot truncate subfile " << subfile.string()
+                                                     << ": " << ec.message());
+      }
     }
-    subfile_bytes_ += rec.stored_bytes;
-    stats.node_bytes += rec.stored_bytes;
-    records.push_back(rec);
-    names.push_back(g.name);
-    shapes.push_back(g.shape);
-    types.push_back(g.type);
-  }
-  out.flush();
-  GS_REQUIRE(out.good(), "write to subfile " << subfile.string()
-                                             << " failed");
-  out.close();
+    injector.check(open_site);
+    std::ofstream out(subfile, std::ios::binary | std::ios::app);
+    if (!out.good()) {
+      GS_THROW(IoError, "cannot open subfile " << subfile.string());
+    }
+
+    for (auto& g : blocks) {
+      BlockRecord rec;
+      rec.rank = g.world_rank;
+      rec.box = g.box;
+      rec.min = g.mn;
+      rec.max = g.mx;
+      rec.subfile = node_id_;
+      rec.offset = subfile_bytes_;
+      rec.crc = g.crc;
+      const bool packed = do_compress && g.type == "double";
+      if (packed) rec.codec = "gorilla";
+      std::span<const std::byte> payload =
+          packed ? std::span<const std::byte>(g.packed) : g.raw;
+      rec.stored_bytes = payload.size();
+
+      // Fault hook: one op per block. Corruption flips a byte in a copy
+      // of the payload (the gathered data stays pristine for retries).
+      std::vector<std::byte> corrupted;
+      if (const auto inj = injector.consume(write_site)) {
+        if (inj->kind == fault::Kind::corrupt) {
+          corrupted.assign(payload.begin(), payload.end());
+          injector.act(write_site, *inj, corrupted);
+          payload = corrupted;
+        } else {
+          injector.act(write_site, *inj);
+        }
+      }
+      out.write(reinterpret_cast<const char*>(payload.data()),
+                static_cast<std::streamsize>(payload.size()));
+      subfile_bytes_ += rec.stored_bytes;
+      stats.node_bytes += rec.stored_bytes;
+      records.push_back(rec);
+      names.push_back(g.name);
+      shapes.push_back(g.shape);
+      types.push_back(g.type);
+    }
+    out.flush();
+    if (!out.good()) {
+      GS_THROW(IoError, "write to subfile " << subfile.string() << " failed");
+    }
+    out.close();
+  });
 
   forward_metadata_to_root(records, names, shapes, types);
 }
@@ -425,12 +518,28 @@ void Writer::close() {
   if (closed_) return;
   GS_REQUIRE(!in_step_, "close() with an open step");
   closed_ = true;
+  auto& injector = fault::Injector::instance();
   if (comm_.rank() == 0) {
-    const fs::path idx = fs::path(path_) / kIndexFile;
-    std::ofstream out(idx);
-    GS_REQUIRE(out.good(), "cannot write index " << idx.string());
-    out << index_.to_json().dump(2) << "\n";
-    GS_REQUIRE(out.good(), "index write failed: " << idx.string());
+    // Index into staging; retry is rank-0-local (no collectives inside).
+    fault::with_retries(retry_, "index write " + path_, [&] {
+      injector.check("bp.writer.write_index");
+      const fs::path idx = fs::path(staging_) / kIndexFile;
+      std::ofstream out(idx);
+      if (!out.good()) {
+        GS_THROW(IoError, "cannot write index " << idx.string());
+      }
+      out << index_.to_json().dump(2) << "\n";
+      if (!out.good()) {
+        GS_THROW(IoError, "index write failed: " << idx.string());
+      }
+    });
+  }
+  comm_.barrier();  // every staged subfile durable before the commit point
+  if (comm_.rank() == 0) {
+    fault::with_retries(retry_, "commit " + path_, [&] {
+      write_manifest(staging_);             // the commit point
+      commit_staging(staging_, path_);      // remove old + rename staging
+    });
   }
   comm_.barrier();
 }

@@ -11,13 +11,20 @@
 //     w.put_scalar("step", step);                        // rank 0 only
 //     w.end_step();    // blocks flow to node aggregators -> subfiles
 //   }
-//   w.close();         // rank 0 writes md.idx
+//   w.close();         // rank 0 writes md.idx, then commits atomically
 //
 // Aggregation: world ranks are grouped into "nodes" of `ranks_per_node`
 // consecutive ranks (Frontier: 8 GCDs per node). The lowest rank of each
 // node is the aggregator: it owns `data.<node>` and appends every member's
 // blocks, so the file-system sees one writing stream per node — the BP5
 // default the paper's Figure 8 measures.
+//
+// Crash consistency: nothing is written into the dataset directory
+// itself. All subfiles and the index are staged in `<path>.staging/`;
+// close() writes a checksummed manifest there and promotes the staging
+// dir with atomic renames (see bp/manifest.h). A crash at ANY point
+// leaves either the previous committed dataset or the new one — never a
+// torn mix; bp::recover(path) heals an interrupted commit.
 #pragma once
 
 #include <cstdint>
@@ -27,6 +34,7 @@
 #include <vector>
 
 #include "bp/format.h"
+#include "fault/fault.h"
 #include "mpi/comm.h"
 #include "prof/profiler.h"
 
@@ -87,16 +95,25 @@ class Writer {
   /// Returns this rank's I/O stats for the step.
   StepIoStats end_step();
 
-  /// Finalizes the dataset (writes md.idx). Collective; implicit in the
+  /// Finalizes the dataset: writes md.idx into staging, then atomically
+  /// commits the staged files onto `path`. Collective; implicit in the
   /// destructor, but calling it explicitly surfaces errors.
   void close();
+
+  /// Bounded-retry policy for this writer's rank-local filesystem ops
+  /// (subfile writes, index/manifest/commit). Retries absorb transient
+  /// gs::IoError failures only; they never mask a crash.
+  void set_retry_policy(fault::RetryPolicy policy) { retry_ = policy; }
 
   int node_id() const { return node_id_; }
   bool is_aggregator() const { return node_comm_.rank() == 0; }
   std::int64_t current_step() const { return step_; }
+  const std::string& staging_dir() const { return staging_; }
 
  private:
   std::string path_;
+  std::string staging_;  // <path>.staging: where everything is written
+  fault::RetryPolicy retry_;
   mpi::Comm comm_;       // dup of the caller's comm (isolated traffic)
   mpi::Comm node_comm_;  // split by node
   int node_id_;

@@ -30,7 +30,7 @@ Settings Settings::from_json(const json::Value& v) {
       "checkpoint", "checkpoint_freq", "checkpoint_output",
       "restart",    "restart_input",  "ranks_per_node",
       "gpu_aware_mpi", "aot",  "compress", "precision",
-      "threads",
+      "threads",    "io_retries",     "io_retry_backoff_ms",
   };
   for (const auto& [key, value] : v.as_object()) {
     (void)value;
@@ -59,6 +59,8 @@ Settings Settings::from_json(const json::Value& v) {
   s.checkpoint_output = v.get_or("checkpoint_output", s.checkpoint_output);
   s.restart = v.get_or("restart", s.restart);
   s.restart_input = v.get_or("restart_input", s.restart_input);
+  s.io_retries = v.get_or("io_retries", s.io_retries);
+  s.io_retry_backoff_ms = v.get_or("io_retry_backoff_ms", s.io_retry_backoff_ms);
   s.ranks_per_node = v.get_or("ranks_per_node", s.ranks_per_node);
   s.gpu_aware_mpi = v.get_or("gpu_aware_mpi", s.gpu_aware_mpi);
   s.aot = v.get_or("aot", s.aot);
@@ -92,6 +94,8 @@ json::Value Settings::to_json() const {
   obj["checkpoint_output"] = json::Value(checkpoint_output);
   obj["restart"] = json::Value(restart);
   obj["restart_input"] = json::Value(restart_input);
+  obj["io_retries"] = json::Value(io_retries);
+  obj["io_retry_backoff_ms"] = json::Value(io_retry_backoff_ms);
   obj["ranks_per_node"] = json::Value(ranks_per_node);
   obj["gpu_aware_mpi"] = json::Value(gpu_aware_mpi);
   obj["aot"] = json::Value(aot);
@@ -111,6 +115,9 @@ void Settings::validate() const {
   GS_REQUIRE(ranks_per_node > 0, "ranks_per_node must be positive");
   GS_REQUIRE(threads >= 0, "threads must be non-negative (0 = auto)");
   GS_REQUIRE(checkpoint_freq > 0, "checkpoint_freq must be positive");
+  GS_REQUIRE(io_retries >= 1, "io_retries must be at least 1 (1 = no retry)");
+  GS_REQUIRE(io_retry_backoff_ms >= 0.0,
+             "io_retry_backoff_ms must be non-negative");
   GS_REQUIRE(!output.empty(), "output name must not be empty");
   GS_REQUIRE(precision == "double" || precision == "single",
              "precision must be \"double\" or \"single\", got \""

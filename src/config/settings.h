@@ -64,6 +64,14 @@ struct Settings {
   bool restart = false;
   std::string restart_input = "ckpt.bp";
 
+  // -- fault tolerance --------------------------------------------------
+  /// Bounded retries for transient I/O failures in the BP writer/restart
+  /// paths (total attempts; 1 = no retry). Retries are rank-local and
+  /// never mask a crash — exhausted retries surface as gs::IoError.
+  std::int64_t io_retries = 3;
+  /// Backoff before the first retry, in milliseconds (doubles per retry).
+  double io_retry_backoff_ms = 1.0;
+
   /// Output storage precision: "double" (default) or "single" — the
   /// settings-files.json `precision` knob. Computation is always double;
   /// single-precision storage halves the output volume.

@@ -2,10 +2,23 @@
 
 #include <filesystem>
 
+#include "bp/manifest.h"
 #include "bp/reader.h"
 #include "common/log.h"
+#include "fault/fault.h"
 
 namespace gs::core {
+
+namespace {
+
+fault::RetryPolicy retry_policy_of(const Settings& s) {
+  fault::RetryPolicy policy;
+  policy.attempts = static_cast<int>(s.io_retries);
+  policy.backoff_seconds = s.io_retry_backoff_ms * 1e-3;
+  return policy;
+}
+
+}  // namespace
 
 Workflow::Workflow(const Settings& settings, mpi::Comm& comm,
                    prof::Profiler* profiler)
@@ -62,27 +75,63 @@ bp::StepIoStats Workflow::write_output(bp::Writer& writer,
 }
 
 void Workflow::write_checkpoint() {
+  // The checkpoint rides the crash-consistent commit path: a crash at any
+  // instruction leaves either the previous checkpoint or the new one —
+  // restart never sees a torn dataset.
   bp::Writer ckpt(settings_.checkpoint_output, comm_,
                   static_cast<int>(settings_.ranks_per_node), profiler_);
+  ckpt.set_retry_policy(retry_policy_of(settings_));
   add_provenance(ckpt);
+  // The noise RNG is counter-based — a pure function of (seed, step) — so
+  // (seed, step, U, V) IS the complete simulation state. Record the seed
+  // so restart can refuse a checkpoint from a different stream.
+  ckpt.define_attribute("seed",
+                        json::Value(static_cast<std::int64_t>(settings_.seed)));
   write_output(ckpt, /*force_double=*/true);
   ckpt.close();
 }
 
 std::optional<std::int64_t> Workflow::try_restart() {
   namespace fs = std::filesystem;
+  // Heal an interrupted checkpoint commit before looking for the index:
+  // a committed-but-unpromoted staging dir must roll forward first.
+  if (comm_.rank() == 0) bp::recover(settings_.restart_input);
+  comm_.barrier();
   const fs::path idx = fs::path(settings_.restart_input) / bp::kIndexFile;
   if (!fs::exists(idx)) return std::nullopt;
 
   // All ranks read their own sub-box from the last step of the checkpoint.
-  bp::Reader reader(settings_.restart_input);
-  const std::int64_t last = reader.n_steps() - 1;
-  GS_REQUIRE(last >= 0, "checkpoint has no steps");
-  const std::int64_t step = reader.read_scalar("step", last);
-
+  // The reads are rank-local, so the bounded retry cannot deadlock the
+  // thread-MPI substrate.
+  std::int64_t step = 0;
   const Box3 box = sim_.local_box();
-  sim_.restore(reader.read("U", last, box), reader.read("V", last, box),
-               step);
+  std::vector<double> u, v;
+  fault::with_retries(
+      retry_policy_of(settings_), "restart read " + settings_.restart_input,
+      [&] {
+        bp::Reader reader(settings_.restart_input);
+        const std::int64_t last = reader.n_steps() - 1;
+        GS_REQUIRE(last >= 0, "checkpoint has no steps");
+        if (reader.has_variable("step")) {
+          step = reader.read_scalar("step", last);
+        } else {
+          GS_THROW(IoError, "checkpoint " << settings_.restart_input
+                                          << " has no step scalar");
+        }
+        u = reader.read("U", last, box);
+        v = reader.read("V", last, box);
+        // Refuse a checkpoint from a different noise stream: with a
+        // counter-based RNG the seed is the rest of the RNG state.
+        if (reader.index().attributes.count("seed")) {
+          const auto ckpt_seed = static_cast<std::uint64_t>(
+              reader.attribute("seed").as_int());
+          GS_REQUIRE(ckpt_seed == settings_.seed,
+                     "checkpoint seed " << ckpt_seed
+                                        << " does not match settings seed "
+                                        << settings_.seed);
+        }
+      });
+  sim_.restore(std::move(u), std::move(v), step);
   comm_.barrier();
   return step;
 }
@@ -100,10 +149,46 @@ RunReport Workflow::run() {
     }
   }
 
+  // A resumed run must not truncate output the crashed run already
+  // committed (e.g. a kill during the final commit, rolled forward by
+  // recovery): append to a committed output dataset and skip the output
+  // steps it already holds, so resume never loses or duplicates a step.
+  namespace fs = std::filesystem;
+  bp::Mode output_mode = bp::Mode::write;
+  std::int64_t last_output_step = -1;
+  if (report.restarted) {
+    if (comm_.rank() == 0) bp::recover(settings_.output);
+    comm_.barrier();
+    if (fs::exists(fs::path(settings_.output) / bp::kIndexFile)) {
+      output_mode = bp::Mode::append;
+      const bp::Reader out(settings_.output);
+      if (out.n_steps() > 0 && out.has_variable("step")) {
+        last_output_step = out.read_scalar("step", out.n_steps() - 1);
+      }
+    }
+  }
+
   bp::Writer writer(settings_.output, comm_,
-                    static_cast<int>(settings_.ranks_per_node), profiler_);
+                    static_cast<int>(settings_.ranks_per_node), profiler_,
+                    output_mode);
+  writer.set_retry_policy(retry_policy_of(settings_));
   writer.set_compression(settings_.compress);
   add_provenance(writer);
+
+  // If the restored step is itself an output point the output dataset
+  // does not hold (the crashed run staged it but never committed), emit
+  // it from the restored state — without this, a job killed during its
+  // final commit resumes at step == steps and would lose the last output.
+  if (report.restarted) {
+    const std::int64_t s0 = sim_.current_step();
+    if ((s0 % settings_.plotgap == 0 || s0 == settings_.steps) &&
+        s0 > last_output_step) {
+      const auto stats = write_output(writer);
+      report.io_seconds += stats.seconds;
+      report.io_bytes_local += stats.local_bytes;
+      ++report.outputs_written;
+    }
+  }
 
   for (std::int64_t s = sim_.current_step(); s < settings_.steps; /*in step*/) {
     const StepTiming t = sim_.step();
@@ -113,7 +198,8 @@ RunReport Workflow::run() {
     ++report.steps_run;
     s = sim_.current_step();
 
-    if (s % settings_.plotgap == 0 || s == settings_.steps) {
+    if ((s % settings_.plotgap == 0 || s == settings_.steps) &&
+        s > last_output_step) {
       const auto stats = write_output(writer);
       report.io_seconds += stats.seconds;
       report.io_bytes_local += stats.local_bytes;

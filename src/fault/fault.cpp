@@ -1,0 +1,183 @@
+#include "fault/fault.h"
+
+#include <chrono>
+#include <thread>
+
+#include "common/log.h"
+#include "common/rng.h"
+
+namespace gs::fault {
+
+const char* to_string(Kind kind) {
+  switch (kind) {
+    case Kind::fail: return "fail";
+    case Kind::delay: return "delay";
+    case Kind::corrupt: return "corrupt";
+    case Kind::kill: return "kill";
+  }
+  return "?";
+}
+
+// ------------------------------------------------------------------- Plan
+
+void Plan::arm(const std::string& site, std::uint64_t op,
+               Injection injection) {
+  armed_[site][op] = injection;
+}
+
+void Plan::fail_at(const std::string& site, std::uint64_t op) {
+  arm(site, op, Injection{Kind::fail});
+}
+
+void Plan::kill_at(const std::string& site, std::uint64_t op) {
+  arm(site, op, Injection{Kind::kill});
+}
+
+void Plan::delay_at(const std::string& site, std::uint64_t op,
+                    double seconds) {
+  Injection inj;
+  inj.kind = Kind::delay;
+  inj.delay_seconds = seconds;
+  arm(site, op, inj);
+}
+
+void Plan::corrupt_at(const std::string& site, std::uint64_t op,
+                      std::uint64_t byte_offset, std::uint8_t xor_mask) {
+  Injection inj;
+  inj.kind = Kind::corrupt;
+  inj.corrupt_offset = byte_offset;
+  inj.corrupt_xor = xor_mask;
+  arm(site, op, inj);
+}
+
+void Plan::arm_random(const std::string& site, double prob, Kind kind,
+                      std::uint64_t seed, std::uint64_t horizon,
+                      std::uint64_t budget) {
+  // Stream seeded by (seed, site) so two sites never share op samples.
+  std::uint64_t h = seed;
+  for (const char c : site) {
+    h = (h ^ static_cast<std::uint64_t>(c)) * 0x100000001b3ULL;
+  }
+  Rng rng(h);
+  std::uint64_t armed = 0;
+  for (std::uint64_t op = 0; op < horizon && armed < budget; ++op) {
+    if (rng.uniform01() < prob) {
+      arm(site, op, Injection{kind});
+      ++armed;
+    }
+  }
+}
+
+std::size_t Plan::size() const {
+  std::size_t n = 0;
+  for (const auto& [site, ops] : armed_) n += ops.size();
+  return n;
+}
+
+// --------------------------------------------------------------- Injector
+
+Injector& Injector::instance() {
+  static Injector injector;
+  return injector;
+}
+
+void Injector::install(Plan plan) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  plan_ = std::move(plan);
+  stats_.clear();
+  injected_total_ = 0;
+  enabled_.store(true, std::memory_order_release);
+}
+
+void Injector::clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  enabled_.store(false, std::memory_order_release);
+  plan_ = Plan{};
+  stats_.clear();
+  injected_total_ = 0;
+}
+
+bool Injector::active() const {
+  return enabled_.load(std::memory_order_acquire);
+}
+
+std::optional<Injection> Injector::consume(std::string_view site) {
+  if (!enabled_.load(std::memory_order_acquire)) return std::nullopt;
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto& stats = stats_[std::string(site)];
+  const std::uint64_t op = stats.ops++;
+  const auto site_it = plan_.armed_.find(std::string(site));
+  if (site_it == plan_.armed_.end()) return std::nullopt;
+  const auto op_it = site_it->second.find(op);
+  if (op_it == site_it->second.end()) return std::nullopt;
+  ++stats.injected;
+  ++injected_total_;
+  GS_WARN("fault: injecting " << to_string(op_it->second.kind) << " at "
+                              << site << " op " << op);
+  return op_it->second;
+}
+
+void Injector::check(std::string_view site, std::span<std::byte> data) {
+  const auto injection = consume(site);
+  if (!injection.has_value()) return;
+  act(site, *injection, data);
+}
+
+void Injector::act(std::string_view site, const Injection& injection,
+                   std::span<std::byte> data) {
+  switch (injection.kind) {
+    case Kind::fail:
+      GS_THROW(InjectedFault,
+               "injected I/O failure at " << site << " op "
+                                          << ops(std::string(site)) - 1);
+    case Kind::kill:
+      throw Kill("injected kill at " + std::string(site));
+    case Kind::delay:
+      detail::sleep_seconds(injection.delay_seconds);
+      return;
+    case Kind::corrupt:
+      if (!data.empty()) {
+        auto& byte =
+            data[static_cast<std::size_t>(injection.corrupt_offset) %
+                 data.size()];
+        byte ^= static_cast<std::byte>(injection.corrupt_xor);
+      }
+      return;
+  }
+}
+
+std::uint64_t Injector::ops(const std::string& site) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = stats_.find(site);
+  return it == stats_.end() ? 0 : it->second.ops;
+}
+
+std::uint64_t Injector::injected() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return injected_total_;
+}
+
+std::map<std::string, SiteStats> Injector::stats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return {stats_.begin(), stats_.end()};
+}
+
+// ------------------------------------------------------------------ retry
+
+namespace detail {
+
+void log_retry(std::string_view what, int attempt, int attempts,
+               double backoff_seconds, const std::string& error) {
+  GS_WARN("retry " << attempt << "/" << attempts - 1 << " of " << what
+                   << " after " << backoff_seconds << "s backoff: "
+                   << error);
+}
+
+void sleep_seconds(double seconds) {
+  if (seconds <= 0.0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
+
+}  // namespace detail
+
+}  // namespace gs::fault

@@ -1,0 +1,200 @@
+// gs::fault — deterministic fault injection for the I/O and service
+// layers (the robustness substrate of the end-to-end workflow).
+//
+// Frontier-scale runs treat node loss, Lustre hiccups, and torn parallel
+// writes as routine operating conditions. To test that the reproduction
+// survives them, every filesystem-touching hot path carries a named hook
+// point (a "site"): each call to a site bumps a per-site operation
+// counter, and a Plan arms injections keyed by (site, op index) — so a
+// failing run is exactly replayable: the same plan against the same
+// workload injects at the same operation every time.
+//
+//   fault::Plan plan;
+//   plan.kill_at("bp.writer.promote", 0);       // die mid-commit
+//   plan.fail_at("bp.writer.write_block/data.0", 2);  // transient IoError
+//   fault::ScopedPlan scoped(plan);             // install; clears on exit
+//   ... run the workload ...
+//
+// Sites are deterministic as long as each site is driven by one thread;
+// the built-in sites embed the subfile name (one aggregator per subfile)
+// so parallel writers keep replayability. Injection kinds:
+//   * fail    — throw fault::InjectedFault (an IoError): transient error
+//               that bounded-retry paths are expected to absorb;
+//   * delay   — sleep (or, for modeled I/O, report extra seconds);
+//   * corrupt — XOR one byte of the payload passing through the site;
+//   * kill    — throw fault::Kill, which is NOT a gs::Error: it models
+//               the process dying at that instruction, so no retry loop
+//               may catch it. Harnesses catch it at top level and then
+//               exercise recovery.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "common/error.h"
+
+namespace gs::fault {
+
+enum class Kind { fail, delay, corrupt, kill };
+
+const char* to_string(Kind kind);
+
+/// One armed injection at a (site, op) coordinate.
+struct Injection {
+  Kind kind = Kind::fail;
+  double delay_seconds = 0.0;        ///< kind == delay
+  std::uint8_t corrupt_xor = 0x40;   ///< kind == corrupt: byte XORed in
+  std::uint64_t corrupt_offset = 0;  ///< byte offset into the payload
+};
+
+/// Transient injected I/O failure. Derives IoError so retry/salvage paths
+/// treat it exactly like a real filesystem error.
+class InjectedFault : public IoError {
+ public:
+  explicit InjectedFault(const std::string& what) : IoError(what) {}
+};
+
+/// Simulated process death. Deliberately NOT a gs::Error: code that
+/// retries or swallows recoverable errors must never absorb a kill — it
+/// propagates to the harness like a crash propagates to the scheduler.
+class Kill : public std::runtime_error {
+ public:
+  explicit Kill(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A deterministic injection schedule: (site name, op counter) -> what to
+/// inject. Plans are value types; installing one into the Injector resets
+/// all op counters, so the schedule is replayable.
+class Plan {
+ public:
+  void arm(const std::string& site, std::uint64_t op, Injection injection);
+
+  void fail_at(const std::string& site, std::uint64_t op);
+  void kill_at(const std::string& site, std::uint64_t op);
+  void delay_at(const std::string& site, std::uint64_t op, double seconds);
+  void corrupt_at(const std::string& site, std::uint64_t op,
+                  std::uint64_t byte_offset = 0,
+                  std::uint8_t xor_mask = 0x40);
+
+  /// Seeded random arming: each op index in [0, horizon) of `site` is
+  /// armed with probability `prob`, capped at `budget` injections total.
+  /// Deterministic in (seed, site): the sampled op set is a pure function
+  /// of the arguments, independent of installation or execution order.
+  void arm_random(const std::string& site, double prob, Kind kind,
+                  std::uint64_t seed, std::uint64_t horizon,
+                  std::uint64_t budget);
+
+  bool empty() const { return armed_.empty(); }
+  std::size_t size() const;
+
+ private:
+  friend class Injector;
+  std::map<std::string, std::map<std::uint64_t, Injection>> armed_;
+};
+
+struct SiteStats {
+  std::uint64_t ops = 0;       ///< times the site was reached
+  std::uint64_t injected = 0;  ///< injections that fired at the site
+};
+
+/// Process-global injection engine. Disabled (near-zero overhead: one
+/// relaxed atomic load per hook) until a Plan is installed.
+class Injector {
+ public:
+  static Injector& instance();
+
+  /// Installs `plan` and resets every op counter. Counters advance only
+  /// while a plan is installed, so replays see identical indices.
+  void install(Plan plan);
+
+  /// Uninstalls the plan; hooks return to the fast path.
+  void clear();
+
+  bool active() const;
+
+  /// Low-level hook: bumps `site`'s op counter and returns the armed
+  /// injection for this op, if any, without acting on it. Callers that
+  /// need custom semantics (e.g. the Lustre model folding a delay into
+  /// simulated seconds) interpret the Injection themselves.
+  std::optional<Injection> consume(std::string_view site);
+
+  /// Standard hook: consume() + act. fail -> throws InjectedFault;
+  /// kill -> throws Kill; delay -> sleeps; corrupt -> XORs
+  /// data[corrupt_offset % data.size()] (no-op when `data` is empty).
+  void check(std::string_view site, std::span<std::byte> data = {});
+
+  /// Applies an already-consumed injection, attributing it to `site` in
+  /// error messages. For callers that consume() and handle some kinds
+  /// specially (e.g. corrupting a copy of a const payload).
+  void act(std::string_view site, const Injection& injection,
+           std::span<std::byte> data = {});
+
+  std::uint64_t ops(const std::string& site) const;
+  std::uint64_t injected() const;
+  std::map<std::string, SiteStats> stats() const;
+
+ private:
+  Injector() = default;
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  Plan plan_;
+  std::map<std::string, SiteStats, std::less<>> stats_;
+  std::uint64_t injected_total_ = 0;
+};
+
+/// RAII plan installation for tests and benches: installs on
+/// construction, clears on destruction (also when the workload throws).
+class ScopedPlan {
+ public:
+  explicit ScopedPlan(Plan plan) { Injector::instance().install(std::move(plan)); }
+  ~ScopedPlan() { Injector::instance().clear(); }
+  ScopedPlan(const ScopedPlan&) = delete;
+  ScopedPlan& operator=(const ScopedPlan&) = delete;
+};
+
+// ---- bounded retry with exponential backoff -----------------------------
+
+struct RetryPolicy {
+  int attempts = 3;               ///< total tries (1 = no retry)
+  double backoff_seconds = 1e-3;  ///< sleep before the first retry
+  double multiplier = 2.0;        ///< backoff growth per retry
+};
+
+namespace detail {
+void log_retry(std::string_view what, int attempt, int attempts,
+               double backoff_seconds, const std::string& error);
+void sleep_seconds(double seconds);
+}  // namespace detail
+
+/// Runs `fn`, absorbing transient gs::IoError failures: up to
+/// `policy.attempts` tries with exponential backoff between them, logging
+/// each retry. The final failure is rethrown. fault::Kill and every
+/// non-IoError exception pass through untouched (a crash is not a
+/// transient). The callable must be safe to re-run after a failed
+/// attempt (callers roll partial effects back first).
+template <typename Fn>
+void with_retries(const RetryPolicy& policy, std::string_view what, Fn&& fn) {
+  const int attempts = policy.attempts < 1 ? 1 : policy.attempts;
+  double backoff = policy.backoff_seconds;
+  for (int attempt = 1;; ++attempt) {
+    try {
+      fn();
+      return;
+    } catch (const IoError& e) {
+      if (attempt >= attempts) throw;
+      detail::log_retry(what, attempt, attempts, backoff, e.what());
+      detail::sleep_seconds(backoff);
+      backoff *= policy.multiplier;
+    }
+  }
+}
+
+}  // namespace gs::fault

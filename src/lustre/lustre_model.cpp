@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "fault/fault.h"
 
 namespace gs::lustre {
 
@@ -44,6 +45,16 @@ double LustreModel::mean_write_time(std::int64_t n_nodes,
 
 LustreModel::WriteSample LustreModel::simulate_write(
     std::int64_t n_nodes, std::uint64_t bytes_per_node, Rng& rng) const {
+  // Fault hook: fail/kill throw as usual; an injected delay is folded
+  // into the modeled stripe time instead of sleeping the caller.
+  double injected_delay = 0.0;
+  if (const auto inj = fault::Injector::instance().consume("lustre.write")) {
+    if (inj->kind == fault::Kind::delay) {
+      injected_delay = inj->delay_seconds;
+    } else {
+      fault::Injector::instance().act("lustre.write", *inj);
+    }
+  }
   const double mean = mean_write_time(n_nodes, bytes_per_node);
   const double sigma = params_.node_jitter_sigma;
   const double mu = -0.5 * sigma * sigma;
@@ -56,6 +67,7 @@ LustreModel::WriteSample LustreModel::simulate_write(
     s.fastest_node = std::min(s.fastest_node, t);
     s.slowest_node = std::max(s.slowest_node, t);
   }
+  s.slowest_node += injected_delay;  // a hiccup on one OST path
   s.seconds = s.slowest_node;  // collective completes with the last node
   const double total_bytes =
       static_cast<double>(bytes_per_node) * static_cast<double>(n_nodes);

@@ -51,8 +51,18 @@ PayloadResult run_modeled(const Job& job, std::uint64_t seed) {
 
 PayloadResult run_functional(const Job& job, std::uint64_t seed) {
   (void)seed;  // the workflow's own noise is seeded from its Settings
-  const Settings& settings = job.spec.payload.settings;
+  Settings settings = job.spec.payload.settings;
   const int nranks = static_cast<int>(job.ranks());
+
+  // Retry of a checkpointing job resumes from its own checkpoint instead
+  // of recomputing from step 0 (the scheduler bumps job.attempts before
+  // running the payload, so attempt 1 is the first try). The restored
+  // state is bitwise-identical to the state at checkpoint time, so the
+  // resumed trajectory equals the uninterrupted one.
+  if (job.attempts > 1 && settings.checkpoint) {
+    settings.restart = true;
+    settings.restart_input = settings.checkpoint_output;
+  }
 
   struct RankReport {
     core::RunReport report;
@@ -82,6 +92,11 @@ PayloadResult run_functional(const Job& job, std::uint64_t seed) {
   for (const auto& rr : reports) {
     device = std::max(device, rr.report.device_seconds);
     bytes_total += rr.report.io_bytes_local;
+    r.steps_run = std::max(r.steps_run, rr.report.steps_run);
+    if (rr.report.restarted) {
+      r.resumed = true;
+      r.first_step = rr.report.first_step;
+    }
   }
   r.io_bytes = bytes_total;
   r.duration = device;

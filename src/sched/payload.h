@@ -22,6 +22,11 @@ struct PayloadResult {
   std::string error;      ///< failure detail when !ok
   double duration = 0.0;  ///< node wall-clock seconds of the attempt
   std::uint64_t io_bytes = 0;  ///< total bytes written to storage
+  /// Functional retries: true when this attempt resumed from the job's
+  /// checkpoint instead of starting over.
+  bool resumed = false;
+  std::int64_t first_step = 0;  ///< 0, or the checkpoint step resumed from
+  std::int64_t steps_run = 0;   ///< simulation steps this attempt executed
 };
 
 /// Resolves the runtime of one attempt. Deterministic for a given

@@ -171,6 +171,12 @@ struct Response {
   Status status;
   ResponseBody body;
 
+  /// Salvage flag: the answer is ok() but one or more corrupted/unreadable
+  /// blocks were skipped (their cells read as zeros). A partial answer
+  /// beats failing the whole request when one OST ate a block.
+  bool degraded = false;
+  std::size_t bad_blocks = 0;  ///< damaged blocks skipped while answering
+
   // Request tracing: where the time went and what the cache did.
   double queue_seconds = 0.0;    ///< admission queue wait
   double exec_seconds = 0.0;     ///< execution on the worker

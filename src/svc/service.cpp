@@ -6,6 +6,8 @@
 
 #include "common/error.h"
 #include "common/format.h"
+#include "common/log.h"
+#include "fault/fault.h"
 
 namespace gs::svc {
 
@@ -91,17 +93,31 @@ std::future<Response> Service::submit(Request request) {
 
   auto future = job.promise.get_future();
   StatusCode reject = StatusCode::ok;
+  std::string reject_message;
+  // Fault hook: an injected admission failure answers internal_error
+  // instead of crashing the service (delay stalls admission; kill — a
+  // simulated service crash — propagates to the caller).
+  try {
+    fault::Injector::instance().check("svc.admission");
+  } catch (const IoError& e) {
+    reject = StatusCode::internal_error;
+    reject_message = e.what();
+  }
   {
     const std::lock_guard<std::mutex> lock(queue_mu_);
     {
       const std::lock_guard<std::mutex> mlock(metrics_mu_);
       ++submitted_;
     }
-    if (stopping_) {
+    if (reject != StatusCode::ok) {
+      // fall through to the rejection path below
+    } else if (stopping_) {
       reject = StatusCode::shutting_down;
+      reject_message = "service is shutting down";
     } else if (config_.queue_capacity > 0 &&
                queue_.size() >= config_.queue_capacity) {
       reject = StatusCode::server_busy;
+      reject_message = "admission queue full";
     } else {
       queue_.push_back(std::move(job));
       max_queue_depth_ = std::max(max_queue_depth_, queue_.size());
@@ -118,9 +134,7 @@ std::future<Response> Service::submit(Request request) {
   response.id = job.request.id;
   response.verb = verb_of(job.request.body);
   response.status.code = reject;
-  response.status.message = reject == StatusCode::server_busy
-                                ? "admission queue full"
-                                : "service is shutting down";
+  response.status.message = std::move(reject_message);
   response.latency_seconds =
       std::chrono::duration<double>(SteadyClock::now() - now).count();
   count_outcome(response.verb, reject, 0.0);
@@ -208,6 +222,10 @@ void Service::process(Job job) {
 
   count_outcome(response.verb, response.status.code,
                 response.latency_seconds);
+  if (response.degraded) {
+    const std::lock_guard<std::mutex> lock(metrics_mu_);
+    ++degraded_;
+  }
   job.promise.set_value(std::move(response));
 }
 
@@ -289,13 +307,25 @@ std::vector<double> Service::read_selection(const std::string& variable,
     if (overlap.empty()) continue;
     BlockData data;
     bool hit = false;
-    if (config_.cache_enabled) {
-      data = cache_->get_or_load(
-          BlockKey{path_, variable, step, static_cast<std::int32_t>(b)},
-          [&] { return reader_.read_block(variable, step, b); }, &hit);
-    } else {
-      data = std::make_shared<const std::vector<double>>(
-          reader_.read_block(variable, step, b));
+    try {
+      if (config_.cache_enabled) {
+        data = cache_->get_or_load(
+            BlockKey{path_, variable, step, static_cast<std::int32_t>(b)},
+            [&] { return reader_.read_block(variable, step, b); }, &hit);
+      } else {
+        data = std::make_shared<const std::vector<double>>(
+            reader_.read_block(variable, step, b));
+      }
+    } catch (const IoError& e) {
+      // Salvage: a damaged block degrades the answer (its cells stay
+      // zero) instead of failing the whole request. fault::Kill is not
+      // an IoError and still crashes the request.
+      response.degraded = true;
+      ++response.bad_blocks;
+      GS_WARN("svc: skipping damaged block " << b << " of " << variable
+                                             << " step " << step << ": "
+                                             << e.what());
+      continue;
     }
     if (hit) {
       ++response.cache_hits;
@@ -327,6 +357,7 @@ MetricsSnapshot Service::metrics() const {
   {
     const std::lock_guard<std::mutex> lock(metrics_mu_);
     m.submitted = submitted_;
+    m.degraded = degraded_;
     m.by_verb_outcome = by_verb_outcome_;
     m.latency_count = ok_latencies_.count();
     if (!ok_latencies_.empty()) {
@@ -363,6 +394,7 @@ json::Value MetricsSnapshot::to_json() const {
   o["deadline_exceeded"] = json::Value(deadline_exceeded);
   o["bad_request"] = json::Value(bad_request);
   o["internal_error"] = json::Value(internal_error);
+  o["degraded"] = json::Value(degraded);
 
   json::Object verbs;
   for (int v = 0; v < kNumVerbs; ++v) {
@@ -422,6 +454,7 @@ std::string MetricsSnapshot::report() const {
   std::ostringstream oss;
   oss << t.str();
   oss << "submitted " << submitted << ", accounted " << accounted()
+      << ", degraded " << degraded
       << ", queue depth " << queue_depth << " (max " << max_queue_depth
       << ", capacity "
       << (queue_capacity == 0 ? std::string("unbounded")

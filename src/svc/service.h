@@ -75,6 +75,8 @@ struct MetricsSnapshot {
   std::uint64_t deadline_exceeded = 0;
   std::uint64_t bad_request = 0;
   std::uint64_t internal_error = 0;
+  /// ok() responses that skipped damaged blocks (Response::degraded).
+  std::uint64_t degraded = 0;
 
   /// Requests by verb and final status code.
   std::array<std::array<std::uint64_t, kNumStatusCodes>, kNumVerbs>
@@ -177,6 +179,7 @@ class Service {
   // order where both are held is queue_mu_ then metrics_mu_).
   mutable std::mutex metrics_mu_;
   std::uint64_t submitted_ = 0;
+  std::uint64_t degraded_ = 0;
   std::array<std::array<std::uint64_t, kNumStatusCodes>, kNumVerbs>
       by_verb_outcome_{};
   Samples ok_latencies_;

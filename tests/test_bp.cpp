@@ -9,6 +9,7 @@
 #include <numeric>
 #include <thread>
 
+#include "bp/manifest.h"
 #include "bp/reader.h"
 #include "bp/writer.h"
 #include "grid/decomp.h"
@@ -416,6 +417,181 @@ TEST(Bp, MetadataOnlyQueriesSurviveCorruptData) {
   Reader r(path);
   EXPECT_EQ(r.info("U").shape, (Index3{8, 8, 8}));
   EXPECT_NO_THROW(gs::bp::dump(r));
+  fs::remove_all(path);
+}
+
+// ---- corruption matrix ---------------------------------------------------
+// Physical damage of every flavor the fault model cares about: truncated
+// subfiles, flipped bytes, a missing index, and interrupted commits.
+
+TEST(BpCorruption, CommittedDatasetCarriesValidManifest) {
+  const std::string path = temp_dataset("manifest_ok");
+  write_dataset(path, 2, 8, 1, 1);
+  EXPECT_TRUE(fs::exists(fs::path(path) / gs::bp::kManifestFile));
+  EXPECT_EQ(gs::bp::validate_against_manifest(path), "");
+  fs::remove_all(path);
+}
+
+TEST(BpCorruption, TruncatedSubfileSalvageReportsShortRead) {
+  const std::string path = temp_dataset("trunc_salvage");
+  write_dataset(path, 2, 8, 1, 1);  // one U block per subfile
+  fs::resize_file(fs::path(path) / "data.1", 64);
+
+  Reader r(path);
+  // The strict read path still refuses the damage...
+  EXPECT_THROW(r.read_full("U", 0), gs::IoError);
+
+  // ...while the salvage path reads around it: the surviving block's
+  // cells are exact, the truncated block's cells are zeros.
+  gs::bp::SalvageReport rep;
+  const auto full = r.read_full_salvage("U", 0, rep);
+  EXPECT_EQ(rep.blocks_checked, 2u);
+  ASSERT_EQ(rep.bad.size(), 1u);
+  EXPECT_EQ(rep.bad[0].reason, "short_read");
+  EXPECT_EQ(rep.bad[0].subfile, "data.1");
+  EXPECT_EQ(rep.bad[0].variable, "U");
+
+  const Index3 shape{8, 8, 8};
+  const Decomposition d = Decomposition::cube(8, 2);
+  const Box3 good = d.local_box(0);  // rank 0 -> data.0 (rpn 1)
+  const Box3 lost = d.local_box(1);  // rank 1 -> data.1
+  for (std::int64_t k = good.start.k; k < good.end().k; ++k) {
+    for (std::int64_t j = good.start.j; j < good.end().j; ++j) {
+      for (std::int64_t i = good.start.i; i < good.end().i; ++i) {
+        const auto lin =
+            static_cast<std::size_t>(gs::linear_index({i, j, k}, shape));
+        ASSERT_DOUBLE_EQ(full[lin], cell_value({i, j, k}, shape, 0));
+      }
+    }
+  }
+  for (std::int64_t k = lost.start.k; k < lost.end().k; ++k) {
+    for (std::int64_t j = lost.start.j; j < lost.end().j; ++j) {
+      for (std::int64_t i = lost.start.i; i < lost.end().i; ++i) {
+        const auto lin =
+            static_cast<std::size_t>(gs::linear_index({i, j, k}, shape));
+        ASSERT_DOUBLE_EQ(full[lin], 0.0);
+      }
+    }
+  }
+  fs::remove_all(path);
+}
+
+TEST(BpCorruption, FlippedByteReportsExactlyThatBlock) {
+  const std::string path = temp_dataset("flip_salvage");
+  write_dataset(path, 4, 8, 2, 2, /*with_v=*/true);
+
+  // Flip one byte inside a specific U block of step 1 living in data.0.
+  std::size_t victim_index = 0;
+  std::uint64_t victim_offset = 0;
+  {
+    Reader r0(path);
+    const auto blocks = r0.blocks("U", 1);
+    bool found = false;
+    for (std::size_t b = 0; b < blocks.size(); ++b) {
+      if (blocks[b].subfile == 0) {
+        victim_index = b;
+        victim_offset = blocks[b].offset;
+        found = true;
+        break;
+      }
+    }
+    ASSERT_TRUE(found);
+  }
+  {
+    std::fstream f(fs::path(path) / "data.0",
+                   std::ios::binary | std::ios::in | std::ios::out);
+    ASSERT_TRUE(f.good());
+    f.seekg(static_cast<std::streamoff>(victim_offset) + 16);
+    char c;
+    f.read(&c, 1);
+    c = static_cast<char>(c ^ 0x01);
+    f.seekp(static_cast<std::streamoff>(victim_offset) + 16);
+    f.write(&c, 1);
+  }
+
+  // verify() CRC-checks every block and reports exactly the injured one.
+  Reader r(path);
+  const auto rep = r.verify();
+  // 4 ranks x 2 vars x 2 steps = 16 array blocks.
+  EXPECT_EQ(rep.blocks_checked, 16u);
+  ASSERT_EQ(rep.bad.size(), 1u);
+  EXPECT_EQ(rep.bad[0].reason, "crc_mismatch");
+  EXPECT_EQ(rep.bad[0].variable, "U");
+  EXPECT_EQ(rep.bad[0].step, 1);
+  EXPECT_EQ(rep.bad[0].block_index, victim_index);
+  EXPECT_EQ(rep.bad[0].subfile, "data.0");
+  EXPECT_EQ(rep.bad[0].offset, victim_offset);
+  EXPECT_FALSE(rep.clean());
+  EXPECT_FALSE(rep.report().empty());
+
+  // try_read_block agrees, and the undamaged twin variable reads clean.
+  const auto bad = r.try_read_block("U", 1, victim_index);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.reason, "crc_mismatch");
+  gs::bp::SalvageReport vrep;
+  r.read_full_salvage("V", 1, vrep);
+  EXPECT_TRUE(vrep.clean());
+  fs::remove_all(path);
+}
+
+TEST(BpCorruption, MissingIndexFailsToOpen) {
+  const std::string path = temp_dataset("no_idx");
+  write_dataset(path, 2, 8, 1, 1);
+  fs::remove(fs::path(path) / gs::bp::kIndexFile);
+  EXPECT_THROW(Reader r(path), gs::IoError);
+  fs::remove_all(path);
+}
+
+TEST(BpCorruption, StaleStagingWithoutManifestRollsBack) {
+  const std::string path = temp_dataset("stale_rb");
+  write_dataset(path, 2, 8, 1, 1);
+  // Fake a writer that died mid-write: a staging dir with a torn subfile
+  // and no manifest.
+  const std::string staging = gs::bp::staging_path(path);
+  fs::create_directories(staging);
+  {
+    std::ofstream f(fs::path(staging) / "data.0", std::ios::binary);
+    f << "torn partial write";
+  }
+  const auto res = gs::bp::recover(path);
+  EXPECT_EQ(res.action, gs::bp::RecoverAction::rolled_back);
+  EXPECT_FALSE(fs::exists(staging));
+  // The committed dataset is untouched and fully readable.
+  Reader r(path);
+  EXPECT_EQ(r.n_steps(), 1);
+  const auto full = r.read_full("U", 0);
+  EXPECT_DOUBLE_EQ(full[5], cell_value({5, 0, 0}, {8, 8, 8}, 0));
+  fs::remove_all(path);
+}
+
+TEST(BpCorruption, CommittedStagingRollsForward) {
+  const std::string path = temp_dataset("stale_rf");
+  write_dataset(path, 2, 8, 1, 1);  // old content: 1 step
+  // Fake a writer that died between the manifest rename (the commit
+  // point) and the final promotion: a fully staged dataset — complete
+  // subfiles, index, and valid manifest — sitting in <path>.staging.
+  const std::string staging = gs::bp::staging_path(path);
+  fs::remove_all(staging);
+  write_dataset(staging, 2, 8, 2, 1);  // new content: 2 steps
+  ASSERT_EQ(gs::bp::validate_against_manifest(staging), "");
+
+  const auto res = gs::bp::recover(path);
+  EXPECT_EQ(res.action, gs::bp::RecoverAction::rolled_forward);
+  EXPECT_FALSE(fs::exists(staging));
+  Reader r(path);
+  EXPECT_EQ(r.n_steps(), 2);  // the committed new content won
+  const auto full = r.read_full("U", 1);
+  EXPECT_DOUBLE_EQ(full[5], cell_value({5, 0, 0}, {8, 8, 8}, 1));
+  fs::remove_all(path);
+}
+
+TEST(BpCorruption, RecoverIsIdempotentAndQuietWhenClean) {
+  const std::string path = temp_dataset("recover_clean");
+  write_dataset(path, 2, 8, 1, 1);
+  EXPECT_EQ(gs::bp::recover(path).action, gs::bp::RecoverAction::none);
+  EXPECT_EQ(gs::bp::recover(path).action, gs::bp::RecoverAction::none);
+  Reader r(path);
+  EXPECT_EQ(r.n_steps(), 1);
   fs::remove_all(path);
 }
 

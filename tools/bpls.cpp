@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "analysis/analysis.h"
+#include "bp/manifest.h"
 #include "bp/reader.h"
 #include "common/format.h"
 #include "config/json.h"
@@ -37,8 +38,9 @@ int usage(std::FILE* to, const char* argv0) {
                "  -d <var> [step]           per-step statistics of a var\n"
                "  -s <var> <step> <axis> <coord>\n"
                "                            ASCII-render one slice\n"
-               "  --verify                  CRC-check every block\n"
-               "  --json                    machine-readable listing/-d output\n"
+               "  --verify                  CRC-check every block; lists all\n"
+               "                            damage, exit 1 if any block is bad\n"
+               "  --json                    machine-readable listing/-d/--verify\n"
                "  --help                    this message\n",
                argv0);
   return to == stdout ? 0 : 2;
@@ -152,19 +154,28 @@ int cmd_slice(const gs::bp::Reader& reader, const std::string& var,
   return 0;
 }
 
-int cmd_verify(const gs::bp::Reader& reader) {
-  std::size_t blocks = 0;
-  for (const auto& name : reader.variable_names()) {
-    const auto info = reader.info(name);
-    if (info.type != "double") continue;
-    for (std::int64_t s = 0; s < info.steps; ++s) {
-      // read_full pulls every block through the CRC check.
-      (void)reader.read_full(name, s);
-      blocks += reader.blocks(name, s).size();
-    }
+int cmd_verify(const gs::bp::Reader& reader, bool as_json) {
+  // Warn about an interrupted commit: a leftover staging dir means the
+  // last writer died mid-commit; bp::recover(path) (or the next writer)
+  // will heal it.
+  std::error_code ec;
+  const std::string staging = gs::bp::staging_path(reader.path());
+  if (std::filesystem::exists(staging, ec)) {
+    std::fprintf(stderr,
+                 "bpls: warning: stale staging dir %s (interrupted commit; "
+                 "run recovery or the next writer will)\n",
+                 staging.c_str());
   }
-  std::printf("OK: %zu block(s) verified\n", blocks);
-  return 0;
+
+  // CRC-check EVERY block of every array variable (double and float),
+  // reporting all damage instead of aborting at the first bad block.
+  const gs::bp::SalvageReport rep = reader.verify();
+  if (as_json) {
+    std::printf("%s\n", rep.to_json().dump(2).c_str());
+  } else {
+    std::printf("%s", rep.report().c_str());
+  }
+  return rep.clean() ? 0 : 1;
 }
 
 }  // namespace
@@ -206,7 +217,7 @@ int main(int argc, char** argv) {
       return 0;
     }
     const std::string flag = args[1];
-    if (flag == "--verify") return cmd_verify(reader);
+    if (flag == "--verify") return cmd_verify(reader, as_json);
     if (flag == "-D" && args.size() >= 3) return cmd_blocks(reader, args[2]);
     if (flag == "-d" && args.size() >= 3) {
       const std::int64_t step =
