@@ -62,8 +62,15 @@ std::size_t Stream::pending() const {
 
 void Stream::push(StreamStep step) {
   std::unique_lock<std::mutex> lock(mutex_);
+  if (abandoned_) {
+    GS_THROW(IoError, "stream abandoned: " << abandon_reason_);
+  }
   GS_REQUIRE(!closed_, "push() on a closed stream");
-  not_full_.wait(lock, [&] { return queue_.size() < capacity_; });
+  not_full_.wait(lock,
+                 [&] { return queue_.size() < capacity_ || abandoned_; });
+  if (abandoned_) {
+    GS_THROW(IoError, "stream abandoned: " << abandon_reason_);
+  }
   queue_.push_back(std::move(step));
   max_depth_ = std::max(max_depth_, queue_.size());
   lock.unlock();
@@ -78,6 +85,33 @@ void Stream::close() {
   not_empty_.notify_all();
 }
 
+void Stream::abandon(std::string reason) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (abandoned_) return;
+    abandoned_ = true;
+    abandon_reason_ = std::move(reason);
+  }
+  // Wake both sides: blocked producers throw, blocked consumers see
+  // end-of-stream.
+  not_full_.notify_all();
+  not_empty_.notify_all();
+}
+
+bool Stream::abandoned() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return abandoned_;
+}
+
+void Stream::consumer_detached() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const bool clean_end = closed_ && queue_.empty();
+    if (clean_end || abandoned_) return;
+  }
+  abandon("consumer destroyed before end-of-stream");
+}
+
 bool Stream::closed() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return closed_;
@@ -85,7 +119,9 @@ bool Stream::closed() const {
 
 std::optional<StreamStep> Stream::next() {
   std::unique_lock<std::mutex> lock(mutex_);
-  not_empty_.wait(lock, [&] { return !queue_.empty() || closed_; });
+  not_empty_.wait(lock,
+                  [&] { return !queue_.empty() || closed_ || abandoned_; });
+  if (abandoned_) return std::nullopt;
   if (queue_.empty()) return std::nullopt;  // closed and drained
   StreamStep step = std::move(queue_.front());
   queue_.pop_front();
@@ -252,5 +288,9 @@ void StreamWriter::close() {
   comm_.barrier();
   if (comm_.rank() == 0) stream_.close();
 }
+
+// ----------------------------------------------------------- StreamReader
+
+StreamReader::~StreamReader() { stream_.consumer_detached(); }
 
 }  // namespace gs::bp

@@ -69,13 +69,26 @@ class Stream {
   /// Producer: enqueue a completed step; blocks while the queue is full.
   void push(StreamStep step);
 
-  /// Producer: signal end-of-stream (idempotent).
+  /// Producer: signal end-of-stream (idempotent; no-op once abandoned).
   void close();
   bool closed() const;
 
   /// Consumer: dequeue the next step in order; blocks; nullopt once the
-  /// stream is closed and drained.
+  /// stream is closed and drained (or the stream was abandoned).
   std::optional<StreamStep> next();
+
+  /// Marks the stream dead from the consumer side — the reader crashed or
+  /// was destroyed before end-of-stream. Every blocked push() (and any
+  /// later one) throws gs::IoError carrying `reason`, so a producer rank
+  /// stalled on backpressure unblocks with a clean error instead of
+  /// hanging forever on a consumer that will never drain the queue.
+  /// Idempotent; a clean closed-and-drained stream is never abandoned.
+  void abandon(std::string reason);
+  bool abandoned() const;
+
+  /// Consumer-side detach (called by ~StreamReader): abandons the stream
+  /// unless it already ended cleanly (closed and fully drained).
+  void consumer_detached();
 
   /// Stream-wide attributes (set once by the producer's rank 0 before the
   /// first step; readable any time after).
@@ -93,6 +106,8 @@ class Stream {
   std::condition_variable not_empty_;
   std::deque<StreamStep> queue_;
   bool closed_ = false;
+  bool abandoned_ = false;
+  std::string abandon_reason_;
   json::Object attributes_;
   std::size_t max_depth_ = 0;
 };
@@ -138,10 +153,17 @@ class StreamWriter {
   StreamStep pending_;
 };
 
-/// Consumer handle (serial; typically owned by an analysis thread).
+/// Consumer handle (serial; the stream's single consumer, typically owned
+/// by an analysis thread). Destroying the reader before end-of-stream —
+/// the consumer thread dying mid-analysis — abandons the stream so a
+/// producer blocked on backpressure fails cleanly instead of hanging.
 class StreamReader {
  public:
   explicit StreamReader(Stream& stream) : stream_(stream) {}
+  ~StreamReader();
+
+  StreamReader(const StreamReader&) = delete;
+  StreamReader& operator=(const StreamReader&) = delete;
 
   /// Next step, in production order; nullopt at end-of-stream.
   std::optional<StreamStep> next_step() { return stream_.next(); }

@@ -1,8 +1,27 @@
 #include "config/settings.h"
 
+#include <cstdlib>
 #include <set>
 
 namespace gs {
+
+namespace {
+
+/// Strict int64 parse of one GS_RPC_* override; whole-string numeric or
+/// ParseError — a typo must fail loudly, not bind a default.
+void env_override_int(const char* name, std::int64_t& value) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(raw, &end, 10);
+  if (end == raw || *end != '\0') {
+    GS_THROW(ParseError, "environment override " << name << "=\"" << raw
+                         << "\" is not an integer");
+  }
+  value = static_cast<std::int64_t>(parsed);
+}
+
+}  // namespace
 
 const char* to_string(KernelBackend backend) {
   switch (backend) {
@@ -31,6 +50,8 @@ Settings Settings::from_json(const json::Value& v) {
       "restart",    "restart_input",  "ranks_per_node",
       "gpu_aware_mpi", "aot",  "compress", "precision",
       "threads",    "io_retries",     "io_retry_backoff_ms",
+      "rpc_port",   "rpc_backlog",    "rpc_max_connections",
+      "rpc_io_timeout_ms",
   };
   for (const auto& [key, value] : v.as_object()) {
     (void)value;
@@ -67,8 +88,21 @@ Settings Settings::from_json(const json::Value& v) {
   s.compress = v.get_or("compress", s.compress);
   s.precision = v.get_or("precision", s.precision);
   s.threads = v.get_or("threads", s.threads);
+  s.rpc_port = v.get_or("rpc_port", s.rpc_port);
+  s.rpc_backlog = v.get_or("rpc_backlog", s.rpc_backlog);
+  s.rpc_max_connections = v.get_or("rpc_max_connections",
+                                   s.rpc_max_connections);
+  s.rpc_io_timeout_ms = v.get_or("rpc_io_timeout_ms", s.rpc_io_timeout_ms);
+  s.apply_env_overrides();
   s.validate();
   return s;
+}
+
+void Settings::apply_env_overrides() {
+  env_override_int("GS_RPC_PORT", rpc_port);
+  env_override_int("GS_RPC_BACKLOG", rpc_backlog);
+  env_override_int("GS_RPC_MAX_CONNECTIONS", rpc_max_connections);
+  env_override_int("GS_RPC_IO_TIMEOUT_MS", rpc_io_timeout_ms);
 }
 
 Settings Settings::from_file(const std::string& path) {
@@ -102,6 +136,10 @@ json::Value Settings::to_json() const {
   obj["compress"] = json::Value(compress);
   obj["precision"] = json::Value(precision);
   obj["threads"] = json::Value(threads);
+  obj["rpc_port"] = json::Value(rpc_port);
+  obj["rpc_backlog"] = json::Value(rpc_backlog);
+  obj["rpc_max_connections"] = json::Value(rpc_max_connections);
+  obj["rpc_io_timeout_ms"] = json::Value(rpc_io_timeout_ms);
   return json::Value(std::move(obj));
 }
 
@@ -119,6 +157,13 @@ void Settings::validate() const {
   GS_REQUIRE(io_retry_backoff_ms >= 0.0,
              "io_retry_backoff_ms must be non-negative");
   GS_REQUIRE(!output.empty(), "output name must not be empty");
+  GS_REQUIRE(rpc_port >= 0 && rpc_port <= 65535,
+             "rpc_port " << rpc_port << " outside [0, 65535] (0 = ephemeral)");
+  GS_REQUIRE(rpc_backlog >= 1, "rpc_backlog must be at least 1");
+  GS_REQUIRE(rpc_max_connections >= 1,
+             "rpc_max_connections must be at least 1");
+  GS_REQUIRE(rpc_io_timeout_ms >= 1,
+             "rpc_io_timeout_ms must be at least 1 ms");
   GS_REQUIRE(precision == "double" || precision == "single",
              "precision must be \"double\" or \"single\", got \""
                  << precision << "\"");

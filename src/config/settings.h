@@ -85,6 +85,20 @@ struct Settings {
   /// 8 GCDs per node and BP5's one-subfile-per-node default (Section 5.3).
   std::int64_t ranks_per_node = 8;
 
+  // -- remote analysis serving (gs::rpc) --------------------------------
+  /// TCP port `gsserved` binds when no --listen flag is given; 0 asks the
+  /// kernel for an ephemeral port (printed / written to --ready-file).
+  std::int64_t rpc_port = 7544;
+  /// listen(2) backlog of the acceptor socket.
+  std::int64_t rpc_backlog = 64;
+  /// Concurrent client connections admitted before the acceptor answers
+  /// ServerBusy and closes (connection-level backpressure, the transport
+  /// twin of the svc admission queue).
+  std::int64_t rpc_max_connections = 64;
+  /// Read/write deadline for one in-flight frame, milliseconds. Applies
+  /// to partial reads/writes, not to idle connections between frames.
+  std::int64_t rpc_io_timeout_ms = 5000;
+
   // -- host parallelism -------------------------------------------------
   /// Lanes of the gs::par worker pool that runs every host-side hot loop
   /// (host-reference kernel, halo packing, analysis reductions, checksums,
@@ -94,9 +108,17 @@ struct Settings {
   std::int64_t threads = 0;
 
   /// Parses a settings JSON object; unknown keys are rejected so typos in
-  /// experiment configs fail loudly.
+  /// experiment configs fail loudly. Environment overrides (GS_RPC_*) are
+  /// applied on top of the parsed values before validation.
   static Settings from_json(const json::Value& v);
   static Settings from_file(const std::string& path);
+
+  /// Applies environment-variable overrides — the env always wins over
+  /// JSON, mirroring GS_NUM_THREADS: GS_RPC_PORT, GS_RPC_BACKLOG,
+  /// GS_RPC_MAX_CONNECTIONS, GS_RPC_IO_TIMEOUT_MS. Malformed values
+  /// throw gs::ParseError (a typo'd override must not silently bind the
+  /// default port).
+  void apply_env_overrides();
 
   /// Serializes back to JSON (round-trip tested).
   json::Value to_json() const;

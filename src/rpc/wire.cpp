@@ -1,0 +1,591 @@
+#include "rpc/wire.h"
+
+#include <array>
+#include <bit>
+#include <cstring>
+
+#include "common/checksum.h"
+#include "fault/fault.h"
+
+namespace gs::rpc {
+
+const char* to_string(FrameType type) {
+  switch (type) {
+    case FrameType::request: return "request";
+    case FrameType::response: return "response";
+    case FrameType::stats: return "stats";
+    case FrameType::stats_reply: return "stats_reply";
+    case FrameType::subscribe: return "subscribe";
+    case FrameType::sub_ok: return "sub_ok";
+    case FrameType::stream_step: return "stream_step";
+    case FrameType::stream_end: return "stream_end";
+    case FrameType::credit: return "credit";
+    case FrameType::error_reply: return "error_reply";
+    case FrameType::ping: return "ping";
+    case FrameType::pong: return "pong";
+  }
+  return "?";
+}
+
+// -------------------------------------------------------------- ByteWriter
+
+void ByteWriter::u8(std::uint8_t v) {
+  buf_.push_back(static_cast<std::byte>(v));
+}
+
+void ByteWriter::u16(std::uint16_t v) {
+  u8(static_cast<std::uint8_t>(v & 0xff));
+  u8(static_cast<std::uint8_t>(v >> 8));
+}
+
+void ByteWriter::u32(std::uint32_t v) {
+  u16(static_cast<std::uint16_t>(v & 0xffff));
+  u16(static_cast<std::uint16_t>(v >> 16));
+}
+
+void ByteWriter::u64(std::uint64_t v) {
+  u32(static_cast<std::uint32_t>(v & 0xffffffffu));
+  u32(static_cast<std::uint32_t>(v >> 32));
+}
+
+void ByteWriter::i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+
+void ByteWriter::f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+void ByteWriter::str(const std::string& s) {
+  GS_REQUIRE(s.size() < kMaxPayload, "string too long for the wire");
+  u32(static_cast<std::uint32_t>(s.size()));
+  const auto* p = reinterpret_cast<const std::byte*>(s.data());
+  buf_.insert(buf_.end(), p, p + s.size());
+}
+
+void ByteWriter::doubles(std::span<const double> v) {
+  u64(v.size());
+  const auto raw = std::as_bytes(v);
+  buf_.insert(buf_.end(), raw.begin(), raw.end());
+}
+
+// -------------------------------------------------------------- ByteReader
+
+std::span<const std::byte> ByteReader::need(std::size_t n) {
+  if (data_.size() - off_ < n) {
+    GS_THROW(ParseError, "frame truncated: need " << n << " bytes at offset "
+                         << off_ << ", have " << data_.size() - off_);
+  }
+  const auto out = data_.subspan(off_, n);
+  off_ += n;
+  return out;
+}
+
+std::uint8_t ByteReader::u8() {
+  return static_cast<std::uint8_t>(need(1)[0]);
+}
+
+std::uint16_t ByteReader::u16() {
+  const auto lo = u8();
+  return static_cast<std::uint16_t>(lo | (u8() << 8));
+}
+
+std::uint32_t ByteReader::u32() {
+  const std::uint32_t lo = u16();
+  return lo | (static_cast<std::uint32_t>(u16()) << 16);
+}
+
+std::uint64_t ByteReader::u64() {
+  const std::uint64_t lo = u32();
+  return lo | (static_cast<std::uint64_t>(u32()) << 32);
+}
+
+std::int64_t ByteReader::i64() { return static_cast<std::int64_t>(u64()); }
+
+double ByteReader::f64() { return std::bit_cast<double>(u64()); }
+
+std::string ByteReader::str() {
+  const std::uint32_t n = u32();
+  const auto raw = need(n);
+  return std::string(reinterpret_cast<const char*>(raw.data()), n);
+}
+
+std::vector<double> ByteReader::doubles() {
+  const std::uint64_t n = u64();
+  GS_REQUIRE(n <= kMaxPayload / sizeof(double),
+             "oversized double array on the wire: " << n);
+  const auto raw = need(static_cast<std::size_t>(n) * sizeof(double));
+  std::vector<double> out(static_cast<std::size_t>(n));
+  std::memcpy(out.data(), raw.data(), raw.size());
+  return out;
+}
+
+// ------------------------------------------------------------------ codecs
+
+namespace {
+
+void put_box(ByteWriter& w, const Box3& box) {
+  w.i64(box.start.i);
+  w.i64(box.start.j);
+  w.i64(box.start.k);
+  w.i64(box.count.i);
+  w.i64(box.count.j);
+  w.i64(box.count.k);
+}
+
+Box3 get_box(ByteReader& r) {
+  Box3 box;
+  box.start.i = r.i64();
+  box.start.j = r.i64();
+  box.start.k = r.i64();
+  box.count.i = r.i64();
+  box.count.j = r.i64();
+  box.count.k = r.i64();
+  return box;
+}
+
+svc::Verb verb_from_u8(std::uint8_t v) {
+  if (v >= svc::kNumVerbs) {
+    GS_THROW(ParseError, "unknown verb code " << int(v) << " on the wire");
+  }
+  return static_cast<svc::Verb>(v);
+}
+
+svc::StatusCode status_from_u8(std::uint8_t v) {
+  if (v >= svc::kNumStatusCodes) {
+    GS_THROW(ParseError, "unknown status code " << int(v) << " on the wire");
+  }
+  return static_cast<svc::StatusCode>(v);
+}
+
+void put_response_body(ByteWriter& w, svc::Verb verb,
+                       const svc::ResponseBody& body) {
+  switch (verb) {
+    case svc::Verb::list_variables: {
+      const auto& r = std::get<svc::ListVariablesR>(body);
+      w.i64(r.n_steps);
+      w.u32(static_cast<std::uint32_t>(r.variables.size()));
+      for (const auto& var : r.variables) {
+        w.str(var.name);
+        w.str(var.type);
+        w.i64(var.shape.i);
+        w.i64(var.shape.j);
+        w.i64(var.shape.k);
+        w.i64(var.steps);
+        w.f64(var.min);
+        w.f64(var.max);
+      }
+      return;
+    }
+    case svc::Verb::field_stats: {
+      const auto& r = std::get<svc::FieldStatsR>(body);
+      w.u64(r.stats.count);
+      w.f64(r.stats.min);
+      w.f64(r.stats.max);
+      w.f64(r.stats.mean);
+      w.f64(r.stats.stddev);
+      return;
+    }
+    case svc::Verb::histogram: {
+      const auto& r = std::get<svc::HistogramR>(body);
+      w.f64(r.lo);
+      w.f64(r.hi);
+      w.u32(static_cast<std::uint32_t>(r.counts.size()));
+      for (const auto c : r.counts) w.u64(c);
+      w.u64(r.total);
+      return;
+    }
+    case svc::Verb::slice2d: {
+      const auto& r = std::get<svc::Slice2DR>(body);
+      w.i64(r.slice.nx);
+      w.i64(r.slice.ny);
+      w.f64(r.slice.min);
+      w.f64(r.slice.max);
+      w.doubles(r.slice.values);
+      return;
+    }
+    case svc::Verb::read_box: {
+      const auto& r = std::get<svc::ReadBoxR>(body);
+      put_box(w, r.box);
+      w.doubles(r.values);
+      return;
+    }
+  }
+  GS_THROW(ParseError, "unencodable response body");
+}
+
+svc::ResponseBody get_response_body(ByteReader& r, svc::Verb verb) {
+  switch (verb) {
+    case svc::Verb::list_variables: {
+      svc::ListVariablesR out;
+      out.n_steps = r.i64();
+      const std::uint32_t n = r.u32();
+      out.variables.reserve(n);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        svc::VarEntry var;
+        var.name = r.str();
+        var.type = r.str();
+        var.shape.i = r.i64();
+        var.shape.j = r.i64();
+        var.shape.k = r.i64();
+        var.steps = r.i64();
+        var.min = r.f64();
+        var.max = r.f64();
+        out.variables.push_back(std::move(var));
+      }
+      return out;
+    }
+    case svc::Verb::field_stats: {
+      svc::FieldStatsR out;
+      out.stats.count = static_cast<std::size_t>(r.u64());
+      out.stats.min = r.f64();
+      out.stats.max = r.f64();
+      out.stats.mean = r.f64();
+      out.stats.stddev = r.f64();
+      return out;
+    }
+    case svc::Verb::histogram: {
+      svc::HistogramR out;
+      out.lo = r.f64();
+      out.hi = r.f64();
+      const std::uint32_t n = r.u32();
+      out.counts.reserve(n);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        out.counts.push_back(static_cast<std::size_t>(r.u64()));
+      }
+      out.total = static_cast<std::size_t>(r.u64());
+      return out;
+    }
+    case svc::Verb::slice2d: {
+      svc::Slice2DR out;
+      out.slice.nx = r.i64();
+      out.slice.ny = r.i64();
+      out.slice.min = r.f64();
+      out.slice.max = r.f64();
+      out.slice.values = r.doubles();
+      return out;
+    }
+    case svc::Verb::read_box: {
+      svc::ReadBoxR out;
+      out.box = get_box(r);
+      out.values = r.doubles();
+      return out;
+    }
+  }
+  GS_THROW(ParseError, "undecodable response body");
+}
+
+}  // namespace
+
+std::vector<std::byte> encode_request(const svc::Request& request) {
+  ByteWriter w;
+  const svc::Verb verb = svc::verb_of(request.body);
+  w.u8(static_cast<std::uint8_t>(verb));
+  w.f64(request.timeout_seconds);
+  switch (verb) {
+    case svc::Verb::list_variables:
+      break;
+    case svc::Verb::field_stats: {
+      const auto& q = std::get<svc::FieldStatsQ>(request.body);
+      w.str(q.variable);
+      w.i64(q.step);
+      break;
+    }
+    case svc::Verb::histogram: {
+      const auto& q = std::get<svc::HistogramQ>(request.body);
+      w.str(q.variable);
+      w.i64(q.step);
+      w.u64(q.bins);
+      break;
+    }
+    case svc::Verb::slice2d: {
+      const auto& q = std::get<svc::Slice2DQ>(request.body);
+      w.str(q.variable);
+      w.i64(q.step);
+      w.i64(q.axis);
+      w.i64(q.coord);
+      break;
+    }
+    case svc::Verb::read_box: {
+      const auto& q = std::get<svc::ReadBoxQ>(request.body);
+      w.str(q.variable);
+      w.i64(q.step);
+      put_box(w, q.box);
+      break;
+    }
+  }
+  return w.take();
+}
+
+svc::Request decode_request(std::span<const std::byte> payload) {
+  ByteReader r(payload);
+  svc::Request request;
+  const svc::Verb verb = verb_from_u8(r.u8());
+  request.timeout_seconds = r.f64();
+  switch (verb) {
+    case svc::Verb::list_variables:
+      request.body = svc::ListVariablesQ{};
+      break;
+    case svc::Verb::field_stats: {
+      svc::FieldStatsQ q;
+      q.variable = r.str();
+      q.step = r.i64();
+      request.body = std::move(q);
+      break;
+    }
+    case svc::Verb::histogram: {
+      svc::HistogramQ q;
+      q.variable = r.str();
+      q.step = r.i64();
+      q.bins = static_cast<std::size_t>(r.u64());
+      request.body = std::move(q);
+      break;
+    }
+    case svc::Verb::slice2d: {
+      svc::Slice2DQ q;
+      q.variable = r.str();
+      q.step = r.i64();
+      q.axis = static_cast<int>(r.i64());
+      q.coord = r.i64();
+      request.body = std::move(q);
+      break;
+    }
+    case svc::Verb::read_box: {
+      svc::ReadBoxQ q;
+      q.variable = r.str();
+      q.step = r.i64();
+      q.box = get_box(r);
+      request.body = std::move(q);
+      break;
+    }
+  }
+  return request;
+}
+
+std::vector<std::byte> encode_response(const svc::Response& response) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(response.verb));
+  w.u8(static_cast<std::uint8_t>(response.status.code));
+  w.str(response.status.message);
+  w.u8(response.degraded ? 1 : 0);
+  w.u64(response.bad_blocks);
+  w.f64(response.queue_seconds);
+  w.f64(response.exec_seconds);
+  w.f64(response.latency_seconds);
+  w.u64(response.cache_hits);
+  w.u64(response.cache_misses);
+  w.u64(response.disk_bytes);
+  const bool has_body =
+      response.status.ok() && response.body.index() != 0;
+  w.u8(has_body ? 1 : 0);
+  if (has_body) put_response_body(w, response.verb, response.body);
+  return w.take();
+}
+
+svc::Response decode_response(std::span<const std::byte> payload) {
+  ByteReader r(payload);
+  svc::Response response;
+  response.verb = verb_from_u8(r.u8());
+  response.status.code = status_from_u8(r.u8());
+  response.status.message = r.str();
+  response.degraded = r.u8() != 0;
+  response.bad_blocks = static_cast<std::size_t>(r.u64());
+  response.queue_seconds = r.f64();
+  response.exec_seconds = r.f64();
+  response.latency_seconds = r.f64();
+  response.cache_hits = static_cast<std::size_t>(r.u64());
+  response.cache_misses = static_cast<std::size_t>(r.u64());
+  response.disk_bytes = r.u64();
+  if (r.u8() != 0) {
+    response.body = get_response_body(r, response.verb);
+  }
+  return response;
+}
+
+std::vector<std::byte> encode_answer_identity(const svc::Response& response) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(response.verb));
+  w.u8(static_cast<std::uint8_t>(response.status.code));
+  const bool has_body =
+      response.status.ok() && response.body.index() != 0;
+  w.u8(has_body ? 1 : 0);
+  if (has_body) put_response_body(w, response.verb, response.body);
+  return w.take();
+}
+
+std::vector<std::byte> encode_stream_step(const bp::StreamStep& step) {
+  ByteWriter w;
+  w.i64(step.sequence);
+  w.u32(static_cast<std::uint32_t>(step.arrays.size()));
+  for (const auto& [name, var] : step.arrays) {
+    w.str(name);
+    w.i64(var.shape.i);
+    w.i64(var.shape.j);
+    w.i64(var.shape.k);
+    w.u32(static_cast<std::uint32_t>(var.blocks.size()));
+    for (const auto& block : var.blocks) {
+      w.i64(block.rank);
+      put_box(w, block.box);
+      w.doubles(block.data);
+    }
+  }
+  w.u32(static_cast<std::uint32_t>(step.scalars.size()));
+  for (const auto& [name, value] : step.scalars) {
+    w.str(name);
+    w.i64(value);
+  }
+  return w.take();
+}
+
+bp::StreamStep decode_stream_step(std::span<const std::byte> payload) {
+  ByteReader r(payload);
+  bp::StreamStep step;
+  step.sequence = r.i64();
+  const std::uint32_t n_arrays = r.u32();
+  for (std::uint32_t a = 0; a < n_arrays; ++a) {
+    const std::string name = r.str();
+    auto& var = step.arrays[name];
+    var.shape.i = r.i64();
+    var.shape.j = r.i64();
+    var.shape.k = r.i64();
+    const std::uint32_t n_blocks = r.u32();
+    var.blocks.reserve(n_blocks);
+    for (std::uint32_t b = 0; b < n_blocks; ++b) {
+      bp::StreamStep::Block block;
+      block.rank = static_cast<int>(r.i64());
+      block.box = get_box(r);
+      block.data = r.doubles();
+      var.blocks.push_back(std::move(block));
+    }
+  }
+  const std::uint32_t n_scalars = r.u32();
+  for (std::uint32_t s = 0; s < n_scalars; ++s) {
+    const std::string name = r.str();
+    step.scalars[name] = r.i64();
+  }
+  return step;
+}
+
+std::vector<std::byte> encode_stream_end(const StreamEnd& end) {
+  ByteWriter w;
+  w.u64(end.dropped);
+  w.str(end.reason);
+  return w.take();
+}
+
+StreamEnd decode_stream_end(std::span<const std::byte> payload) {
+  ByteReader r(payload);
+  StreamEnd end;
+  end.dropped = r.u64();
+  end.reason = r.str();
+  return end;
+}
+
+std::vector<std::byte> encode_text(const std::string& text) {
+  const auto* p = reinterpret_cast<const std::byte*>(text.data());
+  return std::vector<std::byte>(p, p + text.size());
+}
+
+std::string decode_text(std::span<const std::byte> payload) {
+  return std::string(reinterpret_cast<const char*>(payload.data()),
+                     payload.size());
+}
+
+std::vector<std::byte> encode_u64(std::uint64_t v) {
+  ByteWriter w;
+  w.u64(v);
+  return w.take();
+}
+
+std::uint64_t decode_u64(std::span<const std::byte> payload) {
+  ByteReader r(payload);
+  return r.u64();
+}
+
+// ------------------------------------------------------------ framed I/O
+
+std::size_t send_frame(Socket& socket, const Frame& frame,
+                       std::int64_t timeout_ms) {
+  GS_REQUIRE(frame.payload.size() < kMaxPayload,
+             "frame payload too large: " << frame.payload.size());
+  auto& injector = fault::Injector::instance();
+
+  // CRC is computed over the payload as built; an armed frame_corrupt
+  // flips a byte AFTER this point so the receiver must detect it.
+  const std::uint32_t crc =
+      frame.payload.empty() ? 0 : crc32(std::span(frame.payload));
+
+  ByteWriter header;
+  header.u32(kMagic);
+  header.u16(kVersion);
+  header.u16(static_cast<std::uint16_t>(frame.type));
+  header.u64(frame.id);
+  header.u32(static_cast<std::uint32_t>(frame.payload.size()));
+  header.u32(crc);
+  socket.write_all(header.bytes(), timeout_ms);
+
+  // A `fail` injected here lands between header and payload: the peer
+  // sees a torn frame (header promising bytes that never arrive).
+  injector.check("rpc.write");
+
+  std::span<const std::byte> body(frame.payload);
+  std::vector<std::byte> corrupted;
+  if (const auto injection = injector.consume("rpc.frame_corrupt")) {
+    if (injection->kind == fault::Kind::corrupt && !body.empty()) {
+      corrupted.assign(body.begin(), body.end());
+      injector.act("rpc.frame_corrupt", *injection, corrupted);
+      body = corrupted;
+    } else {
+      injector.act("rpc.frame_corrupt", *injection);
+    }
+  }
+  if (!body.empty()) socket.write_all(body, timeout_ms);
+  return kHeaderBytes + body.size();
+}
+
+std::optional<Frame> recv_frame(Socket& socket, std::int64_t timeout_ms) {
+  fault::Injector::instance().check("rpc.read");
+
+  std::array<std::byte, kHeaderBytes> header_bytes;
+  if (!socket.read_exact(header_bytes, timeout_ms)) return std::nullopt;
+
+  ByteReader r(header_bytes);
+  const std::uint32_t magic = r.u32();
+  const std::uint16_t version = r.u16();
+  const std::uint16_t type = r.u16();
+  const std::uint64_t id = r.u64();
+  const std::uint32_t payload_len = r.u32();
+  const std::uint32_t payload_crc = r.u32();
+
+  if (magic != kMagic) {
+    GS_THROW(IoError, "bad frame magic 0x" << std::hex << magic
+                      << " (not a gs::rpc peer?)");
+  }
+  if (version != kVersion) {
+    GS_THROW(IoError, "unsupported protocol version " << version
+                      << " (this build speaks " << kVersion << ")");
+  }
+  if (type < static_cast<std::uint16_t>(FrameType::request) ||
+      type > static_cast<std::uint16_t>(FrameType::pong)) {
+    GS_THROW(IoError, "unknown frame type " << type);
+  }
+  if (payload_len >= kMaxPayload) {
+    GS_THROW(IoError, "oversized frame: " << payload_len << " bytes");
+  }
+
+  Frame frame;
+  frame.type = static_cast<FrameType>(type);
+  frame.id = id;
+  frame.payload.resize(payload_len);
+  if (payload_len > 0 &&
+      !socket.read_exact(frame.payload, timeout_ms)) {
+    GS_THROW(IoError, "torn frame: EOF where " << payload_len
+                      << " payload bytes were promised");
+  }
+  const std::uint32_t actual =
+      frame.payload.empty() ? 0 : crc32(std::span(frame.payload));
+  if (actual != payload_crc) {
+    GS_THROW(CrcError, "frame crc mismatch: header says 0x"
+                       << std::hex << payload_crc << ", payload is 0x"
+                       << actual);
+  }
+  return frame;
+}
+
+}  // namespace gs::rpc

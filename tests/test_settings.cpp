@@ -1,6 +1,8 @@
 // Tests for gs::Settings — the GrayScott.jl settings-files.json equivalent.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "config/settings.h"
 
 namespace {
@@ -113,6 +115,70 @@ TEST(Settings, StabilityBoundEnforced) {
 TEST(Settings, FromJsonValidates) {
   EXPECT_THROW(Settings::from_json(gs::json::parse(R"({"dt": -1.0})")),
                gs::Error);
+}
+
+// ------------------------------------------------- rpc serving knobs
+
+TEST(Settings, RpcDefaults) {
+  const Settings s;
+  EXPECT_EQ(s.rpc_port, 7544);
+  EXPECT_EQ(s.rpc_backlog, 64);
+  EXPECT_EQ(s.rpc_max_connections, 64);
+  EXPECT_EQ(s.rpc_io_timeout_ms, 5000);
+  EXPECT_NO_THROW(s.validate());
+}
+
+TEST(Settings, RpcKnobsFromJson) {
+  const Settings s = Settings::from_json(gs::json::parse(R"({
+    "rpc_port": 0, "rpc_backlog": 8,
+    "rpc_max_connections": 16, "rpc_io_timeout_ms": 250
+  })"));
+  EXPECT_EQ(s.rpc_port, 0);  // 0 = ephemeral
+  EXPECT_EQ(s.rpc_backlog, 8);
+  EXPECT_EQ(s.rpc_max_connections, 16);
+  EXPECT_EQ(s.rpc_io_timeout_ms, 250);
+}
+
+TEST(Settings, RpcValidationCatchesBadValues) {
+  Settings s;
+  s.rpc_port = 70000;
+  EXPECT_THROW(s.validate(), gs::Error);
+  s = Settings{};
+  s.rpc_port = -1;
+  EXPECT_THROW(s.validate(), gs::Error);
+  s = Settings{};
+  s.rpc_backlog = 0;
+  EXPECT_THROW(s.validate(), gs::Error);
+  s = Settings{};
+  s.rpc_max_connections = 0;
+  EXPECT_THROW(s.validate(), gs::Error);
+  s = Settings{};
+  s.rpc_io_timeout_ms = 0;
+  EXPECT_THROW(s.validate(), gs::Error);
+}
+
+TEST(Settings, RpcEnvOverridesBeatJson) {
+  ::setenv("GS_RPC_PORT", "9001", 1);
+  ::setenv("GS_RPC_MAX_CONNECTIONS", "3", 1);
+  const Settings s =
+      Settings::from_json(gs::json::parse(R"({"rpc_port": 1234})"));
+  ::unsetenv("GS_RPC_PORT");
+  ::unsetenv("GS_RPC_MAX_CONNECTIONS");
+  EXPECT_EQ(s.rpc_port, 9001);          // env wins over JSON
+  EXPECT_EQ(s.rpc_max_connections, 3);  // env wins over default
+  EXPECT_EQ(s.rpc_backlog, 64);         // untouched knob keeps default
+}
+
+TEST(Settings, RpcEnvOverrideMalformedRejected) {
+  ::setenv("GS_RPC_PORT", "not-a-port", 1);
+  EXPECT_THROW(Settings::from_json(gs::json::parse("{}")), gs::ParseError);
+  ::unsetenv("GS_RPC_PORT");
+}
+
+TEST(Settings, RpcEnvOverrideValidated) {
+  ::setenv("GS_RPC_PORT", "123456", 1);  // out of range
+  EXPECT_THROW(Settings::from_json(gs::json::parse("{}")), gs::Error);
+  ::unsetenv("GS_RPC_PORT");
 }
 
 }  // namespace

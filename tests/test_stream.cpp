@@ -8,6 +8,7 @@
 
 #include "bp/stream.h"
 #include "core/sim.h"
+#include "fault/fault.h"
 #include "grid/decomp.h"
 #include "mpi/runtime.h"
 
@@ -112,6 +113,74 @@ TEST(Stream, MaxDepthTracksHighWater) {
 
 TEST(Stream, ZeroCapacityRejected) {
   EXPECT_THROW(Stream{0}, gs::Error);
+}
+
+TEST(Stream, AbandonUnblocksBlockedProducer) {
+  Stream st(1);
+  st.push(make_step(0));
+  std::atomic<bool> threw{false};
+  std::thread producer([&] {
+    try {
+      st.push(make_step(1));  // blocks: queue is full
+    } catch (const gs::IoError&) {
+      threw = true;
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(threw.load());
+  st.abandon("test abandon");
+  producer.join();
+  EXPECT_TRUE(threw.load());
+  EXPECT_THROW(st.push(make_step(2)), gs::IoError);  // stays dead
+  EXPECT_FALSE(st.next().has_value());               // consumer sees EOS
+}
+
+TEST(Stream, ReaderDtorAfterCleanEndDoesNotAbandon) {
+  Stream st(2);
+  st.push(make_step(0));
+  st.close();
+  {
+    StreamReader reader(st);
+    EXPECT_TRUE(reader.next_step().has_value());
+    EXPECT_FALSE(reader.next_step().has_value());  // closed and drained
+  }
+  EXPECT_FALSE(st.abandoned());
+}
+
+TEST(Stream, ConsumerDeathUnblocksProducer) {
+  // The satellite scenario: the analysis thread dies mid-stream (fault-
+  // injected kill while handling its second step). Destroying its
+  // StreamReader must abandon the stream so the producer — blocked on a
+  // full queue — unblocks with a clean IoError instead of hanging.
+  gs::fault::Plan plan;
+  plan.kill_at("test.stream.consume", 1);
+  gs::fault::ScopedPlan scoped(plan);
+
+  Stream st(/*capacity=*/1);
+  std::thread consumer([&] {
+    try {
+      StreamReader reader(st);
+      while (auto step = reader.next_step()) {
+        gs::fault::Injector::instance().check("test.stream.consume");
+      }
+    } catch (const gs::fault::Kill&) {
+      // The consumer thread "crashed"; ~StreamReader already ran.
+    }
+  });
+
+  bool producer_failed = false;
+  std::string reason;
+  try {
+    for (std::int64_t i = 0; i < 1000; ++i) st.push(make_step(i));
+  } catch (const gs::IoError& e) {
+    producer_failed = true;
+    reason = e.what();
+  }
+  consumer.join();
+  ASSERT_TRUE(producer_failed) << "producer drained 1000 steps into a "
+                                  "dead consumer without an error";
+  EXPECT_NE(reason.find("abandoned"), std::string::npos) << reason;
+  EXPECT_TRUE(st.abandoned());
 }
 
 TEST(Stream, AttributesVisibleToConsumer) {

@@ -10,6 +10,16 @@
 //   gsquery <dataset.bp> slice <var> <step> <axis> <coord>
 //   gsquery <dataset.bp> read <var> <step> <i0> <j0> <k0> <ni> <nj> <nk>
 //
+// Remote mode runs the same commands against a gsserved daemon — the
+// dataset lives on the server, so the positional path is omitted:
+//
+//   gsquery --connect host:port ls
+//   gsquery --connect unix:/tmp/gs.sock stats U 1 --json
+//
+// Both modes produce identical output for the same dataset: the wire
+// protocol round-trips the svc types exactly, and the dataset path shown
+// in listings is fetched from the server.
+//
 // `--json` emits machine-readable output; the stats document is
 // byte-identical to `bpls <dataset.bp> -d <var> --json` (both serialize
 // the same statistics through analysis::stats_to_json).
@@ -26,6 +36,7 @@
 #include "common/format.h"
 #include "config/json.h"
 #include "prof/profiler.h"
+#include "rpc/client.h"
 #include "svc/service.h"
 
 namespace {
@@ -38,6 +49,7 @@ int usage(std::FILE* to, const char* argv0) {
   std::fprintf(
       to,
       "usage: %s <dataset.bp> <command> [args] [options]\n"
+      "       %s --connect <addr> <command> [args] [options]\n"
       "commands:\n"
       "  ls                                  list variables\n"
       "  stats <var> [step]                  per-step field statistics\n"
@@ -46,14 +58,18 @@ int usage(std::FILE* to, const char* argv0) {
       "  read <var> <step> <i0> <j0> <k0> <ni> <nj> <nk>\n"
       "                                      box-selection read\n"
       "options:\n"
-      "  --json           machine-readable output\n"
-      "  --threads <n>    service worker threads (default 2)\n"
-      "  --cache-mb <n>   block cache budget in MB, 0 disables (default 64)\n"
-      "  --timeout <s>    per-request deadline in seconds (default none)\n"
-      "  --metrics        print service metrics to stderr when done\n"
-      "  --trace <file>   write a Chrome trace of the session\n"
-      "  --help           this message\n",
-      argv0);
+      "  --connect <addr>   query a gsserved daemon at host:port or\n"
+      "                     unix:/path instead of opening a local dataset\n"
+      "  --json             machine-readable output\n"
+      "  --threads <n>      service worker threads (default 2, local mode)\n"
+      "  --cache-mb <n>     block cache budget in MB, 0 disables "
+      "(default 64)\n"
+      "  --timeout <s>      per-request deadline in seconds (default none)\n"
+      "  --timeout-ms <n>   per-request deadline in milliseconds\n"
+      "  --metrics          print service metrics to stderr when done\n"
+      "  --trace <file>     write a Chrome trace of the session (local)\n"
+      "  --help             this message\n",
+      argv0, argv0);
   return to == stdout ? 0 : 2;
 }
 
@@ -77,11 +93,12 @@ Value shape_json(const gs::Index3& shape) {
   return Value(std::move(a));
 }
 
-int cmd_ls(gs::svc::Service& svc, gs::svc::Client& client, bool as_json) {
-  const auto& r = require_ok(client.list_variables());
+template <typename ClientT>
+int cmd_ls(const std::string& path, ClientT& client, bool as_json) {
+  const auto r = require_ok(client.list_variables());
   if (as_json) {
     Object doc;
-    doc["path"] = Value(svc.path());
+    doc["path"] = Value(path);
     doc["steps"] = Value(r.n_steps);
     Array vars;
     for (const auto& v : r.variables) {
@@ -109,14 +126,15 @@ int cmd_ls(gs::svc::Service& svc, gs::svc::Client& client, bool as_json) {
     std::snprintf(mx, sizeof(mx), "%g", v.max);
     t.row({v.name, v.type, shape, std::to_string(v.steps), mn, mx});
   }
-  std::printf("%s, %lld step(s):\n%s", svc.path().c_str(),
-              (long long)r.n_steps, t.str().c_str());
+  std::printf("%s, %lld step(s):\n%s", path.c_str(), (long long)r.n_steps,
+              t.str().c_str());
   return 0;
 }
 
-int cmd_stats(gs::svc::Service& svc, gs::svc::Client& client,
-              const std::string& var, std::int64_t step, bool as_json) {
-  const auto& ls = require_ok(client.list_variables());
+template <typename ClientT>
+int cmd_stats(ClientT& client, const std::string& var, std::int64_t step,
+              bool as_json) {
+  const auto ls = require_ok(client.list_variables());
   std::string type = "double";
   std::int64_t n_steps = 0;
   bool found = false;
@@ -136,7 +154,7 @@ int cmd_stats(gs::svc::Service& svc, gs::svc::Client& client,
   Array steps;
   gs::TableFormatter t({"step", "min", "max", "mean", "stddev"});
   for (std::int64_t s = lo; s < hi; ++s) {
-    const auto& r = require_ok(client.field_stats(var, s));
+    const auto r = require_ok(client.field_stats(var, s));
     if (as_json) {
       Object row = gs::analysis::stats_to_json(r.stats);
       row["step"] = Value(s);
@@ -159,13 +177,13 @@ int cmd_stats(gs::svc::Service& svc, gs::svc::Client& client,
   } else {
     std::printf("%s\n%s", var.c_str(), t.str().c_str());
   }
-  (void)svc;
   return 0;
 }
 
-int cmd_hist(gs::svc::Client& client, const std::string& var,
-             std::int64_t step, std::size_t bins, bool as_json) {
-  const auto& r = require_ok(client.histogram(var, step, bins));
+template <typename ClientT>
+int cmd_hist(ClientT& client, const std::string& var, std::int64_t step,
+             std::size_t bins, bool as_json) {
+  const auto r = require_ok(client.histogram(var, step, bins));
   if (as_json) {
     Object doc;
     doc["variable"] = Value(var);
@@ -198,9 +216,10 @@ int cmd_hist(gs::svc::Client& client, const std::string& var,
   return 0;
 }
 
-int cmd_slice(gs::svc::Client& client, const std::string& var,
-              std::int64_t step, int axis, std::int64_t coord, bool as_json) {
-  const auto& r = require_ok(client.slice2d(var, step, axis, coord));
+template <typename ClientT>
+int cmd_slice(ClientT& client, const std::string& var, std::int64_t step,
+              int axis, std::int64_t coord, bool as_json) {
+  const auto r = require_ok(client.slice2d(var, step, axis, coord));
   const auto& s = r.slice;
   if (as_json) {
     Object doc;
@@ -224,9 +243,10 @@ int cmd_slice(gs::svc::Client& client, const std::string& var,
   return 0;
 }
 
-int cmd_read(gs::svc::Client& client, const std::string& var,
-             std::int64_t step, const gs::Box3& box, bool as_json) {
-  const auto& r = require_ok(client.read_box(var, step, box));
+template <typename ClientT>
+int cmd_read(ClientT& client, const std::string& var, std::int64_t step,
+             const gs::Box3& box, bool as_json) {
+  const auto r = require_ok(client.read_box(var, step, box));
   if (as_json) {
     Object doc;
     doc["variable"] = Value(var);
@@ -255,6 +275,50 @@ int cmd_read(gs::svc::Client& client, const std::string& var,
   return 0;
 }
 
+/// Runs one command against either client type. `args` is
+/// [dataset-path, command, command-args...]; returns the exit code, or
+/// -1 when the command line is malformed (caller prints usage).
+template <typename ClientT>
+int dispatch(const std::string& path, ClientT& client,
+             const std::vector<std::string>& args, bool as_json) {
+  const std::string& command = args[1];
+  const auto at = [&](std::size_t i) -> const std::string& {
+    if (i >= args.size()) {
+      std::fprintf(stderr, "gsquery: missing argument for %s\n",
+                   command.c_str());
+      std::exit(2);
+    }
+    return args[i];
+  };
+
+  if (command == "ls" && args.size() == 2) {
+    return cmd_ls(path, client, as_json);
+  }
+  if (command == "stats") {
+    return cmd_stats(client, at(2),
+                     args.size() >= 4 ? std::atoll(at(3).c_str()) : -1,
+                     as_json);
+  }
+  if (command == "hist") {
+    return cmd_hist(client, at(2), std::atoll(at(3).c_str()),
+                    static_cast<std::size_t>(std::atoll(at(4).c_str())),
+                    as_json);
+  }
+  if (command == "slice") {
+    return cmd_slice(client, at(2), std::atoll(at(3).c_str()),
+                     std::atoi(at(4).c_str()), std::atoll(at(5).c_str()),
+                     as_json);
+  }
+  if (command == "read") {
+    const gs::Box3 box{{std::atoll(at(4).c_str()), std::atoll(at(5).c_str()),
+                        std::atoll(at(6).c_str())},
+                       {std::atoll(at(7).c_str()), std::atoll(at(8).c_str()),
+                        std::atoll(at(9).c_str())}};
+    return cmd_read(client, at(2), std::atoll(at(3).c_str()), box, as_json);
+  }
+  return -1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -269,6 +333,7 @@ int main(int argc, char** argv) {
   std::uint64_t cache_mb = 64;
   double timeout = 0.0;
   std::string trace_file;
+  std::string connect;
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -283,12 +348,16 @@ int main(int argc, char** argv) {
       as_json = true;
     } else if (arg == "--metrics") {
       metrics = true;
+    } else if (arg == "--connect") {
+      connect = next();
     } else if (arg == "--threads") {
       threads = static_cast<std::size_t>(std::atoll(next()));
     } else if (arg == "--cache-mb") {
       cache_mb = static_cast<std::uint64_t>(std::atoll(next()));
     } else if (arg == "--timeout") {
       timeout = std::atof(next());
+    } else if (arg == "--timeout-ms") {
+      timeout = std::atof(next()) / 1000.0;
     } else if (arg == "--trace") {
       trace_file = next();
     } else if (arg == "--help" || arg == "-h") {
@@ -300,10 +369,34 @@ int main(int argc, char** argv) {
       args.push_back(arg);
     }
   }
-  if (args.size() < 2) return usage(stderr, argv[0]);
 
+  // ---- remote mode: same commands over a gsserved connection ------------
+  if (!connect.empty()) {
+    if (args.empty()) return usage(stderr, argv[0]);
+    try {
+      gs::rpc::ClientConfig config;
+      config.default_timeout_seconds = timeout;
+      gs::rpc::Client client(gs::rpc::Endpoint::parse(connect), config);
+      // The dataset lives server-side; fetch its path so listings print
+      // the same text a local session would.
+      const gs::json::Value stats = client.server_stats();
+      const std::string path = stats.at("dataset").as_string();
+      args.insert(args.begin(), path);
+      const int rc = dispatch(path, client, args, as_json);
+      if (rc < 0) return usage(stderr, argv[0]);
+      if (metrics) {
+        std::fprintf(stderr, "%s\n", stats.dump(2).c_str());
+      }
+      return rc;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "gsquery: %s\n", e.what());
+      return 1;
+    }
+  }
+
+  // ---- local mode: in-process service over the dataset -------------------
+  if (args.size() < 2) return usage(stderr, argv[0]);
   const std::string path = args[0];
-  const std::string command = args[1];
   std::error_code ec;
   if (!std::filesystem::exists(path, ec)) {
     std::fprintf(stderr, "gsquery: no such dataset: %s\n", path.c_str());
@@ -325,39 +418,8 @@ int main(int argc, char** argv) {
   try {
     gs::svc::Service service(path, std::move(config));
     gs::svc::Client client(service, timeout);
-    const auto at = [&](std::size_t i) -> const std::string& {
-      if (i >= args.size()) {
-        std::fprintf(stderr, "gsquery: missing argument for %s\n",
-                     command.c_str());
-        std::exit(2);
-      }
-      return args[i];
-    };
-
-    int rc = 2;
-    if (command == "ls" && args.size() == 2) {
-      rc = cmd_ls(service, client, as_json);
-    } else if (command == "stats") {
-      rc = cmd_stats(service, client, at(2),
-                     args.size() >= 4 ? std::atoll(at(3).c_str()) : -1,
-                     as_json);
-    } else if (command == "hist") {
-      rc = cmd_hist(client, at(2), std::atoll(at(3).c_str()),
-                    static_cast<std::size_t>(std::atoll(at(4).c_str())),
-                    as_json);
-    } else if (command == "slice") {
-      rc = cmd_slice(client, at(2), std::atoll(at(3).c_str()),
-                     std::atoi(at(4).c_str()), std::atoll(at(5).c_str()),
-                     as_json);
-    } else if (command == "read") {
-      const gs::Box3 box{{std::atoll(at(4).c_str()), std::atoll(at(5).c_str()),
-                          std::atoll(at(6).c_str())},
-                         {std::atoll(at(7).c_str()), std::atoll(at(8).c_str()),
-                          std::atoll(at(9).c_str())}};
-      rc = cmd_read(client, at(2), std::atoll(at(3).c_str()), box, as_json);
-    } else {
-      return usage(stderr, argv[0]);
-    }
+    const int rc = dispatch(path, client, args, as_json);
+    if (rc < 0) return usage(stderr, argv[0]);
 
     service.shutdown();
     if (metrics) {

@@ -1,0 +1,108 @@
+#!/bin/sh
+# Loopback smoke test for the gs::rpc serving layer.
+#
+#   rpc_smoke.sh <gray_scott_workflow> <gsserved> <gsquery> <settings.json>
+#
+# Generates a tiny dataset, serves it over a Unix socket, and checks:
+#   1. every gsquery command answered remotely is byte-identical to the
+#      same command run against the in-process service,
+#   2. error paths (bad variable, dead server) exit nonzero with a
+#      one-line "gsquery:"/"gsserved:" reason on stderr,
+#   3. SIGTERM drains the daemon to a clean exit 0.
+set -eu
+
+# Absolutize arguments: the test runs inside a scratch directory.
+abspath() {
+  case $1 in
+    /*) printf '%s\n' "$1" ;;
+    *) printf '%s/%s\n' "$(cd "$(dirname "$1")" && pwd)" "$(basename "$1")" ;;
+  esac
+}
+WORKFLOW=$(abspath "$1")
+GSSERVED=$(abspath "$2")
+GSQUERY=$(abspath "$3")
+SETTINGS=$(abspath "$4")
+
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/gs_rpc_smoke.XXXXXX")
+SERVER_PID=""
+cleanup() {
+  if [ -n "$SERVER_PID" ] && kill -0 "$SERVER_PID" 2>/dev/null; then
+    kill -KILL "$SERVER_PID" 2>/dev/null || true
+  fi
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+cd "$WORK"
+
+echo "== generate dataset"
+"$WORKFLOW" "$SETTINGS" 2 >/dev/null
+
+echo "== serve over unix socket"
+"$GSSERVED" --dataset smoke.bp --listen "unix:$WORK/gs.sock" \
+  --ready-file ready.txt --metrics 2>serve.log &
+SERVER_PID=$!
+
+tries=0
+while [ ! -s ready.txt ]; do
+  tries=$((tries + 1))
+  if [ "$tries" -gt 100 ]; then
+    echo "FAIL: gsserved never became ready" >&2
+    cat serve.log >&2
+    exit 1
+  fi
+  if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+    echo "FAIL: gsserved exited before becoming ready" >&2
+    cat serve.log >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+ADDR=$(cat ready.txt)
+echo "   serving at $ADDR"
+
+echo "== local vs remote answers must match byte for byte"
+for q in "ls" "ls --json" "stats U --json" "stats V 1" "hist V 1 8 --json" \
+         "slice U 1 2 8" "read U 1 0 0 0 4 4 4 --json"; do
+  "$GSQUERY" smoke.bp $q >local.out
+  "$GSQUERY" --connect "$ADDR" $q >remote.out
+  if ! cmp -s local.out remote.out; then
+    echo "FAIL: remote answer differs for: gsquery $q" >&2
+    diff local.out remote.out >&2 || true
+    exit 1
+  fi
+done
+echo "   7 commands identical"
+
+echo "== error paths exit nonzero with a reason"
+if "$GSQUERY" --connect "$ADDR" stats NO_SUCH_VAR 2>err.txt; then
+  echo "FAIL: bad variable should exit nonzero" >&2
+  exit 1
+fi
+grep -q 'gsquery:' err.txt
+
+if "$GSQUERY" --connect "unix:$WORK/nope.sock" --timeout-ms 500 ls 2>err.txt
+then
+  echo "FAIL: dead endpoint should exit nonzero" >&2
+  exit 1
+fi
+grep -q 'gsquery:' err.txt
+
+if "$GSSERVED" --dataset /no/such/dataset.bp 2>err.txt; then
+  echo "FAIL: missing dataset should exit nonzero" >&2
+  exit 1
+fi
+grep -q 'gsserved:' err.txt
+
+echo "== SIGTERM drains to exit 0"
+kill -TERM "$SERVER_PID"
+rc=0
+wait "$SERVER_PID" || rc=$?
+SERVER_PID=""
+if [ "$rc" -ne 0 ]; then
+  echo "FAIL: gsserved exited $rc on SIGTERM" >&2
+  cat serve.log >&2
+  exit 1
+fi
+grep -q 'draining' serve.log
+
+echo "PASS"
