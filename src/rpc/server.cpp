@@ -108,7 +108,7 @@ std::uint64_t Server::active_connections() const {
   std::lock_guard<std::mutex> lock(conns_mu_);
   std::uint64_t n = 0;
   for (const auto& conn : conns_) {
-    if (!conn.done.load()) ++n;
+    if (!conn->done.load()) ++n;
   }
   return n;
 }
@@ -128,8 +128,8 @@ void Server::acceptor_main() {
     {
       std::lock_guard<std::mutex> lock(conns_mu_);
       for (auto it = conns_.begin(); it != conns_.end();) {
-        if (it->done.load()) {
-          if (it->thread.joinable()) it->thread.join();
+        if ((*it)->done.load()) {
+          if ((*it)->thread.joinable()) (*it)->thread.join();
           it = conns_.erase(it);
         } else {
           ++it;
@@ -170,10 +170,10 @@ void Server::acceptor_main() {
       continue;
     }
 
-    Conn* conn = nullptr;
+    auto conn = std::make_shared<Conn>(std::move(*sock));
     {
       std::lock_guard<std::mutex> lock(conns_mu_);
-      conn = &conns_.emplace_back(std::move(*sock));
+      conns_.push_back(conn);
     }
     {
       std::lock_guard<std::mutex> lock(stats_mu_);
@@ -356,40 +356,61 @@ void Server::conn_main(Conn& conn) {
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++counters_.io_errors;
   }
-  conn.subscribed.store(false);
-  conn.sock.close();
+  {
+    // Close under write_mu: a concurrent bridge send either completes
+    // on the still-open fd first or finds the socket closed and throws
+    // IoError — it can never write into a kernel-reused fd.
+    std::lock_guard<std::mutex> lock(conn.write_mu);
+    conn.subscribed.store(false);
+    conn.sock.close();
+  }
   conn.done.store(true);
 }
 
-void Server::bridge_main() {
+std::vector<std::shared_ptr<Server::Conn>> Server::subscriber_snapshot()
+    const {
+  std::vector<std::shared_ptr<Conn>> out;
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  for (const auto& conn : conns_) {
+    if (!conn->done.load() && conn->subscribed.load()) out.push_back(conn);
+  }
+  return out;
+}
+
+void Server::bridge_main() try {
   bp::StreamReader reader(*live_stream_);
   while (auto step = reader.next_step()) {
     Frame frame;
     frame.type = FrameType::stream_step;
     frame.payload = encode_stream_step(*step);
 
-    std::lock_guard<std::mutex> lock(conns_mu_);
-    for (auto& conn : conns_) {
-      if (conn.done.load() || !conn.subscribed.load()) continue;
-      if (conn.credits.load() <= 0) {
+    // Fan out from a snapshot, conns_mu_ released: one stalled
+    // subscriber blocking in send for up to io_timeout_ms must not
+    // freeze admission (acceptor reap, capacity check, stats).
+    for (const auto& conn : subscriber_snapshot()) {
+      if (conn->credits.load() <= 0) {
         // Slow-consumer policy: drop, never stall the simulation. The
         // client sees the gap in sequence numbers and the final count.
-        conn.dropped_steps.fetch_add(1);
+        conn->dropped_steps.fetch_add(1);
         std::lock_guard<std::mutex> slock(stats_mu_);
         ++counters_.steps_dropped;
         continue;
       }
-      conn.credits.fetch_sub(1);
+      conn->credits.fetch_sub(1);
       try {
-        send_locked(conn, frame);
+        send_locked(*conn, frame);
         std::lock_guard<std::mutex> slock(stats_mu_);
         ++counters_.steps_streamed;
-      } catch (const IoError&) {
-        conn.subscribed.store(false);  // worker reaps the broken socket
       } catch (const fault::Kill&) {
-        conn.subscribed.store(false);
+        conn->subscribed.store(false);
         std::lock_guard<std::mutex> slock(stats_mu_);
         ++counters_.killed_connections;
+      } catch (const std::exception&) {
+        // IoError (timeout, peer gone, worker closed the socket) or any
+        // other failure: unsubscribe; the worker reaps the connection.
+        conn->subscribed.store(false);
+        std::lock_guard<std::mutex> slock(stats_mu_);
+        ++counters_.io_errors;
       }
     }
   }
@@ -399,20 +420,23 @@ void Server::bridge_main() {
   StreamEnd end;
   end.reason =
       live_stream_->abandoned() ? "stream abandoned" : "end of stream";
-  std::lock_guard<std::mutex> lock(conns_mu_);
-  for (auto& conn : conns_) {
-    if (conn.done.load() || !conn.subscribed.load()) continue;
-    end.dropped = conn.dropped_steps.load();
+  for (const auto& conn : subscriber_snapshot()) {
+    end.dropped = conn->dropped_steps.load();
     Frame frame;
     frame.type = FrameType::stream_end;
     frame.payload = encode_stream_end(end);
     try {
-      send_locked(conn, frame);
-    } catch (const IoError&) {
+      send_locked(*conn, frame);
     } catch (const fault::Kill&) {
+    } catch (const std::exception&) {
     }
-    conn.subscribed.store(false);
+    conn->subscribed.store(false);
   }
+} catch (const std::exception& e) {
+  // Last line of defense: an escaped exception would std::terminate the
+  // whole daemon from this thread. Queries keep being served; only the
+  // live fan-out ends.
+  GS_WARN("rpc stream bridge stopped: " << e.what());
 }
 
 void Server::shutdown() {
@@ -433,7 +457,7 @@ void Server::shutdown() {
 
   std::lock_guard<std::mutex> lock(conns_mu_);
   for (auto& conn : conns_) {
-    if (conn.thread.joinable()) conn.thread.join();
+    if (conn->thread.joinable()) conn->thread.join();
   }
   conns_.clear();
 }

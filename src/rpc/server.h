@@ -20,9 +20,11 @@
 #include <cstdint>
 #include <deque>
 #include <list>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "bp/stream.h"
 #include "common/stats.h"
@@ -112,7 +114,11 @@ class Server {
     explicit Conn(Socket s) : sock(std::move(s)) {}
     Socket sock;
     std::thread thread;
-    std::mutex write_mu;  ///< serializes conn worker vs. bridge sends
+    /// Serializes conn worker vs. bridge sends — and the worker's final
+    /// sock.close(), so the bridge never writes into a closed (or
+    /// kernel-reused) fd: it either finishes its send first or observes
+    /// the closed socket and gets an IoError.
+    std::mutex write_mu;
     std::atomic<std::int64_t> credits{0};
     std::atomic<bool> subscribed{false};
     std::atomic<std::uint64_t> dropped_steps{0};
@@ -128,6 +134,9 @@ class Server {
                     std::deque<Pending>& pending);
   std::uint64_t active_connections() const;
   void send_locked(Conn& conn, const Frame& frame);
+  /// Live subscribers at this instant; shared ownership keeps each Conn
+  /// alive across a fan-out send performed without conns_mu_ held.
+  std::vector<std::shared_ptr<Conn>> subscriber_snapshot() const;
 
   svc::Service& service_;
   ServerConfig config_;
@@ -141,7 +150,7 @@ class Server {
   std::thread bridge_;
 
   mutable std::mutex conns_mu_;
-  std::list<Conn> conns_;
+  std::list<std::shared_ptr<Conn>> conns_;
 
   std::mutex shutdown_mu_;  ///< serializes concurrent shutdown() calls
   bool shut_down_ = false;

@@ -26,13 +26,19 @@ void set_nonblocking(int fd) {
 }
 
 /// Overall deadline for one logical operation, translated into per-poll
-/// millisecond budgets. timeout_ms <= 0 means "no deadline".
+/// millisecond budgets. The two documented contracts for a non-positive
+/// timeout differ, so the caller picks: `unbounded` (write_all /
+/// read_exact / dial: no deadline) or `immediate` (wait_readable /
+/// accept: a zero-budget deadline — poll once without waiting).
 class Deadline {
  public:
-  explicit Deadline(std::int64_t timeout_ms)
-      : has_(timeout_ms > 0),
+  enum class ZeroMeans { unbounded, immediate };
+
+  explicit Deadline(std::int64_t timeout_ms,
+                    ZeroMeans zero = ZeroMeans::unbounded)
+      : has_(timeout_ms > 0 || zero == ZeroMeans::immediate),
         end_(SteadyClock::now() + std::chrono::milliseconds(
-                                      has_ ? timeout_ms : 0)) {}
+                                      timeout_ms > 0 ? timeout_ms : 0)) {}
 
   bool expired() const { return has_ && SteadyClock::now() >= end_; }
 
@@ -51,16 +57,19 @@ class Deadline {
 };
 
 /// Waits for `events` on fd; true when ready, false on deadline expiry.
+/// Always polls at least once, so an already-expired (zero-budget)
+/// deadline still reports readiness that is pending right now.
 bool poll_for(int fd, short events, const Deadline& deadline) {
   for (;;) {
     pollfd pfd{};
     pfd.fd = fd;
     pfd.events = events;
-    const int ms = deadline.poll_ms();
-    if (ms == 0) return false;
-    const int rc = ::poll(&pfd, 1, ms);
+    const int rc = ::poll(&pfd, 1, deadline.poll_ms());
     if (rc > 0) return true;
-    if (rc == 0) return false;  // timed out
+    if (rc == 0) {
+      if (deadline.expired()) return false;
+      continue;  // poll's ms granularity rounded below the deadline
+    }
     if (errno == EINTR) continue;
     GS_THROW(IoError, "poll failed: " << std::strerror(errno));
   }
@@ -148,7 +157,9 @@ void Socket::close() {
 
 void Socket::write_all(std::span<const std::byte> data,
                        std::int64_t timeout_ms) {
-  GS_REQUIRE(valid(), "write on a closed socket");
+  // IoError (not a bare requirement failure): racing against a close is
+  // a transport condition callers already handle, not a programming bug.
+  if (!valid()) GS_THROW(IoError, "write on a closed socket");
   const Deadline deadline(timeout_ms);
   std::size_t off = 0;
   while (off < data.size()) {
@@ -172,7 +183,7 @@ void Socket::write_all(std::span<const std::byte> data,
 }
 
 bool Socket::read_exact(std::span<std::byte> data, std::int64_t timeout_ms) {
-  GS_REQUIRE(valid(), "read on a closed socket");
+  if (!valid()) GS_THROW(IoError, "read on a closed socket");
   const Deadline deadline(timeout_ms);
   std::size_t off = 0;
   while (off < data.size()) {
@@ -201,8 +212,9 @@ bool Socket::read_exact(std::span<std::byte> data, std::int64_t timeout_ms) {
 }
 
 bool Socket::wait_readable(std::int64_t timeout_ms) {
-  GS_REQUIRE(valid(), "wait on a closed socket");
-  return poll_for(fd_, POLLIN, Deadline(timeout_ms <= 0 ? 0 : timeout_ms));
+  if (!valid()) GS_THROW(IoError, "wait on a closed socket");
+  return poll_for(fd_, POLLIN,
+                  Deadline(timeout_ms, Deadline::ZeroMeans::immediate));
 }
 
 // ---------------------------------------------------------------- Listener
@@ -273,8 +285,8 @@ Listener Listener::bind_listen(const Endpoint& endpoint, int backlog) {
 }
 
 std::optional<Socket> Listener::accept(std::int64_t timeout_ms) {
-  GS_REQUIRE(valid(), "accept on a closed listener");
-  const Deadline deadline(timeout_ms <= 0 ? 0 : timeout_ms);
+  if (!valid()) GS_THROW(IoError, "accept on a closed listener");
+  const Deadline deadline(timeout_ms, Deadline::ZeroMeans::immediate);
   for (;;) {
     const int fd = ::accept(fd_, nullptr, nullptr);
     if (fd >= 0) return Socket(fd);

@@ -1,5 +1,6 @@
 #include "rpc/wire.h"
 
+#include <algorithm>
 #include <array>
 #include <bit>
 #include <cstring>
@@ -25,6 +26,31 @@ const char* to_string(FrameType type) {
     case FrameType::pong: return "pong";
   }
   return "?";
+}
+
+std::uint32_t max_payload_of(FrameType type) {
+  switch (type) {
+    // Client-to-server: a serialized query — paths, variable names, box
+    // coordinates. 1 MiB is orders of magnitude above any real request.
+    case FrameType::request:
+      return 1u << 20;
+    // Tiny control frames (empty or a single u64).
+    case FrameType::stats:
+    case FrameType::subscribe:
+    case FrameType::credit:
+    case FrameType::ping:
+    case FrameType::sub_ok:
+    case FrameType::pong:
+      return 1u << 12;
+    // Bulk server-to-client frames: query answers and stream steps.
+    case FrameType::response:
+    case FrameType::stats_reply:
+    case FrameType::stream_step:
+    case FrameType::stream_end:
+    case FrameType::error_reply:
+      return kMaxPayload - 1;
+  }
+  return kMaxPayload - 1;
 }
 
 // -------------------------------------------------------------- ByteWriter
@@ -565,18 +591,30 @@ std::optional<Frame> recv_frame(Socket& socket, std::int64_t timeout_ms) {
       type > static_cast<std::uint16_t>(FrameType::pong)) {
     GS_THROW(IoError, "unknown frame type " << type);
   }
-  if (payload_len >= kMaxPayload) {
-    GS_THROW(IoError, "oversized frame: " << payload_len << " bytes");
-  }
-
   Frame frame;
   frame.type = static_cast<FrameType>(type);
   frame.id = id;
-  frame.payload.resize(payload_len);
-  if (payload_len > 0 &&
-      !socket.read_exact(frame.payload, timeout_ms)) {
-    GS_THROW(IoError, "torn frame: EOF where " << payload_len
-                      << " payload bytes were promised");
+  const std::uint32_t cap = max_payload_of(frame.type);
+  if (payload_len >= kMaxPayload || payload_len > cap) {
+    GS_THROW(IoError, "oversized " << to_string(frame.type) << " frame: "
+                      << payload_len << " bytes (cap " << cap << ")");
+  }
+
+  // Grow the buffer as bytes actually arrive (not all upfront), so a
+  // header promising a large payload pins at most one chunk beyond what
+  // the peer has really sent.
+  constexpr std::size_t kReadChunk = std::size_t{1} << 22;  // 4 MiB
+  std::size_t got = 0;
+  while (got < payload_len) {
+    const std::size_t chunk =
+        std::min<std::size_t>(payload_len - got, kReadChunk);
+    frame.payload.resize(got + chunk);
+    if (!socket.read_exact(std::span(frame.payload).subspan(got, chunk),
+                           timeout_ms)) {
+      GS_THROW(IoError, "torn frame: EOF where " << payload_len
+                        << " payload bytes were promised");
+    }
+    got += chunk;
   }
   const std::uint32_t actual =
       frame.payload.empty() ? 0 : crc32(std::span(frame.payload));

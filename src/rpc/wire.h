@@ -14,7 +14,9 @@
 //        8     8  id           request-id multiplexing token; a response
 //                              echoes the request's id, push frames
 //                              (stream_step, stream_end) carry 0
-//       16     4  payload_len  bytes following the header (< 1 GiB)
+//       16     4  payload_len  bytes following the header (< 1 GiB
+//                              globally; tighter per-type caps apply —
+//                              see max_payload_of)
 //       20     4  payload_crc  gs::crc32 of the payload bytes
 //       24     …  payload      type-specific encoding (see codecs)
 //
@@ -72,6 +74,17 @@ enum class FrameType : std::uint16_t {
 };
 
 const char* to_string(FrameType type);
+
+/// Receiver-side payload cap for one frame type. Client-to-server frames
+/// are tiny by construction (a request is a query description, subscribe
+/// and credit carry one u64), so the server never trusts a header
+/// promising more — without this, 24 header bytes per connection could
+/// pin kMaxPayload of buffer each, a cheap remote memory-exhaustion
+/// vector on a 0.0.0.0 listener. Bulk server-to-client frames (response,
+/// stream_step, ...) keep the global kMaxPayload bound. Caps leave slack
+/// over the current encodings so appending fields within a protocol
+/// version stays compatible.
+std::uint32_t max_payload_of(FrameType type);
 
 struct Frame {
   FrameType type = FrameType::ping;

@@ -249,6 +249,53 @@ TEST(RpcWire, CorruptedPayloadFailsCrc) {
   EXPECT_THROW(recv_frame(pair.b, 1000), CrcError);
 }
 
+TEST(RpcWire, OversizedClientFrameRejectedBeforePayloadArrives) {
+  // A header-only attack: 24 bytes promising a huge subscribe payload
+  // must be rejected up front (per-type cap), not buffered for 1 GiB.
+  SocketPair pair;
+  ByteWriter header;
+  header.u32(kMagic);
+  header.u16(kVersion);
+  header.u16(static_cast<std::uint16_t>(FrameType::subscribe));
+  header.u64(7);
+  header.u32(1u << 20);  // payload_len far above the subscribe cap
+  header.u32(0);         // crc (never checked: rejected earlier)
+  pair.a.write_all(header.bytes(), 1000);
+  EXPECT_THROW(recv_frame(pair.b, 1000), gs::IoError);
+}
+
+TEST(RpcWire, PerTypeCapsAdmitRealTrafficAndBoundControlFrames) {
+  EXPECT_GE(max_payload_of(FrameType::request), 1u << 16);
+  EXPECT_LE(max_payload_of(FrameType::subscribe), 1u << 16);
+  EXPECT_LE(max_payload_of(FrameType::credit), 1u << 16);
+  EXPECT_LE(max_payload_of(FrameType::ping), 1u << 16);
+  EXPECT_GE(max_payload_of(FrameType::response), kMaxPayload - 1);
+  EXPECT_GE(max_payload_of(FrameType::stream_step), kMaxPayload - 1);
+}
+
+TEST(RpcSocket, ZeroTimeoutWaitReadablePollsWithoutBlocking) {
+  SocketPair pair;
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(pair.b.wait_readable(0));   // nothing pending: immediate no
+  EXPECT_FALSE(pair.b.wait_readable(-5));  // negative behaves the same
+  const auto waited = std::chrono::steady_clock::now() - t0;
+  EXPECT_LT(waited, std::chrono::seconds(2)) << "zero-timeout poll blocked";
+
+  const std::byte one[1] = {std::byte{42}};
+  pair.a.write_all(one, 1000);
+  EXPECT_TRUE(pair.b.wait_readable(0));  // pending data visible at once
+}
+
+TEST(RpcSocket, ClosedSocketOperationsThrowIoError) {
+  SocketPair pair;
+  pair.a.close();
+  const std::byte one[1] = {std::byte{42}};
+  EXPECT_THROW(pair.a.write_all(one, 100), gs::IoError);
+  EXPECT_THROW(pair.a.wait_readable(100), gs::IoError);
+  std::byte buf[1];
+  EXPECT_THROW(pair.a.read_exact(buf, 100), gs::IoError);
+}
+
 // ---- loopback serving ----------------------------------------------------
 
 /// Compares every verb answered remotely against the in-process service,

@@ -197,6 +197,12 @@ int main(int argc, char** argv) {
           // Expected at shutdown: the server abandons the stream and a
           // producer blocked on backpressure unblocks with this error.
           GS_INFO("gsserved: stream producer stopped: " << e.what());
+        } catch (const std::exception& e) {
+          // Anything else escaping this thread would std::terminate the
+          // daemon; report, end the stream so subscribers get a
+          // stream_end, and keep serving queries.
+          GS_WARN("gsserved: stream producer failed: " << e.what());
+          stream.abandon(std::string("producer failed: ") + e.what());
         }
       });
     }
