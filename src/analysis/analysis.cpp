@@ -98,31 +98,39 @@ Slice2D slice_from_reader(const bp::Reader& reader, const std::string& name,
   return extract_slice(plane, sel.count, axis, 0);
 }
 
-FieldStats compute_stats(std::span<const double> data) {
+ExactStats exact_stats(std::span<const double> data) {
   par::RegionOptions opts;
   opts.label = "stats";
   opts.grain = kAnalysisGrain;
-  const RunningStats rs = par::parallel_reduce<RunningStats>(
+  if (data.empty()) return ExactStats{};
+  return par::parallel_reduce<ExactStats>(
       static_cast<std::int64_t>(data.size()),
       [&](std::int64_t begin, std::int64_t end) {
-        RunningStats tile;
+        ExactStats tile;
         for (std::int64_t i = begin; i < end; ++i) {
           tile.add(data[static_cast<std::size_t>(i)]);
         }
         return tile;
       },
-      [](RunningStats a, const RunningStats& b) {
+      [](ExactStats a, const ExactStats& b) {
         a.merge(b);
         return a;
       },
       opts);
+}
+
+FieldStats stats_from_exact(const ExactStats& es) {
   FieldStats out;
-  out.count = rs.count();
-  out.min = rs.min();
-  out.max = rs.max();
-  out.mean = rs.mean();
-  out.stddev = rs.stddev();
+  out.count = es.count();
+  out.min = es.min();
+  out.max = es.max();
+  out.mean = es.mean();
+  out.stddev = es.stddev();
   return out;
+}
+
+FieldStats compute_stats(std::span<const double> data) {
+  return stats_from_exact(exact_stats(data));
 }
 
 json::Object stats_to_json(const FieldStats& stats) {
@@ -162,13 +170,26 @@ Histogram field_histogram(std::span<const double> data, std::size_t bins) {
         return MinMax{std::min(a.lo, b.lo), std::max(a.hi, b.hi)};
       },
       opts);
-  double lo = mm.lo, hi = mm.hi;
-  if (hi <= lo) hi = lo + 1.0;  // constant field: one degenerate bin range
+  const auto [lo, hi] = histogram_range(mm.lo, mm.hi);
+  return field_histogram(data, bins, lo, hi);
+}
 
-  // Pass 2: per-tile histograms merged by bin-count addition (exact —
-  // integer counts commute).
+std::pair<double, double> histogram_range(double lo, double hi) {
+  if (hi <= lo) hi = lo + 1.0;  // constant field: one degenerate bin range
+  return {lo, hi};
+}
+
+Histogram field_histogram(std::span<const double> data, std::size_t bins,
+                          double lo, double hi) {
+  GS_REQUIRE(!data.empty(), "histogram of empty field");
+  par::RegionOptions opts;
+  opts.label = "histogram";
+  opts.grain = kAnalysisGrain;
+  // Per-tile histograms merged by bin-count addition (exact — integer
+  // counts commute), so any tiling/block/shard partitioning of the same
+  // cells over the same [lo, hi) range yields identical counts.
   return par::parallel_reduce<Histogram>(
-      n,
+      static_cast<std::int64_t>(data.size()),
       [&, lo, hi, bins](std::int64_t begin, std::int64_t end) {
         Histogram tile(lo, hi, bins);
         for (std::int64_t i = begin; i < end; ++i) {

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bp/reader.h"
@@ -53,6 +54,13 @@ struct FieldStats {
 };
 FieldStats compute_stats(std::span<const double> data);
 
+/// The exact accumulator behind compute_stats: partition-independent, so
+/// partial accumulators over any disjoint cover of the data (thread
+/// tiles, BP blocks, shards) merge to the bitwise-same FieldStats. The
+/// gs::shard router merges these across daemons.
+ExactStats exact_stats(std::span<const double> data);
+FieldStats stats_from_exact(const ExactStats& stats);
+
 /// JSON object {count, min, max, mean, stddev} for machine-readable
 /// output. Shared by `bpls --json` and `gsquery --json` so both tools
 /// emit byte-identical statistics for the same dataset.
@@ -60,6 +68,16 @@ json::Object stats_to_json(const FieldStats& stats);
 
 /// Histogram of field values over [min, max] of the data.
 Histogram field_histogram(std::span<const double> data, std::size_t bins);
+
+/// Histogram over an explicit [lo, hi) range (shard partials must bin
+/// against the globally-agreed range, not their local extrema).
+Histogram field_histogram(std::span<const double> data, std::size_t bins,
+                          double lo, double hi);
+
+/// The canonical data-range -> histogram-range adjustment (degenerate
+/// constant fields widen to [lo, lo+1)). Single source of truth for the
+/// single-daemon path and the router's two-phase sharded histogram.
+std::pair<double, double> histogram_range(double lo, double hi);
 
 /// Writes an 8-bit grayscale PGM (values normalized to the slice range).
 void write_pgm(const Slice2D& slice, const std::string& path);

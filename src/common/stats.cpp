@@ -1,6 +1,7 @@
 #include "common/stats.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <sstream>
 
@@ -49,6 +50,171 @@ void RunningStats::merge(const RunningStats& other) {
   min_ = std::min(min_, other.min_);
   max_ = std::max(max_, other.max_);
   n_ += other.n_;
+}
+
+namespace {
+
+/// Adds `v` into limb `i` of `a`, propagating the carry upward.
+void add_limb(ExactSum::Limbs& a, std::size_t i, std::uint64_t v) {
+  while (v != 0) {
+    GS_ASSERT(i < ExactSum::kLimbs, "ExactSum limb overflow");
+    const std::uint64_t s = a[i] + v;
+    v = s < v ? 1 : 0;  // carry out
+    a[i] = s;
+    ++i;
+  }
+}
+
+}  // namespace
+
+void ExactSum::add(double x) {
+  GS_REQUIRE(std::isfinite(x), "ExactSum::add requires a finite value");
+  if (x == 0.0) return;
+
+  // Decompose x = sign * m * 2^e with integer m < 2^53: biased exponent 0
+  // is subnormal (m = frac, e = -1074); otherwise the implicit leading
+  // bit joins the fraction and e = E - 1075.
+  const auto bits = std::bit_cast<std::uint64_t>(x);
+  const bool negative = (bits >> 63) != 0;
+  const auto biased = static_cast<int>((bits >> 52) & 0x7ff);
+  const std::uint64_t frac = bits & ((std::uint64_t{1} << 52) - 1);
+  const std::uint64_t m = biased == 0 ? frac : (frac | (std::uint64_t{1} << 52));
+  const int e = biased == 0 ? -1074 : biased - 1075;
+
+  // Bit 0 of limb 0 is 2^-1074, so m lands at bit offset e + 1074.
+  const int offset = e + 1074;
+  const auto limb = static_cast<std::size_t>(offset / 64);
+  const int shift = offset % 64;
+  Limbs& acc = negative ? neg_ : pos_;
+  add_limb(acc, limb, m << shift);
+  if (shift != 0) add_limb(acc, limb + 1, m >> (64 - shift));
+}
+
+void ExactSum::merge(const ExactSum& other) {
+  for (std::size_t i = 0; i < kLimbs; ++i) {
+    add_limb(pos_, i, other.pos_[i]);
+    add_limb(neg_, i, other.neg_[i]);
+  }
+}
+
+double ExactSum::value() const {
+  // Exact signed combination: compare magnitudes, subtract the smaller
+  // from the larger, then round the exact difference once.
+  int cmp = 0;
+  for (std::size_t i = kLimbs; i-- > 0 && cmp == 0;) {
+    if (pos_[i] != neg_[i]) cmp = pos_[i] > neg_[i] ? 1 : -1;
+  }
+  if (cmp == 0) return 0.0;
+  const Limbs& big = cmp > 0 ? pos_ : neg_;
+  const Limbs& small = cmp > 0 ? neg_ : pos_;
+
+  Limbs mag{};
+  std::uint64_t borrow = 0;
+  for (std::size_t i = 0; i < kLimbs; ++i) {
+    const std::uint64_t d1 = big[i] - small[i];
+    const std::uint64_t b1 = big[i] < small[i] ? 1u : 0u;
+    mag[i] = d1 - borrow;
+    borrow = b1 | (d1 < borrow ? 1u : 0u);
+  }
+
+  int h = -1;
+  for (std::size_t i = kLimbs; i-- > 0;) {
+    if (mag[i] != 0) {
+      h = static_cast<int>(i);
+      break;
+    }
+  }
+  GS_ASSERT(h >= 0, "nonzero comparison but zero magnitude");
+
+  // Take the top 64-bit window plus a sticky bit for everything below it;
+  // the u64 -> double conversion then performs the single
+  // round-to-nearest, with the sticky bit breaking would-be ties.
+  const int top_bit = 63 - std::countl_zero(mag[static_cast<std::size_t>(h)]);
+  const long p = 64L * h + top_bit;  // absolute index of the top set bit
+  const int used = top_bit + 1;      // window bits taken from limb h
+  std::uint64_t window;
+  bool sticky = false;
+  if (used == 64) {
+    window = mag[static_cast<std::size_t>(h)];
+  } else {
+    window = mag[static_cast<std::size_t>(h)] << (64 - used);
+    if (h > 0) {
+      window |= mag[static_cast<std::size_t>(h - 1)] >> used;
+      sticky = (mag[static_cast<std::size_t>(h - 1)] << (64 - used)) != 0;
+    }
+  }
+  for (int i = h - (used == 64 ? 1 : 2); i >= 0 && !sticky; --i) {
+    sticky = mag[static_cast<std::size_t>(i)] != 0;
+  }
+  if (sticky) window |= 1;
+
+  const double r = std::scalbn(static_cast<double>(window),
+                               static_cast<int>(p - 63 - 1074));
+  return cmp > 0 ? r : -r;
+}
+
+ExactSum ExactSum::from_limbs(const Limbs& pos, const Limbs& neg) {
+  ExactSum s;
+  s.pos_ = pos;
+  s.neg_ = neg;
+  return s;
+}
+
+void ExactStats::add(double x) {
+  GS_REQUIRE(std::isfinite(x) && std::isfinite(x * x),
+             "ExactStats requires finite values with finite squares");
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_.add(x);
+  sumsq_.add(x * x);
+}
+
+void ExactStats::merge(const ExactStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  n_ += other.n_;
+  sum_.merge(other.sum_);
+  sumsq_.merge(other.sumsq_);
+}
+
+double ExactStats::mean() const {
+  return n_ ? sum_.value() / static_cast<double>(n_) : 0.0;
+}
+
+double ExactStats::variance() const {
+  if (n_ < 2) return 0.0;
+  // sum((x - mu)^2) = sumsq - sum * mu exactly in real arithmetic; the
+  // operands here are the deterministic roundings of the exact sums, so
+  // the result is a pure function of (n, exact sums) — the same for any
+  // partitioning.
+  const double s = sum_.value();
+  const double q = sumsq_.value();
+  const double mu = s / static_cast<double>(n_);
+  return std::max(0.0, (q - s * mu) / static_cast<double>(n_ - 1));
+}
+
+double ExactStats::stddev() const { return std::sqrt(variance()); }
+
+ExactStats ExactStats::from_parts(std::uint64_t n, double min, double max,
+                                  ExactSum sum, ExactSum sumsq) {
+  ExactStats s;
+  s.n_ = n;
+  s.min_ = min;
+  s.max_ = max;
+  s.sum_ = sum;
+  s.sumsq_ = sumsq;
+  return s;
 }
 
 const std::vector<double>& Samples::sorted() const {

@@ -1,10 +1,15 @@
 // Descriptive statistics used by the benchmark harnesses and the
 // weak-scaling performance simulator: streaming moments, percentiles over
 // stored samples, and fixed-bin histograms (Figure 7 is a histogram of
-// per-GPU bandwidths).
+// per-GPU bandwidths) — plus the exact accumulators (ExactSum/ExactStats)
+// that make field statistics partition-independent, the invariant the
+// gs::shard scatter-gather tier's "byte-identical sharded answers" gate
+// rests on.
 #pragma once
 
+#include <array>
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -36,6 +41,88 @@ class RunningStats {
   double min_ = 0.0;
   double max_ = 0.0;
   double sum_ = 0.0;
+};
+
+/// Exact sum of doubles as a fixed-point superaccumulator: two unsigned
+/// magnitude accumulators (positive and negative addends) of 64-bit limbs
+/// spanning the full double exponent range, so add() and merge() are
+/// EXACT integer arithmetic — associative and commutative, unlike
+/// floating-point addition. Any partitioning of the same multiset of
+/// addends (thread tiles, BP blocks, shards) merges to the same limbs,
+/// and value() converts those limbs to double with one deterministic
+/// rounding. This is what lets a sharded field-stats query answer
+/// byte-identically to a single-daemon scan.
+///
+/// Capacity: bit 0 of limb 0 is 2^-1074 (the smallest subnormal); the
+/// top limbs leave > 2^64 addends of headroom above the largest finite
+/// double, so no realistic accumulation overflows. Inputs must be finite
+/// (checked by callers such as ExactStats).
+class ExactSum {
+ public:
+  /// 34 * 64 bits = 2176 >= 2098 value bits (2^-1074 .. 2^1023 mantissa
+  /// tops) + 78 bits of carry headroom.
+  static constexpr std::size_t kLimbs = 34;
+  using Limbs = std::array<std::uint64_t, kLimbs>;
+
+  /// Adds a finite double exactly. x == 0 is a no-op; non-finite x is a
+  /// precondition violation (GS_REQUIRE).
+  void add(double x);
+
+  /// Exact merge: limbwise integer addition with carry. Associative and
+  /// commutative, so any merge tree over the same addends is identical.
+  void merge(const ExactSum& other);
+
+  /// Deterministic conversion of the exact value (pos - neg) to the
+  /// nearest double: pure function of the limbs, independent of how the
+  /// addends were grouped or ordered.
+  double value() const;
+
+  bool operator==(const ExactSum& other) const = default;
+
+  // Raw limb access for wire serialization (gs::rpc partial responses).
+  const Limbs& pos_limbs() const { return pos_; }
+  const Limbs& neg_limbs() const { return neg_; }
+  static ExactSum from_limbs(const Limbs& pos, const Limbs& neg);
+
+ private:
+  Limbs pos_{};
+  Limbs neg_{};
+};
+
+/// Streaming count/min/max/mean/stddev on top of ExactSum: the exact,
+/// partition-independent counterpart of RunningStats. merge() of any
+/// partitioning of a dataset yields bitwise-identical derived moments,
+/// which analysis::compute_stats (and through it every stats answer the
+/// serving tier produces) relies on. Values must be finite and small
+/// enough that x*x is finite (|x| < ~1.34e154).
+class ExactStats {
+ public:
+  void add(double x);
+  void merge(const ExactStats& other);
+
+  std::uint64_t count() const { return n_; }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_.value(); }
+  double mean() const;
+  /// Sample variance (n-1 denominator, clamped at 0); 0 for n < 2.
+  double variance() const;
+  double stddev() const;
+
+  bool operator==(const ExactStats& other) const = default;
+
+  // Wire access (gs::rpc carries exact partials between shards).
+  const ExactSum& exact_sum() const { return sum_; }
+  const ExactSum& exact_sumsq() const { return sumsq_; }
+  static ExactStats from_parts(std::uint64_t n, double min, double max,
+                               ExactSum sum, ExactSum sumsq);
+
+ private:
+  std::uint64_t n_ = 0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  ExactSum sum_;
+  ExactSum sumsq_;
 };
 
 /// Sample container with percentile queries (keeps all values).

@@ -1,0 +1,59 @@
+#include "rpc/pool.h"
+
+#include <utility>
+
+namespace gs::rpc {
+
+ClientPool::ClientPool(Endpoint endpoint, ClientConfig config,
+                       std::size_t max_idle)
+    : endpoint_(std::move(endpoint)),
+      config_(config),
+      max_idle_(max_idle) {}
+
+ClientPool::Lease::Lease(Lease&& other) noexcept
+    : pool_(other.pool_),
+      client_(std::move(other.client_)),
+      discard_(other.discard_) {
+  other.pool_ = nullptr;
+}
+
+ClientPool::Lease::~Lease() {
+  if (pool_ != nullptr && client_ != nullptr) {
+    pool_->give_back(std::move(client_), discard_);
+  }
+}
+
+ClientPool::Lease ClientPool::acquire() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!idle_.empty()) {
+      std::unique_ptr<Client> client = std::move(idle_.back());
+      idle_.pop_back();
+      ++stats_.reused;
+      return Lease(this, std::move(client));
+    }
+  }
+  // Dial outside the lock: a slow connect must not serialize the pool.
+  auto client = std::make_unique<Client>(endpoint_, config_);
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.created;
+  return Lease(this, std::move(client));
+}
+
+void ClientPool::give_back(std::unique_ptr<Client> client, bool discard) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (discard || !client->connected() || idle_.size() >= max_idle_) {
+    if (discard) ++stats_.discarded;
+    return;  // unique_ptr destroys (and disconnects) the client
+  }
+  idle_.push_back(std::move(client));
+}
+
+ClientPool::Stats ClientPool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s = stats_;
+  s.idle = idle_.size();
+  return s;
+}
+
+}  // namespace gs::rpc

@@ -1,0 +1,79 @@
+// gs::rpc connection pool — per-endpoint reuse of rpc::Client
+// connections for the gs::shard router's scatter-gather fan-out. A
+// router worker leases a connected client, runs one or more calls, and
+// the lease returns it to the idle list on destruction; a lease whose
+// call threw is discarded instead (its connection state is suspect — a
+// fresh dial is cheaper than diagnosing a half-dead socket). The pool
+// never blocks: when no idle client is available it dials a new one, and
+// idle clients beyond `max_idle` are closed rather than kept.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "rpc/client.h"
+#include "rpc/socket.h"
+
+namespace gs::rpc {
+
+class ClientPool {
+ public:
+  struct Stats {
+    std::uint64_t created = 0;    ///< clients dialed
+    std::uint64_t reused = 0;     ///< leases served from the idle list
+    std::uint64_t discarded = 0;  ///< leases dropped after an error
+    std::size_t idle = 0;         ///< idle clients right now
+  };
+
+  ClientPool(Endpoint endpoint, ClientConfig config,
+             std::size_t max_idle = 8);
+
+  /// RAII lease: returns the client to the pool on destruction unless
+  /// discard()ed. Move-only.
+  class Lease {
+   public:
+    Lease(Lease&& other) noexcept;
+    Lease& operator=(Lease&&) = delete;
+    ~Lease();
+
+    Client& operator*() { return *client_; }
+    Client* operator->() { return client_.get(); }
+
+    /// Marks the connection suspect: drop it instead of pooling it.
+    void discard() { discard_ = true; }
+
+   private:
+    friend class ClientPool;
+    Lease(ClientPool* pool, std::unique_ptr<Client> client)
+        : pool_(pool), client_(std::move(client)) {}
+
+    ClientPool* pool_;
+    std::unique_ptr<Client> client_;
+    bool discard_ = false;
+  };
+
+  /// Pops an idle client or dials a new one (throws gs::IoError when the
+  /// endpoint is unreachable — the caller's retry/health logic owns
+  /// that).
+  Lease acquire();
+
+  const Endpoint& endpoint() const { return endpoint_; }
+  Stats stats() const;
+
+ private:
+  friend class Lease;
+  void give_back(std::unique_ptr<Client> client, bool discard);
+
+  Endpoint endpoint_;
+  ClientConfig config_;
+  std::size_t max_idle_;
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Client>> idle_;
+  Stats stats_;
+};
+
+}  // namespace gs::rpc

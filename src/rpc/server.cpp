@@ -84,12 +84,32 @@ struct Server::Pending {
   SteadyClock::time_point t0;
 };
 
+json::Value ServiceHandler::stats_json() const {
+  json::Object obj;
+  obj["dataset"] = json::Value(service_->path());
+  obj["service"] = service_->metrics().to_json();
+  return json::Value(std::move(obj));
+}
+
 Server::Server(svc::Service& service, ServerConfig config,
                bp::Stream* live_stream)
-    : service_(service),
+    : owned_handler_(std::make_unique<ServiceHandler>(service)),
+      handler_(owned_handler_.get()),
       config_(std::move(config)),
       live_stream_(live_stream),
       epoch_(SteadyClock::now()) {
+  start();
+}
+
+Server::Server(Handler& handler, ServerConfig config, bp::Stream* live_stream)
+    : handler_(&handler),
+      config_(std::move(config)),
+      live_stream_(live_stream),
+      epoch_(SteadyClock::now()) {
+  start();
+}
+
+void Server::start() {
   GS_REQUIRE(config_.max_connections >= 1,
              "max_connections must be at least 1");
   GS_REQUIRE(config_.io_timeout_ms >= 1, "io_timeout_ms must be positive");
@@ -221,7 +241,7 @@ void Server::handle_frame(Conn& conn, const Frame& frame,
       entry.id = frame.id;
       entry.verb = svc::verb_of(request.body);
       entry.t0 = SteadyClock::now();
-      entry.future = service_.submit(std::move(request));
+      entry.future = handler_->submit(std::move(request));
       pending.push_back(std::move(entry));
       return;
     }
@@ -477,12 +497,11 @@ ServerStats Server::stats() const {
 }
 
 json::Value Server::stats_json() const {
-  json::Object obj;
+  json::Value v = handler_->stats_json();
+  json::Object& obj = v.as_object();
   obj["endpoint"] = json::Value(endpoint_.str());
-  obj["dataset"] = json::Value(service_.path());
   obj["rpc"] = stats().to_json();
-  obj["service"] = service_.metrics().to_json();
-  return json::Value(std::move(obj));
+  return v;
 }
 
 }  // namespace gs::rpc

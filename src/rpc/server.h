@@ -82,7 +82,39 @@ struct ServerStats {
   std::string report() const;  ///< human-readable table
 };
 
-/// One serving endpoint over a Service. Starts the acceptor on
+/// What a Server serves: anything that answers svc Requests through a
+/// future and describes itself for the stats RPC. gs::svc::Service is
+/// one (via ServiceHandler); the gs::shard scatter-gather Router is
+/// another — the wire protocol cannot tell them apart, which is the
+/// point: clients speak to a router exactly as to a single daemon.
+class Handler {
+ public:
+  virtual ~Handler() = default;
+
+  /// Must ALWAYS yield a Response: rejections (busy, shutting down)
+  /// resolve the future with the corresponding status, never block.
+  virtual std::future<svc::Response> submit(svc::Request request) = 0;
+
+  /// The handler's half of the stats RPC JSON. Must contain a "dataset"
+  /// member (remote tools identify the served dataset through it).
+  virtual json::Value stats_json() const = 0;
+};
+
+/// Adapts an in-process svc::Service to the Handler interface.
+class ServiceHandler : public Handler {
+ public:
+  explicit ServiceHandler(svc::Service& service) : service_(&service) {}
+
+  std::future<svc::Response> submit(svc::Request request) override {
+    return service_->submit(std::move(request));
+  }
+  json::Value stats_json() const override;
+
+ private:
+  svc::Service* service_;
+};
+
+/// One serving endpoint over a Handler. Starts the acceptor on
 /// construction; destruction (or shutdown()) drains and joins.
 class Server {
  public:
@@ -91,6 +123,10 @@ class Server {
   /// stream's single consumer (reads it to end-of-stream or abandons it
   /// at shutdown so blocked producers fail cleanly).
   explicit Server(svc::Service& service, ServerConfig config = {},
+                  bp::Stream* live_stream = nullptr);
+  /// Serve an arbitrary Handler (e.g. the gs::shard Router). The handler
+  /// must outlive the server.
+  explicit Server(Handler& handler, ServerConfig config = {},
                   bp::Stream* live_stream = nullptr);
   ~Server();
 
@@ -127,6 +163,7 @@ class Server {
 
   struct Pending;  ///< an admitted request awaiting its svc future
 
+  void start();  ///< shared ctor tail: validate, bind, spawn threads
   void acceptor_main();
   void conn_main(Conn& conn);
   void bridge_main();
@@ -138,7 +175,8 @@ class Server {
   /// alive across a fan-out send performed without conns_mu_ held.
   std::vector<std::shared_ptr<Conn>> subscriber_snapshot() const;
 
-  svc::Service& service_;
+  std::unique_ptr<Handler> owned_handler_;  ///< set by the Service ctor
+  Handler* handler_;
   ServerConfig config_;
   bp::Stream* live_stream_;
   Listener listener_;

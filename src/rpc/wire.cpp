@@ -297,6 +297,54 @@ svc::ResponseBody get_response_body(ByteReader& r, svc::Verb verb) {
   GS_THROW(ParseError, "undecodable response body");
 }
 
+/// ExactSum limbs go on the wire sparsely: [lo, hi) limb window + raw
+/// limbs. Real accumulations touch a handful of the 34 limbs.
+void put_exact_sum(ByteWriter& w, const ExactSum& s) {
+  for (const auto* limbs : {&s.pos_limbs(), &s.neg_limbs()}) {
+    std::size_t lo = ExactSum::kLimbs, hi = 0;
+    for (std::size_t i = 0; i < ExactSum::kLimbs; ++i) {
+      if ((*limbs)[i] != 0) {
+        lo = std::min(lo, i);
+        hi = i + 1;
+      }
+    }
+    if (lo >= hi) lo = hi = 0;
+    w.u8(static_cast<std::uint8_t>(lo));
+    w.u8(static_cast<std::uint8_t>(hi));
+    for (std::size_t i = lo; i < hi; ++i) w.u64((*limbs)[i]);
+  }
+}
+
+ExactSum get_exact_sum(ByteReader& r) {
+  ExactSum::Limbs pos{}, neg{};
+  for (auto* limbs : {&pos, &neg}) {
+    const std::size_t lo = r.u8();
+    const std::size_t hi = r.u8();
+    GS_REQUIRE(lo <= hi && hi <= ExactSum::kLimbs,
+               "bad exact-sum limb window [" << lo << "," << hi << ")");
+    for (std::size_t i = lo; i < hi; ++i) (*limbs)[i] = r.u64();
+  }
+  return ExactSum::from_limbs(pos, neg);
+}
+
+void put_exact_stats(ByteWriter& w, const ExactStats& s) {
+  w.u64(s.count());
+  w.f64(s.min());
+  w.f64(s.max());
+  put_exact_sum(w, s.exact_sum());
+  put_exact_sum(w, s.exact_sumsq());
+}
+
+ExactStats get_exact_stats(ByteReader& r) {
+  const std::uint64_t n = r.u64();
+  const double min = r.f64();
+  const double max = r.f64();
+  ExactSum sum = get_exact_sum(r);
+  ExactSum sumsq = get_exact_sum(r);
+  return ExactStats::from_parts(n, min, max, std::move(sum),
+                                std::move(sumsq));
+}
+
 }  // namespace
 
 std::vector<std::byte> encode_request(const svc::Request& request) {
@@ -318,6 +366,12 @@ std::vector<std::byte> encode_request(const svc::Request& request) {
       w.str(q.variable);
       w.i64(q.step);
       w.u64(q.bins);
+      // Appended within version 1: explicit bin range (shard routing).
+      w.u8(q.has_range ? 1 : 0);
+      if (q.has_range) {
+        w.f64(q.lo);
+        w.f64(q.hi);
+      }
       break;
     }
     case svc::Verb::slice2d: {
@@ -335,6 +389,15 @@ std::vector<std::byte> encode_request(const svc::Request& request) {
       put_box(w, q.box);
       break;
     }
+  }
+  // Appended within version 1: shard selector (router -> shard
+  // sub-queries). Decoders of older frames simply find the payload
+  // exhausted here.
+  w.u8(request.shard.has_value() ? 1 : 0);
+  if (request.shard) {
+    w.u64(request.shard->epoch);
+    w.u32(request.shard->ring_crc);
+    w.str(request.shard->act_as);
   }
   return w.take();
 }
@@ -360,6 +423,13 @@ svc::Request decode_request(std::span<const std::byte> payload) {
       q.variable = r.str();
       q.step = r.i64();
       q.bins = static_cast<std::size_t>(r.u64());
+      if (!r.exhausted()) {
+        q.has_range = r.u8() != 0;
+        if (q.has_range) {
+          q.lo = r.f64();
+          q.hi = r.f64();
+        }
+      }
       request.body = std::move(q);
       break;
     }
@@ -381,6 +451,13 @@ svc::Request decode_request(std::span<const std::byte> payload) {
       break;
     }
   }
+  if (!r.exhausted() && r.u8() != 0) {
+    svc::ShardSelector sel;
+    sel.epoch = r.u64();
+    sel.ring_crc = r.u32();
+    sel.act_as = r.str();
+    request.shard = std::move(sel);
+  }
   return request;
 }
 
@@ -401,6 +478,18 @@ std::vector<std::byte> encode_response(const svc::Response& response) {
       response.status.ok() && response.body.index() != 0;
   w.u8(has_body ? 1 : 0);
   if (has_body) put_response_body(w, response.verb, response.body);
+  // Appended within version 1: partial-answer metadata (shard -> router).
+  w.u8(response.partial.has_value() ? 1 : 0);
+  if (response.partial) {
+    const svc::PartialMeta& p = *response.partial;
+    w.u64(p.epoch);
+    w.u64(p.covered_blocks);
+    w.u64(p.total_blocks);
+    w.u32(static_cast<std::uint32_t>(p.coverage.size()));
+    for (const Box3& box : p.coverage) put_box(w, box);
+    w.u8(p.stats.has_value() ? 1 : 0);
+    if (p.stats) put_exact_stats(w, *p.stats);
+  }
   return w.take();
 }
 
@@ -420,6 +509,17 @@ svc::Response decode_response(std::span<const std::byte> payload) {
   response.disk_bytes = r.u64();
   if (r.u8() != 0) {
     response.body = get_response_body(r, response.verb);
+  }
+  if (!r.exhausted() && r.u8() != 0) {
+    svc::PartialMeta p;
+    p.epoch = r.u64();
+    p.covered_blocks = r.u64();
+    p.total_blocks = r.u64();
+    const std::uint32_t n = r.u32();
+    p.coverage.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) p.coverage.push_back(get_box(r));
+    if (r.u8() != 0) p.stats = get_exact_stats(r);
+    response.partial = std::move(p);
   }
   return response;
 }

@@ -1,0 +1,83 @@
+#include "shard/health.h"
+
+#include "common/error.h"
+
+namespace gs::shard {
+
+const char* to_string(HealthState s) {
+  return s == HealthState::live ? "live" : "dead";
+}
+
+HealthTracker::HealthTracker(std::vector<std::string> ids,
+                             HealthConfig config)
+    : config_(config) {
+  GS_REQUIRE(config_.fail_threshold > 0 && config_.live_threshold > 0,
+             "health thresholds must be positive");
+  entries_.reserve(ids.size());
+  for (std::string& id : ids) {
+    Entry e;
+    e.snap.id = std::move(id);
+    entries_.push_back(std::move(e));
+  }
+}
+
+HealthTracker::Entry& HealthTracker::entry(std::string_view id) {
+  for (Entry& e : entries_) {
+    if (e.snap.id == id) return e;
+  }
+  GS_THROW(Error, "unknown shard '" << id << "'");
+}
+
+const HealthTracker::Entry& HealthTracker::entry(std::string_view id) const {
+  return const_cast<HealthTracker*>(this)->entry(id);
+}
+
+void HealthTracker::record_success(std::string_view id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  HealthSnapshot& s = entry(id).snap;
+  ++s.successes;
+  s.consecutive_failures = 0;
+  ++s.consecutive_successes;
+  if (s.state == HealthState::dead &&
+      s.consecutive_successes >= config_.live_threshold) {
+    s.state = HealthState::live;
+    ++s.went_live;
+  }
+}
+
+void HealthTracker::record_failure(std::string_view id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  HealthSnapshot& s = entry(id).snap;
+  ++s.failures;
+  s.consecutive_successes = 0;
+  ++s.consecutive_failures;
+  if (s.state == HealthState::live &&
+      s.consecutive_failures >= config_.fail_threshold) {
+    s.state = HealthState::dead;
+    ++s.went_dead;
+  }
+}
+
+HealthState HealthTracker::state(std::string_view id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entry(id).snap.state;
+}
+
+std::vector<std::string> HealthTracker::dead_shards() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  for (const Entry& e : entries_) {
+    if (e.snap.state == HealthState::dead) out.push_back(e.snap.id);
+  }
+  return out;
+}
+
+std::vector<HealthSnapshot> HealthTracker::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<HealthSnapshot> out;
+  out.reserve(entries_.size());
+  for (const Entry& e : entries_) out.push_back(e.snap);
+  return out;
+}
+
+}  // namespace gs::shard

@@ -1,0 +1,76 @@
+// gs::shard health tracking — a per-shard live/dead state machine with
+// hysteresis, fed by the router's RPC outcomes and its background probe
+// loop. Hysteresis in both directions keeps routing stable: one dropped
+// connection must not trigger a fleet-wide failover, and one lucky probe
+// must not send traffic back to a daemon that is still flapping.
+//
+//   live --(fail_threshold consecutive failures)--> dead
+//   dead --(live_threshold consecutive successes)--> live
+//
+// Any success resets the failure run and vice versa. Thread-safe; every
+// method may be called concurrently from router workers and the probe
+// thread.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gs::shard {
+
+enum class HealthState { live, dead };
+
+const char* to_string(HealthState s);
+
+struct HealthConfig {
+  /// Consecutive failures that flip live -> dead.
+  int fail_threshold = 2;
+  /// Consecutive successes that flip dead -> live.
+  int live_threshold = 2;
+};
+
+/// Point-in-time view of one shard's health.
+struct HealthSnapshot {
+  std::string id;
+  HealthState state = HealthState::live;
+  int consecutive_failures = 0;
+  int consecutive_successes = 0;
+  std::uint64_t successes = 0;    ///< cumulative
+  std::uint64_t failures = 0;     ///< cumulative
+  std::uint64_t went_dead = 0;    ///< live -> dead transitions
+  std::uint64_t went_live = 0;    ///< dead -> live transitions
+};
+
+class HealthTracker {
+ public:
+  /// All shards start live (optimistic: the first real call probes them).
+  HealthTracker(std::vector<std::string> ids, HealthConfig config);
+
+  void record_success(std::string_view id);
+  void record_failure(std::string_view id);
+
+  HealthState state(std::string_view id) const;
+  bool alive(std::string_view id) const {
+    return state(id) == HealthState::live;
+  }
+  /// Ids currently marked dead (what the probe loop pings).
+  std::vector<std::string> dead_shards() const;
+
+  std::vector<HealthSnapshot> snapshot() const;
+
+ private:
+  struct Entry {
+    HealthSnapshot snap;
+  };
+
+  Entry& entry(std::string_view id);
+  const Entry& entry(std::string_view id) const;
+
+  HealthConfig config_;
+  mutable std::mutex mu_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace gs::shard

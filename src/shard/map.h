@@ -1,0 +1,111 @@
+// gs::shard cluster membership — the static shard map and the
+// consistent-hash ring that places BP block ranges across a fleet of
+// gsserved daemons. The map is a versioned JSON file every member and
+// every router loads; the ring is a pure function of (epoch, vnodes,
+// shard ids), so every process that agrees on the placement-relevant
+// fields of the map computes the identical placement without any
+// coordination — the serving-tier analogue of the slurmctld/slurmd
+// controller/daemon split the paper's Frontier deployment runs under.
+//
+// Shard map file format (JSON):
+//   {
+//     "epoch": 3,            // version; bumped on any membership change
+//     "vnodes": 64,          // virtual nodes per shard on the ring
+//     "shards": [
+//       {"id": "s0", "endpoint": "127.0.0.1:7544"},
+//       {"id": "s1", "endpoint": "unix:/tmp/gs-s1.sock"}
+//     ]
+//   }
+//
+// Placement keys are "<variable>/<step>/<block>" strings; the owner of a
+// key is the shard whose vnode is first at or clockwise after the key's
+// hash. Endpoints are deliberately EXCLUDED from ring_crc(): moving a
+// daemon to a new address must not reshuffle data ownership.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "config/json.h"
+
+namespace gs::shard {
+
+struct ShardInfo {
+  std::string id;        ///< stable placement identity (hashes onto the ring)
+  std::string endpoint;  ///< dialable address: host:port or unix:/path
+};
+
+/// The parsed shard map. Immutable once built; a membership change is a
+/// new file with a bumped epoch.
+class ShardMap {
+ public:
+  /// Builds and validates (throws gs::Error on duplicate/empty ids, no
+  /// shards, or vnodes == 0).
+  ShardMap(std::uint64_t epoch, std::size_t vnodes,
+           std::vector<ShardInfo> shards);
+
+  static ShardMap from_json(const json::Value& v);
+  static ShardMap from_file(const std::string& path);
+  json::Value to_json() const;
+
+  std::uint64_t epoch() const { return epoch_; }
+  std::size_t vnodes() const { return vnodes_; }
+  const std::vector<ShardInfo>& shards() const { return shards_; }
+  std::size_t size() const { return shards_.size(); }
+
+  /// nullptr when `id` is not a member.
+  const ShardInfo* find(std::string_view id) const;
+
+  /// CRC-32 of the canonical placement spec "epoch|vnodes|id0|id1|...".
+  /// Two processes with equal ring_crc compute identical placement;
+  /// endpoints are excluded on purpose (see file header).
+  std::uint32_t ring_crc() const;
+
+ private:
+  std::uint64_t epoch_;
+  std::size_t vnodes_;
+  std::vector<ShardInfo> shards_;
+};
+
+/// The consistent-hash ring over a ShardMap: `vnodes` points per shard,
+/// each at hash64("<id>#<v>"), sorted. owner(key) is the shard of the
+/// first point at or clockwise after hash64(key). Adding or removing one
+/// shard moves only the keys whose arcs it gained/lost (~1/N of them) —
+/// the property the scaling bench asserts.
+class Ring {
+ public:
+  explicit Ring(const ShardMap& map);
+
+  /// The shard id owning `key`. Deterministic across processes.
+  const std::string& owner(std::string_view key) const;
+
+  /// Failover chain: the owner followed by the next `count - 1` DISTINCT
+  /// shards clockwise (fewer if the cluster is smaller). Order is a pure
+  /// function of the key, so every router retries dead owners toward the
+  /// same replicas.
+  std::vector<std::string> chain(std::string_view key,
+                                 std::size_t count) const;
+
+  /// The canonical placement key of one BP block.
+  static std::string block_key(std::string_view variable, std::int64_t step,
+                               std::size_t block);
+
+ private:
+  struct Point {
+    std::uint64_t hash;
+    std::uint32_t shard;  ///< index into ids_
+  };
+  std::vector<Point> points_;
+  std::vector<std::string> ids_;
+
+  std::size_t first_at_or_after(std::uint64_t h) const;
+};
+
+/// 64-bit placement hash (FNV-1a mixed through splitmix64). Stable — part
+/// of the on-the-wire placement contract, never change it.
+std::uint64_t hash64(std::string_view s);
+
+}  // namespace gs::shard

@@ -1,0 +1,195 @@
+// gs::shard router — the scatter-gather tier in front of a fleet of
+// gsserved shards. The router implements rpc::Handler, so an rpc::Server
+// wrapped around it speaks the EXISTING wire protocol unchanged: remote
+// clients (gsquery, the live dashboard's query side) cannot tell a
+// router from a single daemon — except that the dataset behind it is
+// served by N processes.
+//
+// For each client query the router scatters one sub-query per shard in
+// the map ("answer for the blocks you own under epoch E"), gathers the
+// partial answers, and merges them EXACTLY (svc/merge.h + gs::ExactStats
+// integer accumulators), so a routed answer is byte-identical to a
+// single daemon scanning the whole dataset.
+//
+// Failure handling:
+//   * every shard has a HealthTracker entry with mark-dead / mark-live
+//     hysteresis, fed by query traffic and by a background probe thread
+//     that pings every shard each probe interval (fault site
+//     "shard.health");
+//   * a sub-query to a dead or failing shard retries through a
+//     deterministic failover chain of replicas (every shard opens the
+//     same dataset directory, so any daemon can act_as a dead owner and
+//     answer bit-exactly); transient transport errors inside one
+//     candidate are absorbed by fault::with_retries (fault site
+//     "shard.route" fires before each dial);
+//   * when no candidate answers for a shard, the router degrades
+//     explicitly: the merged answer covers the blocks it has,
+//     Response::degraded is set, bad_blocks counts the missing blocks,
+//     and status.message names the missing shard(s) — never a silently
+//     wrong answer.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/stats.h"
+#include "config/json.h"
+#include "rpc/client.h"
+#include "rpc/pool.h"
+#include "rpc/server.h"
+#include "shard/health.h"
+#include "shard/map.h"
+#include "svc/query.h"
+
+namespace gs::shard {
+
+struct RouterConfig {
+  /// Scatter-gather worker threads (one client query each; the scatter
+  /// itself fans out to every shard concurrently).
+  std::size_t workers = 4;
+  /// Admission-queue bound; 0 disables admission control.
+  std::size_t queue_capacity = 64;
+  /// Transport attempts per failover candidate (fault::with_retries).
+  int attempts = 2;
+  double backoff_ms = 1.0;
+  /// Try replicas (act_as failover) when a shard's own daemon is down.
+  /// Off, a dead shard's blocks are reported missing instead.
+  bool failover = true;
+  /// Health-probe period; <= 0 disables the probe thread (health is then
+  /// fed by query traffic only).
+  std::int64_t probe_interval_ms = 200;
+  HealthConfig health;
+  /// Per-shard connection settings (dial/io/call timeouts, wire retries).
+  rpc::ClientConfig client;
+  std::size_t pool_max_idle = 4;
+};
+
+/// Cumulative router counters (see stats_json() for the full picture
+/// including per-shard latency percentiles).
+struct RouterStats {
+  std::uint64_t queries = 0;        ///< client queries admitted to a worker
+  std::uint64_t completed_ok = 0;   ///< answered with status ok
+  std::uint64_t rejected_busy = 0;
+  std::uint64_t rejected_shutdown = 0;
+  std::uint64_t failed = 0;            ///< answered with a non-ok status
+  std::uint64_t degraded_answers = 0;  ///< ok answers with missing blocks
+  std::uint64_t subqueries = 0;        ///< shard sub-calls attempted
+  std::uint64_t subquery_errors = 0;   ///< sub-calls lost to transport errors
+  std::uint64_t failovers = 0;         ///< sub-answers served by a replica
+};
+
+class Router : public rpc::Handler {
+ public:
+  /// Builds the ring, dials nothing yet (pools connect lazily), starts
+  /// the workers and the probe thread.
+  Router(std::shared_ptr<const ShardMap> map, RouterConfig config = {});
+  ~Router() override;
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  // rpc::Handler -----------------------------------------------------------
+  std::future<svc::Response> submit(svc::Request request) override;
+  json::Value stats_json() const override;
+
+  /// submit() + wait.
+  svc::Response call(svc::Request request);
+
+  /// Stops admission, drains queued queries, joins workers + probe.
+  void shutdown();
+
+  const ShardMap& map() const { return *map_; }
+  const HealthTracker& health() const { return health_; }
+  RouterStats stats() const;
+
+ private:
+  struct ShardState {
+    ShardInfo info;
+    std::unique_ptr<rpc::ClientPool> pool;
+    mutable std::mutex mu;  ///< guards the three members below
+    Samples latencies;      ///< seconds per successful sub-call
+    std::uint64_t calls = 0;
+    std::uint64_t errors = 0;
+  };
+
+  struct Job {
+    svc::Request request;
+    std::promise<svc::Response> promise;
+  };
+
+  /// One shard's contribution to a scattered query.
+  struct SubResult {
+    std::string act_as;
+    /// Set when some daemon answered (any status); empty = shard missing
+    /// after every candidate and retry was exhausted.
+    std::optional<svc::Response> response;
+  };
+
+  void worker_main();
+  void probe_main();
+
+  svc::Response route(const svc::Request& request);
+  /// Scatters `body` (with a ShardSelector per shard) to every shard in
+  /// the map concurrently and gathers the results in map order.
+  std::vector<SubResult> scatter(const svc::Request& base,
+                                 const svc::QueryBody& body);
+  /// One shard's sub-query through its failover candidates.
+  SubResult scatter_one(const svc::Request& base, const svc::QueryBody& body,
+                        const std::string& act_as);
+  /// act_as first, then (with failover) every other shard in a
+  /// deterministic ring-derived order.
+  std::vector<std::string> candidates(const std::string& act_as) const;
+  /// One call on one daemon's pooled connection; throws IoError on
+  /// transport failure (after fault::with_retries' attempts).
+  svc::Response subcall(ShardState& state, const svc::Request& sub);
+
+  // Verb merges (each throws gs::Error -> internal_error on
+  // disagreement between shards).
+  svc::Response merge_scattered(const svc::Request& request);
+  svc::Response merge_list_variables(const svc::Request& request);
+  /// Validates partial metadata across parts (equal totals, no coverage
+  /// overlap), fills response.degraded/bad_blocks/status.message, and
+  /// returns the parts with ok responses. Throws on inconsistency.
+  std::vector<const svc::Response*> check_partials(
+      const std::vector<SubResult>& results, svc::Response& response);
+
+  ShardState& state(const std::string& id);
+
+  std::shared_ptr<const ShardMap> map_;
+  RouterConfig config_;
+  Ring ring_;
+  HealthTracker health_;
+  std::map<std::string, std::unique_ptr<ShardState>> shards_;
+
+  // Admission queue (mirrors svc::Service's backpressure contract).
+  mutable std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Job> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+  std::atomic<std::uint64_t> next_id_{1};
+  std::mutex shutdown_mu_;
+  bool shut_down_ = false;
+
+  std::thread probe_;
+  std::condition_variable probe_cv_;  ///< woken by shutdown()
+
+  mutable std::mutex stats_mu_;
+  RouterStats stats_;
+
+  /// The served dataset path, fetched lazily from the first reachable
+  /// shard's stats RPC (the Handler contract requires reporting one).
+  mutable std::mutex dataset_mu_;
+  mutable std::string dataset_;
+};
+
+}  // namespace gs::shard

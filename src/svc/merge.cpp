@@ -1,0 +1,105 @@
+#include "svc/merge.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace gs::svc::merge {
+
+HistogramR histogram_response(const Histogram& h) {
+  HistogramR r;
+  r.lo = h.bin_lo(0);
+  r.hi = h.bin_hi(h.bins() - 1);
+  r.total = h.total();
+  r.counts.reserve(h.bins());
+  for (std::size_t b = 0; b < h.bins(); ++b) r.counts.push_back(h.count(b));
+  return r;
+}
+
+ListVariablesR merge_list_variables(const std::vector<ListVariablesR>& parts) {
+  GS_REQUIRE(!parts.empty(), "no shard listings to merge");
+  const ListVariablesR& first = parts.front();
+  for (std::size_t p = 1; p < parts.size(); ++p) {
+    const ListVariablesR& other = parts[p];
+    GS_REQUIRE(other.n_steps == first.n_steps,
+               "shards disagree on step count: " << first.n_steps << " vs "
+                                                 << other.n_steps);
+    GS_REQUIRE(other.variables.size() == first.variables.size(),
+               "shards disagree on variable count: "
+                   << first.variables.size() << " vs "
+                   << other.variables.size());
+    for (std::size_t v = 0; v < first.variables.size(); ++v) {
+      const VarEntry& a = first.variables[v];
+      const VarEntry& b = other.variables[v];
+      GS_REQUIRE(a.name == b.name && a.type == b.type &&
+                     a.shape.i == b.shape.i && a.shape.j == b.shape.j &&
+                     a.shape.k == b.shape.k && a.steps == b.steps &&
+                     a.min == b.min && a.max == b.max,
+                 "shards disagree on variable '" << a.name << "'");
+    }
+  }
+  return first;
+}
+
+void overlay_read_box(const ReadBoxR& part, const std::vector<Box3>& coverage,
+                      ReadBoxR& out) {
+  GS_REQUIRE(part.values.size() == out.values.size(),
+             "partial read size " << part.values.size()
+                                  << " != selection size "
+                                  << out.values.size());
+  const Index3& count = out.box.count;
+  for (const Box3& c : coverage) {
+    GS_REQUIRE(c.start.i >= 0 && c.start.j >= 0 && c.start.k >= 0 &&
+                   c.end().i <= count.i && c.end().j <= count.j &&
+                   c.end().k <= count.k,
+               "coverage box " << c << " outside selection " << count);
+    for (std::int64_t k = c.start.k; k < c.end().k; ++k) {
+      for (std::int64_t j = c.start.j; j < c.end().j; ++j) {
+        for (std::int64_t i = c.start.i; i < c.end().i; ++i) {
+          const auto idx = static_cast<std::size_t>(
+              linear_index(Index3{i, j, k}, count));
+          out.values[idx] = part.values[idx];
+        }
+      }
+    }
+  }
+}
+
+void overlay_slice2d(const Slice2DR& part, const std::vector<Box3>& coverage,
+                     int axis, Slice2DR& out) {
+  GS_REQUIRE(axis >= 0 && axis < 3, "axis must be 0..2");
+  GS_REQUIRE(part.slice.nx == out.slice.nx && part.slice.ny == out.slice.ny,
+             "partial slice is " << part.slice.nx << "x" << part.slice.ny
+                                 << ", expected " << out.slice.nx << "x"
+                                 << out.slice.ny);
+  const int ax = axis == 0 ? 1 : 0;
+  const int ay = axis == 2 ? 1 : 2;
+  for (const Box3& c : coverage) {
+    GS_REQUIRE(c.start[axis] == 0 && c.count[axis] == 1,
+               "slice coverage box " << c << " not plane-local");
+    const std::int64_t x0 = c.start[ax];
+    const std::int64_t x1 = x0 + c.count[ax];
+    const std::int64_t y0 = c.start[ay];
+    const std::int64_t y1 = y0 + c.count[ay];
+    GS_REQUIRE(x0 >= 0 && x1 <= out.slice.nx && y0 >= 0 &&
+                   y1 <= out.slice.ny,
+               "slice coverage box " << c << " outside plane");
+    for (std::int64_t y = y0; y < y1; ++y) {
+      for (std::int64_t x = x0; x < x1; ++x) {
+        const auto idx = static_cast<std::size_t>(x + out.slice.nx * y);
+        out.slice.values[idx] = part.slice.values[idx];
+      }
+    }
+  }
+}
+
+void finalize_slice_minmax(Slice2DR& out) {
+  bool first = true;
+  for (const double v : out.slice.values) {
+    out.slice.min = first ? v : std::min(out.slice.min, v);
+    out.slice.max = first ? v : std::max(out.slice.max, v);
+    first = false;
+  }
+}
+
+}  // namespace gs::svc::merge

@@ -1,0 +1,48 @@
+// gs::svc partial-answer merge helpers — the exact-reassembly half of the
+// gs::shard scatter-gather tier. Each verb's merge is EXACT, so a routed
+// answer is byte-identical to a single daemon scanning the whole dataset:
+//   * field_stats:   gs::ExactStats partials merge in integer arithmetic;
+//   * histogram:     integer bin-count addition over the agreed range;
+//   * list_variables: all shards see the same dataset — verify + take one;
+//   * slice2d/read_box: disjoint coverage-box overlay (every BP block is
+//     owned by exactly one shard, so fragments never overlap).
+// The single-daemon service uses histogram_response() too, keeping the
+// derived lo/hi bitwise-identical on both paths.
+#pragma once
+
+#include <vector>
+
+#include "common/stats.h"
+#include "grid/box.h"
+#include "svc/query.h"
+
+namespace gs::svc::merge {
+
+/// Builds the HistogramR payload from a filled Histogram: the ONE code
+/// path deriving the response's lo/hi from the bin arithmetic, shared by
+/// Service::execute and the router's merge.
+HistogramR histogram_response(const Histogram& h);
+
+/// Verifies that per-shard full listings agree (same steps, same
+/// variables, same metadata) and returns the common listing. Throws
+/// gs::Error naming the first disagreement — shards serving different
+/// dataset versions must surface loudly, not merge silently.
+ListVariablesR merge_list_variables(const std::vector<ListVariablesR>& parts);
+
+/// Copies the cells of `part` selected by its selection-local coverage
+/// boxes into `out` (both arrays are column-major over out.box.count).
+void overlay_read_box(const ReadBoxR& part, const std::vector<Box3>& coverage,
+                      ReadBoxR& out);
+
+/// Same for a 2-D slice: coverage boxes are plane-local 3-D boxes with
+/// extent 1 on `axis`; cells map to the slice's (x, y) layout the way
+/// analysis::extract_slice lays them out.
+void overlay_slice2d(const Slice2DR& part, const std::vector<Box3>& coverage,
+                     int axis, Slice2DR& out);
+
+/// Recomputes out.slice.min/max by scanning values in extract_slice's
+/// order (y outer, x inner), so the merged slice's metadata is bitwise
+/// what a single daemon would have produced.
+void finalize_slice_minmax(Slice2DR& out);
+
+}  // namespace gs::svc::merge

@@ -15,6 +15,7 @@
 
 #include "analysis/analysis.h"
 #include "common/error.h"
+#include "common/stats.h"
 #include "grid/box.h"
 
 namespace gs::svc {
@@ -94,6 +95,12 @@ struct HistogramQ {
   std::string variable;
   std::int64_t step = 0;
   std::size_t bins = 32;
+  /// Explicit bin range. Without it the service bins over the data's own
+  /// [min, max]; the shard router's two-phase histogram sets it so every
+  /// shard bins its partial counts against the globally-agreed range.
+  bool has_range = false;
+  double lo = 0.0;
+  double hi = 0.0;
 };
 
 struct Slice2DQ {
@@ -114,6 +121,35 @@ using QueryBody =
 
 Verb verb_of(const QueryBody& body);
 
+/// Attached by the gs::shard router to a scattered sub-query: "answer
+/// only for the blocks shard `act_as` owns under this placement". A
+/// daemon may be asked to act as a DIFFERENT member (failover: every
+/// shard opens the same dataset directory, so a replica can serve a dead
+/// owner's blocks bit-exactly). The epoch/ring_crc pair guards against
+/// split-brain placement: a daemon whose shard map disagrees refuses the
+/// sub-query with BadRequest instead of silently answering for the wrong
+/// block set.
+struct ShardSelector {
+  std::uint64_t epoch = 0;
+  std::uint32_t ring_crc = 0;
+  std::string act_as;
+};
+
+/// Partial-answer metadata attached to a shard's sub-response. Block
+/// counts cover ALL blocks of (variable, step) — `covered` is how many
+/// this shard owns and answered for — so the router can verify the
+/// scatter covered every block exactly once. `coverage` boxes are in
+/// selection-local coordinates for slice/read reassembly, and
+/// field-stats partials carry the exact accumulator so merged moments
+/// are bitwise those of a single-daemon scan.
+struct PartialMeta {
+  std::uint64_t epoch = 0;
+  std::uint64_t covered_blocks = 0;
+  std::uint64_t total_blocks = 0;
+  std::vector<Box3> coverage;
+  std::optional<ExactStats> stats;
+};
+
 struct Request {
   /// Assigned by the service at submit time (unique per service instance).
   std::uint64_t id = 0;
@@ -122,6 +158,8 @@ struct Request {
   /// deadline; < 0 means already expired (callers propagating an exhausted
   /// budget — the request is admitted but answered DeadlineExceeded).
   double timeout_seconds = 0.0;
+  /// Present only on router -> shard sub-queries.
+  std::optional<ShardSelector> shard;
 };
 
 // ---- responses -----------------------------------------------------------
@@ -176,6 +214,12 @@ struct Response {
   /// beats failing the whole request when one OST ate a block.
   bool degraded = false;
   std::size_t bad_blocks = 0;  ///< damaged blocks skipped while answering
+
+  /// Present only on shard sub-responses (requests that carried a
+  /// ShardSelector). Absent on every client-facing answer: the router
+  /// consumes it while merging, so a routed response is indistinguishable
+  /// from a single-daemon one.
+  std::optional<PartialMeta> partial;
 
   // Request tracing: where the time went and what the cache did.
   double queue_seconds = 0.0;    ///< admission queue wait

@@ -8,6 +8,7 @@
 #include "common/format.h"
 #include "common/log.h"
 #include "fault/fault.h"
+#include "svc/merge.h"
 
 namespace gs::svc {
 
@@ -65,6 +66,9 @@ Service::Service(std::string path, ServiceConfig config)
   GS_REQUIRE(config_.threads >= 1, "service needs at least one worker");
   cache_ = std::make_unique<BlockCache>(config_.cache_bytes,
                                         config_.cache_shards);
+  if (config_.shard_map) {
+    ring_ = std::make_unique<shard::Ring>(*config_.shard_map);
+  }
   workers_.reserve(config_.threads);
   for (std::size_t t = 0; t < config_.threads; ++t) {
     workers_.emplace_back([this] { worker_main(); });
@@ -187,7 +191,9 @@ void Service::process(Job job) {
               "deadline expired before execution"};
   } else {
     try {
-      response.body = execute(job.request.body, response);
+      response.body = job.request.shard.has_value()
+                          ? execute_partial(job.request, response)
+                          : execute(job.request.body, response);
     } catch (const gs::Error& e) {
       status = {StatusCode::bad_request, e.what()};
     } catch (const std::exception& e) {
@@ -199,7 +205,10 @@ void Service::process(Job job) {
     }
   }
   const auto exec_end = SteadyClock::now();
-  if (!status.ok()) response.body = std::monostate{};
+  if (!status.ok()) {
+    response.body = std::monostate{};
+    response.partial.reset();
+  }
   response.status = std::move(status);
   response.exec_seconds =
       std::chrono::duration<double>(exec_end - exec_start).count();
@@ -254,16 +263,15 @@ ResponseBody Service::execute(const QueryBody& body, Response& response) {
             const auto info = reader_.info(q.variable);
             const auto data = read_selection(
                 q.variable, q.step, Box3{{0, 0, 0}, info.shape}, response);
-            const Histogram h = analysis::field_histogram(data, q.bins);
-            HistogramR r;
-            r.lo = h.bin_lo(0);
-            r.hi = h.bin_hi(h.bins() - 1);
-            r.total = h.total();
-            r.counts.reserve(h.bins());
-            for (std::size_t b = 0; b < h.bins(); ++b) {
-              r.counts.push_back(h.count(b));
+            if (q.has_range) {
+              GS_REQUIRE(q.hi > q.lo, "histogram range [" << q.lo << ","
+                                                          << q.hi
+                                                          << ") empty");
+              return merge::histogram_response(
+                  analysis::field_histogram(data, q.bins, q.lo, q.hi));
             }
-            return r;
+            return merge::histogram_response(
+                analysis::field_histogram(data, q.bins));
           },
           [&](const Slice2DQ& q) -> ResponseBody {
             GS_REQUIRE(q.axis >= 0 && q.axis < 3, "axis must be 0..2");
@@ -287,6 +295,132 @@ ResponseBody Service::execute(const QueryBody& body, Response& response) {
       body);
 }
 
+ResponseBody Service::execute_partial(const Request& request,
+                                      Response& response) {
+  const ShardSelector& sel = *request.shard;
+  GS_REQUIRE(config_.shard_map != nullptr,
+             "shard sub-query to a daemon without a shard map");
+  const shard::ShardMap& map = *config_.shard_map;
+  GS_REQUIRE(sel.epoch == map.epoch() && sel.ring_crc == map.ring_crc(),
+             "shard map mismatch: daemon has epoch "
+                 << map.epoch() << "/ring " << map.ring_crc()
+                 << ", request carries epoch " << sel.epoch << "/ring "
+                 << sel.ring_crc);
+  GS_REQUIRE(map.find(sel.act_as) != nullptr,
+             "unknown shard '" << sel.act_as << "' in sub-query");
+
+  PartialMeta meta;
+  meta.epoch = map.epoch();
+  const auto owned = [&](const std::string& variable, std::int64_t step,
+                         std::size_t block) {
+    return ring_->owner(shard::Ring::block_key(variable, step, block)) ==
+           sel.act_as;
+  };
+
+  ResponseBody body = std::visit(
+      overloaded{
+          [&](const ListVariablesQ& q) -> ResponseBody {
+            // The listing is metadata every shard holds whole; no block
+            // filtering, the router cross-checks the copies instead.
+            return execute(QueryBody{q}, response);
+          },
+          [&](const FieldStatsQ& q) -> ResponseBody {
+            const auto blks = reader_.blocks(q.variable, q.step);
+            meta.total_blocks = blks.size();
+            ExactStats acc;
+            for (std::size_t b = 0; b < blks.size(); ++b) {
+              if (!owned(q.variable, q.step, b)) continue;
+              const BlockData data =
+                  fetch_block(q.variable, q.step, b, response);
+              if (!data) continue;  // damaged: stays uncovered
+              acc.merge(analysis::exact_stats(*data));
+              ++meta.covered_blocks;
+            }
+            meta.stats = acc;
+            return FieldStatsR{analysis::stats_from_exact(acc)};
+          },
+          [&](const HistogramQ& q) -> ResponseBody {
+            GS_REQUIRE(q.bins >= 1 && q.bins <= (1u << 20),
+                       "histogram bins " << q.bins << " out of range");
+            GS_REQUIRE(q.has_range && q.hi > q.lo,
+                       "shard histogram sub-query needs an explicit "
+                       "non-empty range");
+            const auto blks = reader_.blocks(q.variable, q.step);
+            meta.total_blocks = blks.size();
+            Histogram h(q.lo, q.hi, q.bins);
+            for (std::size_t b = 0; b < blks.size(); ++b) {
+              if (!owned(q.variable, q.step, b)) continue;
+              const BlockData data =
+                  fetch_block(q.variable, q.step, b, response);
+              if (!data) continue;
+              h.merge(analysis::field_histogram(*data, q.bins, q.lo, q.hi));
+              ++meta.covered_blocks;
+            }
+            return merge::histogram_response(h);
+          },
+          [&](const Slice2DQ& q) -> ResponseBody {
+            GS_REQUIRE(q.axis >= 0 && q.axis < 3, "axis must be 0..2");
+            const auto info = reader_.info(q.variable);
+            GS_REQUIRE(q.coord >= 0 && q.coord < info.shape[q.axis],
+                       "slice coordinate " << q.coord
+                                           << " outside axis extent "
+                                           << info.shape[q.axis]);
+            Box3 plane{{0, 0, 0}, info.shape};
+            plane.start.axis(q.axis) = q.coord;
+            plane.count.axis(q.axis) = 1;
+            auto values = read_owned(q.variable, q.step, plane, sel.act_as,
+                                     meta, response);
+            return Slice2DR{
+                analysis::extract_slice(values, plane.count, q.axis, 0)};
+          },
+          [&](const ReadBoxQ& q) -> ResponseBody {
+            auto values = read_owned(q.variable, q.step, q.box, sel.act_as,
+                                     meta, response);
+            return ReadBoxR{q.box, std::move(values)};
+          }},
+      request.body);
+  response.partial = std::move(meta);
+  return body;
+}
+
+std::vector<double> Service::read_owned(const std::string& variable,
+                                        std::int64_t step,
+                                        const Box3& selection,
+                                        const std::string& act_as,
+                                        PartialMeta& meta,
+                                        Response& response) {
+  GS_REQUIRE(!selection.empty(), "empty selection");
+  const auto info = reader_.info(variable);
+  GS_REQUIRE(selection.start.i >= 0 && selection.start.j >= 0 &&
+                 selection.start.k >= 0 &&
+                 selection.end().i <= info.shape.i &&
+                 selection.end().j <= info.shape.j &&
+                 selection.end().k <= info.shape.k,
+             "selection " << selection << " outside shape " << info.shape);
+  const auto blks = reader_.blocks(variable, step);
+  meta.total_blocks = blks.size();
+
+  std::vector<double> out(static_cast<std::size_t>(selection.volume()), 0.0);
+  for (std::size_t b = 0; b < blks.size(); ++b) {
+    if (ring_->owner(shard::Ring::block_key(variable, step, b)) != act_as) {
+      continue;
+    }
+    const Box3 overlap = blks[b].box.intersect(selection);
+    if (overlap.empty()) {
+      // Owned but outside the selection: covered, nothing to copy.
+      ++meta.covered_blocks;
+      continue;
+    }
+    const BlockData data = fetch_block(variable, step, b, response);
+    if (!data) continue;  // damaged: stays uncovered
+    bp::copy_overlap(*data, blks[b].box, selection, out);
+    meta.coverage.push_back(
+        Box3{overlap.start - selection.start, overlap.count});
+    ++meta.covered_blocks;
+  }
+  return out;
+}
+
 std::vector<double> Service::read_selection(const std::string& variable,
                                             std::int64_t step,
                                             const Box3& selection,
@@ -305,37 +439,44 @@ std::vector<double> Service::read_selection(const std::string& variable,
   for (std::size_t b = 0; b < blks.size(); ++b) {
     const Box3 overlap = blks[b].box.intersect(selection);
     if (overlap.empty()) continue;
-    BlockData data;
-    bool hit = false;
-    try {
-      if (config_.cache_enabled) {
-        data = cache_->get_or_load(
-            BlockKey{path_, variable, step, static_cast<std::int32_t>(b)},
-            [&] { return reader_.read_block(variable, step, b); }, &hit);
-      } else {
-        data = std::make_shared<const std::vector<double>>(
-            reader_.read_block(variable, step, b));
-      }
-    } catch (const IoError& e) {
-      // Salvage: a damaged block degrades the answer (its cells stay
-      // zero) instead of failing the whole request. fault::Kill is not
-      // an IoError and still crashes the request.
-      response.degraded = true;
-      ++response.bad_blocks;
-      GS_WARN("svc: skipping damaged block " << b << " of " << variable
-                                             << " step " << step << ": "
-                                             << e.what());
-      continue;
-    }
-    if (hit) {
-      ++response.cache_hits;
-    } else {
-      ++response.cache_misses;
-      response.disk_bytes += data->size() * sizeof(double);
-    }
+    const BlockData data = fetch_block(variable, step, b, response);
+    if (!data) continue;  // damaged block salvaged (cells stay zero)
     bp::copy_overlap(*data, blks[b].box, selection, out);
   }
   return out;
+}
+
+BlockData Service::fetch_block(const std::string& variable, std::int64_t step,
+                               std::size_t block, Response& response) {
+  BlockData data;
+  bool hit = false;
+  try {
+    if (config_.cache_enabled) {
+      data = cache_->get_or_load(
+          BlockKey{path_, variable, step, static_cast<std::int32_t>(block)},
+          [&] { return reader_.read_block(variable, step, block); }, &hit);
+    } else {
+      data = std::make_shared<const std::vector<double>>(
+          reader_.read_block(variable, step, block));
+    }
+  } catch (const IoError& e) {
+    // Salvage: a damaged block degrades the answer (its cells stay
+    // zero) instead of failing the whole request. fault::Kill is not
+    // an IoError and still crashes the request.
+    response.degraded = true;
+    ++response.bad_blocks;
+    GS_WARN("svc: skipping damaged block " << block << " of " << variable
+                                           << " step " << step << ": "
+                                           << e.what());
+    return nullptr;
+  }
+  if (hit) {
+    ++response.cache_hits;
+  } else {
+    ++response.cache_misses;
+    response.disk_bytes += data->size() * sizeof(double);
+  }
+  return data;
 }
 
 void Service::count_outcome(Verb verb, StatusCode code,

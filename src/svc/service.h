@@ -39,6 +39,7 @@
 #include "common/stats.h"
 #include "config/json.h"
 #include "prof/profiler.h"
+#include "shard/map.h"
 #include "svc/cache.h"
 #include "svc/query.h"
 
@@ -64,6 +65,12 @@ struct ServiceConfig {
   /// admitted request executes (tests use it to park workers; telemetry
   /// can use it to sample queue states). Must be thread-safe.
   std::function<void(const Request&)> before_execute;
+  /// Cluster membership (gsserved --shard-map). When set, requests that
+  /// carry a ShardSelector are answered PARTIALLY — only the blocks the
+  /// selector's `act_as` shard owns under this map — with PartialMeta
+  /// attached for the router's exact merge. Requests without a selector
+  /// are served whole, exactly as on a non-member daemon.
+  std::shared_ptr<const shard::ShardMap> shard_map;
 };
 
 /// Point-in-time service metrics (counters are cumulative since start).
@@ -151,11 +158,26 @@ class Service {
   void process(Job job);
   /// Executes the verb (cached reads); throws gs::Error for bad input.
   ResponseBody execute(const QueryBody& body, Response& response);
+  /// Shard sub-query: answers only for the blocks `request.shard->act_as`
+  /// owns and attaches PartialMeta. Throws gs::Error (-> BadRequest) on
+  /// placement disagreement (epoch/ring mismatch, unknown shard, no map).
+  ResponseBody execute_partial(const Request& request, Response& response);
   /// Selection read through the block cache; bitwise-identical to
   /// bp::Reader::read on the same selection.
   std::vector<double> read_selection(const std::string& variable,
                                      std::int64_t step, const Box3& selection,
                                      Response& response);
+  /// One cached/salvaged block fetch; nullptr means the block is damaged
+  /// (the response has been flagged degraded and the block counted).
+  BlockData fetch_block(const std::string& variable, std::int64_t step,
+                        std::size_t block, Response& response);
+  /// read_selection restricted to the blocks `act_as` owns: unowned cells
+  /// stay zero, coverage boxes (selection-local) and block counts land in
+  /// `meta` for the router's overlay merge.
+  std::vector<double> read_owned(const std::string& variable,
+                                 std::int64_t step, const Box3& selection,
+                                 const std::string& act_as, PartialMeta& meta,
+                                 Response& response);
   void count_outcome(Verb verb, StatusCode code, double latency_seconds);
   double since_epoch(SteadyClock::time_point tp) const;
 
@@ -163,6 +185,8 @@ class Service {
   bp::Reader reader_;
   ServiceConfig config_;
   std::unique_ptr<BlockCache> cache_;
+  /// Placement ring over config_.shard_map (null on non-member daemons).
+  std::unique_ptr<shard::Ring> ring_;
   SteadyClock::time_point epoch_;
 
   // Admission queue (queue_mu_ also guards the depth high-water mark).

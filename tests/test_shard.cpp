@@ -1,0 +1,677 @@
+// Tests for gs::shard — the sharded serving cluster. The consistent-hash
+// ring must place deterministically and reshuffle minimally, the shard
+// map must round-trip and keep its placement CRC independent of
+// endpoints, health tracking must apply hysteresis in both directions,
+// and — the core correctness invariant the router relies on — the exact
+// merge machinery (ExactSum/ExactStats/Histogram, svc::merge) must be
+// order-independent and bitwise-identical across ANY shard partitioning
+// of the same data. End-to-end: a 3-shard cluster behind a Router must
+// answer byte-identically to a single daemon, survive a shard kill via
+// failover, and degrade explicitly (never silently) without failover.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "bp/writer.h"
+#include "common/stats.h"
+#include "grid/decomp.h"
+#include "mpi/runtime.h"
+#include "rpc/pool.h"
+#include "rpc/server.h"
+#include "rpc/wire.h"
+#include "shard/health.h"
+#include "shard/map.h"
+#include "shard/router.h"
+#include "svc/merge.h"
+#include "svc/service.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+using gs::Box3;
+using gs::Decomposition;
+using gs::ExactStats;
+using gs::ExactSum;
+using gs::Index3;
+namespace shard = gs::shard;
+namespace svc = gs::svc;
+namespace rpc = gs::rpc;
+
+constexpr std::int64_t kL = 16;
+constexpr int kSteps = 3;
+
+std::string temp_path(const std::string& name) {
+  static const std::string pid = std::to_string(::getpid());
+  return (fs::path(testing::TempDir()) / (name + "." + pid)).string();
+}
+
+double cell_value(const Index3& g, const Index3& shape, std::int64_t step) {
+  return static_cast<double>(gs::linear_index(g, shape)) +
+         1e6 * static_cast<double>(step);
+}
+
+/// Writes kSteps of L^3 "U" and "V" with 8 writers (8 blocks per step —
+/// enough placement granularity for a 3-shard split).
+std::string write_dataset(const std::string& name) {
+  const std::string path = temp_path(name) + ".bp";
+  fs::remove_all(path);
+  gs::mpi::run(8, [&](gs::mpi::Comm& world) {
+    const Decomposition d = Decomposition::cube(kL, world.size());
+    const Box3 box = d.local_box(world.rank());
+    const Index3 shape{kL, kL, kL};
+    gs::bp::Writer w(path, world, 2);
+    for (int s = 0; s < kSteps; ++s) {
+      std::vector<double> block(static_cast<std::size_t>(box.volume()));
+      std::size_t n = 0;
+      for (std::int64_t k = box.start.k; k < box.end().k; ++k) {
+        for (std::int64_t j = box.start.j; j < box.end().j; ++j) {
+          for (std::int64_t i = box.start.i; i < box.end().i; ++i) {
+            block[n++] = cell_value({i, j, k}, shape, s);
+          }
+        }
+      }
+      w.begin_step();
+      w.put("U", shape, box, block);
+      w.put("V", shape, box, block);
+      w.put_scalar("step", 10 * s);
+      w.end_step();
+    }
+    w.close();
+  });
+  return path;
+}
+
+const std::string& dataset() {
+  static const std::string path = write_dataset("shard_shared");
+  return path;
+}
+
+shard::ShardMap make_map(std::size_t n, std::uint64_t epoch = 1,
+                         std::size_t vnodes = 64) {
+  std::vector<shard::ShardInfo> shards;
+  for (std::size_t i = 0; i < n; ++i) {
+    shards.push_back(shard::ShardInfo{"s" + std::to_string(i),
+                                      "127.0.0.1:" + std::to_string(7000 + i)});
+  }
+  return shard::ShardMap(epoch, vnodes, std::move(shards));
+}
+
+// ---- consistent-hash ring ------------------------------------------------
+
+TEST(ShardRing, OwnerIsDeterministicAndCoversEveryKey) {
+  const shard::ShardMap map = make_map(4);
+  const shard::Ring a(map);
+  const shard::Ring b(map);
+  std::map<std::string, int> hits;
+  for (int blk = 0; blk < 64; ++blk) {
+    const std::string key = shard::Ring::block_key("U", 1, blk);
+    const std::string& owner = a.owner(key);
+    EXPECT_EQ(owner, b.owner(key)) << key;
+    ASSERT_NE(map.find(owner), nullptr) << key;
+    ++hits[owner];
+  }
+  // With 64 vnodes per shard every shard should own a share of 64 keys.
+  EXPECT_GE(hits.size(), 3u);
+}
+
+TEST(ShardRing, ChainStartsAtOwnerAndIsDistinct) {
+  const shard::ShardMap map = make_map(5);
+  const shard::Ring ring(map);
+  const std::string key = shard::Ring::block_key("V", 2, 3);
+  const auto chain = ring.chain(key, 5);
+  ASSERT_EQ(chain.size(), 5u);
+  EXPECT_EQ(chain[0], ring.owner(key));
+  std::vector<std::string> sorted = chain;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::unique(sorted.begin(), sorted.end()), sorted.end());
+}
+
+TEST(ShardRing, AddingOneShardMovesOnlyAFraction) {
+  const shard::ShardMap four = make_map(4);
+  const shard::ShardMap five = make_map(5);
+  const shard::Ring before(four);
+  const shard::Ring after(five);
+  int moved = 0;
+  const int keys = 512;
+  for (int i = 0; i < keys; ++i) {
+    const std::string key = shard::Ring::block_key("U", i % 8, i);
+    if (before.owner(key) != after.owner(key)) ++moved;
+  }
+  // Theory says ~1/5 of keys move to the new shard; anything close to a
+  // full reshuffle means the ring is broken (modulo placement would move
+  // ~4/5).
+  EXPECT_GT(moved, 0);
+  EXPECT_LT(moved, keys * 2 / 5) << "ring reshuffles too much";
+  // And every moved key moved TO the new shard, never between old ones.
+  for (int i = 0; i < keys; ++i) {
+    const std::string key = shard::Ring::block_key("U", i % 8, i);
+    if (before.owner(key) != after.owner(key)) {
+      EXPECT_EQ(after.owner(key), "s4") << key;
+    }
+  }
+}
+
+// ---- shard map -----------------------------------------------------------
+
+TEST(ShardMap, JsonRoundTripPreservesEverything) {
+  const shard::ShardMap map = make_map(3, /*epoch=*/7, /*vnodes=*/32);
+  const shard::ShardMap back = shard::ShardMap::from_json(map.to_json());
+  EXPECT_EQ(back.epoch(), 7u);
+  EXPECT_EQ(back.vnodes(), 32u);
+  ASSERT_EQ(back.size(), 3u);
+  EXPECT_EQ(back.shards()[1].id, "s1");
+  EXPECT_EQ(back.shards()[1].endpoint, "127.0.0.1:7001");
+  EXPECT_EQ(back.ring_crc(), map.ring_crc());
+}
+
+TEST(ShardMap, RingCrcIgnoresEndpointsButNotMembership) {
+  const shard::ShardMap a = make_map(3);
+  std::vector<shard::ShardInfo> moved;
+  for (const auto& s : a.shards()) {
+    moved.push_back(shard::ShardInfo{s.id, "unix:/tmp/elsewhere-" + s.id});
+  }
+  const shard::ShardMap b(1, 64, std::move(moved));
+  EXPECT_EQ(a.ring_crc(), b.ring_crc())
+      << "moving a daemon must not reshuffle placement";
+  EXPECT_NE(a.ring_crc(), make_map(4).ring_crc());
+  EXPECT_NE(a.ring_crc(), make_map(3, /*epoch=*/2).ring_crc());
+}
+
+TEST(ShardMap, RejectsBadMemberships) {
+  using Shards = std::vector<shard::ShardInfo>;
+  const Shards none;
+  const Shards one = {{"a", "x"}};
+  const Shards dup = {{"a", "x"}, {"a", "y"}};
+  const Shards pipe = {{"a|b", "x"}};
+  const Shards blank = {{"", "x"}};
+  EXPECT_THROW(shard::ShardMap(1, 64, none), gs::Error);
+  EXPECT_THROW(shard::ShardMap(1, 0, one), gs::Error);
+  EXPECT_THROW(shard::ShardMap(1, 64, dup), gs::Error);
+  EXPECT_THROW(shard::ShardMap(1, 64, pipe), gs::Error);
+  EXPECT_THROW(shard::ShardMap(1, 64, blank), gs::Error);
+}
+
+// ---- health hysteresis ---------------------------------------------------
+
+TEST(ShardHealth, HysteresisInBothDirections) {
+  shard::HealthTracker h({"a", "b"}, shard::HealthConfig{2, 3});
+  EXPECT_TRUE(h.alive("a"));
+
+  h.record_failure("a");
+  EXPECT_TRUE(h.alive("a")) << "one failure must not kill a shard";
+  h.record_success("a");  // resets the failure run
+  h.record_failure("a");
+  EXPECT_TRUE(h.alive("a"));
+  h.record_failure("a");
+  EXPECT_FALSE(h.alive("a")) << "two consecutive failures flip to dead";
+  EXPECT_TRUE(h.alive("b")) << "health is per shard";
+
+  h.record_success("a");
+  h.record_success("a");
+  EXPECT_FALSE(h.alive("a")) << "two successes are not yet three";
+  h.record_failure("a");  // resets the success run
+  h.record_success("a");
+  h.record_success("a");
+  h.record_success("a");
+  EXPECT_TRUE(h.alive("a")) << "three consecutive successes revive";
+
+  const auto snap = h.snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].went_dead, 1u);
+  EXPECT_EQ(snap[0].went_live, 1u);
+  EXPECT_EQ(h.dead_shards().size(), 0u);
+}
+
+// ---- exact merge invariants (the router's core correctness claim) --------
+
+TEST(ExactMerge, SumSurvivesCatastrophicCancellation) {
+  ExactSum s;
+  s.add(1e16);
+  s.add(1.0);
+  s.add(-1e16);
+  EXPECT_EQ(s.value(), 1.0);  // double addition would lose the 1.0
+}
+
+TEST(ExactMerge, StatsAreBitwiseIdenticalAcrossAnyPartitioning) {
+  std::mt19937_64 rng(42);
+  std::uniform_real_distribution<double> value(-1e6, 1e6);
+  std::vector<double> data(4096);
+  for (double& x : data) x = value(rng);
+
+  ExactStats whole;
+  for (const double x : data) whole.add(x);
+  const auto reference = gs::analysis::stats_from_exact(whole);
+
+  for (int trial = 0; trial < 10; ++trial) {
+    // Random partition into up to 8 "shards"...
+    std::uniform_int_distribution<int> pick(0, 7);
+    std::vector<ExactStats> parts(8);
+    for (const double x : data) parts[static_cast<std::size_t>(pick(rng))].add(x);
+    // ...merged in a shuffled order.
+    std::shuffle(parts.begin(), parts.end(), rng);
+    ExactStats merged;
+    for (const auto& p : parts) merged.merge(p);
+
+    EXPECT_TRUE(merged == whole) << "trial " << trial;
+    const auto stats = gs::analysis::stats_from_exact(merged);
+    EXPECT_EQ(stats.mean, reference.mean);
+    EXPECT_EQ(stats.stddev, reference.stddev);
+    EXPECT_EQ(stats.min, reference.min);
+    EXPECT_EQ(stats.max, reference.max);
+    EXPECT_EQ(stats.count, reference.count);
+  }
+
+  // And the public entry point agrees: compute_stats IS the exact path.
+  const auto direct = gs::analysis::compute_stats(data);
+  EXPECT_EQ(direct.mean, reference.mean);
+  EXPECT_EQ(direct.stddev, reference.stddev);
+}
+
+TEST(ExactMerge, RunningStatsExactFieldsMatchButWelfordMomentsNeedNot) {
+  // RunningStats (Welford) merges count/min/max exactly but its merged
+  // mean can drift in the last ulp depending on the partition — which is
+  // precisely why the serving tier carries ExactStats on the wire. This
+  // test documents the contrast that motivated the design.
+  std::mt19937_64 rng(7);
+  std::uniform_real_distribution<double> value(0.0, 1.0);
+  gs::RunningStats whole;
+  gs::RunningStats left, right;
+  ExactStats exact_whole, exact_left, exact_right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = value(rng);
+    whole.add(x);
+    exact_whole.add(x);
+    if (i % 3 == 0) {
+      left.add(x);
+      exact_left.add(x);
+    } else {
+      right.add(x);
+      exact_right.add(x);
+    }
+  }
+  gs::RunningStats merged = left;
+  merged.merge(right);
+  EXPECT_EQ(merged.count(), whole.count());
+  EXPECT_EQ(merged.min(), whole.min());
+  EXPECT_EQ(merged.max(), whole.max());
+  EXPECT_NEAR(merged.mean(), whole.mean(), 1e-12);
+
+  ExactStats exact_merged = exact_left;
+  exact_merged.merge(exact_right);
+  EXPECT_EQ(exact_merged.mean(), exact_whole.mean())
+      << "the exact path must not drift at all";
+}
+
+TEST(ExactMerge, HistogramMergeIsOrderIndependent) {
+  std::mt19937_64 rng(11);
+  std::uniform_real_distribution<double> value(-3.0, 3.0);
+  std::vector<double> data(2048);
+  for (double& x : data) x = value(rng);
+
+  gs::Histogram whole(-3.0, 3.0, 32);
+  for (const double x : data) whole.add(x);
+
+  for (int trial = 0; trial < 10; ++trial) {
+    std::uniform_int_distribution<int> pick(0, 4);
+    std::vector<gs::Histogram> parts(5, gs::Histogram(-3.0, 3.0, 32));
+    for (const double x : data) parts[static_cast<std::size_t>(pick(rng))].add(x);
+    std::shuffle(parts.begin(), parts.end(), rng);
+    gs::Histogram merged(-3.0, 3.0, 32);
+    for (const auto& p : parts) merged.merge(p);
+    ASSERT_EQ(merged.total(), whole.total());
+    for (std::size_t b = 0; b < 32; ++b) {
+      ASSERT_EQ(merged.count(b), whole.count(b)) << "bin " << b;
+    }
+  }
+}
+
+TEST(ExactMerge, ListVariablesMergeDetectsDisagreement) {
+  svc::ListVariablesR a;
+  a.n_steps = 3;
+  a.variables.push_back(svc::VarEntry{"U", "double", {16, 16, 16}, 3, 0, 1});
+  svc::ListVariablesR b = a;
+  std::vector<svc::ListVariablesR> agree = {a, b};
+  EXPECT_EQ(svc::merge::merge_list_variables(agree).variables.size(), 1u);
+  b.variables[0].max = 2.0;
+  const std::vector<svc::ListVariablesR> clash = {a, b};
+  EXPECT_THROW(svc::merge::merge_list_variables(clash), gs::Error);
+  const std::vector<svc::ListVariablesR> empty;
+  EXPECT_THROW(svc::merge::merge_list_variables(empty), gs::Error);
+}
+
+// ---- wire protocol extensions --------------------------------------------
+
+TEST(ShardWire, SelectorAndPartialMetaRoundTrip) {
+  svc::Request request;
+  request.body = svc::HistogramQ{"U", 1, 16, true, -2.5, 7.5};
+  request.shard = svc::ShardSelector{9, 0xdeadbeef, "s2"};
+  const auto req_bytes = rpc::encode_request(request);
+  const svc::Request req_back = rpc::decode_request(req_bytes);
+  ASSERT_TRUE(req_back.shard.has_value());
+  EXPECT_EQ(req_back.shard->epoch, 9u);
+  EXPECT_EQ(req_back.shard->ring_crc, 0xdeadbeefu);
+  EXPECT_EQ(req_back.shard->act_as, "s2");
+  const auto& q = std::get<svc::HistogramQ>(req_back.body);
+  EXPECT_TRUE(q.has_range);
+  EXPECT_EQ(q.lo, -2.5);
+  EXPECT_EQ(q.hi, 7.5);
+
+  ExactStats stats;
+  stats.add(1e16);
+  stats.add(1.0);
+  stats.add(-3.5);
+  svc::Response response;
+  response.verb = svc::Verb::field_stats;
+  response.body = svc::FieldStatsR{gs::analysis::stats_from_exact(stats)};
+  response.partial = svc::PartialMeta{9, 5, 8, {Box3{{0, 0, 0}, {4, 4, 4}}},
+                                      stats};
+  const auto bytes = rpc::encode_response(response);
+  const svc::Response back = rpc::decode_response(bytes);
+  ASSERT_TRUE(back.partial.has_value());
+  EXPECT_EQ(back.partial->epoch, 9u);
+  EXPECT_EQ(back.partial->covered_blocks, 5u);
+  EXPECT_EQ(back.partial->total_blocks, 8u);
+  ASSERT_EQ(back.partial->coverage.size(), 1u);
+  EXPECT_EQ(back.partial->coverage[0].count.i, 4);
+  ASSERT_TRUE(back.partial->stats.has_value());
+  EXPECT_TRUE(*back.partial->stats == stats)
+      << "the exact accumulator must survive the wire bit-for-bit";
+}
+
+TEST(ShardWire, PlainFramesStayCompatible) {
+  // A request without a selector and a response without partial metadata
+  // must decode exactly as before the shard extension.
+  svc::Request request;
+  request.body = svc::FieldStatsQ{"U", 1};
+  const svc::Request back = rpc::decode_request(rpc::encode_request(request));
+  EXPECT_FALSE(back.shard.has_value());
+
+  svc::Response response;
+  response.verb = svc::Verb::field_stats;
+  response.body = svc::FieldStatsR{};
+  const svc::Response rback =
+      rpc::decode_response(rpc::encode_response(response));
+  EXPECT_FALSE(rback.partial.has_value());
+}
+
+// ---- client pool ---------------------------------------------------------
+
+TEST(ClientPool, ReusesReturnedConnectionsAndDropsDiscarded) {
+  svc::Service service(dataset(), svc::ServiceConfig{});
+  rpc::ServerConfig server_config;
+  server_config.listen = "unix:" + temp_path("pool") + ".sock";
+  rpc::Server server(service, server_config);
+
+  rpc::ClientPool pool(server.endpoint(), rpc::ClientConfig{}, 4);
+  {
+    auto lease = pool.acquire();
+    lease->ping();
+  }
+  EXPECT_EQ(pool.stats().created, 1u);
+  EXPECT_EQ(pool.stats().idle, 1u);
+  {
+    auto lease = pool.acquire();
+    lease->ping();
+    auto second = pool.acquire();  // idle list empty -> new dial
+    second->ping();
+  }
+  EXPECT_EQ(pool.stats().created, 2u);
+  EXPECT_EQ(pool.stats().reused, 1u);
+  EXPECT_EQ(pool.stats().idle, 2u);
+  {
+    auto lease = pool.acquire();
+    lease.discard();
+  }
+  EXPECT_EQ(pool.stats().discarded, 1u);
+  EXPECT_EQ(pool.stats().idle, 1u);
+}
+
+// ---- partial execution on the daemon -------------------------------------
+
+class ShardPartial : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    map_ = std::make_shared<const shard::ShardMap>(make_map(3));
+    svc::ServiceConfig config;
+    config.shard_map = map_;
+    service_ = std::make_unique<svc::Service>(dataset(), std::move(config));
+  }
+
+  svc::Response partial_call(svc::QueryBody body, const std::string& act_as) {
+    svc::Request request;
+    request.body = std::move(body);
+    request.shard =
+        svc::ShardSelector{map_->epoch(), map_->ring_crc(), act_as};
+    return service_->call(std::move(request));
+  }
+
+  std::shared_ptr<const shard::ShardMap> map_;
+  std::unique_ptr<svc::Service> service_;
+};
+
+TEST_F(ShardPartial, PartialsCoverEveryBlockExactlyOnce) {
+  ExactStats merged;
+  std::uint64_t covered = 0;
+  std::uint64_t total = 0;
+  for (const auto& info : map_->shards()) {
+    const svc::Response r = partial_call(svc::FieldStatsQ{"U", 1}, info.id);
+    ASSERT_TRUE(r.status.ok()) << r.status.message;
+    ASSERT_TRUE(r.partial.has_value());
+    ASSERT_TRUE(r.partial->stats.has_value());
+    merged.merge(*r.partial->stats);
+    covered += r.partial->covered_blocks;
+    total = r.partial->total_blocks;
+  }
+  EXPECT_EQ(covered, total);
+  EXPECT_EQ(total, 8u);  // 8 writers -> 8 blocks per step
+
+  // The merged partials are bitwise the whole-dataset answer.
+  svc::Service single(dataset(), svc::ServiceConfig{});
+  svc::Request whole;
+  whole.body = svc::FieldStatsQ{"U", 1};
+  const svc::Response expect = single.call(std::move(whole));
+  const auto& got = gs::analysis::stats_from_exact(merged);
+  const auto& want = std::get<svc::FieldStatsR>(expect.body).stats;
+  EXPECT_EQ(got.mean, want.mean);
+  EXPECT_EQ(got.stddev, want.stddev);
+  EXPECT_EQ(got.count, want.count);
+}
+
+TEST_F(ShardPartial, EpochMismatchIsRefusedLoudly) {
+  svc::Request request;
+  request.body = svc::FieldStatsQ{"U", 1};
+  request.shard = svc::ShardSelector{99, map_->ring_crc(), "s0"};
+  const svc::Response r = service_->call(std::move(request));
+  EXPECT_EQ(r.status.code, svc::StatusCode::bad_request);
+  EXPECT_NE(r.status.message.find("epoch"), std::string::npos);
+
+  svc::Request bad_crc;
+  bad_crc.body = svc::FieldStatsQ{"U", 1};
+  bad_crc.shard = svc::ShardSelector{map_->epoch(), 1, "s0"};
+  EXPECT_EQ(service_->call(std::move(bad_crc)).status.code,
+            svc::StatusCode::bad_request);
+
+  svc::Request unknown;
+  unknown.body = svc::FieldStatsQ{"U", 1};
+  unknown.shard =
+      svc::ShardSelector{map_->epoch(), map_->ring_crc(), "nobody"};
+  EXPECT_EQ(service_->call(std::move(unknown)).status.code,
+            svc::StatusCode::bad_request);
+}
+
+TEST_F(ShardPartial, NonMemberDaemonRefusesSubQueries) {
+  svc::Service plain(dataset(), svc::ServiceConfig{});
+  svc::Request request;
+  request.body = svc::FieldStatsQ{"U", 1};
+  request.shard = svc::ShardSelector{1, map_->ring_crc(), "s0"};
+  EXPECT_EQ(plain.call(std::move(request)).status.code,
+            svc::StatusCode::bad_request);
+}
+
+// ---- end-to-end: cluster behind a router ---------------------------------
+
+/// N in-process daemons (Service + rpc::Server on unix sockets) plus a
+/// Router over them — the whole cluster in one test process.
+struct Cluster {
+  explicit Cluster(std::size_t n, shard::RouterConfig router_config = {},
+                   const std::string& tag = "c") {
+    std::vector<shard::ShardInfo> infos;
+    for (std::size_t i = 0; i < n; ++i) {
+      infos.push_back(shard::ShardInfo{
+          "s" + std::to_string(i),
+          "unix:" + temp_path("cluster-" + tag + std::to_string(i)) +
+              ".sock"});
+    }
+    map = std::make_shared<const shard::ShardMap>(1, 64, std::move(infos));
+    for (std::size_t i = 0; i < n; ++i) {
+      svc::ServiceConfig config;
+      config.shard_map = map;
+      services.push_back(
+          std::make_unique<svc::Service>(dataset(), std::move(config)));
+      rpc::ServerConfig server_config;
+      server_config.listen = map->shards()[i].endpoint;
+      servers.push_back(
+          std::make_unique<rpc::Server>(*services[i], server_config));
+    }
+    router_config.probe_interval_ms = 50;
+    router = std::make_unique<shard::Router>(map, router_config);
+  }
+
+  void kill_shard(std::size_t i) {
+    servers[i]->shutdown();
+    services[i]->shutdown();
+  }
+
+  std::shared_ptr<const shard::ShardMap> map;
+  std::vector<std::unique_ptr<svc::Service>> services;
+  std::vector<std::unique_ptr<rpc::Server>> servers;
+  std::unique_ptr<shard::Router> router;
+};
+
+std::vector<svc::QueryBody> all_verbs() {
+  return {
+      svc::ListVariablesQ{},
+      svc::FieldStatsQ{"U", 1},
+      svc::FieldStatsQ{"V", 2},
+      svc::HistogramQ{"U", 1, 16},
+      svc::Slice2DQ{"U", 1, 2, 8},
+      svc::ReadBoxQ{"V", 1, Box3{{2, 3, 4}, {7, 6, 5}}},
+  };
+}
+
+void expect_identical_answers(shard::Router& router, svc::Service& single,
+                              const char* context) {
+  for (const auto& body : all_verbs()) {
+    svc::Request via_router;
+    via_router.body = body;
+    const svc::Response routed = router.call(std::move(via_router));
+    svc::Request direct;
+    direct.body = body;
+    const svc::Response expect = single.call(std::move(direct));
+    ASSERT_TRUE(routed.status.ok())
+        << context << ": " << routed.status.message;
+    EXPECT_FALSE(routed.degraded) << context;
+    EXPECT_FALSE(routed.partial.has_value())
+        << context << ": partial metadata must not leak to clients";
+    EXPECT_EQ(rpc::encode_answer_identity(routed),
+              rpc::encode_answer_identity(expect))
+        << context << " verb " << svc::to_string(routed.verb);
+  }
+}
+
+TEST(ShardRouter, AnswersAreByteIdenticalToSingleDaemon) {
+  Cluster cluster(3, {}, "ident");
+  svc::Service single(dataset(), svc::ServiceConfig{});
+  expect_identical_answers(*cluster.router, single, "3-shard");
+}
+
+TEST(ShardRouter, FailoverKeepsAnswersExactAfterShardKill) {
+  Cluster cluster(3, {}, "kill");
+  svc::Service single(dataset(), svc::ServiceConfig{});
+  expect_identical_answers(*cluster.router, single, "before kill");
+
+  cluster.kill_shard(1);
+  // Replicas open the same dataset, so every verb keeps its exact bytes.
+  expect_identical_answers(*cluster.router, single, "after kill");
+  EXPECT_GT(cluster.router->stats().failovers, 0u);
+}
+
+TEST(ShardRouter, NoFailoverDegradesExplicitlyNeverSilently) {
+  shard::RouterConfig config;
+  config.failover = false;
+  // One fast connect attempt per candidate: the dead shard's socket file
+  // is gone, so dials fail immediately.
+  config.attempts = 1;
+  config.client.retries = 1;
+  config.client.connect_timeout_ms = 500;
+  Cluster cluster(3, config, "nofo");
+  cluster.kill_shard(2);
+
+  svc::Request stats;
+  stats.body = svc::FieldStatsQ{"U", 1};
+  const svc::Response r = cluster.router->call(std::move(stats));
+  ASSERT_TRUE(r.status.ok()) << r.status.message;
+  EXPECT_TRUE(r.degraded) << "missing blocks must be flagged";
+  EXPECT_GT(r.bad_blocks, 0u);
+  EXPECT_NE(r.status.message.find("missing shard(s) s2"), std::string::npos)
+      << "got: " << r.status.message;
+
+  // list_variables needs only one live daemon: still exact.
+  svc::Request ls;
+  ls.body = svc::ListVariablesQ{};
+  const svc::Response lsr = cluster.router->call(std::move(ls));
+  ASSERT_TRUE(lsr.status.ok());
+  EXPECT_FALSE(lsr.degraded);
+
+  // The health tracker marks the dead shard after consecutive failures.
+  for (int i = 0; i < 3; ++i) {
+    svc::Request again;
+    again.body = svc::FieldStatsQ{"U", 1};
+    cluster.router->call(std::move(again));
+  }
+  EXPECT_FALSE(cluster.router->health().alive("s2"));
+}
+
+TEST(ShardRouter, BadRequestPropagatesNamingTheShard) {
+  Cluster cluster(2, {}, "badreq");
+  svc::Request request;
+  request.body = svc::FieldStatsQ{"NOPE", 0};
+  const svc::Response r = cluster.router->call(std::move(request));
+  EXPECT_EQ(r.status.code, svc::StatusCode::bad_request);
+  EXPECT_NE(r.status.message.find("shard s"), std::string::npos)
+      << "got: " << r.status.message;
+}
+
+TEST(ShardRouter, StatsJsonReportsDatasetAndPerShardHealth) {
+  Cluster cluster(2, {}, "stats");
+  svc::Request warm;
+  warm.body = svc::FieldStatsQ{"U", 0};
+  ASSERT_TRUE(cluster.router->call(std::move(warm)).status.ok());
+
+  const gs::json::Value v = cluster.router->stats_json();
+  EXPECT_EQ(v.at("dataset").as_string(), dataset());
+  const auto& router = v.at("router");
+  EXPECT_GE(router.at("queries").as_int(), 1);
+  const auto& shards = router.at("shards").as_array();
+  ASSERT_EQ(shards.size(), 2u);
+  for (const auto& s : shards) {
+    EXPECT_EQ(s.at("state").as_string(), "live");
+    EXPECT_GE(s.at("calls").as_int(), 1);
+  }
+}
+
+TEST(ShardRouter, SingleShardClusterIsJustAProxy) {
+  Cluster cluster(1, {}, "one");
+  svc::Service single(dataset(), svc::ServiceConfig{});
+  expect_identical_answers(*cluster.router, single, "1-shard");
+}
+
+}  // namespace

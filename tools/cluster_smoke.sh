@@ -1,0 +1,175 @@
+#!/bin/sh
+# Cluster smoke test for the gs::shard serving tier.
+#
+#   cluster_smoke.sh <gray_scott_workflow> <gsserved> <gsrouter> <gsquery> \
+#                    <settings.json>
+#
+# Generates a tiny dataset, serves it from THREE gsserved shards behind a
+# gsrouter, and checks:
+#   1. every gsquery command answered through the router is byte-identical
+#      to the same command run against the in-process service,
+#   2. kill -KILL of one shard: with failover the router's answers stay
+#      byte-identical (a replica acts for the dead owner) and gsquery
+#      exits 0,
+#   3. without failover the same query exits 3 with a one-line stderr
+#      warning NAMING the dead shard, while still printing the partial
+#      answer — degraded loudly, never wrong silently,
+#   4. SIGTERM drains router and shards to clean exit 0.
+set -eu
+
+abspath() {
+  case $1 in
+    /*) printf '%s\n' "$1" ;;
+    *) printf '%s/%s\n' "$(cd "$(dirname "$1")" && pwd)" "$(basename "$1")" ;;
+  esac
+}
+WORKFLOW=$(abspath "$1")
+GSSERVED=$(abspath "$2")
+GSROUTER=$(abspath "$3")
+GSQUERY=$(abspath "$4")
+SETTINGS=$(abspath "$5")
+
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/gs_cluster_smoke.XXXXXX")
+PIDS=""
+cleanup() {
+  for pid in $PIDS; do
+    kill -KILL "$pid" 2>/dev/null || true
+  done
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+cd "$WORK"
+
+# Waits for a --ready-file, failing fast if the daemon died.
+wait_ready() { # file pid log
+  tries=0
+  while [ ! -s "$1" ]; do
+    tries=$((tries + 1))
+    if [ "$tries" -gt 100 ]; then
+      echo "FAIL: $3: never became ready" >&2
+      cat "$3" >&2
+      exit 1
+    fi
+    if ! kill -0 "$2" 2>/dev/null; then
+      echo "FAIL: $3: exited before becoming ready" >&2
+      cat "$3" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+}
+
+echo "== generate dataset"
+"$WORKFLOW" "$SETTINGS" 2 >/dev/null
+
+echo "== write shard map (3 shards over unix sockets)"
+cat >map.json <<EOF
+{
+  "epoch": 1,
+  "vnodes": 64,
+  "shards": [
+    {"id": "s0", "endpoint": "unix:$WORK/s0.sock"},
+    {"id": "s1", "endpoint": "unix:$WORK/s1.sock"},
+    {"id": "s2", "endpoint": "unix:$WORK/s2.sock"}
+  ]
+}
+EOF
+
+echo "== start 3 shard daemons + router"
+for s in s0 s1 s2; do
+  "$GSSERVED" --dataset smoke.bp --listen "unix:$WORK/$s.sock" \
+    --shard-map map.json --shard-id "$s" \
+    --ready-file "ready_$s.txt" 2>"serve_$s.log" &
+  eval "PID_$s=$!"
+  PIDS="$PIDS $!"
+done
+wait_ready ready_s0.txt "$PID_s0" serve_s0.log
+wait_ready ready_s1.txt "$PID_s1" serve_s1.log
+wait_ready ready_s2.txt "$PID_s2" serve_s2.log
+
+"$GSROUTER" --map map.json --listen "unix:$WORK/router.sock" \
+  --ready-file ready_router.txt --probe-ms 100 2>router.log &
+ROUTER_PID=$!
+PIDS="$PIDS $ROUTER_PID"
+wait_ready ready_router.txt "$ROUTER_PID" router.log
+ADDR=$(cat ready_router.txt)
+echo "   routing at $ADDR"
+
+echo "== routed vs local answers must match byte for byte"
+QUERIES_FILE=queries.txt
+cat >"$QUERIES_FILE" <<'EOF'
+ls
+ls --json
+stats U --json
+stats V 1
+hist V 1 8 --json
+slice U 1 2 8
+read U 1 0 0 0 4 4 4 --json
+EOF
+while IFS= read -r q; do
+  "$GSQUERY" smoke.bp $q >local.out
+  "$GSQUERY" --router "$ADDR" $q >routed.out
+  if ! cmp -s local.out routed.out; then
+    echo "FAIL: routed answer differs for: gsquery $q" >&2
+    diff local.out routed.out >&2 || true
+    exit 1
+  fi
+done <"$QUERIES_FILE"
+echo "   7 commands identical through the router"
+
+echo "== kill one shard: failover keeps answers byte-identical"
+kill -KILL "$PID_s1"
+wait "$PID_s1" 2>/dev/null || true
+while IFS= read -r q; do
+  "$GSQUERY" smoke.bp $q >local.out
+  "$GSQUERY" --router "$ADDR" $q >routed.out
+  if ! cmp -s local.out routed.out; then
+    echo "FAIL: post-kill routed answer differs for: gsquery $q" >&2
+    diff local.out routed.out >&2 || true
+    exit 1
+  fi
+done <"$QUERIES_FILE"
+echo "   7 commands still identical with s1 dead"
+
+echo "== without failover the loss is loud: exit 3, stderr names s1"
+"$GSROUTER" --map map.json --listen "unix:$WORK/router2.sock" \
+  --ready-file ready_router2.txt --no-failover --attempts 1 \
+  --connect-timeout-ms 500 2>router2.log &
+ROUTER2_PID=$!
+PIDS="$PIDS $ROUTER2_PID"
+wait_ready ready_router2.txt "$ROUTER2_PID" router2.log
+ADDR2=$(cat ready_router2.txt)
+
+rc=0
+"$GSQUERY" --router "$ADDR2" stats U >degraded.out 2>degraded.err || rc=$?
+if [ "$rc" -ne 3 ]; then
+  echo "FAIL: degraded stats should exit 3, got $rc" >&2
+  cat degraded.err >&2
+  exit 1
+fi
+grep -q 'missing shard(s) s1' degraded.err
+test "$(wc -l <degraded.err)" -eq 1
+test -s degraded.out
+# ls needs only one live daemon: still exact, exit 0.
+"$GSQUERY" --router "$ADDR2" ls >ls.out
+"$GSQUERY" smoke.bp ls >ls_local.out
+cmp -s ls.out ls_local.out
+echo "   degraded answer flagged, partial printed, ls stays exact"
+
+echo "== SIGTERM drains router and shards to exit 0"
+for pid in "$ROUTER_PID" "$ROUTER2_PID" "$PID_s0" "$PID_s2"; do
+  kill -TERM "$pid"
+done
+for pid in "$ROUTER_PID" "$ROUTER2_PID" "$PID_s0" "$PID_s2"; do
+  rc=0
+  wait "$pid" || rc=$?
+  if [ "$rc" -ne 0 ]; then
+    echo "FAIL: pid $pid exited $rc on SIGTERM" >&2
+    cat router.log router2.log serve_s0.log serve_s2.log >&2
+    exit 1
+  fi
+done
+PIDS=""
+grep -q 'draining' router.log
+
+echo "PASS"

@@ -60,6 +60,8 @@ int usage(std::FILE* to, const char* argv0) {
       "options:\n"
       "  --connect <addr>   query a gsserved daemon at host:port or\n"
       "                     unix:/path instead of opening a local dataset\n"
+      "  --router <addr>    alias for --connect (a gsrouter endpoint\n"
+      "                     speaks the same protocol)\n"
       "  --json             machine-readable output\n"
       "  --threads <n>      service worker threads (default 2, local mode)\n"
       "  --cache-mb <n>     block cache budget in MB, 0 disables "
@@ -73,14 +75,31 @@ int usage(std::FILE* to, const char* argv0) {
   return to == stdout ? 0 : 2;
 }
 
+/// Degradation observed across a session's calls: any answer that
+/// skipped blocks (damaged blocks on a daemon, missing shards behind a
+/// router) is recorded so main can warn once and pick the exit code.
+struct DegradedNote {
+  bool seen = false;
+  std::size_t bad_blocks = 0;
+  std::string reason;  ///< e.g. "degraded: missing shard(s) s1"
+} g_degraded;
+
 /// Exits via gs::Error on failure statuses so main's catch prints them.
-/// Returns by value: the argument is usually a temporary, so a reference
-/// into it would dangle at the end of the caller's full expression.
-template <typename T>
-T require_ok(const gs::svc::Expected<T>& result) {
+/// On success, records the raw response's degraded flag (the typed
+/// Expected hides it). Returns by value: the argument is usually a
+/// temporary, so a reference into it would dangle at the end of the
+/// caller's full expression.
+template <typename ClientT, typename T>
+T require_ok(ClientT& client, const gs::svc::Expected<T>& result) {
   if (!result.ok()) {
     GS_THROW(gs::Error, gs::svc::to_string(result.status().code)
                             << ": " << result.status().message);
+  }
+  const auto& raw = client.last_response();
+  if (raw.degraded) {
+    g_degraded.seen = true;
+    g_degraded.bad_blocks += raw.bad_blocks;
+    if (!raw.status.message.empty()) g_degraded.reason = raw.status.message;
   }
   return result.value();
 }
@@ -95,7 +114,7 @@ Value shape_json(const gs::Index3& shape) {
 
 template <typename ClientT>
 int cmd_ls(const std::string& path, ClientT& client, bool as_json) {
-  const auto r = require_ok(client.list_variables());
+  const auto r = require_ok(client, client.list_variables());
   if (as_json) {
     Object doc;
     doc["path"] = Value(path);
@@ -134,7 +153,7 @@ int cmd_ls(const std::string& path, ClientT& client, bool as_json) {
 template <typename ClientT>
 int cmd_stats(ClientT& client, const std::string& var, std::int64_t step,
               bool as_json) {
-  const auto ls = require_ok(client.list_variables());
+  const auto ls = require_ok(client, client.list_variables());
   std::string type = "double";
   std::int64_t n_steps = 0;
   bool found = false;
@@ -154,7 +173,7 @@ int cmd_stats(ClientT& client, const std::string& var, std::int64_t step,
   Array steps;
   gs::TableFormatter t({"step", "min", "max", "mean", "stddev"});
   for (std::int64_t s = lo; s < hi; ++s) {
-    const auto r = require_ok(client.field_stats(var, s));
+    const auto r = require_ok(client, client.field_stats(var, s));
     if (as_json) {
       Object row = gs::analysis::stats_to_json(r.stats);
       row["step"] = Value(s);
@@ -183,7 +202,7 @@ int cmd_stats(ClientT& client, const std::string& var, std::int64_t step,
 template <typename ClientT>
 int cmd_hist(ClientT& client, const std::string& var, std::int64_t step,
              std::size_t bins, bool as_json) {
-  const auto r = require_ok(client.histogram(var, step, bins));
+  const auto r = require_ok(client, client.histogram(var, step, bins));
   if (as_json) {
     Object doc;
     doc["variable"] = Value(var);
@@ -219,7 +238,7 @@ int cmd_hist(ClientT& client, const std::string& var, std::int64_t step,
 template <typename ClientT>
 int cmd_slice(ClientT& client, const std::string& var, std::int64_t step,
               int axis, std::int64_t coord, bool as_json) {
-  const auto r = require_ok(client.slice2d(var, step, axis, coord));
+  const auto r = require_ok(client, client.slice2d(var, step, axis, coord));
   const auto& s = r.slice;
   if (as_json) {
     Object doc;
@@ -246,7 +265,7 @@ int cmd_slice(ClientT& client, const std::string& var, std::int64_t step,
 template <typename ClientT>
 int cmd_read(ClientT& client, const std::string& var, std::int64_t step,
              const gs::Box3& box, bool as_json) {
-  const auto r = require_ok(client.read_box(var, step, box));
+  const auto r = require_ok(client, client.read_box(var, step, box));
   if (as_json) {
     Object doc;
     doc["variable"] = Value(var);
@@ -348,7 +367,7 @@ int main(int argc, char** argv) {
       as_json = true;
     } else if (arg == "--metrics") {
       metrics = true;
-    } else if (arg == "--connect") {
+    } else if (arg == "--connect" || arg == "--router") {
       connect = next();
     } else if (arg == "--threads") {
       threads = static_cast<std::size_t>(std::atoll(next()));
@@ -387,6 +406,16 @@ int main(int argc, char** argv) {
       if (metrics) {
         std::fprintf(stderr, "%s\n", stats.dump(2).c_str());
       }
+      // A degraded remote answer is never silent: the (partial) output
+      // was printed, a one-line warning names what is missing, and exit
+      // code 3 tells scripts this is not the exact answer.
+      if (g_degraded.seen) {
+        std::fprintf(stderr, "gsquery: warning: %s (%zu block(s) missing)\n",
+                     g_degraded.reason.empty() ? "degraded answer"
+                                               : g_degraded.reason.c_str(),
+                     g_degraded.bad_blocks);
+        if (rc == 0) return 3;
+      }
       return rc;
     } catch (const std::exception& e) {
       std::fprintf(stderr, "gsquery: %s\n", e.what());
@@ -420,6 +449,15 @@ int main(int argc, char** argv) {
     gs::svc::Client client(service, timeout);
     const int rc = dispatch(path, client, args, as_json);
     if (rc < 0) return usage(stderr, argv[0]);
+    // Local salvage (damaged blocks skipped) warns but keeps exit 0: the
+    // local session chose degradation deliberately and the dataset is in
+    // the user's hands to repair.
+    if (g_degraded.seen) {
+      std::fprintf(stderr,
+                   "gsquery: warning: degraded answer (%zu damaged "
+                   "block(s) skipped)\n",
+                   g_degraded.bad_blocks);
+    }
 
     service.shutdown();
     if (metrics) {

@@ -29,6 +29,7 @@
 #include "core/sim.h"
 #include "mpi/runtime.h"
 #include "rpc/server.h"
+#include "shard/map.h"
 #include "svc/service.h"
 
 namespace {
@@ -52,6 +53,9 @@ int usage(std::FILE* to, const char* argv0) {
       "  --cache-mb <n>         block cache budget in MB, 0 disables "
       "(default 64)\n"
       "  --ready-file <path>    write the bound endpoint here once serving\n"
+      "  --shard-map <file>     join the sharded cluster described by this\n"
+      "                         map (see gsrouter); requires --shard-id\n"
+      "  --shard-id <id>        this daemon's shard id in the map\n"
       "  --follow-stream <settings.json>\n"
       "                         run the simulation described by the settings\n"
       "                         file and stream its steps to subscribers\n"
@@ -69,6 +73,8 @@ int main(int argc, char** argv) {
   std::string dataset;
   std::string listen;
   std::string ready_file;
+  std::string shard_map_file;
+  std::string shard_id;
   std::string stream_settings;
   std::int64_t stream_ranks = 4;
   std::size_t threads = 2;
@@ -111,6 +117,10 @@ int main(int argc, char** argv) {
       cache_mb = static_cast<std::uint64_t>(std::atoll(next()));
     } else if (arg == "--ready-file") {
       ready_file = next();
+    } else if (arg == "--shard-map") {
+      shard_map_file = next();
+    } else if (arg == "--shard-id") {
+      shard_id = next();
     } else if (arg == "--follow-stream") {
       stream_settings = next();
     } else if (arg == "--stream-ranks") {
@@ -141,11 +151,27 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  if (shard_map_file.empty() != shard_id.empty()) {
+    std::fprintf(stderr,
+                 "gsserved: --shard-map and --shard-id go together\n");
+    return 2;
+  }
+
   try {
     gs::svc::ServiceConfig svc_config;
     svc_config.threads = std::max<std::size_t>(threads, 1);
     svc_config.cache_enabled = cache_mb > 0;
     svc_config.cache_bytes = cache_mb << 20;
+    if (!shard_map_file.empty()) {
+      auto map = std::make_shared<const gs::shard::ShardMap>(
+          gs::shard::ShardMap::from_file(shard_map_file));
+      if (map->find(shard_id) == nullptr) {
+        std::fprintf(stderr, "gsserved: shard id '%s' is not in %s\n",
+                     shard_id.c_str(), shard_map_file.c_str());
+        return 2;
+      }
+      svc_config.shard_map = std::move(map);
+    }
     gs::svc::Service service(dataset, std::move(svc_config));
 
     gs::rpc::ServerConfig rpc_config;
