@@ -107,6 +107,7 @@ svc::Expected<R> Client::roundtrip(svc::QueryBody body) {
   svc::Request request;
   request.body = std::move(body);
   request.timeout_seconds = config_.default_timeout_seconds;
+  request.tenant = config_.tenant;
   svc::Response response = call(std::move(request));
   if (!response.status.ok()) return svc::Expected<R>(response.status);
   return svc::Expected<R>(std::get<R>(std::move(response.body)));

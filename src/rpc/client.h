@@ -35,6 +35,9 @@ struct ClientConfig {
   /// svc::Request::timeout_seconds attached to every typed call
   /// (0 = none) — the server enforces it in its admission queue.
   double default_timeout_seconds = 0.0;
+  /// svc::Request::tenant attached to every typed call ("" = untagged);
+  /// the server's per-tenant metrics are keyed by it.
+  std::string tenant;
 };
 
 class Client {

@@ -399,6 +399,11 @@ std::vector<std::byte> encode_request(const svc::Request& request) {
     w.u32(request.shard->ring_crc);
     w.str(request.shard->act_as);
   }
+  // Appended within version 1, after the shard trailer: the tenant tag
+  // for per-tenant serving metrics. Same contract — older decoders see
+  // the payload exhausted before it.
+  w.u8(request.tenant.empty() ? 0 : 1);
+  if (!request.tenant.empty()) w.str(request.tenant);
   return w.take();
 }
 
@@ -458,6 +463,7 @@ svc::Request decode_request(std::span<const std::byte> payload) {
     sel.act_as = r.str();
     request.shard = std::move(sel);
   }
+  if (!r.exhausted() && r.u8() != 0) request.tenant = r.str();
   return request;
 }
 

@@ -42,7 +42,8 @@ JobSpec job_from_json(const json::Value& v, const std::string& user,
   static const std::set<std::string> kKnown = {
       "name",     "kind",    "nodes",   "ranks_per_node",
       "walltime", "priority", "max_retries", "depends",
-      "duration", "modeled", "settings",
+      "duration", "modeled", "settings", "partition",
+      "qos",      "array",
   };
   for (const auto& [key, value] : v.as_object()) {
     (void)value;
@@ -60,6 +61,11 @@ JobSpec job_from_json(const json::Value& v, const std::string& user,
   spec.priority = v.get_or("priority", spec.priority);
   spec.max_retries = static_cast<int>(v.get_or(
       "max_retries", static_cast<std::int64_t>(spec.max_retries)));
+  spec.partition = v.get_or("partition", spec.partition);
+  spec.qos = v.get_or("qos", spec.qos);
+  spec.array = v.get_or("array", spec.array);
+  GS_REQUIRE(spec.array >= 1, "job '" << spec.name
+                                      << "': array must be >= 1");
 
   spec.payload.kind =
       payload_kind_from_string(v.get_or("kind", std::string("fixed")));
@@ -138,19 +144,32 @@ Campaign campaign_from_file(const std::string& path) {
 
 std::vector<JobId> submit_campaign(Scheduler& sched, const Campaign& c,
                                    double submit_at) {
-  std::vector<JobId> ids;
-  ids.reserve(c.jobs.size());
+  // deps hold campaign indices; an array job expands to several real
+  // ids, so a dependency on it fans out to every task.
+  std::vector<std::vector<JobId>> per_entry;
+  std::vector<JobId> flat;
+  per_entry.reserve(c.jobs.size());
   for (const JobSpec& spec : c.jobs) {
-    JobSpec remapped = spec;  // deps hold campaign indices -> real ids
-    for (auto& d : remapped.deps) {
+    JobSpec remapped = spec;
+    remapped.deps.clear();
+    for (const auto& d : spec.deps) {
       GS_ASSERT(d.job >= 0 &&
-                    d.job < static_cast<JobId>(ids.size()),
+                    d.job < static_cast<JobId>(per_entry.size()),
                 "campaign dependency must point at an earlier job");
-      d.job = ids[static_cast<std::size_t>(d.job)];
+      for (JobId id : per_entry[static_cast<std::size_t>(d.job)]) {
+        remapped.deps.push_back({id, d.type});
+      }
     }
-    ids.push_back(sched.submit(std::move(remapped), submit_at));
+    std::vector<JobId> ids;
+    if (remapped.array > 1) {
+      ids = sched.submit_array(std::move(remapped), submit_at);
+    } else {
+      ids.push_back(sched.submit(std::move(remapped), submit_at));
+    }
+    flat.insert(flat.end(), ids.begin(), ids.end());
+    per_entry.push_back(std::move(ids));
   }
-  return ids;
+  return flat;
 }
 
 Campaign pipeline_campaign(const std::string& name, const std::string& user,

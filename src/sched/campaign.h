@@ -50,8 +50,10 @@ Campaign campaign_from_json(const json::Value& v);
 Campaign campaign_from_file(const std::string& path);
 
 /// Submits every job of the campaign at `submit_at`, remapping the
-/// intra-campaign dependency indices to scheduler job ids. Returns the
-/// ids in campaign order.
+/// intra-campaign dependency indices to scheduler job ids. Jobs may also
+/// carry "partition", "qos", and "array" keys; an array entry expands to
+/// its tasks (a dependency on it fans out to every task). Returns the
+/// ids in campaign order, arrays expanded in task order.
 std::vector<JobId> submit_campaign(Scheduler& sched, const Campaign& c,
                                    double submit_at = 0.0);
 

@@ -11,8 +11,15 @@ Cluster::Cluster(ClusterConfig cfg) : cfg_(cfg) {
 }
 
 std::int64_t Cluster::free_nodes(double now) const {
+  return free_nodes(now, 0, static_cast<int>(nodes_.size()));
+}
+
+std::int64_t Cluster::free_nodes(double now, int lo, int hi) const {
+  GS_ASSERT(lo >= 0 && hi <= static_cast<int>(nodes_.size()) && lo <= hi,
+            "bad node range");
   std::int64_t n = 0;
-  for (const auto& node : nodes_) {
+  for (int i = lo; i < hi; ++i) {
+    const auto& node = nodes_[static_cast<std::size_t>(i)];
     if (node.job < 0 && now >= node.up_at) ++n;
   }
   return n;
@@ -37,24 +44,39 @@ double Cluster::next_repair_after(double now) const {
 }
 
 std::vector<double> Cluster::repair_times(double now) const {
+  return repair_times(now, 0, static_cast<int>(nodes_.size()));
+}
+
+std::vector<double> Cluster::repair_times(double now, int lo, int hi) const {
+  GS_ASSERT(lo >= 0 && hi <= static_cast<int>(nodes_.size()) && lo <= hi,
+            "bad node range");
   std::vector<double> out;
-  for (const auto& node : nodes_) {
+  for (int i = lo; i < hi; ++i) {
+    const auto& node = nodes_[static_cast<std::size_t>(i)];
     if (node.job < 0 && node.up_at > now) out.push_back(node.up_at);
   }
   return out;
 }
 
 std::vector<int> Cluster::allocate(std::int64_t n, JobId job, double now) {
-  GS_REQUIRE(n > 0 && n <= total_nodes(),
-             "allocation of " << n << " node(s) exceeds cluster size "
-                              << total_nodes());
+  return allocate(n, job, now, 0, static_cast<int>(nodes_.size()));
+}
+
+std::vector<int> Cluster::allocate(std::int64_t n, JobId job, double now,
+                                   int lo, int hi) {
+  GS_ASSERT(lo >= 0 && hi <= static_cast<int>(nodes_.size()) && lo <= hi,
+            "bad node range");
+  GS_REQUIRE(n > 0 && n <= hi - lo,
+             "allocation of " << n << " node(s) exceeds node range size "
+                              << hi - lo);
   std::vector<int> alloc;
   alloc.reserve(static_cast<std::size_t>(n));
-  for (std::size_t i = 0; i < nodes_.size() && alloc.size() < static_cast<std::size_t>(n);
+  for (int i = lo; i < hi && alloc.size() < static_cast<std::size_t>(n);
        ++i) {
-    if (nodes_[i].job < 0 && now >= nodes_[i].up_at) {
-      nodes_[i].job = job;
-      alloc.push_back(static_cast<int>(i));
+    auto& node = nodes_[static_cast<std::size_t>(i)];
+    if (node.job < 0 && now >= node.up_at) {
+      node.job = job;
+      alloc.push_back(i);
     }
   }
   GS_ASSERT(alloc.size() == static_cast<std::size_t>(n),

@@ -38,8 +38,11 @@ class Cluster {
     return static_cast<std::int64_t>(nodes_.size());
   }
 
-  /// Nodes that are up at `now` and not allocated to any job.
+  /// Nodes that are up at `now` and not allocated to any job. The
+  /// two-argument form restricts the count to the node-index range
+  /// [lo, hi) — a partition's slice of the machine.
   std::int64_t free_nodes(double now) const;
+  std::int64_t free_nodes(double now, int lo, int hi) const;
 
   /// Nodes currently allocated to jobs.
   std::int64_t busy_nodes() const;
@@ -48,10 +51,15 @@ class Cluster {
   double next_repair_after(double now) const;
 
   /// Return times (each > now) of every down node, one entry per node.
+  /// The ranged form reports only nodes within [lo, hi).
   std::vector<double> repair_times(double now) const;
+  std::vector<double> repair_times(double now, int lo, int hi) const;
 
   /// Allocates `n` free nodes to `job`; requires free_nodes(now) >= n.
+  /// The ranged form draws only from [lo, hi) (partition placement).
   std::vector<int> allocate(std::int64_t n, JobId job, double now);
+  std::vector<int> allocate(std::int64_t n, JobId job, double now, int lo,
+                            int hi);
 
   /// Returns an allocation to the free pool.
   void release(const std::vector<int>& alloc);

@@ -27,8 +27,10 @@ bool valid_transition(JobState from, JobState to) {
     case JobState::pending:
       return to == JobState::running || to == JobState::cancelled;
     case JobState::running:
+      // running -> requeued is preemption: a higher-QOS job evicted this
+      // one; it returns to the queue and resumes from its checkpoint.
       return to == JobState::completed || to == JobState::failed ||
-             to == JobState::timeout;
+             to == JobState::timeout || to == JobState::requeued;
     case JobState::failed:
       // Node-failure retries pull a failed attempt back into the queue.
       return to == JobState::requeued;

@@ -97,6 +97,16 @@ struct JobSpec {
   double walltime_limit = 3600;  ///< seconds; RUNNING past this => TIMEOUT
   double priority = 0.0;         ///< base priority (higher schedules first)
   int max_retries = 2;           ///< requeue budget after node failures
+  /// Partition name ("" = the default partition) — the job is placed
+  /// only onto that partition's node range and must respect its limits.
+  std::string partition;
+  /// QOS tier name ("" = the default tier) — adds the tier's priority
+  /// weight and subjects the job to its run caps and preemption rules.
+  std::string qos;
+  /// Job-array task count (sbatch --array=0..N-1). submit() takes plain
+  /// jobs (array == 1); Scheduler::submit_array expands an array spec
+  /// into `array` independent tasks.
+  std::int64_t array = 1;
   std::vector<Dependency> deps;
   Payload payload;
 };
@@ -111,6 +121,9 @@ struct Job {
   double end_time = -1.0;    ///< terminal time (-1 = not terminal)
   int attempts = 0;          ///< times the job reached RUNNING
   int requeues = 0;
+  int preemptions = 0;       ///< times evicted by a higher-QOS job
+  std::int64_t array_task = -1;  ///< task index within a job array, or -1
+  std::size_t partition_index = 0;  ///< resolved partition (set at submit)
   std::string reason;        ///< human-readable cause for failed/cancelled
   std::vector<int> alloc;    ///< node indices while RUNNING
   double duration = -1.0;    ///< resolved payload runtime of this attempt

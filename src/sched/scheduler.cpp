@@ -28,6 +28,17 @@ std::string fmt_time(double t) {
   return buf;
 }
 
+/// Replaces every "%a" in `s` with `task` (sbatch filename pattern).
+bool substitute_array_index(std::string* s, std::int64_t task) {
+  bool any = false;
+  std::size_t pos = 0;
+  while ((pos = s->find("%a", pos)) != std::string::npos) {
+    s->replace(pos, 2, std::to_string(task));
+    any = true;
+  }
+  return any;
+}
+
 /// Stepwise node-availability profile used by conservative backfill:
 /// avail[i] nodes are free during [times[i], times[i+1]), and the last
 /// segment extends to infinity (every running job releases its nodes at
@@ -97,7 +108,15 @@ Policy policy_from_string(const std::string& name) {
 }
 
 Scheduler::Scheduler(SchedulerConfig cfg)
-    : cfg_(cfg), cluster_(cfg.cluster) {}
+    : cfg_(cfg),
+      cluster_(cfg.cluster),
+      partitions_(cfg.partitions, cfg.cluster.nodes),
+      qos_(cfg.qos),
+      ledger_(cfg.usage_halflife) {
+  for (const auto& q : qos_.policies()) {
+    if (q.preempt) preemption_enabled_ = true;
+  }
+}
 
 void Scheduler::push_event(double time, Event e) {
   events_.emplace(std::make_pair(time, next_seq_++), e);
@@ -113,6 +132,11 @@ void Scheduler::advance_to(double t) {
 
 void Scheduler::log_event(JobId job, std::string event, std::string detail) {
   log_.push_back({now(), job, std::move(event), std::move(detail)});
+  notify_observer(jobs_[static_cast<std::size_t>(job)]);
+}
+
+void Scheduler::notify_observer(const Job& job) {
+  if (cfg_.observer) cfg_.observer(job, log_.back());
 }
 
 void Scheduler::set_state(Job& job, JobState to) {
@@ -134,6 +158,11 @@ JobId Scheduler::submit(JobSpec spec, double submit_at) {
                      << cluster_.config().gcds_per_node << "]");
   GS_REQUIRE(spec.walltime_limit > 0.0,
              "job '" << spec.name << "': walltime_limit must be positive");
+  GS_REQUIRE(spec.array == 1, "job '" << spec.name
+                                      << "': array specs go through "
+                                         "submit_array");
+  const std::size_t part = partitions_.index_of(spec.partition);
+  (void)qos_.resolve(spec.qos);  // throws on an unknown tier name
   for (const auto& d : spec.deps) {
     GS_REQUIRE(d.job >= 0 && d.job < static_cast<JobId>(jobs_.size()),
                "job '" << spec.name << "': dependency on unknown job "
@@ -143,13 +172,49 @@ JobId Scheduler::submit(JobSpec spec, double submit_at) {
   job.id = static_cast<JobId>(jobs_.size());
   job.spec = std::move(spec);
   job.submit_time = std::max(now(), submit_at);
+  job.partition_index = part;
   jobs_.push_back(std::move(job));
   const Job& j = jobs_.back();
-  log_.push_back({j.submit_time, j.id, "SUBMIT",
-                  "user=" + j.spec.user + " nodes=" +
-                      std::to_string(j.spec.nodes) + " name=" + j.spec.name});
+  std::string detail = "user=" + j.spec.user + " nodes=" +
+                       std::to_string(j.spec.nodes) + " name=" + j.spec.name;
+  if (!j.spec.partition.empty()) detail += " partition=" + j.spec.partition;
+  if (!j.spec.qos.empty()) detail += " qos=" + j.spec.qos;
+  log_.push_back({j.submit_time, j.id, "SUBMIT", std::move(detail)});
+  notify_observer(j);
   push_event(j.submit_time, Event{});
   return j.id;
+}
+
+std::vector<JobId> Scheduler::submit_array(JobSpec spec, double submit_at) {
+  const std::int64_t count = spec.array;
+  GS_REQUIRE(count >= 1, "job '" << spec.name
+                                 << "': array count must be >= 1");
+  std::vector<JobId> ids;
+  ids.reserve(static_cast<std::size_t>(count));
+  for (std::int64_t k = 0; k < count; ++k) {
+    JobSpec task = spec;
+    task.array = 1;
+    task.name = spec.name + "[" + std::to_string(k) + "]";
+    if (task.payload.kind == PayloadKind::functional && count > 1) {
+      auto& s = task.payload.settings;
+      GS_REQUIRE(substitute_array_index(&s.output, k),
+                 "array job '" << spec.name
+                               << "': functional payload output needs a "
+                                  "%a placeholder so tasks do not clobber "
+                                  "each other");
+      if (s.checkpoint) {
+        GS_REQUIRE(substitute_array_index(&s.checkpoint_output, k),
+                   "array job '" << spec.name
+                                 << "': checkpoint_output needs a %a "
+                                    "placeholder");
+      }
+      substitute_array_index(&s.restart_input, k);
+    }
+    const JobId id = submit(std::move(task), submit_at);
+    jobs_.back().array_task = k;
+    ids.push_back(id);
+  }
+  return ids;
 }
 
 const Job& Scheduler::job(JobId id) const {
@@ -159,8 +224,7 @@ const Job& Scheduler::job(JobId id) const {
 }
 
 double Scheduler::user_usage(const std::string& user) const {
-  const auto it = usage_.find(user);
-  return it == usage_.end() ? 0.0 : it->second;
+  return ledger_.usage(user, now());
 }
 
 bool Scheduler::deps_satisfied(const Job& job, bool* doomed) const {
@@ -184,7 +248,7 @@ bool Scheduler::deps_satisfied(const Job& job, bool* doomed) const {
 }
 
 double Scheduler::effective_priority(const Job& job) const {
-  double p = job.spec.priority;
+  double p = job.spec.priority + qos_.resolve(job.spec.qos).priority_weight;
   if (cfg_.policy == Policy::fair_share) {
     p += cfg_.fair_share_weight /
          (1.0 + user_usage(job.spec.user) / cfg_.fair_share_norm);
@@ -209,8 +273,135 @@ std::vector<JobId> Scheduler::order_queue(
 }
 
 void Scheduler::charge_usage(const Job& job) {
-  usage_[job.spec.user] += static_cast<double>(job.spec.nodes) *
-                           (now() - job.start_time);
+  ledger_.charge(job.spec.user,
+                 static_cast<double>(job.spec.nodes) *
+                     (now() - job.start_time),
+                 now());
+}
+
+bool Scheduler::qos_held(const Job& job) const {
+  const auto& q = qos_.resolve(job.spec.qos);
+  if (q.max_running_per_tenant > 0) {
+    int running = 0;
+    for (const auto& other : jobs_) {
+      if (other.state == JobState::running &&
+          other.spec.user == job.spec.user &&
+          qos_.resolve(other.spec.qos).name == q.name) {
+        ++running;
+      }
+    }
+    if (running >= q.max_running_per_tenant) return true;
+  }
+  return q.max_node_seconds > 0.0 &&
+         ledger_.usage(job.spec.user, now()) >= q.max_node_seconds;
+}
+
+bool Scheduler::qos_admits(const Job& job) {
+  const auto& q = qos_.resolve(job.spec.qos);
+  if (q.max_running_per_tenant > 0) {
+    int running = 0;
+    for (const auto& other : jobs_) {
+      if (other.state == JobState::running &&
+          other.spec.user == job.spec.user &&
+          qos_.resolve(other.spec.qos).name == q.name) {
+        ++running;
+      }
+    }
+    // Released by the next job_end of one of those jobs, which re-runs
+    // schedule_ready — no extra wake needed.
+    if (running >= q.max_running_per_tenant) return false;
+  }
+  if (q.max_node_seconds > 0.0) {
+    if (ledger_.usage(job.spec.user, now()) >= q.max_node_seconds) {
+      // Held on decayed usage: nothing else may happen before decay
+      // releases the hold, so schedule a wake at the release time (a
+      // held job with no wake would be cancelled as unschedulable when
+      // the event queue drains). Deduped per job to avoid event floods.
+      const double release = ledger_.time_to_decay_below(
+          job.spec.user, q.max_node_seconds, now());
+      if (std::isfinite(release)) {
+        auto it = usage_wakes_.find(job.id);
+        if (it == usage_wakes_.end() || it->second != release) {
+          usage_wakes_[job.id] = release;
+          push_event(release, Event{});
+        }
+      }
+      return false;
+    }
+    usage_wakes_.erase(job.id);
+  }
+  return true;
+}
+
+bool Scheduler::try_preempt_for(const Job& job) {
+  const auto& part = partitions_.partitions()[job.partition_index];
+  const auto& pq = qos_.resolve(job.spec.qos);
+  if (!pq.preempt) return false;
+  const std::int64_t free = cluster_.free_nodes(now(), part.lo, part.hi);
+  const std::int64_t needed = job.spec.nodes - free;
+  if (needed <= 0) return true;
+
+  // Candidate victims: running, same partition, preemptable at a
+  // strictly lower weight (strict inequality rules out eviction cycles),
+  // past their preempt-exempt grace.
+  std::vector<JobId> victims;
+  for (const auto& v : jobs_) {
+    if (v.state != JobState::running ||
+        v.partition_index != job.partition_index) {
+      continue;
+    }
+    const auto& vq = qos_.resolve(v.spec.qos);
+    if (!vq.preemptable || vq.priority_weight >= pq.priority_weight) {
+      continue;
+    }
+    if (now() - v.start_time < vq.grace_seconds) continue;
+    victims.push_back(v.id);
+  }
+  // Deterministic victim order: cheapest tier first, then the youngest
+  // attempt (least completed work thrown away), then highest id.
+  std::sort(victims.begin(), victims.end(), [this](JobId a, JobId b) {
+    const Job& ja = jobs_[static_cast<std::size_t>(a)];
+    const Job& jb = jobs_[static_cast<std::size_t>(b)];
+    const double wa = qos_.resolve(ja.spec.qos).priority_weight;
+    const double wb = qos_.resolve(jb.spec.qos).priority_weight;
+    if (wa != wb) return wa < wb;
+    if (ja.start_time != jb.start_time)
+      return ja.start_time > jb.start_time;
+    return a > b;
+  });
+  std::vector<JobId> chosen;
+  std::int64_t freed = 0;
+  for (JobId id : victims) {
+    if (freed >= needed) break;
+    chosen.push_back(id);
+    freed += jobs_[static_cast<std::size_t>(id)].spec.nodes;
+  }
+  // All-or-nothing: never evict anyone unless the set frees enough.
+  if (freed < needed) return false;
+  for (JobId id : chosen) {
+    preempt_job(jobs_[static_cast<std::size_t>(id)], job);
+  }
+  // Let the requeued victims compete again right away: spare nodes may
+  // remain in this or another partition.
+  push_event(now(), Event{});
+  return true;
+}
+
+void Scheduler::preempt_job(Job& victim, const Job& preemptor) {
+  cluster_.release(victim.alloc);
+  victim.alloc.clear();
+  charge_usage(victim);
+  ++victim.preemptions;
+  // The victim's pending job_end/node_fail events carry the old attempt
+  // number and are dropped at dispatch (attempt guard); requeue does NOT
+  // consume the node-failure retry budget. On the next attempt the
+  // functional payload resumes from its checkpoint (attempts > 1 =>
+  // restart), bitwise-identically.
+  log_event(victim.id, "PREEMPT",
+            "by=" + std::to_string(preemptor.id) +
+                " qos=" + qos_.resolve(preemptor.spec.qos).name);
+  set_state(victim, JobState::requeued);
+  log_event(victim.id, "REQUEUE", "preempted (resumes from checkpoint)");
 }
 
 void Scheduler::cancel_job(Job& job, const std::string& reason) {
@@ -221,7 +412,9 @@ void Scheduler::cancel_job(Job& job, const std::string& reason) {
 }
 
 void Scheduler::start_job(Job& job) {
-  job.alloc = cluster_.allocate(job.spec.nodes, job.id, now());
+  const auto& part = partitions_.partitions()[job.partition_index];
+  job.alloc = cluster_.allocate(job.spec.nodes, job.id, now(), part.lo,
+                                part.hi);
   set_state(job, JobState::running);
   job.start_time = now();
   ++job.attempts;
@@ -254,6 +447,7 @@ void Scheduler::start_job(Job& job) {
       Event e;
       e.kind = Event::Kind::node_fail;
       e.job = job.id;
+      e.attempt = job.attempts;
       e.node = job.alloc[static_cast<std::size_t>(
           rng.uniform_below(job.alloc.size()))];
       push_event(now() + rng.uniform01() * horizon, e);
@@ -264,6 +458,7 @@ void Scheduler::start_job(Job& job) {
   Event e;
   e.kind = Event::Kind::job_end;
   e.job = job.id;
+  e.attempt = job.attempts;
   if (job.duration > job.spec.walltime_limit) {
     e.timeout = true;
     push_event(now() + job.spec.walltime_limit, e);
@@ -335,14 +530,61 @@ void Scheduler::schedule_ready() {
   }
   const std::vector<JobId> ordered = order_queue(eligible);
 
+  // Partition feasibility and QOS admission, preserving priority order:
+  // infeasible jobs are cancelled loudly, QOS-held jobs simply stay
+  // queued, and everything else is routed to its partition's scheduler.
+  std::vector<std::vector<JobId>> per_part(partitions_.partitions().size());
+  for (JobId id : ordered) {
+    Job& j = jobs_[static_cast<std::size_t>(id)];
+    const auto& part = partitions_.partitions()[j.partition_index];
+    const std::int64_t width_cap = part.spec.max_nodes_per_job > 0
+                                       ? part.spec.max_nodes_per_job
+                                       : part.spec.nodes;
+    if (j.spec.nodes > width_cap) {
+      cancel_job(j, "requested nodes exceed partition '" + part.spec.name +
+                        "' limit (" + std::to_string(width_cap) + ")");
+      continue;
+    }
+    if (part.spec.max_walltime > 0.0 &&
+        j.spec.walltime_limit > part.spec.max_walltime) {
+      cancel_job(j, "walltime limit exceeds partition '" + part.spec.name +
+                        "' max (" + fmt_time(part.spec.max_walltime) + ")");
+      continue;
+    }
+    if (!qos_admits(j)) continue;
+    per_part[j.partition_index].push_back(id);
+  }
+  for (std::size_t p = 0; p < per_part.size(); ++p) {
+    schedule_partition(p, per_part[p]);
+  }
+}
+
+void Scheduler::schedule_partition(std::size_t part,
+                                   const std::vector<JobId>& ordered) {
+  const auto& P = partitions_.partitions()[part];
+
+  // Preemption pass: a blocked preempting job evicts enough lower-QOS
+  // work to start immediately. Runs before the policy pass so evicted
+  // nodes are already free when the availability profile is built.
+  if (preemption_enabled_) {
+    for (JobId id : ordered) {
+      Job& j = jobs_[static_cast<std::size_t>(id)];
+      if (!queued(j)) continue;
+      if (cluster_.free_nodes(now(), P.lo, P.hi) >= j.spec.nodes) continue;
+      // Re-checked here: a start earlier in this very pass may have
+      // filled the tenant's QOS cap — never evict victims for a job
+      // that cannot run anyway.
+      if (!qos_admits(j)) continue;
+      if (try_preempt_for(j)) start_job(j);
+    }
+  }
+
   if (cfg_.policy == Policy::fifo) {
     for (JobId id : ordered) {
       Job& j = jobs_[static_cast<std::size_t>(id)];
-      if (j.spec.nodes > cluster_.total_nodes()) {
-        cancel_job(j, "requested nodes exceed cluster size");
-        continue;
-      }
-      if (cluster_.free_nodes(now()) >= j.spec.nodes) {
+      if (!queued(j)) continue;  // started by the preemption pass
+      if (!qos_admits(j)) continue;  // QOS-held jobs never block the queue
+      if (cluster_.free_nodes(now(), P.lo, P.hi) >= j.spec.nodes) {
         start_job(j);
       } else {
         break;  // strict order: the queue head blocks everything behind it
@@ -354,27 +596,29 @@ void Scheduler::schedule_ready() {
   // Conservative backfill: walk the queue in priority order, give every
   // job the earliest reservation that fits the availability profile, and
   // start the ones whose reservation is "now". A later job can slip in
-  // front only into holes that delay no reservation ahead of it.
+  // front only into holes that delay no reservation ahead of it. The
+  // profile covers only this partition's node range.
   Profile prof;
-  prof.delta[now()] += cluster_.free_nodes(now());
+  prof.delta[now()] += cluster_.free_nodes(now(), P.lo, P.hi);
   for (const auto& j : jobs_) {
-    if (j.state == JobState::running) {
+    if (j.state == JobState::running && j.partition_index == part) {
       prof.delta[j.start_time + j.spec.walltime_limit] += j.spec.nodes;
     }
   }
-  for (double t : cluster_.repair_times(now())) prof.delta[t] += 1;
+  for (double t : cluster_.repair_times(now(), P.lo, P.hi)) {
+    prof.delta[t] += 1;
+  }
   prof.build();
 
   for (JobId id : ordered) {
     Job& j = jobs_[static_cast<std::size_t>(id)];
-    if (j.spec.nodes > cluster_.total_nodes()) {
-      cancel_job(j, "requested nodes exceed cluster size");
-      continue;
-    }
+    if (!queued(j)) continue;  // started by the preemption pass
     const double t = prof.earliest(j.spec.nodes, j.spec.walltime_limit);
     GS_ASSERT(t >= 0.0, "backfill profile must admit every feasible job");
     prof.reserve(t, j.spec.walltime_limit, j.spec.nodes);
-    if (t <= now()) start_job(j);
+    // qos_admits re-checked at start time: an earlier start in this same
+    // pass may have just filled the tenant's QOS running cap.
+    if (t <= now() && qos_admits(j)) start_job(j);
   }
 }
 
@@ -393,12 +637,18 @@ void Scheduler::run_until(double t_stop) {
         break;  // schedule_ready at the loop top does the work
       case Event::Kind::job_end: {
         Job& j = jobs_[static_cast<std::size_t>(e.job)];
-        if (j.state == JobState::running) finish_job(j, e.timeout);
+        // The attempt guard drops stale events from a preempted attempt:
+        // the victim's old job_end must not "complete" its new attempt.
+        if (j.state == JobState::running && j.attempts == e.attempt) {
+          finish_job(j, e.timeout);
+        }
         break;
       }
       case Event::Kind::node_fail: {
         Job& j = jobs_[static_cast<std::size_t>(e.job)];
-        if (j.state == JobState::running) handle_node_fail(j, e.node);
+        if (j.state == JobState::running && j.attempts == e.attempt) {
+          handle_node_fail(j, e.node);
+        }
         break;
       }
     }
@@ -435,8 +685,8 @@ std::string Scheduler::squeue() const {
     }
     return "?";
   };
-  TableFormatter t({"JOBID", "NAME", "USER", "ST", "NODES", "TIME",
-                    "REASON"});
+  TableFormatter t({"JOBID", "NAME", "USER", "PARTITION", "QOS", "ST",
+                    "NODES", "TIME", "REASON"});
   for (const auto& j : jobs_) {
     std::string time_col = "-";
     std::string reason;
@@ -447,20 +697,26 @@ std::string Scheduler::squeue() const {
     }
     if (queued(j)) {
       bool doomed = false;
-      reason = deps_satisfied(j, &doomed) ? "(Resources)" : "(Dependency)";
+      if (!deps_satisfied(j, &doomed)) {
+        reason = "(Dependency)";
+      } else {
+        reason = qos_held(j) ? "(QOSLimit)" : "(Resources)";
+      }
     } else {
       reason = j.reason;
     }
     t.row({std::to_string(j.id), j.spec.name, j.spec.user,
-           short_state(j.state), std::to_string(j.spec.nodes), time_col,
-           reason});
+           partitions_.partitions()[j.partition_index].spec.name,
+           qos_.resolve(j.spec.qos).name, short_state(j.state),
+           std::to_string(j.spec.nodes), time_col, reason});
   }
   return t.str();
 }
 
 std::string Scheduler::sacct() const {
-  TableFormatter t({"JobID", "JobName", "User", "Nodes", "State", "Submit",
-                    "Start", "End", "Elapsed", "Wait", "Retries"});
+  TableFormatter t({"JobID", "JobName", "User", "Partition", "QOS", "Nodes",
+                    "State", "Submit", "Start", "End", "Elapsed", "Wait",
+                    "Retries"});
   for (const auto& j : jobs_) {
     const std::string start =
         j.start_time >= 0.0 ? fmt_time(j.start_time) : "-";
@@ -472,9 +728,10 @@ std::string Scheduler::sacct() const {
     const std::string wait =
         j.start_time >= 0.0 ? fmt_time(j.queue_wait()) : "-";
     t.row({std::to_string(j.id), j.spec.name, j.spec.user,
-           std::to_string(j.spec.nodes), to_string(j.state),
-           fmt_time(j.submit_time), start, end, elapsed, wait,
-           std::to_string(j.requeues)});
+           partitions_.partitions()[j.partition_index].spec.name,
+           qos_.resolve(j.spec.qos).name, std::to_string(j.spec.nodes),
+           to_string(j.state), fmt_time(j.submit_time), start, end, elapsed,
+           wait, std::to_string(j.requeues)});
   }
   return t.str();
 }
@@ -496,6 +753,7 @@ SchedStats Scheduler::stats() const {
     if (j.end_time > s.makespan) s.makespan = j.end_time;
     if (j.start_time >= 0.0) s.queue_waits.add(j.queue_wait());
     s.requeues += j.requeues;
+    s.preemptions += j.preemptions;
     switch (j.state) {
       case JobState::completed: ++s.completed; break;
       case JobState::failed: ++s.failed; break;

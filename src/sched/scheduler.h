@@ -17,13 +17,23 @@
 //                   lower their jobs sort (Slurm's multifactor fair-share
 //                   term, with a 1/(1+usage/norm) decay).
 //
+// The multi-tenant control plane (gs::tenant) grows this toward real
+// Slurm semantics: named partitions carve the cluster into policy
+// domains with per-partition limits and availability profiles, QOS tiers
+// add priority weight plus per-tenant run/usage caps against a decaying
+// fair-share ledger, and a higher-QOS job may preempt-with-requeue a
+// lower one — the victim's checkpoint (gs::fault) makes the eviction
+// lossless and its resumed trajectory bitwise-identical.
+//
 // Every state change lands in an sacct-style accounting log whose text is
 // bit-identical across runs for a fixed seed — the reproducibility the
 // rest of this codebase guarantees, extended to the resource manager.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -31,6 +41,9 @@
 #include "common/stats.h"
 #include "sched/cluster.h"
 #include "sched/job.h"
+#include "tenant/ledger.h"
+#include "tenant/partition.h"
+#include "tenant/qos.h"
 
 namespace gs::sched {
 
@@ -38,6 +51,13 @@ enum class Policy { fifo, backfill, fair_share };
 
 const char* to_string(Policy p);
 Policy policy_from_string(const std::string& name);
+
+struct AccountingEvent {
+  double time = 0.0;
+  JobId job = -1;
+  std::string event;   ///< SUBMIT/START/COMPLETED/TIMEOUT/NODE_FAIL/...
+  std::string detail;
+};
 
 struct SchedulerConfig {
   Policy policy = Policy::fifo;
@@ -49,13 +69,18 @@ struct SchedulerConfig {
   /// user by half the weight.
   double fair_share_weight = 1000.0;
   double fair_share_norm = 3600.0;
-};
-
-struct AccountingEvent {
-  double time = 0.0;
-  JobId job = -1;
-  std::string event;   ///< SUBMIT/START/COMPLETED/TIMEOUT/NODE_FAIL/...
-  std::string detail;
+  /// Partitions carving the cluster (empty = one partition spanning it).
+  std::vector<tenant::PartitionSpec> partitions;
+  /// QOS tiers (empty = a single zero-weight "normal" tier). Preemption
+  /// is active exactly when some configured tier has preempt == true.
+  std::vector<tenant::QosPolicy> qos;
+  /// Half-life of the per-tenant usage ledger, seconds (0 = no decay —
+  /// required for QOS max_node_seconds caps to ever release).
+  double usage_halflife = 0.0;
+  /// Invoked after every accounting event lands in the log, on the
+  /// thread driving the scheduler (tenant::Fleet uses it to publish
+  /// datasets of COMPLETED jobs). Must not call back into the scheduler.
+  std::function<void(const Job&, const AccountingEvent&)> observer;
 };
 
 struct SchedStats {
@@ -67,6 +92,7 @@ struct SchedStats {
   int timeouts = 0;
   int cancelled = 0;
   int requeues = 0;
+  int preemptions = 0;       ///< evictions by higher-QOS jobs
   std::uint64_t io_bytes = 0;  ///< storage volume written by payloads
 };
 
@@ -80,14 +106,26 @@ class Scheduler {
 
   /// Registers a job; it becomes schedulable at max(now, submit_at).
   /// Dependencies may only reference already-submitted ids (as with
-  /// sbatch --dependency), which also keeps the DAG acyclic.
+  /// sbatch --dependency), which also keeps the DAG acyclic. The spec's
+  /// partition/qos names must exist (throws gs::ParseError otherwise)
+  /// and spec.array must be 1 — arrays go through submit_array.
   JobId submit(JobSpec spec, double submit_at = 0.0);
+
+  /// sbatch --array: expands `spec` into spec.array independent tasks
+  /// named "name[k]". Functional payloads must carry a "%a" placeholder
+  /// in their output (and checkpoint, if checkpointing) paths — it is
+  /// substituted with the task index so tasks never clobber each other.
+  std::vector<JobId> submit_array(JobSpec spec, double submit_at = 0.0);
 
   const Job& job(JobId id) const;
   const std::vector<Job>& jobs() const { return jobs_; }
 
-  /// Node-seconds consumed so far by `user` (fair-share input).
+  /// Decayed node-seconds consumed by `user` at now() (fair-share input).
   double user_usage(const std::string& user) const;
+
+  const tenant::UsageLedger& ledger() const { return ledger_; }
+  const tenant::PartitionTable& partitions() const { return partitions_; }
+  const tenant::QosTable& qos() const { return qos_; }
 
   /// Drains the queue: runs until every job is terminal. Queued jobs that
   /// can never start (impossible size, failed dependencies) are CANCELLED
@@ -117,11 +155,16 @@ class Scheduler {
     JobId job = -1;
     int node = -1;        ///< node_fail: which node dies
     bool timeout = false; ///< job_end: killed at the limit vs finished
+    /// job_end/node_fail belong to one attempt: preemption invalidates
+    /// the victim's pending events by bumping job.attempts, and stale
+    /// events (attempt mismatch) are ignored at dispatch.
+    int attempt = 0;
   };
 
   void push_event(double time, Event e);
   void advance_to(double t);
   void log_event(JobId job, std::string event, std::string detail = "");
+  void notify_observer(const Job& job);
   void set_state(Job& job, JobState to);
 
   bool queued(const Job& job) const;
@@ -130,8 +173,21 @@ class Scheduler {
   bool deps_satisfied(const Job& job, bool* doomed) const;
   double effective_priority(const Job& job) const;
   std::vector<JobId> order_queue(const std::vector<JobId>& eligible) const;
+  /// QOS admission: false when the tenant is at the tier's running-jobs
+  /// cap or over its decayed-usage cap (the latter schedules a wake at
+  /// the decay-release time).
+  bool qos_admits(const Job& job);
+  /// Side-effect-free version of the QOS-cap checks (squeue reasons).
+  bool qos_held(const Job& job) const;
+  /// Tries to free enough nodes for `job` by evicting lower-QOS
+  /// preemptable victims in its partition; returns true when the job can
+  /// now start. All-or-nothing: no victim is evicted unless the set
+  /// frees enough nodes.
+  bool try_preempt_for(const Job& job);
+  void preempt_job(Job& victim, const Job& preemptor);
 
   void schedule_ready();
+  void schedule_partition(std::size_t part, const std::vector<JobId>& ordered);
   void start_job(Job& job);
   void finish_job(Job& job, bool timed_out);
   void handle_node_fail(Job& job, int node);
@@ -140,12 +196,16 @@ class Scheduler {
 
   SchedulerConfig cfg_;
   Cluster cluster_;
+  tenant::PartitionTable partitions_;
+  tenant::QosTable qos_;
+  bool preemption_enabled_ = false;
   SimClock clock_;
   std::vector<Job> jobs_;
   std::map<std::pair<double, std::uint64_t>, Event> events_;
   std::uint64_t next_seq_ = 0;
   std::vector<AccountingEvent> log_;
-  std::map<std::string, double> usage_;  ///< user -> node-seconds
+  tenant::UsageLedger ledger_;           ///< user -> decayed node-seconds
+  std::map<JobId, double> usage_wakes_;  ///< pending decay-release wakes
   double busy_integral_ = 0.0;           ///< node-seconds, via advance_to
   int injected_failures_ = 0;
   std::uint64_t total_io_bytes_ = 0;

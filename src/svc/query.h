@@ -158,6 +158,10 @@ struct Request {
   /// deadline; < 0 means already expired (callers propagating an exhausted
   /// budget — the request is admitted but answered DeadlineExceeded).
   double timeout_seconds = 0.0;
+  /// Multi-tenant attribution tag ("" = untagged). The service keeps
+  /// per-tenant latency/outcome metrics and SLO-violation counters keyed
+  /// by this name; it grants no privileges and never changes an answer.
+  std::string tenant;
   /// Present only on router -> shard sub-queries.
   std::optional<ShardSelector> shard;
 };

@@ -112,6 +112,9 @@ std::future<Response> Service::submit(Request request) {
     {
       const std::lock_guard<std::mutex> mlock(metrics_mu_);
       ++submitted_;
+      if (!job.request.tenant.empty()) {
+        ++tenants_[job.request.tenant].submitted;
+      }
     }
     if (reject != StatusCode::ok) {
       // fall through to the rejection path below
@@ -141,7 +144,7 @@ std::future<Response> Service::submit(Request request) {
   response.status.message = std::move(reject_message);
   response.latency_seconds =
       std::chrono::duration<double>(SteadyClock::now() - now).count();
-  count_outcome(response.verb, reject, 0.0);
+  count_outcome(response.verb, reject, 0.0, job.request.tenant);
   job.promise.set_value(std::move(response));
   return future;
 }
@@ -230,7 +233,7 @@ void Service::process(Job job) {
   }
 
   count_outcome(response.verb, response.status.code,
-                response.latency_seconds);
+                response.latency_seconds, job.request.tenant);
   if (response.degraded) {
     const std::lock_guard<std::mutex> lock(metrics_mu_);
     ++degraded_;
@@ -480,11 +483,25 @@ BlockData Service::fetch_block(const std::string& variable, std::int64_t step,
 }
 
 void Service::count_outcome(Verb verb, StatusCode code,
-                            double latency_seconds) {
+                            double latency_seconds,
+                            const std::string& tenant) {
   const std::lock_guard<std::mutex> lock(metrics_mu_);
   ++by_verb_outcome_[static_cast<std::size_t>(verb)]
                     [static_cast<std::size_t>(code)];
   if (code == StatusCode::ok) ok_latencies_.add(latency_seconds);
+  if (!tenant.empty()) {
+    TenantCounters& tc = tenants_[tenant];
+    if (code == StatusCode::ok) {
+      ++tc.completed_ok;
+      tc.latencies.add(latency_seconds);
+      if (config_.slo_seconds > 0.0 &&
+          latency_seconds > config_.slo_seconds) {
+        ++tc.slo_violations;
+      }
+    } else {
+      ++tc.errors;
+    }
+  }
 }
 
 MetricsSnapshot Service::metrics() const {
@@ -506,6 +523,21 @@ MetricsSnapshot Service::metrics() const {
       m.latency_p50 = ok_latencies_.percentile(50.0);
       m.latency_p95 = ok_latencies_.percentile(95.0);
       m.latency_p99 = ok_latencies_.percentile(99.0);
+    }
+    for (const auto& [name, tc] : tenants_) {
+      TenantMetrics tm;
+      tm.submitted = tc.submitted;
+      tm.completed_ok = tc.completed_ok;
+      tm.errors = tc.errors;
+      tm.slo_violations = tc.slo_violations;
+      tm.latency_count = tc.latencies.count();
+      if (!tc.latencies.empty()) {
+        tm.latency_mean = tc.latencies.mean();
+        tm.latency_p50 = tc.latencies.percentile(50.0);
+        tm.latency_p95 = tc.latencies.percentile(95.0);
+        tm.latency_p99 = tc.latencies.percentile(99.0);
+      }
+      m.tenants[name] = tm;
     }
   }
   for (int v = 0; v < kNumVerbs; ++v) {
@@ -576,6 +608,25 @@ json::Value MetricsSnapshot::to_json() const {
   c["entries"] = json::Value(static_cast<std::int64_t>(cache.entries));
   c["hit_rate"] = json::Value(cache.hit_rate());
   o["cache"] = json::Value(c);
+
+  if (!tenants.empty()) {
+    json::Object ts;
+    for (const auto& [name, tm] : tenants) {
+      json::Object entry;
+      entry["submitted"] = json::Value(tm.submitted);
+      entry["completed_ok"] = json::Value(tm.completed_ok);
+      entry["errors"] = json::Value(tm.errors);
+      entry["slo_violations"] = json::Value(tm.slo_violations);
+      entry["latency_count"] =
+          json::Value(static_cast<std::int64_t>(tm.latency_count));
+      entry["latency_mean_s"] = json::Value(tm.latency_mean);
+      entry["latency_p50_s"] = json::Value(tm.latency_p50);
+      entry["latency_p95_s"] = json::Value(tm.latency_p95);
+      entry["latency_p99_s"] = json::Value(tm.latency_p99);
+      ts[name] = json::Value(entry);
+    }
+    o["tenants"] = json::Value(ts);
+  }
   return json::Value(o);
 }
 
@@ -611,6 +662,12 @@ std::string MetricsSnapshot::report() const {
       << format_bytes(cache.bytes) << " resident of "
       << format_bytes(cache.capacity_bytes) << " budget, " << cache.evictions
       << " evictions\n";
+  for (const auto& [name, tm] : tenants) {
+    oss << "tenant " << name << ": " << tm.completed_ok << " ok, "
+        << tm.errors << " error, " << tm.slo_violations
+        << " SLO violations, p50 " << format_seconds(tm.latency_p50)
+        << ", p99 " << format_seconds(tm.latency_p99) << "\n";
+  }
   return oss.str();
 }
 
@@ -621,6 +678,7 @@ Expected<R> Client::roundtrip(QueryBody body) {
   Request request;
   request.body = std::move(body);
   request.timeout_seconds = timeout_;
+  request.tenant = tenant_;
   last_ = service_->call(std::move(request));
   if (!last_.status.ok()) return Expected<R>(last_.status);
   R* payload = std::get_if<R>(&last_.body);

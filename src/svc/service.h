@@ -29,6 +29,7 @@
 #include <deque>
 #include <functional>
 #include <future>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -65,12 +66,31 @@ struct ServiceConfig {
   /// admitted request executes (tests use it to park workers; telemetry
   /// can use it to sample queue states). Must be thread-safe.
   std::function<void(const Request&)> before_execute;
+  /// Latency SLO for ok() responses, seconds (0 = no SLO). Completed
+  /// requests slower than this bump the owning tenant's slo_violations
+  /// counter — the service keeps answering; the counter is the signal.
+  double slo_seconds = 0.0;
   /// Cluster membership (gsserved --shard-map). When set, requests that
   /// carry a ShardSelector are answered PARTIALLY — only the blocks the
   /// selector's `act_as` shard owns under this map — with PartialMeta
   /// attached for the router's exact merge. Requests without a selector
   /// are served whole, exactly as on a non-member daemon.
   std::shared_ptr<const shard::ShardMap> shard_map;
+};
+
+/// Per-tenant slice of the service metrics (requests tagged with
+/// Request::tenant; untagged traffic is not attributed).
+struct TenantMetrics {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed_ok = 0;
+  std::uint64_t errors = 0;  ///< every non-ok final status
+  /// ok() responses whose latency exceeded ServiceConfig::slo_seconds.
+  std::uint64_t slo_violations = 0;
+  std::size_t latency_count = 0;
+  double latency_mean = 0.0;
+  double latency_p50 = 0.0;
+  double latency_p95 = 0.0;
+  double latency_p99 = 0.0;
 };
 
 /// Point-in-time service metrics (counters are cumulative since start).
@@ -101,6 +121,9 @@ struct MetricsSnapshot {
   double latency_p99 = 0.0;
 
   CacheStats cache;
+
+  /// Per-tenant breakdown, keyed by Request::tenant (sorted by name).
+  std::map<std::string, TenantMetrics> tenants;
 
   /// Every submitted request is accounted for exactly once.
   std::uint64_t accounted() const {
@@ -178,7 +201,8 @@ class Service {
                                  std::int64_t step, const Box3& selection,
                                  const std::string& act_as, PartialMeta& meta,
                                  Response& response);
-  void count_outcome(Verb verb, StatusCode code, double latency_seconds);
+  void count_outcome(Verb verb, StatusCode code, double latency_seconds,
+                     const std::string& tenant);
   double since_epoch(SteadyClock::time_point tp) const;
 
   std::string path_;
@@ -207,6 +231,14 @@ class Service {
   std::array<std::array<std::uint64_t, kNumStatusCodes>, kNumVerbs>
       by_verb_outcome_{};
   Samples ok_latencies_;
+  struct TenantCounters {
+    std::uint64_t submitted = 0;
+    std::uint64_t completed_ok = 0;
+    std::uint64_t errors = 0;
+    std::uint64_t slo_violations = 0;
+    Samples latencies;
+  };
+  std::map<std::string, TenantCounters> tenants_;
 };
 
 /// Typed in-process client: one call per verb, each returning a typed
@@ -214,9 +246,13 @@ class Service {
 /// Thin and stateless — many clients can share one Service.
 class Client {
  public:
-  /// `default_timeout_seconds` is attached to every request (0 = none).
-  explicit Client(Service& service, double default_timeout_seconds = 0.0)
-      : service_(&service), timeout_(default_timeout_seconds) {}
+  /// `default_timeout_seconds` is attached to every request (0 = none);
+  /// `tenant` tags every request for per-tenant metrics ("" = untagged).
+  explicit Client(Service& service, double default_timeout_seconds = 0.0,
+                  std::string tenant = "")
+      : service_(&service),
+        timeout_(default_timeout_seconds),
+        tenant_(std::move(tenant)) {}
 
   Expected<ListVariablesR> list_variables();
   Expected<FieldStatsR> field_stats(const std::string& variable,
@@ -237,6 +273,7 @@ class Client {
 
   Service* service_;
   double timeout_;
+  std::string tenant_;
   Response last_;
 };
 

@@ -1,0 +1,56 @@
+#include "tenant/ledger.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+
+namespace gs::tenant {
+
+UsageLedger::UsageLedger(double halflife_seconds)
+    : halflife_(halflife_seconds) {
+  GS_REQUIRE(halflife_seconds >= 0.0, "usage half-life must be >= 0");
+}
+
+double UsageLedger::decayed(const Entry& e, double now) const {
+  if (halflife_ <= 0.0 || now <= e.as_of) return e.value;
+  return e.value * std::exp2(-(now - e.as_of) / halflife_);
+}
+
+void UsageLedger::charge(const std::string& tenant, double node_seconds,
+                         double now) {
+  GS_REQUIRE(node_seconds >= 0.0, "usage charge must be >= 0");
+  Entry& e = entries_[tenant];
+  e.value = decayed(e, now) + node_seconds;
+  e.as_of = std::max(e.as_of, now);
+}
+
+double UsageLedger::usage(const std::string& tenant, double now) const {
+  const auto it = entries_.find(tenant);
+  return it == entries_.end() ? 0.0 : decayed(it->second, now);
+}
+
+double UsageLedger::time_to_decay_below(const std::string& tenant,
+                                        double target, double now) const {
+  const double current = usage(tenant, now);
+  if (current < target) return now;
+  if (halflife_ <= 0.0 || target <= 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  // current * 2^-(dt/halflife) == target  =>  dt = halflife*log2(cur/tgt).
+  // The tiny relative nudge lands strictly below target despite rounding.
+  const double dt = halflife_ * std::log2(current / target);
+  return now + dt * (1.0 + 1e-9) + 1e-9;
+}
+
+std::vector<std::pair<std::string, double>> UsageLedger::snapshot(
+    double now) const {
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(entries_.size());
+  for (const auto& [tenant, e] : entries_) {
+    out.emplace_back(tenant, decayed(e, now));
+  }
+  return out;
+}
+
+}  // namespace gs::tenant

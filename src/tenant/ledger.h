@@ -1,0 +1,55 @@
+// Per-tenant fair-share usage ledger with exponential decay — Slurm's
+// multifactor fair-share term uses a half-life-decayed record of consumed
+// node-seconds (PriorityDecayHalfLife) so that yesterday's production run
+// stops outweighing today's notebook. The scheduler charges every
+// completed, preempted, or failed attempt here and reads decayed usage
+// both for fair-share ordering and for QOS usage caps.
+//
+// Time is the scheduler's simulated clock, so ledger state is exactly
+// reproducible for a fixed seed: usage(t) = charge * 2^-((t-t0)/halflife)
+// summed over charges, evaluated lazily per tenant.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gs::tenant {
+
+class UsageLedger {
+ public:
+  /// halflife_seconds == 0 disables decay (usage accumulates forever,
+  /// matching the pre-tenant scheduler's behavior).
+  explicit UsageLedger(double halflife_seconds = 0.0);
+
+  double halflife() const { return halflife_; }
+
+  /// Adds `node_seconds` of usage for `tenant` at simulated time `now`.
+  /// `now` must not move backwards for a given tenant.
+  void charge(const std::string& tenant, double node_seconds, double now);
+
+  /// Decayed usage of `tenant` at simulated time `now` (0 if unknown).
+  double usage(const std::string& tenant, double now) const;
+
+  /// Earliest simulated time >= now at which `tenant`'s usage has
+  /// decayed strictly below `target`. Returns `now` when it is already
+  /// below, and +infinity when it can never get there (no decay
+  /// configured, or target <= 0).
+  double time_to_decay_below(const std::string& tenant, double target,
+                             double now) const;
+
+  /// All tenants with their decayed usage at `now`, sorted by name.
+  std::vector<std::pair<std::string, double>> snapshot(double now) const;
+
+ private:
+  struct Entry {
+    double value = 0.0;    ///< usage as of `as_of`
+    double as_of = 0.0;
+  };
+  double decayed(const Entry& e, double now) const;
+
+  double halflife_;
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace gs::tenant

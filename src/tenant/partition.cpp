@@ -1,0 +1,111 @@
+#include "tenant/partition.h"
+
+#include <set>
+
+#include "common/error.h"
+
+namespace gs::tenant {
+
+PartitionTable::PartitionTable(std::vector<PartitionSpec> partitions,
+                               std::int64_t cluster_nodes) {
+  GS_REQUIRE(cluster_nodes > 0, "partition table needs a non-empty cluster");
+  if (partitions.empty()) {
+    PartitionSpec all;
+    all.nodes = cluster_nodes;
+    partitions.push_back(all);
+  }
+  std::set<std::string> seen;
+  std::int64_t next = 0;
+  for (auto& p : partitions) {
+    GS_REQUIRE(!p.name.empty(), "partition needs a name");
+    GS_REQUIRE(seen.insert(p.name).second,
+               "duplicate partition '" << p.name << "'");
+    GS_REQUIRE(p.nodes > 0,
+               "partition '" << p.name << "' needs a positive node count");
+    GS_REQUIRE(p.max_nodes_per_job >= 0 && p.max_walltime >= 0.0,
+               "partition '" << p.name << "': limits must be non-negative");
+    GS_REQUIRE(p.max_nodes_per_job <= p.nodes,
+               "partition '" << p.name
+                             << "': max_nodes_per_job exceeds its size");
+    Resolved r;
+    r.lo = static_cast<int>(next);
+    next += p.nodes;
+    r.hi = static_cast<int>(next);
+    r.spec = std::move(p);
+    resolved_.push_back(std::move(r));
+  }
+  GS_REQUIRE(next == cluster_nodes,
+             "partition node counts sum to "
+                 << next << " but the cluster has " << cluster_nodes
+                 << " node(s); partitions must cover the cluster exactly");
+}
+
+const PartitionTable::Resolved& PartitionTable::resolve(
+    const std::string& name) const {
+  return resolved_[index_of(name)];
+}
+
+std::size_t PartitionTable::index_of(const std::string& name) const {
+  if (name.empty()) return 0;
+  for (std::size_t i = 0; i < resolved_.size(); ++i) {
+    if (resolved_[i].spec.name == name) return i;
+  }
+  GS_THROW(ParseError, "unknown partition '" << name << "'");
+}
+
+bool PartitionTable::contains(const std::string& name) const {
+  for (const auto& r : resolved_) {
+    if (r.spec.name == name) return true;
+  }
+  return false;
+}
+
+PartitionSpec partition_from_spec(const std::string& spec) {
+  PartitionSpec p;
+  p.nodes = 0;
+  std::size_t start = 0;
+  bool first = true;
+  while (start <= spec.size()) {
+    const std::size_t comma = spec.find(',', start);
+    const std::string entry =
+        spec.substr(start, comma == std::string::npos ? std::string::npos
+                                                      : comma - start);
+    start = comma == std::string::npos ? spec.size() + 1 : comma + 1;
+    if (first) {
+      GS_REQUIRE(!entry.empty(),
+                 "partition spec '" << spec << "' needs a leading name");
+      p.name = entry;
+      first = false;
+      continue;
+    }
+    if (entry.empty()) continue;
+    const std::size_t eq = entry.find('=');
+    GS_REQUIRE(eq != std::string::npos,
+               "partition spec: expected key=value, got '" << entry << "'");
+    const std::string key = entry.substr(0, eq);
+    const std::string value = entry.substr(eq + 1);
+    double num = 0.0;
+    try {
+      std::size_t used = 0;
+      num = std::stod(value, &used);
+      GS_REQUIRE(used == value.size(), "trailing junk");
+    } catch (const std::exception&) {
+      GS_THROW(ParseError, "partition spec: bad numeric value '"
+                               << value << "' for " << key);
+    }
+    if (key == "nodes") {
+      p.nodes = static_cast<std::int64_t>(num);
+    } else if (key == "max_nodes_per_job") {
+      p.max_nodes_per_job = static_cast<std::int64_t>(num);
+    } else if (key == "max_walltime") {
+      p.max_walltime = num;
+    } else {
+      GS_THROW(ParseError, "partition spec: unknown key '" << key << "'");
+    }
+  }
+  GS_REQUIRE(p.nodes > 0,
+             "partition spec '" << spec << "' needs nodes=<count>");
+  return p;
+}
+
+}  // namespace gs::tenant

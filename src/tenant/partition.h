@@ -1,0 +1,68 @@
+// Partitions: named, disjoint subsets of the cluster's nodes with
+// per-partition limits — Slurm's `sinfo` view of Frontier, where `batch`,
+// `debug`, and staging partitions carve one machine into policy domains.
+// The scheduler places a job only onto its partition's node range, builds
+// its backfill availability profile per partition, and preemption never
+// reaches across a partition boundary (evicting a job in partition A
+// cannot free nodes for a job in partition B).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gs::tenant {
+
+struct PartitionSpec {
+  std::string name = "all";
+  /// Node count this partition owns. Partitions are carved from the
+  /// cluster front-to-back in configuration order; the counts must sum
+  /// to exactly the cluster size (no silent idle remainder).
+  std::int64_t nodes = 0;
+  /// Widest single job admitted (0 = the partition size).
+  std::int64_t max_nodes_per_job = 0;
+  /// Longest walltime_limit admitted, seconds (0 = unlimited) — Slurm's
+  /// per-partition MaxTime.
+  double max_walltime = 0.0;
+};
+
+/// Partition table resolved against a concrete cluster size: each
+/// partition owns the contiguous node-index range [lo, hi). An empty
+/// configuration yields one partition "all" spanning every node, which
+/// reproduces the pre-tenant scheduler behavior exactly.
+class PartitionTable {
+ public:
+  struct Resolved {
+    PartitionSpec spec;
+    int lo = 0;  ///< first node index (inclusive)
+    int hi = 0;  ///< past-the-end node index
+  };
+
+  /// Builds the table; throws gs::ParseError when names collide or the
+  /// node counts do not sum to `cluster_nodes`.
+  PartitionTable(std::vector<PartitionSpec> partitions,
+                 std::int64_t cluster_nodes);
+
+  /// Resolves a partition by name; "" means the first (default)
+  /// partition. Throws gs::ParseError for an unknown name.
+  const Resolved& resolve(const std::string& name) const;
+  /// Index into partitions() for `name` (same resolution rules).
+  std::size_t index_of(const std::string& name) const;
+  bool contains(const std::string& name) const;
+
+  const std::vector<Resolved>& partitions() const { return resolved_; }
+
+ private:
+  std::vector<Resolved> resolved_;
+};
+
+/// Parses a gsbatch-style partition spec: name first, then key=value
+/// entries:
+///
+///   "prod,nodes=48,max_walltime=86400"
+///   "debug,nodes=16,max_nodes_per_job=2,max_walltime=3600"
+///
+/// Unknown keys throw gs::ParseError.
+PartitionSpec partition_from_spec(const std::string& spec);
+
+}  // namespace gs::tenant

@@ -1,0 +1,130 @@
+#include "tenant/qos.h"
+
+#include <set>
+
+#include "common/error.h"
+
+namespace gs::tenant {
+
+namespace {
+
+/// Splits "a,b=1,c" into trailing entries after the leading name.
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t comma = s.find(',', start);
+    if (comma == std::string::npos) {
+      out.push_back(s.substr(start));
+      break;
+    }
+    out.push_back(s.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+double parse_number(const std::string& key, const std::string& value) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(value, &used);
+    GS_REQUIRE(used == value.size(), "trailing junk");
+    return v;
+  } catch (const std::exception&) {
+    GS_THROW(ParseError,
+             "qos/partition spec: bad numeric value '" << value << "' for "
+                                                       << key);
+  }
+}
+
+}  // namespace
+
+QosTable::QosTable() : policies_{QosPolicy{}} {}
+
+QosTable::QosTable(std::vector<QosPolicy> policies)
+    : policies_(std::move(policies)) {
+  if (policies_.empty()) policies_.push_back(QosPolicy{});
+  std::set<std::string> seen;
+  for (const auto& p : policies_) {
+    GS_REQUIRE(!p.name.empty(), "QOS tier needs a name");
+    GS_REQUIRE(seen.insert(p.name).second,
+               "duplicate QOS tier '" << p.name << "'");
+    GS_REQUIRE(p.max_running_per_tenant >= 0 && p.max_node_seconds >= 0.0 &&
+                   p.grace_seconds >= 0.0,
+               "QOS '" << p.name << "': limits must be non-negative");
+  }
+}
+
+const QosPolicy& QosTable::resolve(const std::string& name) const {
+  if (name.empty()) return policies_.front();
+  for (const auto& p : policies_) {
+    if (p.name == name) return p;
+  }
+  GS_THROW(ParseError, "unknown QOS '" << name << "'");
+}
+
+bool QosTable::contains(const std::string& name) const {
+  for (const auto& p : policies_) {
+    if (p.name == name) return true;
+  }
+  return false;
+}
+
+QosPolicy qos_from_spec(const std::string& spec) {
+  const auto parts = split_csv(spec);
+  GS_REQUIRE(!parts.empty() && !parts.front().empty(),
+             "qos spec '" << spec << "' needs a leading tier name");
+  QosPolicy p;
+  p.name = parts.front();
+  for (std::size_t i = 1; i < parts.size(); ++i) {
+    const std::string& entry = parts[i];
+    if (entry.empty()) continue;
+    const std::size_t eq = entry.find('=');
+    const std::string key = entry.substr(0, eq);
+    if (eq == std::string::npos) {
+      if (key == "preempt") {
+        p.preempt = true;
+      } else if (key == "preemptable") {
+        p.preemptable = true;
+      } else {
+        GS_THROW(ParseError, "qos spec: unknown flag '" << key << "'");
+      }
+      continue;
+    }
+    const std::string value = entry.substr(eq + 1);
+    if (key == "weight") {
+      p.priority_weight = parse_number(key, value);
+    } else if (key == "max_running") {
+      p.max_running_per_tenant = static_cast<int>(parse_number(key, value));
+    } else if (key == "max_node_seconds") {
+      p.max_node_seconds = parse_number(key, value);
+    } else if (key == "grace") {
+      p.grace_seconds = parse_number(key, value);
+    } else {
+      GS_THROW(ParseError, "qos spec: unknown key '" << key << "'");
+    }
+  }
+  return p;
+}
+
+std::vector<QosPolicy> default_qos_tiers() {
+  QosPolicy high;
+  high.name = "high";
+  high.priority_weight = 2000.0;
+  high.preempt = true;
+
+  QosPolicy normal;
+  normal.name = "normal";
+  normal.priority_weight = 1000.0;
+  normal.preemptable = true;
+  normal.grace_seconds = 30.0;
+
+  QosPolicy scavenger;
+  scavenger.name = "scavenger";
+  scavenger.priority_weight = 0.0;
+  scavenger.preemptable = true;
+
+  return {high, normal, scavenger};
+}
+
+}  // namespace gs::tenant

@@ -1,0 +1,80 @@
+// Quality-of-service tiers for the multi-tenant control plane
+// (gs::tenant), modeled on Slurm's QOS table (sacctmgr show qos): each
+// tier carries a priority weight folded into the scheduler's multifactor
+// priority, per-tenant run limits, and the preemption contract between
+// tiers. The paper's campaigns all ran under exactly this regime on
+// Frontier — `batch` jobs yielding to `debug`/`high` submissions — and
+// the serving fleet inherits the same vocabulary.
+//
+// Preemption contract: a job of QOS A may evict a RUNNING job of QOS B
+// iff A.preempt, B.preemptable, A.priority_weight > B.priority_weight,
+// and B has been running for at least B.grace_seconds (the
+// preempt-exempt grace that keeps short jobs from being churned to
+// death). Eviction is always requeue, never kill: the victim returns to
+// the queue and, when its payload checkpoints (gs::fault), resumes
+// bitwise-identically from the checkpoint.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gs::tenant {
+
+struct QosPolicy {
+  std::string name = "normal";
+  /// Added to every job's effective priority (Slurm's QOS factor).
+  double priority_weight = 0.0;
+  /// Max simultaneously RUNNING jobs per tenant in this QOS (0 = no cap;
+  /// Slurm's MaxJobsPerUser).
+  int max_running_per_tenant = 0;
+  /// Decayed-usage ceiling in node-seconds per tenant (0 = no cap): a
+  /// tenant whose ledger usage exceeds this holds further jobs of this
+  /// QOS until decay brings it back under (Slurm's GrpTRESRunMins
+  /// spirit). Requires a scheduler usage half-life, otherwise held jobs
+  /// can never release and are loudly cancelled at queue drain.
+  double max_node_seconds = 0.0;
+  /// A RUNNING job of this QOS cannot be preempted before it has run
+  /// this long (preempt-exempt grace; Slurm's PreemptExemptTime).
+  double grace_seconds = 0.0;
+  /// Jobs of this QOS may evict strictly-lower-weight preemptable jobs.
+  bool preempt = false;
+  /// Jobs of this QOS may be evicted by higher-weight preempting QOSes.
+  bool preemptable = false;
+};
+
+/// Named lookup over the configured tiers. An empty configuration
+/// yields the single zero-weight "normal" tier, which reproduces the
+/// pre-tenant scheduler behavior exactly.
+class QosTable {
+ public:
+  QosTable();  ///< just the default "normal" tier
+  explicit QosTable(std::vector<QosPolicy> policies);
+
+  /// Resolves a QOS by name; "" means the first (default) tier. Throws
+  /// gs::ParseError for an unknown name — a typo'd --qos must not
+  /// silently schedule at the default tier.
+  const QosPolicy& resolve(const std::string& name) const;
+  bool contains(const std::string& name) const;
+
+  const std::vector<QosPolicy>& policies() const { return policies_; }
+
+ private:
+  std::vector<QosPolicy> policies_;
+};
+
+/// Parses a gsbatch-style QOS spec: a comma-separated list starting with
+/// the tier name, followed by key=value / flag entries:
+///
+///   "high,weight=2000,preempt,grace=60"
+///   "scavenger,weight=0,preemptable,max_running=2,max_node_seconds=3600"
+///
+/// Unknown keys throw gs::ParseError.
+QosPolicy qos_from_spec(const std::string& spec);
+
+/// The three-tier default the docs and benches use: high (weight 2000,
+/// preempts), normal (weight 1000), scavenger (weight 0, preemptable,
+/// no grace).
+std::vector<QosPolicy> default_qos_tiers();
+
+}  // namespace gs::tenant

@@ -14,6 +14,8 @@
 #include <atomic>
 #include <chrono>
 #include <filesystem>
+#include <mutex>
+#include <set>
 #include <thread>
 #include <vector>
 
@@ -23,6 +25,7 @@
 #include "grid/decomp.h"
 #include "mpi/runtime.h"
 #include "rpc/client.h"
+#include "rpc/pool.h"
 #include "rpc/server.h"
 #include "rpc/wire.h"
 #include "svc/service.h"
@@ -582,6 +585,86 @@ TEST(RpcStream, SlowConsumerDropsStepsInsteadOfStalling) {
   EXPECT_EQ(stats.steps_streamed, received);
   EXPECT_EQ(stats.steps_dropped,
             static_cast<std::uint64_t>(kPushed) - received);
+  server.shutdown();
+}
+
+// ---- tenant tag on the wire ----------------------------------------------
+
+TEST(RpcWire, TenantTagRoundTripsAndVersionOneFramesStillDecode) {
+  svc::Request request = stats_request("U", 1);
+  request.tenant = "alice";
+  const svc::Request back = decode_request(encode_request(request));
+  EXPECT_EQ(back.tenant, "alice");
+  ASSERT_TRUE(std::holds_alternative<svc::FieldStatsQ>(back.body));
+  EXPECT_EQ(std::get<svc::FieldStatsQ>(back.body).variable, "U");
+
+  // A frame from a pre-tenant peer simply ends earlier; the trailer is
+  // append-only and its absence means "no tenant".
+  auto bytes = encode_request(stats_request("U", 1));
+  ASSERT_GE(bytes.size(), 1u);
+  bytes.pop_back();  // strip the tenant-presence flag
+  EXPECT_TRUE(decode_request(bytes).tenant.empty());
+}
+
+// ---- connection pool -----------------------------------------------------
+
+TEST(RpcClientPool, ConcurrentLeaseReturnDiscardNeverDoubleLeases) {
+  gs::svc::Service service(dataset());
+  Server server(service);
+  ClientPool pool(server.endpoint(), ClientConfig{}, /*max_idle=*/4);
+
+  constexpr int kThreads = 8;
+  constexpr int kIters = 24;
+  std::mutex mu;
+  std::set<Client*> leased;  // clients currently out on lease
+  std::atomic<int> ok{0};
+  std::atomic<int> discards{0};
+  std::atomic<bool> double_lease{false};
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        auto lease = pool.acquire();
+        {
+          const std::lock_guard<std::mutex> lock(mu);
+          // The same Client handed to two leases at once would insert a
+          // duplicate here.
+          if (!leased.insert(&*lease).second) double_lease = true;
+        }
+        if (lease->field_stats("U", i % kSteps).ok()) ++ok;
+        if ((t + i) % 5 == 0) {
+          lease.discard();  // suspect connection: must not be pooled
+          ++discards;
+        }
+        {
+          const std::lock_guard<std::mutex> lock(mu);
+          leased.erase(&*lease);
+        }
+        // ~Lease here: give_back happens-after the erase above, so a
+        // recycled pointer can never look double-leased.
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  EXPECT_FALSE(double_lease.load());
+  EXPECT_EQ(ok.load(), kThreads * kIters);
+  EXPECT_TRUE(leased.empty());
+
+  const auto st = pool.stats();
+  // Every acquire was either a fresh dial or an idle-list pop, and every
+  // discard really dropped its client (discarded clients are the only
+  // ones that leave the pool besides the max_idle overflow trim).
+  EXPECT_EQ(st.created + st.reused,
+            static_cast<std::uint64_t>(kThreads * kIters));
+  EXPECT_EQ(st.discarded, static_cast<std::uint64_t>(discards.load()));
+  EXPECT_GT(st.reused, 0u);
+  EXPECT_LE(st.idle, 4u);
+
+  // The pool still serves healthy connections after all that churn.
+  auto lease = pool.acquire();
+  EXPECT_TRUE(lease->field_stats("V", 0).ok());
   server.shutdown();
 }
 

@@ -293,6 +293,35 @@ TEST(SchedulerDeterminism, DifferentSeedChangesModeledOutcomes) {
   EXPECT_NE(a.event_log(), b.event_log());
 }
 
+TEST(SchedulerDeterminism, EqualPriorityBreaksTiesBySubmitTimeThenId) {
+  // Four identical-priority jobs on a one-node cluster: start order must
+  // be earlier submit first, then lower id — never the map/sort whim of
+  // a particular run.
+  Scheduler s(small_cluster(Policy::backfill, 1));
+  const auto late = s.submit(fixed_job("late", "u", 1, 10, 500),
+                             /*submit_at=*/5.0);
+  const auto a = s.submit(fixed_job("a", "u", 1, 10, 500));
+  const auto b = s.submit(fixed_job("b", "u", 1, 10, 500));
+  const auto c = s.submit(fixed_job("c", "u", 1, 10, 500));
+  s.run();
+  // t=0 submissions run in id order (a, b, c), the t=5 one last even
+  // though it has the smallest id.
+  EXPECT_DOUBLE_EQ(s.job(a).start_time, 0.0);
+  EXPECT_DOUBLE_EQ(s.job(b).start_time, 10.0);
+  EXPECT_DOUBLE_EQ(s.job(c).start_time, 20.0);
+  EXPECT_DOUBLE_EQ(s.job(late).start_time, 30.0);
+
+  // Explicit priority still dominates the tie-break.
+  Scheduler t(small_cluster(Policy::fifo, 1));
+  JobSpec boosted = fixed_job("boosted", "u", 1, 10, 500);
+  boosted.priority = 10.0;
+  const auto plain = t.submit(fixed_job("plain", "u", 1, 10, 500));
+  const auto hi = t.submit(boosted);
+  t.run();
+  EXPECT_DOUBLE_EQ(t.job(hi).start_time, 0.0);
+  EXPECT_DOUBLE_EQ(t.job(plain).start_time, 10.0);
+}
+
 // ----------------------------------------------------------- payloads
 
 TEST(Payload, ModeledDurationMonotoneInNodes) {

@@ -9,19 +9,33 @@
 //   --seed S                            deterministic seed (default 42)
 //   --fault-prob P                      per-attempt node-failure probability
 //   --max-failures K                    fault-injection budget (default 0)
+//   --partition SPEC                    add a partition (repeatable):
+//                                       "prod,nodes=48,max_walltime=86400"
+//   --qos SPEC|default                  add a QOS tier (repeatable):
+//                                       "high,weight=2000,preempt";
+//                                       "default" loads the three-tier set
+//   --usage-halflife S                  fair-share ledger half-life, seconds
 //   --events                            also print the raw accounting log
+//   --json                              machine-readable output: one JSON
+//                                       document with final job states and
+//                                       summary stats (no tables)
 //   --help                              this message
 //
-// Exit status: 0 when every job COMPLETED, 1 otherwise (any FAILED,
-// TIMEOUT, or CANCELLED job), 2 on usage/config errors.
+// Exit-code contract (mirrors gsquery): 0 when every job COMPLETED,
+// 1 on usage/config/runtime errors, 2 when the run finished but any job
+// FAILED, TIMEOUT, or CANCELLED. Scripts can therefore distinguish "the
+// tool broke" (1) from "the campaign had casualties" (2).
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
 #include "common/format.h"
+#include "config/json.h"
 #include "sched/campaign.h"
 #include "sched/scheduler.h"
+#include "tenant/partition.h"
+#include "tenant/qos.h"
 
 namespace {
 
@@ -29,14 +43,45 @@ int usage(std::FILE* to, const char* argv0) {
   std::fprintf(to,
                "usage: %s <campaign.json> [more campaigns...] [options]\n"
                "  --policy fifo|backfill|fair_share  (default backfill)\n"
-               "  --nodes N        cluster size in nodes (default 64)\n"
-               "  --seed S         deterministic seed (default 42)\n"
-               "  --fault-prob P   node-failure probability per attempt\n"
-               "  --max-failures K fault-injection budget (default 0)\n"
-               "  --events         also print the raw accounting log\n"
-               "  --help           this message\n",
+               "  --nodes N          cluster size in nodes (default 64)\n"
+               "  --seed S           deterministic seed (default 42)\n"
+               "  --fault-prob P     node-failure probability per attempt\n"
+               "  --max-failures K   fault-injection budget (default 0)\n"
+               "  --partition SPEC   add a partition, e.g. "
+               "\"prod,nodes=48,max_walltime=86400\"\n"
+               "  --qos SPEC         add a QOS tier, e.g. "
+               "\"high,weight=2000,preempt\"; \"default\" = 3-tier set\n"
+               "  --usage-halflife S fair-share usage decay half-life\n"
+               "  --events           also print the raw accounting log\n"
+               "  --json             machine-readable final states\n"
+               "  --help             this message\n"
+               "exit codes: 0 all jobs completed, 1 usage/config error,\n"
+               "            2 some job failed/timed out/was cancelled\n",
                argv0);
-  return to == stdout ? 0 : 2;
+  return to == stdout ? 0 : 1;
+}
+
+gs::json::Value job_json(const gs::sched::Scheduler& sched,
+                         const gs::sched::Job& j) {
+  gs::json::Object o;
+  o["id"] = gs::json::Value(j.id);
+  o["name"] = gs::json::Value(j.spec.name);
+  o["user"] = gs::json::Value(j.spec.user);
+  o["partition"] = gs::json::Value(
+      sched.partitions().partitions()[j.partition_index].spec.name);
+  o["qos"] = gs::json::Value(sched.qos().resolve(j.spec.qos).name);
+  o["state"] = gs::json::Value(std::string(gs::sched::to_string(j.state)));
+  o["nodes"] = gs::json::Value(j.spec.nodes);
+  o["submit"] = gs::json::Value(j.submit_time);
+  o["start"] = gs::json::Value(j.start_time);
+  o["end"] = gs::json::Value(j.end_time);
+  o["attempts"] = gs::json::Value(static_cast<std::int64_t>(j.attempts));
+  o["requeues"] = gs::json::Value(static_cast<std::int64_t>(j.requeues));
+  o["preemptions"] =
+      gs::json::Value(static_cast<std::int64_t>(j.preemptions));
+  if (j.array_task >= 0) o["array_task"] = gs::json::Value(j.array_task);
+  if (!j.reason.empty()) o["reason"] = gs::json::Value(j.reason);
+  return gs::json::Value(o);
 }
 
 }  // namespace
@@ -46,13 +91,14 @@ int main(int argc, char** argv) {
   gs::sched::SchedulerConfig cfg;
   cfg.policy = gs::sched::Policy::backfill;
   bool print_events = false;
+  bool as_json = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto next = [&](const char* what) -> std::string {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "gsbatch: %s expects a value\n", what);
-        std::exit(2);
+        std::exit(1);
       }
       return argv[++i];
     };
@@ -62,7 +108,7 @@ int main(int argc, char** argv) {
         cfg.policy = gs::sched::policy_from_string(next("--policy"));
       } catch (const std::exception& e) {
         std::fprintf(stderr, "gsbatch: %s\n", e.what());
-        return 2;
+        return 1;
       }
     } else if (arg == "--nodes") {
       cfg.cluster.nodes = std::atoll(next("--nodes").c_str());
@@ -75,8 +121,34 @@ int main(int argc, char** argv) {
     } else if (arg == "--max-failures") {
       cfg.faults.max_failures =
           std::atoi(next("--max-failures").c_str());
+    } else if (arg == "--partition") {
+      try {
+        cfg.partitions.push_back(
+            gs::tenant::partition_from_spec(next("--partition")));
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "gsbatch: %s\n", e.what());
+        return 1;
+      }
+    } else if (arg == "--qos") {
+      const std::string spec = next("--qos");
+      try {
+        if (spec == "default") {
+          for (auto& q : gs::tenant::default_qos_tiers()) {
+            cfg.qos.push_back(std::move(q));
+          }
+        } else {
+          cfg.qos.push_back(gs::tenant::qos_from_spec(spec));
+        }
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "gsbatch: %s\n", e.what());
+        return 1;
+      }
+    } else if (arg == "--usage-halflife") {
+      cfg.usage_halflife = std::atof(next("--usage-halflife").c_str());
     } else if (arg == "--events") {
       print_events = true;
+    } else if (arg == "--json") {
+      as_json = true;
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "gsbatch: unknown option %s\n", arg.c_str());
       return usage(stderr, argv[0]);
@@ -88,32 +160,83 @@ int main(int argc, char** argv) {
 
   try {
     gs::sched::Scheduler sched(cfg);
+    gs::json::Array campaigns_json;
     for (const auto& path : campaign_files) {
       const auto campaign = gs::sched::campaign_from_file(path);
       const auto ids = gs::sched::submit_campaign(sched, campaign);
-      std::printf("submitted campaign '%s' (user %s): %zu job(s), ids %lld..%lld\n",
-                  campaign.name.c_str(), campaign.user.c_str(), ids.size(),
-                  (long long)ids.front(), (long long)ids.back());
+      if (as_json) {
+        gs::json::Object c;
+        c["name"] = gs::json::Value(campaign.name);
+        c["user"] = gs::json::Value(campaign.user);
+        c["first_id"] = gs::json::Value(ids.front());
+        c["last_id"] = gs::json::Value(ids.back());
+        campaigns_json.push_back(gs::json::Value(c));
+      } else {
+        std::printf(
+            "submitted campaign '%s' (user %s): %zu job(s), ids %lld..%lld\n",
+            campaign.name.c_str(), campaign.user.c_str(), ids.size(),
+            (long long)ids.front(), (long long)ids.back());
+      }
     }
 
-    std::printf("\n== squeue (t=%.1f, policy %s, %lld nodes) ==\n%s\n",
-                sched.now(), gs::sched::to_string(cfg.policy),
-                (long long)cfg.cluster.nodes, sched.squeue().c_str());
+    if (!as_json) {
+      std::printf("\n== squeue (t=%.1f, policy %s, %lld nodes) ==\n%s\n",
+                  sched.now(), gs::sched::to_string(cfg.policy),
+                  (long long)cfg.cluster.nodes, sched.squeue().c_str());
+    }
 
     sched.run();
+
+    const auto st = sched.stats();
+    const bool all_ok =
+        st.completed == static_cast<int>(sched.jobs().size());
+
+    if (as_json) {
+      gs::json::Object out;
+      out["campaigns"] = gs::json::Value(campaigns_json);
+      gs::json::Array jobs;
+      for (const auto& j : sched.jobs()) {
+        jobs.push_back(job_json(sched, j));
+      }
+      out["jobs"] = gs::json::Value(jobs);
+      gs::json::Object summary;
+      summary["jobs"] =
+          gs::json::Value(static_cast<std::int64_t>(sched.jobs().size()));
+      summary["completed"] =
+          gs::json::Value(static_cast<std::int64_t>(st.completed));
+      summary["failed"] =
+          gs::json::Value(static_cast<std::int64_t>(st.failed));
+      summary["timeouts"] =
+          gs::json::Value(static_cast<std::int64_t>(st.timeouts));
+      summary["cancelled"] =
+          gs::json::Value(static_cast<std::int64_t>(st.cancelled));
+      summary["requeues"] =
+          gs::json::Value(static_cast<std::int64_t>(st.requeues));
+      summary["preemptions"] =
+          gs::json::Value(static_cast<std::int64_t>(st.preemptions));
+      summary["makespan_s"] = gs::json::Value(st.makespan);
+      summary["utilization"] = gs::json::Value(st.utilization);
+      summary["io_bytes"] = gs::json::Value(st.io_bytes);
+      out["summary"] = gs::json::Value(summary);
+      out["all_completed"] = gs::json::Value(all_ok);
+      std::printf("%s\n", gs::json::Value(out).dump(2).c_str());
+      return all_ok ? 0 : 2;
+    }
 
     std::printf("== sacct ==\n%s\n", sched.sacct().c_str());
     if (print_events) {
       std::printf("== accounting log ==\n%s\n", sched.event_log().c_str());
     }
 
-    const auto st = sched.stats();
     std::printf("== summary ==\n");
     std::printf("jobs               : %zu (%d completed, %d failed, %d "
                 "timeout, %d cancelled)\n",
                 sched.jobs().size(), st.completed, st.failed, st.timeouts,
                 st.cancelled);
     std::printf("requeues           : %d\n", st.requeues);
+    if (st.preemptions > 0) {
+      std::printf("preemptions        : %d\n", st.preemptions);
+    }
     std::printf("makespan           : %s\n",
                 gs::format_seconds(st.makespan).c_str());
     std::printf("node utilization   : %.1f%%\n", 100.0 * st.utilization);
@@ -127,11 +250,9 @@ int main(int argc, char** argv) {
                   gs::format_bytes(st.io_bytes).c_str());
     }
 
-    const bool all_ok =
-        st.completed == static_cast<int>(sched.jobs().size());
-    return all_ok ? 0 : 1;
+    return all_ok ? 0 : 2;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "gsbatch: %s\n", e.what());
-    return 2;
+    return 1;
   }
 }
