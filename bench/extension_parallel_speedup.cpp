@@ -7,10 +7,12 @@
 //   1. DETERMINISM (always fatal): every observable — field checksum,
 //      analysis mean/stddev bits, histogram mass — must be bitwise
 //      identical to the 1-lane run for every pool size.
-//   2. SPEEDUP (gated): with 4 lanes the workload must run >= 1.8x faster
-//      than 1 lane. Enforced only when the machine actually has >= 4
-//      hardware threads AND GS_SPEEDUP_NONFATAL is unset — shared CI
-//      runners and small containers log the number instead of failing.
+//   2. SPEEDUP (gated): with 4 lanes the workload must run >= 2.0x faster
+//      than 1 lane (raised from 1.8x once the cache-blocked SIMD kernel
+//      removed the single-lane memory stalls that flattered the ratio).
+//      Enforced only when the machine actually has >= 4 hardware threads
+//      AND GS_SPEEDUP_NONFATAL is unset — shared CI runners and small
+//      containers log the number instead of failing.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -130,11 +132,11 @@ int main() {
     std::printf("speedup @4 lanes: %.2fx (informational: %s)\n", speedup4,
                 hw < 4 ? "fewer than 4 hardware threads"
                        : "GS_SPEEDUP_NONFATAL set");
-  } else if (speedup4 < 1.8) {
-    std::printf("FAIL: speedup @4 lanes is %.2fx, need >= 1.8x\n", speedup4);
+  } else if (speedup4 < 2.0) {
+    std::printf("FAIL: speedup @4 lanes is %.2fx, need >= 2.0x\n", speedup4);
     status = 1;
   } else {
-    std::printf("speedup @4 lanes: %.2fx (>= 1.8x required): PASS\n",
+    std::printf("speedup @4 lanes: %.2fx (>= 2.0x required): PASS\n",
                 speedup4);
   }
 

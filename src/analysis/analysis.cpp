@@ -7,6 +7,7 @@
 
 #include "common/error.h"
 #include "par/par.h"
+#include "simd/simd.h"
 
 namespace gs::analysis {
 
@@ -99,6 +100,11 @@ Slice2D slice_from_reader(const bp::Reader& reader, const std::string& name,
 }
 
 ExactStats exact_stats(std::span<const double> data) {
+  // Deliberately scalar: ExactSum folds each addend into integer
+  // superaccumulator limbs with per-element carries — an inherently
+  // sequential dependence chain with no elementwise IEEE analog, so
+  // there is no gs::simd formulation that keeps the exactness contract.
+  // The partition-independent merge tree is the parallel axis instead.
   par::RegionOptions opts;
   opts.label = "stats";
   opts.grain = kAnalysisGrain;
@@ -147,24 +153,19 @@ Histogram field_histogram(std::span<const double> data, std::size_t bins) {
   GS_REQUIRE(!data.empty(), "histogram of empty field");
   const auto n = static_cast<std::int64_t>(data.size());
 
-  // Pass 1: min/max reduction (exact — order-independent).
-  struct MinMax {
-    double lo, hi;
-  };
+  // Pass 1: min/max reduction (exact — order-independent), vectorized
+  // per tile with W-lane accumulators (simd::minmax_run). min/max over
+  // field data (finite, no NaN) is associative/commutative, so the lane
+  // grouping cannot change the result.
+  using simd::MinMax;
   par::RegionOptions opts;
   opts.label = "histogram";
   opts.grain = kAnalysisGrain;
   const MinMax mm = par::parallel_reduce<MinMax>(
       n,
       [&](std::int64_t begin, std::int64_t end) {
-        MinMax t{data[static_cast<std::size_t>(begin)],
-                 data[static_cast<std::size_t>(begin)]};
-        for (std::int64_t i = begin; i < end; ++i) {
-          const double v = data[static_cast<std::size_t>(i)];
-          t.lo = std::min(t.lo, v);
-          t.hi = std::max(t.hi, v);
-        }
-        return t;
+        return simd::minmax_run<simd::kNativeWidth>(data.data() + begin,
+                                                    end - begin);
       },
       [](const MinMax& a, const MinMax& b) {
         return MinMax{std::min(a.lo, b.lo), std::max(a.hi, b.hi)};
@@ -187,14 +188,15 @@ Histogram field_histogram(std::span<const double> data, std::size_t bins,
   opts.grain = kAnalysisGrain;
   // Per-tile histograms merged by bin-count addition (exact — integer
   // counts commute), so any tiling/block/shard partitioning of the same
-  // cells over the same [lo, hi) range yields identical counts.
+  // cells over the same [lo, hi) range yields identical counts. The bin
+  // computation inside add_many is vectorized and bitwise-identical to
+  // per-element add().
   return par::parallel_reduce<Histogram>(
       static_cast<std::int64_t>(data.size()),
       [&, lo, hi, bins](std::int64_t begin, std::int64_t end) {
         Histogram tile(lo, hi, bins);
-        for (std::int64_t i = begin; i < end; ++i) {
-          tile.add(data[static_cast<std::size_t>(i)]);
-        }
+        tile.add_many(data.data() + static_cast<std::size_t>(begin),
+                      static_cast<std::size_t>(end - begin));
         return tile;
       },
       [](Histogram a, const Histogram& b) {

@@ -1,0 +1,47 @@
+#include "bp/mapped.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace gs::bp {
+
+std::shared_ptr<const MappedFile> MappedFile::map(const std::string& path) {
+#if defined(__unix__) || defined(__APPLE__)
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return nullptr;
+  struct stat st {};
+  if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+    ::close(fd);
+    return nullptr;
+  }
+  const auto size = static_cast<std::size_t>(st.st_size);
+  if (size == 0) {
+    // mmap(2) rejects zero-length maps; an empty subfile is still a
+    // valid (empty) mapping.
+    ::close(fd);
+    return std::shared_ptr<const MappedFile>(new MappedFile(nullptr, 0));
+  }
+  void* p = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping survives the descriptor
+  if (p == MAP_FAILED) return nullptr;
+  return std::shared_ptr<const MappedFile>(
+      new MappedFile(static_cast<const std::byte*>(p), size));
+#else
+  (void)path;
+  return nullptr;
+#endif
+}
+
+MappedFile::~MappedFile() {
+#if defined(__unix__) || defined(__APPLE__)
+  if (data_ != nullptr) {
+    ::munmap(const_cast<void*>(static_cast<const void*>(data_)), size_);
+  }
+#endif
+}
+
+}  // namespace gs::bp

@@ -1,0 +1,36 @@
+// Read-only memory-mapped subfile: the zero-copy substrate of the
+// bp::Reader mmap read path. A committed BP-mini dataset is immutable
+// (the writer renames the index in atomically last), so serving block
+// payloads as spans over a shared mapping is safe — the kernel page
+// cache replaces the per-query heap copies of the stream-read path.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <string>
+
+namespace gs::bp {
+
+class MappedFile {
+ public:
+  /// Maps `path` read-only. Returns nullptr when the platform has no
+  /// mmap or the file cannot be opened/mapped — callers fall back to the
+  /// copying read path, never fail.
+  static std::shared_ptr<const MappedFile> map(const std::string& path);
+
+  ~MappedFile();
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  std::span<const std::byte> bytes() const { return {data_, size_}; }
+
+ private:
+  MappedFile(const std::byte* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  const std::byte* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace gs::bp

@@ -4,9 +4,11 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <string_view>
 
 #include "common/checksum.h"
 #include "common/error.h"
@@ -26,6 +28,8 @@ Reader::Reader(std::string path) : path_(std::move(path)) {
                                                         << ")");
   }
   index_ = Index::from_json(json::parse_file(idx.string()));
+  const char* env = std::getenv("GS_MMAP_READS");
+  if (env != nullptr && std::string_view(env) == "0") mmap_enabled_ = false;
 }
 
 std::vector<std::string> Reader::variable_names() const {
@@ -205,6 +209,66 @@ std::vector<double> Reader::load_block(const BlockRecord& block,
   return std::move(res.data);
 }
 
+std::optional<Reader::BlockView> Reader::map_block(const BlockRecord& block,
+                                                   const std::string& type,
+                                                   bool* first_touch) const {
+  if (first_touch != nullptr) *first_touch = false;
+  if (!mmap_enabled_) return std::nullopt;
+  // Only raw double payloads are views over the file bytes; compressed
+  // and float blocks need a decode/widen pass, i.e. a copy anyway.
+  if (!block.codec.empty() || type != "double") return std::nullopt;
+  if (block.offset % alignof(double) != 0) return std::nullopt;
+  const auto volume = static_cast<std::size_t>(block.box.volume());
+  if (block.stored_bytes != volume * sizeof(double)) return std::nullopt;
+  // An armed fault plan forces the copying route: that is where the
+  // injection hooks fire and where damage is classified and reported.
+  if (fault::Injector::instance().active()) return std::nullopt;
+
+  std::shared_ptr<const MappedFile> file;
+  bool needs_verify = false;
+  {
+    std::lock_guard<std::mutex> lock(mmap_mu_);
+    SubfileMap& entry = mmaps_[block.subfile];
+    if (!entry.attempted) {
+      entry.attempted = true;
+      entry.file = MappedFile::map(
+          (fs::path(path_) / subfile_name(block.subfile)).string());
+    }
+    if (entry.file == nullptr) return std::nullopt;
+    file = entry.file;
+    needs_verify = entry.verified.count(block.offset) == 0;
+  }
+  const auto bytes = file->bytes();
+  if (block.offset + block.stored_bytes > bytes.size()) return std::nullopt;
+  const std::span<const double> view(
+      reinterpret_cast<const double*>(bytes.data() + block.offset), volume);
+  if (needs_verify) {
+    // First touch: scan the mapped payload once against the stored CRC
+    // (0 = legacy block without one). On mismatch the copying path takes
+    // over and reports the damage — nothing is marked verified.
+    if (block.crc != 0 &&
+        par::crc32(std::as_bytes(view)) != block.crc) {
+      return std::nullopt;
+    }
+    std::lock_guard<std::mutex> lock(mmap_mu_);
+    // insert().second de-duplicates concurrent first touches so callers
+    // counting cold reads see each block's first touch exactly once.
+    const bool inserted =
+        mmaps_[block.subfile].verified.insert(block.offset).second;
+    if (first_touch != nullptr) *first_touch = inserted;
+  }
+  return BlockView{view, std::move(file)};
+}
+
+std::optional<Reader::BlockView> Reader::try_map_block(
+    const std::string& name, std::int64_t step, std::size_t block_index,
+    bool* first_touch) const {
+  const auto blks = blocks(name, step);
+  GS_REQUIRE(block_index < blks.size(),
+             "block index " << block_index << " out of " << blks.size());
+  return map_block(blks[block_index], var(name).type, first_touch);
+}
+
 std::vector<double> Reader::read(const std::string& name, std::int64_t step,
                                  const Box3& selection) const {
   GS_REQUIRE(!selection.empty(), "empty selection");
@@ -217,12 +281,38 @@ std::vector<double> Reader::read(const std::string& name, std::int64_t step,
                  selection.end().k <= v.shape.k,
              "selection " << selection << " outside shape " << v.shape);
 
-  std::vector<double> out(static_cast<std::size_t>(selection.volume()), 0.0);
-  for (const BlockRecord& block : blocks(name, step)) {
-    const Box3 overlap = block.box.intersect(selection);
-    if (overlap.empty()) continue;
-    const std::vector<double> data = load_block(block, v.type);
-    copy_overlap(data, block.box, selection, out);
+  // Plan the read from the index first: collect the intersecting blocks
+  // before touching any subfile.
+  const auto blks = blocks(name, step);
+  std::vector<const BlockRecord*> hit;
+  for (const BlockRecord& block : blks) {
+    if (block.box.intersect(selection).empty()) continue;
+    hit.push_back(&block);
+  }
+
+  // One block that IS the selection: hand its payload back without any
+  // reframing pass — from the mapping when possible (one memcpy off the
+  // page cache), else by moving load_block's buffer.
+  if (hit.size() == 1 && hit.front()->box == selection) {
+    if (const auto view = map_block(*hit.front(), v.type, nullptr)) {
+      return std::vector<double>(view->data.begin(), view->data.end());
+    }
+    return load_block(*hit.front(), v.type);
+  }
+
+  // Sized once from the index. (std::vector value-initializes either
+  // way; the fast path above is what actually skips the zero-fill — and
+  // the copy — for the dominant block-aligned case. Uncovered cells of a
+  // partial-cover selection must read as zeros.)
+  const auto volume = static_cast<std::size_t>(selection.volume());
+  std::vector<double> out(volume, 0.0);
+  for (const BlockRecord* block : hit) {
+    if (const auto view = map_block(*block, v.type, nullptr)) {
+      copy_overlap(view->data, block->box, selection, out);
+    } else {
+      const std::vector<double> data = load_block(*block, v.type);
+      copy_overlap(data, block->box, selection, out);
+    }
   }
   return out;
 }
@@ -236,6 +326,14 @@ void copy_overlap(std::span<const double> block_data, const Box3& block_box,
              "selection buffer smaller than the selection");
   const Box3 overlap = block_box.intersect(selection);
   if (overlap.empty()) return;
+  // Full-cover fast path: the block IS the selection, so both frames
+  // coincide — one contiguous run instead of per-row copies.
+  if (block_box == selection) {
+    std::copy_n(block_data.begin(),
+                static_cast<std::ptrdiff_t>(block_box.volume()),
+                out.begin());
+    return;
+  }
   // Copy row-runs from the block frame into the selection frame.
   for (std::int64_t k = overlap.start.k; k < overlap.end().k; ++k) {
     for (std::int64_t j = overlap.start.j; j < overlap.end().j; ++j) {

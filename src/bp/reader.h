@@ -9,11 +9,17 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "bp/format.h"
+#include "bp/mapped.h"
 
 namespace gs::bp {
 
@@ -84,6 +90,37 @@ class Reader {
   std::vector<double> read_block(const std::string& name, std::int64_t step,
                                  std::size_t block_index) const;
 
+  // ---- zero-copy (mmap) ------------------------------------------------
+  /// A block payload served straight from a memory-mapped subfile: no
+  /// heap copy, no read(2). `hold` keeps the mapping alive for the life
+  /// of the span (the Reader shares one mapping per subfile).
+  struct BlockView {
+    std::span<const double> data;
+    std::shared_ptr<const MappedFile> hold;
+  };
+
+  /// Zero-copy variant of read_block. Returns std::nullopt whenever the
+  /// block is not mappable — compressed codec, float storage, misaligned
+  /// or out-of-range offset, platform without mmap, CRC mismatch on
+  /// first touch — or whenever zero-copy is off: set_mmap(false),
+  /// GS_MMAP_READS=0 in the environment, or an armed fault-injection
+  /// plan (fault drills and salvage must exercise the copying route,
+  /// where injection hooks and damage reporting live). Callers fall back
+  /// to read_block/try_read_block; answers are byte-identical either way.
+  ///
+  /// Integrity: the block's CRC is verified ONCE, on the first view of
+  /// it, against the mapped bytes; later views skip the scan. A CRC
+  /// failure here returns nullopt so the copying path re-detects and
+  /// reports the damage with its usual reason codes.
+  std::optional<BlockView> try_map_block(const std::string& name,
+                                         std::int64_t step,
+                                         std::size_t block_index,
+                                         bool* first_touch = nullptr) const;
+
+  /// Zero-copy read paths enabled? (Default: yes, unless GS_MMAP_READS=0.)
+  bool mmap_enabled() const { return mmap_enabled_; }
+  void set_mmap(bool enabled) { mmap_enabled_ = enabled; }
+
   // ---- salvage (Expected-style, never throws on data damage) ----------
   /// Outcome of a checked block load: either the payload, or a reason why
   /// the block is unusable (corrupted/truncated/unreadable).
@@ -121,7 +158,23 @@ class Reader {
   std::string path_;
   Index index_;
 
+  /// Lazily created, shared mapping of one subfile plus the offsets of
+  /// blocks whose CRC already passed against the mapped bytes. `attempted`
+  /// makes a failed map() final — no retry storm on exotic filesystems.
+  struct SubfileMap {
+    std::shared_ptr<const MappedFile> file;
+    bool attempted = false;
+    std::set<std::uint64_t> verified;
+  };
+  mutable std::mutex mmap_mu_;
+  mutable std::map<int, SubfileMap> mmaps_;
+  bool mmap_enabled_ = true;
+
   const VarRecord& var(const std::string& name) const;
+  /// try_map_block on a looked-up record (shared by the read paths).
+  std::optional<BlockView> map_block(const BlockRecord& block,
+                                     const std::string& type,
+                                     bool* first_touch) const;
   /// Loads one block from its subfile as doubles (widening float
   /// storage), verifying the CRC. Damage is reported in the result, not
   /// thrown (fault::Kill still propagates).

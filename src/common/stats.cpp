@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "common/error.h"
+#include "simd/simd.h"
 
 namespace gs {
 
@@ -286,6 +287,30 @@ void Histogram::add(double x) {
 
 void Histogram::add_all(const std::vector<double>& xs) {
   for (const double x : xs) add(x);
+}
+
+void Histogram::add_many(const double* xs, std::size_t n) {
+  constexpr int W = simd::kNativeWidth;
+  const double lo = lo_;
+  const double range = hi_ - lo_;
+  const auto bins = static_cast<double>(counts_.size());
+  const long last = static_cast<long>(counts_.size()) - 1;
+  std::size_t i = 0;
+  if constexpr (W > 1) {
+    for (; i + W <= n; i += W) {
+      // Same expression tree as add(): (x - lo) / range * bins, floored
+      // and clamped per lane.
+      const auto scaled =
+          (simd::pack<W>::load(xs + i) - lo) / range * bins;
+      for (int l = 0; l < W; ++l) {
+        auto bin = static_cast<long>(std::floor(scaled.lane(l)));
+        bin = std::clamp<long>(bin, 0, last);
+        ++counts_[static_cast<std::size_t>(bin)];
+      }
+      total_ += static_cast<std::size_t>(W);
+    }
+  }
+  for (; i < n; ++i) add(xs[i]);
 }
 
 void Histogram::merge(const Histogram& other) {

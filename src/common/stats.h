@@ -163,6 +163,12 @@ class Histogram {
 
   void add(double x);
   void add_all(const std::vector<double>& xs);
+  /// Bulk add with a vectorized bin computation (gs::simd packs): the
+  /// scale arithmetic runs W lanes at a time with the elementwise IEEE
+  /// operations of add(), so every sample lands in the exact bin add()
+  /// would pick — counts are bitwise-identical, only faster. The count
+  /// increments themselves stay scalar (scattered).
+  void add_many(const double* xs, std::size_t n);
   /// Merges another histogram with the SAME [lo, hi) range and bin count
   /// (parallel reduction over disjoint sample tiles).
   void merge(const Histogram& other);

@@ -49,7 +49,7 @@ Settings Settings::from_json(const json::Value& v) {
       "checkpoint", "checkpoint_freq", "checkpoint_output",
       "restart",    "restart_input",  "ranks_per_node",
       "gpu_aware_mpi", "aot",  "compress", "precision",
-      "threads",    "io_retries",     "io_retry_backoff_ms",
+      "threads",    "tile_j",         "io_retries",     "io_retry_backoff_ms",
       "rpc_port",   "rpc_backlog",    "rpc_max_connections",
       "rpc_io_timeout_ms",
   };
@@ -88,6 +88,7 @@ Settings Settings::from_json(const json::Value& v) {
   s.compress = v.get_or("compress", s.compress);
   s.precision = v.get_or("precision", s.precision);
   s.threads = v.get_or("threads", s.threads);
+  s.tile_j = v.get_or("tile_j", s.tile_j);
   s.rpc_port = v.get_or("rpc_port", s.rpc_port);
   s.rpc_backlog = v.get_or("rpc_backlog", s.rpc_backlog);
   s.rpc_max_connections = v.get_or("rpc_max_connections",
@@ -136,6 +137,7 @@ json::Value Settings::to_json() const {
   obj["compress"] = json::Value(compress);
   obj["precision"] = json::Value(precision);
   obj["threads"] = json::Value(threads);
+  obj["tile_j"] = json::Value(tile_j);
   obj["rpc_port"] = json::Value(rpc_port);
   obj["rpc_backlog"] = json::Value(rpc_backlog);
   obj["rpc_max_connections"] = json::Value(rpc_max_connections);
@@ -152,6 +154,7 @@ void Settings::validate() const {
   GS_REQUIRE(noise >= 0.0, "noise amplitude must be non-negative");
   GS_REQUIRE(ranks_per_node > 0, "ranks_per_node must be positive");
   GS_REQUIRE(threads >= 0, "threads must be non-negative (0 = auto)");
+  GS_REQUIRE(tile_j >= 0, "tile_j must be non-negative (0 = auto)");
   GS_REQUIRE(checkpoint_freq > 0, "checkpoint_freq must be positive");
   GS_REQUIRE(io_retries >= 1, "io_retries must be at least 1 (1 = no retry)");
   GS_REQUIRE(io_retry_backoff_ms >= 0.0,

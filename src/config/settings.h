@@ -107,6 +107,12 @@ struct Settings {
   /// overrides both. Results are bitwise-independent of this knob.
   std::int64_t threads = 0;
 
+  /// Cache-block height (j rows) of the vectorized host stencil; 0 = auto
+  /// (sized so one block's working set fits a typical per-core L2 — see
+  /// core/stencil.h). Pure locality knob: results are bitwise-independent
+  /// of it, like `threads`.
+  std::int64_t tile_j = 0;
+
   /// Parses a settings JSON object; unknown keys are rejected so typos in
   /// experiment configs fail loudly. Environment overrides (GS_RPC_*) are
   /// applied on top of the parsed values before validation.

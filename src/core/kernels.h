@@ -61,32 +61,38 @@ struct HostView3 {
 };
 
 /// Normalized 7-point Laplacian (Equation 3): 7 loads of `var`.
+///
+/// Generic over the view's element type: a scalar view yields a double,
+/// a gs::simd pack view yields a pack computed with the elementwise IEEE
+/// operations of the same expression tree — which is exactly why the
+/// vectorized path is bitwise identical to the scalar one.
 template <typename View>
-inline double laplacian(const View& var, std::int64_t i, std::int64_t j,
-                        std::int64_t k) {
-  const double l = var.load(i - 1, j, k) + var.load(i + 1, j, k) +
-                   var.load(i, j - 1, k) + var.load(i, j + 1, k) +
-                   var.load(i, j, k - 1) + var.load(i, j, k + 1) -
-                   6.0 * var.load(i, j, k);
+inline auto laplacian(const View& var, std::int64_t i, std::int64_t j,
+                      std::int64_t k) {
+  const auto l = var.load(i - 1, j, k) + var.load(i + 1, j, k) +
+                 var.load(i, j - 1, k) + var.load(i, j + 1, k) +
+                 var.load(i, j, k - 1) + var.load(i, j, k + 1) -
+                 6.0 * var.load(i, j, k);
   return l / 6.0;
 }
 
 /// Fused 2-variable update of one cell (the application kernel of
 /// Listing 2): 14 unique loads, 2 stores.
-/// `noise_value` is the pre-drawn r for this (cell, step); pass 0 when the
-/// noise amplitude is 0 so the arithmetic is identical across modes.
-template <typename View>
+/// `noise_value` is the pre-drawn r for this (cell, step) — a double, or
+/// one pre-drawn lane per cell for pack views; pass 0 when the noise
+/// amplitude is 0 so the arithmetic is identical across modes.
+template <typename View, typename Value>
 inline void grayscott_cell(const View& u, const View& v, const View& u_temp,
                            const View& v_temp, std::int64_t i, std::int64_t j,
                            std::int64_t k, const GsParams& p,
-                           double noise_value) {
-  const double u_ijk = u.load(i, j, k);
-  const double v_ijk = v.load(i, j, k);
+                           Value noise_value) {
+  const auto u_ijk = u.load(i, j, k);
+  const auto v_ijk = v.load(i, j, k);
 
-  const double du = p.Du * laplacian(u, i, j, k) - u_ijk * v_ijk * v_ijk +
-                    p.F * (1.0 - u_ijk) + p.noise * noise_value;
-  const double dv = p.Dv * laplacian(v, i, j, k) + u_ijk * v_ijk * v_ijk -
-                    (p.F + p.k) * v_ijk;
+  const auto du = p.Du * laplacian(u, i, j, k) - u_ijk * v_ijk * v_ijk +
+                  p.F * (1.0 - u_ijk) + p.noise * noise_value;
+  const auto dv = p.Dv * laplacian(v, i, j, k) + u_ijk * v_ijk * v_ijk -
+                  (p.F + p.k) * v_ijk;
 
   u_temp.store(i, j, k, u_ijk + du * p.dt);
   v_temp.store(i, j, k, v_ijk + dv * p.dt);
@@ -98,7 +104,7 @@ template <typename View>
 inline void diffusion_cell(const View& u, const View& u_temp, std::int64_t i,
                            std::int64_t j, std::int64_t k, double D,
                            double dt) {
-  const double u_ijk = u.load(i, j, k);
+  const auto u_ijk = u.load(i, j, k);
   u_temp.store(i, j, k, u_ijk + dt * D * laplacian(u, i, j, k));
 }
 

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "core/stencil.h"
+
 namespace gs::core {
 
 void apply_periodic_ghosts(Field3& f) {
@@ -64,37 +66,25 @@ void reference_step(Field3& u, Field3& v, Field3& u_next, Field3& v_next,
   apply_periodic_ghosts(u);
   apply_periodic_ghosts(v);
 
+  // Serial ground truth runs the SAME blocked/vectorized kernel body as
+  // the gs::par host backend — identity between them is by construction,
+  // and the SIMD-vs-scalar identity gate (tests/test_simd.cpp) pins the
+  // kernel itself against its W=1 instantiation.
   const Index3 n = u.interior();
-  const Index3 global{L, L, L};
-  for (std::int64_t k = 1; k <= n.k; ++k) {
-    for (std::int64_t j = 1; j <= n.j; ++j) {
-      for (std::int64_t i = 1; i <= n.i; ++i) {
-        const double lap_u =
-            (u.at(i - 1, j, k) + u.at(i + 1, j, k) + u.at(i, j - 1, k) +
-             u.at(i, j + 1, k) + u.at(i, j, k - 1) + u.at(i, j, k + 1) -
-             6.0 * u.at(i, j, k)) /
-            6.0;
-        const double lap_v =
-            (v.at(i - 1, j, k) + v.at(i + 1, j, k) + v.at(i, j - 1, k) +
-             v.at(i, j + 1, k) + v.at(i, j, k - 1) + v.at(i, j, k + 1) -
-             6.0 * v.at(i, j, k)) /
-            6.0;
-        const double uc = u.at(i, j, k);
-        const double vc = v.at(i, j, k);
-        // The serial domain is the whole global domain (local box == global).
-        const std::int64_t cell =
-            linear_index({i - 1, j - 1, k - 1}, global);
-        const double r =
-            params.noise != 0.0 ? noise_at(seed, step, cell) : 0.0;
-        const double du = params.Du * lap_u - uc * vc * vc +
-                          params.F * (1.0 - uc) + params.noise * r;
-        const double dv = params.Dv * lap_v + uc * vc * vc -
-                          (params.F + params.k) * vc;
-        u_next.at(i, j, k) = uc + du * params.dt;
-        v_next.at(i, j, k) = vc + dv * params.dt;
-      }
-    }
-  }
+  StencilArgs a;
+  a.u = u.data().data();
+  a.v = v.data().data();
+  a.u_next = u_next.data().data();
+  a.v_next = v_next.data().data();
+  a.alloc = u.alloc_extent();
+  a.interior = n;
+  // The serial domain is the whole global domain (local box == global).
+  a.local = Box3{{0, 0, 0}, n};
+  a.global = Index3{L, L, L};
+  a.params = params;
+  a.seed = seed;
+  a.step = step;
+  grayscott_tile<simd::kNativeWidth>(a, 0, n.k);
 }
 
 void reference_run(Field3& u, Field3& v, const GsParams& params,

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "core/reference.h"
+#include "core/stencil.h"
 #include "par/par.h"
 
 namespace gs::core {
@@ -208,41 +209,30 @@ StepTiming Simulation::launch_kernel() {
     // state in this mode) into the persistent double buffers, then swap —
     // no per-step allocations, no interior copies, no device mirror sync.
     const Index3 n = u_h_.interior();
-    // Views are hoisted out of the loops: one raw-pointer accessor per
-    // field per launch (the old code built four structs per CELL).
-    const HostView3 uv{u_h_.data().data(), alloc};
-    const HostView3 vv{v_h_.data().data(), alloc};
-    const HostView3 un{u_next_.data().data(), alloc};
-    const HostView3 vn{v_next_.data().data(), alloc};
-    const bool noisy = noise_amp != 0.0;
-    const GsParams p = params_;
+    // One blocked/vectorized sweep per gs::par Z-slab tile: args are
+    // hoisted out of the loops once per launch, the noise branch and
+    // ghost rows are hoisted inside grayscott_tile, and the Settings
+    // tile_j knob (0 = auto) picks the cache-block height.
+    StencilArgs sa;
+    sa.u = u_h_.data().data();
+    sa.v = v_h_.data().data();
+    sa.u_next = u_next_.data().data();
+    sa.v_next = v_next_.data().data();
+    sa.alloc = alloc;
+    sa.interior = n;
+    sa.local = local;
+    sa.global = global;
+    sa.params = params_;
+    sa.seed = seed;
+    sa.step = step_now;
+    sa.tile_j = settings_.tile_j;
 
     par::RegionOptions opts;
     opts.label = "host_kernel";
     opts.profiler = profiler_;
     par::parallel_for_3d(n, [&](const Box3& tile) {
-      // Tile coordinates are 0-based over the interior; field accesses
-      // are 1-based in the allocated frame.
-      for (std::int64_t k = tile.start.k + 1;
-           k <= tile.start.k + tile.count.k; ++k) {
-        for (std::int64_t j = 1; j <= n.j; ++j) {
-          // The noise branch is hoisted out of the inner i loop: the
-          // noiseless row never touches the RNG.
-          if (noisy) {
-            for (std::int64_t i = 1; i <= n.i; ++i) {
-              const Index3 g{local.start.i + i - 1, local.start.j + j - 1,
-                             local.start.k + k - 1};
-              const double r =
-                  noise_at(seed, step_now, linear_index(g, global));
-              grayscott_cell(uv, vv, un, vn, i, j, k, p, r);
-            }
-          } else {
-            for (std::int64_t i = 1; i <= n.i; ++i) {
-              grayscott_cell(uv, vv, un, vn, i, j, k, p, 0.0);
-            }
-          }
-        }
-      }
+      grayscott_tile<simd::kNativeWidth>(sa, tile.start.k,
+                                         tile.start.k + tile.count.k);
     }, opts);
 
     // Swap the double buffers (ghosts of the incoming buffer refresh on

@@ -1,0 +1,142 @@
+// Cache-blocked, vectorized Gray-Scott stencil — the one kernel body
+// behind BOTH the serial reference solver and the gs::par host backend.
+//
+// Geometry: the i axis is unit-stride (column-major fields), so the inner
+// loop walks i in W-lane gs::simd packs with a scalar remainder; j is
+// blocked so one block's working set (three k-planes of tile_j+2 rows for
+// each of the four fields) stays cache-resident while the k loop streams
+// over it; k arrives pre-sliced from the gs::par Z-slab tile plan (or as
+// the whole interior in the serial reference). Ghost-row handling is
+// hoisted by construction — the loop bounds never touch the ghost layer —
+// and the noise branch is hoisted to the row level, so the inner loop is
+// pure streaming arithmetic.
+//
+// Identity: lanes evaluate the exact expression tree of the scalar
+// grayscott_cell (see simd.h's identity contract), the remainder runs the
+// W=1 specialization, and the counter-based noise_at draw depends only on
+// the global cell id — so any (W, tile_j, Z-slab) combination produces
+// bitwise-identical fields. Tests sweep extents 1..9 and tile sizes to
+// pin exactly that.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "core/kernels.h"
+#include "grid/box.h"
+#include "simd/simd.h"
+
+namespace gs::core {
+
+/// W-lane accessor over a column-major allocated array: load/store move
+/// pack<W> values whose lanes are W consecutive-in-i cells. The same view
+/// type at W=1 is the scalar remainder (and full scalar-fallback) path.
+template <int W>
+struct PackView3 {
+  double* data;
+  Index3 extent;
+
+  simd::pack<W> load(std::int64_t i, std::int64_t j, std::int64_t k) const {
+    return simd::pack<W>::load(data + linear_index({i, j, k}, extent));
+  }
+  void store(std::int64_t i, std::int64_t j, std::int64_t k,
+             simd::pack<W> v) const {
+    v.store(data + linear_index({i, j, k}, extent));
+  }
+};
+
+/// Everything one stencil sweep needs, hoisted out of the loops once per
+/// launch. Pointers are to allocated (ghost-padded) arrays; `local` is the
+/// rank's interior box in global coordinates (the noise draw is keyed on
+/// the global cell id); `tile_j` <= 0 picks the auto-tuned default.
+struct StencilArgs {
+  double* u = nullptr;
+  double* v = nullptr;
+  double* u_next = nullptr;
+  double* v_next = nullptr;
+  Index3 alloc;     ///< allocated extent (interior + 2 per axis)
+  Index3 interior;  ///< interior extent
+  Box3 local;       ///< global box of this rank's interior
+  Index3 global;    ///< global array extent
+  GsParams params;
+  std::uint64_t seed = 0;
+  std::int64_t step = 0;
+  std::int64_t tile_j = 0;  ///< rows per j-block; <= 0 = auto
+};
+
+/// Auto-tuned j-block height: size the block's working set (3 k-planes x
+/// (tile_j + 2) ghost-padded rows x 4 fields) to roughly half of a
+/// typical per-core L2 (1 MiB), clamped to [8, interior.j]. Pure function
+/// of the extents — the choice never affects results, only locality.
+inline std::int64_t stencil_tile_j(const Index3& interior,
+                                   std::int64_t requested) {
+  if (requested > 0) return requested;
+  constexpr std::int64_t kTargetBytes = 512 << 10;
+  const std::int64_t row_bytes =
+      (interior.i + 2) * static_cast<std::int64_t>(sizeof(double));
+  const std::int64_t rows =
+      kTargetBytes / std::max<std::int64_t>(1, 12 * row_bytes);
+  return std::clamp<std::int64_t>(rows, 8,
+                                  std::max<std::int64_t>(8, interior.j));
+}
+
+/// One blocked/vectorized sweep over the interior Z range [k0, k1)
+/// (0-based, interior-relative — exactly a gs::par Z-slab tile). Reads
+/// u/v (ghosts must be current), writes u_next/v_next.
+template <int W>
+void grayscott_tile(const StencilArgs& a, std::int64_t k0, std::int64_t k1) {
+  const Index3 n = a.interior;
+  if (n.i <= 0 || n.j <= 0 || k1 <= k0) return;
+  const std::int64_t tj = stencil_tile_j(n, a.tile_j);
+  const PackView3<W> u{a.u, a.alloc};
+  const PackView3<W> v{a.v, a.alloc};
+  const PackView3<W> un{a.u_next, a.alloc};
+  const PackView3<W> vn{a.v_next, a.alloc};
+  const PackView3<1> us{a.u, a.alloc};
+  const PackView3<1> vs{a.v, a.alloc};
+  const PackView3<1> uns{a.u_next, a.alloc};
+  const PackView3<1> vns{a.v_next, a.alloc};
+  const GsParams p = a.params;
+  const bool noisy = p.noise != 0.0;
+  // Last 1-based i where a full W-lane pack fits (i + W - 1 <= n.i).
+  const std::int64_t iv_end = n.i - (W - 1);
+
+  for (std::int64_t jb = 1; jb <= n.j; jb += tj) {
+    const std::int64_t je = std::min(n.j, jb + tj - 1);
+    for (std::int64_t k = k0 + 1; k <= k1; ++k) {
+      for (std::int64_t j = jb; j <= je; ++j) {
+        std::int64_t i = 1;
+        if (noisy) {
+          // Global cell ids are consecutive along i, so one row base id
+          // serves every lane (and the scalar remainder) of this row.
+          const std::int64_t row_cell = linear_index(
+              {a.local.start.i, a.local.start.j + j - 1,
+               a.local.start.k + k - 1},
+              a.global);
+          for (; i <= iv_end; i += W) {
+            simd::pack<W> r;
+            for (int l = 0; l < W; ++l) {
+              r.set_lane(l, noise_at(a.seed, a.step, row_cell + (i - 1) + l));
+            }
+            grayscott_cell(u, v, un, vn, i, j, k, p, r);
+          }
+          for (; i <= n.i; ++i) {
+            const simd::pack<1> r{noise_at(a.seed, a.step, row_cell + (i - 1))};
+            grayscott_cell(us, vs, uns, vns, i, j, k, p, r);
+          }
+        } else {
+          const auto zero = simd::pack<W>::broadcast(0.0);
+          const simd::pack<1> zero1{0.0};
+          for (; i <= iv_end; i += W) {
+            grayscott_cell(u, v, un, vn, i, j, k, p, zero);
+          }
+          for (; i <= n.i; ++i) {
+            grayscott_cell(us, vs, uns, vns, i, j, k, p, zero1);
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace gs::core

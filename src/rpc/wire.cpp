@@ -496,6 +496,10 @@ std::vector<std::byte> encode_response(const svc::Response& response) {
     w.u8(p.stats.has_value() ? 1 : 0);
     if (p.stats) put_exact_stats(w, *p.stats);
   }
+  // Appended within version 1: per-query I/O accounting (gsquery
+  // --stats-json). Old decoders stop before it; new decoders read zero
+  // when an old encoder omitted it.
+  w.u64(response.bytes_scanned);
   return w.take();
 }
 
@@ -527,6 +531,7 @@ svc::Response decode_response(std::span<const std::byte> payload) {
     if (r.u8() != 0) p.stats = get_exact_stats(r);
     response.partial = std::move(p);
   }
+  if (!r.exhausted()) response.bytes_scanned = r.u64();
   return response;
 }
 

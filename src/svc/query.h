@@ -229,9 +229,17 @@ struct Response {
   double queue_seconds = 0.0;    ///< admission queue wait
   double exec_seconds = 0.0;     ///< execution on the worker
   double latency_seconds = 0.0;  ///< submit -> completion
-  std::size_t cache_hits = 0;    ///< block fetches served from the cache
-  std::size_t cache_misses = 0;  ///< block fetches that went to disk
-  std::uint64_t disk_bytes = 0;  ///< payload bytes loaded from subfiles
+  /// Block fetches served without new I/O: a block-cache hit, or an
+  /// mmap view whose CRC already passed on an earlier touch.
+  std::size_t cache_hits = 0;
+  /// Block fetches that paid I/O: a disk read, or the first-touch CRC
+  /// scan of a freshly mapped block (cold page-cache faults).
+  std::size_t cache_misses = 0;
+  std::uint64_t disk_bytes = 0;  ///< payload bytes a cache_miss fetched
+  /// Payload bytes examined to produce the answer, across EVERY block
+  /// fetch — hits included. bytes_scanned / exec_seconds is the query's
+  /// effective scan bandwidth (gsquery --stats-json).
+  std::uint64_t bytes_scanned = 0;
 };
 
 }  // namespace gs::svc

@@ -64,6 +64,7 @@ Service::Service(std::string path, ServiceConfig config)
       config_(std::move(config)),
       epoch_(SteadyClock::now()) {
   GS_REQUIRE(config_.threads >= 1, "service needs at least one worker");
+  if (!config_.mmap_reads) reader_.set_mmap(false);
   cache_ = std::make_unique<BlockCache>(config_.cache_bytes,
                                         config_.cache_shards);
   if (config_.shard_map) {
@@ -234,9 +235,11 @@ void Service::process(Job job) {
 
   count_outcome(response.verb, response.status.code,
                 response.latency_seconds, job.request.tenant);
-  if (response.degraded) {
+  {
     const std::lock_guard<std::mutex> lock(metrics_mu_);
-    ++degraded_;
+    if (response.degraded) ++degraded_;
+    bytes_scanned_total_ += response.bytes_scanned;
+    exec_seconds_total_ += response.exec_seconds;
   }
   job.promise.set_value(std::move(response));
 }
@@ -333,10 +336,10 @@ ResponseBody Service::execute_partial(const Request& request,
             ExactStats acc;
             for (std::size_t b = 0; b < blks.size(); ++b) {
               if (!owned(q.variable, q.step, b)) continue;
-              const BlockData data =
-                  fetch_block(q.variable, q.step, b, response);
-              if (!data) continue;  // damaged: stays uncovered
-              acc.merge(analysis::exact_stats(*data));
+              const BlockRef ref =
+                  fetch_block_ref(q.variable, q.step, b, response);
+              if (!ref.ok()) continue;  // damaged: stays uncovered
+              acc.merge(analysis::exact_stats(ref.data));
               ++meta.covered_blocks;
             }
             meta.stats = acc;
@@ -353,10 +356,11 @@ ResponseBody Service::execute_partial(const Request& request,
             Histogram h(q.lo, q.hi, q.bins);
             for (std::size_t b = 0; b < blks.size(); ++b) {
               if (!owned(q.variable, q.step, b)) continue;
-              const BlockData data =
-                  fetch_block(q.variable, q.step, b, response);
-              if (!data) continue;
-              h.merge(analysis::field_histogram(*data, q.bins, q.lo, q.hi));
+              const BlockRef ref =
+                  fetch_block_ref(q.variable, q.step, b, response);
+              if (!ref.ok()) continue;
+              h.merge(
+                  analysis::field_histogram(ref.data, q.bins, q.lo, q.hi));
               ++meta.covered_blocks;
             }
             return merge::histogram_response(h);
@@ -414,9 +418,9 @@ std::vector<double> Service::read_owned(const std::string& variable,
       ++meta.covered_blocks;
       continue;
     }
-    const BlockData data = fetch_block(variable, step, b, response);
-    if (!data) continue;  // damaged: stays uncovered
-    bp::copy_overlap(*data, blks[b].box, selection, out);
+    const BlockRef ref = fetch_block_ref(variable, step, b, response);
+    if (!ref.ok()) continue;  // damaged: stays uncovered
+    bp::copy_overlap(ref.data, blks[b].box, selection, out);
     meta.coverage.push_back(
         Box3{overlap.start - selection.start, overlap.count});
     ++meta.covered_blocks;
@@ -442,9 +446,9 @@ std::vector<double> Service::read_selection(const std::string& variable,
   for (std::size_t b = 0; b < blks.size(); ++b) {
     const Box3 overlap = blks[b].box.intersect(selection);
     if (overlap.empty()) continue;
-    const BlockData data = fetch_block(variable, step, b, response);
-    if (!data) continue;  // damaged block salvaged (cells stay zero)
-    bp::copy_overlap(*data, blks[b].box, selection, out);
+    const BlockRef ref = fetch_block_ref(variable, step, b, response);
+    if (!ref.ok()) continue;  // damaged block salvaged (cells stay zero)
+    bp::copy_overlap(ref.data, blks[b].box, selection, out);
   }
   return out;
 }
@@ -482,6 +486,39 @@ BlockData Service::fetch_block(const std::string& variable, std::int64_t step,
   return data;
 }
 
+Service::BlockRef Service::fetch_block_ref(const std::string& variable,
+                                           std::int64_t step,
+                                           std::size_t block,
+                                           Response& response) {
+  BlockRef ref;
+  if (reader_.mmap_enabled()) {
+    bool first_touch = false;
+    if (auto view = reader_.try_map_block(variable, step, block,
+                                          &first_touch)) {
+      ref.data = view->data;
+      ref.hold = std::move(view->hold);
+      const std::uint64_t bytes = ref.data.size() * sizeof(double);
+      // First touch pays the CRC scan over cold pages — a disk read's
+      // worth of I/O. Later views of the same block are served from the
+      // shared mapping without touching the cache or the disk.
+      if (first_touch) {
+        ++response.cache_misses;
+        response.disk_bytes += bytes;
+      } else {
+        ++response.cache_hits;
+      }
+      response.bytes_scanned += bytes;
+      return ref;
+    }
+  }
+  const BlockData data = fetch_block(variable, step, block, response);
+  if (!data) return ref;  // damaged: fetch_block flagged the response
+  ref.data = *data;
+  ref.owned = data;
+  response.bytes_scanned += ref.data.size() * sizeof(double);
+  return ref;
+}
+
 void Service::count_outcome(Verb verb, StatusCode code,
                             double latency_seconds,
                             const std::string& tenant) {
@@ -516,6 +553,8 @@ MetricsSnapshot Service::metrics() const {
     const std::lock_guard<std::mutex> lock(metrics_mu_);
     m.submitted = submitted_;
     m.degraded = degraded_;
+    m.bytes_scanned = bytes_scanned_total_;
+    m.exec_seconds_total = exec_seconds_total_;
     m.by_verb_outcome = by_verb_outcome_;
     m.latency_count = ok_latencies_.count();
     if (!ok_latencies_.empty()) {
@@ -609,6 +648,16 @@ json::Value MetricsSnapshot::to_json() const {
   c["hit_rate"] = json::Value(cache.hit_rate());
   o["cache"] = json::Value(c);
 
+  json::Object io;
+  io["bytes_scanned"] = json::Value(bytes_scanned);
+  io["exec_seconds"] = json::Value(exec_seconds_total);
+  io["effective_gbps"] =
+      json::Value(exec_seconds_total > 0.0
+                      ? static_cast<double>(bytes_scanned) /
+                            exec_seconds_total / 1.0e9
+                      : 0.0);
+  o["io"] = json::Value(io);
+
   if (!tenants.empty()) {
     json::Object ts;
     for (const auto& [name, tm] : tenants) {
@@ -662,6 +711,16 @@ std::string MetricsSnapshot::report() const {
       << format_bytes(cache.bytes) << " resident of "
       << format_bytes(cache.capacity_bytes) << " budget, " << cache.evictions
       << " evictions\n";
+  oss << "io: " << format_bytes(bytes_scanned) << " scanned in "
+      << format_seconds(exec_seconds_total) << " exec";
+  if (exec_seconds_total > 0.0) {
+    oss << " ("
+        << format_fixed(static_cast<double>(bytes_scanned) /
+                            exec_seconds_total / 1.0e9,
+                        2)
+        << " GB/s effective)";
+  }
+  oss << "\n";
   for (const auto& [name, tm] : tenants) {
     oss << "tenant " << name << ": " << tm.completed_ok << " ok, "
         << tm.errors << " error, " << tm.slo_violations

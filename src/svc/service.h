@@ -32,6 +32,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <thread>
 #include <vector>
@@ -59,6 +60,14 @@ struct ServiceConfig {
   std::uint64_t cache_bytes = 64ull << 20;
   std::size_t cache_shards = 8;
   bool cache_enabled = true;
+  /// Serve uncompressed double blocks as zero-copy spans over mmap'd
+  /// subfiles (bp::Reader::try_map_block) instead of heap copies through
+  /// the block cache. Answers are bitwise-identical either way; blocks
+  /// the mmap path cannot serve (compressed, float, damaged, no mmap on
+  /// the platform) fall back to the copying route per fetch. Off forces
+  /// every fetch through the copying/cached path — tests asserting exact
+  /// BlockCache counters set this to false.
+  bool mmap_reads = true;
   /// Shared trace sink; may be null. Safe to share across services —
   /// Profiler::record is thread-safe.
   prof::Profiler* profiler = nullptr;
@@ -104,6 +113,14 @@ struct MetricsSnapshot {
   std::uint64_t internal_error = 0;
   /// ok() responses that skipped damaged blocks (Response::degraded).
   std::uint64_t degraded = 0;
+
+  /// Sum of Response::bytes_scanned over completed requests: payload
+  /// bytes examined (mmap views and heap copies, cache hits included).
+  std::uint64_t bytes_scanned = 0;
+  /// Sum of Response::exec_seconds over completed requests; together
+  /// with bytes_scanned this yields the service's effective scan
+  /// bandwidth (the "io" object of to_json()).
+  double exec_seconds_total = 0.0;
 
   /// Requests by verb and final status code.
   std::array<std::array<std::uint64_t, kNumStatusCodes>, kNumVerbs>
@@ -194,6 +211,21 @@ class Service {
   /// (the response has been flagged degraded and the block counted).
   BlockData fetch_block(const std::string& variable, std::int64_t step,
                         std::size_t block, Response& response);
+  /// One block payload for query execution: a span over either a
+  /// zero-copy mmap view (`hold` pins the mapping) or a cached/owned
+  /// heap copy (`owned` pins the copy). !ok() = damaged block, already
+  /// accounted on the response by fetch_block.
+  struct BlockRef {
+    std::span<const double> data;
+    BlockData owned;
+    std::shared_ptr<const bp::MappedFile> hold;
+    bool ok() const { return owned != nullptr || hold != nullptr; }
+  };
+  /// fetch_block with the zero-copy fast path: tries the Reader's mmap
+  /// view first (config_.mmap_reads), falls back to the cached copying
+  /// route. Maintains the response's fetch counters on both routes.
+  BlockRef fetch_block_ref(const std::string& variable, std::int64_t step,
+                           std::size_t block, Response& response);
   /// read_selection restricted to the blocks `act_as` owns: unowned cells
   /// stay zero, coverage boxes (selection-local) and block counts land in
   /// `meta` for the router's overlay merge.
@@ -228,6 +260,8 @@ class Service {
   mutable std::mutex metrics_mu_;
   std::uint64_t submitted_ = 0;
   std::uint64_t degraded_ = 0;
+  std::uint64_t bytes_scanned_total_ = 0;
+  double exec_seconds_total_ = 0.0;
   std::array<std::array<std::uint64_t, kNumStatusCodes>, kNumVerbs>
       by_verb_outcome_{};
   Samples ok_latencies_;

@@ -1,0 +1,285 @@
+// Tests for gs::simd and the vectorized kernels built on it. The layer's
+// single contract is bitwise identity: every pack operation is the
+// elementwise IEEE operation of its scalar counterpart, so any (width,
+// tile, slab) combination of the vectorized loops must produce the exact
+// bytes of the scalar code. These tests pin that contract at the pack
+// level, the reduction level (minmax, histogram, CRC), and the full
+// stencil level across awkward extents.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "common/checksum.h"
+#include "common/stats.h"
+#include "core/reference.h"
+#include "core/stencil.h"
+#include "par/par.h"
+#include "simd/simd.h"
+
+namespace {
+
+using gs::Box3;
+using gs::Field3;
+using gs::Index3;
+using gs::core::GsParams;
+using gs::core::StencilArgs;
+using gs::simd::kNativeWidth;
+using gs::simd::pack;
+
+std::uint64_t bits_of(double v) {
+  std::uint64_t b = 0;
+  std::memcpy(&b, &v, sizeof b);
+  return b;
+}
+
+/// Deterministic awkward doubles: irrational-ish magnitudes whose sums,
+/// products, and quotients all round — where a fused or reassociated
+/// codegen would change bits.
+double awkward(std::size_t i) {
+  return (static_cast<double>(i % 97) + 0.1) / 9.7 -
+         static_cast<double>(i % 13) * 0.37;
+}
+
+// ---- pack ops -------------------------------------------------------------
+
+template <int W>
+void check_pack_ops() {
+  double in_a[W], in_b[W];
+  for (int l = 0; l < W; ++l) {
+    in_a[l] = awkward(static_cast<std::size_t>(l) + 1);
+    in_b[l] = awkward(static_cast<std::size_t>(l) + 31);
+  }
+  const pack<W> a = pack<W>::load(in_a);
+  const pack<W> b = pack<W>::load(in_b);
+
+  // load/store round-trips the exact bytes.
+  double out[W];
+  a.store(out);
+  EXPECT_EQ(std::memcmp(out, in_a, sizeof out), 0) << "W=" << W;
+
+  // Every operator is the elementwise scalar operation, bit for bit.
+  for (int l = 0; l < W; ++l) {
+    EXPECT_EQ(bits_of((a + b).lane(l)), bits_of(in_a[l] + in_b[l]));
+    EXPECT_EQ(bits_of((a - b).lane(l)), bits_of(in_a[l] - in_b[l]));
+    EXPECT_EQ(bits_of((a * b).lane(l)), bits_of(in_a[l] * in_b[l]));
+    EXPECT_EQ(bits_of((a / b).lane(l)), bits_of(in_a[l] / in_b[l]));
+    EXPECT_EQ(bits_of((2.5 * a).lane(l)), bits_of(2.5 * in_a[l]));
+    EXPECT_EQ(bits_of((a - 0.3).lane(l)), bits_of(in_a[l] - 0.3));
+    EXPECT_EQ(bits_of((1.0 / a).lane(l)), bits_of(1.0 / in_a[l]));
+    EXPECT_EQ(bits_of(min(a, b).lane(l)),
+              bits_of(std::min(in_a[l], in_b[l])));
+    EXPECT_EQ(bits_of(max(a, b).lane(l)),
+              bits_of(std::max(in_a[l], in_b[l])));
+  }
+
+  // broadcast fills every lane; set_lane edits exactly one.
+  pack<W> c = pack<W>::broadcast(-4.25);
+  for (int l = 0; l < W; ++l) EXPECT_EQ(c.lane(l), -4.25);
+  c.set_lane(W - 1, 9.5);
+  EXPECT_EQ(c.lane(W - 1), 9.5);
+  if (W > 1) {
+    EXPECT_EQ(c.lane(0), -4.25);
+  }
+}
+
+TEST(SimdPack, ElementwiseOpsMatchScalarBitsAtEveryWidth) {
+  check_pack_ops<1>();
+  check_pack_ops<2>();
+  check_pack_ops<4>();
+  check_pack_ops<8>();
+}
+
+TEST(SimdPack, NativeWidthIsConfigured) {
+  // 1 (scalar fallback) or one of the vector widths; the stencil and the
+  // reductions instantiate over this constant.
+  EXPECT_TRUE(kNativeWidth == 1 || kNativeWidth == 2 || kNativeWidth == 4 ||
+              kNativeWidth == 8);
+}
+
+// ---- minmax_run -----------------------------------------------------------
+
+TEST(SimdMinMax, MatchesScalarScanAcrossLengths) {
+  // Lengths straddle every boundary: below 2W (pure scalar path), exact
+  // multiples of W, and every remainder in between.
+  std::vector<double> data(64);
+  for (std::size_t i = 0; i < data.size(); ++i) data[i] = awkward(i * 7 + 3);
+  for (std::size_t n = 1; n <= data.size(); ++n) {
+    const auto scalar = gs::simd::minmax_run<1>(data.data(),
+                                                static_cast<std::int64_t>(n));
+    const auto native = gs::simd::minmax_run<kNativeWidth>(
+        data.data(), static_cast<std::int64_t>(n));
+    EXPECT_EQ(bits_of(scalar.lo), bits_of(native.lo)) << "n=" << n;
+    EXPECT_EQ(bits_of(scalar.hi), bits_of(native.hi)) << "n=" << n;
+  }
+}
+
+// ---- histogram add vs add_many --------------------------------------------
+
+TEST(SimdHistogram, AddManyLandsEverySampleInAddsBin) {
+  // Values include out-of-range samples (clamped into the edge bins) and
+  // exact bin-boundary values, across lengths with every W-remainder.
+  std::vector<double> data(41);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = awkward(i * 11) * 3.0;  // spills outside [lo, hi)
+  }
+  data[5] = 0.0;   // == lo
+  data[17] = 1.0;  // == hi (clamps into the last bin)
+  for (std::size_t n = 1; n <= data.size(); ++n) {
+    gs::Histogram one(0.0, 1.0, 16);
+    gs::Histogram many(0.0, 1.0, 16);
+    for (std::size_t i = 0; i < n; ++i) one.add(data[i]);
+    many.add_many(data.data(), n);
+    ASSERT_EQ(one.total(), many.total()) << "n=" << n;
+    for (std::size_t b = 0; b < one.bins(); ++b) {
+      ASSERT_EQ(one.count(b), many.count(b)) << "n=" << n << " bin " << b;
+    }
+  }
+}
+
+// ---- CRC-32 ---------------------------------------------------------------
+
+TEST(SimdCrc, PinnedVectorsAndSliceConsistency) {
+  // The ISO-HDLC check value every CRC-32 implementation must reproduce.
+  const char check[] = "123456789";
+  const auto bytes = std::as_bytes(std::span(check, 9));
+  EXPECT_EQ(gs::crc32(bytes), 0xCBF43926u);
+  EXPECT_EQ(gs::crc32({}), 0x00000000u);
+
+  // Slice-by-8 kicks in at length >= 8: sweep lengths through both the
+  // bytewise tail and the 8-byte main loop and check against the
+  // incremental (bytewise) construction.
+  std::vector<std::byte> buf(257);
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    buf[i] = static_cast<std::byte>((i * 131 + 89) & 0xff);
+  }
+  for (const std::size_t n : {1u, 7u, 8u, 9u, 15u, 16u, 63u, 64u, 255u, 257u}) {
+    const std::span<const std::byte> s(buf.data(), n);
+    std::uint32_t byte_at_a_time = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      byte_at_a_time = gs::crc32_update(byte_at_a_time, s.subspan(i, 1));
+    }
+    EXPECT_EQ(gs::crc32(s), byte_at_a_time) << "n=" << n;
+  }
+}
+
+TEST(SimdCrc, CombineStitchesSplitCrcs) {
+  std::vector<std::byte> buf(300);
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    buf[i] = static_cast<std::byte>((i * 7 + 13) & 0xff);
+  }
+  const std::span<const std::byte> whole(buf);
+  const std::uint32_t expect = gs::crc32(whole);
+  for (const std::size_t cut : {0u, 1u, 8u, 150u, 299u, 300u}) {
+    const std::uint32_t a = gs::crc32(whole.subspan(0, cut));
+    const std::uint32_t b = gs::crc32(whole.subspan(cut));
+    EXPECT_EQ(gs::crc32_combine(a, b, buf.size() - cut), expect)
+        << "cut=" << cut;
+  }
+  // Pooled (tiled) CRC stitches with combine, so it must agree too.
+  EXPECT_EQ(gs::par::crc32(whole), expect);
+}
+
+// ---- stencil identity -----------------------------------------------------
+
+/// Ghost-filled fields plus the StencilArgs of a serial whole-domain
+/// sweep, mirroring core::reference_step's setup.
+struct Workload {
+  Field3 u, v, un, vn;
+  StencilArgs args;
+
+  explicit Workload(std::int64_t L, double noise)
+      : u({L, L, L}), v({L, L, L}), un({L, L, L}), vn({L, L, L}) {
+    gs::core::initialize_fields(u, v, Box3{{0, 0, 0}, {L, L, L}}, L);
+    gs::core::apply_periodic_ghosts(u);
+    gs::core::apply_periodic_ghosts(v);
+    args.u = u.data().data();
+    args.v = v.data().data();
+    args.u_next = un.data().data();
+    args.v_next = vn.data().data();
+    args.alloc = u.alloc_extent();
+    args.interior = u.interior();
+    args.local = Box3{{0, 0, 0}, u.interior()};
+    args.global = {L, L, L};
+    args.params.noise = noise;
+    args.seed = 42;
+    args.step = 3;
+  }
+
+  bool outputs_equal(const Workload& o) const {
+    return std::memcmp(un.data().data(), o.un.data().data(),
+                       un.data().size() * sizeof(double)) == 0 &&
+           std::memcmp(vn.data().data(), o.vn.data().data(),
+                       vn.data().size() * sizeof(double)) == 0;
+  }
+};
+
+TEST(SimdStencil, ScalarAndVectorSweepsIdenticalAcrossExtents) {
+  // Extents 1..9 cover every vector/remainder split at any supported
+  // width (all-remainder rows, exactly one pack, pack + odd tail).
+  for (std::int64_t L = 1; L <= 9; ++L) {
+    for (const double noise : {0.0, 0.1}) {
+      Workload a(L, noise), b(L, noise);
+      gs::core::grayscott_tile<kNativeWidth>(a.args, 0, L);
+      gs::core::grayscott_tile<1>(b.args, 0, L);
+      EXPECT_TRUE(a.outputs_equal(b)) << "L=" << L << " noise=" << noise;
+    }
+  }
+}
+
+TEST(SimdStencil, TileHeightNeverChangesBits) {
+  constexpr std::int64_t L = 12;
+  Workload base(L, 0.1);
+  gs::core::grayscott_tile<kNativeWidth>(base.args, 0, L);
+  for (const std::int64_t tj : {std::int64_t{1}, std::int64_t{2},
+                                std::int64_t{5}, std::int64_t{L},
+                                std::int64_t{3 * L}}) {
+    Workload tiled(L, 0.1);
+    tiled.args.tile_j = tj;
+    gs::core::grayscott_tile<kNativeWidth>(tiled.args, 0, L);
+    EXPECT_TRUE(base.outputs_equal(tiled)) << "tile_j=" << tj;
+  }
+}
+
+TEST(SimdStencil, ZSlabSplitsComposeToTheWholeSweep) {
+  // Two partial [k0, k1) tiles must equal one whole sweep — the property
+  // the gs::par Z-slab plan relies on.
+  constexpr std::int64_t L = 10;
+  Workload whole(L, 0.1), split(L, 0.1);
+  gs::core::grayscott_tile<kNativeWidth>(whole.args, 0, L);
+  gs::core::grayscott_tile<kNativeWidth>(split.args, 0, 4);
+  gs::core::grayscott_tile<kNativeWidth>(split.args, 4, L);
+  EXPECT_TRUE(whole.outputs_equal(split));
+}
+
+TEST(SimdStencil, BlockedKernelBacksTheReferenceSolver) {
+  // reference_step IS the blocked kernel plus ghost refresh: running the
+  // tile by hand after applying ghosts must reproduce it exactly.
+  constexpr std::int64_t L = 8;
+  const GsParams params{};  // default noise = 0.1
+  Field3 u({L, L, L}), v({L, L, L}), un({L, L, L}), vn({L, L, L});
+  gs::core::initialize_fields(u, v, Box3{{0, 0, 0}, {L, L, L}}, L);
+  const Field3 u2 = u, v2 = v;
+
+  gs::core::reference_step(u, v, un, vn, params, 42, 3, L);
+
+  Workload manual(L, params.noise);
+  // Same state, seed, and step as the reference call.
+  std::memcpy(manual.u.data().data(), u2.data().data(),
+              u2.data().size() * sizeof(double));
+  std::memcpy(manual.v.data().data(), v2.data().data(),
+              v2.data().size() * sizeof(double));
+  gs::core::apply_periodic_ghosts(manual.u);
+  gs::core::apply_periodic_ghosts(manual.v);
+  gs::core::grayscott_tile<kNativeWidth>(manual.args, 0, L);
+
+  EXPECT_EQ(std::memcmp(un.data().data(), manual.un.data().data(),
+                        un.data().size() * sizeof(double)),
+            0);
+  EXPECT_EQ(std::memcmp(vn.data().data(), manual.vn.data().data(),
+                        vn.data().size() * sizeof(double)),
+            0);
+}
+
+}  // namespace

@@ -187,10 +187,14 @@ TEST(SvcVerbs, BadInputIsBadRequestNotCrash) {
 // ---- cache on/off bitwise identity ---------------------------------------
 
 TEST(SvcCacheIdentity, CachedAndUncachedAnswersAreBitwiseIdentical) {
+  // mmap off: this test asserts exact BlockCache counters, so every
+  // fetch must go through the copying/cached route.
   ServiceConfig cached;
   cached.cache_enabled = true;
+  cached.mmap_reads = false;
   ServiceConfig uncached;
   uncached.cache_enabled = false;
+  uncached.mmap_reads = false;
   Service s1(dataset(), std::move(cached));
   Service s2(dataset(), std::move(uncached));
   Client c1(s1), c2(s2);
@@ -211,6 +215,85 @@ TEST(SvcCacheIdentity, CachedAndUncachedAnswersAreBitwiseIdentical) {
   const auto m2 = s2.metrics();
   EXPECT_GT(m1.cache.hits, 0u);
   EXPECT_EQ(m2.cache.hits + m2.cache.misses, 0u);
+}
+
+// ---- mmap vs copy bitwise identity ----------------------------------------
+
+TEST(SvcMmapIdentity, ZeroCopyAnswersMatchCopyingAnswersOnEveryVerb) {
+  ServiceConfig mapped;
+  mapped.mmap_reads = true;
+  ServiceConfig copying;
+  copying.mmap_reads = false;
+  Service s1(dataset(), std::move(mapped));
+  Service s2(dataset(), std::move(copying));
+  Client c1(s1), c2(s2);
+
+  const auto l1 = c1.list_variables();
+  const auto l2 = c2.list_variables();
+  ASSERT_TRUE(l1.ok() && l2.ok());
+  ASSERT_EQ(l1.value().variables.size(), l2.value().variables.size());
+  for (std::size_t i = 0; i < l1.value().variables.size(); ++i) {
+    EXPECT_EQ(l1.value().variables[i].min, l2.value().variables[i].min);
+    EXPECT_EQ(l1.value().variables[i].max, l2.value().variables[i].max);
+  }
+
+  const Box3 box{{1, 3, 0}, {kL - 2, kL - 5, kL}};
+  for (const std::string var : {"U", "V"}) {
+    for (std::int64_t s = 0; s < kSteps; ++s) {
+      const auto st1 = c1.field_stats(var, s);
+      const auto st2 = c2.field_stats(var, s);
+      ASSERT_TRUE(st1.ok() && st2.ok());
+      EXPECT_EQ(st1.value().stats.min, st2.value().stats.min);
+      EXPECT_EQ(st1.value().stats.max, st2.value().stats.max);
+      EXPECT_EQ(st1.value().stats.mean, st2.value().stats.mean);
+      EXPECT_EQ(st1.value().stats.stddev, st2.value().stats.stddev);
+
+      const auto h1 = c1.histogram(var, s, 32);
+      const auto h2 = c2.histogram(var, s, 32);
+      ASSERT_TRUE(h1.ok() && h2.ok());
+      EXPECT_EQ(h1.value().lo, h2.value().lo);
+      EXPECT_EQ(h1.value().hi, h2.value().hi);
+      EXPECT_EQ(h1.value().counts, h2.value().counts);
+
+      const auto sl1 = c1.slice2d(var, s, 1, kL / 3);
+      const auto sl2 = c2.slice2d(var, s, 1, kL / 3);
+      ASSERT_TRUE(sl1.ok() && sl2.ok());
+      EXPECT_EQ(sl1.value().slice.values, sl2.value().slice.values);
+
+      const auto r1 = c1.read_box(var, s, box);
+      const auto r2 = c2.read_box(var, s, box);
+      ASSERT_TRUE(r1.ok() && r2.ok());
+      EXPECT_EQ(r1.value().values, r2.value().values);
+    }
+  }
+
+  // Both routes account the same scan volume.
+  const auto m1 = s1.metrics();
+  const auto m2 = s2.metrics();
+  EXPECT_GT(m1.bytes_scanned, 0u);
+  EXPECT_EQ(m1.bytes_scanned, m2.bytes_scanned);
+
+  // Re-mapping an already-verified block reports as a per-response cache
+  // hit (no BlockCache involved): every block of step 0 was CRC-verified
+  // by the sweeps above, so a fresh full scan pays no I/O at all.
+  const auto again = c1.field_stats("U", 0);
+  ASSERT_TRUE(again.ok());
+  EXPECT_GT(c1.last_response().cache_hits, 0u);
+  EXPECT_EQ(c1.last_response().cache_misses, 0u);
+}
+
+TEST(SvcMmapIdentity, PerResponseScanAccountingIsExact) {
+  ServiceConfig config;
+  config.mmap_reads = true;
+  Service service(dataset(), std::move(config));
+  Client client(service);
+  const auto r = client.field_stats("U", 0);
+  ASSERT_TRUE(r.ok());
+  const auto& resp = client.last_response();
+  // A full-field scan touches every block of the step exactly once.
+  EXPECT_EQ(resp.bytes_scanned, sizeof(double) * kL * kL * kL);
+  EXPECT_EQ(resp.cache_hits + resp.cache_misses, 4u);  // 4 writer ranks
+  EXPECT_GT(resp.exec_seconds, 0.0);
 }
 
 // ---- admission control ----------------------------------------------------
@@ -415,7 +498,9 @@ TEST(SvcObservability, RequestsBecomeProfilerSpansWithWorkerLanes) {
 }
 
 TEST(SvcObservability, MetricsReportAndJsonAreWellFormed) {
-  Service service(dataset());
+  ServiceConfig config;
+  config.mmap_reads = false;  // assertions below count BlockCache hits
+  Service service(dataset(), std::move(config));
   Client client(service);
   ASSERT_TRUE(client.field_stats("U", 0).ok());
   ASSERT_TRUE(client.field_stats("U", 0).ok());  // warm: cache hits
@@ -424,11 +509,18 @@ TEST(SvcObservability, MetricsReportAndJsonAreWellFormed) {
   EXPECT_GT(m.latency_p99, 0.0);
   EXPECT_GE(m.latency_p99, m.latency_p50);
   EXPECT_GT(m.cache.hits, 0u);
+  // Both answers scanned the whole L^3 field: io accounting counts
+  // every fetch, cache hits included.
+  EXPECT_EQ(m.bytes_scanned,
+            2u * kL * kL * kL * sizeof(double));
+  EXPECT_GT(m.exec_seconds_total, 0.0);
   const std::string report = m.report();
   EXPECT_NE(report.find("FieldStats"), std::string::npos);
+  EXPECT_NE(report.find("scanned"), std::string::npos);
   const auto doc = m.to_json();
   EXPECT_EQ(doc.at("completed_ok").as_int(), 2);
   EXPECT_GT(doc.at("cache").at("hits").as_int(), 0);
+  EXPECT_GT(doc.at("io").at("bytes_scanned").as_int(), 0);
   // The snapshot dump must parse back.
   const auto reparsed = gs::json::parse(doc.dump(2));
   EXPECT_EQ(reparsed.at("submitted").as_int(), 2);

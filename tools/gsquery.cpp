@@ -24,6 +24,7 @@
 // byte-identical to `bpls <dataset.bp> -d <var> --json` (both serialize
 // the same statistics through analysis::stats_to_json).
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -69,6 +70,8 @@ int usage(std::FILE* to, const char* argv0) {
       "  --timeout <s>      per-request deadline in seconds (default none)\n"
       "  --timeout-ms <n>   per-request deadline in milliseconds\n"
       "  --metrics          print service metrics to stderr when done\n"
+      "  --stats-json       per-query I/O accounting (exec seconds, bytes\n"
+      "                     scanned, effective GB/s) as JSON on stderr\n"
       "  --trace <file>     write a Chrome trace of the session (local)\n"
       "  --help             this message\n",
       argv0, argv0);
@@ -84,6 +87,51 @@ struct DegradedNote {
   std::string reason;  ///< e.g. "degraded: missing shard(s) s1"
 } g_degraded;
 
+/// Per-query I/O accounting accumulated across a session's calls
+/// (--stats-json): what each answer scanned and how fast. bytes_scanned
+/// counts payload bytes examined (mmap views and cached copies alike),
+/// so bytes/exec is the effective scan bandwidth of the answer.
+struct SessionStats {
+  bool enabled = false;
+  Array queries;
+  std::uint64_t bytes_scanned = 0;
+  double exec_seconds = 0.0;
+
+  void record(const gs::svc::Response& r) {
+    Object row;
+    row["verb"] = Value(std::string(gs::svc::to_string(r.verb)));
+    row["exec_seconds"] = Value(r.exec_seconds);
+    row["bytes_scanned"] =
+        Value(static_cast<std::int64_t>(r.bytes_scanned));
+    row["cache_hits"] = Value(static_cast<std::int64_t>(r.cache_hits));
+    row["cache_misses"] = Value(static_cast<std::int64_t>(r.cache_misses));
+    row["effective_gbps"] =
+        Value(r.exec_seconds > 0.0
+                  ? static_cast<double>(r.bytes_scanned) / r.exec_seconds /
+                        1.0e9
+                  : 0.0);
+    queries.emplace_back(std::move(row));
+    bytes_scanned += r.bytes_scanned;
+    exec_seconds += r.exec_seconds;
+  }
+
+  void print() const {
+    if (!enabled) return;
+    Object totals;
+    totals["queries"] = Value(static_cast<std::int64_t>(queries.size()));
+    totals["bytes_scanned"] = Value(static_cast<std::int64_t>(bytes_scanned));
+    totals["exec_seconds"] = Value(exec_seconds);
+    totals["effective_gbps"] =
+        Value(exec_seconds > 0.0
+                  ? static_cast<double>(bytes_scanned) / exec_seconds / 1.0e9
+                  : 0.0);
+    Object doc;
+    doc["queries"] = Value(Array(queries));
+    doc["totals"] = Value(std::move(totals));
+    std::fprintf(stderr, "%s\n", Value(std::move(doc)).dump(2).c_str());
+  }
+} g_stats;
+
 /// Exits via gs::Error on failure statuses so main's catch prints them.
 /// On success, records the raw response's degraded flag (the typed
 /// Expected hides it). Returns by value: the argument is usually a
@@ -96,6 +144,7 @@ T require_ok(ClientT& client, const gs::svc::Expected<T>& result) {
                             << ": " << result.status().message);
   }
   const auto& raw = client.last_response();
+  if (g_stats.enabled) g_stats.record(raw);
   if (raw.degraded) {
     g_degraded.seen = true;
     g_degraded.bad_blocks += raw.bad_blocks;
@@ -367,6 +416,8 @@ int main(int argc, char** argv) {
       as_json = true;
     } else if (arg == "--metrics") {
       metrics = true;
+    } else if (arg == "--stats-json") {
+      g_stats.enabled = true;
     } else if (arg == "--connect" || arg == "--router") {
       connect = next();
     } else if (arg == "--threads") {
@@ -406,6 +457,7 @@ int main(int argc, char** argv) {
       if (metrics) {
         std::fprintf(stderr, "%s\n", stats.dump(2).c_str());
       }
+      g_stats.print();
       // A degraded remote answer is never silent: the (partial) output
       // was printed, a one-line warning names what is missing, and exit
       // code 3 tells scripts this is not the exact answer.
@@ -463,6 +515,7 @@ int main(int argc, char** argv) {
     if (metrics) {
       std::fprintf(stderr, "%s", service.metrics().report().c_str());
     }
+    g_stats.print();
     if (!trace_file.empty()) {
       std::ofstream out(trace_file);
       out << profiler.chrome_trace_json();
