@@ -1,6 +1,8 @@
 #include "fault/fault.h"
 
+#include <algorithm>
 #include <chrono>
+#include <limits>
 #include <thread>
 
 #include "common/log.h"
@@ -164,7 +166,45 @@ std::map<std::string, SiteStats> Injector::stats() const {
 
 // ------------------------------------------------------------------ retry
 
+Backoff::Backoff(const RetryPolicy& policy, std::uint64_t seed)
+    : policy_(policy), seed_(seed), rng_(seed) {}
+
+double Backoff::next() {
+  const double base = policy_.backoff_seconds;
+  const double cap = policy_.max_backoff_seconds > 0.0
+                         ? policy_.max_backoff_seconds
+                         : std::numeric_limits<double>::infinity();
+  double sleep;
+  if (prev_ <= 0.0) {
+    sleep = base;  // the first retry is prompt and deterministic
+  } else if (policy_.jitter) {
+    // Decorrelated jitter (capped): uniform in [base, 3 * prev]. Spreads
+    // a fleet of simultaneous failures across the window instead of
+    // marching them in lockstep.
+    sleep = rng_.uniform(base, std::max(base, prev_ * 3.0));
+  } else {
+    sleep = prev_ * policy_.multiplier;
+  }
+  sleep = std::min(sleep, cap);
+  prev_ = sleep;
+  return sleep;
+}
+
+void Backoff::reset() {
+  prev_ = 0.0;
+  rng_.reseed(seed_);
+}
+
 namespace detail {
+
+std::uint64_t backoff_seed(std::string_view what, std::uint64_t mix) {
+  std::uint64_t h = 14695981039346656037ull ^ mix;
+  for (const char c : what) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
 
 void log_retry(std::string_view what, int attempt, int attempts,
                double backoff_seconds, const std::string& error) {

@@ -39,6 +39,7 @@
 #include <string_view>
 
 #include "common/error.h"
+#include "common/rng.h"
 
 namespace gs::fault {
 
@@ -160,39 +161,76 @@ class ScopedPlan {
   ScopedPlan& operator=(const ScopedPlan&) = delete;
 };
 
-// ---- bounded retry with exponential backoff -----------------------------
+// ---- bounded retry with jittered exponential backoff --------------------
 
 struct RetryPolicy {
   int attempts = 3;               ///< total tries (1 = no retry)
   double backoff_seconds = 1e-3;  ///< sleep before the first retry
-  double multiplier = 2.0;        ///< backoff growth per retry
+  double multiplier = 2.0;        ///< backoff growth per retry (no jitter)
+  /// Upper bound on any single sleep; <= 0 = uncapped.
+  double max_backoff_seconds = 0.25;
+  /// Decorrelated jitter: after the first (deterministic) base sleep,
+  /// each next sleep is uniform in [base, 3 * previous], capped. Without
+  /// it, a mass failure retries every caller on the same fixed schedule
+  /// — a synchronized stampede against whatever just fell over. Off
+  /// reproduces the plain capped exponential base * multiplier^k.
+  bool jitter = true;
+  /// Mixed into the per-call-site RNG seed (the site name decorrelates
+  /// different sites already); fixed seed = fully replayable schedule.
+  std::uint64_t jitter_seed = 0;
+};
+
+/// The retry/probe sleep schedule of one call site: deterministic for a
+/// given (policy, seed) — the unit tests replay it — yet decorrelated
+/// across sites. First next() always returns the base (bounded by the
+/// cap); later calls grow exponentially (jitter off) or sample the
+/// decorrelated-jitter distribution (jitter on). reset() rewinds to the
+/// first-sleep state, re-seeding the RNG.
+class Backoff {
+ public:
+  Backoff(const RetryPolicy& policy, std::uint64_t seed);
+
+  double next();
+  void reset();
+
+  const RetryPolicy& policy() const { return policy_; }
+
+ private:
+  RetryPolicy policy_;
+  std::uint64_t seed_;
+  Rng rng_;
+  double prev_ = 0.0;
 };
 
 namespace detail {
 void log_retry(std::string_view what, int attempt, int attempts,
                double backoff_seconds, const std::string& error);
 void sleep_seconds(double seconds);
+/// FNV-mix of the call-site name with the policy's jitter_seed, so every
+/// site draws an independent (but replayable) jitter stream.
+std::uint64_t backoff_seed(std::string_view what, std::uint64_t mix);
 }  // namespace detail
 
 /// Runs `fn`, absorbing transient gs::IoError failures: up to
-/// `policy.attempts` tries with exponential backoff between them, logging
-/// each retry. The final failure is rethrown. fault::Kill and every
-/// non-IoError exception pass through untouched (a crash is not a
-/// transient). The callable must be safe to re-run after a failed
-/// attempt (callers roll partial effects back first).
+/// `policy.attempts` tries with capped, jittered exponential backoff
+/// between them (see Backoff), logging each retry. The final failure is
+/// rethrown. fault::Kill and every non-IoError exception pass through
+/// untouched (a crash is not a transient). The callable must be safe to
+/// re-run after a failed attempt (callers roll partial effects back
+/// first).
 template <typename Fn>
 void with_retries(const RetryPolicy& policy, std::string_view what, Fn&& fn) {
   const int attempts = policy.attempts < 1 ? 1 : policy.attempts;
-  double backoff = policy.backoff_seconds;
+  Backoff backoff(policy, detail::backoff_seed(what, policy.jitter_seed));
   for (int attempt = 1;; ++attempt) {
     try {
       fn();
       return;
     } catch (const IoError& e) {
       if (attempt >= attempts) throw;
-      detail::log_retry(what, attempt, attempts, backoff, e.what());
-      detail::sleep_seconds(backoff);
-      backoff *= policy.multiplier;
+      const double sleep = backoff.next();
+      detail::log_retry(what, attempt, attempts, sleep, e.what());
+      detail::sleep_seconds(sleep);
     }
   }
 }

@@ -100,6 +100,12 @@ json::Value Client::server_stats() {
   return json::parse(decode_text(reply.payload));
 }
 
+json::Value Client::reload_map(const std::string& token) {
+  const Frame reply = transact(FrameType::reload_map, encode_text(token),
+                               FrameType::reload_reply);
+  return json::parse(decode_text(reply.payload));
+}
+
 void Client::ping() { transact(FrameType::ping, {}, FrameType::pong); }
 
 template <typename R>

@@ -72,6 +72,12 @@ class Client {
   /// The server's stats RPC: transport + service metrics as JSON.
   json::Value server_stats();
 
+  /// The authenticated reload_map admin RPC: asks the server to re-read
+  /// its shard map file and adopt the new epoch now, returning the JSON
+  /// reload report. A refusal (bad token, verb disabled, map rejected)
+  /// surfaces as gs::IoError carrying the server's reason.
+  json::Value reload_map(const std::string& token);
+
   /// Liveness round-trip.
   void ping();
 

@@ -42,11 +42,29 @@ ClientPool::Lease ClientPool::acquire() {
 
 void ClientPool::give_back(std::unique_ptr<Client> client, bool discard) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (discard || !client->connected() || idle_.size() >= max_idle_) {
-    if (discard) ++stats_.discarded;
+  if (retired_ || discard || !client->connected() ||
+      idle_.size() >= max_idle_) {
+    if (retired_ || discard) ++stats_.discarded;
     return;  // unique_ptr destroys (and disconnects) the client
   }
   idle_.push_back(std::move(client));
+}
+
+void ClientPool::retire() {
+  std::vector<std::unique_ptr<Client>> drop;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    retired_ = true;
+    stats_.discarded += idle_.size();
+    drop.swap(idle_);
+  }
+  // Destroyed outside the lock: closing sockets must not serialize
+  // concurrent give_back/acquire calls.
+}
+
+bool ClientPool::retired() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return retired_;
 }
 
 ClientPool::Stats ClientPool::stats() const {

@@ -60,6 +60,14 @@ class ClientPool {
   /// that).
   Lease acquire();
 
+  /// Epoch-handover teardown: closes every idle connection and marks the
+  /// pool retired — every lease still in flight is DISCARDED when it
+  /// returns, never pooled, so a connection leased under a retired epoch
+  /// can never resurface to serve the next one. acquire() still works
+  /// (each call dials fresh), keeping mid-flip failover possible.
+  void retire();
+  bool retired() const;
+
   const Endpoint& endpoint() const { return endpoint_; }
   Stats stats() const;
 
@@ -74,6 +82,7 @@ class ClientPool {
   mutable std::mutex mu_;
   std::vector<std::unique_ptr<Client>> idle_;
   Stats stats_;
+  bool retired_ = false;
 };
 
 }  // namespace gs::rpc

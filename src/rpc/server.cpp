@@ -50,6 +50,9 @@ json::Value ServerStats::to_json() const {
       json::Value(static_cast<std::int64_t>(steps_streamed));
   obj["steps_dropped"] =
       json::Value(static_cast<std::int64_t>(steps_dropped));
+  obj["reloads"] = json::Value(static_cast<std::int64_t>(reloads));
+  obj["reloads_refused"] =
+      json::Value(static_cast<std::int64_t>(reloads_refused));
   obj["latency_count"] =
       json::Value(static_cast<std::int64_t>(latency_count));
   obj["latency_p50"] = json::Value(latency_p50);
@@ -71,7 +74,9 @@ std::string ServerStats::report() const {
      << " crc errors, " << io_errors << " io errors, "
      << killed_connections << " killed\n"
      << "  stream: " << subscribers << " subscriptions, " << steps_streamed
-     << " steps delivered, " << steps_dropped << " dropped\n";
+     << " steps delivered, " << steps_dropped << " dropped\n"
+     << "  reloads: " << reloads << " applied, " << reloads_refused
+     << " refused\n";
   return os.str();
 }
 
@@ -88,6 +93,7 @@ json::Value ServiceHandler::stats_json() const {
   json::Object obj;
   obj["dataset"] = json::Value(service_->path());
   obj["service"] = service_->metrics().to_json();
+  obj["reshard"] = service_->reshard_stats().to_json();
   return json::Value(std::move(obj));
 }
 
@@ -286,6 +292,47 @@ void Server::handle_frame(Conn& conn, const Frame& frame,
     case FrameType::credit: {
       conn.credits.fetch_add(
           static_cast<std::int64_t>(decode_u64(frame.payload)));
+      return;
+    }
+    case FrameType::reload_map: {
+      // Authenticated admin verb: bump the shard-map epoch NOW instead of
+      // waiting for the mtime poll. An empty configured token disables
+      // the verb; the token comparison gates before the hook runs.
+      Frame reply;
+      reply.id = frame.id;
+      std::string token;
+      try {
+        token = decode_text(frame.payload);
+      } catch (const ParseError&) {
+        token.clear();
+      }
+      if (config_.admin_token.empty() || config_.reload_hook == nullptr) {
+        reply.type = FrameType::error_reply;
+        reply.payload = encode_text("reload_map is not enabled here");
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++counters_.reloads_refused;
+      } else if (token != config_.admin_token) {
+        reply.type = FrameType::error_reply;
+        reply.payload = encode_text("reload_map: bad admin token");
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++counters_.reloads_refused;
+      } else {
+        try {
+          reply.type = FrameType::reload_reply;
+          reply.payload = encode_text(config_.reload_hook().dump(2));
+          std::lock_guard<std::mutex> lock(stats_mu_);
+          ++counters_.reloads;
+        } catch (const fault::Kill&) {
+          throw;  // a kill is a crash, not a refusal
+        } catch (const std::exception& e) {
+          reply.type = FrameType::error_reply;
+          reply.payload =
+              encode_text(std::string("reload failed: ") + e.what());
+          std::lock_guard<std::mutex> lock(stats_mu_);
+          ++counters_.reloads_refused;
+        }
+      }
+      send_locked(conn, reply);
       return;
     }
     default: {

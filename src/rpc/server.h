@@ -19,6 +19,7 @@
 #include <chrono>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -48,6 +49,14 @@ struct ServerConfig {
   std::int64_t io_timeout_ms = 5000;
   /// Shared trace sink; may be null (Profiler::record is thread-safe).
   prof::Profiler* profiler = nullptr;
+  /// Shared secret for the reload_map admin RPC. Empty (the default)
+  /// disables the verb entirely — remote epoch bumps are opt-in.
+  std::string admin_token;
+  /// Runs on a correctly-authenticated reload_map frame (on the
+  /// connection's thread): re-reads the shard map and adopts it,
+  /// returning the JSON reload report. A throw becomes an error_reply —
+  /// the old epoch keeps serving. Typically MapWatcher::reload_now.
+  std::function<json::Value()> reload_hook;
 };
 
 /// Lifts the rpc_* knobs (already env-overridden by Settings) into a
@@ -72,6 +81,8 @@ struct ServerStats {
   std::uint64_t subscribers = 0;         ///< live-stream subscriptions made
   std::uint64_t steps_streamed = 0;      ///< step fan-out deliveries
   std::uint64_t steps_dropped = 0;       ///< slow-consumer drops
+  std::uint64_t reloads = 0;             ///< reload_map RPCs that applied
+  std::uint64_t reloads_refused = 0;     ///< bad token / disabled / rejected
   /// Server-side request latency (decode -> response frame on the wire).
   std::size_t latency_count = 0;
   double latency_p50 = 0.0;

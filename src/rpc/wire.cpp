@@ -24,6 +24,8 @@ const char* to_string(FrameType type) {
     case FrameType::error_reply: return "error_reply";
     case FrameType::ping: return "ping";
     case FrameType::pong: return "pong";
+    case FrameType::reload_map: return "reload_map";
+    case FrameType::reload_reply: return "reload_reply";
   }
   return "?";
 }
@@ -34,13 +36,14 @@ std::uint32_t max_payload_of(FrameType type) {
     // coordinates. 1 MiB is orders of magnitude above any real request.
     case FrameType::request:
       return 1u << 20;
-    // Tiny control frames (empty or a single u64).
+    // Tiny control frames (empty, a single u64, or an admin token).
     case FrameType::stats:
     case FrameType::subscribe:
     case FrameType::credit:
     case FrameType::ping:
     case FrameType::sub_ok:
     case FrameType::pong:
+    case FrameType::reload_map:
       return 1u << 12;
     // Bulk server-to-client frames: query answers and stream steps.
     case FrameType::response:
@@ -48,6 +51,7 @@ std::uint32_t max_payload_of(FrameType type) {
     case FrameType::stream_step:
     case FrameType::stream_end:
     case FrameType::error_reply:
+    case FrameType::reload_reply:
       return kMaxPayload - 1;
   }
   return kMaxPayload - 1;
@@ -699,7 +703,7 @@ std::optional<Frame> recv_frame(Socket& socket, std::int64_t timeout_ms) {
                       << " (this build speaks " << kVersion << ")");
   }
   if (type < static_cast<std::uint16_t>(FrameType::request) ||
-      type > static_cast<std::uint16_t>(FrameType::pong)) {
+      type > static_cast<std::uint16_t>(FrameType::reload_reply)) {
     GS_THROW(IoError, "unknown frame type " << type);
   }
   Frame frame;

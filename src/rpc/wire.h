@@ -71,6 +71,9 @@ enum class FrameType : std::uint16_t {
   error_reply = 10, ///< UTF-8 reason string           (server -> client)
   ping = 11,        ///< empty                         (client -> server)
   pong = 12,        ///< empty                         (server -> client)
+  reload_map = 13,  ///< admin token string: re-check the shard map file
+                    ///  and adopt a new epoch          (client -> server)
+  reload_reply = 14,  ///< UTF-8 JSON reload report    (server -> client)
 };
 
 const char* to_string(FrameType type);

@@ -1,6 +1,7 @@
 #include "shard/health.h"
 
 #include "common/error.h"
+#include "shard/map.h"
 
 namespace gs::shard {
 
@@ -9,15 +10,39 @@ const char* to_string(HealthState s) {
 }
 
 HealthTracker::HealthTracker(std::vector<std::string> ids,
-                             HealthConfig config)
+                             HealthConfig config,
+                             const HealthTracker* carry)
     : config_(config) {
   GS_REQUIRE(config_.fail_threshold > 0 && config_.live_threshold > 0,
              "health thresholds must be positive");
+  GS_REQUIRE(config_.probe_backoff_seconds > 0,
+             "health probe backoff base must be positive");
+  fault::RetryPolicy probe_policy;
+  probe_policy.backoff_seconds = config_.probe_backoff_seconds;
+  probe_policy.max_backoff_seconds = config_.probe_backoff_cap_seconds;
   entries_.reserve(ids.size());
   for (std::string& id : ids) {
-    Entry e;
+    // hash64(id) decorrelates the jitter streams of different shards so a
+    // mass outage does not re-probe the whole fleet in lockstep.
+    Entry e{HealthSnapshot{},
+            fault::Backoff(probe_policy, hash64(id) ^ config_.probe_seed),
+            0.0};
     e.snap.id = std::move(id);
     entries_.push_back(std::move(e));
+  }
+  if (carry != nullptr) {
+    const std::lock_guard<std::mutex> lock(carry->mu_);
+    for (Entry& e : entries_) {
+      for (const Entry& old : carry->entries_) {
+        if (old.snap.id == e.snap.id) {
+          const std::string id = std::move(e.snap.id);
+          e.snap = old.snap;
+          e.snap.id = id;  // (same string; keeps ownership local)
+          e.next_probe_at = old.next_probe_at;
+          break;
+        }
+      }
+    }
   }
 }
 
@@ -56,6 +81,46 @@ void HealthTracker::record_failure(std::string_view id) {
     s.state = HealthState::dead;
     ++s.went_dead;
   }
+}
+
+bool HealthTracker::probe_due(std::string_view id,
+                              double now_seconds) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Entry& e = entry(id);
+  if (e.snap.state == HealthState::live) return true;
+  return now_seconds >= e.next_probe_at;
+}
+
+void HealthTracker::record_probe_failure(std::string_view id,
+                                         double now_seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entry(id);
+  HealthSnapshot& s = e.snap;
+  ++s.failures;
+  s.consecutive_successes = 0;
+  ++s.consecutive_failures;
+  if (s.state == HealthState::live &&
+      s.consecutive_failures >= config_.fail_threshold) {
+    s.state = HealthState::dead;
+    ++s.went_dead;
+  }
+  e.next_probe_at = now_seconds + e.backoff.next();
+}
+
+void HealthTracker::record_probe_success(std::string_view id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entry(id);
+  HealthSnapshot& s = e.snap;
+  ++s.successes;
+  s.consecutive_failures = 0;
+  ++s.consecutive_successes;
+  if (s.state == HealthState::dead &&
+      s.consecutive_successes >= config_.live_threshold) {
+    s.state = HealthState::live;
+    ++s.went_live;
+  }
+  e.backoff.reset();
+  e.next_probe_at = 0.0;
 }
 
 HealthState HealthTracker::state(std::string_view id) const {

@@ -7,9 +7,13 @@
 //   live --(fail_threshold consecutive failures)--> dead
 //   dead --(live_threshold consecutive successes)--> live
 //
-// Any success resets the failure run and vice versa. Thread-safe; every
-// method may be called concurrently from router workers and the probe
-// thread.
+// Any success resets the failure run and vice versa. Probes to DEAD
+// shards are additionally paced by a per-shard jittered exponential
+// backoff (fault::Backoff): after a mass failure the probe loop must not
+// hammer every corpse on the same fixed period — the schedule spreads
+// out, capped, and resets the moment a probe succeeds. Thread-safe;
+// every method may be called concurrently from router workers and the
+// probe thread.
 #pragma once
 
 #include <cstdint>
@@ -17,6 +21,8 @@
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "fault/fault.h"
 
 namespace gs::shard {
 
@@ -29,6 +35,15 @@ struct HealthConfig {
   int fail_threshold = 2;
   /// Consecutive successes that flip dead -> live.
   int live_threshold = 2;
+  /// Probe pacing for dead shards: first re-probe after `base` seconds,
+  /// then decorrelated jitter up to `cap` (see fault::Backoff). Live
+  /// shards are always probe-due (the probe loop's own period paces
+  /// them).
+  double probe_backoff_seconds = 0.05;
+  double probe_backoff_cap_seconds = 2.0;
+  /// Mixed with hash64(shard id) so every shard draws an independent,
+  /// replayable jitter stream.
+  std::uint64_t probe_seed = 0;
 };
 
 /// Point-in-time view of one shard's health.
@@ -46,10 +61,24 @@ struct HealthSnapshot {
 class HealthTracker {
  public:
   /// All shards start live (optimistic: the first real call probes them).
-  HealthTracker(std::vector<std::string> ids, HealthConfig config);
+  /// `carry` (may be null) is the previous epoch's tracker: matching ids
+  /// keep their cumulative counters and live/dead state across a map
+  /// reload, so a flip does not amnesty a dead shard.
+  HealthTracker(std::vector<std::string> ids, HealthConfig config,
+                const HealthTracker* carry = nullptr);
 
   void record_success(std::string_view id);
   void record_failure(std::string_view id);
+
+  /// True when the probe loop should ping `id` at `now_seconds` (any
+  /// monotonic clock, as long as the caller sticks to one). Live shards
+  /// always; dead shards only once their backoff expires.
+  bool probe_due(std::string_view id, double now_seconds) const;
+  /// record_failure + schedule the next probe behind the shard's
+  /// jittered backoff.
+  void record_probe_failure(std::string_view id, double now_seconds);
+  /// record_success + reset the shard's probe backoff to the base.
+  void record_probe_success(std::string_view id);
 
   HealthState state(std::string_view id) const;
   bool alive(std::string_view id) const {
@@ -63,6 +92,8 @@ class HealthTracker {
  private:
   struct Entry {
     HealthSnapshot snap;
+    fault::Backoff backoff;
+    double next_probe_at = 0.0;  ///< probes allowed at/after this instant
   };
 
   Entry& entry(std::string_view id);

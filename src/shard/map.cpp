@@ -49,16 +49,27 @@ ShardMap::ShardMap(std::uint64_t epoch, std::size_t vnodes,
 }
 
 ShardMap ShardMap::from_json(const json::Value& v) {
-  const auto epoch =
-      static_cast<std::uint64_t>(v.get_or("epoch", std::int64_t{1}));
-  const auto vnodes =
-      static_cast<std::size_t>(v.get_or("vnodes", std::int64_t{64}));
+  // Validation beyond the constructor's: a FILE claiming membership must
+  // be fully explicit — a daemon nobody can dial (empty endpoint) or an
+  // epoch that cannot ever be a valid successor (< 1) is a torn or
+  // hand-mangled map, rejected with a distinct one-line reason so the
+  // reload path logs exactly what is wrong.
+  const auto raw_epoch = v.get_or("epoch", std::int64_t{1});
+  GS_REQUIRE(raw_epoch >= 1, "shard map epoch must be >= 1, got "
+                                 << raw_epoch);
+  const auto raw_vnodes = v.get_or("vnodes", std::int64_t{64});
+  GS_REQUIRE(raw_vnodes >= 1, "shard map vnodes must be >= 1, got "
+                                  << raw_vnodes);
   std::vector<ShardInfo> shards;
   for (const json::Value& e : v.at("shards").as_array()) {
-    shards.push_back(ShardInfo{e.at("id").as_string(),
-                               e.get_or("endpoint", std::string{})});
+    ShardInfo info{e.at("id").as_string(),
+                   e.get_or("endpoint", std::string{})};
+    GS_REQUIRE(!info.endpoint.empty(), "shard '" << info.id
+                                                 << "' has an empty endpoint");
+    shards.push_back(std::move(info));
   }
-  return ShardMap(epoch, vnodes, std::move(shards));
+  return ShardMap(static_cast<std::uint64_t>(raw_epoch),
+                  static_cast<std::size_t>(raw_vnodes), std::move(shards));
 }
 
 ShardMap ShardMap::from_file(const std::string& path) {

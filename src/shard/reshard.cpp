@@ -1,0 +1,238 @@
+#include "shard/reshard.h"
+
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+#include <utility>
+
+#include "common/error.h"
+#include "fault/fault.h"
+
+namespace gs::shard {
+
+namespace {
+
+constexpr const char* kReloadSite = "shard.reload";
+
+FileSig sig_of(const std::string& path) {
+  struct ::stat st {};
+  if (::stat(path.c_str(), &st) != 0) return {};
+  return FileSig{
+      static_cast<std::int64_t>(st.st_mtim.tv_sec) * 1000000000 +
+          static_cast<std::int64_t>(st.st_mtim.tv_nsec),
+      static_cast<std::uint64_t>(st.st_ino),
+      static_cast<std::uint64_t>(st.st_size)};
+}
+
+}  // namespace
+
+const char* to_string(HandoverState s) {
+  switch (s) {
+    case HandoverState::watching: return "watching";
+    case HandoverState::validating: return "validating";
+    case HandoverState::draining: return "draining";
+    case HandoverState::replacing: return "replacing";
+    case HandoverState::committed: return "committed";
+  }
+  return "?";
+}
+
+MapDiff diff_maps(const ShardMap& from, const ShardMap& to) {
+  MapDiff diff;
+  for (const ShardInfo& s : to.shards()) {
+    const ShardInfo* old = from.find(s.id);
+    if (old == nullptr) {
+      diff.added.push_back(s.id);
+    } else if (old->endpoint != s.endpoint) {
+      diff.moved.push_back(s.id);
+    } else {
+      diff.retained.push_back(s.id);
+    }
+  }
+  for (const ShardInfo& s : from.shards()) {
+    if (to.find(s.id) == nullptr) diff.removed.push_back(s.id);
+  }
+  return diff;
+}
+
+void validate_successor(const ShardMap& current, const ShardMap& next) {
+  fault::Injector::instance().check(kReloadSite);
+  GS_REQUIRE(next.epoch() > current.epoch(),
+             "shard map epoch must increase: serving " << current.epoch()
+                                                       << ", candidate "
+                                                       << next.epoch());
+  const MapDiff diff = diff_maps(current, next);
+  GS_REQUIRE(!diff.retained.empty() || !diff.moved.empty(),
+             "candidate map retains no serving shard (every id replaced "
+             "at once)");
+  GS_REQUIRE(!(diff.added.empty() && diff.removed.empty() &&
+               diff.moved.empty() && next.vnodes() == current.vnodes()),
+             "candidate map changes nothing but the epoch (no-op bump "
+             "rejected)");
+}
+
+std::vector<std::string> moved_keys(const Ring& from, const Ring& to,
+                                    std::span<const std::string> keys) {
+  std::vector<std::string> moved;
+  for (const std::string& key : keys) {
+    if (from.owner(key) != to.owner(key)) moved.push_back(key);
+  }
+  return moved;
+}
+
+void commit_map(const ShardMap& map, const std::string& path) {
+  const std::string staging = path + ".staging";
+  recover_map(path);  // a stale staging file never survives a new commit
+
+  std::string text = map.to_json().dump(2);
+  text += "\n";
+  // Op k: the serialized payload passes the injection point — `corrupt`
+  // models a torn/garbled write reaching the committed file, which every
+  // reader must then reject (ShardMap::from_file throws, the watcher
+  // counts a rejection, the old in-memory epoch keeps serving).
+  fault::Injector::instance().check(
+      kReloadSite, std::as_writable_bytes(std::span<char>(text)));
+  {
+    std::ofstream out(staging, std::ios::binary | std::ios::trunc);
+    if (!out.good()) {
+      GS_THROW(IoError, "cannot write shard map staging " << staging);
+    }
+    out.write(text.data(), static_cast<std::streamsize>(text.size()));
+    out.flush();
+    if (!out.good()) {
+      GS_THROW(IoError, "short write to shard map staging " << staging);
+    }
+  }
+  // Op k + 1: a kill HERE leaves the staging file beside the old
+  // committed map — recover_map (or the next commit) removes it; the
+  // committed epoch is still the old one. After the rename it is the new
+  // one. Either way: exactly one committed epoch.
+  fault::Injector::instance().check(kReloadSite);
+  std::error_code ec;
+  std::filesystem::rename(staging, path, ec);
+  if (ec) {
+    GS_THROW(IoError, "cannot promote shard map " << staging << " -> " << path
+                                                  << ": " << ec.message());
+  }
+}
+
+bool recover_map(const std::string& path) {
+  std::error_code ec;
+  return std::filesystem::remove(path + ".staging", ec);
+}
+
+json::Value ReplacementStats::to_json() const {
+  json::Object o;
+  o["epoch_from"] = json::Value(static_cast<std::int64_t>(epoch_from));
+  o["epoch_to"] = json::Value(static_cast<std::int64_t>(epoch_to));
+  o["blocks_planned"] = json::Value(static_cast<std::int64_t>(blocks_planned));
+  o["blocks_moved"] = json::Value(static_cast<std::int64_t>(blocks_moved));
+  o["blocks_failed"] = json::Value(static_cast<std::int64_t>(blocks_failed));
+  o["bytes_moved"] = json::Value(static_cast<std::int64_t>(bytes_moved));
+  o["seconds"] = json::Value(seconds);
+  return json::Value(std::move(o));
+}
+
+json::Value HandoverStats::to_json() const {
+  json::Object o;
+  o["epoch_from"] = json::Value(static_cast<std::int64_t>(epoch_from));
+  o["epoch_to"] = json::Value(static_cast<std::int64_t>(epoch_to));
+  o["shards_added"] = json::Value(static_cast<std::int64_t>(shards_added));
+  o["shards_removed"] = json::Value(static_cast<std::int64_t>(shards_removed));
+  o["shards_moved"] = json::Value(static_cast<std::int64_t>(shards_moved));
+  o["shards_retained"] =
+      json::Value(static_cast<std::int64_t>(shards_retained));
+  o["drained"] = json::Value(drained);
+  o["drain_seconds"] = json::Value(drain_seconds);
+  o["inflight_abandoned"] =
+      json::Value(static_cast<std::int64_t>(inflight_abandoned));
+  return json::Value(std::move(o));
+}
+
+// ---- MapWatcher ----------------------------------------------------------
+
+MapWatcher::MapWatcher(std::string path, Apply apply, Config config)
+    : path_(std::move(path)), apply_(std::move(apply)), config_(config) {
+  GS_REQUIRE(apply_ != nullptr, "map watcher needs an apply callback");
+  last_sig_ = sig_of(path_);  // the serving map was loaded from here
+  if (config_.poll_ms > 0) {
+    thread_ = std::thread([this] { watch_main(); });
+  }
+}
+
+MapWatcher::~MapWatcher() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void MapWatcher::trigger() {
+  if (config_.poll_ms <= 0) {
+    check(/*forced=*/true);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    nudged_ = true;
+  }
+  cv_.notify_all();
+}
+
+json::Value MapWatcher::reload_now() {
+  const FileSig sig = sig_of(path_);
+  try {
+    ShardMap next = ShardMap::from_file(path_);
+    json::Value report = apply_(std::move(next));
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.applied;
+    last_sig_ = sig;
+    return report;
+  } catch (const std::exception& e) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.rejected;
+    stats_.last_error = e.what();
+    last_sig_ = sig;  // don't re-reject the same bytes every poll
+    throw;
+  }
+}
+
+void MapWatcher::check(bool forced) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.polls;
+    if (!forced && sig_of(path_) == last_sig_) return;
+  }
+  try {
+    reload_now();
+  } catch (const std::exception&) {
+    // Counted and recorded by reload_now; the old epoch keeps serving.
+  }
+}
+
+void MapWatcher::watch_main() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_.wait_for(lock, std::chrono::milliseconds(config_.poll_ms),
+                 [this] { return stop_ || nudged_; });
+    if (stop_) return;
+    const bool forced = nudged_;
+    nudged_ = false;
+    lock.unlock();
+    check(forced);
+    lock.lock();
+  }
+}
+
+MapWatcher::Stats MapWatcher::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace gs::shard

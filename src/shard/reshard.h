@@ -1,0 +1,219 @@
+// gs::shard epoch handover — live resharding without restarts and
+// without wrong answers. A membership change is a NEW map file with a
+// strictly larger epoch; this header is everything the serving tier
+// needs to adopt it while queries are in flight:
+//
+//   * validate_successor / diff_maps — the VALIDATING phase: a candidate
+//     map is checked against the serving one (epoch strictly increasing,
+//     sane membership) and its diff classified (added / removed /
+//     endpoint-moved / retained) before anything flips;
+//   * commit_map — the operator/driver side: the new map is written to a
+//     staging file and atomically renamed over the old one (the same
+//     crash-consistency discipline as bp::Writer's commit), so a process
+//     dying mid-commit leaves exactly ONE committed epoch on disk;
+//   * MapWatcher — the daemon side: an mtime poll + an explicit trigger
+//     (SIGHUP, admin RPC) funneled into one apply callback; a map that
+//     fails validation is REJECTED loudly and the old epoch keeps
+//     serving;
+//   * moved_keys / ReplacementStats — the REPLACING phase: the ring's
+//     minimal-movement diff names exactly the blocks that changed owner,
+//     and the new owner warms them through the CRC-verified read path
+//     with cost accounting (blocks, bytes, wall time) for the stats RPC;
+//   * StaleEpochError — the degraded-not-wrong contract: a daemon asked
+//     for an epoch it no longer (or does not yet) serve refuses with a
+//     RETRYABLE stale-epoch status instead of BadRequest, so routers
+//     fail over or degrade explicitly, never answer from the wrong ring.
+//
+// Fault sites: "shard.reload" (map validation + both commit_map steps),
+// "shard.drain" (the router's bounded old-epoch drain), "shard.replace"
+// (per moved block while warming) — every transition is killable and
+// replayable under gs::fault.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+#include "config/json.h"
+#include "shard/map.h"
+
+namespace gs::shard {
+
+/// The handover state machine (DESIGN.md §8):
+///   WATCHING -> VALIDATING -> DRAINING -> REPLACING -> COMMITTED
+/// with abort edges from VALIDATING (bad map: reject, stay WATCHING) and
+/// from any phase on fault::Kill (crash: recover to the one committed
+/// epoch on disk).
+enum class HandoverState {
+  watching,    ///< serving one epoch, watching for a successor map
+  validating,  ///< candidate loaded; epoch/ring/membership checks
+  draining,    ///< new epoch published; old-epoch in-flight draining
+  replacing,   ///< moved blocks warming on their new owners
+  committed,   ///< exactly one epoch serving again
+};
+
+const char* to_string(HandoverState s);
+
+/// A daemon was asked to answer for an epoch it does not serve (any
+/// more, or yet). NOT a bad request: during a staggered flip this is the
+/// expected transient, so it gets its own wire status (stale_epoch) and
+/// routers treat it like a missing candidate — retry a replica or
+/// degrade explicitly naming the shard.
+class StaleEpochError : public Error {
+ public:
+  explicit StaleEpochError(const std::string& what) : Error(what) {}
+};
+
+/// Membership diff between two maps, classified for the handover report.
+struct MapDiff {
+  std::vector<std::string> added;     ///< in `to` only
+  std::vector<std::string> removed;   ///< in `from` only
+  std::vector<std::string> moved;     ///< same id, endpoint changed
+  std::vector<std::string> retained;  ///< same id, same endpoint
+};
+
+MapDiff diff_maps(const ShardMap& from, const ShardMap& to);
+
+/// VALIDATING: may `next` replace `current`? Throws gs::Error with a
+/// distinct one-line reason otherwise:
+///   * epoch not strictly increasing,
+///   * identical placement under a new epoch AND no endpoint change
+///     (a no-op bump is almost always an operator mistake),
+///   * every serving shard removed at once (nothing retained to serve
+///     during the flip).
+/// Fault site "shard.reload" fires once per validation.
+void validate_successor(const ShardMap& current, const ShardMap& next);
+
+/// The keys of `keys` whose owner differs between the two rings — the
+/// ring's minimal-movement diff. The handover's replacement plan and the
+/// reshard bench's movement bound are both computed from this.
+std::vector<std::string> moved_keys(const Ring& from, const Ring& to,
+                                    std::span<const std::string> keys);
+
+/// Writes `map` to `path` crash-consistently: serialize to
+/// `<path>.staging`, then atomically rename over `path`. A kill before
+/// the rename leaves the old committed map untouched; a kill after it
+/// leaves the new one — never a half-written file under `path`. Any
+/// stale staging file from an earlier crash is removed first.
+/// Fault site "shard.reload": op k   = payload check (corrupt = torn
+/// write reaches the wire), op k + 1 = between staging write and rename.
+void commit_map(const ShardMap& map, const std::string& path);
+
+/// Removes a stale `<path>.staging` left by a crash mid-commit (the
+/// recovery half of commit_map). Returns true when one was removed.
+bool recover_map(const std::string& path);
+
+/// REPLACING cost accounting: what one daemon moved when it adopted a
+/// new epoch. Surfaced through the stats RPC ("reshard" object).
+struct ReplacementStats {
+  std::uint64_t epoch_from = 0;
+  std::uint64_t epoch_to = 0;
+  std::uint64_t blocks_planned = 0;  ///< blocks this daemon newly owns
+  std::uint64_t blocks_moved = 0;    ///< warmed through the CRC-verified read
+  std::uint64_t blocks_failed = 0;   ///< damaged/unreadable (stay degraded)
+  std::uint64_t bytes_moved = 0;
+  double seconds = 0.0;
+
+  json::Value to_json() const;
+};
+
+/// DRAINING bookkeeping: one router-side epoch flip. Surfaced through
+/// the router's stats RPC ("handover" object).
+struct HandoverStats {
+  std::uint64_t epoch_from = 0;
+  std::uint64_t epoch_to = 0;
+  std::size_t shards_added = 0;
+  std::size_t shards_removed = 0;
+  std::size_t shards_moved = 0;     ///< endpoint changed, pool re-dialed
+  std::size_t shards_retained = 0;  ///< pool + health carried over
+  bool drained = true;              ///< old in-flight hit zero in time
+  double drain_seconds = 0.0;
+  std::uint64_t inflight_abandoned = 0;  ///< still pinned when the deadline hit
+
+  json::Value to_json() const;
+};
+
+/// WATCHING: funnels every reload trigger — an mtime poll, SIGHUP, the
+/// authenticated reload_map admin RPC — into one `apply` callback. The
+/// callback receives the freshly parsed map and must validate + adopt it
+/// (Router::reload_map / Service::reload_shard_map), returning the JSON
+/// report; anything it throws counts as a rejection and the old epoch
+/// keeps serving. Thread-safe; `apply` runs on the watcher thread or the
+/// caller of reload_now(), so it must be thread-safe too.
+struct WatcherConfig {
+  /// Poll period for the map file's mtime; <= 0 disables the thread
+  /// (trigger()/reload_now() still work).
+  std::int64_t poll_ms = 500;
+};
+
+/// Change-detection identity of a map file: mtime PLUS inode and size.
+/// Linux file timestamps tick on the kernel's coarse clock (milliseconds
+/// apart), so a commit landing in the same tick as the previous load has
+/// an identical mtime — but commit_map's atomic rename always installs a
+/// fresh inode, so the (mtime, inode, size) triple never misses one.
+struct FileSig {
+  std::int64_t mtime_ns = -1;
+  std::uint64_t inode = 0;
+  std::uint64_t size = 0;
+
+  bool operator==(const FileSig&) const = default;
+};
+
+class MapWatcher {
+ public:
+  using Apply = std::function<json::Value(ShardMap)>;
+  using Config = WatcherConfig;
+
+  struct Stats {
+    std::uint64_t polls = 0;
+    std::uint64_t applied = 0;   ///< reloads accepted by `apply`
+    std::uint64_t rejected = 0;  ///< parse/validation failures
+    std::string last_error;
+  };
+
+  MapWatcher(std::string path, Apply apply, WatcherConfig config = {});
+  ~MapWatcher();
+
+  MapWatcher(const MapWatcher&) = delete;
+  MapWatcher& operator=(const MapWatcher&) = delete;
+
+  /// Nudges the watcher to re-check the file now (SIGHUP handler path);
+  /// returns immediately, the reload runs on the watcher thread. With
+  /// polling disabled the check runs inline on this thread instead.
+  void trigger();
+
+  /// Synchronous reload: parse the file and apply it, returning apply's
+  /// report. Throws (and counts a rejection) on parse or validation
+  /// failure. The admin-RPC hook calls this.
+  json::Value reload_now();
+
+  Stats stats() const;
+
+ private:
+  void watch_main();
+  /// One poll step: re-check mtime, reload on change. `forced` skips the
+  /// mtime check (trigger/SIGHUP).
+  void check(bool forced);
+
+  std::string path_;
+  Apply apply_;
+  Config config_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  bool nudged_ = false;
+  FileSig last_sig_;  ///< last file identity ATTEMPTED (ok or rejected)
+  Stats stats_;
+
+  std::thread thread_;
+};
+
+}  // namespace gs::shard

@@ -8,6 +8,7 @@
 
 #include "analysis/analysis.h"
 #include "common/error.h"
+#include "common/log.h"
 #include "fault/fault.h"
 #include "svc/merge.h"
 
@@ -17,6 +18,8 @@ namespace {
 
 constexpr const char* kRouteSite = "shard.route";
 constexpr const char* kHealthSite = "shard.health";
+constexpr const char* kReloadSite = "shard.reload";
+constexpr const char* kDrainSite = "shard.drain";
 
 std::vector<std::string> shard_ids(const ShardMap& map) {
   std::vector<std::string> ids;
@@ -45,21 +48,53 @@ svc::Response refused(const svc::Request& request, svc::StatusCode code,
 
 }  // namespace
 
-Router::Router(std::shared_ptr<const ShardMap> map, RouterConfig config)
-    : map_(std::move(map)),
-      config_(config),
-      ring_(*map_),
-      health_(shard_ids(*map_), config.health) {
-  GS_REQUIRE(map_ != nullptr, "router needs a shard map");
-  GS_REQUIRE(config_.workers > 0, "router needs at least one worker");
-  for (const auto& info : map_->shards()) {
-    auto state = std::make_unique<ShardState>();
+Router::EpochState::EpochState(std::shared_ptr<const ShardMap> m,
+                               const RouterConfig& config,
+                               const EpochState* carry)
+    : map(std::move(m)),
+      ring(*map),
+      health(std::make_unique<HealthTracker>(
+          shard_ids(*map), config.health,
+          carry != nullptr ? carry->health.get() : nullptr)) {
+  for (const auto& info : map->shards()) {
+    // Same id AND same endpoint: the previous epoch's state (pool,
+    // latency history) carries over — the flip costs those shards
+    // nothing. New or endpoint-moved shards get a fresh pool.
+    if (carry != nullptr) {
+      const auto it = carry->shards.find(info.id);
+      if (it != carry->shards.end() &&
+          it->second->info.endpoint == info.endpoint) {
+        shards.emplace(info.id, it->second);
+        continue;
+      }
+    }
+    auto state = std::make_shared<ShardState>();
     state->info = info;
     state->pool = std::make_unique<rpc::ClientPool>(
-        rpc::Endpoint::parse(info.endpoint), config_.client,
-        config_.pool_max_idle);
-    shards_.emplace(info.id, std::move(state));
+        rpc::Endpoint::parse(info.endpoint), config.client,
+        config.pool_max_idle);
+    shards.emplace(info.id, std::move(state));
   }
+}
+
+Router::Pin::Pin(Router* r, std::shared_ptr<EpochState> e)
+    : router(r), ep(std::move(e)) {
+  ep->in_flight.fetch_add(1, std::memory_order_acq_rel);
+}
+
+Router::Pin::~Pin() {
+  ep->in_flight.fetch_sub(1, std::memory_order_acq_rel);
+  // Lock-then-notify so a reload_map that just read in_flight under
+  // epoch_mu_ cannot miss the wakeup.
+  std::lock_guard<std::mutex> lock(router->epoch_mu_);
+  router->drain_cv_.notify_all();
+}
+
+Router::Router(std::shared_ptr<const ShardMap> map, RouterConfig config)
+    : config_(config) {
+  GS_REQUIRE(map != nullptr, "router needs a shard map");
+  GS_REQUIRE(config_.workers > 0, "router needs at least one worker");
+  epoch_ = std::make_shared<EpochState>(std::move(map), config_, nullptr);
   workers_.reserve(config_.workers);
   for (std::size_t i = 0; i < config_.workers; ++i) {
     workers_.emplace_back([this] { worker_main(); });
@@ -147,6 +182,12 @@ void Router::worker_main() {
 }
 
 void Router::probe_main() {
+  const auto t_start = std::chrono::steady_clock::now();
+  const auto now_seconds = [&t_start] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t_start)
+        .count();
+  };
   std::unique_lock<std::mutex> lock(queue_mu_);
   for (;;) {
     probe_cv_.wait_for(lock,
@@ -154,8 +195,12 @@ void Router::probe_main() {
                        [this] { return stopping_; });
     if (stopping_) return;
     lock.unlock();
-    for (const auto& info : map_->shards()) {
-      ShardState& st = state(info.id);
+    const std::shared_ptr<EpochState> ep = snapshot();
+    for (const auto& info : ep->map->shards()) {
+      // Dead shards re-probe behind their per-shard jittered backoff; a
+      // mass outage must not hammer every corpse on the fixed period.
+      if (!ep->health->probe_due(info.id, now_seconds())) continue;
+      ShardState& st = state(*ep, info.id);
       try {
         fault::Injector::instance().check(kHealthSite);
         auto lease = st.pool->acquire();
@@ -165,31 +210,43 @@ void Router::probe_main() {
           lease.discard();
           throw;
         }
-        health_.record_success(info.id);
+        ep->health->record_probe_success(info.id);
       } catch (const IoError&) {
-        health_.record_failure(info.id);
+        ep->health->record_probe_failure(info.id, now_seconds());
       }
     }
     lock.lock();
   }
 }
 
+std::shared_ptr<Router::EpochState> Router::snapshot() const {
+  std::lock_guard<std::mutex> lock(epoch_mu_);
+  return epoch_;
+}
+
+std::shared_ptr<const ShardMap> Router::map() const {
+  return snapshot()->map;
+}
+
+const HealthTracker& Router::health() const { return *snapshot()->health; }
+
 // ---- scatter -------------------------------------------------------------
 
-std::vector<std::string> Router::candidates(const std::string& act_as) const {
+std::vector<std::string> Router::candidates(const EpochState& ep,
+                                            const std::string& act_as) const {
   std::vector<std::string> out{act_as};
   if (!config_.failover) return out;
   // Ring-derived replica order: deterministic per shard, so every router
   // instance retries a dead owner toward the same replicas.
-  for (const auto& id : ring_.chain("failover/" + act_as, map_->size())) {
+  for (const auto& id : ep.ring.chain("failover/" + act_as, ep.map->size())) {
     if (id != act_as) out.push_back(id);
   }
   return out;
 }
 
-Router::ShardState& Router::state(const std::string& id) {
-  auto it = shards_.find(id);
-  GS_ASSERT(it != shards_.end(), "unknown shard id");
+Router::ShardState& Router::state(EpochState& ep, const std::string& id) {
+  auto it = ep.shards.find(id);
+  GS_ASSERT(it != ep.shards.end(), "unknown shard id");
   return *it->second;
 }
 
@@ -221,7 +278,8 @@ svc::Response Router::subcall(ShardState& st, const svc::Request& sub) {
   return out;
 }
 
-Router::SubResult Router::scatter_one(const svc::Request& base,
+Router::SubResult Router::scatter_one(EpochState& ep,
+                                      const svc::Request& base,
                                       const svc::QueryBody& body,
                                       const std::string& act_as) {
   SubResult result;
@@ -230,15 +288,16 @@ Router::SubResult Router::scatter_one(const svc::Request& base,
   svc::Request sub;
   sub.body = body;
   sub.timeout_seconds = base.timeout_seconds;
-  sub.shard = svc::ShardSelector{map_->epoch(), map_->ring_crc(), act_as};
+  sub.shard =
+      svc::ShardSelector{ep.map->epoch(), ep.map->ring_crc(), act_as};
 
   // Dead-marked daemons are skipped on the first pass (no point eating
   // their connect timeouts); if health left us nothing, try everyone —
   // health may be stale and a refused dial is cheap.
-  const std::vector<std::string> cands = candidates(act_as);
+  const std::vector<std::string> cands = candidates(ep, act_as);
   std::vector<std::string> order;
   for (const auto& id : cands) {
-    if (health_.alive(id)) order.push_back(id);
+    if (ep.health->alive(id)) order.push_back(id);
   }
   if (order.empty()) order = cands;
 
@@ -249,19 +308,20 @@ Router::SubResult Router::scatter_one(const svc::Request& base,
     }
     svc::Response sub_response;
     try {
-      sub_response = subcall(state(id), sub);
+      sub_response = subcall(state(ep, id), sub);
     } catch (const IoError&) {
-      health_.record_failure(id);
+      ep.health->record_failure(id);
       std::lock_guard<std::mutex> slock(stats_mu_);
       ++stats_.subquery_errors;
       continue;
     }
-    health_.record_success(id);
+    ep.health->record_success(id);
     if (!sub_response.status.ok() &&
         sub_response.status.code != svc::StatusCode::bad_request) {
-      // Capacity/deadline/drain refusal from this daemon: a replica may
-      // still answer. BadRequest is semantic and final — every daemon
-      // would refuse the same way.
+      // Capacity/deadline/stale-epoch refusal from this daemon: a
+      // replica (possibly still inside its reload grace window) may
+      // answer. BadRequest is semantic and final — every daemon would
+      // refuse the same way.
       continue;
     }
     if (id != act_as) {
@@ -274,14 +334,15 @@ Router::SubResult Router::scatter_one(const svc::Request& base,
   return result;  // missing: nobody answered for act_as
 }
 
-std::vector<Router::SubResult> Router::scatter(const svc::Request& base,
+std::vector<Router::SubResult> Router::scatter(EpochState& ep,
+                                               const svc::Request& base,
                                                const svc::QueryBody& body) {
   std::vector<std::future<SubResult>> futures;
-  futures.reserve(map_->size());
-  for (const auto& info : map_->shards()) {
+  futures.reserve(ep.map->size());
+  for (const auto& info : ep.map->shards()) {
     futures.push_back(std::async(std::launch::async,
-                                 [this, &base, &body, id = info.id] {
-                                   return scatter_one(base, body, id);
+                                 [this, &ep, &base, &body, id = info.id] {
+                                   return scatter_one(ep, base, body, id);
                                  }));
   }
   std::vector<SubResult> results;
@@ -293,7 +354,8 @@ std::vector<Router::SubResult> Router::scatter(const svc::Request& base,
 // ---- merge ---------------------------------------------------------------
 
 std::vector<const svc::Response*> Router::check_partials(
-    const std::vector<SubResult>& results, svc::Response& response) {
+    const EpochState& ep, const std::vector<SubResult>& results,
+    svc::Response& response) {
   std::vector<const svc::Response*> parts;
   std::vector<std::string> missing;
   for (const auto& r : results) {
@@ -327,9 +389,10 @@ std::vector<const svc::Response*> Router::check_partials(
     GS_REQUIRE(part.partial.has_value(),
                "shard sub-response carries no partial metadata");
     const svc::PartialMeta& meta = *part.partial;
-    GS_REQUIRE(meta.epoch == map_->epoch(),
-               "shard answered for epoch " << meta.epoch << ", router is at "
-                                           << map_->epoch());
+    GS_REQUIRE(meta.epoch == ep.map->epoch(),
+               "shard answered for epoch " << meta.epoch
+                                           << ", this query pinned "
+                                           << ep.map->epoch());
     if (meta.total_blocks == 0) continue;  // list_variables-style partial
     if (!have_total) {
       total = meta.total_blocks;
@@ -357,12 +420,13 @@ std::vector<const svc::Response*> Router::check_partials(
   return parts;
 }
 
-svc::Response Router::merge_list_variables(const svc::Request& request) {
+svc::Response Router::merge_list_variables(EpochState& ep,
+                                           const svc::Request& request) {
   svc::Response response;
   response.id = request.id;
   response.verb = svc::Verb::list_variables;
 
-  const auto results = scatter(request, request.body);
+  const auto results = scatter(ep, request, request.body);
   std::vector<svc::ListVariablesR> listings;
   std::vector<std::string> missing;
   for (const auto& r : results) {
@@ -391,7 +455,8 @@ svc::Response Router::merge_list_variables(const svc::Request& request) {
   return response;
 }
 
-svc::Response Router::merge_scattered(const svc::Request& request) {
+svc::Response Router::merge_scattered(EpochState& ep,
+                                      const svc::Request& request) {
   svc::Response response;
   response.id = request.id;
   response.verb = svc::verb_of(request.body);
@@ -406,8 +471,8 @@ svc::Response Router::merge_scattered(const svc::Request& request) {
     svc::Response stats_probe;
     stats_probe.verb = svc::Verb::field_stats;
     const auto stats_results = scatter(
-        request, svc::QueryBody{svc::FieldStatsQ{q->variable, q->step}});
-    const auto stats_parts = check_partials(stats_results, stats_probe);
+        ep, request, svc::QueryBody{svc::FieldStatsQ{q->variable, q->step}});
+    const auto stats_parts = check_partials(ep, stats_results, stats_probe);
     if (!stats_probe.status.ok()) {
       response.status = stats_probe.status;
       return response;
@@ -436,8 +501,8 @@ svc::Response Router::merge_scattered(const svc::Request& request) {
     }
   }
 
-  const auto results = scatter(request, body);
-  const auto parts = check_partials(results, response);
+  const auto results = scatter(ep, request, body);
+  const auto parts = check_partials(ep, results, response);
   if (!response.status.ok()) return response;
 
   switch (response.verb) {
@@ -507,11 +572,15 @@ svc::Response Router::merge_scattered(const svc::Request& request) {
 }
 
 svc::Response Router::route(const svc::Request& request) {
+  // Pin the epoch this query routes under: a concurrent reload_map swaps
+  // the current pointer but this query keeps its map/ring/pools — and
+  // the reload's drain waits for the pin to drop.
+  const Pin pin(this, snapshot());
   try {
     if (std::holds_alternative<svc::ListVariablesQ>(request.body)) {
-      return merge_list_variables(request);
+      return merge_list_variables(*pin.ep, request);
     }
-    return merge_scattered(request);
+    return merge_scattered(*pin.ep, request);
   } catch (const Error& e) {
     svc::Response response;
     response.id = request.id;
@@ -520,6 +589,84 @@ svc::Response Router::route(const svc::Request& request) {
         svc::Status{svc::StatusCode::internal_error, e.what()};
     return response;
   }
+}
+
+// ---- epoch handover ------------------------------------------------------
+
+HandoverStats Router::reload_map(std::shared_ptr<const ShardMap> next) {
+  GS_REQUIRE(next != nullptr, "reload_map needs a map");
+  const std::lock_guard<std::mutex> rlock(reload_mu_);
+
+  // VALIDATING (fault site shard.reload fires inside): a bad candidate
+  // throws here and the serving epoch is untouched.
+  const std::shared_ptr<EpochState> old = snapshot();
+  validate_successor(*old->map, *next);
+  const MapDiff diff = diff_maps(*old->map, *next);
+
+  HandoverStats stats;
+  stats.epoch_from = old->map->epoch();
+  stats.epoch_to = next->epoch();
+  stats.shards_added = diff.added.size();
+  stats.shards_removed = diff.removed.size();
+  stats.shards_moved = diff.moved.size();
+  stats.shards_retained = diff.retained.size();
+
+  // Publish: new queries pin the new epoch from this instant. Retained
+  // shards share their ShardState (pool, latency history, health).
+  auto fresh = std::make_shared<EpochState>(next, config_, old.get());
+  {
+    std::lock_guard<std::mutex> lock(epoch_mu_);
+    epoch_ = fresh;
+  }
+  GS_INFO("router: epoch " << stats.epoch_from << " -> " << stats.epoch_to
+                           << " published (+" << stats.shards_added << "/-"
+                           << stats.shards_removed << "/~"
+                           << stats.shards_moved << " shards), draining");
+
+  // DRAINING (fault site shard.drain: a kill here models dying between
+  // publish and drain — the committed map on disk stays authoritative).
+  fault::Injector::instance().check(kDrainSite);
+  const auto t0 = std::chrono::steady_clock::now();
+  if (config_.drain_timeout_ms > 0) {
+    std::unique_lock<std::mutex> lock(epoch_mu_);
+    drain_cv_.wait_for(
+        lock, std::chrono::milliseconds(config_.drain_timeout_ms),
+        [&old] {
+          return old->in_flight.load(std::memory_order_acquire) == 0;
+        });
+  }
+  stats.inflight_abandoned = old->in_flight.load(std::memory_order_acquire);
+  stats.drained = stats.inflight_abandoned == 0;
+  stats.drain_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  // Retire the pools the new epoch did NOT carry over: their idle
+  // connections close now, and any lease still held by an abandoned
+  // old-epoch query is discarded on return — a retired-epoch connection
+  // never serves the new ring.
+  for (const auto& [id, st] : old->shards) {
+    const auto it = fresh->shards.find(id);
+    if (it == fresh->shards.end() || it->second.get() != st.get()) {
+      st->pool->retire();
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    handover_ = stats;
+  }
+  GS_INFO("router: epoch " << stats.epoch_to << " committed ("
+                           << (stats.drained ? "drained" : "drain timeout")
+                           << " in " << stats.drain_seconds << "s, "
+                           << stats.inflight_abandoned
+                           << " old-epoch queries still running)");
+  return stats;
+}
+
+HandoverStats Router::handover_stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return handover_;
 }
 
 // ---- observability -------------------------------------------------------
@@ -531,14 +678,15 @@ RouterStats Router::stats() const {
 
 json::Value Router::stats_json() const {
   json::Object obj;
+  const std::shared_ptr<EpochState> ep = snapshot();
 
   // The Handler contract: report the dataset behind this endpoint. The
   // router itself never opens it, so ask a shard (once, lazily).
   {
     std::lock_guard<std::mutex> lock(dataset_mu_);
     if (dataset_.empty()) {
-      for (const auto& [id, st] : shards_) {
-        if (!health_.alive(id)) continue;
+      for (const auto& [id, st] : ep->shards) {
+        if (!ep->health->alive(id)) continue;
         try {
           auto lease = st->pool->acquire();
           try {
@@ -558,9 +706,10 @@ json::Value Router::stats_json() const {
   }
 
   json::Object router;
-  router["epoch"] = json::Value(static_cast<std::int64_t>(map_->epoch()));
+  router["epoch"] = json::Value(static_cast<std::int64_t>(ep->map->epoch()));
   router["ring_crc"] =
-      json::Value(static_cast<std::int64_t>(map_->ring_crc()));
+      json::Value(static_cast<std::int64_t>(ep->map->ring_crc()));
+  router["handover"] = handover_stats().to_json();
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     router["queries"] = json::Value(static_cast<std::int64_t>(stats_.queries));
@@ -582,8 +731,8 @@ json::Value Router::stats_json() const {
   }
 
   json::Array shard_arr;
-  const auto snapshots = health_.snapshot();
-  for (const auto& [id, st] : shards_) {
+  const auto snapshots = ep->health->snapshot();
+  for (const auto& [id, st] : ep->shards) {
     json::Object s;
     s["id"] = json::Value(st->info.id);
     s["endpoint"] = json::Value(st->info.endpoint);

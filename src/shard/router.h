@@ -27,8 +27,22 @@
 //     Response::degraded is set, bad_blocks counts the missing blocks,
 //     and status.message names the missing shard(s) — never a silently
 //     wrong answer.
+//
+// Epoch handover (reload_map): membership lives in an immutable
+// EpochState (map + ring + health + per-shard pools) behind one
+// shared_ptr. Every query pins the state it started under, so a reload
+// is a two-phase flip: validate the candidate map, publish a NEW state
+// atomically (new queries route under the new ring immediately; pools
+// and health of unchanged shards carry over), then wait — bounded by
+// drain_timeout_ms — for the old state's in-flight queries to finish
+// before retiring its replaced connection pools. A query pinned to the
+// old epoch either completes there (daemons keep the previous epoch
+// answerable through a grace window) or degrades explicitly; it is never
+// answered under a ring it did not pin. Fault sites: "shard.reload"
+// (validation), "shard.drain" (between publish and drain).
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -48,6 +62,7 @@
 #include "rpc/server.h"
 #include "shard/health.h"
 #include "shard/map.h"
+#include "shard/reshard.h"
 #include "svc/query.h"
 
 namespace gs::shard {
@@ -71,6 +86,10 @@ struct RouterConfig {
   /// Per-shard connection settings (dial/io/call timeouts, wire retries).
   rpc::ClientConfig client;
   std::size_t pool_max_idle = 4;
+  /// Epoch handover: how long reload_map waits for queries pinned to the
+  /// old epoch to finish before abandoning the wait (they still complete;
+  /// only the bookkeeping stops blocking). <= 0 skips the wait.
+  std::int64_t drain_timeout_ms = 2000;
 };
 
 /// Cumulative router counters (see stats_json() for the full picture
@@ -107,8 +126,23 @@ class Router : public rpc::Handler {
   /// Stops admission, drains queued queries, joins workers + probe.
   void shutdown();
 
-  const ShardMap& map() const { return *map_; }
-  const HealthTracker& health() const { return health_; }
+  /// Adopts `next` as the routing epoch (the router half of a handover).
+  /// Validates (throws gs::Error and keeps routing the old epoch on a bad
+  /// map), publishes the new EpochState atomically — connection pools and
+  /// health state of shards whose (id, endpoint) survive carry over —
+  /// then drains the old epoch's in-flight queries behind
+  /// config().drain_timeout_ms and retires the pools it replaced.
+  /// Serialized against concurrent reloads; never blocks queries.
+  HandoverStats reload_map(std::shared_ptr<const ShardMap> next);
+
+  /// The last handover's bookkeeping; zero-valued before the first.
+  HandoverStats handover_stats() const;
+
+  /// Snapshot of the serving map (immutable; epoch flips swap the ptr).
+  std::shared_ptr<const ShardMap> map() const;
+  /// Current epoch's tracker. The reference is invalidated by the NEXT
+  /// reload_map — callers poll it between reloads, never across them.
+  const HealthTracker& health() const;
   RouterStats stats() const;
 
  private:
@@ -119,6 +153,34 @@ class Router : public rpc::Handler {
     Samples latencies;      ///< seconds per successful sub-call
     std::uint64_t calls = 0;
     std::uint64_t errors = 0;
+  };
+
+  /// One epoch's complete routing state, immutable once published. Every
+  /// query pins the EpochState it started under via shared_ptr, so a
+  /// reload can swap the current pointer without touching queries in
+  /// flight. ShardStates are shared between consecutive epochs when the
+  /// shard's (id, endpoint) is unchanged — pools and latency history
+  /// survive a flip.
+  struct EpochState {
+    std::shared_ptr<const ShardMap> map;
+    Ring ring;
+    std::unique_ptr<HealthTracker> health;
+    std::map<std::string, std::shared_ptr<ShardState>> shards;
+    std::atomic<std::uint64_t> in_flight{0};
+
+    EpochState(std::shared_ptr<const ShardMap> m, const RouterConfig& config,
+               const EpochState* carry);
+  };
+
+  /// RAII pin: holds the epoch a query routes under and counts it
+  /// in-flight; the destructor wakes a draining reload_map.
+  struct Pin {
+    Router* router = nullptr;
+    std::shared_ptr<EpochState> ep;
+
+    Pin(Router* r, std::shared_ptr<EpochState> e);
+    Pin(Pin&&) = delete;
+    ~Pin();
   };
 
   struct Job {
@@ -137,38 +199,50 @@ class Router : public rpc::Handler {
   void worker_main();
   void probe_main();
 
+  /// The current epoch, unpinned (probe loop, stats, accessors).
+  std::shared_ptr<EpochState> snapshot() const;
+
   svc::Response route(const svc::Request& request);
-  /// Scatters `body` (with a ShardSelector per shard) to every shard in
-  /// the map concurrently and gathers the results in map order.
-  std::vector<SubResult> scatter(const svc::Request& base,
+  /// Scatters `body` (with a ShardSelector per shard) to every shard of
+  /// the pinned epoch concurrently, gathering in map order.
+  std::vector<SubResult> scatter(EpochState& ep, const svc::Request& base,
                                  const svc::QueryBody& body);
   /// One shard's sub-query through its failover candidates.
-  SubResult scatter_one(const svc::Request& base, const svc::QueryBody& body,
+  SubResult scatter_one(EpochState& ep, const svc::Request& base,
+                        const svc::QueryBody& body,
                         const std::string& act_as);
   /// act_as first, then (with failover) every other shard in a
   /// deterministic ring-derived order.
-  std::vector<std::string> candidates(const std::string& act_as) const;
+  std::vector<std::string> candidates(const EpochState& ep,
+                                      const std::string& act_as) const;
   /// One call on one daemon's pooled connection; throws IoError on
   /// transport failure (after fault::with_retries' attempts).
   svc::Response subcall(ShardState& state, const svc::Request& sub);
 
   // Verb merges (each throws gs::Error -> internal_error on
   // disagreement between shards).
-  svc::Response merge_scattered(const svc::Request& request);
-  svc::Response merge_list_variables(const svc::Request& request);
+  svc::Response merge_scattered(EpochState& ep, const svc::Request& request);
+  svc::Response merge_list_variables(EpochState& ep,
+                                     const svc::Request& request);
   /// Validates partial metadata across parts (equal totals, no coverage
   /// overlap), fills response.degraded/bad_blocks/status.message, and
   /// returns the parts with ok responses. Throws on inconsistency.
   std::vector<const svc::Response*> check_partials(
-      const std::vector<SubResult>& results, svc::Response& response);
+      const EpochState& ep, const std::vector<SubResult>& results,
+      svc::Response& response);
 
-  ShardState& state(const std::string& id);
+  static ShardState& state(EpochState& ep, const std::string& id);
 
-  std::shared_ptr<const ShardMap> map_;
   RouterConfig config_;
-  Ring ring_;
-  HealthTracker health_;
-  std::map<std::string, std::unique_ptr<ShardState>> shards_;
+
+  /// Current epoch (epoch_mu_ guards the pointer swap and the drain
+  /// wait; the pointee is immutable). drain_cv_ wakes reload_map when an
+  /// old epoch's last pinned query finishes.
+  mutable std::mutex epoch_mu_;
+  std::shared_ptr<EpochState> epoch_;
+  std::condition_variable drain_cv_;
+  std::mutex reload_mu_;  ///< serializes concurrent reload_map calls
+  HandoverStats handover_;  ///< guarded by stats_mu_
 
   // Admission queue (mirrors svc::Service's backpressure contract).
   mutable std::mutex queue_mu_;

@@ -42,8 +42,12 @@ enum class StatusCode {
   bad_request,        ///< invalid variable/step/box/bins
   shutting_down,      ///< service no longer accepts work
   internal_error,     ///< unexpected failure while executing
+  /// Sub-query pinned an epoch this daemon no longer (or not yet)
+  /// serves. RETRYABLE — the router tries a replica or degrades
+  /// explicitly; distinct from bad_request, which is final.
+  stale_epoch,
 };
-inline constexpr int kNumStatusCodes = 6;
+inline constexpr int kNumStatusCodes = 7;
 
 const char* to_string(StatusCode code);
 

@@ -42,6 +42,7 @@ const char* to_string(StatusCode code) {
     case StatusCode::bad_request: return "bad_request";
     case StatusCode::shutting_down: return "shutting_down";
     case StatusCode::internal_error: return "internal_error";
+    case StatusCode::stale_epoch: return "stale_epoch";
   }
   return "?";
 }
@@ -68,7 +69,9 @@ Service::Service(std::string path, ServiceConfig config)
   cache_ = std::make_unique<BlockCache>(config_.cache_bytes,
                                         config_.cache_shards);
   if (config_.shard_map) {
-    ring_ = std::make_unique<shard::Ring>(*config_.shard_map);
+    shard_current_.map = config_.shard_map;
+    shard_current_.ring = std::make_shared<const shard::Ring>(
+        *config_.shard_map);
   }
   workers_.reserve(config_.threads);
   for (std::size_t t = 0; t < config_.threads; ++t) {
@@ -198,6 +201,8 @@ void Service::process(Job job) {
       response.body = job.request.shard.has_value()
                           ? execute_partial(job.request, response)
                           : execute(job.request.body, response);
+    } catch (const shard::StaleEpochError& e) {
+      status = {StatusCode::stale_epoch, e.what()};
     } catch (const gs::Error& e) {
       status = {StatusCode::bad_request, e.what()};
     } catch (const std::exception& e) {
@@ -301,17 +306,39 @@ ResponseBody Service::execute(const QueryBody& body, Response& response) {
       body);
 }
 
+Service::ShardEpoch Service::pin_epoch(const ShardSelector& sel) const {
+  ShardEpoch ep;
+  {
+    const std::lock_guard<std::mutex> lock(shard_mu_);
+    GS_REQUIRE(shard_current_.map != nullptr,
+               "shard sub-query to a daemon without a shard map");
+    if (sel.epoch == shard_current_.map->epoch()) {
+      ep = shard_current_;
+    } else if (shard_prev_.map != nullptr &&
+               sel.epoch == shard_prev_.map->epoch() &&
+               SteadyClock::now() < prev_expires_) {
+      ep = shard_prev_;
+    } else {
+      GS_THROW(shard::StaleEpochError,
+               "sub-query pins epoch " << sel.epoch << ", daemon serves "
+                                       << shard_current_.map->epoch());
+    }
+  }
+  // Same epoch, different ring: two maps claim the same epoch number —
+  // split-brain placement, final refusal, NOT a retryable flip.
+  GS_REQUIRE(sel.ring_crc == ep.map->ring_crc(),
+             "shard map mismatch: daemon has epoch "
+                 << ep.map->epoch() << "/ring " << ep.map->ring_crc()
+                 << ", request carries epoch " << sel.epoch << "/ring "
+                 << sel.ring_crc);
+  return ep;
+}
+
 ResponseBody Service::execute_partial(const Request& request,
                                       Response& response) {
   const ShardSelector& sel = *request.shard;
-  GS_REQUIRE(config_.shard_map != nullptr,
-             "shard sub-query to a daemon without a shard map");
-  const shard::ShardMap& map = *config_.shard_map;
-  GS_REQUIRE(sel.epoch == map.epoch() && sel.ring_crc == map.ring_crc(),
-             "shard map mismatch: daemon has epoch "
-                 << map.epoch() << "/ring " << map.ring_crc()
-                 << ", request carries epoch " << sel.epoch << "/ring "
-                 << sel.ring_crc);
+  const ShardEpoch ep = pin_epoch(sel);
+  const shard::ShardMap& map = *ep.map;
   GS_REQUIRE(map.find(sel.act_as) != nullptr,
              "unknown shard '" << sel.act_as << "' in sub-query");
 
@@ -319,7 +346,7 @@ ResponseBody Service::execute_partial(const Request& request,
   meta.epoch = map.epoch();
   const auto owned = [&](const std::string& variable, std::int64_t step,
                          std::size_t block) {
-    return ring_->owner(shard::Ring::block_key(variable, step, block)) ==
+    return ep.ring->owner(shard::Ring::block_key(variable, step, block)) ==
            sel.act_as;
   };
 
@@ -375,14 +402,14 @@ ResponseBody Service::execute_partial(const Request& request,
             Box3 plane{{0, 0, 0}, info.shape};
             plane.start.axis(q.axis) = q.coord;
             plane.count.axis(q.axis) = 1;
-            auto values = read_owned(q.variable, q.step, plane, sel.act_as,
-                                     meta, response);
+            auto values = read_owned(q.variable, q.step, plane, *ep.ring,
+                                     sel.act_as, meta, response);
             return Slice2DR{
                 analysis::extract_slice(values, plane.count, q.axis, 0)};
           },
           [&](const ReadBoxQ& q) -> ResponseBody {
-            auto values = read_owned(q.variable, q.step, q.box, sel.act_as,
-                                     meta, response);
+            auto values = read_owned(q.variable, q.step, q.box, *ep.ring,
+                                     sel.act_as, meta, response);
             return ReadBoxR{q.box, std::move(values)};
           }},
       request.body);
@@ -390,9 +417,113 @@ ResponseBody Service::execute_partial(const Request& request,
   return body;
 }
 
+shard::ReplacementStats Service::reload_shard_map(
+    std::shared_ptr<const shard::ShardMap> next) {
+  GS_REQUIRE(next != nullptr, "reload_shard_map needs a map");
+  const std::lock_guard<std::mutex> rlock(reload_mu_);
+
+  ShardEpoch current;
+  {
+    const std::lock_guard<std::mutex> lock(shard_mu_);
+    current = shard_current_;
+  }
+  GS_REQUIRE(current.map != nullptr,
+             "daemon without a shard map cannot adopt one by reload");
+  shard::validate_successor(*current.map, *next);
+  auto next_ring = std::make_shared<const shard::Ring>(*next);
+
+  shard::ReplacementStats stats;
+  stats.epoch_from = current.map->epoch();
+  stats.epoch_to = next->epoch();
+
+  // Replacement plan: exactly the blocks the new ring assigns to THIS
+  // daemon that the old ring assigned elsewhere — the ring's minimal
+  // movement, per owner.
+  struct Gained {
+    std::string variable;
+    std::int64_t step;
+    std::size_t block;
+  };
+  std::vector<Gained> gained;
+  if (!config_.shard_id.empty() && next->find(config_.shard_id) != nullptr) {
+    for (const auto& name : reader_.variable_names()) {
+      const auto info = reader_.info(name);
+      for (std::int64_t step = 0; step < info.steps; ++step) {
+        std::size_t n_blocks = 0;
+        try {
+          n_blocks = reader_.blocks(name, step).size();
+        } catch (const gs::Error&) {
+          continue;  // scalar/blockless variable: nothing to place
+        }
+        for (std::size_t b = 0; b < n_blocks; ++b) {
+          const std::string key = shard::Ring::block_key(name, step, b);
+          if (next_ring->owner(key) == config_.shard_id &&
+              current.ring->owner(key) != config_.shard_id) {
+            gained.push_back(Gained{name, step, b});
+          }
+        }
+      }
+    }
+  }
+  stats.blocks_planned = gained.size();
+
+  // Atomic flip: the new epoch starts answering immediately; the old one
+  // stays answerable for the grace window so routers can finish their
+  // staggered flip without a single wrong or refused answer.
+  const auto t0 = SteadyClock::now();
+  {
+    const std::lock_guard<std::mutex> lock(shard_mu_);
+    shard_prev_ = std::move(shard_current_);
+    shard_current_ = ShardEpoch{next, next_ring};
+    prev_expires_ =
+        t0 + std::chrono::duration_cast<SteadyClock::duration>(
+                 std::chrono::duration<double>(config_.reload_grace_seconds));
+  }
+
+  // REPLACING: warm every gained block through the CRC-verified read
+  // path into the cache/mmap tier. A block that fails stays degraded-
+  // not-wrong — queries salvage around it exactly as for damage.
+  for (const Gained& g : gained) {
+    try {
+      fault::Injector::instance().check("shard.replace");
+      Response scratch;
+      const BlockRef ref =
+          fetch_block_ref(g.variable, g.step, g.block, scratch);
+      if (!ref.ok()) {
+        ++stats.blocks_failed;
+        continue;
+      }
+      stats.bytes_moved += ref.data.size() * sizeof(double);
+      ++stats.blocks_moved;
+    } catch (const IoError& e) {
+      ++stats.blocks_failed;
+      GS_WARN("svc: replacement of block " << g.block << " of " << g.variable
+                                           << " step " << g.step
+                                           << " failed: " << e.what());
+    }
+  }
+  stats.seconds =
+      std::chrono::duration<double>(SteadyClock::now() - t0).count();
+  {
+    const std::lock_guard<std::mutex> lock(shard_mu_);
+    reshard_stats_ = stats;
+  }
+  GS_INFO("svc: adopted shard map epoch "
+          << stats.epoch_to << " (from " << stats.epoch_from << "): "
+          << stats.blocks_moved << "/" << stats.blocks_planned
+          << " blocks warmed, " << stats.blocks_failed << " failed");
+  return stats;
+}
+
+shard::ReplacementStats Service::reshard_stats() const {
+  const std::lock_guard<std::mutex> lock(shard_mu_);
+  return reshard_stats_;
+}
+
 std::vector<double> Service::read_owned(const std::string& variable,
                                         std::int64_t step,
                                         const Box3& selection,
+                                        const shard::Ring& ring,
                                         const std::string& act_as,
                                         PartialMeta& meta,
                                         Response& response) {
@@ -409,7 +540,7 @@ std::vector<double> Service::read_owned(const std::string& variable,
 
   std::vector<double> out(static_cast<std::size_t>(selection.volume()), 0.0);
   for (std::size_t b = 0; b < blks.size(); ++b) {
-    if (ring_->owner(shard::Ring::block_key(variable, step, b)) != act_as) {
+    if (ring.owner(shard::Ring::block_key(variable, step, b)) != act_as) {
       continue;
     }
     const Box3 overlap = blks[b].box.intersect(selection);
@@ -590,6 +721,7 @@ MetricsSnapshot Service::metrics() const {
     m.bad_request += row[static_cast<std::size_t>(StatusCode::bad_request)];
     m.internal_error +=
         row[static_cast<std::size_t>(StatusCode::internal_error)];
+    m.stale_epoch += row[static_cast<std::size_t>(StatusCode::stale_epoch)];
   }
   m.cache = cache_->stats();
   return m;
@@ -606,6 +738,7 @@ json::Value MetricsSnapshot::to_json() const {
   o["deadline_exceeded"] = json::Value(deadline_exceeded);
   o["bad_request"] = json::Value(bad_request);
   o["internal_error"] = json::Value(internal_error);
+  o["stale_epoch"] = json::Value(stale_epoch);
   o["degraded"] = json::Value(degraded);
 
   json::Object verbs;
@@ -681,7 +814,7 @@ json::Value MetricsSnapshot::to_json() const {
 
 std::string MetricsSnapshot::report() const {
   TableFormatter t({"verb", "ok", "busy", "deadline", "bad", "shutdown",
-                    "error"});
+                    "error", "stale"});
   for (int v = 0; v < kNumVerbs; ++v) {
     const auto& row = by_verb_outcome[static_cast<std::size_t>(v)];
     const auto cell = [&row](StatusCode c) {
@@ -690,7 +823,7 @@ std::string MetricsSnapshot::report() const {
     t.row({to_string(static_cast<Verb>(v)), cell(StatusCode::ok),
            cell(StatusCode::server_busy), cell(StatusCode::deadline_exceeded),
            cell(StatusCode::bad_request), cell(StatusCode::shutting_down),
-           cell(StatusCode::internal_error)});
+           cell(StatusCode::internal_error), cell(StatusCode::stale_epoch)});
   }
   std::ostringstream oss;
   oss << t.str();

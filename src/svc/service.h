@@ -42,6 +42,7 @@
 #include "config/json.h"
 #include "prof/profiler.h"
 #include "shard/map.h"
+#include "shard/reshard.h"
 #include "svc/cache.h"
 #include "svc/query.h"
 
@@ -85,6 +86,14 @@ struct ServiceConfig {
   /// attached for the router's exact merge. Requests without a selector
   /// are served whole, exactly as on a non-member daemon.
   std::shared_ptr<const shard::ShardMap> shard_map;
+  /// This daemon's own id within shard_map (gsserved --shard-id). Used
+  /// during an epoch handover to warm exactly the blocks the new ring
+  /// newly assigns to this daemon; empty skips replacement warming.
+  std::string shard_id;
+  /// After reload_shard_map flips to a new epoch, sub-queries pinning the
+  /// PREVIOUS epoch stay answerable for this long (the routers' staggered
+  /// flip window). Past it they refuse with stale_epoch.
+  double reload_grace_seconds = 2.0;
 };
 
 /// Per-tenant slice of the service metrics (requests tagged with
@@ -111,6 +120,9 @@ struct MetricsSnapshot {
   std::uint64_t deadline_exceeded = 0;
   std::uint64_t bad_request = 0;
   std::uint64_t internal_error = 0;
+  /// Sub-queries refused because they pinned an epoch this daemon no
+  /// longer (or not yet) serves — retryable, the routers' signal.
+  std::uint64_t stale_epoch = 0;
   /// ok() responses that skipped damaged blocks (Response::degraded).
   std::uint64_t degraded = 0;
 
@@ -145,7 +157,7 @@ struct MetricsSnapshot {
   /// Every submitted request is accounted for exactly once.
   std::uint64_t accounted() const {
     return completed_ok + rejected_busy + rejected_shutdown +
-           deadline_exceeded + bad_request + internal_error;
+           deadline_exceeded + bad_request + internal_error + stale_epoch;
   }
 
   json::Value to_json() const;
@@ -176,6 +188,23 @@ class Service {
   /// the workers. Idempotent; also runs on destruction.
   void shutdown();
 
+  /// Adopts `next` as the serving shard map (the daemon half of an epoch
+  /// handover). Validates it against the current epoch (strictly
+  /// increasing, sane membership — throws gs::Error and keeps serving the
+  /// old epoch otherwise), atomically publishes the new ring while the
+  /// old epoch stays answerable for config().reload_grace_seconds, then
+  /// warms every block the new ring newly assigns to config().shard_id
+  /// through the CRC-verified read path, accounting the cost. Serialized
+  /// against concurrent reloads; queries keep flowing throughout.
+  /// Fault sites: "shard.reload" (validation), "shard.replace" (per
+  /// warmed block).
+  shard::ReplacementStats reload_shard_map(
+      std::shared_ptr<const shard::ShardMap> next);
+
+  /// The last handover's replacement accounting ("reshard" in the stats
+  /// RPC); zero-valued before the first reload.
+  shard::ReplacementStats reshard_stats() const;
+
   MetricsSnapshot metrics() const;
 
   const bp::Reader& reader() const { return reader_; }
@@ -198,9 +227,19 @@ class Service {
   void process(Job job);
   /// Executes the verb (cached reads); throws gs::Error for bad input.
   ResponseBody execute(const QueryBody& body, Response& response);
+  /// One epoch's placement: the map and its ring, swapped as a unit.
+  struct ShardEpoch {
+    std::shared_ptr<const shard::ShardMap> map;
+    std::shared_ptr<const shard::Ring> ring;
+  };
+  /// Resolves the epoch a sub-query pins: the current one, or the
+  /// previous one within its grace window. Throws StaleEpochError
+  /// (-> stale_epoch, retryable) when the pinned epoch is neither;
+  /// throws gs::Error (-> BadRequest, final) on same-epoch ring_crc
+  /// disagreement — that is split-brain, not a flip in progress.
+  ShardEpoch pin_epoch(const ShardSelector& sel) const;
   /// Shard sub-query: answers only for the blocks `request.shard->act_as`
-  /// owns and attaches PartialMeta. Throws gs::Error (-> BadRequest) on
-  /// placement disagreement (epoch/ring mismatch, unknown shard, no map).
+  /// owns under the pinned epoch and attaches PartialMeta.
   ResponseBody execute_partial(const Request& request, Response& response);
   /// Selection read through the block cache; bitwise-identical to
   /// bp::Reader::read on the same selection.
@@ -226,11 +265,12 @@ class Service {
   /// route. Maintains the response's fetch counters on both routes.
   BlockRef fetch_block_ref(const std::string& variable, std::int64_t step,
                            std::size_t block, Response& response);
-  /// read_selection restricted to the blocks `act_as` owns: unowned cells
-  /// stay zero, coverage boxes (selection-local) and block counts land in
-  /// `meta` for the router's overlay merge.
+  /// read_selection restricted to the blocks `act_as` owns under `ring`:
+  /// unowned cells stay zero, coverage boxes (selection-local) and block
+  /// counts land in `meta` for the router's overlay merge.
   std::vector<double> read_owned(const std::string& variable,
                                  std::int64_t step, const Box3& selection,
+                                 const shard::Ring& ring,
                                  const std::string& act_as, PartialMeta& meta,
                                  Response& response);
   void count_outcome(Verb verb, StatusCode code, double latency_seconds,
@@ -241,9 +281,17 @@ class Service {
   bp::Reader reader_;
   ServiceConfig config_;
   std::unique_ptr<BlockCache> cache_;
-  /// Placement ring over config_.shard_map (null on non-member daemons).
-  std::unique_ptr<shard::Ring> ring_;
   SteadyClock::time_point epoch_;
+
+  // Shard placement (all null/zero on non-member daemons). shard_mu_
+  // guards the epoch pair; workers snapshot the shared_ptrs and drop the
+  // lock, so a reload never blocks behind a long query.
+  mutable std::mutex shard_mu_;
+  ShardEpoch shard_current_;
+  ShardEpoch shard_prev_;
+  SteadyClock::time_point prev_expires_{};
+  shard::ReplacementStats reshard_stats_;
+  std::mutex reload_mu_;  ///< serializes concurrent reload_shard_map calls
 
   // Admission queue (queue_mu_ also guards the depth high-water mark).
   mutable std::mutex queue_mu_;

@@ -668,6 +668,106 @@ TEST(RpcClientPool, ConcurrentLeaseReturnDiscardNeverDoubleLeases) {
   server.shutdown();
 }
 
+TEST(RpcClientPool, RetiredPoolDiscardsEveryLeaseAndStillDialsFresh) {
+  gs::svc::Service service(dataset());
+  Server server(service);
+  ClientPool pool(server.endpoint(), ClientConfig{}, /*max_idle=*/4);
+
+  {
+    auto lease = pool.acquire();
+    lease->ping();
+  }
+  EXPECT_EQ(pool.stats().idle, 1u);
+
+  {
+    auto held = pool.acquire();  // in flight when the epoch retires
+    held->ping();
+    pool.retire();
+    EXPECT_TRUE(pool.retired());
+    EXPECT_EQ(pool.stats().idle, 0u) << "idle connections close immediately";
+    // The lease keeps working mid-flip — the query pinned to the old
+    // epoch completes on its old connection...
+    EXPECT_TRUE(held->field_stats("U", 0).ok());
+  }
+  // ...but on return it is DISCARDED, never pooled: a connection leased
+  // under a retired epoch can never resurface to serve the next one.
+  EXPECT_EQ(pool.stats().idle, 0u);
+  EXPECT_EQ(pool.stats().discarded, 1u);
+
+  // acquire() still works (each call dials fresh) so mid-flip failover
+  // keeps its transport; the fresh connection is discarded on return too.
+  {
+    auto fresh = pool.acquire();
+    EXPECT_TRUE(fresh->field_stats("V", 0).ok());
+  }
+  EXPECT_EQ(pool.stats().idle, 0u);
+  EXPECT_EQ(pool.stats().discarded, 2u);
+  server.shutdown();
+}
+
+// ---- reload_map admin RPC ------------------------------------------------
+
+TEST(RpcAdmin, ReloadMapRequiresTokenAndHook) {
+  gs::svc::Service service(dataset());
+  // A refusal surfaces as IoError, which the client's transport retry
+  // loop would re-send; one attempt keeps the refusal counters exact.
+  ClientConfig once;
+  once.retries = 1;
+
+  // No admin token configured: the verb is disabled outright.
+  {
+    Server server(service);
+    Client client(server.endpoint(), once);
+    EXPECT_THROW(client.reload_map("any"), gs::IoError);
+    EXPECT_EQ(server.stats().reloads_refused, 1u);
+    EXPECT_EQ(server.stats().reloads, 0u);
+    server.shutdown();
+  }
+
+  std::atomic<int> hook_calls{0};
+  std::atomic<bool> hook_throws{false};
+  ServerConfig config;
+  config.admin_token = "sesame";
+  config.reload_hook = [&]() -> gs::json::Value {
+    ++hook_calls;
+    if (hook_throws.load()) {
+      GS_THROW(gs::Error, "candidate map rejected");
+    }
+    gs::json::Object o;
+    o["epoch_to"] = gs::json::Value(std::int64_t{2});
+    return gs::json::Value(std::move(o));
+  };
+  Server server(service, config);
+  Client client(server.endpoint(), once);
+
+  // Wrong token: refused BEFORE the hook runs.
+  EXPECT_THROW(client.reload_map("wrong"), gs::IoError);
+  EXPECT_EQ(hook_calls.load(), 0);
+  EXPECT_EQ(server.stats().reloads_refused, 1u);
+
+  // Right token: the hook's JSON report comes back verbatim.
+  const gs::json::Value report = client.reload_map("sesame");
+  EXPECT_EQ(report.at("epoch_to").as_int(), 2);
+  EXPECT_EQ(hook_calls.load(), 1);
+  EXPECT_EQ(server.stats().reloads, 1u);
+
+  // A hook that throws (map rejected) surfaces the reason to the admin
+  // and counts as refused — the old epoch keeps serving.
+  hook_throws = true;
+  try {
+    client.reload_map("sesame");
+    FAIL() << "a rejected reload must surface as an error";
+  } catch (const gs::IoError& e) {
+    EXPECT_NE(std::string(e.what()).find("rejected"), std::string::npos);
+  }
+  EXPECT_EQ(server.stats().reloads_refused, 2u);
+  EXPECT_EQ(server.stats().reloads, 1u);
+
+  // The connection survives a refusal: normal queries keep flowing.
+  EXPECT_TRUE(client.field_stats("U", 0).ok());
+  server.shutdown();
+}
+
 TEST(RpcStream, SubscribeWithoutLiveStreamIsRefused) {
   gs::svc::Service service(dataset());
   Server server(service);  // no live stream

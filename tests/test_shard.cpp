@@ -13,15 +13,20 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
+#include <fstream>
+#include <functional>
 #include <map>
 #include <memory>
 #include <random>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bp/writer.h"
 #include "common/stats.h"
+#include "fault/fault.h"
 #include "grid/decomp.h"
 #include "mpi/runtime.h"
 #include "rpc/pool.h"
@@ -29,6 +34,7 @@
 #include "rpc/wire.h"
 #include "shard/health.h"
 #include "shard/map.h"
+#include "shard/reshard.h"
 #include "shard/router.h"
 #include "svc/merge.h"
 #include "svc/service.h"
@@ -486,11 +492,13 @@ TEST_F(ShardPartial, PartialsCoverEveryBlockExactlyOnce) {
 }
 
 TEST_F(ShardPartial, EpochMismatchIsRefusedLoudly) {
+  // An epoch the daemon does not serve is RETRYABLE stale_epoch (the
+  // expected transient of a staggered flip), not bad_request.
   svc::Request request;
   request.body = svc::FieldStatsQ{"U", 1};
   request.shard = svc::ShardSelector{99, map_->ring_crc(), "s0"};
   const svc::Response r = service_->call(std::move(request));
-  EXPECT_EQ(r.status.code, svc::StatusCode::bad_request);
+  EXPECT_EQ(r.status.code, svc::StatusCode::stale_epoch);
   EXPECT_NE(r.status.message.find("epoch"), std::string::npos);
 
   svc::Request bad_crc;
@@ -672,6 +680,400 @@ TEST(ShardRouter, SingleShardClusterIsJustAProxy) {
   Cluster cluster(1, {}, "one");
   svc::Service single(dataset(), svc::ServiceConfig{});
   expect_identical_answers(*cluster.router, single, "1-shard");
+}
+
+// ---- epoch handover: candidate validation --------------------------------
+
+/// Runs `fn`, returning the gs::Error message it threw ("" = no throw).
+std::string error_of(const std::function<void()>& fn) {
+  try {
+    fn();
+  } catch (const gs::Error& e) {
+    return e.what();
+  }
+  return {};
+}
+
+TEST(Reshard, ValidateSuccessorGivesDistinctOneLineReasons) {
+  const shard::ShardMap serving = make_map(3);
+
+  // A real grow and a vnode retune are both fine successors.
+  EXPECT_NO_THROW(shard::validate_successor(serving, make_map(4, 2)));
+  EXPECT_NO_THROW(
+      shard::validate_successor(serving, make_map(3, 2, /*vnodes=*/32)));
+
+  EXPECT_NE(error_of([&] {
+              shard::validate_successor(serving, make_map(4, 1));
+            }).find("epoch must increase"),
+            std::string::npos)
+      << "equal epoch must be refused by name";
+  EXPECT_NE(error_of([&] {
+              shard::validate_successor(make_map(3, 5), make_map(4, 2));
+            }).find("epoch must increase"),
+            std::string::npos)
+      << "going backwards must be refused by name";
+  EXPECT_NE(error_of([&] {
+              shard::validate_successor(serving, make_map(3, 2));
+            }).find("no-op"),
+            std::string::npos)
+      << "same membership + same vnodes under a new epoch is an operator "
+         "mistake";
+
+  std::vector<shard::ShardInfo> strangers;
+  for (int i = 0; i < 3; ++i) {
+    strangers.push_back(shard::ShardInfo{"t" + std::to_string(i), "x"});
+  }
+  EXPECT_NE(error_of([&] {
+              shard::validate_successor(
+                  serving, shard::ShardMap(2, 64, std::move(strangers)));
+            }).find("retains no serving shard"),
+            std::string::npos)
+      << "replacing every shard at once leaves nothing to serve the flip";
+}
+
+TEST(Reshard, DiffMapsClassifiesEveryMembershipChange) {
+  const shard::ShardMap from = make_map(3);  // s0 s1 s2
+  std::vector<shard::ShardInfo> next = {
+      {"s0", "127.0.0.1:7000"},       // untouched
+      {"s1", "unix:/tmp/elsewhere"},  // endpoint moved
+      {"s3", "127.0.0.1:7003"},       // new
+  };
+  const shard::MapDiff diff =
+      shard::diff_maps(from, shard::ShardMap(2, 64, std::move(next)));
+  EXPECT_EQ(diff.added, std::vector<std::string>{"s3"});
+  EXPECT_EQ(diff.removed, std::vector<std::string>{"s2"});
+  EXPECT_EQ(diff.moved, std::vector<std::string>{"s1"});
+  EXPECT_EQ(diff.retained, std::vector<std::string>{"s0"});
+}
+
+TEST(Reshard, FromJsonRejectsMangledMapFilesByName) {
+  const auto parse = [](const char* text) {
+    shard::ShardMap::from_json(gs::json::parse(text));
+  };
+  const auto reason = [&](const char* text) {
+    return error_of([&] { parse(text); });
+  };
+  const char* ok =
+      R"({"epoch": 3, "vnodes": 8, "shards": [{"id": "a", "endpoint": "x"}]})";
+  EXPECT_NO_THROW(parse(ok));
+
+  EXPECT_NE(
+      reason(R"({"epoch": 0, "shards": [{"id": "a", "endpoint": "x"}]})")
+          .find("epoch must be >= 1"),
+      std::string::npos);
+  EXPECT_NE(
+      reason(R"({"epoch": -7, "shards": [{"id": "a", "endpoint": "x"}]})")
+          .find("epoch must be >= 1"),
+      std::string::npos);
+  EXPECT_NE(
+      reason(
+          R"({"vnodes": 0, "shards": [{"id": "a", "endpoint": "x"}]})")
+          .find("vnodes must be >= 1"),
+      std::string::npos);
+  EXPECT_NE(reason(R"({"shards": [{"id": "a", "endpoint": ""}]})")
+                .find("empty endpoint"),
+            std::string::npos);
+  EXPECT_NE(reason(R"({"shards": [{"id": "a"}]})").find("empty endpoint"),
+            std::string::npos)
+      << "a missing endpoint is the same operator error as an empty one";
+  EXPECT_NE(reason(R"({"shards": []})").find("no shards"), std::string::npos);
+  // No shards array at all / not JSON: any exception, never a crash —
+  // from_file wraps these with the path.
+  EXPECT_THROW(parse(R"({"epoch": 2})"), std::exception);
+
+  const std::string path = temp_path("mangled_map") + ".json";
+  std::ofstream(path) << "{definitely not json";
+  EXPECT_NE(error_of([&] { shard::ShardMap::from_file(path); }).find(path),
+            std::string::npos)
+      << "file-level rejections must name the file";
+  fs::remove(path);
+}
+
+// ---- epoch handover: crash-consistent commit -----------------------------
+
+TEST(Reshard, CommitMapSurvivesTornWritesAndMidCommitKills) {
+  const std::string path = temp_path("commit_map") + ".json";
+  fs::remove(path);
+  fs::remove(path + ".staging");
+
+  shard::commit_map(make_map(3), path);
+  EXPECT_EQ(shard::ShardMap::from_file(path).epoch(), 1u);
+
+  // Torn write: the corruption reaches the committed file (that is the
+  // modeled failure), and every reader must then REJECT it loudly instead
+  // of serving from garbage.
+  {
+    gs::fault::Plan plan;
+    plan.corrupt_at("shard.reload", 0);
+    gs::fault::ScopedPlan scoped(plan);
+    shard::commit_map(make_map(4, 2), path);
+  }
+  EXPECT_THROW(shard::ShardMap::from_file(path), gs::Error);
+
+  // A clean commit heals the file in place.
+  shard::commit_map(make_map(4, 2), path);
+  EXPECT_EQ(shard::ShardMap::from_file(path).epoch(), 2u);
+
+  // Kill between the staging write and the rename: the staging file is
+  // left behind, but the COMMITTED map is still (exactly) the old epoch.
+  {
+    gs::fault::Plan plan;
+    plan.kill_at("shard.reload", 1);
+    gs::fault::ScopedPlan scoped(plan);
+    EXPECT_THROW(shard::commit_map(make_map(5, 3), path), gs::fault::Kill);
+  }
+  EXPECT_TRUE(fs::exists(path + ".staging"));
+  EXPECT_EQ(shard::ShardMap::from_file(path).epoch(), 2u)
+      << "a crash mid-commit must leave exactly one committed epoch";
+
+  // Recovery removes the orphan; a second recovery is a no-op.
+  EXPECT_TRUE(shard::recover_map(path));
+  EXPECT_FALSE(fs::exists(path + ".staging"));
+  EXPECT_FALSE(shard::recover_map(path));
+
+  // And the next commit after the "restart" goes through normally.
+  shard::commit_map(make_map(5, 3), path);
+  EXPECT_EQ(shard::ShardMap::from_file(path).epoch(), 3u);
+  fs::remove(path);
+}
+
+// ---- epoch handover: the watcher -----------------------------------------
+
+TEST(Reshard, MapWatcherAppliesTriggersAndRejectsBadMapsLoudly) {
+  const std::string path = temp_path("watcher_map") + ".json";
+  fs::remove(path);
+  shard::commit_map(make_map(3), path);
+
+  std::uint64_t applied_epoch = 0;
+  std::uint64_t applies = 0;
+  const auto apply = [&](shard::ShardMap next) {
+    applied_epoch = next.epoch();
+    ++applies;
+    gs::json::Object o;
+    o["epoch"] = gs::json::Value(static_cast<std::int64_t>(next.epoch()));
+    return gs::json::Value(std::move(o));
+  };
+  // Polling disabled: trigger() runs the check inline (the SIGHUP path of
+  // a daemon with --watch-ms 0).
+  shard::MapWatcher watcher(path, apply, shard::WatcherConfig{0});
+
+  shard::commit_map(make_map(4, 2), path);
+  watcher.trigger();
+  EXPECT_EQ(applies, 1u);
+  EXPECT_EQ(applied_epoch, 2u);
+  EXPECT_EQ(watcher.stats().applied, 1u);
+  EXPECT_EQ(watcher.stats().rejected, 0u);
+
+  // The admin-RPC path returns apply's report synchronously.
+  const gs::json::Value report = watcher.reload_now();
+  EXPECT_EQ(report.at("epoch").as_int(), 2);
+  EXPECT_EQ(watcher.stats().applied, 2u);
+
+  // A torn/garbled file is a counted rejection with the parse reason —
+  // and the apply callback (the serving epoch) is never touched.
+  std::ofstream(path) << "{torn to bits";
+  watcher.trigger();
+  EXPECT_EQ(applies, 2u);
+  EXPECT_EQ(watcher.stats().rejected, 1u);
+  EXPECT_FALSE(watcher.stats().last_error.empty());
+
+  // An apply that throws (validation failure) counts the same way, and
+  // reload_now surfaces it to the admin RPC.
+  shard::commit_map(make_map(4, 2), path);
+  shard::MapWatcher refusing(
+      path,
+      [](shard::ShardMap) -> gs::json::Value {
+        GS_THROW(gs::Error, "candidate refused by validation");
+      },
+      shard::WatcherConfig{0});
+  EXPECT_THROW(refusing.reload_now(), gs::Error);
+  EXPECT_EQ(refusing.stats().rejected, 1u);
+  EXPECT_NE(refusing.stats().last_error.find("refused"), std::string::npos);
+  fs::remove(path);
+}
+
+TEST(Reshard, MapWatcherPollThreadPicksUpACommit) {
+  const std::string path = temp_path("watcher_poll") + ".json";
+  fs::remove(path);
+  shard::commit_map(make_map(3), path);
+
+  std::atomic<std::uint64_t> applied_epoch{0};
+  shard::MapWatcher watcher(
+      path,
+      [&](shard::ShardMap next) {
+        applied_epoch = next.epoch();
+        return gs::json::Value(gs::json::Object{});
+      },
+      shard::WatcherConfig{10});
+
+  shard::commit_map(make_map(4, 2), path);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (applied_epoch.load() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(applied_epoch.load(), 2u)
+      << "the mtime poll alone must notice an atomically committed map";
+  fs::remove(path);
+}
+
+// ---- epoch handover: the daemon's grace window ---------------------------
+
+TEST(Reshard, ServiceKeepsPreviousEpochAnswerableThroughGraceOnly) {
+  const auto map1 = std::make_shared<const shard::ShardMap>(make_map(3));
+  svc::ServiceConfig config;
+  config.shard_map = map1;
+  config.shard_id = "s0";
+  config.reload_grace_seconds = 0.5;
+  svc::Service service(dataset(), std::move(config));
+
+  const auto sub_query = [&](std::uint64_t epoch, std::uint32_t crc) {
+    svc::Request request;
+    request.body = svc::FieldStatsQ{"U", 1};
+    request.shard = svc::ShardSelector{epoch, crc, "s0"};
+    return service.call(std::move(request));
+  };
+  ASSERT_TRUE(sub_query(map1->epoch(), map1->ring_crc()).status.ok());
+
+  // Shrink 3 -> 2: s0 inherits some of s2's blocks and must warm them.
+  const auto map2 = std::make_shared<const shard::ShardMap>(make_map(2, 2));
+  const shard::ReplacementStats stats = service.reload_shard_map(map2);
+  EXPECT_EQ(stats.epoch_from, 1u);
+  EXPECT_EQ(stats.epoch_to, 2u);
+  EXPECT_EQ(stats.blocks_moved, stats.blocks_planned);
+  EXPECT_EQ(stats.blocks_failed, 0u);
+  EXPECT_EQ(service.reshard_stats().epoch_to, 2u);
+
+  // Both epochs answer during the grace window (the routers' staggered
+  // flip): the new one immediately, the old one until it expires.
+  EXPECT_TRUE(sub_query(map2->epoch(), map2->ring_crc()).status.ok());
+  EXPECT_TRUE(sub_query(map1->epoch(), map1->ring_crc()).status.ok())
+      << "the previous epoch must stay answerable within the grace window";
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(700));
+  const svc::Response late = sub_query(map1->epoch(), map1->ring_crc());
+  EXPECT_EQ(late.status.code, svc::StatusCode::stale_epoch)
+      << "past the grace window the old epoch is refused as retryable";
+  EXPECT_TRUE(sub_query(map2->epoch(), map2->ring_crc()).status.ok());
+  EXPECT_GE(service.metrics().stale_epoch, 1u);
+
+  // A non-increasing candidate is rejected and changes nothing.
+  EXPECT_THROW(service.reload_shard_map(map2), gs::Error);
+  EXPECT_TRUE(sub_query(map2->epoch(), map2->ring_crc()).status.ok());
+}
+
+// ---- epoch handover: the router flip -------------------------------------
+
+TEST(ShardRouter, ReloadMapFlipsEpochCarriesPoolsAndStaysExact) {
+  Cluster cluster(3, {}, "reload");
+  svc::Service single(dataset(), svc::ServiceConfig{});
+  expect_identical_answers(*cluster.router, single, "before flip");
+
+  // Same membership, retuned vnodes: every shard retained, placement
+  // changes, pools and health must carry over.
+  std::vector<shard::ShardInfo> infos(cluster.map->shards().begin(),
+                                      cluster.map->shards().end());
+  const auto next =
+      std::make_shared<const shard::ShardMap>(2, 32, std::move(infos));
+  for (auto& service : cluster.services) service->reload_shard_map(next);
+  const shard::HandoverStats stats = cluster.router->reload_map(next);
+  EXPECT_EQ(stats.epoch_from, 1u);
+  EXPECT_EQ(stats.epoch_to, 2u);
+  EXPECT_EQ(stats.shards_retained, 3u);
+  EXPECT_EQ(stats.shards_added, 0u);
+  EXPECT_EQ(stats.shards_removed, 0u);
+  EXPECT_EQ(stats.shards_moved, 0u);
+  EXPECT_TRUE(stats.drained) << "no pinned queries: the drain is instant";
+  EXPECT_EQ(stats.inflight_abandoned, 0u);
+
+  EXPECT_EQ(cluster.router->map()->epoch(), 2u);
+  expect_identical_answers(*cluster.router, single, "after flip");
+
+  // Retained shards kept their per-shard state across the flip: the
+  // pre-flip calls are still counted under the new epoch.
+  const gs::json::Value v = cluster.router->stats_json();
+  for (const auto& s : v.at("router").at("shards").as_array()) {
+    EXPECT_GE(s.at("calls").as_int(), 1) << "pool/state not carried over";
+  }
+  EXPECT_EQ(v.at("router").at("handover").at("epoch_to").as_int(), 2);
+
+  // A bad candidate (non-increasing epoch) is rejected loudly and the
+  // serving epoch keeps answering exactly.
+  EXPECT_THROW(cluster.router->reload_map(next), gs::Error);
+  EXPECT_EQ(cluster.router->map()->epoch(), 2u);
+  expect_identical_answers(*cluster.router, single, "after rejected flip");
+}
+
+TEST(ShardRouter, ReloadMapGrowsTheClusterLive) {
+  Cluster cluster(3, {}, "grow");
+  svc::Service single(dataset(), svc::ServiceConfig{});
+
+  std::vector<shard::ShardInfo> infos(cluster.map->shards().begin(),
+                                      cluster.map->shards().end());
+  infos.push_back(shard::ShardInfo{
+      "s3", "unix:" + temp_path("cluster-grow3") + ".sock"});
+  const auto next =
+      std::make_shared<const shard::ShardMap>(2, 64, std::move(infos));
+
+  // The joining daemon starts on the successor map directly; the serving
+  // three flip first (their grace covers the old-epoch router), the
+  // router flips last — the same order the live cluster uses.
+  svc::ServiceConfig config;
+  config.shard_map = next;
+  cluster.services.push_back(
+      std::make_unique<svc::Service>(dataset(), std::move(config)));
+  rpc::ServerConfig server_config;
+  server_config.listen = next->shards()[3].endpoint;
+  cluster.servers.push_back(
+      std::make_unique<rpc::Server>(*cluster.services[3], server_config));
+  for (std::size_t i = 0; i < 3; ++i) {
+    cluster.services[i]->reload_shard_map(next);
+  }
+  const shard::HandoverStats stats = cluster.router->reload_map(next);
+  EXPECT_EQ(stats.shards_added, 1u);
+  EXPECT_EQ(stats.shards_retained, 3u);
+
+  EXPECT_EQ(cluster.router->map()->epoch(), 2u);
+  expect_identical_answers(*cluster.router, single, "grown 3 -> 4");
+  EXPECT_EQ(cluster.router->stats_json()
+                .at("router")
+                .at("shards")
+                .as_array()
+                .size(),
+            4u);
+}
+
+TEST(ShardRouter, NonAckingShardDegradesNamedNeverWrong) {
+  shard::RouterConfig config;
+  config.failover = false;
+  config.attempts = 1;
+  config.client.retries = 1;
+  Cluster cluster(3, config, "noack");
+
+  std::vector<shard::ShardInfo> infos(cluster.map->shards().begin(),
+                                      cluster.map->shards().end());
+  const auto next =
+      std::make_shared<const shard::ShardMap>(2, 32, std::move(infos));
+  // s1 never acknowledges the new epoch; everyone else flips.
+  cluster.services[0]->reload_shard_map(next);
+  cluster.services[2]->reload_shard_map(next);
+  cluster.router->reload_map(next);
+
+  svc::Request stats;
+  stats.body = svc::FieldStatsQ{"U", 1};
+  const svc::Response r = cluster.router->call(std::move(stats));
+  ASSERT_TRUE(r.status.ok()) << r.status.message;
+  EXPECT_TRUE(r.degraded)
+      << "a shard refusing the pinned epoch is degraded, never wrong";
+  EXPECT_GT(r.bad_blocks, 0u);
+  EXPECT_NE(r.status.message.find("missing shard(s) s1"), std::string::npos)
+      << "got: " << r.status.message;
+
+  // The moment s1 acks, the same router heals to exact answers.
+  cluster.services[1]->reload_shard_map(next);
+  svc::Service single(dataset(), svc::ServiceConfig{});
+  expect_identical_answers(*cluster.router, single, "after late ack");
 }
 
 }  // namespace

@@ -1,0 +1,38 @@
+// Shared CLI contract text for the serving-tier tools. gsquery, gsserved
+// and gsrouter print the SAME exit-code table and (for the two daemons)
+// the same reload-trigger table, so operators and scripts read one
+// contract no matter which binary's --help they reach for. Keep this the
+// single copy: a contract that drifts between binaries is worse than no
+// table at all.
+#pragma once
+
+namespace gs::cli {
+
+/// The 0/1/3 exit contract, unchanged by epoch handover: a degraded
+/// answer during a reshard NAMES what is missing and exits 3, exactly
+/// like a degraded answer from a dead shard.
+inline constexpr const char* kExitContract =
+    "exit codes (shared by gsquery / gsserved / gsrouter):\n"
+    "  0  success; every answer complete and exact\n"
+    "  1  hard failure (bad dataset, unreachable endpoint, fatal error)\n"
+    "  2  usage error (bad flags or arguments)\n"
+    "  3  degraded-not-wrong: answers were produced but some blocks or\n"
+    "     shards were missing; stderr names exactly what was skipped.\n"
+    "     A live epoch handover never changes this contract - a shard\n"
+    "     that has not acked the new epoch degrades (exit 3), it is\n"
+    "     never silently wrong.\n";
+
+/// How a serving process adopts a new shard map without restarting.
+/// Printed by gsserved --help and gsrouter --help.
+inline constexpr const char* kReloadTriggers =
+    "shard-map reload triggers (all funnel into one validated apply):\n"
+    "  mtime poll   the map file is re-checked every --watch-ms\n"
+    "               (0 disables polling; the triggers below still work)\n"
+    "  SIGHUP       re-check the map file now\n"
+    "  admin RPC    reload_map frame carrying --admin-token (refused\n"
+    "               without the token; disabled when no token is set)\n"
+    "a candidate map must carry a strictly larger epoch and pass\n"
+    "validation; a rejected map is logged and the old epoch keeps\n"
+    "serving.\n";
+
+}  // namespace gs::cli

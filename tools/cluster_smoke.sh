@@ -8,13 +8,18 @@
 # gsrouter, and checks:
 #   1. every gsquery command answered through the router is byte-identical
 #      to the same command run against the in-process service,
-#   2. kill -KILL of one shard: with failover the router's answers stay
+#   2. live epoch bump 3 -> 4 shards: a 4th daemon joins, the map file is
+#      atomically replaced with an epoch-2 successor and SIGHUPed into
+#      daemons + router WHILE a gsquery loop runs — every answer during
+#      the flip must exit 0 and stay byte-identical, and every process
+#      must log "reloaded",
+#   3. kill -KILL of one shard: with failover the router's answers stay
 #      byte-identical (a replica acts for the dead owner) and gsquery
 #      exits 0,
-#   3. without failover the same query exits 3 with a one-line stderr
+#   4. without failover the same query exits 3 with a one-line stderr
 #      warning NAMING the dead shard, while still printing the partial
 #      answer — degraded loudly, never wrong silently,
-#   4. SIGTERM drains router and shards to clean exit 0.
+#   5. SIGTERM drains router and shards to clean exit 0.
 set -eu
 
 abspath() {
@@ -59,6 +64,20 @@ wait_ready() { # file pid log
   done
 }
 
+# Waits for a log line to appear (reload acks etc.).
+wait_log() { # pattern file
+  tries=0
+  until grep -q "$1" "$2"; do
+    tries=$((tries + 1))
+    if [ "$tries" -gt 100 ]; then
+      echo "FAIL: $2: never logged '$1'" >&2
+      cat "$2" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+}
+
 echo "== generate dataset"
 "$WORKFLOW" "$SETTINGS" 2 >/dev/null
 
@@ -78,7 +97,7 @@ EOF
 echo "== start 3 shard daemons + router"
 for s in s0 s1 s2; do
   "$GSSERVED" --dataset smoke.bp --listen "unix:$WORK/$s.sock" \
-    --shard-map map.json --shard-id "$s" \
+    --shard-map map.json --shard-id "$s" --reload-grace-ms 10000 \
     --ready-file "ready_$s.txt" 2>"serve_$s.log" &
   eval "PID_$s=$!"
   PIDS="$PIDS $!"
@@ -116,6 +135,77 @@ while IFS= read -r q; do
   fi
 done <"$QUERIES_FILE"
 echo "   7 commands identical through the router"
+
+echo "== live epoch bump 3 -> 4 shards: exit 0, byte-identical throughout"
+cat >map_next.json <<EOF
+{
+  "epoch": 2,
+  "vnodes": 64,
+  "shards": [
+    {"id": "s0", "endpoint": "unix:$WORK/s0.sock"},
+    {"id": "s1", "endpoint": "unix:$WORK/s1.sock"},
+    {"id": "s2", "endpoint": "unix:$WORK/s2.sock"},
+    {"id": "s3", "endpoint": "unix:$WORK/s3.sock"}
+  ]
+}
+EOF
+# The joining daemon starts on the successor map directly (no watcher:
+# its file is about to be renamed away).
+"$GSSERVED" --dataset smoke.bp --listen "unix:$WORK/s3.sock" \
+  --shard-map map_next.json --shard-id s3 --watch-ms 0 \
+  --ready-file ready_s3.txt 2>serve_s3.log &
+PID_s3=$!
+PIDS="$PIDS $PID_s3"
+wait_ready ready_s3.txt "$PID_s3" serve_s3.log
+
+"$GSQUERY" smoke.bp stats U --json >bump_local.out
+rm -f bump_stop bump_bad.txt
+: >bump_rc.txt
+(
+  i=0
+  while [ ! -f bump_stop ]; do
+    rc=0
+    "$GSQUERY" --router "$ADDR" stats U --json >"bump_$i.out" 2>/dev/null \
+      || rc=$?
+    echo "$rc" >>bump_rc.txt
+    if [ "$rc" -ne 0 ] || ! cmp -s bump_local.out "bump_$i.out"; then
+      echo "query $i exited $rc or diverged" >>bump_bad.txt
+    fi
+    i=$((i + 1))
+  done
+) &
+BUMP_PID=$!
+PIDS="$PIDS $BUMP_PID"
+
+# Commit the successor atomically, then flip daemons FIRST (grace keeps
+# epoch 1 answerable), router LAST — with the query loop running.
+mv map_next.json map.json
+kill -HUP "$PID_s0" "$PID_s1" "$PID_s2"
+wait_log 'reloaded shard map, epoch 1 -> 2' serve_s0.log
+wait_log 'reloaded shard map, epoch 1 -> 2' serve_s1.log
+wait_log 'reloaded shard map, epoch 1 -> 2' serve_s2.log
+kill -HUP "$ROUTER_PID"
+wait_log 'reloaded shard map, epoch 1 -> 2' router.log
+
+touch bump_stop
+wait "$BUMP_PID"
+test -s bump_rc.txt
+if [ -s bump_bad.txt ]; then
+  echo "FAIL: answers diverged or failed during the epoch bump:" >&2
+  cat bump_bad.txt >&2
+  exit 1
+fi
+# Post-flip, the grown cluster still answers every command identically.
+while IFS= read -r q; do
+  "$GSQUERY" smoke.bp $q >local.out
+  "$GSQUERY" --router "$ADDR" $q >routed.out
+  if ! cmp -s local.out routed.out; then
+    echo "FAIL: post-bump routed answer differs for: gsquery $q" >&2
+    diff local.out routed.out >&2 || true
+    exit 1
+  fi
+done <"$QUERIES_FILE"
+echo "   epoch 2 adopted live: $(wc -l <bump_rc.txt) mid-flip queries, all exact"
 
 echo "== kill one shard: failover keeps answers byte-identical"
 kill -KILL "$PID_s1"
@@ -157,15 +247,15 @@ cmp -s ls.out ls_local.out
 echo "   degraded answer flagged, partial printed, ls stays exact"
 
 echo "== SIGTERM drains router and shards to exit 0"
-for pid in "$ROUTER_PID" "$ROUTER2_PID" "$PID_s0" "$PID_s2"; do
+for pid in "$ROUTER_PID" "$ROUTER2_PID" "$PID_s0" "$PID_s2" "$PID_s3"; do
   kill -TERM "$pid"
 done
-for pid in "$ROUTER_PID" "$ROUTER2_PID" "$PID_s0" "$PID_s2"; do
+for pid in "$ROUTER_PID" "$ROUTER2_PID" "$PID_s0" "$PID_s2" "$PID_s3"; do
   rc=0
   wait "$pid" || rc=$?
   if [ "$rc" -ne 0 ]; then
     echo "FAIL: pid $pid exited $rc on SIGTERM" >&2
-    cat router.log router2.log serve_s0.log serve_s2.log >&2
+    cat router.log router2.log serve_s0.log serve_s2.log serve_s3.log >&2
     exit 1
   fi
 done

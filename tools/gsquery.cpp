@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "analysis/analysis.h"
+#include "cli_contract.h"
 #include "common/format.h"
 #include "config/json.h"
 #include "prof/profiler.h"
@@ -73,8 +74,9 @@ int usage(std::FILE* to, const char* argv0) {
       "  --stats-json       per-query I/O accounting (exec seconds, bytes\n"
       "                     scanned, effective GB/s) as JSON on stderr\n"
       "  --trace <file>     write a Chrome trace of the session (local)\n"
-      "  --help             this message\n",
-      argv0, argv0);
+      "  --help             this message\n"
+      "%s",
+      argv0, argv0, gs::cli::kExitContract);
   return to == stdout ? 0 : 2;
 }
 

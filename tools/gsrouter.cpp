@@ -22,13 +22,17 @@
 
 #include "config/settings.h"
 #include "rpc/server.h"
+#include "shard/reshard.h"
 #include "shard/router.h"
+#include "cli_contract.h"
 
 namespace {
 
 volatile std::sig_atomic_t g_stop = 0;
+volatile std::sig_atomic_t g_reload = 0;
 
 void handle_signal(int) { g_stop = 1; }
+void handle_hup(int) { g_reload = 1; }
 
 int usage(std::FILE* to, const char* argv0) {
   std::fprintf(
@@ -53,9 +57,16 @@ int usage(std::FILE* to, const char* argv0) {
       "                         dial deadline toward shards (default 1000)\n"
       "  --max-conns <n>        client connections (default 64)\n"
       "  --backlog <n>          accept backlog (default 64)\n"
+      "  --watch-ms <n>         map mtime poll period; 0 disables polling\n"
+      "                         (default 500)\n"
+      "  --admin-token <tok>    enable the authenticated reload_map admin\n"
+      "                         RPC (disabled when unset)\n"
+      "  --drain-timeout-ms <n> bound on waiting for old-epoch queries\n"
+      "                         after a reload (default 2000)\n"
       "  --metrics              print router + transport stats on exit\n"
-      "  --help                 this message\n",
-      argv0);
+      "  --help                 this message\n"
+      "%s%s",
+      argv0, gs::cli::kReloadTriggers, gs::cli::kExitContract);
   return to == stdout ? 0 : 2;
 }
 
@@ -67,9 +78,11 @@ int main(int argc, char** argv) {
   std::string ready_file;
   gs::shard::RouterConfig router_config;
   router_config.client.connect_timeout_ms = 1000;
+  std::string admin_token;
   std::int64_t max_conns = 64;
   std::int64_t backlog = 64;
   std::int64_t io_timeout_ms = 5000;
+  std::int64_t watch_ms = 500;
   bool metrics = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -107,6 +120,12 @@ int main(int argc, char** argv) {
       max_conns = std::atoll(next());
     } else if (arg == "--backlog") {
       backlog = std::atoll(next());
+    } else if (arg == "--watch-ms") {
+      watch_ms = std::atoll(next());
+    } else if (arg == "--admin-token") {
+      admin_token = next();
+    } else if (arg == "--drain-timeout-ms") {
+      router_config.drain_timeout_ms = std::atoll(next());
     } else if (arg == "--metrics") {
       metrics = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -130,11 +149,36 @@ int main(int argc, char** argv) {
         gs::shard::ShardMap::from_file(map_file));
     gs::shard::Router router(map, router_config);
 
+    // Epoch handover: adopt a validated successor map live (mtime poll +
+    // SIGHUP + admin RPC), draining old-epoch queries behind the bound.
+    gs::shard::WatcherConfig watch_config;
+    watch_config.poll_ms = watch_ms;
+    gs::shard::MapWatcher watcher(
+        map_file,
+        [&router](gs::shard::ShardMap next) {
+          const auto stats = router.reload_map(
+              std::make_shared<const gs::shard::ShardMap>(std::move(next)));
+          std::fprintf(stderr,
+                       "gsrouter: reloaded shard map, epoch %llu -> %llu "
+                       "(+%zu/-%zu shards, %s in %.3fs)\n",
+                       (unsigned long long)stats.epoch_from,
+                       (unsigned long long)stats.epoch_to, stats.shards_added,
+                       stats.shards_removed,
+                       stats.drained ? "drained" : "drain timed out",
+                       stats.drain_seconds);
+          return stats.to_json();
+        },
+        watch_config);
+
     gs::rpc::ServerConfig rpc_config;
     rpc_config.listen = listen;
     rpc_config.backlog = backlog;
     rpc_config.max_connections = max_conns;
     rpc_config.io_timeout_ms = io_timeout_ms;
+    if (!admin_token.empty()) {
+      rpc_config.admin_token = admin_token;
+      rpc_config.reload_hook = [&watcher] { return watcher.reload_now(); };
+    }
     gs::rpc::Server server(router, rpc_config);
 
     std::fprintf(stderr,
@@ -150,8 +194,15 @@ int main(int argc, char** argv) {
     sa.sa_handler = handle_signal;
     ::sigaction(SIGINT, &sa, nullptr);
     ::sigaction(SIGTERM, &sa, nullptr);
+    struct sigaction hup{};
+    hup.sa_handler = handle_hup;
+    ::sigaction(SIGHUP, &hup, nullptr);
 
     while (g_stop == 0) {
+      if (g_reload != 0) {
+        g_reload = 0;
+        watcher.trigger();
+      }
       std::this_thread::sleep_for(std::chrono::milliseconds(100));
     }
     std::fprintf(stderr, "gsrouter: draining...\n");

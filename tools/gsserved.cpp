@@ -30,13 +30,17 @@
 #include "mpi/runtime.h"
 #include "rpc/server.h"
 #include "shard/map.h"
+#include "shard/reshard.h"
 #include "svc/service.h"
+#include "cli_contract.h"
 
 namespace {
 
 volatile std::sig_atomic_t g_stop = 0;
+volatile std::sig_atomic_t g_reload = 0;
 
 void handle_signal(int) { g_stop = 1; }
+void handle_hup(int) { g_reload = 1; }
 
 int usage(std::FILE* to, const char* argv0) {
   std::fprintf(
@@ -56,14 +60,21 @@ int usage(std::FILE* to, const char* argv0) {
       "  --shard-map <file>     join the sharded cluster described by this\n"
       "                         map (see gsrouter); requires --shard-id\n"
       "  --shard-id <id>        this daemon's shard id in the map\n"
+      "  --watch-ms <n>         shard-map mtime poll period; 0 disables\n"
+      "                         polling (default 500 with --shard-map)\n"
+      "  --admin-token <tok>    enable the authenticated reload_map admin\n"
+      "                         RPC (disabled when unset)\n"
+      "  --reload-grace-ms <n>  keep the previous epoch answerable this\n"
+      "                         long after a reload (default 2000)\n"
       "  --follow-stream <settings.json>\n"
       "                         run the simulation described by the settings\n"
       "                         file and stream its steps to subscribers\n"
       "  --stream-ranks <n>     simulated ranks for --follow-stream "
       "(default 4)\n"
       "  --metrics              print transport + service metrics on exit\n"
-      "  --help                 this message\n",
-      argv0);
+      "  --help                 this message\n"
+      "%s%s",
+      argv0, gs::cli::kReloadTriggers, gs::cli::kExitContract);
   return to == stdout ? 0 : 2;
 }
 
@@ -76,7 +87,10 @@ int main(int argc, char** argv) {
   std::string shard_map_file;
   std::string shard_id;
   std::string stream_settings;
+  std::string admin_token;
   std::int64_t stream_ranks = 4;
+  std::int64_t watch_ms = 500;
+  std::int64_t reload_grace_ms = 2000;
   std::size_t threads = 2;
   std::uint64_t cache_mb = 64;
   bool metrics = false;
@@ -121,6 +135,12 @@ int main(int argc, char** argv) {
       shard_map_file = next();
     } else if (arg == "--shard-id") {
       shard_id = next();
+    } else if (arg == "--watch-ms") {
+      watch_ms = std::atoll(next());
+    } else if (arg == "--admin-token") {
+      admin_token = next();
+    } else if (arg == "--reload-grace-ms") {
+      reload_grace_ms = std::atoll(next());
     } else if (arg == "--follow-stream") {
       stream_settings = next();
     } else if (arg == "--stream-ranks") {
@@ -162,6 +182,7 @@ int main(int argc, char** argv) {
     svc_config.threads = std::max<std::size_t>(threads, 1);
     svc_config.cache_enabled = cache_mb > 0;
     svc_config.cache_bytes = cache_mb << 20;
+    svc_config.reload_grace_seconds = reload_grace_ms / 1000.0;
     if (!shard_map_file.empty()) {
       auto map = std::make_shared<const gs::shard::ShardMap>(
           gs::shard::ShardMap::from_file(shard_map_file));
@@ -171,14 +192,44 @@ int main(int argc, char** argv) {
         return 2;
       }
       svc_config.shard_map = std::move(map);
+      svc_config.shard_id = shard_id;
     }
     gs::svc::Service service(dataset, std::move(svc_config));
+
+    // Epoch handover: watch the map file (mtime poll + SIGHUP + admin
+    // RPC) and adopt validated successors live. Only with --shard-map.
+    std::unique_ptr<gs::shard::MapWatcher> watcher;
+    if (!shard_map_file.empty()) {
+      gs::shard::WatcherConfig watch_config;
+      watch_config.poll_ms = watch_ms;
+      watcher = std::make_unique<gs::shard::MapWatcher>(
+          shard_map_file,
+          [&service, &shard_id](gs::shard::ShardMap map) {
+            auto next = std::make_shared<const gs::shard::ShardMap>(
+                std::move(map));
+            const auto stats = service.reload_shard_map(next);
+            std::fprintf(stderr,
+                         "gsserved: reloaded shard map, epoch %llu -> %llu "
+                         "(%llu/%llu blocks warmed for %s)\n",
+                         (unsigned long long)stats.epoch_from,
+                         (unsigned long long)stats.epoch_to,
+                         (unsigned long long)stats.blocks_moved,
+                         (unsigned long long)stats.blocks_planned,
+                         shard_id.c_str());
+            return stats.to_json();
+          },
+          watch_config);
+    }
 
     gs::rpc::ServerConfig rpc_config;
     rpc_config.listen = listen;
     rpc_config.backlog = backlog;
     rpc_config.max_connections = max_conns;
     rpc_config.io_timeout_ms = io_timeout_ms;
+    if (watcher != nullptr && !admin_token.empty()) {
+      rpc_config.admin_token = admin_token;
+      rpc_config.reload_hook = [&watcher] { return watcher->reload_now(); };
+    }
 
     gs::bp::Stream stream(/*capacity=*/2);
     const bool follow = !stream_settings.empty();
@@ -237,8 +288,15 @@ int main(int argc, char** argv) {
     sa.sa_handler = handle_signal;
     ::sigaction(SIGINT, &sa, nullptr);
     ::sigaction(SIGTERM, &sa, nullptr);
+    struct sigaction hup{};
+    hup.sa_handler = handle_hup;
+    ::sigaction(SIGHUP, &hup, nullptr);
 
     while (g_stop == 0) {
+      if (g_reload != 0) {
+        g_reload = 0;
+        if (watcher != nullptr) watcher->trigger();
+      }
       std::this_thread::sleep_for(std::chrono::milliseconds(100));
     }
     std::fprintf(stderr, "gsserved: draining...\n");
