@@ -1,0 +1,560 @@
+// extension_ctrl_convergence — the gs::ctrl acceptance gate: the
+// AUTONOMOUS controller runs a real fleet through a full load cycle and
+// every membership change it commits must be invisible to clients.
+//
+// A real solver dataset is served by 3 in-process daemons (2 standbys
+// idle) behind a router; every process adopts epochs through its own
+// MapWatcher on the shared committed map file, exactly like production.
+// A gs::ctrl::Controller watches the fleet through the real stats RPC —
+// reachability and adopted epochs are REAL; only the pressure signal
+// (queue depth) is a seeded synthetic ramp, because a CI-sized bench
+// cannot genuinely saturate a daemon. Client threads hammer the wire
+// path throughout, checking every answer bit-for-bit against
+// single-daemon ground-truth identity CRCs.
+//
+// Phases and gates:
+//   1. steady in-band load: the controller must commit ZERO epochs;
+//   2. load ramp up: the controller must grow 3 -> 4 -> 5 on its own and
+//      report convergence (every member and the router adopt each epoch);
+//   3. load ramp down: shrink 5 -> 4 -> 3, same convergence discipline;
+//   4. steady again at the final membership: zero further commits.
+// Throughout: zero wrong answers (ok + undegraded + mismatched CRC — the
+// cardinal sin), total committed epochs within the controller's own
+// budget, zero convergence timeouts, and per transition the daemons'
+// summed replacement plans (Sigma blocks_planned via their MapWatcher
+// reloads) must equal the ring's minimal-movement diff EXACTLY.
+//
+// GS_CTRL_NONFATAL=1 downgrades the timing- and budget-class gates
+// (trajectory deadlines, steady-zero-commits, epoch budget, convergence
+// timeouts) to warnings for shared CI runners. The correctness gates —
+// zero wrong answers, exact warming bounds — stay fatal regardless.
+//
+// Default scale finishes in well under a minute; pass a multiplier to
+// stretch the pass deadlines, e.g. `extension_ctrl_convergence 4`.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bp/reader.h"
+#include "common/checksum.h"
+#include "core/workflow.h"
+#include "ctrl/controller.h"
+#include "mpi/runtime.h"
+#include "rpc/client.h"
+#include "rpc/server.h"
+#include "rpc/wire.h"
+#include "shard/map.h"
+#include "shard/reshard.h"
+#include "shard/router.h"
+#include "svc/service.h"
+
+namespace {
+
+constexpr const char* kDataset = "/tmp/gs_ctrl_conv.bp";
+constexpr const char* kMapFile = "/tmp/gs_ctrl_conv_map.json";
+constexpr std::size_t kQuerySpace = 48;
+constexpr double kGraceSeconds = 2.0;
+constexpr int kEpochBudget = 6;  // the run needs 4; 6 is the hard cap
+
+struct Lcg {
+  std::uint64_t state;
+  std::uint64_t next() {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return state >> 33;
+  }
+};
+
+gs::svc::Request make_query(std::size_t q, std::int64_t n_steps,
+                            std::int64_t L) {
+  Lcg rng{0xE90C4BADF00Dull ^ (q * 2654435761ull)};
+  const std::int64_t step = static_cast<std::int64_t>(
+      rng.next() % static_cast<std::uint64_t>(n_steps));
+  gs::svc::Request request;
+  switch (q % 5) {
+    case 0:
+      request.body = gs::svc::ListVariablesQ{};
+      break;
+    case 1:
+      request.body = gs::svc::FieldStatsQ{q % 2 ? "U" : "V", step};
+      break;
+    case 2:
+      request.body = gs::svc::HistogramQ{q % 2 ? "V" : "U", step, 32};
+      break;
+    case 3:
+      request.body = gs::svc::Slice2DQ{
+          "U", step, 2,
+          static_cast<std::int64_t>(rng.next() %
+                                    static_cast<std::uint64_t>(L))};
+      break;
+    default: {
+      const std::int64_t half = L / 2;
+      request.body = gs::svc::ReadBoxQ{
+          "V", step,
+          gs::Box3{{0, 0,
+                    static_cast<std::int64_t>(
+                        rng.next() % static_cast<std::uint64_t>(half))},
+                   {half, half, half}}};
+      break;
+    }
+  }
+  return request;
+}
+
+std::uint32_t identity_crc(const gs::svc::Response& response) {
+  const auto bytes = gs::rpc::encode_answer_identity(response);
+  return gs::crc32(std::span<const std::byte>(bytes.data(), bytes.size()));
+}
+
+struct PassResult {
+  std::uint64_t exact = 0;
+  std::uint64_t degraded = 0;  ///< explicitly flagged — never silent
+  std::uint64_t wrong = 0;     ///< mismatched WITHOUT a flag: the cardinal sin
+  std::uint64_t failed = 0;
+
+  void add(const gs::svc::Response& response,
+           const std::vector<std::uint32_t>& expected, std::size_t q) {
+    if (response.status.ok() && !response.degraded &&
+        identity_crc(response) == expected[q]) {
+      ++exact;
+    } else if (response.degraded || !response.status.ok()) {
+      ++degraded;
+    } else {
+      ++wrong;
+      std::printf("WRONG: query %zu answered ok+undegraded with a "
+                  "mismatched identity\n",
+                  q);
+    }
+  }
+
+  void merge(const PassResult& other) {
+    exact += other.exact;
+    degraded += other.degraded;
+    wrong += other.wrong;
+    failed += other.failed;
+  }
+};
+
+/// One full sweep of the query space through the wire path.
+PassResult sweep_wire(const gs::rpc::Endpoint& endpoint,
+                      const std::vector<std::uint32_t>& expected,
+                      std::int64_t n_steps, std::int64_t L) {
+  PassResult result;
+  gs::rpc::ClientConfig config;
+  config.retries = 6;
+  config.backoff_ms = 1.0;
+  gs::rpc::Client client(endpoint, config);
+  for (std::size_t q = 0; q < kQuerySpace; ++q) {
+    try {
+      result.add(client.call(make_query(q, n_steps, L)), expected, q);
+    } catch (const gs::IoError&) {
+      ++result.failed;
+    }
+  }
+  return result;
+}
+
+/// Every block key of the dataset — the universe both the controller's
+/// planner and the movement-bound assertion compute over.
+std::vector<std::string> dataset_block_keys() {
+  gs::bp::Reader reader(kDataset);
+  std::vector<std::string> keys;
+  for (const auto& name : reader.variable_names()) {
+    const auto info = reader.info(name);
+    for (std::int64_t step = 0; step < info.steps; ++step) {
+      std::size_t n_blocks = 0;
+      try {
+        n_blocks = reader.blocks(name, step).size();
+      } catch (const gs::Error&) {
+        continue;  // scalar variable: no block layout
+      }
+      for (std::size_t b = 0; b < n_blocks; ++b) {
+        keys.push_back(gs::shard::Ring::block_key(name, step, b));
+      }
+    }
+  }
+  return keys;
+}
+
+/// The 5-daemon fleet: every daemon runs from construction; which subset
+/// SERVES is decided by the committed epoch maps alone (s3/s4 start as
+/// standbys the controller may draft).
+struct Fleet {
+  static std::string endpoint_of(std::size_t i) {
+    return "unix:/tmp/gs_ctrl_conv_" + std::to_string(i) + ".sock";
+  }
+
+  static std::shared_ptr<const gs::shard::ShardMap> make_map(
+      std::uint64_t epoch, std::size_t n_shards) {
+    std::vector<gs::shard::ShardInfo> infos;
+    for (std::size_t i = 0; i < n_shards; ++i) {
+      infos.push_back(
+          gs::shard::ShardInfo{"s" + std::to_string(i), endpoint_of(i)});
+    }
+    return std::make_shared<const gs::shard::ShardMap>(epoch, 64,
+                                                       std::move(infos));
+  }
+
+  explicit Fleet(std::shared_ptr<const gs::shard::ShardMap> initial) {
+    for (std::size_t i = 0; i < 5; ++i) {
+      gs::svc::ServiceConfig config;
+      config.threads = 2;
+      config.shard_map = initial;
+      config.shard_id = "s" + std::to_string(i);
+      config.reload_grace_seconds = kGraceSeconds;
+      services.push_back(
+          std::make_unique<gs::svc::Service>(kDataset, std::move(config)));
+      gs::rpc::ServerConfig server_config;
+      server_config.listen = endpoint_of(i);
+      servers.push_back(
+          std::make_unique<gs::rpc::Server>(*services.back(), server_config));
+    }
+    gs::shard::RouterConfig router_config;
+    router_config.probe_interval_ms = 50;
+    router = std::make_unique<gs::shard::Router>(initial, router_config);
+    gs::rpc::ServerConfig front_config;
+    front_config.max_connections = 64;
+    front = std::make_unique<gs::rpc::Server>(*router, front_config);
+  }
+
+  ~Fleet() {
+    if (front) front->shutdown();
+    if (router) router->shutdown();
+    for (auto& s : servers) s->shutdown();
+    for (auto& s : services) s->shutdown();
+  }
+
+  std::vector<std::unique_ptr<gs::svc::Service>> services;
+  std::vector<std::unique_ptr<gs::rpc::Server>> servers;
+  std::unique_ptr<gs::shard::Router> router;
+  std::unique_ptr<gs::rpc::Server> front;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t scale = argc >= 2 ? std::strtoull(argv[1], nullptr, 10) : 1;
+  const double stretch = static_cast<double>(scale ? scale : 1);
+  const bool nonfatal = std::getenv("GS_CTRL_NONFATAL") != nullptr;
+  bool failed = false;
+
+  // A failed relaxable gate is a warning under GS_CTRL_NONFATAL (shared
+  // runners cannot guarantee the wall-clock the trajectory needs); the
+  // correctness gates below never go through this helper.
+  const auto timing_gate = [&](bool ok, const std::string& what) {
+    if (ok) return;
+    if (nonfatal) {
+      std::printf("RELAXED (GS_CTRL_NONFATAL): %s\n", what.c_str());
+    } else {
+      std::printf("FAIL: %s\n", what.c_str());
+      failed = true;
+    }
+  };
+
+  std::printf("==============================================================\n");
+  std::printf("Extension — gs::ctrl: autonomous resharding convergence gate\n");
+  std::printf("==============================================================\n\n");
+
+  // Phase 0: dataset, ground truth, and the block-key universe.
+  gs::Settings settings;
+  settings.L = 32;
+  settings.steps = 20;
+  settings.plotgap = 4;
+  settings.noise = 0.1;
+  settings.output = kDataset;
+  settings.ranks_per_node = 4;
+  std::filesystem::remove_all(kDataset);
+  gs::mpi::run(8, [&](gs::mpi::Comm& world) {
+    gs::core::Workflow wf(settings, world);
+    wf.run();
+  });
+  const std::int64_t n_steps = settings.steps / settings.plotgap;
+  const std::int64_t L = settings.L;
+
+  std::vector<std::uint32_t> expected(kQuerySpace);
+  {
+    gs::svc::Service single(kDataset, gs::svc::ServiceConfig{});
+    for (std::size_t q = 0; q < kQuerySpace; ++q) {
+      const auto response = single.call(make_query(q, n_steps, L));
+      if (!response.status.ok()) {
+        std::printf("FAIL: ground-truth query %zu failed: %s\n", q,
+                    response.status.message.c_str());
+        return 1;
+      }
+      expected[q] = identity_crc(response);
+    }
+  }
+  const std::vector<std::string> keys = dataset_block_keys();
+  std::printf("dataset: %s  (%zu queries, %zu block keys)\n\n", kDataset,
+              kQuerySpace, keys.size());
+
+  // The committed-map history and the warming ledger, both filled by the
+  // production-path machinery (commit hook / MapWatcher reloads).
+  std::mutex ledger_mu;
+  std::map<std::uint64_t, std::shared_ptr<const gs::shard::ShardMap>>
+      committed;
+  std::map<std::uint64_t, std::uint64_t> warmed;  // epoch -> Σ blocks_planned
+
+  const auto map1 = Fleet::make_map(1, 3);  // serving: s0..s2
+  committed[1] = map1;
+  std::filesystem::remove(kMapFile);
+  std::filesystem::remove(std::string(kMapFile) + ".staging");
+  gs::shard::commit_map(*map1, kMapFile);
+
+  Fleet fleet(map1);
+
+  // Every daemon and the router adopt committed epochs through their own
+  // MapWatcher on the shared file — the controller never pushes a map at
+  // anyone; it commits and then WATCHES the fleet converge.
+  gs::shard::WatcherConfig watcher_config;
+  watcher_config.poll_ms = 20;
+  std::vector<std::unique_ptr<gs::shard::MapWatcher>> watchers;
+  for (std::size_t i = 0; i < fleet.services.size(); ++i) {
+    watchers.push_back(std::make_unique<gs::shard::MapWatcher>(
+        kMapFile,
+        [&fleet, &ledger_mu, &warmed, i](gs::shard::ShardMap m) {
+          auto next =
+              std::make_shared<const gs::shard::ShardMap>(std::move(m));
+          const auto stats = fleet.services[i]->reload_shard_map(next);
+          {
+            std::lock_guard<std::mutex> lock(ledger_mu);
+            warmed[stats.epoch_to] += stats.blocks_planned;
+          }
+          return stats.to_json();
+        },
+        watcher_config));
+  }
+  watchers.push_back(std::make_unique<gs::shard::MapWatcher>(
+      kMapFile,
+      [&fleet](gs::shard::ShardMap m) {
+        return fleet.router
+            ->reload_map(
+                std::make_shared<const gs::shard::ShardMap>(std::move(m)))
+            .to_json();
+      },
+      watcher_config));
+
+  // The controller. Reachability and adopted epochs in every sample are
+  // real RPC answers; the pressure signal is overlaid with the seeded
+  // synthetic ramp (per-shard share of the offered load).
+  double per_shard_load = 1.0;  // refreshed before every controller step
+  gs::rpc::ClientConfig stats_client;
+  stats_client.connect_timeout_ms = 500;
+  stats_client.retries = 1;
+  const gs::ctrl::Fetcher base = gs::ctrl::rpc_fetcher(stats_client);
+  const gs::ctrl::Fetcher fetcher =
+      [&base, &per_shard_load](const gs::shard::ShardInfo& info) {
+        gs::ctrl::StatsSample sample = base(info);
+        if (sample.reachable && info.id != "router") {
+          sample.queue_depth = per_shard_load;
+          sample.inflight = 0.0;
+        }
+        return sample;
+      };
+
+  gs::ctrl::ControllerConfig config;
+  config.map_path = kMapFile;
+  config.spares = {{"s3", Fleet::endpoint_of(3)},
+                   {"s4", Fleet::endpoint_of(4)}};
+  config.router = gs::shard::ShardInfo{"router", fleet.front->endpoint().str()};
+  config.block_keys = keys;
+  config.converge_timeout_seconds = 30.0 * stretch;
+  config.collector.poll_seconds = 0.1;
+  config.collector.halflife_seconds = 0.5;
+  config.collector.seed = 42;
+  config.policy.grow_queue_depth = 2.0;
+  config.policy.shrink_queue_depth = 0.25;
+  config.policy.sustain_ticks = 2;
+  config.policy.min_dwell_seconds = 1.0;
+  config.policy.epoch_budget = kEpochBudget;
+  config.policy.budget_window_seconds = 600.0;
+  config.policy.min_shards = 3;
+  config.policy.max_shards = 5;
+
+  const gs::ctrl::CommitHook hook = [&](const gs::shard::ShardMap& m) {
+    gs::shard::commit_map(m, kMapFile);
+    std::lock_guard<std::mutex> lock(ledger_mu);
+    committed[m.epoch()] = std::make_shared<const gs::shard::ShardMap>(m);
+  };
+  gs::ctrl::Controller controller(map1, config, fetcher, hook);
+
+  using Clock = std::chrono::steady_clock;
+  const auto t0 = Clock::now();
+  const auto now_s = [&] {
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+  };
+
+  // Client traffic hammers the wire path for the whole run.
+  std::atomic<bool> stop{false};
+  std::vector<PassResult> thread_results(2);
+  std::vector<std::thread> traffic;
+  for (std::size_t t = 0; t < thread_results.size(); ++t) {
+    traffic.emplace_back([&, t] {
+      while (!stop.load(std::memory_order_acquire)) {
+        thread_results[t].merge(
+            sweep_wire(fleet.front->endpoint(), expected, n_steps, L));
+      }
+    });
+  }
+
+  double offered_load = 3.0;  // total queue depth across the cluster
+  // Ticks the controller until `done` or the deadline; the synthetic
+  // per-shard pressure tracks the CURRENT membership, exactly as a real
+  // fixed offered load would redistribute over a resized fleet.
+  const auto run_until = [&](double deadline, const auto& done) {
+    for (;;) {
+      per_shard_load =
+          offered_load / static_cast<double>(controller.map()->size());
+      controller.step(now_s());
+      if (done()) return true;
+      if (now_s() >= deadline) return false;
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  };
+  const auto settled = [&](std::size_t size) {
+    return [&controller, size] {
+      const auto stats = controller.stats();
+      return controller.map()->size() == size &&
+             controller.state() == gs::ctrl::CtrlState::observe &&
+             stats.converged == stats.epochs_committed;
+    };
+  };
+
+  // Pass 1: steady in-band load (1.0 per shard) — the controller must
+  // sit on its hands.
+  std::printf("-- pass 1: steady load, %zu shards --\n",
+              controller.map()->size());
+  run_until(now_s() + 3.0 * stretch, [] { return false; });
+  {
+    const auto stats = controller.stats();
+    std::printf("steady: %llu ticks, %llu holds, %llu epochs committed\n",
+                (unsigned long long)stats.ticks,
+                (unsigned long long)stats.holds,
+                (unsigned long long)stats.epochs_committed);
+    timing_gate(stats.epochs_committed == 0,
+                "steady in-band load must commit zero epochs");
+  }
+
+  // Pass 2: ramp up. 9.6 total = 3.2/shard at 3 (saturated), 2.4 at 4
+  // (still saturated), 1.92 at 5 (back inside the band): the controller
+  // must grow exactly twice and stop at max_shards.
+  std::printf("\n-- pass 2: load ramp up (9.6 total), expect 3 -> 5 --\n");
+  offered_load = 9.6;
+  const bool grew = run_until(now_s() + 60.0 * stretch, settled(5));
+  {
+    const auto stats = controller.stats();
+    std::printf("ramp up: %zu shards at epoch %llu, grows=%llu "
+                "(last: %s)\n",
+                controller.map()->size(),
+                (unsigned long long)controller.map()->epoch(),
+                (unsigned long long)stats.grows, stats.last_reason.c_str());
+    timing_gate(grew, "controller must grow 3 -> 5 under sustained "
+                      "saturation and converge");
+    timing_gate(stats.converge_timeouts == 0,
+                "ramp up saw convergence timeouts");
+  }
+
+  // Pass 3: ramp down. 0.9 total = 0.18/shard at 5 (idle), 0.225 at 4,
+  // 0.3 at 3 (in band): shrink exactly twice, floor at min_shards.
+  std::printf("\n-- pass 3: load ramp down (0.9 total), expect 5 -> 3 --\n");
+  offered_load = 0.9;
+  const bool shrank = run_until(now_s() + 60.0 * stretch, settled(3));
+  {
+    const auto stats = controller.stats();
+    std::printf("ramp down: %zu shards at epoch %llu, shrinks=%llu "
+                "(last: %s)\n",
+                controller.map()->size(),
+                (unsigned long long)controller.map()->epoch(),
+                (unsigned long long)stats.shrinks, stats.last_reason.c_str());
+    timing_gate(shrank, "controller must shrink 5 -> 3 under sustained "
+                        "idling and converge");
+    timing_gate(stats.converge_timeouts == 0,
+                "ramp down saw convergence timeouts");
+  }
+
+  // Pass 4: steady again at the final membership — quiet means quiet.
+  std::printf("\n-- pass 4: steady load at final membership --\n");
+  offered_load = 3.0;
+  const std::uint64_t epochs_before = controller.stats().epochs_committed;
+  run_until(now_s() + 2.0 * stretch, [] { return false; });
+  timing_gate(controller.stats().epochs_committed == epochs_before,
+              "steady load after the cycle must commit zero epochs");
+
+  stop.store(true, std::memory_order_release);
+  for (auto& t : traffic) t.join();
+  PassResult live;
+  for (const auto& r : thread_results) live.merge(r);
+
+  // Gate: zero wrong answers across the ENTIRE autonomous cycle. This is
+  // the correctness gate — never relaxed.
+  std::printf("\nlive traffic: exact=%llu degraded=%llu wrong=%llu "
+              "failed=%llu\n",
+              (unsigned long long)live.exact,
+              (unsigned long long)live.degraded,
+              (unsigned long long)live.wrong, (unsigned long long)live.failed);
+  if (live.wrong != 0 || live.exact == 0) {
+    std::printf("FAIL: the autonomous cycle must keep every answer right "
+                "and keep answering\n");
+    failed = true;
+  }
+
+  // Gate: epoch accounting. Expected trajectory 1 -> 5 (two grows, two
+  // shrinks); the budget is the controller's own cap.
+  const auto stats = controller.stats();
+  std::printf("epochs committed=%llu (grows=%llu shrinks=%llu evicts=%llu), "
+              "budget %d; converged=%llu timeouts=%llu\n",
+              (unsigned long long)stats.epochs_committed,
+              (unsigned long long)stats.grows,
+              (unsigned long long)stats.shrinks,
+              (unsigned long long)stats.evicts, kEpochBudget,
+              (unsigned long long)stats.converged,
+              (unsigned long long)stats.converge_timeouts);
+  timing_gate(stats.epochs_committed <= static_cast<std::uint64_t>(kEpochBudget),
+              "controller exceeded its own epoch budget");
+
+  // Gate: per transition, the daemons' summed replacement plans must
+  // equal the ring's minimal-movement diff exactly. Correctness — never
+  // relaxed. (Retired daemons and idle standbys plan 0 blocks, so the
+  // watcher-fed ledger sums only real ownership changes.)
+  {
+    std::lock_guard<std::mutex> lock(ledger_mu);
+    for (const auto& [epoch, map] : committed) {
+      if (epoch == 1) continue;
+      const auto prev = committed.find(epoch - 1);
+      if (prev == committed.end()) {
+        std::printf("FAIL: epoch %llu committed without a predecessor\n",
+                    (unsigned long long)epoch);
+        failed = true;
+        continue;
+      }
+      const std::size_t bound =
+          gs::shard::moved_keys(gs::shard::Ring(*prev->second),
+                                gs::shard::Ring(*map),
+                                std::span<const std::string>(keys))
+              .size();
+      const std::uint64_t planned = warmed.count(epoch) ? warmed[epoch] : 0;
+      std::printf("epoch %llu (%zu shards): warmed %llu blocks, ring "
+                  "movement bound %zu\n",
+                  (unsigned long long)epoch, map->size(),
+                  (unsigned long long)planned, bound);
+      if (planned != bound || bound == 0) {
+        std::printf("FAIL: warming violates the ring's minimal-movement "
+                    "bound\n");
+        failed = true;
+      }
+    }
+  }
+
+  watchers.clear();  // stop adoption before the fleet tears down
+
+  std::printf("\n%s\n", failed ? "RESULT: FAIL" : "RESULT: PASS");
+  return failed ? 1 : 0;
+}

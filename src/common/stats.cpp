@@ -218,6 +218,52 @@ ExactStats ExactStats::from_parts(std::uint64_t n, double min, double max,
   return s;
 }
 
+DecayedRate::DecayedRate(double halflife_seconds)
+    : halflife_(halflife_seconds) {
+  GS_REQUIRE(halflife_seconds > 0.0,
+             "decayed rate needs a positive half-life, got "
+                 << halflife_seconds);
+}
+
+double DecayedRate::decayed_to(double now_seconds) const {
+  if (!started_) return 0.0;
+  const double dt = now_seconds - last_;
+  if (dt <= 0.0) return count_;  // clock went backwards: never amplify
+  return count_ * std::exp2(-dt / halflife_);
+}
+
+void DecayedRate::add(double now_seconds, double count) {
+  count_ = decayed_to(now_seconds) + count;
+  last_ = started_ ? std::max(last_, now_seconds) : now_seconds;
+  started_ = true;
+}
+
+double DecayedRate::rate(double now_seconds) const {
+  return decayed_to(now_seconds) * M_LN2 / halflife_;
+}
+
+double DecayedRate::count(double now_seconds) const {
+  return decayed_to(now_seconds);
+}
+
+void DecayedRate::observe(double now_seconds, double value) {
+  if (!started_) {
+    count_ = value;  // first observation seeds the level directly
+  } else {
+    const double dt = std::max(0.0, now_seconds - last_);
+    const double w = std::exp2(-dt / halflife_);
+    count_ = count_ * w + value * (1.0 - w);
+  }
+  last_ = started_ ? std::max(last_, now_seconds) : now_seconds;
+  started_ = true;
+}
+
+void DecayedRate::reset() {
+  count_ = 0.0;
+  last_ = 0.0;
+  started_ = false;
+}
+
 const std::vector<double>& Samples::sorted() const {
   if (!sorted_valid_) {
     sorted_ = values_;

@@ -125,6 +125,50 @@ class ExactStats {
   ExactSum sumsq_;
 };
 
+/// Exponentially-decayed event rate (events per second): each add()
+/// first decays the accumulated count by 2^(-dt / halflife), then adds
+/// the new events, so recent traffic dominates and an idle endpoint's
+/// rate falls toward zero instead of averaging over its whole lifetime.
+/// At a steady arrival rate r the count equilibrates at r*halflife/ln2,
+/// so rate() = count * ln2/halflife recovers r; after a burst stops, the
+/// reported rate halves every halflife. This is the serving tier's load
+/// signal (rpc::ServerStats::rate_rps) and the controller's decayed
+/// per-shard estimate — both sides deliberately share one definition.
+/// Time is caller-supplied seconds on any one monotonic clock; not
+/// thread-safe (callers hold their stats lock).
+class DecayedRate {
+ public:
+  explicit DecayedRate(double halflife_seconds = 10.0);
+
+  /// Records `count` events at `now_seconds`. Time running backwards is
+  /// clamped (decay never amplifies).
+  void add(double now_seconds, double count = 1.0);
+
+  /// The decayed events/sec estimate at `now_seconds` (decays the count
+  /// to now first, without mutating state).
+  double rate(double now_seconds) const;
+
+  /// The decayed event count itself (the controller's queue-depth-style
+  /// signals are decayed LEVELS, not rates — see observe()).
+  double count(double now_seconds) const;
+
+  /// Decayed-level tracking for gauge signals (queue depth, in-flight):
+  /// moves the level toward `value` with the same half-life weighting,
+  /// i.e. an EWMA whose weight on history is 2^(-dt/halflife).
+  void observe(double now_seconds, double value);
+  double level() const { return count_; }
+
+  void reset();
+
+ private:
+  double decayed_to(double now_seconds) const;
+
+  double halflife_;
+  double count_ = 0.0;
+  double last_ = 0.0;
+  bool started_ = false;
+};
+
 /// Sample container with percentile queries (keeps all values).
 class Samples {
  public:

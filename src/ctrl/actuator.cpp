@@ -1,0 +1,41 @@
+#include "ctrl/actuator.h"
+
+#include <utility>
+
+#include "common/error.h"
+#include "shard/reshard.h"
+
+namespace gs::ctrl {
+
+Actuator::Actuator(ActuatorConfig config, CommitHook commit)
+    : config_(std::move(config)), commit_(std::move(commit)) {
+  if (commit_ == nullptr) {
+    GS_REQUIRE(!config_.map_path.empty(),
+               "actuator needs a map path (or a custom commit hook)");
+    const std::string path = config_.map_path;
+    commit_ = [path](const shard::ShardMap& map) {
+      shard::commit_map(map, path);
+    };
+  }
+}
+
+void Actuator::commit(const shard::ShardMap& current,
+                      const shard::ShardMap& next) {
+  shard::validate_successor(current, next);
+  commit_(next);
+}
+
+bool Actuator::converged(const Fetcher& fetch, const shard::ShardMap& target,
+                         const std::optional<shard::ShardInfo>& router) {
+  for (const shard::ShardInfo& info : target.shards()) {
+    const StatsSample s = fetch(info);
+    if (!s.reachable || s.epoch != target.epoch()) return false;
+  }
+  if (router.has_value()) {
+    const StatsSample s = fetch(*router);
+    if (!s.reachable || s.epoch != target.epoch()) return false;
+  }
+  return true;
+}
+
+}  // namespace gs::ctrl

@@ -1,0 +1,63 @@
+// gs::ctrl actuator — the COMMIT + CONVERGE phases: takes a validated
+// successor map from the planner, commits it with the PR 9 discipline
+// (validate_successor, then reshard::commit_map's fsync'd staging +
+// atomic rename), and verifies convergence by observing epoch adoption
+// through the same stats RPC the collector reads — the MapWatcher on
+// every daemon and router does the actual adoption; the actuator only
+// watches until every member (and the router, when one is configured)
+// reports the target epoch, or the deadline passes.
+//
+// The commit transport is pluggable (CommitHook): production writes the
+// shared map file, the simulation harness swaps in an in-memory commit
+// with a modeled adoption delay.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "ctrl/collector.h"
+#include "shard/map.h"
+
+namespace gs::ctrl {
+
+/// How a successor map reaches the fleet. The default hook is
+/// reshard::commit_map(map, map_path) — the daemons' MapWatchers pick
+/// the rename up on their next poll. Must throw on failure.
+using CommitHook = std::function<void(const shard::ShardMap&)>;
+
+struct ActuatorConfig {
+  /// The shared map file (the default CommitHook's target). Unused when
+  /// a custom hook is injected.
+  std::string map_path;
+  /// How long CONVERGE waits for every member to adopt the committed
+  /// epoch before giving up (the map stays committed either way — the
+  /// fleet converges on its own schedule; the controller just stops
+  /// watching and counts a timeout).
+  double converge_timeout_seconds = 10.0;
+};
+
+class Actuator {
+ public:
+  Actuator(ActuatorConfig config, CommitHook commit = {});
+
+  /// validate_successor(current, next) then commit. Throws gs::Error on
+  /// a map that must not replace `current`, or whatever the hook throws
+  /// on a failed write.
+  void commit(const shard::ShardMap& current, const shard::ShardMap& next);
+
+  /// One convergence probe: every member of `target` answers the stats
+  /// RPC with epoch == target.epoch(), and so does `router` when given.
+  /// A single unreachable or lagging endpoint means "not yet".
+  static bool converged(const Fetcher& fetch, const shard::ShardMap& target,
+                        const std::optional<shard::ShardInfo>& router);
+
+  const ActuatorConfig& config() const { return config_; }
+
+ private:
+  ActuatorConfig config_;
+  CommitHook commit_;
+};
+
+}  // namespace gs::ctrl

@@ -1,0 +1,184 @@
+#include "ctrl/controller.h"
+
+#include <sstream>
+#include <utility>
+
+#include "common/error.h"
+#include "common/log.h"
+#include "shard/reshard.h"
+
+namespace gs::ctrl {
+
+const char* to_string(CtrlState s) {
+  switch (s) {
+    case CtrlState::observe: return "observe";
+    case CtrlState::converge: return "converge";
+  }
+  return "?";
+}
+
+json::Value CtrlStats::to_json() const {
+  json::Object obj;
+  obj["ticks"] = json::Value(static_cast<std::int64_t>(ticks));
+  obj["holds"] = json::Value(static_cast<std::int64_t>(holds));
+  obj["grows"] = json::Value(static_cast<std::int64_t>(grows));
+  obj["shrinks"] = json::Value(static_cast<std::int64_t>(shrinks));
+  obj["evicts"] = json::Value(static_cast<std::int64_t>(evicts));
+  obj["plan_aborts"] = json::Value(static_cast<std::int64_t>(plan_aborts));
+  obj["vetoes"] = json::Value(static_cast<std::int64_t>(vetoes));
+  obj["epochs_committed"] =
+      json::Value(static_cast<std::int64_t>(epochs_committed));
+  obj["converged"] = json::Value(static_cast<std::int64_t>(converged));
+  obj["converge_timeouts"] =
+      json::Value(static_cast<std::int64_t>(converge_timeouts));
+  obj["last_reason"] = json::Value(last_reason);
+  return json::Value(std::move(obj));
+}
+
+Controller::Controller(std::shared_ptr<const shard::ShardMap> initial,
+                       ControllerConfig config, Fetcher fetcher,
+                       CommitHook commit)
+    : config_(std::move(config)),
+      fetcher_(std::move(fetcher)),
+      collector_(initial, config_.collector, fetcher_),
+      policy_(config_.policy),
+      planner_(config_.spares),
+      actuator_(
+          ActuatorConfig{config_.map_path, config_.converge_timeout_seconds},
+          std::move(commit)),
+      map_(std::move(initial)) {
+  GS_REQUIRE(map_ != nullptr, "controller needs an initial shard map");
+}
+
+StepReport Controller::step(double now) {
+  ++stats_.ticks;
+  collector_.poll_due(now);
+
+  StepReport out;
+  out.epoch = map_->epoch();
+
+  if (state_ == CtrlState::converge) {
+    if (Actuator::converged(fetcher_, *map_, config_.router)) {
+      ++stats_.converged;
+      state_ = CtrlState::observe;
+      std::ostringstream os;
+      os << "converged: fleet serving epoch " << map_->epoch();
+      out.reason = os.str();
+    } else if (now >= converge_deadline_) {
+      ++stats_.converge_timeouts;
+      state_ = CtrlState::observe;
+      std::ostringstream os;
+      os << "converge timeout at epoch " << map_->epoch()
+         << " (the map stays committed; adoption continues unwatched)";
+      out.reason = os.str();
+      GS_WARN("ctrl: " << out.reason);
+    } else {
+      out.reason = "converging";
+    }
+    out.state = state_;
+    stats_.last_reason = out.reason;
+    return out;
+  }
+
+  const ClusterView view = collector_.view(now);
+  Decision decision = policy_.decide(view, now);
+  out.action = decision.action;
+  out.reason = decision.reason;
+  if (decision.action == Action::hold) {
+    ++stats_.holds;
+    out.state = state_;
+    stats_.last_reason = out.reason;
+    return out;
+  }
+
+  PlanReport plan =
+      planner_.plan(*map_, view, decision, config_.block_keys,
+                    collector_.warm_seconds_per_block(),
+                    policy_.config().min_shards);
+  if (plan.next == nullptr) {
+    ++stats_.plan_aborts;
+    out.action = Action::hold;
+    out.reason = plan.reason;
+    out.state = state_;
+    stats_.last_reason = out.reason;
+    return out;
+  }
+  std::string veto;
+  if (!policy_.approve_plan(view, plan, &veto)) {
+    ++stats_.vetoes;
+    out.action = Action::hold;
+    out.reason = veto;
+    out.state = state_;
+    stats_.last_reason = out.reason;
+    return out;
+  }
+  if (config_.dry_run) {
+    std::ostringstream os;
+    os << "dry-run: would commit epoch " << plan.next->epoch() << " ("
+       << plan.reason << ")";
+    out.reason = os.str();
+    out.state = state_;
+    stats_.last_reason = out.reason;
+    return out;
+  }
+
+  actuator_.commit(*map_, *plan.next);
+  ++stats_.epochs_committed;
+  switch (decision.action) {
+    case Action::grow: ++stats_.grows; break;
+    case Action::shrink: ++stats_.shrinks; break;
+    case Action::evict: ++stats_.evicts; break;
+    case Action::hold: break;
+  }
+  map_ = plan.next;
+  collector_.set_map(map_);
+  policy_.note_commit(now);
+  state_ = CtrlState::converge;
+  converge_deadline_ = now + config_.converge_timeout_seconds;
+  out.committed = true;
+  out.epoch = map_->epoch();
+  out.reason = plan.reason;
+  out.state = state_;
+  stats_.last_reason = out.reason;
+  GS_INFO("ctrl: committed epoch " << map_->epoch() << ": " << plan.reason);
+  return out;
+}
+
+PlanReport Controller::plan_once(double now, std::optional<Action> forced,
+                                 const std::string& evict_id) {
+  collector_.poll_all(now);
+  const ClusterView view = collector_.view(now);
+  Decision decision;
+  if (forced.has_value()) {
+    decision.action = *forced;
+    decision.evict_id = evict_id;
+    std::ostringstream os;
+    os << "operator-forced " << to_string(*forced);
+    decision.reason = os.str();
+  } else {
+    decision = policy_.advise(view);
+  }
+  PlanReport plan =
+      planner_.plan(*map_, view, decision, config_.block_keys,
+                    collector_.warm_seconds_per_block(),
+                    policy_.config().min_shards);
+  if (plan.next == nullptr) return plan;
+  std::string veto;
+  if (!policy_.approve_plan(view, plan, &veto)) {
+    plan.approved = false;
+    plan.veto_reason = veto;
+  }
+  // The printed map must pass validate_successor verbatim — run the
+  // same check a commit would, and surface a failure as an aborted
+  // plan rather than printing an uncommittable candidate.
+  try {
+    shard::validate_successor(*map_, *plan.next);
+  } catch (const Error& e) {
+    plan.next = nullptr;
+    plan.reason = std::string("plan aborted by validate_successor: ") +
+                  e.what();
+  }
+  return plan;
+}
+
+}  // namespace gs::ctrl

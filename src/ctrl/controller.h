@@ -1,0 +1,120 @@
+// gs::ctrl controller — the closed loop that ROADMAP item 1 asked for:
+// watch per-shard load and health through the stats RPC, decide, and
+// commit successor epochs without an operator in the loop. One
+// tick-driven state machine (DESIGN.md §11):
+//
+//   OBSERVE -> DECIDE -> PLAN -> COMMIT -> CONVERGE
+//      ^         |         |        |          |
+//      +--hold---+--abort--+--veto--+----------+ (converged / timeout)
+//
+// step(now) runs OBSERVE..COMMIT in one tick (they are cheap and local);
+// CONVERGE spans ticks, polling the fleet until every member adopts the
+// committed epoch or the deadline passes. Time is caller-supplied
+// seconds on one monotonic clock, so the whole machine — collector
+// schedules, dwell, budget, convergence deadlines — runs under a fake
+// clock in tests and the simulation harness.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "config/json.h"
+#include "ctrl/actuator.h"
+#include "ctrl/collector.h"
+#include "ctrl/planner.h"
+#include "ctrl/policy.h"
+#include "shard/map.h"
+
+namespace gs::ctrl {
+
+enum class CtrlState { observe, converge };
+
+const char* to_string(CtrlState s);
+
+struct ControllerConfig {
+  CollectorConfig collector;
+  PolicyConfig policy;
+  /// The shared map file the default commit hook writes (and the fleet's
+  /// MapWatchers poll). Unused when a CommitHook is injected.
+  std::string map_path;
+  /// Standby daemons grow can draft, in preference order.
+  std::vector<shard::ShardInfo> spares;
+  /// When set, CONVERGE also requires the router to adopt the epoch.
+  std::optional<shard::ShardInfo> router;
+  /// Block keys of the served dataset; enables exact movement planning
+  /// (and with it a meaningful cost veto). Empty = cost treated as 0.
+  std::vector<std::string> block_keys;
+  double converge_timeout_seconds = 10.0;
+  /// Plan and validate but never commit (gsctl --plan / --watch -n).
+  bool dry_run = false;
+};
+
+/// Cumulative controller counters (stats RPC / gsctl --watch heartbeat).
+struct CtrlStats {
+  std::uint64_t ticks = 0;
+  std::uint64_t holds = 0;
+  std::uint64_t grows = 0;
+  std::uint64_t shrinks = 0;
+  std::uint64_t evicts = 0;
+  std::uint64_t plan_aborts = 0;  ///< planner could not build a successor
+  std::uint64_t vetoes = 0;       ///< cost veto refusals
+  std::uint64_t epochs_committed = 0;
+  std::uint64_t converged = 0;
+  std::uint64_t converge_timeouts = 0;
+  std::string last_reason;
+
+  json::Value to_json() const;
+};
+
+/// What one step did (the gsctl --watch log line).
+struct StepReport {
+  CtrlState state = CtrlState::observe;  ///< state AFTER the step
+  Action action = Action::hold;
+  std::string reason;
+  bool committed = false;
+  std::uint64_t epoch = 0;  ///< serving epoch after the step
+};
+
+class Controller {
+ public:
+  /// `initial` is the currently committed map (the controller's view of
+  /// the fleet starts from it). `commit` defaults to writing
+  /// config.map_path via reshard::commit_map.
+  Controller(std::shared_ptr<const shard::ShardMap> initial,
+             ControllerConfig config, Fetcher fetcher,
+             CommitHook commit = {});
+
+  /// One controller tick at `now` (seconds, one monotonic clock).
+  StepReport step(double now);
+
+  /// The one-shot advisor (gsctl --plan): fresh poll round, advisory
+  /// decision (no sustain/dwell/budget — or `forced`), plan, cost
+  /// score, validate — and NO commit, ever. `evict_id` names the victim
+  /// when `forced == Action::evict`.
+  PlanReport plan_once(double now, std::optional<Action> forced = {},
+                       const std::string& evict_id = {});
+
+  std::shared_ptr<const shard::ShardMap> map() const { return map_; }
+  CtrlStats stats() const { return stats_; }
+  CtrlState state() const { return state_; }
+
+  Collector& collector() { return collector_; }
+  Policy& policy() { return policy_; }
+
+ private:
+  ControllerConfig config_;
+  Fetcher fetcher_;
+  Collector collector_;
+  Policy policy_;
+  Planner planner_;
+  Actuator actuator_;
+  std::shared_ptr<const shard::ShardMap> map_;
+  CtrlState state_ = CtrlState::observe;
+  double converge_deadline_ = 0.0;
+  CtrlStats stats_;
+};
+
+}  // namespace gs::ctrl

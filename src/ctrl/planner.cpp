@@ -1,0 +1,145 @@
+#include "ctrl/planner.h"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+#include <utility>
+
+#include "common/error.h"
+#include "shard/reshard.h"
+
+namespace gs::ctrl {
+
+json::Value PlanReport::to_json() const {
+  json::Object obj;
+  obj["action"] = json::Value(std::string(to_string(action)));
+  obj["reason"] = json::Value(reason);
+  if (!added_id.empty()) obj["added_id"] = json::Value(added_id);
+  if (!removed_id.empty()) obj["removed_id"] = json::Value(removed_id);
+  obj["moved_blocks"] =
+      json::Value(static_cast<std::int64_t>(moved_blocks));
+  obj["moved_exact"] = json::Value(moved_exact);
+  obj["est_warm_seconds"] = json::Value(est_warm_seconds);
+  obj["projected_benefit_seconds"] =
+      json::Value(projected_benefit_seconds);
+  obj["approved"] = json::Value(approved);
+  if (!veto_reason.empty()) obj["veto_reason"] = json::Value(veto_reason);
+  if (next != nullptr) obj["map"] = next->to_json();
+  return json::Value(std::move(obj));
+}
+
+Planner::Planner(std::vector<shard::ShardInfo> spares)
+    : spares_(std::move(spares)) {}
+
+const shard::ShardInfo* Planner::first_free_spare(
+    const shard::ShardMap& current) const {
+  for (const shard::ShardInfo& s : spares_) {
+    if (current.find(s.id) == nullptr) return &s;
+  }
+  return nullptr;
+}
+
+PlanReport Planner::plan(const shard::ShardMap& current,
+                         const ClusterView& view, const Decision& decision,
+                         std::span<const std::string> block_keys,
+                         double warm_seconds_per_block,
+                         std::size_t min_shards) const {
+  PlanReport report;
+  report.action = decision.action;
+  if (decision.action == Action::hold) {
+    report.reason = decision.reason;
+    return report;
+  }
+
+  std::vector<shard::ShardInfo> members = current.shards();
+  switch (decision.action) {
+    case Action::grow: {
+      const shard::ShardInfo* spare = first_free_spare(current);
+      if (spare == nullptr) {
+        report.reason = "plan aborted: no spare shard available to grow";
+        return report;
+      }
+      members.push_back(*spare);
+      report.added_id = spare->id;
+      break;
+    }
+    case Action::shrink: {
+      if (members.size() <= min_shards) {
+        report.reason = "plan aborted: shrink would drop below min_shards";
+        return report;
+      }
+      // Retire the least-loaded shard (ties by id, deterministic); an
+      // unreachable shard estimates load 0 and so retires first.
+      const ShardEstimate* victim = nullptr;
+      double best = std::numeric_limits<double>::infinity();
+      for (const ShardEstimate& e : view.shards) {
+        if (current.find(e.id) == nullptr) continue;
+        const double load = e.reachable ? e.load() : 0.0;
+        if (victim == nullptr || load < best ||
+            (load == best && e.id < victim->id)) {
+          victim = &e;
+          best = load;
+        }
+      }
+      if (victim == nullptr) {
+        report.reason = "plan aborted: no shard estimate to shrink by";
+        return report;
+      }
+      report.removed_id = victim->id;
+      members.erase(std::remove_if(members.begin(), members.end(),
+                                   [&](const shard::ShardInfo& s) {
+                                     return s.id == victim->id;
+                                   }),
+                    members.end());
+      break;
+    }
+    case Action::evict: {
+      if (current.find(decision.evict_id) == nullptr) {
+        report.reason =
+            "plan aborted: evict target " + decision.evict_id +
+            " is not a member";
+        return report;
+      }
+      report.removed_id = decision.evict_id;
+      members.erase(std::remove_if(members.begin(), members.end(),
+                                   [&](const shard::ShardInfo& s) {
+                                     return s.id == decision.evict_id;
+                                   }),
+                    members.end());
+      if (members.size() < min_shards) {
+        const shard::ShardInfo* spare = first_free_spare(current);
+        if (spare == nullptr) {
+          report.reason =
+              "plan aborted: evicting " + decision.evict_id +
+              " would drop below min_shards and no spare is available";
+          return report;
+        }
+        members.push_back(*spare);
+        report.added_id = spare->id;
+      }
+      break;
+    }
+    case Action::hold:
+      GS_ASSERT(false, "hold handled above");
+      break;
+  }
+
+  auto next = std::make_shared<const shard::ShardMap>(
+      current.epoch() + 1, current.vnodes(), std::move(members));
+  if (!block_keys.empty()) {
+    const shard::Ring from(current);
+    const shard::Ring to(*next);
+    report.moved_blocks = shard::moved_keys(from, to, block_keys).size();
+    report.moved_exact = true;
+    report.est_warm_seconds =
+        static_cast<double>(report.moved_blocks) * warm_seconds_per_block;
+  }
+  report.next = std::move(next);
+  std::ostringstream os;
+  os << decision.reason << "; epoch " << current.epoch() << " -> "
+     << report.next->epoch();
+  report.reason = os.str();
+  return report;
+}
+
+}  // namespace gs::ctrl

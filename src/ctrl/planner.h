@@ -1,0 +1,71 @@
+// gs::ctrl planner — the PLAN phase: turns a Decision into a concrete
+// successor ShardMap plus its cost accounting. The planner is pure: it
+// never commits anything, it only synthesizes the candidate (epoch + 1,
+// same vnodes, membership edited per the action) and — when the block
+// keys of the served dataset are known — computes the EXACT ring
+// movement (shard::moved_keys over the old and new rings), which is both
+// the warming bill the cost veto prices and the bound the convergence
+// bench asserts against the daemons' ReplacementStats.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "config/json.h"
+#include "ctrl/policy.h"
+#include "shard/map.h"
+
+namespace gs::ctrl {
+
+/// The planner's output: the candidate map (null = plan aborted, see
+/// `reason`) and the movement/cost accounting gsctl --plan prints.
+struct PlanReport {
+  std::shared_ptr<const shard::ShardMap> next;  ///< null = aborted
+  Action action = Action::hold;
+  std::string reason;
+  std::string added_id;
+  std::string removed_id;
+  std::size_t moved_blocks = 0;
+  /// True when moved_blocks came from the exact ring diff over known
+  /// block keys; false when no keys were available (cost treated as 0).
+  bool moved_exact = false;
+  double est_warm_seconds = 0.0;
+  double projected_benefit_seconds = 0.0;  ///< filled by approve_plan
+  bool approved = true;                    ///< cost veto outcome
+  std::string veto_reason;
+
+  json::Value to_json() const;  ///< includes the proposed map when set
+};
+
+class Planner {
+ public:
+  /// `spares` is the standby pool: daemons running and dialable but not
+  /// in the serving map. Grow (and an eviction that would fall below
+  /// min_shards) picks the first spare not already a member — the order
+  /// of the pool is the operator's preference order.
+  explicit Planner(std::vector<shard::ShardInfo> spares);
+
+  /// Synthesizes the successor for `decision`. `block_keys` (may be
+  /// empty) enables the exact movement count; `warm_seconds_per_block`
+  /// prices it. Hold decisions and impossible edits (no spare left,
+  /// unknown evict id, shrink below min_shards) return a null-map
+  /// report with the reason set.
+  PlanReport plan(const shard::ShardMap& current, const ClusterView& view,
+                  const Decision& decision,
+                  std::span<const std::string> block_keys,
+                  double warm_seconds_per_block,
+                  std::size_t min_shards) const;
+
+  const std::vector<shard::ShardInfo>& spares() const { return spares_; }
+
+ private:
+  const shard::ShardInfo* first_free_spare(
+      const shard::ShardMap& current) const;
+
+  std::vector<shard::ShardInfo> spares_;
+};
+
+}  // namespace gs::ctrl

@@ -1,0 +1,259 @@
+#include "ctrl/policy.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.h"
+#include "ctrl/planner.h"
+
+namespace gs::ctrl {
+
+const char* to_string(Action a) {
+  switch (a) {
+    case Action::hold: return "hold";
+    case Action::grow: return "grow";
+    case Action::shrink: return "shrink";
+    case Action::evict: return "evict";
+  }
+  return "?";
+}
+
+json::Value Decision::to_json() const {
+  json::Object obj;
+  obj["action"] = json::Value(std::string(to_string(action)));
+  obj["reason"] = json::Value(reason);
+  if (!evict_id.empty()) obj["evict_id"] = json::Value(evict_id);
+  obj["target_shards"] =
+      json::Value(static_cast<std::int64_t>(target_shards));
+  return json::Value(std::move(obj));
+}
+
+Policy::Policy(PolicyConfig config) : config_(config) {
+  GS_REQUIRE(config_.grow_queue_depth > config_.shrink_queue_depth,
+             "grow threshold " << config_.grow_queue_depth
+                               << " must exceed shrink threshold "
+                               << config_.shrink_queue_depth
+                               << " (the hysteresis band)");
+  GS_REQUIRE(config_.min_shards >= 1, "min_shards must be at least 1");
+  GS_REQUIRE(config_.max_shards >= config_.min_shards,
+             "max_shards below min_shards");
+  GS_REQUIRE(config_.sustain_ticks >= 1, "sustain_ticks must be >= 1");
+}
+
+std::string Policy::evict_candidate(const ClusterView& view) const {
+  for (const ShardEstimate& e : view.shards) {
+    if (e.unreachable_streak >= config_.dead_ticks) return e.id;
+    if (e.recent_flaps >= config_.flap_threshold) return e.id;
+  }
+  return {};
+}
+
+bool Policy::budget_exhausted(double now) const {
+  std::size_t inside = 0;
+  for (const double t : commits_) {
+    if (t > now - config_.budget_window_seconds) ++inside;
+  }
+  return inside >= static_cast<std::size_t>(config_.epoch_budget);
+}
+
+Decision Policy::threshold_decision(const ClusterView& view,
+                                    bool require_sustain) const {
+  const std::size_t n = view.shards.size();
+  const double load = view.mean_load();
+  const bool grow_signal = view.reachable > 0 &&
+                           load >= config_.grow_queue_depth;
+  const bool shrink_signal = view.reachable > 0 &&
+                             load <= config_.shrink_queue_depth;
+  const bool grow_ready =
+      require_sustain ? grow_streak_ >= config_.sustain_ticks : grow_signal;
+  const bool shrink_ready = require_sustain
+                                ? shrink_streak_ >= config_.sustain_ticks
+                                : shrink_signal;
+
+  Decision d;
+  d.target_shards = n;
+  if (grow_ready) {
+    if (n >= config_.max_shards) {
+      std::ostringstream os;
+      os << "hold: saturated (mean load " << load << " >= "
+         << config_.grow_queue_depth << ") but already at max_shards "
+         << config_.max_shards;
+      d.reason = os.str();
+      return d;
+    }
+    d.action = Action::grow;
+    d.target_shards = n + 1;
+    std::ostringstream os;
+    os << "grow " << n << " -> " << n + 1 << ": mean load " << load
+       << " >= " << config_.grow_queue_depth;
+    if (require_sustain) os << " for " << grow_streak_ << " ticks";
+    d.reason = os.str();
+    return d;
+  }
+  if (shrink_ready) {
+    if (n <= config_.min_shards) {
+      d.reason = "hold: idle but already at min_shards";
+      return d;
+    }
+    // Project the survivors' load: the departing shard's share lands on
+    // the rest. A shrink that would push the cluster back toward the
+    // grow threshold is not a shrink, it is an oscillation.
+    if (view.reachable > 1) {
+      const double projected =
+          load * static_cast<double>(view.reachable) /
+          static_cast<double>(view.reachable - 1);
+      if (projected >
+          config_.post_shrink_headroom * config_.grow_queue_depth) {
+        std::ostringstream os;
+        os << "hold: idle but projected post-shrink load " << projected
+           << " exceeds headroom "
+           << config_.post_shrink_headroom * config_.grow_queue_depth;
+        d.reason = os.str();
+        return d;
+      }
+    }
+    d.action = Action::shrink;
+    d.target_shards = n - 1;
+    std::ostringstream os;
+    os << "shrink " << n << " -> " << n - 1 << ": mean load " << load
+       << " <= " << config_.shrink_queue_depth;
+    if (require_sustain) os << " for " << shrink_streak_ << " ticks";
+    d.reason = os.str();
+    return d;
+  }
+  d.reason = "hold: steady (inside the hysteresis band)";
+  return d;
+}
+
+Decision Policy::decide(const ClusterView& view, double now) {
+  // Streaks advance on EVERY tick, including ones held by dwell or
+  // budget: saturation persisting through a dwell is actionable the
+  // moment the dwell expires.
+  const double load = view.mean_load();
+  if (view.reachable > 0 && load >= config_.grow_queue_depth) {
+    ++grow_streak_;
+  } else {
+    grow_streak_ = 0;
+  }
+  if (view.reachable > 0 && load <= config_.shrink_queue_depth) {
+    ++shrink_streak_;
+  } else {
+    shrink_streak_ = 0;
+  }
+
+  // Health first: a dead or flapping shard is evicted even mid-dwell,
+  // but never past the epoch budget.
+  const std::string victim = evict_candidate(view);
+  if (!victim.empty()) {
+    Decision d;
+    if (budget_exhausted(now)) {
+      d.reason = "hold: epoch budget exhausted (eviction of " + victim +
+                 " pending)";
+      return d;
+    }
+    d.action = Action::evict;
+    d.evict_id = victim;
+    d.target_shards =
+        view.shards.size() > 0 ? view.shards.size() - 1 : 0;
+    for (const ShardEstimate& e : view.shards) {
+      if (e.id != victim) continue;
+      std::ostringstream os;
+      if (e.unreachable_streak >= config_.dead_ticks) {
+        os << "evict " << victim << ": dead (" << e.unreachable_streak
+           << " consecutive failed polls; health overrides dwell)";
+      } else {
+        os << "evict " << victim << ": flapping (" << e.recent_flaps
+           << " recent reachability transitions; health overrides dwell)";
+      }
+      d.reason = os.str();
+      break;
+    }
+    return d;
+  }
+
+  if (now - last_commit_at_ < config_.min_dwell_seconds) {
+    Decision d;
+    std::ostringstream os;
+    os << "hold: dwell (" << now - last_commit_at_ << " s of "
+       << config_.min_dwell_seconds << " s since last commit)";
+    d.reason = os.str();
+    d.target_shards = view.shards.size();
+    return d;
+  }
+  if (budget_exhausted(now)) {
+    Decision d;
+    d.reason = "hold: epoch budget exhausted";
+    d.target_shards = view.shards.size();
+    return d;
+  }
+  return threshold_decision(view, /*require_sustain=*/true);
+}
+
+Decision Policy::advise(const ClusterView& view) const {
+  const std::string victim = evict_candidate(view);
+  if (!victim.empty()) {
+    Decision d;
+    d.action = Action::evict;
+    d.evict_id = victim;
+    d.target_shards =
+        view.shards.size() > 0 ? view.shards.size() - 1 : 0;
+    d.reason = "evict " + victim + ": dead or flapping";
+    return d;
+  }
+  return threshold_decision(view, /*require_sustain=*/false);
+}
+
+bool Policy::approve_plan(const ClusterView& view, PlanReport& plan,
+                          std::string* reason) const {
+  switch (plan.action) {
+    case Action::hold:
+      return true;
+    case Action::evict:
+      // Correctness beats cost: routing around a corpse is worth any
+      // warming bill.
+      plan.projected_benefit_seconds = config_.benefit_horizon_seconds;
+      return true;
+    case Action::grow: {
+      // Benefit: overload fraction above the grow threshold, paid off
+      // over the policy horizon. At exactly the threshold the benefit
+      // is zero — a marginal grow never outruns a nonzero warming cost.
+      const double load = view.mean_load();
+      plan.projected_benefit_seconds =
+          config_.benefit_horizon_seconds *
+          std::max(0.0, (load - config_.grow_queue_depth) /
+                            config_.grow_queue_depth);
+      break;
+    }
+    case Action::shrink:
+      // Benefit: one retired shard's worth of fleet-seconds over the
+      // horizon.
+      plan.projected_benefit_seconds =
+          view.reachable > 0 ? config_.benefit_horizon_seconds /
+                                   static_cast<double>(view.reachable)
+                             : config_.benefit_horizon_seconds;
+      break;
+  }
+  if (plan.est_warm_seconds > plan.projected_benefit_seconds) {
+    if (reason != nullptr) {
+      std::ostringstream os;
+      os << "veto " << to_string(plan.action) << ": warming cost "
+         << plan.est_warm_seconds << " s (" << plan.moved_blocks
+         << " blocks) exceeds projected benefit "
+         << plan.projected_benefit_seconds << " s";
+      *reason = os.str();
+    }
+    return false;
+  }
+  return true;
+}
+
+void Policy::note_commit(double now) {
+  last_commit_at_ = now;
+  commits_.push_back(now);
+  while (!commits_.empty() &&
+         commits_.front() <= now - config_.budget_window_seconds) {
+    commits_.pop_front();
+  }
+}
+
+}  // namespace gs::ctrl

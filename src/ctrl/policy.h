@@ -1,0 +1,124 @@
+// gs::ctrl policy — the DECIDE phase: explicit, unit-testable rules that
+// turn a ClusterView into at most one membership action. Stability over
+// eagerness, in four layers:
+//
+//   * hysteresis band — grow triggers at grow_queue_depth, shrink only
+//     at the far lower shrink_queue_depth; load oscillating around
+//     either single threshold cannot ping-pong membership;
+//   * sustain — a signal must persist for sustain_ticks consecutive
+//     decisions (the HealthTracker consecutive-count idea applied to
+//     load);
+//   * dwell — a minimum quiet period after every committed epoch, so
+//     the fleet finishes converging (and the estimates re-equilibrate
+//     at the new shard count) before the next change is even
+//     considered;
+//   * budget — at most epoch_budget commits per budget_window_seconds,
+//     the controller's own rate limiter against a pathological input.
+//
+// Health overrides dwell: a dead or flapping shard is evicted even
+// mid-dwell (a reshard must not protect a corpse), but never past the
+// epoch budget. Finally approve_plan() is the cost veto: a planned
+// reshard whose warming cost (moved blocks x observed seconds-per-block,
+// the ReplacementStats signal) exceeds its projected benefit over the
+// policy horizon is refused regardless of what the thresholds said.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "config/json.h"
+#include "ctrl/collector.h"
+
+namespace gs::ctrl {
+
+enum class Action { hold, grow, shrink, evict };
+
+const char* to_string(Action a);
+
+struct PolicyConfig {
+  /// Mean decayed per-shard load (queue depth + in-flight) at or above
+  /// which the cluster counts as saturated.
+  double grow_queue_depth = 2.0;
+  /// Mean decayed per-shard load at or below which it counts as idling.
+  /// The gap up to grow_queue_depth is the hysteresis band.
+  double shrink_queue_depth = 0.25;
+  /// Consecutive decide() calls a grow/shrink signal must persist.
+  int sustain_ticks = 3;
+  /// Minimum quiet period after a committed epoch, seconds.
+  double min_dwell_seconds = 10.0;
+  /// At most this many committed epochs per budget window.
+  int epoch_budget = 4;
+  double budget_window_seconds = 120.0;
+  std::size_t min_shards = 1;
+  std::size_t max_shards = 8;
+  /// Consecutive failed polls after which a shard counts as dead.
+  int dead_ticks = 3;
+  /// Decayed reachability transitions at/above which a shard counts as
+  /// flapping (4 = two full down-up cycles inside the flap half-life).
+  double flap_threshold = 4.0;
+  /// Horizon over which a reshard's benefit is projected, seconds (the
+  /// cost-veto denominator).
+  double benefit_horizon_seconds = 60.0;
+  /// A shrink is only proposed when the survivors' projected load stays
+  /// below this fraction of the grow threshold — removing a shard must
+  /// not immediately re-arm the grow signal.
+  double post_shrink_headroom = 0.7;
+};
+
+struct Decision {
+  Action action = Action::hold;
+  std::string reason;
+  std::string evict_id;           ///< action == evict
+  std::size_t target_shards = 0;  ///< membership size after the action
+
+  json::Value to_json() const;
+};
+
+// Forward declaration: the planner's report, scored by approve_plan.
+struct PlanReport;
+
+class Policy {
+ public:
+  explicit Policy(PolicyConfig config);
+
+  /// One decision tick. Mutates the sustain streaks; call exactly once
+  /// per controller step (the Controller's OBSERVE -> DECIDE edge).
+  Decision decide(const ClusterView& view, double now);
+
+  /// Stateless advisory decision for gsctl --plan: the same thresholds
+  /// and health rules, but no sustain/dwell/budget gating (an operator
+  /// asking "what would you do" wants the answer now, not in three
+  /// ticks).
+  Decision advise(const ClusterView& view) const;
+
+  /// The cost veto: false (with `*reason` set) when the plan's warming
+  /// cost exceeds its projected benefit over benefit_horizon_seconds.
+  /// Fills plan.projected_benefit_seconds either way. Evictions are
+  /// never vetoed — correctness beats cost.
+  bool approve_plan(const ClusterView& view, PlanReport& plan,
+                    std::string* reason) const;
+
+  /// Records a committed epoch (starts the dwell clock, charges the
+  /// budget window).
+  void note_commit(double now);
+
+  bool budget_exhausted(double now) const;
+
+  const PolicyConfig& config() const { return config_; }
+
+ private:
+  /// The health rule: first dead-or-flapping shard id, empty if none.
+  std::string evict_candidate(const ClusterView& view) const;
+  Decision threshold_decision(const ClusterView& view,
+                              bool require_sustain) const;
+
+  PolicyConfig config_;
+  int grow_streak_ = 0;
+  int shrink_streak_ = 0;
+  double last_commit_at_ = -1e300;
+  std::deque<double> commits_;  ///< commit times inside the window
+};
+
+}  // namespace gs::ctrl

@@ -1,0 +1,66 @@
+// gs::ctrl simulation harness — seeded synthetic load traces driven
+// through the REAL Collector/Policy/Planner/Controller stack with no
+// sockets, no threads, and no wall clock: the fetcher synthesizes
+// per-shard stats samples from a piecewise-constant offered-load trace
+// (plus deterministic per-shard jitter), the commit hook installs the
+// successor map in memory after a modeled adoption delay, and time is
+// the tick counter. Every policy rule is therefore replayable: the same
+// SimConfig produces the same event log, byte for byte — the unit tests
+// assert both the converged behavior (grow under a ramp, shrink after
+// it, zero commits under steady load) and the bitwise replay.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ctrl/controller.h"
+
+namespace gs::ctrl {
+
+/// One segment of the offered-load trace: `total_load` (cluster-wide
+/// queue depth) applies until `until_seconds` of sim time.
+struct LoadPhase {
+  double until_seconds = 0.0;
+  double total_load = 0.0;
+};
+
+struct SimConfig {
+  std::uint64_t seed = 1;
+  std::size_t ticks = 400;
+  double tick_seconds = 0.25;
+  std::size_t initial_shards = 3;
+  std::size_t spare_count = 2;
+  std::size_t blocks = 64;  ///< synthetic block keys for exact planning
+  /// Piecewise-constant offered load; the last phase extends to the end.
+  std::vector<LoadPhase> load;
+  /// Multiplicative per-shard, per-tick load jitter in [1-noise, 1+noise].
+  double noise = 0.05;
+  /// Ticks between a commit and the fleet adopting the new epoch (the
+  /// modeled MapWatcher poll + warming latency).
+  std::size_t adopt_ticks = 2;
+  /// Shards that stop answering at the given sim time, seconds.
+  std::map<std::string, double> die_at;
+  PolicyConfig policy;
+  CollectorConfig collector;
+};
+
+struct SimResult {
+  /// Human-readable, deterministic event log: every commit, adoption,
+  /// convergence, and eviction with its tick time and reason.
+  std::vector<std::string> events;
+  std::size_t final_shards = 0;
+  std::size_t max_shards = 0;
+  std::size_t min_shards_after_max = 0;  ///< smallest fleet after the peak
+  std::uint64_t epochs_committed = 0;
+  CtrlStats stats;
+
+  std::string trace() const;  ///< events joined with newlines
+};
+
+/// Runs the controller against the synthetic fleet. Fully deterministic
+/// in `config` (no wall clock, no RNG beyond the seeded jitter).
+SimResult run_sim(const SimConfig& config);
+
+}  // namespace gs::ctrl

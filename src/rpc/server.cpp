@@ -53,6 +53,9 @@ json::Value ServerStats::to_json() const {
   obj["reloads"] = json::Value(static_cast<std::int64_t>(reloads));
   obj["reloads_refused"] =
       json::Value(static_cast<std::int64_t>(reloads_refused));
+  obj["queue_depth"] = json::Value(static_cast<std::int64_t>(queue_depth));
+  obj["inflight"] = json::Value(static_cast<std::int64_t>(inflight));
+  obj["rate_rps"] = json::Value(rate_rps);
   obj["latency_count"] =
       json::Value(static_cast<std::int64_t>(latency_count));
   obj["latency_p50"] = json::Value(latency_p50);
@@ -70,6 +73,8 @@ std::string ServerStats::report() const {
      << "  requests: " << requests << " in, " << responses
      << " answered; p50/p95/p99 = " << latency_p50 << " / " << latency_p95
      << " / " << latency_p99 << " s over " << latency_count << "\n"
+     << "  load: " << queue_depth << " queued, " << inflight
+     << " in flight, " << rate_rps << " req/s (decayed)\n"
      << "  faults: " << bad_frames << " bad frames, " << crc_errors
      << " crc errors, " << io_errors << " io errors, "
      << killed_connections << " killed\n"
@@ -87,6 +92,7 @@ struct Server::Pending {
   svc::Verb verb = svc::Verb::list_variables;
   std::future<svc::Response> future;
   SteadyClock::time_point t0;
+  bool settled = false;  ///< inflight_ already decremented for this entry
 };
 
 json::Value ServiceHandler::stats_json() const {
@@ -94,7 +100,15 @@ json::Value ServiceHandler::stats_json() const {
   obj["dataset"] = json::Value(service_->path());
   obj["service"] = service_->metrics().to_json();
   obj["reshard"] = service_->reshard_stats().to_json();
+  // The serving shard-map epoch, top-level so the gs::ctrl actuator can
+  // confirm convergence with one stats round-trip (0 = unsharded).
+  obj["epoch"] =
+      json::Value(static_cast<std::int64_t>(service_->shard_epoch()));
   return json::Value(std::move(obj));
+}
+
+std::size_t ServiceHandler::queue_depth() const {
+  return service_->metrics().queue_depth;
 }
 
 Server::Server(svc::Service& service, ServerConfig config,
@@ -239,14 +253,16 @@ void Server::handle_frame(Conn& conn, const Frame& frame,
         send_locked(conn, reply);
         return;
       }
-      {
-        std::lock_guard<std::mutex> lock(stats_mu_);
-        ++counters_.requests;
-      }
       Pending entry;
       entry.id = frame.id;
       entry.verb = svc::verb_of(request.body);
       entry.t0 = SteadyClock::now();
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++counters_.requests;
+        rate_.add(seconds_between(epoch_, entry.t0));
+      }
+      inflight_.fetch_add(1);
       entry.future = handler_->submit(std::move(request));
       pending.push_back(std::move(entry));
       return;
@@ -353,6 +369,10 @@ void Server::conn_main(Conn& conn) {
   std::deque<Pending> pending;
 
   const auto deliver = [&](Pending& entry) {
+    // Settle the in-flight count up front: if the send below throws, the
+    // abandoned-entry sweep at exit must not decrement this entry again.
+    entry.settled = true;
+    inflight_.fetch_sub(1);
     svc::Response response = entry.future.get();
     Frame reply;
     reply.type = FrameType::response;
@@ -422,6 +442,11 @@ void Server::conn_main(Conn& conn) {
     GS_WARN("rpc connection worker failed: " << e.what());
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++counters_.io_errors;
+  }
+  // Requests abandoned by a dying connection (kill/io error with futures
+  // still pending) are no longer in flight from the load signal's view.
+  for (const Pending& entry : pending) {
+    if (!entry.settled) inflight_.fetch_sub(1);
   }
   {
     // Close under write_mu: a concurrent bridge send either completes
@@ -531,9 +556,14 @@ void Server::shutdown() {
 
 ServerStats Server::stats() const {
   const std::uint64_t active = active_connections();
+  const std::size_t queued = handler_->queue_depth();
+  const double now = seconds_between(epoch_, SteadyClock::now());
   std::lock_guard<std::mutex> lock(stats_mu_);
   ServerStats out = counters_;
   out.active = active;
+  out.queue_depth = queued;
+  out.inflight = inflight_.load();
+  out.rate_rps = rate_.rate(now);
   out.latency_count = latencies_.count();
   if (!latencies_.empty()) {
     out.latency_p50 = latencies_.percentile(50.0);

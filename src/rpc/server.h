@@ -83,6 +83,12 @@ struct ServerStats {
   std::uint64_t steps_dropped = 0;       ///< slow-consumer drops
   std::uint64_t reloads = 0;             ///< reload_map RPCs that applied
   std::uint64_t reloads_refused = 0;     ///< bad token / disabled / rejected
+  // Load signals (append-only: version-1 stats consumers that ignore
+  // unknown members keep working). These are the gs::ctrl controller's
+  // primary input — instantaneous pressure, not lifetime counters.
+  std::uint64_t queue_depth = 0;  ///< handler admission queue, right now
+  std::uint64_t inflight = 0;     ///< requests admitted, response not sent
+  double rate_rps = 0.0;          ///< decayed requests/sec (DecayedRate)
   /// Server-side request latency (decode -> response frame on the wire).
   std::size_t latency_count = 0;
   double latency_p50 = 0.0;
@@ -109,6 +115,12 @@ class Handler {
   /// The handler's half of the stats RPC JSON. Must contain a "dataset"
   /// member (remote tools identify the served dataset through it).
   virtual json::Value stats_json() const = 0;
+
+  /// Requests admitted but not yet executing — the svc admission queue
+  /// for a daemon, the routing queue for a Router. Surfaced as the
+  /// ServerStats "queue_depth" load signal; 0 when the handler has no
+  /// queue of its own.
+  virtual std::size_t queue_depth() const { return 0; }
 };
 
 /// Adapts an in-process svc::Service to the Handler interface.
@@ -120,6 +132,7 @@ class ServiceHandler : public Handler {
     return service_->submit(std::move(request));
   }
   json::Value stats_json() const override;
+  std::size_t queue_depth() const override;
 
  private:
   svc::Service* service_;
@@ -208,6 +221,11 @@ class Server {
   mutable std::mutex stats_mu_;
   ServerStats counters_;
   Samples latencies_;
+  /// Requests admitted (decoded + submitted) whose response frame has
+  /// not been sent yet, across all connections. Atomic: incremented on
+  /// each connection's worker, read by stats().
+  std::atomic<std::uint64_t> inflight_{0};
+  DecayedRate rate_{/*halflife_seconds=*/10.0};  ///< under stats_mu_
 };
 
 }  // namespace gs::rpc

@@ -1,11 +1,14 @@
 #include "shard/reshard.h"
 
+#include <fcntl.h>
 #include <sys/stat.h>
+#include <unistd.h>
 
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
+#include <cstring>
 #include <filesystem>
-#include <fstream>
 #include <system_error>
 #include <utility>
 
@@ -17,6 +20,57 @@ namespace gs::shard {
 namespace {
 
 constexpr const char* kReloadSite = "shard.reload";
+constexpr const char* kSyncSite = "shard.sync";
+
+/// RAII fd for the commit path (the error paths below throw).
+class Fd {
+ public:
+  Fd(const char* path, int flags, mode_t mode = 0) {
+    fd_ = ::open(path, flags, mode);
+  }
+  ~Fd() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  int get() const { return fd_; }
+  bool ok() const { return fd_ >= 0; }
+
+  /// close() with error reporting (an ignored close can hide a write
+  /// error on some filesystems). Idempotent.
+  void close_checked(const std::string& what) {
+    if (fd_ < 0) return;
+    const int fd = fd_;
+    fd_ = -1;
+    if (::close(fd) != 0) {
+      GS_THROW(IoError, "close " << what << ": " << std::strerror(errno));
+    }
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+void fsync_or_throw(int fd, const std::string& what) {
+  if (::fsync(fd) != 0) {
+    GS_THROW(IoError, "fsync " << what << ": " << std::strerror(errno));
+  }
+}
+
+/// fsyncs the directory containing `path` so the directory entry itself
+/// (the staging file's existence, or the rename) survives a power loss.
+void fsync_parent_dir(const std::string& path) {
+  std::filesystem::path dir = std::filesystem::path(path).parent_path();
+  if (dir.empty()) dir = ".";
+  Fd fd(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (!fd.ok()) {
+    GS_THROW(IoError,
+             "open dir " << dir.string() << ": " << std::strerror(errno));
+  }
+  fsync_or_throw(fd.get(), "dir " + dir.string());
+  fd.close_checked("dir " + dir.string());
+}
 
 FileSig sig_of(const std::string& path) {
   struct ::stat st {};
@@ -97,16 +151,38 @@ void commit_map(const ShardMap& map, const std::string& path) {
   fault::Injector::instance().check(
       kReloadSite, std::as_writable_bytes(std::span<char>(text)));
   {
-    std::ofstream out(staging, std::ios::binary | std::ios::trunc);
-    if (!out.good()) {
-      GS_THROW(IoError, "cannot write shard map staging " << staging);
+    Fd out(staging.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (!out.ok()) {
+      GS_THROW(IoError, "cannot write shard map staging "
+                            << staging << ": " << std::strerror(errno));
     }
-    out.write(text.data(), static_cast<std::streamsize>(text.size()));
-    out.flush();
-    if (!out.good()) {
-      GS_THROW(IoError, "short write to shard map staging " << staging);
+    std::size_t written = 0;
+    while (written < text.size()) {
+      const ::ssize_t n =
+          ::write(out.get(), text.data() + written, text.size() - written);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        GS_THROW(IoError, "short write to shard map staging "
+                              << staging << ": " << std::strerror(errno));
+      }
+      written += static_cast<std::size_t>(n);
     }
+    // Durability, half 1: the staging BYTES are on stable storage before
+    // the rename may make them the committed map — without this, the
+    // rename can reach disk before the data and a power loss commits a
+    // torn/empty file that recover_map cannot distinguish from a good
+    // one. "shard.sync" op 0: kill with staging written but its dirent
+    // not yet synced.
+    fsync_or_throw(out.get(), "shard map staging " + staging);
+    fault::Injector::instance().check(kSyncSite);
+    out.close_checked("shard map staging " + staging);
   }
+  // Durability, half 2: the staging file's directory entry, so the
+  // synced bytes are actually reachable by name after a crash.
+  // "shard.sync" op 1: kill after the pre-rename dir sync — the staging
+  // file durably exists, the committed epoch is still the old one.
+  fsync_parent_dir(path);
+  fault::Injector::instance().check(kSyncSite);
   // Op k + 1: a kill HERE leaves the staging file beside the old
   // committed map — recover_map (or the next commit) removes it; the
   // committed epoch is still the old one. After the rename it is the new
@@ -118,6 +194,11 @@ void commit_map(const ShardMap& map, const std::string& path) {
     GS_THROW(IoError, "cannot promote shard map " << staging << " -> " << path
                                                   << ": " << ec.message());
   }
+  // "shard.sync" op 2: kill after the rename but before the dir entry is
+  // synced — the new epoch is committed (the rename is atomic in the
+  // page cache; the final dir sync only bounds WHEN it becomes durable).
+  fault::Injector::instance().check(kSyncSite);
+  fsync_parent_dir(path);
 }
 
 bool recover_map(const std::string& path) {

@@ -25,6 +25,8 @@
 //     fail over or degrade explicitly, never answer from the wrong ring.
 //
 // Fault sites: "shard.reload" (map validation + both commit_map steps),
+// "shard.sync" (commit_map's three durability points: staging fsync,
+// pre-rename dir fsync, post-rename dir fsync),
 // "shard.drain" (the router's bounded old-epoch drain), "shard.replace"
 // (per moved block while warming) — every transition is killable and
 // replayable under gs::fault.
@@ -97,13 +99,22 @@ void validate_successor(const ShardMap& current, const ShardMap& next);
 std::vector<std::string> moved_keys(const Ring& from, const Ring& to,
                                     std::span<const std::string> keys);
 
-/// Writes `map` to `path` crash-consistently: serialize to
-/// `<path>.staging`, then atomically rename over `path`. A kill before
-/// the rename leaves the old committed map untouched; a kill after it
-/// leaves the new one — never a half-written file under `path`. Any
+/// Writes `map` to `path` crash-consistently AND durably: serialize to
+/// `<path>.staging`, fsync the staging file, fsync its parent directory,
+/// then atomically rename over `path` and fsync the directory again. A
+/// kill (or power loss) before the rename leaves the old committed map
+/// untouched; after it, the new one — never a half-written file under
+/// `path`, and never a rename that reaches disk before its data. Any
 /// stale staging file from an earlier crash is removed first.
-/// Fault site "shard.reload": op k   = payload check (corrupt = torn
-/// write reaches the wire), op k + 1 = between staging write and rename.
+/// Fault sites:
+///   "shard.reload": op k = payload check (corrupt = torn write reaches
+///     the wire), op k + 1 = between staging write and rename (these
+///     indices predate the fsyncs and are pinned — chaos tests arm them
+///     by number);
+///   "shard.sync":   op 0 = after the staging-file fsync, op 1 = after
+///     the pre-rename directory fsync (both: old epoch still committed,
+///     staging recoverable), op 2 = after the rename, before the final
+///     directory fsync (new epoch committed).
 void commit_map(const ShardMap& map, const std::string& path);
 
 /// Removes a stale `<path>.staging` left by a crash mid-commit (the

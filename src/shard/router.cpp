@@ -676,6 +676,11 @@ RouterStats Router::stats() const {
   return stats_;
 }
 
+std::size_t Router::queue_depth() const {
+  std::lock_guard<std::mutex> lock(queue_mu_);
+  return queue_.size();
+}
+
 json::Value Router::stats_json() const {
   json::Object obj;
   const std::shared_ptr<EpochState> ep = snapshot();

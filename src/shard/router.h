@@ -119,6 +119,7 @@ class Router : public rpc::Handler {
   // rpc::Handler -----------------------------------------------------------
   std::future<svc::Response> submit(svc::Request request) override;
   json::Value stats_json() const override;
+  std::size_t queue_depth() const override;
 
   /// submit() + wait.
   svc::Response call(svc::Request request);

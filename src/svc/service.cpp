@@ -520,6 +520,11 @@ shard::ReplacementStats Service::reshard_stats() const {
   return reshard_stats_;
 }
 
+std::uint64_t Service::shard_epoch() const {
+  const std::lock_guard<std::mutex> lock(shard_mu_);
+  return shard_current_.map ? shard_current_.map->epoch() : 0;
+}
+
 std::vector<double> Service::read_owned(const std::string& variable,
                                         std::int64_t step,
                                         const Box3& selection,

@@ -205,6 +205,11 @@ class Service {
   /// RPC); zero-valued before the first reload.
   shard::ReplacementStats reshard_stats() const;
 
+  /// The shard-map epoch this daemon currently serves ("epoch" in the
+  /// stats RPC — how the gs::ctrl actuator observes convergence); 0 when
+  /// no map is loaded (unsharded daemon).
+  std::uint64_t shard_epoch() const;
+
   MetricsSnapshot metrics() const;
 
   const bp::Reader& reader() const { return reader_; }

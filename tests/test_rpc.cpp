@@ -430,6 +430,36 @@ TEST(RpcServer, StatsRpcReportsTransportAndService) {
   server.shutdown();
 }
 
+TEST(RpcServer, LoadSignalsReportQueueInflightAndDecayedRate) {
+  gs::svc::Service service(dataset());
+  Server server(service);
+  Client client(server.endpoint());
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(client.field_stats("U", 0).ok());
+  }
+
+  // The PR 10 load signals the resharding controller polls: admission
+  // queue depth, settled in-flight count, and a decayed request rate
+  // that must still be warm right after a burst.
+  const auto stats = server.stats();
+  EXPECT_GE(stats.requests, 8u);
+  EXPECT_EQ(stats.inflight, 0u)
+      << "every answered request must settle its in-flight count";
+  EXPECT_GT(stats.rate_rps, 0.0)
+      << "the decayed rate must reflect the burst that just finished";
+
+  // The same three fields ride the stats RPC document (append-only JSON:
+  // existing consumers keep working, the collector reads the new keys).
+  const gs::json::Value doc = client.server_stats();
+  const auto& rpc = doc.at("rpc");
+  EXPECT_EQ(rpc.at("queue_depth").as_int(), 0);
+  EXPECT_EQ(rpc.at("inflight").as_int(), 0);
+  EXPECT_GT(rpc.at("rate_rps").as_double(), 0.0);
+  // The serving epoch rides along too (0 = unsharded standalone daemon).
+  EXPECT_EQ(doc.at("epoch").as_int(), 0);
+  server.shutdown();
+}
+
 TEST(RpcServer, ShutdownDrainsInFlightRequests) {
   std::atomic<bool> release{false};
   gs::svc::ServiceConfig svc_config;

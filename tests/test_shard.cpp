@@ -837,6 +837,60 @@ TEST(Reshard, CommitMapSurvivesTornWritesAndMidCommitKills) {
   fs::remove(path);
 }
 
+TEST(Reshard, CommitMapKilledAtTheSyncPointsKeepsExactlyOneEpoch) {
+  const std::string path = temp_path("commit_sync") + ".json";
+  fs::remove(path);
+  fs::remove(path + ".staging");
+  shard::commit_map(make_map(3), path);
+
+  // "shard.sync" ops 0 (staging fsynced) and 1 (staging dirent fsynced):
+  // the bytes of the candidate are durable, but the rename has not
+  // happened — the COMMITTED map must still be exactly the old epoch,
+  // with the staging orphan left for recover_map.
+  for (const std::uint64_t op : {0u, 1u}) {
+    gs::fault::Plan plan;
+    plan.kill_at("shard.sync", op);
+    gs::fault::ScopedPlan scoped(plan);
+    EXPECT_THROW(shard::commit_map(make_map(4, 2), path), gs::fault::Kill);
+    EXPECT_TRUE(fs::exists(path + ".staging"))
+        << "sync op " << op << ": staging must survive the kill";
+    EXPECT_EQ(shard::ShardMap::from_file(path).epoch(), 1u)
+        << "sync op " << op << ": old epoch must stay committed";
+  }
+  EXPECT_TRUE(shard::recover_map(path));
+
+  // Op 2 (after the rename, before the final dir sync): the atomic
+  // rename has promoted the candidate — the NEW epoch is committed and
+  // there is no orphan to recover.
+  {
+    gs::fault::Plan plan;
+    plan.kill_at("shard.sync", 2);
+    gs::fault::ScopedPlan scoped(plan);
+    EXPECT_THROW(shard::commit_map(make_map(4, 2), path), gs::fault::Kill);
+  }
+  EXPECT_FALSE(fs::exists(path + ".staging"));
+  EXPECT_EQ(shard::ShardMap::from_file(path).epoch(), 2u)
+      << "a kill after the rename must leave the new epoch committed";
+  EXPECT_FALSE(shard::recover_map(path));
+
+  // A transient fsync failure (fail, not kill) surfaces as IoError-family
+  // and, at the pre-rename points, also leaves the old epoch committed.
+  {
+    gs::fault::Plan plan;
+    plan.fail_at("shard.sync", 0);
+    gs::fault::ScopedPlan scoped(plan);
+    EXPECT_THROW(shard::commit_map(make_map(5, 3), path),
+                 gs::fault::InjectedFault);
+  }
+  EXPECT_EQ(shard::ShardMap::from_file(path).epoch(), 2u);
+
+  // The next clean commit recovers the orphan and goes through.
+  shard::commit_map(make_map(5, 3), path);
+  EXPECT_EQ(shard::ShardMap::from_file(path).epoch(), 3u);
+  EXPECT_FALSE(fs::exists(path + ".staging"));
+  fs::remove(path);
+}
+
 // ---- epoch handover: the watcher -----------------------------------------
 
 TEST(Reshard, MapWatcherAppliesTriggersAndRejectsBadMapsLoudly) {

@@ -1,0 +1,149 @@
+#!/bin/sh
+# Smoke test for the gs::ctrl control plane tooling.
+#
+#   ctrl_smoke.sh <gray_scott_workflow> <gsserved> <gsrouter> <gsctl> \
+#                 <settings.json>
+#
+# Serves a tiny dataset from THREE gsserved shards and checks the
+# advisory surface of the controller:
+#   1. gsctl --plan grow against the live cluster prints the proposed
+#      epoch-2 successor map (including the drafted spare) plus its cost
+#      accounting as JSON on stdout and exits 0 WITHOUT committing — the
+#      shard-map file on disk must be byte-identical before and after,
+#   2. the printed plan carries exact movement accounting (moved_blocks
+#      from the dataset's real block keys, an est_warm_seconds price,
+#      and the cost-veto verdict),
+#   3. gsctl --plan with nothing to do (idle cluster pinned at
+#      --min-shards) reports an unactionable plan and still exits 0,
+#   4. gsrouter --stats-json probes the cluster once and prints the
+#      per-shard health document to stdout, exit 0, no serving endpoint,
+#   5. --help exits 0; a bogus map path exits nonzero with a diagnostic.
+set -eu
+
+abspath() {
+  case $1 in
+    /*) printf '%s\n' "$1" ;;
+    *) printf '%s/%s\n' "$(cd "$(dirname "$1")" && pwd)" "$(basename "$1")" ;;
+  esac
+}
+WORKFLOW=$(abspath "$1")
+GSSERVED=$(abspath "$2")
+GSROUTER=$(abspath "$3")
+GSCTL=$(abspath "$4")
+SETTINGS=$(abspath "$5")
+
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/gs_ctrl_smoke.XXXXXX")
+PIDS=""
+cleanup() {
+  for pid in $PIDS; do
+    kill -KILL "$pid" 2>/dev/null || true
+  done
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+cd "$WORK"
+
+wait_ready() { # file pid log
+  tries=0
+  while [ ! -s "$1" ]; do
+    tries=$((tries + 1))
+    if [ "$tries" -gt 100 ]; then
+      echo "FAIL: $3: never became ready" >&2
+      cat "$3" >&2
+      exit 1
+    fi
+    if ! kill -0 "$2" 2>/dev/null; then
+      echo "FAIL: $3: exited before becoming ready" >&2
+      cat "$3" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+}
+
+echo "== help + error contract"
+"$GSCTL" --help >/dev/null
+rc=0
+"$GSCTL" --map /no/such/map.json --plan 2>ctl_err.txt || rc=$?
+test "$rc" -eq 1
+grep -q 'gsctl:' ctl_err.txt
+
+echo "== generate dataset + 3-shard cluster"
+"$WORKFLOW" "$SETTINGS" 2 >/dev/null
+cat >map.json <<EOF
+{
+  "epoch": 1,
+  "vnodes": 64,
+  "shards": [
+    {"id": "s0", "endpoint": "unix:$WORK/s0.sock"},
+    {"id": "s1", "endpoint": "unix:$WORK/s1.sock"},
+    {"id": "s2", "endpoint": "unix:$WORK/s2.sock"}
+  ]
+}
+EOF
+for s in s0 s1 s2; do
+  "$GSSERVED" --dataset smoke.bp --listen "unix:$WORK/$s.sock" \
+    --shard-map map.json --shard-id "$s" \
+    --ready-file "ready_$s.txt" 2>"serve_$s.log" &
+  eval "PID_$s=$!"
+  PIDS="$PIDS $!"
+done
+wait_ready ready_s0.txt "$PID_s0" serve_s0.log
+wait_ready ready_s1.txt "$PID_s1" serve_s1.log
+wait_ready ready_s2.txt "$PID_s2" serve_s2.log
+
+echo "== gsctl --plan grow: proposes epoch 2, prices the move, commits nothing"
+cp map.json map_before.json
+"$GSCTL" --map map.json --plan grow --spare "s3=unix:$WORK/s3.sock" \
+  --dataset smoke.bp >plan.json 2>plan.err
+grep -q '"epoch": 2' plan.json
+grep -q '"s3"' plan.json
+grep -q '"moved_blocks"' plan.json
+grep -q '"est_warm_seconds"' plan.json
+grep -q '"approved"' plan.json
+grep -q 'NOT committed' plan.err
+if ! cmp -s map.json map_before.json; then
+  echo "FAIL: --plan modified the shard map on disk" >&2
+  diff map.json map_before.json >&2 || true
+  exit 1
+fi
+# An advisory plan for a grow must actually move data: the dataset's
+# block keys give an exact, nonzero ring-movement count.
+if grep -q '"moved_blocks": 0' plan.json; then
+  echo "FAIL: grow plan moved zero blocks (block keys not used?)" >&2
+  cat plan.json >&2
+  exit 1
+fi
+echo "   advisory grow priced and printed, map untouched"
+
+echo "== gsctl --plan auto at min-shards: nothing to do, still exit 0"
+"$GSCTL" --map map.json --plan auto --min-shards 3 >hold.json 2>hold.err
+grep -q 'no actionable plan\|hold' hold.err hold.json
+cmp -s map.json map_before.json
+echo "   idle cluster holds"
+
+echo "== gsrouter --stats-json: one probe round, per-shard health on stdout"
+"$GSROUTER" --map map.json --stats-json >router_stats.json 2>router_stats.err
+grep -q '"router"' router_stats.json
+grep -q '"epoch": 1' router_stats.json
+grep -q '"s1"' router_stats.json
+echo "   router stats document printed"
+
+echo "== SIGTERM drains shards to exit 0"
+for s in s0 s1 s2; do
+  eval "pid=\$PID_$s"
+  kill -TERM "$pid"
+done
+for s in s0 s1 s2; do
+  eval "pid=\$PID_$s"
+  rc=0
+  wait "$pid" || rc=$?
+  if [ "$rc" -ne 0 ]; then
+    echo "FAIL: $s exited $rc on SIGTERM" >&2
+    cat "serve_$s.log" >&2
+    exit 1
+  fi
+done
+PIDS=""
+
+echo "PASS"

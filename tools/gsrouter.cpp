@@ -64,6 +64,9 @@ int usage(std::FILE* to, const char* argv0) {
       "  --drain-timeout-ms <n> bound on waiting for old-epoch queries\n"
       "                         after a reload (default 2000)\n"
       "  --metrics              print router + transport stats on exit\n"
+      "  --stats-json           one-shot: probe the cluster once, print\n"
+      "                         router stats (per-shard health) as JSON\n"
+      "                         to stdout, exit 0 — no serving endpoint\n"
       "  --help                 this message\n"
       "%s%s",
       argv0, gs::cli::kReloadTriggers, gs::cli::kExitContract);
@@ -84,6 +87,7 @@ int main(int argc, char** argv) {
   std::int64_t io_timeout_ms = 5000;
   std::int64_t watch_ms = 500;
   bool metrics = false;
+  bool stats_json = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -128,6 +132,8 @@ int main(int argc, char** argv) {
       router_config.drain_timeout_ms = std::atoll(next());
     } else if (arg == "--metrics") {
       metrics = true;
+    } else if (arg == "--stats-json") {
+      stats_json = true;
     } else if (arg == "--help" || arg == "-h") {
       return usage(stdout, argv[0]);
     } else {
@@ -147,6 +153,24 @@ int main(int argc, char** argv) {
   try {
     auto map = std::make_shared<const gs::shard::ShardMap>(
         gs::shard::ShardMap::from_file(map_file));
+
+    if (stats_json) {
+      // One-shot advisor mode (mirrors gsquery --stats-json): stand the
+      // routing tier up without a serving endpoint, let one fast probe
+      // round classify every shard, print the router's stats document —
+      // scripts and gsctl --plan read per-shard health from it — and
+      // exit 0. An unreachable cluster is still a valid (all-dead)
+      // report, not an error.
+      if (router_config.probe_interval_ms > 50) {
+        router_config.probe_interval_ms = 50;
+      }
+      gs::shard::Router router(map, router_config);
+      std::this_thread::sleep_for(std::chrono::milliseconds(300));
+      std::printf("%s\n", router.stats_json().dump(2).c_str());
+      router.shutdown();
+      return 0;
+    }
+
     gs::shard::Router router(map, router_config);
 
     // Epoch handover: adopt a validated successor map live (mtime poll +
